@@ -1,0 +1,20 @@
+# One binary per reproduced table/figure plus google-benchmark
+# micro-benchmarks of the simulator itself.
+#
+# Included from the top-level CMakeLists (rather than added as a
+# subdirectory) so that ${CMAKE_BINARY_DIR}/bench contains only the
+# bench executables and `for b in build/bench/*; do $b; done` runs the
+# whole harness cleanly.
+
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS
+    ${CMAKE_CURRENT_LIST_DIR}/*.cc)
+
+foreach(src ${BENCH_SOURCES})
+    get_filename_component(name ${src} NAME_WE)
+    add_executable(${name} ${src})
+    target_link_libraries(${name} PRIVATE edgereason
+        benchmark::benchmark)
+    target_include_directories(${name} PRIVATE ${CMAKE_CURRENT_LIST_DIR})
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

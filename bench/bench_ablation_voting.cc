@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: force the parallel-sample correlation to rho = 1 (all
+ * samples identical) and show that the Fig. 9 voting gains vanish —
+ * the gains are a property of sample diversity, not of the vote
+ * mechanism itself.
+ */
+
+#include "bench_util.hh"
+#include "accuracy/simulate.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+int
+main()
+{
+    banner("Ablation: sample correlation in parallel voting "
+           "(DSR1-Qwen-14B, 128T, full MMLU-Redux)");
+
+    er::acc::QuestionBank bank(er::acc::Dataset::MmluRedux, 99);
+    const er::acc::ResponseProfile prof(ModelId::Dsr1Qwen14B,
+                                        er::acc::Dataset::MmluRedux,
+                                        false);
+
+    er::Table t("");
+    t.setHeader({"rho", "SF=1", "SF=4", "SF=16", "SF=32", "gain@32"});
+    for (double rho : {prof.sampleCorrelation(), 0.0, 0.7, 1.0}) {
+        t.row().cell(rho, 2);
+        double first = 0.0, last = 0.0;
+        for (int f : {1, 4, 16, 32}) {
+            er::acc::ResponseSimulator sim(prof, 777);
+            sim.overrideCorrelation(rho);
+            const double acc = sim.evaluate(bank.questions(),
+                                            TokenPolicy::hard(128), f)
+                                   .accuracyPct;
+            if (f == 1)
+                first = acc;
+            last = acc;
+            t.cell(acc, 1);
+        }
+        t.cell(er::formatFixed(last / first, 2) + "x");
+    }
+    t.print(std::cout);
+
+    note("rho=1 erases voting gains entirely; rho=0 overshoots the "
+         "paper's 1.5-1.8x band; the calibrated rho reproduces it.");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension: heterogeneous execution (Section VI suggests offloading
+ * tokenization / layer-norm / softmax / embedding lookups to the idle
+ * 12-core CPU and overlapping them with GPU matmuls, noting the
+ * shared-memory SoC makes communication nearly free).  This study
+ * measures the decode-latency gain of that overlap per model.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using namespace er::engine;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Extension: CPU offload of elementwise kernels "
+           "(decode, I=512)");
+
+    er::Table t("");
+    t.setHeader({"Model", "TBT plain (ms)", "TBT offload (ms)",
+                 "gain", "tokens/s plain", "tokens/s offload"});
+    for (ModelId id : er::model::dsr1Family()) {
+        EngineConfig plain_cfg;
+        plain_cfg.measurementNoise = false;
+        InferenceEngine plain(er::model::spec(id),
+                              er::model::calibration(id), plain_cfg);
+        EngineConfig off_cfg = plain_cfg;
+        off_cfg.offloadElementwiseToCpu = true;
+        InferenceEngine off(er::model::spec(id),
+                            er::model::calibration(id), off_cfg);
+
+        const double tp = plain.decodeStepLatency(512);
+        const double to = off.decodeStepLatency(512);
+        t.row()
+            .cell(er::model::modelName(id))
+            .cell(tp * 1e3, 2)
+            .cell(to * 1e3, 2)
+            .cell(er::formatFixed(100.0 * (tp / to - 1.0), 1) + "%")
+            .cell(1.0 / tp, 1)
+            .cell(1.0 / to, 1);
+    }
+    t.print(std::cout);
+
+    note("elementwise kernels are a few percent of decode time, so "
+         "the overlap yields a small but free win — consistent with "
+         "the paper's observation that CPU utilization stays under "
+         "20% during GPU inference.");
+    return 0;
+}

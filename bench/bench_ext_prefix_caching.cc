@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension: multi-turn prefix caching.  An assistive robot holds a
+ * conversation: every turn re-sends the growing history.  Without
+ * prefix caching, each turn re-prefills the whole context; with it
+ * (vLLM automatic prefix caching — the paged KV cache in
+ * engine/kv_cache.hh already shares prefixes), only the new turn is
+ * processed.  This study measures time-to-first-token per turn and
+ * cumulative prefill seconds over a conversation.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Extension: multi-turn prefix caching "
+           "(DSR1-Llama-8B, 8 turns, 150-token user turns, 250-token "
+           "answers)");
+
+    auto &eng = facade().registry().engineFor(ModelId::Dsr1Llama8B,
+                                              false);
+    const er::Tokens system_prompt = 350;
+    const er::Tokens user_turn = 150;
+    const er::Tokens answer = 250;
+
+    er::Table t("");
+    t.setHeader({"turn", "context", "TTFT no-cache (s)",
+                 "TTFT cached (s)", "speedup"});
+    er::Tokens context = system_prompt;
+    double total_plain = 0.0;
+    double total_cached = 0.0;
+    for (int turn = 1; turn <= 8; ++turn) {
+        const er::Tokens full_prompt = context + user_turn;
+        const double plain = eng.prefillLatency(full_prompt);
+        const double cached = eng.prefillSuffixLatency(context,
+                                                       user_turn);
+        total_plain += plain;
+        total_cached += cached;
+        t.row()
+            .cell(static_cast<long long>(turn))
+            .cell(static_cast<long long>(full_prompt))
+            .cell(plain, 3)
+            .cell(cached, 3)
+            .cell(er::formatFixed(plain / cached, 1) + "x");
+        context = full_prompt + answer;
+    }
+    t.print(std::cout);
+
+    std::printf("\ncumulative prefill: %.2f s uncached vs %.2f s "
+                "cached (%.1fx) over the conversation\n", total_plain,
+                total_cached, total_plain / total_cached);
+    note("prefix caching turns quadratic conversation-prefill growth "
+         "into near-constant per-turn cost — essential for "
+         "interactive edge agents, and free with the paged KV "
+         "cache's reference-counted blocks.");
+    return 0;
+}

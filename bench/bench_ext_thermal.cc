@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: sustained-operation thermal study.  The paper's
+ * measurements are short runs at MAXN; a robot reasoning continuously
+ * is limited by the thermal solution instead.  This study drives the
+ * RC thermal model with each model's sustained decode power and
+ * reports time-to-throttle and the sustained fraction of MAXN
+ * throughput, for passive and actively cooled enclosures.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "hw/thermal.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::hw::ThermalSimulator;
+using er::hw::ThermalSpec;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Extension: sustained inference under thermal limits "
+           "(1 h continuous decode)");
+
+    // Sustained decode power at MAXN per model (Table XIX averages),
+    // plus SoC overhead for CPU/IO rails under load.
+    const struct { ModelId id; double watts; } loads[] = {
+        {ModelId::Dsr1Qwen1_5B, 19.6 + 6.0},
+        {ModelId::Dsr1Llama8B, 24.4 + 6.0},
+        {ModelId::Dsr1Qwen14B, 26.5 + 6.0},
+    };
+
+    const struct { const char *name; double r; } enclosures[] = {
+        {"passive (fanless, R=2.4 C/W)", 2.4},
+        {"reference (R=1.4 C/W)", 1.4},
+        {"active fan (R=0.8 C/W)", 0.8},
+    };
+
+    for (const auto &enc : enclosures) {
+        er::Table t(enc.name);
+        t.setHeader({"Model", "steady-state C", "throttles?",
+                     "time to throttle (s)", "sustained speed",
+                     "sustained tok/s (14B-scale TBT)"});
+        for (const auto &load : loads) {
+            ThermalSpec spec;
+            spec.rThermal = enc.r;
+            ThermalSimulator sim(spec);
+            const double steady = sim.steadyStateC(load.watts);
+
+            // Time to first throttle event.
+            ThermalSimulator probe(spec);
+            double t_throttle = -1.0;
+            for (int s = 0; s < 3600; ++s) {
+                const auto sample = probe.step(load.watts, 1.0);
+                if (sample.mode != er::hw::PowerMode::MaxN) {
+                    t_throttle = sample.time;
+                    break;
+                }
+            }
+            const double speed = sim.sustainedSpeedFactor(load.watts,
+                                                          3600.0);
+            auto &eng = facade().registry().engineFor(load.id, false);
+            const double maxn_tps = 1.0 /
+                eng.decodeStepLatency(512);
+
+            t.row()
+                .cell(er::model::modelName(load.id))
+                .cell(steady, 1)
+                .cell(t_throttle >= 0 ? "yes" : "no")
+                .cell(t_throttle >= 0
+                          ? er::formatFixed(t_throttle, 0)
+                          : "-")
+                .cell(er::formatFixed(100.0 * speed, 1) + "%")
+                .cell(maxn_tps * speed, 1);
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    note("a fanless enclosure throttles the 8B/14B within minutes and "
+         "sustains ~82-96% of MAXN throughput; the reference thermal "
+         "solution holds MAXN for the 1.5B and mildly derates the "
+         "larger models — sustained-throughput planning needs the "
+         "thermal model, not just Table I.");
+    return 0;
+}

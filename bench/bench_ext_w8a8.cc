@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: the W8A8 precision tier.  Section V-F evaluates only
+ * W4A16 AWQ; Section VI gestures at "4-bit or lower".  This study
+ * adds the standard SmoothQuant-style W8A8 point between FP16 and W4
+ * and maps the latency/energy ladder across all three precisions
+ * (accuracy at W8A8 is near-lossless in the literature, so only
+ * hardware metrics are claimed here).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using namespace er::engine;
+using er::model::ModelId;
+
+namespace {
+
+InferenceEngine
+makeEngine(ModelId id, er::DType dtype)
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = false;
+    er::model::TransformerSpec spec;
+    switch (dtype) {
+      case er::DType::FP16:
+        spec = er::model::spec(id);
+        break;
+      case er::DType::INT8:
+        spec = er::model::quantizedSpec8(id);
+        break;
+      default:
+        spec = er::model::quantizedSpec(id);
+        break;
+    }
+    return InferenceEngine(spec, er::model::calibration(id, dtype),
+                           cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: precision ladder FP16 / W8A8 / W4A16");
+
+    er::Table t("");
+    t.setHeader({"Model", "Precision", "weights (GB)", "TBT@512 (ms)",
+                 "tok/s", "prefill@2048 (s)", "E/tok@O=512 (J)"});
+    for (ModelId id : er::model::dsr1Family()) {
+        for (er::DType dtype : {er::DType::FP16, er::DType::INT8,
+                                er::DType::W4A16}) {
+            auto eng = makeEngine(id, dtype);
+            const double tbt = eng.decodeStepLatency(512);
+            const auto r = eng.run(512, 512);
+            t.row()
+                .cell(er::model::modelName(id))
+                .cell(er::dtypeName(dtype))
+                .cell(eng.spec().weightBytes() / 1e9, 1)
+                .cell(tbt * 1e3, 2)
+                .cell(1.0 / tbt, 1)
+                .cell(eng.prefillLatency(2048), 3)
+                .cell(r.decode.energy / 512.0, 3);
+        }
+    }
+    t.print(std::cout);
+
+    note("W8A8 lands between FP16 and W4 on every axis — roughly the "
+         "geometric midpoint on decode TBT — making it the safe "
+         "default when W4's accuracy loss (Fig. 14: up to -6% "
+         "relative on the 8B) is unacceptable.");
+    return 0;
+}

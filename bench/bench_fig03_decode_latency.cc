@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Fig. 3 and Table V: (a) decode latency versus output
+ * length at a fixed 512-token input, and (b) time-between-tokens
+ * versus input length; plus the fitted Eqn. 2 coefficients.
+ */
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "perfmodel/characterize.hh"
+#include "perfmodel/paper_reference.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Fig. 3 / Table V: decode latency and TBT");
+
+    er::CsvWriter csv("fig03_decode_latency.csv");
+    csv.writeRow(std::vector<std::string>{
+        "model", "output_tokens", "decode_s"});
+
+    er::Table coeffs("Table V: fitted decode latency coefficients "
+                     "TBT = m*I + n");
+    coeffs.setHeader({"Model", "m", "m(paper)", "n", "n(paper)"});
+
+    for (ModelId id : er::model::dsr1Family()) {
+        auto &eng = facade().registry().engineFor(id, false);
+        er::perf::SweepConfig cfg;
+        const auto sweep = er::perf::sweepDecode(eng, cfg);
+        for (const auto &s : sweep.latency) {
+            csv.writeRow(std::vector<std::string>{
+                er::model::modelName(id),
+                std::to_string(s.outputTokens),
+                er::formatFixed(s.latency, 5)});
+        }
+        const auto &fit = facade().characterization(id).latency.decode;
+        const auto paper = er::perf::paper::decodeLatency(id);
+        coeffs.row()
+            .cell(er::model::modelName(id))
+            .cellSci(fit.m).cellSci(paper->m)
+            .cell(fit.n, 4).cell(paper->n, 4);
+    }
+    coeffs.print(std::cout);
+
+    // Fig. 3b: TBT vs input length for DSR1-Llama-8B.
+    std::printf("\nFig. 3b: TBT vs input length (DSR1-Llama-8B):\n");
+    auto &eng8 = facade().registry().engineFor(ModelId::Dsr1Llama8B,
+                                               false);
+    const auto tbt = er::perf::tbtVsInputLength(
+        eng8, {1, 512, 1024, 2048, 3072, 4096});
+    const double t0 = tbt.front().second;
+    for (const auto &[i, t] : tbt) {
+        std::printf("  I=%5lld  TBT=%.4f s  (+%.1f%%)\n",
+                    static_cast<long long>(i), t,
+                    100.0 * (t / t0 - 1.0));
+    }
+
+    note("paper reports +3.1% TBT from I=1 to 4k on the 8B and TBT of "
+         "0.024/0.092-0.10/0.186 s; Table V's published n=0.010 for "
+         "the 8B contradicts the paper's own text (known typo).");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 5: decode-phase average power (left) and energy per
+ * token (right) as a function of output sequence length at a fixed
+ * 512-token input.
+ */
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "perfmodel/characterize.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Fig. 5: decode power and energy per token vs output "
+           "length (I = 512)");
+
+    er::CsvWriter csv("fig05_decode_power.csv");
+    csv.writeRow(std::vector<std::string>{
+        "model", "output_tokens", "power_w", "energy_per_token_j"});
+
+    er::Table t("sampled points");
+    t.setHeader({"Model", "P@O=64", "P@O=256", "P@O=1024", "P@O=2048",
+                 "E/tok@O=1024"});
+
+    std::map<ModelId, double> etok_1024;
+    for (ModelId id : er::model::dsr1Family()) {
+        auto &eng = facade().registry().engineFor(id, false);
+        er::perf::SweepConfig cfg;
+        const auto sweep = er::perf::sweepDecode(eng, cfg);
+
+        std::map<er::Tokens, double> pw, et;
+        for (std::size_t k = 0; k < sweep.power.size(); ++k) {
+            const auto &p = sweep.power[k];
+            const auto &e = sweep.energyPerToken[k];
+            csv.writeRow(std::vector<std::string>{
+                er::model::modelName(id), std::to_string(p.length),
+                er::formatFixed(p.power, 3),
+                er::formatFixed(e.energyPerToken, 5)});
+            pw[p.length] = p.power;
+            et[p.length] = e.energyPerToken;
+        }
+        etok_1024[id] = et[1024];
+        t.row()
+            .cell(er::model::modelName(id))
+            .cell(er::formatFixed(pw[64], 1) + "W")
+            .cell(er::formatFixed(pw[256], 1) + "W")
+            .cell(er::formatFixed(pw[1024], 1) + "W")
+            .cell(er::formatFixed(pw[2048], 1) + "W")
+            .cell(er::formatFixed(et[1024], 3) + "J");
+    }
+    t.print(std::cout);
+
+    std::printf("\nenergy/token ratio 14B : 1.5B at O=1024 = %.1fx "
+                "(paper: ~7x)\n",
+                etok_1024[ModelId::Dsr1Qwen14B] /
+                    etok_1024[ModelId::Dsr1Qwen1_5B]);
+    note("power grows logarithmically with output length; smaller "
+         "models are substantially more energy-efficient per token.");
+    return 0;
+}

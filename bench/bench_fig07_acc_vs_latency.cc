@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 7: accuracy versus end-to-end latency across
+ * budgeting techniques, the Pareto frontier, and the three operational
+ * regimes of Section V-A (sub-5 s -> 1.5B models; mid-range ->
+ * non-reasoning 8B; long budgets -> DSR1-Qwen-14B).
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::core::FrontierAxis;
+
+int
+main()
+{
+    banner("Fig. 7: accuracy vs latency (full MMLU-Redux)");
+
+    auto reports = evaluationGrid();
+    std::sort(reports.begin(), reports.end(),
+              [](const auto &a, const auto &b) {
+                  return a.avgLatency < b.avgLatency;
+              });
+
+    er::CsvWriter csv("fig07_acc_vs_latency.csv");
+    csv.writeRow(std::vector<std::string>{
+        "strategy", "avg_latency_s", "accuracy_pct"});
+    er::Table t("");
+    t.setHeader({"Strategy", "Latency (s)", "Acc. (%)"});
+    for (const auto &r : reports) {
+        t.row().cell(r.strat.label()).cell(r.avgLatency, 2)
+            .cell(r.accuracyPct, 1);
+        csv.writeRow(std::vector<std::string>{
+            r.strat.label(), er::formatFixed(r.avgLatency, 3),
+            er::formatFixed(r.accuracyPct, 2)});
+    }
+    t.print(std::cout);
+
+    const auto frontier = paretoFrontier(reports,
+                                         FrontierAxis::Latency);
+    std::printf("\nPareto frontier:\n");
+    for (const auto &r : frontier) {
+        std::printf("  %7.2f s  %5.1f%%  %s\n", r.avgLatency,
+                    r.accuracyPct, r.strat.label().c_str());
+    }
+
+    const auto regimes = er::core::budgetRegimes(
+        reports,
+        {0.5, 1, 2, 5, 10, 15, 20, 30, 50, 100, 200, 400},
+        FrontierAxis::Latency);
+    std::printf("\noperational regimes (latency budget -> best "
+                "strategy):\n");
+    for (const auto &reg : regimes) {
+        std::printf("  %6.1f - %6.1f s : %-28s %5.1f%%\n",
+                    reg.budgetLo, reg.budgetHi,
+                    reg.best.strat.label().c_str(),
+                    reg.best.accuracyPct);
+    }
+
+    note("paper regimes: sub-5 s exclusively 1.5B-class; mid-range "
+         "non-reasoning 8B; >30 s DSR1-Qwen-14B (Takeaways #4/#8).");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Fig. 8: accuracy versus cost per million tokens across
+ * budgeting techniques, and Section V-D's price-bracket guidance.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+
+int
+main()
+{
+    banner("Fig. 8: accuracy vs cost (full MMLU-Redux)");
+
+    auto reports = evaluationGrid();
+    std::sort(reports.begin(), reports.end(),
+              [](const auto &a, const auto &b) {
+                  return a.cost.energyPerMTok < b.cost.energyPerMTok;
+              });
+
+    er::CsvWriter csv("fig08_acc_vs_cost.csv");
+    csv.writeRow(std::vector<std::string>{
+        "strategy", "energy_cost_per_mtok", "total_cost_per_mtok",
+        "accuracy_pct"});
+    er::Table t("");
+    t.setHeader({"Strategy", "$/1M (energy)", "$/1M (total)",
+                 "Acc. (%)"});
+    for (const auto &r : reports) {
+        t.row().cell(r.strat.label())
+            .cell(r.cost.energyPerMTok, 4)
+            .cell(r.cost.totalPerMTok(), 4)
+            .cell(r.accuracyPct, 1);
+        csv.writeRow(std::vector<std::string>{
+            r.strat.label(),
+            er::formatFixed(r.cost.energyPerMTok, 5),
+            er::formatFixed(r.cost.totalPerMTok(), 5),
+            er::formatFixed(r.accuracyPct, 2)});
+    }
+    t.print(std::cout);
+
+    // Section V-D price brackets (energy-only cost, matching Table X's
+    // cost column).
+    std::printf("\nprice-bracket winners (energy $/1M tokens):\n");
+    const std::pair<double, double> brackets[] = {
+        {0.0, 0.01}, {0.01, 0.1}, {0.1, 10.0}};
+    for (const auto &[lo, hi] : brackets) {
+        const er::core::StrategyReport *best = nullptr;
+        for (const auto &r : reports) {
+            if (r.cost.energyPerMTok < lo ||
+                r.cost.energyPerMTok >= hi)
+                continue;
+            if (!best || r.accuracyPct > best->accuracyPct)
+                best = &r;
+        }
+        if (best) {
+            std::printf("  $%.3f-%.3f: %-28s %5.1f%%\n", lo, hi,
+                        best->strat.label().c_str(),
+                        best->accuracyPct);
+        }
+    }
+
+    note("paper guidance: <$0.01 only 1.5B/L1 viable; $0.01-0.1 "
+         "non-reasoning optimal; >$0.1 the 8B/14B reasoning models.");
+    return 0;
+}

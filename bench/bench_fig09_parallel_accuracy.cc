@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Fig. 9: accuracy versus parallel scaling factor under
+ * 128-token (a) and 512-token (b) output budgets on full MMLU-Redux,
+ * with majority voting across parallel decoders.
+ */
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+int
+main()
+{
+    banner("Fig. 9: accuracy vs parallel scaling factor");
+
+    const int factors[] = {1, 2, 4, 8, 16, 32};
+    const struct
+    {
+        ModelId id;
+        bool l1;
+    } models[] = {
+        {ModelId::Dsr1Qwen1_5B, false},
+        {ModelId::Dsr1Llama8B, false},
+        {ModelId::Dsr1Qwen14B, false},
+        {ModelId::L1Max, true},
+    };
+
+    er::CsvWriter csv("fig09_parallel_accuracy.csv");
+    csv.writeRow(std::vector<std::string>{
+        "budget", "model", "scaling_factor", "accuracy_pct"});
+
+    for (er::Tokens budget : {128, 512}) {
+        std::printf("\n(%s) output budget = %lld tokens\n",
+                    budget == 128 ? "a" : "b",
+                    static_cast<long long>(budget));
+        er::Table t("");
+        std::vector<std::string> header = {"Model"};
+        for (int f : factors)
+            header.push_back("SF=" + std::to_string(f));
+        header.push_back("gain@32");
+        t.setHeader(header);
+
+        for (const auto &m : models) {
+            const auto pol = m.l1 ? TokenPolicy::l1(budget)
+                                  : TokenPolicy::hard(budget);
+            t.row().cell(er::model::modelName(m.id));
+            double first = 0.0, last = 0.0;
+            for (int f : factors) {
+                const auto rep = facade().evaluate(
+                    mk(m.id, pol, f), er::acc::Dataset::MmluRedux);
+                if (f == 1)
+                    first = rep.accuracyPct;
+                last = rep.accuracyPct;
+                t.cell(rep.accuracyPct, 1);
+                csv.writeRow(std::vector<std::string>{
+                    std::to_string(budget),
+                    er::model::modelName(m.id), std::to_string(f),
+                    er::formatFixed(rep.accuracyPct, 2)});
+            }
+            t.cell(er::formatFixed(last / first, 2) + "x");
+        }
+        t.print(std::cout);
+    }
+
+    note("paper: 1.5-1.8x gains at the 128-token budget by SF=32; "
+         "gains plateau after ~4x at 512 tokens; L1 variants gain "
+         "little; small models degrade near SF=16 (Takeaway #9).");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 11: prefill (left) and decode (right) latency as a
+ * function of sequence length for the W4A16-quantized models, compared
+ * against their FP16 counterparts (Figs. 2-3).
+ */
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Fig. 11: quantized (W4A16) prefill and decode latency");
+
+    er::CsvWriter csv("fig11_quant_latency.csv");
+    csv.writeRow(std::vector<std::string>{
+        "model", "phase", "length", "fp16_s", "w4_s"});
+
+    er::Table pf("prefill latency (s)");
+    pf.setHeader({"Model", "I=512 fp16", "I=512 W4", "I=2048 fp16",
+                  "I=2048 W4", "speedup@2048"});
+    er::Table dc("decode latency for O tokens at I=512 (s)");
+    dc.setHeader({"Model", "O=256 fp16", "O=256 W4", "O=1024 fp16",
+                  "O=1024 W4", "speedup@1024"});
+
+    for (ModelId id : er::model::dsr1Family()) {
+        auto &fp16 = facade().registry().engineFor(id, false);
+        auto &w4 = facade().registry().engineFor(id, true);
+
+        for (er::Tokens i : {128, 256, 512, 1024, 2048, 4096}) {
+            csv.writeRow(std::vector<std::string>{
+                er::model::modelName(id), "prefill", std::to_string(i),
+                er::formatFixed(fp16.prefillLatency(i), 5),
+                er::formatFixed(w4.prefillLatency(i), 5)});
+        }
+        const auto &mf = facade().characterization(id).latency;
+        const auto &mq =
+            facade().registry().perfFor(id, true).latency;
+        for (er::Tokens o : {128, 256, 512, 1024, 2048}) {
+            csv.writeRow(std::vector<std::string>{
+                er::model::modelName(id), "decode", std::to_string(o),
+                er::formatFixed(mf.decode(512, o), 4),
+                er::formatFixed(mq.decode(512, o), 4)});
+        }
+
+        pf.row()
+            .cell(er::model::modelName(id))
+            .cell(fp16.prefillLatency(512), 3)
+            .cell(w4.prefillLatency(512), 3)
+            .cell(fp16.prefillLatency(2048), 3)
+            .cell(w4.prefillLatency(2048), 3)
+            .cell(er::formatFixed(fp16.prefillLatency(2048) /
+                                      w4.prefillLatency(2048), 2) +
+                  "x");
+        dc.row()
+            .cell(er::model::modelName(id))
+            .cell(mf.decode(512, 256), 2)
+            .cell(mq.decode(512, 256), 2)
+            .cell(mf.decode(512, 1024), 2)
+            .cell(mq.decode(512, 1024), 2)
+            .cell(er::formatFixed(mf.decode(512, 1024) /
+                                      mq.decode(512, 1024), 2) +
+                  "x");
+    }
+    pf.print(std::cout);
+    std::printf("\n");
+    dc.print(std::cout);
+
+    note("quantized models have shorter prefill and decode at every "
+         "length; decode speedup tracks the 4x weight shrink derated "
+         "by dequantization overhead (Section V-F).");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator itself: kernel
+ * enumeration, roofline execution, full request simulation, the
+ * characterization pipeline's question runs, and the Monte-Carlo
+ * accuracy evaluator.  These guard against performance regressions in
+ * the infrastructure (a full Table XI regeneration runs ~60 strategy
+ * evaluations over 3,000 questions each).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accuracy/simulate.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using er::model::ModelId;
+
+namespace {
+
+er::engine::InferenceEngine &
+sharedEngine()
+{
+    static er::engine::InferenceEngine eng = [] {
+        er::engine::EngineConfig cfg;
+        cfg.measurementNoise = false;
+        return er::engine::InferenceEngine(
+            er::model::spec(ModelId::Dsr1Llama8B),
+            er::model::calibration(ModelId::Dsr1Llama8B), cfg);
+    }();
+    return eng;
+}
+
+void
+BM_KernelEnumeration(benchmark::State &state)
+{
+    const auto spec = er::model::spec(ModelId::Dsr1Llama8B);
+    for (auto _ : state) {
+        auto ks = er::engine::decodeKernels(spec, 1024, 4);
+        benchmark::DoNotOptimize(ks);
+    }
+}
+BENCHMARK(BM_KernelEnumeration);
+
+void
+BM_DecodeStepLatency(benchmark::State &state)
+{
+    auto &eng = sharedEngine();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eng.decodeStepLatency(static_cast<er::Tokens>(
+                state.range(0))));
+    }
+}
+BENCHMARK(BM_DecodeStepLatency)->Arg(512)->Arg(4096);
+
+void
+BM_FullRequest(benchmark::State &state)
+{
+    auto &eng = sharedEngine();
+    for (auto _ : state) {
+        auto r = eng.run(170, static_cast<er::Tokens>(state.range(0)));
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FullRequest)->Arg(128)->Arg(1024);
+
+void
+BM_PrefillSweepPoint(benchmark::State &state)
+{
+    auto &eng = sharedEngine();
+    for (auto _ : state) {
+        auto m = eng.prefillOnly(2048);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_PrefillSweepPoint);
+
+void
+BM_AccuracyEvaluation(benchmark::State &state)
+{
+    static er::acc::QuestionBank bank(er::acc::Dataset::MmluRedux, 99);
+    static const er::acc::ResponseProfile prof(
+        ModelId::Dsr1Llama8B, er::acc::Dataset::MmluRedux, false);
+    er::acc::ResponseSimulator sim(prof, 1);
+    const auto sub = bank.subset(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto ev = sim.evaluate(sub, er::strategy::TokenPolicy::base(),
+                               static_cast<int>(state.range(1)));
+        benchmark::DoNotOptimize(ev);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            state.range(0) * state.range(1));
+}
+BENCHMARK(BM_AccuracyEvaluation)
+    ->Args({1000, 1})
+    ->Args({1000, 8})
+    ->Args({3000, 1});
+
+} // namespace
+
+BENCHMARK_MAIN();

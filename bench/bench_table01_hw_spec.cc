@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Table I: NVIDIA Jetson Orin compute specifications, as
+ * modelled by the hardware substrate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "hw/soc.hh"
+
+int
+main()
+{
+    benchutil::banner("Table I: Jetson AGX Orin compute specifications");
+    edgereason::hw::JetsonOrin soc;
+    std::printf("%s\n", soc.specTable().c_str());
+
+    const auto &spec = soc.gpu().spec();
+    std::printf("derived: fp16 tensor peak %.1f TFLOPs, "
+                "machine balance %.0f FLOPs/byte, "
+                "usable DRAM %.1f GB\n",
+                spec.peakFp16TensorFlops / 1e12,
+                spec.machineBalanceFp16(),
+                soc.usableMemory() / 1e9);
+    benchutil::note("matches Table I by construction; derived values "
+                    "drive the roofline model.");
+    return 0;
+}

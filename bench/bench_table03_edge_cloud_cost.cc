@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Table III: cost comparison of reasoning LLM deployments —
+ * OpenAI o1-preview (cloud) versus DeepScaleR-1.5B on the Jetson Orin
+ * at batch 1 and batch 30, including the paper's profiling-derived
+ * cost arithmetic (Section III-B).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cost/cost_model.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+namespace {
+
+struct EdgeRun
+{
+    double tokens = 0.0;
+    er::Seconds seconds = 0.0;
+    er::Joules energy = 0.0;
+    double userTps = 0.0;
+};
+
+/**
+ * Profile the AIME2024 workload (30 questions, ~6.5k output tokens
+ * each) on the engine at a given batch size.  Batch B answers B
+ * questions concurrently, so wall time covers ceil(30/B) waves.
+ */
+EdgeRun
+profileAime(int batch)
+{
+    er::engine::EngineConfig cfg;
+    cfg.measurementNoise = false;
+    er::engine::InferenceEngine eng(
+        er::model::spec(ModelId::DeepScaleR1_5B),
+        er::model::calibration(ModelId::DeepScaleR1_5B), cfg);
+
+    const er::Tokens prompt = 120;
+    const er::Tokens output = 6520;
+    const int questions = 30;
+    EdgeRun out;
+    int remaining = questions;
+    while (remaining > 0) {
+        const int wave = std::min(batch, remaining);
+        const auto r = eng.run(prompt, output, wave);
+        out.seconds += r.totalSeconds();
+        out.energy += r.totalEnergy();
+        out.tokens += static_cast<double>(output) * wave;
+        remaining -= wave;
+    }
+    out.userTps = static_cast<double>(output) /
+        (out.seconds / (questions / static_cast<double>(batch) > 1
+                            ? std::ceil(static_cast<double>(questions) /
+                                        batch)
+                            : 1.0));
+    out.userTps = output / (out.seconds /
+        std::ceil(static_cast<double>(questions) / batch));
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table III: costs of reasoning LLM deployments "
+           "(AIME2024 on DeepScaleR-1.5B)");
+
+    const auto batch1 = profileAime(1);
+    const auto batch30 = profileAime(30);
+    const auto cost1 = er::cost::edgeCost(batch1.energy, batch1.seconds,
+                                          batch1.tokens);
+    const auto cost30 = er::cost::edgeCost(batch30.energy,
+                                           batch30.seconds,
+                                           batch30.tokens);
+    const auto o1 = er::cost::o1Preview();
+
+    er::Table t("");
+    t.setHeader({"Metric", "OpenAI o1-preview", "DeepScaleR b=1",
+                 "DeepScaleR b=30"});
+    t.addRow({"Parameter size", "Unknown", "1.5B fp16", "1.5B fp16"});
+    t.addRow({"Accuracy (AIME2024)", "40.0%", "43.1%", "43.1%"});
+    t.row().cell("Total tokens").cell("-")
+        .cell(static_cast<long long>(batch1.tokens))
+        .cell(static_cast<long long>(batch30.tokens));
+    t.row().cell("Wall time (s)").cell("-")
+        .cell(batch1.seconds, 0).cell(batch30.seconds, 0);
+    t.row().cell("Energy (kWh)").cell("-")
+        .cell(batch1.energy / 3.6e6, 4).cell(batch30.energy / 3.6e6, 4);
+    t.row().cell("Throughput (user TPS)").cell(o1.userTps, 1)
+        .cell(batch1.userTps, 1).cell(batch30.userTps, 1);
+    t.row().cell("Price ($/1M output tok)").cell(o1.outputPerMTok, 2)
+        .cell(cost1.totalPerMTok(), 3).cell(cost30.totalPerMTok(), 3);
+    t.row().cell("  energy component").cell("-")
+        .cell(cost1.energyPerMTok, 4).cell(cost30.energyPerMTok, 4);
+    t.row().cell("  hardware component").cell("-")
+        .cell(cost1.hardwarePerMTok, 4).cell(cost30.hardwarePerMTok, 4);
+    t.print(std::cout);
+
+    std::printf("\ncloud/edge cost ratio: %.0fx (batch 1), %.0fx "
+                "(batch 30); paper: ~200x and ~2200x\n",
+                o1.outputPerMTok / cost1.totalPerMTok(),
+                o1.outputPerMTok / cost30.totalPerMTok());
+    note("paper: batch 1 = $0.302/1M ($0.024 + $0.278); batch 30 = "
+         "$0.027/1M ($0.0023 + $0.025).");
+    return 0;
+}

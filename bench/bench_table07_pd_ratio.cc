@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table VII: prefill-to-decode token and latency ratios over
+ * the full MMLU-Redux benchmark for the three DSR1 models.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::acc::Dataset;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+int
+main()
+{
+    banner("Table VII: prefill-to-decode ratios (full MMLU-Redux)");
+
+    const double paper_tok[] = {7.3, 2.4, 7.1};
+    const double paper_lat[] = {521, 192, 569};
+
+    er::Table t("");
+    t.setHeader({"Model", "P:D tokens", "paper", "P:D latency",
+                 "paper"});
+    int row = 0;
+    for (ModelId id : er::model::dsr1Family()) {
+        auto &ev = facade().evaluator();
+        const auto &prof = ev.profile(id, Dataset::MmluRedux, false);
+        const auto &bank = ev.bank(Dataset::MmluRedux);
+        const auto &pm = facade().characterization(id);
+
+        double tok_in = 0.0, tok_out = 0.0, lat_pf = 0.0, lat_dc = 0.0;
+        const double mean_out = prof.meanTokens(TokenPolicy::base());
+        for (const auto &q : bank.questions()) {
+            tok_in += static_cast<double>(q.promptTokens);
+            tok_out += mean_out;
+            lat_pf += pm.latency.prefill(q.promptTokens);
+            lat_dc += pm.latency.decode(q.promptTokens,
+                                        static_cast<er::Tokens>(
+                                            mean_out));
+        }
+        t.row()
+            .cell(er::model::modelName(id))
+            .cell("1:" + er::formatFixed(tok_out / tok_in, 1))
+            .cell("1:" + er::formatFixed(paper_tok[row], 1))
+            .cell("1:" + er::formatFixed(lat_dc / lat_pf, 0))
+            .cell("1:" + er::formatFixed(paper_lat[row], 0));
+        ++row;
+    }
+    t.print(std::cout);
+
+    note("Takeaway #2: decode dominates (>99.5% of inference time); "
+         "token ratios follow each model's verbosity.");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table VIII: MAPE of the analytical energy model (power
+ * model x latency model composition, Eqns. 4-6) on held-out questions.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "perfmodel/paper_reference.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    banner("Table VIII: energy model MAPE");
+
+    er::Table t("");
+    t.setHeader({"Model", "Decode", "paper", "Total", "paper"});
+    for (ModelId id : er::model::dsr1Family()) {
+        const auto &c = facade().characterization(id);
+        const auto paper = er::perf::paper::energyMape(id);
+        t.row()
+            .cell(er::model::modelName(id))
+            .cell(er::formatFixed(c.decodeEnergyMapePct, 1) + "%")
+            .cell(er::formatFixed(paper->decode, 1) + "%")
+            .cell(er::formatFixed(c.totalEnergyMapePct, 1) + "%")
+            .cell(er::formatFixed(paper->total, 1) + "%");
+    }
+    t.print(std::cout);
+
+    note("the paper publishes no prefill energy MAPE (prefill energy "
+         "is <1% of the total); decode/total land in the same ~6% "
+         "band.");
+    return 0;
+}

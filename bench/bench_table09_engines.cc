@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table IX: inference engine comparison (HF Transformers vs
+ * vLLM vs TRT-LLM) on DSR1-Llama-8B across three input/output length
+ * combinations.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::engine::EngineKind;
+using er::model::ModelId;
+
+namespace {
+
+double
+latencyFor(EngineKind kind, er::Tokens in, er::Tokens out)
+{
+    er::engine::EngineConfig cfg;
+    cfg.kind = kind;
+    cfg.measurementNoise = false;
+    er::engine::InferenceEngine eng(
+        er::model::spec(ModelId::Dsr1Llama8B),
+        er::model::calibration(ModelId::Dsr1Llama8B), cfg);
+    return eng.run(in, out).totalSeconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table IX: inference engine comparison "
+           "(DSR1-Llama-8B, latency in s)");
+
+    const struct { er::Tokens in; er::Tokens out; double paper_hf;
+                   double paper_vllm; double paper_trt; } rows[] = {
+        {16, 128, 14.23, 12.73, 12.79},
+        {64, 128, 14.29, 12.75, 12.46},
+        {128, 128, 14.41, 12.78, 12.88},
+    };
+
+    er::Table t("");
+    t.setHeader({"In", "Out", "HF", "paper", "vLLM", "paper",
+                 "TRT-LLM", "paper", "vLLM speedup"});
+    for (const auto &r : rows) {
+        const double hf = latencyFor(EngineKind::HfTransformers, r.in,
+                                     r.out);
+        const double vllm = latencyFor(EngineKind::Vllm, r.in, r.out);
+        const double trt = latencyFor(EngineKind::TrtLlm, r.in, r.out);
+        t.row()
+            .cell(static_cast<long long>(r.in))
+            .cell(static_cast<long long>(r.out))
+            .cell(hf, 2).cell(r.paper_hf, 2)
+            .cell(vllm, 2).cell(r.paper_vllm, 2)
+            .cell(trt, 2).cell(r.paper_trt, 2)
+            .cell(er::formatFixed(hf / vllm, 2) + "x");
+    }
+    t.print(std::cout);
+
+    note("paper: vLLM is 1.11-1.13x faster than HF Transformers and "
+         "on par with TRT-LLM.");
+    return 0;
+}

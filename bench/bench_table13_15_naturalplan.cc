@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Reproduces Tables XIII-XV: the Natural-Plan planning benchmark
+ * (calendar scheduling, meeting planning, trip planning) under
+ * baseline reasoning, NR + 512-token budgeting, and direct
+ * (non-reasoning) models.  Latency columns are measured on the Orin
+ * simulator; the paper's appendix latencies were collected on a server
+ * GPU (see EXPERIMENTS.md).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::acc::Dataset;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+namespace {
+
+const char *
+taskName(Dataset d)
+{
+    switch (d) {
+      case Dataset::NaturalPlanCalendar:
+        return "calendar";
+      case Dataset::NaturalPlanMeeting:
+        return "meeting";
+      case Dataset::NaturalPlanTrip:
+        return "trip";
+      default:
+        return "?";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const Dataset tasks[] = {Dataset::NaturalPlanCalendar,
+                             Dataset::NaturalPlanMeeting,
+                             Dataset::NaturalPlanTrip};
+
+    banner("Table XIII: Natural-Plan baseline (reasoning models)");
+    {
+        // Paper accuracy / token anchors per task x model.
+        const double pAcc[3][3] = {{0.60, 9.00, 11.70},
+                                   {1.00, 10.00, 19.30},
+                                   {1.25, 7.88, 13.88}};
+        const double pTok[3][3] = {{2792, 2798, 2297},
+                                   {3880, 2866, 1494},
+                                   {2490, 2251, 2340}};
+        er::Table t("");
+        t.setHeader({"Task", "Model", "Acc(%)", "paper", "toks/Q",
+                     "paper", "Orin lat (s)"});
+        int ti = 0;
+        for (Dataset d : tasks) {
+            int mi = 0;
+            for (ModelId id : er::model::dsr1Family()) {
+                const auto rep = facade().evaluate(
+                    mk(id, TokenPolicy::base()), d);
+                t.row()
+                    .cell(taskName(d))
+                    .cell(er::model::modelName(id))
+                    .cell(rep.accuracyPct, 2).cell(pAcc[ti][mi], 2)
+                    .cell(rep.avgTokens, 0).cell(pTok[ti][mi], 0)
+                    .cell(rep.avgLatency, 1);
+                ++mi;
+            }
+            ++ti;
+        }
+        t.print(std::cout);
+    }
+
+    banner("Table XIV: Natural-Plan budgeting (NR + hard limit at "
+           "512 tokens)");
+    {
+        const double pAcc[3][3] = {{2.00, 8.10, 12.60},
+                                   {1.90, 11.90, 19.00},
+                                   {0.00, 3.90, 10.90}};
+        const double pTok[3][3] = {{511, 67, 40},
+                                   {425, 284, 341},
+                                   {507, 398, 380}};
+        er::Table t("");
+        t.setHeader({"Task", "Model", "Acc(%)", "paper", "toks/Q",
+                     "paper", "Orin lat (s)"});
+        int ti = 0;
+        for (Dataset d : tasks) {
+            int mi = 0;
+            for (ModelId id : er::model::dsr1Family()) {
+                const auto rep = facade().evaluate(
+                    mk(id, TokenPolicy::hard(512)), d);
+                t.row()
+                    .cell(taskName(d))
+                    .cell(er::model::modelName(id))
+                    .cell(rep.accuracyPct, 2).cell(pAcc[ti][mi], 2)
+                    .cell(rep.avgTokens, 0).cell(pTok[ti][mi], 0)
+                    .cell(rep.avgLatency, 1);
+                ++mi;
+            }
+            ++ti;
+        }
+        t.print(std::cout);
+    }
+
+    banner("Table XV: Natural-Plan direct models (Qwen2.5)");
+    {
+        const ModelId direct[] = {ModelId::Qwen25_1_5BIt,
+                                  ModelId::Qwen25_14BIt};
+        const double pAcc[3][2] = {{5.30, 31.90},
+                                   {9.40, 27.20},
+                                   {2.50, 6.44}};
+        er::Table t("");
+        t.setHeader({"Task", "Model", "Acc(%)", "paper", "toks/Q",
+                     "Orin lat (s)"});
+        int ti = 0;
+        for (Dataset d : tasks) {
+            int mi = 0;
+            for (ModelId id : direct) {
+                const auto rep = facade().evaluate(
+                    mk(id, TokenPolicy::base()), d);
+                t.row()
+                    .cell(taskName(d))
+                    .cell(er::model::modelName(id))
+                    .cell(rep.accuracyPct, 2).cell(pAcc[ti][mi], 2)
+                    .cell(rep.avgTokens, 0)
+                    .cell(rep.avgLatency, 2);
+                ++mi;
+            }
+            ++ti;
+        }
+        t.print(std::cout);
+    }
+
+    note("planning is brutal for small reasoning models (<2% "
+         "accuracy); budgeting to 512 tokens barely hurts, and the "
+         "direct 14B dominates on calendar/meeting tasks.");
+    return 0;
+}

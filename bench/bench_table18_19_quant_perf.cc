@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Tables XVIII-XIX (Appendix D): base vs W4A16-quantized
+ * prefill performance (averaged over the input-length sweep
+ * [128, 4096]) and decode performance (input 512, output sweep
+ * [128, 2048]).
+ */
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using er::model::ModelId;
+
+int
+main()
+{
+    const er::Tokens prefill_lens[] = {128, 256, 512, 1024, 2048, 4096};
+    const er::Tokens decode_lens[] = {128, 256, 512, 1024, 2048};
+
+    banner("Table XVIII: prefill performance, base vs quantized "
+           "(averaged over input sweep [128, 4096])");
+    {
+        const double paper_time[2][3] = {{0.33, 2.60, 3.63},
+                                         {0.15, 0.55, 2.21}};
+        const double paper_power[2][3] = {{5.6, 17.0, 23.5},
+                                          {4.8, 13.6, 20.5}};
+        er::Table t("");
+        t.setHeader({"Model", "Time (s)", "paper", "Tok/s (k)",
+                     "Power (W)", "paper"});
+        for (int quant = 0; quant <= 1; ++quant) {
+            int mi = 0;
+            for (ModelId id : er::model::dsr1Family()) {
+                auto &eng = facade().registry().engineFor(id, quant);
+                er::RunningStats time, tps, power;
+                for (er::Tokens len : prefill_lens) {
+                    const auto m = eng.prefillOnly(len);
+                    time.add(m.seconds);
+                    tps.add(static_cast<double>(len) / m.seconds /
+                            1e3);
+                    power.add(m.avgPower);
+                }
+                t.row()
+                    .cell(std::string(er::model::modelName(id)) +
+                          (quant ? "-AWQ-W4" : ""))
+                    .cell(time.mean(), 2).cell(paper_time[quant][mi], 2)
+                    .cell(tps.mean(), 1)
+                    .cell(power.mean(), 1)
+                    .cell(paper_power[quant][mi], 1);
+                ++mi;
+            }
+        }
+        t.print(std::cout);
+    }
+
+    banner("Table XIX: decode performance, base vs quantized "
+           "(I=512, output sweep [128, 2048])");
+    {
+        const double paper_tps[2][3] = {{38.2, 9.0, 5.0},
+                                        {73.6, 25.9, 15.1}};
+        const double paper_power[2][3] = {{19.6, 24.4, 26.5},
+                                          {16.2, 25.4, 28.5}};
+        er::Table t("");
+        t.setHeader({"Model", "Time (s)", "Tok/s", "paper",
+                     "Power (W)", "paper"});
+        for (int quant = 0; quant <= 1; ++quant) {
+            int mi = 0;
+            for (ModelId id : er::model::dsr1Family()) {
+                auto &eng = facade().registry().engineFor(id, quant);
+                er::RunningStats time, tps, power;
+                for (er::Tokens o : decode_lens) {
+                    const auto r = eng.run(512, o);
+                    time.add(r.decode.seconds);
+                    tps.add(static_cast<double>(o) /
+                            r.decode.seconds);
+                    power.add(r.decode.avgPower);
+                }
+                t.row()
+                    .cell(std::string(er::model::modelName(id)) +
+                          (quant ? "-AWQ-W4" : ""))
+                    .cell(time.mean(), 2)
+                    .cell(tps.mean(), 1).cell(paper_tps[quant][mi], 1)
+                    .cell(power.mean(), 1)
+                    .cell(paper_power[quant][mi], 1);
+                ++mi;
+            }
+        }
+        t.print(std::cout);
+    }
+
+    note("quantization roughly halves decode time per token at "
+         "slightly different power, with larger models gaining more.");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction harness: a process-wide
+ * EdgeReasoning facade, strategy shorthand, and paper-vs-measured
+ * printing helpers.  Each bench binary regenerates one table or figure
+ * of the paper; running every binary under build/bench
+ * reproduces the full evaluation.
+ */
+
+#ifndef EDGEREASON_BENCH_BENCH_UTIL_HH
+#define EDGEREASON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/edge_reasoning.hh"
+#include "model/zoo.hh"
+
+namespace benchutil {
+
+namespace er = edgereason;
+
+/** Process-wide facade (lazy characterization per model). */
+inline er::core::EdgeReasoning &
+facade()
+{
+    static er::core::EdgeReasoning instance;
+    return instance;
+}
+
+/** Strategy shorthand. */
+inline er::strategy::InferenceStrategy
+mk(er::model::ModelId id, er::strategy::TokenPolicy pol, int parallel = 1,
+   bool quant = false)
+{
+    er::strategy::InferenceStrategy s;
+    s.model = id;
+    s.quantized = quant;
+    s.policy = pol;
+    s.parallel = parallel;
+    return s;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/** Print a closing note comparing against the paper. */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+/**
+ * The Section-V evaluation grid: every (model, token-control) pair of
+ * Figs. 6-8 — the three DSR1 distills under Base / NC / NR / hard
+ * budgets, L1-Max under its budget modes, and the non-reasoning
+ * baselines under direct generation — each evaluated on the full
+ * 3,000-question MMLU-Redux benchmark.
+ */
+inline std::vector<er::core::StrategyReport>
+evaluationGrid()
+{
+    using er::model::ModelId;
+    using er::strategy::TokenPolicy;
+
+    std::vector<er::strategy::InferenceStrategy> strategies;
+    for (ModelId id : er::model::dsr1Family()) {
+        for (const auto &pol :
+             {TokenPolicy::base(), TokenPolicy::soft(128),
+              TokenPolicy::soft(256), TokenPolicy::noReasoning(),
+              TokenPolicy::hard(128), TokenPolicy::hard(256)}) {
+            strategies.push_back(mk(id, pol));
+        }
+    }
+    for (const auto &pol :
+         {TokenPolicy::base(), TokenPolicy::soft(128),
+          TokenPolicy::soft(256), TokenPolicy::hard(128),
+          TokenPolicy::hard(256)}) {
+        strategies.push_back(mk(ModelId::L1Max, pol));
+    }
+    // Direct baselines tabulated in Table X, plus the 1.5B-it shown
+    // in Fig. 7 (Qwen2.5-14B-it is mentioned in Fig. 7c's caption but
+    // never tabulated, and including it would contradict the paper's
+    // own regime analysis, so it is left out of the grid).
+    for (ModelId id : {ModelId::Qwen25_1_5BIt, ModelId::Qwen25_7BIt,
+                       ModelId::Llama31_8BIt, ModelId::Gemma7BIt}) {
+        strategies.push_back(mk(id, TokenPolicy::base()));
+    }
+
+    std::vector<er::core::StrategyReport> reports;
+    reports.reserve(strategies.size());
+    for (const auto &s : strategies) {
+        reports.push_back(
+            facade().evaluate(s, er::acc::Dataset::MmluRedux));
+    }
+    return reports;
+}
+
+} // namespace benchutil
+
+#endif // EDGEREASON_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extending the study to a model the paper never measured: define a
+ * hypothetical 3B-parameter architecture, run the full Section-IV
+ * characterization pipeline against the Orin simulator, and print the
+ * fitted latency/power models plus a latency-budget table — exactly
+ * the workflow a practitioner would use before committing to a new
+ * checkpoint.
+ */
+
+#include <cstdio>
+
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+#include "perfmodel/characterize.hh"
+
+using namespace edgereason;
+
+int
+main()
+{
+    // A plausible 3B-class decoder (Qwen-style GQA, 36 layers).
+    model::TransformerSpec spec;
+    spec.name = "Custom-3B";
+    spec.layers = 36;
+    spec.hidden = 2048;
+    spec.heads = 16;
+    spec.kvHeads = 2;
+    spec.headDim = 128;
+    spec.ffnHidden = 11008;
+    spec.vocab = 151936;
+    spec.tiedEmbeddings = true;
+    spec.check();
+    std::printf("characterizing %s: %.2fB params, %.1f GB fp16, "
+                "%.0f KV bytes/token\n", spec.name.c_str(),
+                spec.paramCount() / 1e9, spec.weightBytes() / 1e9,
+                spec.kvBytesPerToken());
+
+    // Small models share the small-class hardware calibration.
+    auto calib = model::calibrationForClass(model::sizeClassOf(spec),
+                                            /*quantized=*/false);
+    engine::InferenceEngine eng(spec, calib);
+
+    const auto c = perf::characterize(eng);
+    std::printf("\nfitted latency: L_prefill = %.3e*I^2 + %.3e*I + "
+                "%.3f;  TBT = %.3e*ctx + %.4f s\n",
+                c.latency.prefill.a, c.latency.prefill.b,
+                c.latency.prefill.c, c.latency.decode.m,
+                c.latency.decode.n);
+    std::printf("validation: prefill %.1f%% / decode %.2f%% / total "
+                "%.2f%% MAPE; energy %.1f%% MAPE\n",
+                c.prefillMapePct, c.decodeMapePct, c.totalMapePct,
+                c.totalEnergyMapePct);
+
+    std::printf("\nlatency budget -> max decodable tokens "
+                "(170-token prompt):\n");
+    for (double budget : {1.0, 2.0, 5.0, 10.0, 30.0}) {
+        std::printf("  %5.1f s -> %5lld tokens\n", budget,
+                    static_cast<long long>(
+                        c.latency.maxOutputTokens(170, budget)));
+    }
+
+    std::printf("\npower: prefill %s%.1f W; decode %.2f*ln(O) + %.2f "
+                "W above %lld tokens\n",
+                c.prefillPower.v > 0 ? "breakpointed, head " : "",
+                c.prefillPower.u, c.decodePower.y, c.decodePower.z,
+                static_cast<long long>(c.decodePower.floorTokens));
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Edge-versus-cloud economics for a fleet (Section III-B scaled up):
+ * given a daily query volume, compare the yearly cost of serving a
+ * reasoning workload from OpenAI o1-preview versus a fleet of Jetson
+ * AGX Orin devices running DeepScaleR-1.5B at several batch sizes,
+ * including how many devices the workload needs.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "cost/cost_model.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+using namespace edgereason;
+
+int
+main()
+{
+    const double queries_per_day = 100000.0;
+    const Tokens prompt = 120;
+    const Tokens output = 2048;
+
+    std::printf("fleet cost analysis: %.0f reasoning queries/day, "
+                "%lld output tokens each\n\n", queries_per_day,
+                static_cast<long long>(output));
+
+    // Cloud: o1-preview output pricing.
+    const auto o1 = cost::o1Preview();
+    const double tokens_per_year = queries_per_day * 365.0 * output;
+    const double cloud_yearly = tokens_per_year / 1e6 *
+        o1.outputPerMTok;
+    std::printf("cloud (%s): $%.2f/1M output tokens -> "
+                "$%.0f per year\n\n", o1.name.c_str(),
+                o1.outputPerMTok, cloud_yearly);
+
+    // Edge: DeepScaleR-1.5B on Orin at several batch sizes.
+    engine::EngineConfig cfg;
+    cfg.measurementNoise = false;
+    engine::InferenceEngine eng(
+        model::spec(model::ModelId::DeepScaleR1_5B),
+        model::calibration(model::ModelId::DeepScaleR1_5B), cfg);
+
+    std::printf("%5s %12s %12s %10s %14s %12s\n", "batch", "s/query",
+                "$/1M tokens", "devices", "edge $/year", "vs cloud");
+    for (int batch : {1, 4, 8, 16, 30}) {
+        const auto r = eng.run(prompt, output, batch);
+        const double sec_per_query = r.totalSeconds() / batch;
+        const auto c = cost::edgeCost(
+            r.totalEnergy(), r.totalSeconds(),
+            static_cast<double>(output) * batch);
+        // Devices needed to absorb the daily volume.
+        const double device_seconds_needed =
+            queries_per_day * sec_per_query;
+        const int devices = static_cast<int>(
+            std::ceil(device_seconds_needed / 86400.0));
+        const double edge_yearly = tokens_per_year / 1e6 *
+            c.totalPerMTok();
+        std::printf("%5d %12.2f %12.4f %10d %14.0f %11.0fx\n", batch,
+                    sec_per_query, c.totalPerMTok(), devices,
+                    edge_yearly, cloud_yearly / edge_yearly);
+    }
+
+    std::printf("\nedge deployment also keeps data on-device and "
+                "keeps working without connectivity (Section I).\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: load a reasoning model onto the simulated Jetson AGX
+ * Orin, run a single request, inspect the latency/power/energy
+ * breakdown, evaluate a full strategy on MMLU-Redux, and ask the
+ * deployment planner for the best configuration under a latency
+ * budget.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/edge_reasoning.hh"
+#include "model/zoo.hh"
+
+using namespace edgereason;
+
+int
+main()
+{
+    core::EdgeReasoning er;
+
+    // --- The hardware we are deploying to. ---
+    std::printf("%s\n", er.hardwareSummary().c_str());
+
+    // --- One request on DSR1-Qwen-14B: 170-token prompt, 256 output
+    //     tokens (a hard [256]T budget). ---
+    auto &engine = er.registry().engineFor(model::ModelId::Dsr1Qwen14B,
+                                           /*quantized=*/false);
+    const auto r = engine.run(/*input_tokens=*/170,
+                              /*output_tokens=*/256);
+    std::printf("one request on %s (I=170, O=256):\n",
+                engine.spec().name.c_str());
+    std::printf("  prefill: %6.3f s at %4.1f W (%5.1f J)\n",
+                r.prefill.seconds, r.prefill.avgPower,
+                r.prefill.energy);
+    std::printf("  decode:  %6.2f s at %4.1f W (%5.1f J)  "
+                "-> decode is %.1f%% of latency\n",
+                r.decode.seconds, r.decode.avgPower, r.decode.energy,
+                100.0 * r.decode.seconds / r.totalSeconds());
+
+    // --- The fitted analytical models (Section IV). ---
+    const auto &c = er.characterization(model::ModelId::Dsr1Qwen14B);
+    std::printf("\nfitted models: L_prefill = %.2e*I^2 + %.2e*I + "
+                "%.3f;  TBT = %.2e*ctx + %.4f s\n",
+                c.latency.prefill.a, c.latency.prefill.b,
+                c.latency.prefill.c, c.latency.decode.m,
+                c.latency.decode.n);
+
+    // --- Evaluate a strategy on the benchmark. ---
+    strategy::InferenceStrategy strat;
+    strat.model = model::ModelId::Dsr1Qwen14B;
+    strat.policy = strategy::TokenPolicy::hard(256);
+    const auto rep = er.evaluate(strat, acc::Dataset::MmluRedux,
+                                 /*question_limit=*/1000);
+    std::printf("\n%s on MMLU-Redux (1k questions): %.1f%% accuracy, "
+                "%.0f toks/Q, %.1f s/Q, $%.3f/1M tokens (energy)\n",
+                strat.label().c_str(), rep.accuracyPct, rep.avgTokens,
+                rep.avgLatency, rep.cost.energyPerMTok);
+
+    // --- Let the planner pick a configuration for a 5 s deadline. ---
+    core::PlanRequest req;
+    req.dataset = acc::Dataset::MmluRedux;
+    req.latencyBudget = 5.0;
+    req.sampleQuestions = 300;
+    const auto plan = er.plan(req);
+    if (plan) {
+        std::printf("\nplanner @ 5 s budget: %s "
+                    "(max %lld decodable tokens, predicted %.1f%% at "
+                    "%.2f s)\n",
+                    plan->strategy.label().c_str(),
+                    static_cast<long long>(plan->maxTokenBudget),
+                    plan->predicted.accuracyPct,
+                    plan->predicted.avgLatency);
+    }
+    return 0;
+}

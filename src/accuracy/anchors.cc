@@ -1,0 +1,245 @@
+#include "accuracy/anchors.hh"
+
+namespace edgereason {
+namespace acc {
+
+using model::ModelId;
+using strategy::TokenPolicy;
+
+namespace {
+
+using A = AccuracyAnchor;
+
+std::vector<A>
+mmluRedux(ModelId id, bool quantized)
+{
+    if (quantized) {
+        // Table X, quantized rows (base configuration only).
+        switch (id) {
+          case ModelId::Dsr1Qwen1_5B:
+            return {{TokenPolicy::base(), 698.5, 37.9, false}};
+          case ModelId::Dsr1Llama8B:
+            return {{TokenPolicy::base(), 549.1, 57.9, false}};
+          case ModelId::Dsr1Qwen14B:
+            return {{TokenPolicy::base(), 1235.8, 80.1, false}};
+          default:
+            return {};
+        }
+    }
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B: // Tables X + XI
+        return {
+            {TokenPolicy::base(), 740.2, 38.3, false},
+            {TokenPolicy::soft(128), 1474.0, 35.5, false},
+            {TokenPolicy::soft(256), 734.8, 39.4, false},
+            {TokenPolicy::noReasoning(), 234.9, 41.0, false},
+            {TokenPolicy::hard(128), 91.5, 15.9, false},
+            {TokenPolicy::hard(256), 144.1, 23.2, false},
+        };
+      case ModelId::Dsr1Llama8B:
+        return {
+            {TokenPolicy::base(), 811.1, 61.7, false},
+            {TokenPolicy::soft(128), 437.0, 60.4, false},
+            {TokenPolicy::soft(256), 933.0, 64.3, false},
+            {TokenPolicy::noReasoning(), 182.9, 51.0, false},
+            {TokenPolicy::hard(128), 76.3, 37.9, false},
+            {TokenPolicy::hard(256), 143.6, 41.2, false},
+        };
+      case ModelId::Dsr1Qwen14B:
+        return {
+            {TokenPolicy::base(), 1317.8, 80.6, false},
+            {TokenPolicy::soft(128), 599.0, 76.9, false},
+            {TokenPolicy::soft(256), 374.2, 77.2, false},
+            {TokenPolicy::noReasoning(), 180.7, 69.0, false},
+            {TokenPolicy::hard(128), 78.2, 46.1, false},
+            {TokenPolicy::hard(256), 112.9, 58.6, false},
+        };
+      case ModelId::L1Max: // Table XI; L1 budgets adhere tightly
+        return {
+            {TokenPolicy::base(), 312.6, 43.8, false},
+            {TokenPolicy::soft(128), 54.3, 17.8, false},
+            {TokenPolicy::soft(256), 62.3, 17.1, false},
+            {TokenPolicy::hard(128), 40.7, 16.2, false},
+            {TokenPolicy::hard(256), 48.9, 18.3, false},
+        };
+      case ModelId::Qwen25_7BIt: // Table X "Direct"
+        return {{TokenPolicy::base(), 40.2, 60.9, false}};
+      case ModelId::Gemma7BIt:
+        return {{TokenPolicy::base(), 44.7, 33.9, false}};
+      case ModelId::Llama31_8BIt:
+        return {{TokenPolicy::base(), 63.5, 58.3, false}};
+      case ModelId::Qwen25_1_5BIt:
+        // Shown in Fig. 7 but not tabulated; estimated from public
+        // Qwen2.5-1.5B-Instruct MMLU-Redux results.
+        return {{TokenPolicy::base(), 36.0, 46.0, true}};
+      case ModelId::Qwen25_14BIt:
+        // Likewise estimated (Fig. 7c mentions the model; Table X
+        // omits it).
+        return {{TokenPolicy::base(), 42.0, 74.5, true}};
+      default:
+        return {};
+    }
+}
+
+std::vector<A>
+mmluFull(ModelId id, bool quantized)
+{
+    // Table XII (15k questions).
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+        if (quantized) {
+            return {
+                {TokenPolicy::base(), 984.4, 37.73, false},
+                {TokenPolicy::hard(128), 86.9, 24.60, false},
+                {TokenPolicy::hard(256), 120.4, 29.10, false},
+            };
+        }
+        return {
+            {TokenPolicy::base(), 1141.6, 41.67, false},
+            {TokenPolicy::hard(128), 88.7, 24.60, false},
+            {TokenPolicy::hard(256), 113.7, 29.60, false},
+        };
+      case ModelId::Dsr1Llama8B:
+        if (quantized) {
+            return {
+                {TokenPolicy::base(), 455.4, 60.44, false},
+                {TokenPolicy::hard(128), 97.7, 32.10, false},
+                {TokenPolicy::hard(256), 157.1, 43.50, false},
+            };
+        }
+        return {
+            {TokenPolicy::base(), 345.6, 60.38, false},
+            {TokenPolicy::hard(128), 101.5, 31.03, false},
+            {TokenPolicy::hard(256), 169.3, 41.80, false},
+        };
+      case ModelId::Dsr1Qwen14B:
+        if (quantized) {
+            return {
+                {TokenPolicy::base(), 1148.4, 86.69, false},
+                {TokenPolicy::hard(128), 109.6, 27.10, false},
+                {TokenPolicy::hard(256), 162.0, 37.10, false},
+            };
+        }
+        return {
+            {TokenPolicy::base(), 1145.4, 86.59, false},
+            {TokenPolicy::hard(128), 193.4, 28.30, false},
+            {TokenPolicy::hard(256), 185.7, 37.70, false},
+        };
+      default:
+        return {};
+    }
+}
+
+std::vector<A>
+naturalPlan(ModelId id, Dataset d, bool quantized)
+{
+    if (quantized)
+        return {};
+    // Tables XIII (baseline), XIV (NR + hard 512, encoded as hard(512))
+    // and XV (direct models).
+    switch (d) {
+      case Dataset::NaturalPlanCalendar:
+        switch (id) {
+          case ModelId::Dsr1Qwen1_5B:
+            return {{TokenPolicy::base(), 2792, 0.60, false},
+                    {TokenPolicy::hard(512), 511, 2.00, false}};
+          case ModelId::Dsr1Llama8B:
+            return {{TokenPolicy::base(), 2798, 9.00, false},
+                    {TokenPolicy::hard(512), 67, 8.10, false}};
+          case ModelId::Dsr1Qwen14B:
+            return {{TokenPolicy::base(), 2297, 11.70, false},
+                    {TokenPolicy::hard(512), 40, 12.60, false}};
+          case ModelId::Qwen25_1_5BIt:
+            return {{TokenPolicy::base(), 22, 5.30, false}};
+          case ModelId::Qwen25_14BIt:
+            return {{TokenPolicy::base(), 28, 31.90, false}};
+          default:
+            return {};
+        }
+      case Dataset::NaturalPlanMeeting:
+        switch (id) {
+          case ModelId::Dsr1Qwen1_5B:
+            return {{TokenPolicy::base(), 3880, 1.00, false},
+                    {TokenPolicy::hard(512), 425, 1.90, false}};
+          case ModelId::Dsr1Llama8B:
+            return {{TokenPolicy::base(), 2866, 10.00, false},
+                    {TokenPolicy::hard(512), 284, 11.90, false}};
+          case ModelId::Dsr1Qwen14B:
+            return {{TokenPolicy::base(), 1494, 19.30, false},
+                    {TokenPolicy::hard(512), 341, 19.00, false}};
+          case ModelId::Qwen25_1_5BIt:
+            return {{TokenPolicy::base(), 271, 9.40, false}};
+          case ModelId::Qwen25_14BIt:
+            return {{TokenPolicy::base(), 283, 27.20, false}};
+          default:
+            return {};
+        }
+      case Dataset::NaturalPlanTrip:
+        switch (id) {
+          case ModelId::Dsr1Qwen1_5B:
+            return {{TokenPolicy::base(), 2490, 1.25, false},
+                    {TokenPolicy::hard(512), 507, 0.00, false}};
+          case ModelId::Dsr1Llama8B:
+            return {{TokenPolicy::base(), 2251, 7.88, false},
+                    {TokenPolicy::hard(512), 398, 3.90, false}};
+          case ModelId::Dsr1Qwen14B:
+            return {{TokenPolicy::base(), 2340, 13.88, false},
+                    {TokenPolicy::hard(512), 380, 10.90, false}};
+          case ModelId::Qwen25_1_5BIt:
+            return {{TokenPolicy::base(), 242, 2.50, false}};
+          case ModelId::Qwen25_14BIt:
+            return {{TokenPolicy::base(), 259, 6.44, false}};
+          default:
+            return {};
+        }
+      default:
+        return {};
+    }
+}
+
+std::vector<A>
+math(ModelId id, Dataset d, bool quantized)
+{
+    if (quantized)
+        return {};
+    // Table III: DeepScaleR-1.5B, used for the edge-vs-cloud cost
+    // study.  AIME2024 token count derives from the paper's profiling
+    // (195,624 tokens over 30 questions).
+    if (id != ModelId::DeepScaleR1_5B)
+        return {};
+    if (d == Dataset::Aime2024)
+        return {{TokenPolicy::base(), 6520.8, 43.1, false}};
+    if (d == Dataset::Math500)
+        return {{TokenPolicy::base(), 2600.0, 87.8, true}};
+    return {};
+}
+
+} // namespace
+
+std::vector<AccuracyAnchor>
+anchors(ModelId id, Dataset dataset, bool quantized)
+{
+    switch (dataset) {
+      case Dataset::MmluRedux:
+        return mmluRedux(id, quantized);
+      case Dataset::Mmlu:
+        return mmluFull(id, quantized);
+      case Dataset::NaturalPlanCalendar:
+      case Dataset::NaturalPlanMeeting:
+      case Dataset::NaturalPlanTrip:
+        return naturalPlan(id, dataset, quantized);
+      case Dataset::Aime2024:
+      case Dataset::Math500:
+        return math(id, dataset, quantized);
+    }
+    return {};
+}
+
+bool
+hasAnchors(ModelId id, Dataset dataset, bool quantized)
+{
+    return !anchors(id, dataset, quantized).empty();
+}
+
+} // namespace acc
+} // namespace edgereason

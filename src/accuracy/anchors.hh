@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Published accuracy/length observations embedded as calibration
+ * anchors: Tables X and XI (MMLU-Redux), Table XII (full MMLU),
+ * Tables XIII-XV (Natural-Plan) and the DeepScaleR results of
+ * Table III.  The behavioural response model is fitted through these
+ * anchors (see profile.hh), so simulated aggregate accuracies match the
+ * paper at every published configuration and interpolate elsewhere.
+ */
+
+#ifndef EDGEREASON_ACCURACY_ANCHORS_HH
+#define EDGEREASON_ACCURACY_ANCHORS_HH
+
+#include <vector>
+
+#include "accuracy/dataset.hh"
+#include "model/model_id.hh"
+#include "strategy/policy.hh"
+
+namespace edgereason {
+namespace acc {
+
+/** One published (configuration, avg tokens, accuracy) observation. */
+struct AccuracyAnchor
+{
+    strategy::TokenPolicy policy;
+    double avgTokens = 0.0;  //!< average decoded tokens per question
+    double accuracyPct = 0.0;
+    bool estimated = false;  //!< true when not published (see notes)
+};
+
+/**
+ * @return the anchors for a (model, dataset, precision) combination;
+ * empty if the paper does not evaluate that combination.
+ */
+std::vector<AccuracyAnchor> anchors(model::ModelId id, Dataset dataset,
+                                    bool quantized);
+
+/** @return true if the combination has at least one anchor. */
+bool hasAnchors(model::ModelId id, Dataset dataset, bool quantized);
+
+} // namespace acc
+} // namespace edgereason
+
+#endif // EDGEREASON_ACCURACY_ANCHORS_HH

@@ -1,0 +1,125 @@
+#include "accuracy/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace acc {
+
+const char *
+datasetName(Dataset d)
+{
+    switch (d) {
+      case Dataset::MmluRedux:
+        return "MMLU-Redux";
+      case Dataset::Mmlu:
+        return "MMLU";
+      case Dataset::Aime2024:
+        return "AIME2024";
+      case Dataset::Math500:
+        return "MATH500";
+      case Dataset::NaturalPlanCalendar:
+        return "NaturalPlan-calendar";
+      case Dataset::NaturalPlanMeeting:
+        return "NaturalPlan-meeting";
+      case Dataset::NaturalPlanTrip:
+        return "NaturalPlan-trip";
+    }
+    panic("unknown dataset");
+}
+
+DatasetInfo
+datasetInfo(Dataset d)
+{
+    DatasetInfo i;
+    switch (d) {
+      case Dataset::MmluRedux:
+        i.questionCount = 3000;
+        i.choices = 4;
+        i.guessFloor = 0.25;
+        i.meanPromptTokens = 170;
+        break;
+      case Dataset::Mmlu:
+        i.questionCount = 15042;
+        i.choices = 4;
+        i.guessFloor = 0.25;
+        i.meanPromptTokens = 170;
+        break;
+      case Dataset::Aime2024:
+        i.questionCount = 30;
+        i.choices = 0;
+        i.guessFloor = 0.0;
+        i.difficultySpread = 1.0;
+        i.meanPromptTokens = 120;
+        break;
+      case Dataset::Math500:
+        i.questionCount = 500;
+        i.choices = 0;
+        i.guessFloor = 0.0;
+        i.meanPromptTokens = 110;
+        break;
+      case Dataset::NaturalPlanCalendar:
+        i.questionCount = 1000;
+        i.choices = 0;
+        i.guessFloor = 0.0;
+        i.difficultySpread = 1.0;
+        i.meanPromptTokens = 450;
+        break;
+      case Dataset::NaturalPlanMeeting:
+        i.questionCount = 1000;
+        i.choices = 0;
+        i.guessFloor = 0.0;
+        i.difficultySpread = 1.0;
+        i.meanPromptTokens = 620;
+        break;
+      case Dataset::NaturalPlanTrip:
+        i.questionCount = 1600;
+        i.choices = 0;
+        i.guessFloor = 0.0;
+        i.difficultySpread = 1.0;
+        i.meanPromptTokens = 480;
+        break;
+    }
+    return i;
+}
+
+QuestionBank::QuestionBank(Dataset d, std::uint64_t seed)
+    : dataset_(d), info_(datasetInfo(d))
+{
+    Rng rng(seed, std::string("question-bank/") + datasetName(d));
+    questions_.reserve(info_.questionCount);
+    for (std::size_t q = 0; q < info_.questionCount; ++q) {
+        Question question;
+        question.id = static_cast<int>(q);
+        question.difficulty = rng.gaussian(0.0, info_.difficultySpread);
+        question.promptTokens = std::max<Tokens>(
+            16, static_cast<Tokens>(std::llround(rng.logNormalMeanStd(
+                info_.meanPromptTokens,
+                info_.promptCv * info_.meanPromptTokens))));
+        if (info_.choices > 1) {
+            question.correctChoice = static_cast<int>(
+                rng.uniformInt(0, info_.choices - 1));
+            // Trap distractor: any wrong choice; parse failures
+            // systematically land here (see simulate.hh).
+            question.trapChoice = static_cast<int>(
+                rng.uniformInt(0, info_.choices - 2));
+            if (question.trapChoice >= question.correctChoice)
+                ++question.trapChoice;
+        }
+        questions_.push_back(question);
+    }
+}
+
+std::vector<Question>
+QuestionBank::subset(std::size_t n) const
+{
+    fatal_if(n == 0, "empty subset requested");
+    n = std::min(n, questions_.size());
+    return std::vector<Question>(questions_.begin(),
+                                 questions_.begin() +
+                                     static_cast<std::ptrdiff_t>(n));
+}
+
+} // namespace acc
+} // namespace edgereason

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Benchmark datasets of the study: MMLU-Redux (3,000 multiple-choice
+ * questions, the main benchmark), full MMLU (15k), AIME-2024 and MATH500
+ * (free-form math, used in the cost study), and the three Natural-Plan
+ * planning tasks.  Questions are synthetic: each carries a difficulty
+ * drawn from the dataset's distribution and a prompt length drawn from
+ * its length distribution, which is all the aggregate analyses consume.
+ */
+
+#ifndef EDGEREASON_ACCURACY_DATASET_HH
+#define EDGEREASON_ACCURACY_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace edgereason {
+namespace acc {
+
+/** The benchmarks used across the paper. */
+enum class Dataset {
+    MmluRedux,
+    Mmlu,
+    Aime2024,
+    Math500,
+    NaturalPlanCalendar,
+    NaturalPlanMeeting,
+    NaturalPlanTrip,
+};
+
+/** @return display name of a dataset. */
+const char *datasetName(Dataset d);
+
+/** Static properties of a dataset. */
+struct DatasetInfo
+{
+    std::size_t questionCount = 0;
+    /** Multiple-choice option count; 0 for free-form grading. */
+    int choices = 0;
+    /** Random-guess accuracy (1/choices for MCQ, 0 for free-form). */
+    double guessFloor = 0.0;
+    /** Difficulty distribution spread (difficulties ~ N(0, spread)). */
+    double difficultySpread = 1.3;
+    /** Mean prompt length in tokens. */
+    double meanPromptTokens = 0.0;
+    /** Prompt length coefficient of variation. */
+    double promptCv = 0.35;
+};
+
+/** @return static properties of a dataset. */
+DatasetInfo datasetInfo(Dataset d);
+
+/** One synthetic benchmark question. */
+struct Question
+{
+    int id = 0;
+    double difficulty = 0.0; //!< IRT difficulty (N(0, spread))
+    Tokens promptTokens = 0;
+    /** Index of the correct choice (MCQ) within [0, choices). */
+    int correctChoice = 0;
+    /** Index of the "trap" distractor that parse failures land on. */
+    int trapChoice = 1;
+};
+
+/**
+ * Deterministic question bank for a dataset: the same seed always
+ * produces the same questions, so accuracy evaluations are reproducible
+ * across runs and processes.
+ */
+class QuestionBank
+{
+  public:
+    /** Generate the full bank for a dataset. */
+    explicit QuestionBank(Dataset d, std::uint64_t seed = 7);
+
+    /** @return the dataset identity. */
+    Dataset dataset() const { return dataset_; }
+    /** @return dataset properties. */
+    const DatasetInfo &info() const { return info_; }
+    /** @return all questions. */
+    const std::vector<Question> &questions() const { return questions_; }
+
+    /**
+     * @return a deterministic subset of @p n questions (the paper uses
+     * 150-question and 3,000-question subsets of the same pool).
+     */
+    std::vector<Question> subset(std::size_t n) const;
+
+  private:
+    Dataset dataset_;
+    DatasetInfo info_;
+    std::vector<Question> questions_;
+};
+
+} // namespace acc
+} // namespace edgereason
+
+#endif // EDGEREASON_ACCURACY_DATASET_HH

@@ -1,0 +1,122 @@
+#include "accuracy/scaling_law.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/distributions.hh"
+#include "common/linalg.hh"
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace acc {
+
+double
+populationAccuracy(double ability, double guess, double spread)
+{
+    fatal_if(guess < 0.0 || guess >= 1.0, "guess floor out of [0, 1)");
+    fatal_if(spread <= 0.0, "difficulty spread must be positive");
+    // 61-point trapezoid over +-5 sigma; the integrand is smooth.
+    const int n = 61;
+    const double lo = -5.0 * spread;
+    const double hi = 5.0 * spread;
+    const double h = (hi - lo) / (n - 1);
+    double acc = 0.0;
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double d = lo + h * i;
+        const double wgt = std::exp(-d * d / (2.0 * spread * spread)) *
+            ((i == 0 || i == n - 1) ? 0.5 : 1.0);
+        acc += wgt * logistic(ability - d);
+        norm += wgt;
+    }
+    return guess + (1.0 - guess) * acc / norm;
+}
+
+double
+abilityForAccuracy(double accuracy, double guess, double spread)
+{
+    fatal_if(accuracy >= 1.0, "accuracy must be < 1");
+    const double floor_ability = -30.0;
+    if (accuracy <= guess + 1e-9)
+        return floor_ability;
+    double lo = floor_ability;
+    double hi = 30.0;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (populationAccuracy(mid, guess, spread) < accuracy)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+AbilityCurve::operator()(double tokens) const
+{
+    return aInf - b * std::exp(-tokens / tau);
+}
+
+AbilityCurve
+fitAbilityCurve(const std::vector<std::pair<double, double>> &points,
+                double tau_min, double tau_max)
+{
+    fatal_if(points.empty(), "fitAbilityCurve: no points");
+
+    AbilityCurve curve;
+    if (points.size() == 1) {
+        curve.aInf = points[0].second;
+        curve.b = 0.0;
+        return curve;
+    }
+
+    const int grid = points.size() == 2 ? 1 : 120;
+    double best_err = std::numeric_limits<double>::infinity();
+    const double log_lo = std::log(tau_min);
+    const double log_hi = std::log(tau_max);
+
+    for (int g = 0; g < grid; ++g) {
+        const double tau = grid == 1
+            ? std::sqrt(tau_min * tau_max)
+            : std::exp(log_lo + (log_hi - log_lo) * g / (grid - 1));
+        Matrix design(points.size(), 2);
+        std::vector<double> y;
+        y.reserve(points.size());
+        for (std::size_t r = 0; r < points.size(); ++r) {
+            design.at(r, 0) = 1.0;
+            design.at(r, 1) = -std::exp(-points[r].first / tau);
+            y.push_back(points[r].second);
+        }
+        std::vector<double> beta;
+        try {
+            beta = leastSquares(design, y);
+        } catch (const std::exception &) {
+            continue;
+        }
+        if (beta[1] < 0.0) {
+            // Ability must not decrease with tokens; degrade to the
+            // least-squares constant for this tau.
+            double m = 0.0;
+            for (const auto &p : points)
+                m += p.second;
+            beta = {m / static_cast<double>(points.size()), 0.0};
+        }
+        double err = 0.0;
+        for (const auto &p : points) {
+            const double pred = beta[0] -
+                beta[1] * std::exp(-p.first / tau);
+            err += (pred - p.second) * (pred - p.second);
+        }
+        if (err < best_err) {
+            best_err = err;
+            curve.aInf = beta[0];
+            curve.b = beta[1];
+            curve.tau = tau;
+        }
+    }
+    fatal_if(!std::isfinite(best_err), "fitAbilityCurve failed");
+    return curve;
+}
+
+} // namespace acc
+} // namespace edgereason

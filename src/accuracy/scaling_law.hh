@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Item-response machinery for the behavioural accuracy model.  A model
+ * configuration has a scalar "ability"; a question has a difficulty
+ * drawn from its dataset's distribution; the per-question probability of
+ * a correct sample is guess + (1 - guess) * logistic(ability -
+ * difficulty).  Sequential test-time scaling (Section V-C) enters as a
+ * saturating ability-versus-tokens curve a(t) = aInf - b e^{-t/tau},
+ * which produces the paper's diminishing-returns accuracy curves.
+ */
+
+#ifndef EDGEREASON_ACCURACY_SCALING_LAW_HH
+#define EDGEREASON_ACCURACY_SCALING_LAW_HH
+
+#include <utility>
+#include <vector>
+
+namespace edgereason {
+namespace acc {
+
+/**
+ * Dataset-average accuracy of a configuration with the given ability:
+ * E over difficulties d ~ N(0, spread) of guess + (1-guess) *
+ * logistic(ability - d).  Computed by quadrature.
+ */
+double populationAccuracy(double ability, double guess, double spread);
+
+/**
+ * Invert populationAccuracy for a target accuracy in (guess, 1).
+ * Values at or below the guess floor map to a strongly negative
+ * ability; values at or above 1 are rejected.
+ */
+double abilityForAccuracy(double accuracy, double guess, double spread);
+
+/** Saturating ability curve a(t) = aInf - b e^{-t / tau}, b >= 0. */
+struct AbilityCurve
+{
+    double aInf = 0.0;
+    double b = 0.0;
+    double tau = 500.0;
+
+    /** Evaluate at a token count. */
+    double operator()(double tokens) const;
+};
+
+/**
+ * Fit the ability curve through (tokens, ability) points.  tau is
+ * profiled over a logarithmic grid; aInf and b are then linear.  With
+ * one point the curve is constant; with two the fit is exact at a fixed
+ * mid-range tau.  b is clamped to >= 0 so ability never decreases with
+ * tokens (non-monotone anchor sets degrade to a least-squares constant).
+ */
+AbilityCurve fitAbilityCurve(
+    const std::vector<std::pair<double, double>> &points,
+    double tau_min = 40.0, double tau_max = 4000.0);
+
+} // namespace acc
+} // namespace edgereason
+
+#endif // EDGEREASON_ACCURACY_SCALING_LAW_HH

@@ -1,0 +1,174 @@
+#include "accuracy/simulate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/distributions.hh"
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace acc {
+
+ResponseSimulator::ResponseSimulator(const ResponseProfile &profile,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      rng_(seed, std::string("simulate/") +
+                     model::modelName(profile.modelId()) +
+                     (profile.quantized() ? "/w4/" : "/fp16/") +
+                     datasetName(profile.dataset()))
+{
+}
+
+Tokens
+ResponseSimulator::drawLength(const ConfigBehavior &cfg, Rng &rng) const
+{
+    const double cv = profile_.lengthCv();
+    double mean = cfg.meanTokens;
+    Tokens cap = 0;
+    if (cfg.policy.isHardCapped() && cfg.policy.budget > 0) {
+        cap = cfg.policy.budget;
+        if (mean < cap) {
+            // Inflate the uncapped mean so the capped mean matches the
+            // published average.
+            mean = solveLogNormalMeanForCap(mean, cv,
+                                            static_cast<double>(cap));
+        }
+    }
+    double len = rng.logNormalMeanStd(std::max(4.0, mean),
+                                      cv * std::max(4.0, mean));
+    if (cap > 0)
+        len = std::min(len, static_cast<double>(cap));
+    return std::max<Tokens>(4, static_cast<Tokens>(std::llround(len)));
+}
+
+QuestionOutcome
+ResponseSimulator::simulateQuestion(const Question &q,
+                                    const strategy::TokenPolicy &policy,
+                                    int parallel)
+{
+    fatal_if(parallel < 1, "parallel factor must be >= 1");
+    const ConfigBehavior cfg = profile_.resolve(policy);
+    const double p = profile_.sampleCorrectProb(cfg, q.difficulty);
+    const double rho = rho_override_.value_or(
+        profile_.sampleCorrelation());
+    const int choices = profile_.info().choices;
+
+    QuestionOutcome out;
+    out.promptTokens = q.promptTokens;
+    out.samples = parallel;
+
+    // Gaussian copula: question-level latents shared by all samples,
+    // mixed with per-sample noise by rho.  Every stochastic aspect of
+    // a sample (correctness, parseability, which wrong answer) runs
+    // through the copula so that rho = 1 makes parallel samples fully
+    // identical (the voting ablation relies on this).
+    const double z_corr = rng_.gaussian(0.0, 1.0);
+    const double z_fail = rng_.gaussian(0.0, 1.0);
+    const double z_wrong = rng_.gaussian(0.0, 1.0);
+    const double thresh =
+        p <= 0.0 ? -40.0 : (p >= 1.0 ? 40.0 : normInv(p));
+    const double fail_thresh = cfg.parseFail <= 0.0 ? -40.0
+        : (cfg.parseFail >= 1.0 ? 40.0 : normInv(cfg.parseFail));
+    const double sq_rho = std::sqrt(rho);
+    const double sq_com = std::sqrt(1.0 - rho);
+
+    // Votes: choice index for MCQ; for free-form, 0 means the correct
+    // answer and distinct negatives are non-matching wrong answers.
+    std::map<int, int> votes;
+    for (int s = 0; s < parallel; ++s) {
+        const double latent = sq_rho * z_corr +
+            sq_com * rng_.gaussian(0.0, 1.0);
+        const bool correct_sample = latent <= thresh;
+        const bool invalid = sq_rho * z_fail +
+            sq_com * rng_.gaussian(0.0, 1.0) <= fail_thresh;
+        const double wrong_u = normCdf(
+            sq_rho * z_wrong + sq_com * rng_.gaussian(0.0, 1.0));
+
+        const Tokens len = drawLength(cfg, rng_);
+        out.maxTokens = std::max(out.maxTokens, len);
+        out.sumTokens += static_cast<double>(len);
+
+        // Wrong-choice selection from the correlated uniform.
+        const auto wrong_choice = [&](double u) {
+            int w = std::min(choices - 2,
+                             static_cast<int>(u * (choices - 1)));
+            if (w >= q.correctChoice)
+                ++w;
+            return w;
+        };
+
+        int vote;
+        if (choices > 1) {
+            if (invalid) {
+                // Truncated outputs are unparseable.  Extraction
+                // latches onto the question's systematic trap
+                // distractor part of the time and otherwise yields a
+                // (correlated) wrong choice; the systematic component
+                // is what makes voting degrade for weak truncated
+                // configs at large scaling factors (Fig. 9a).
+                vote = wrong_u < trapConcentration
+                    ? q.trapChoice
+                    : wrong_choice(
+                          (wrong_u - trapConcentration) /
+                          (1.0 - trapConcentration));
+            } else if (correct_sample) {
+                vote = q.correctChoice;
+            } else {
+                vote = wrong_choice(wrong_u);
+            }
+        } else {
+            // Free-form: wrong/invalid answers are pairwise distinct
+            // across samples unless fully correlated, in which case
+            // they repeat the same (wrong) answer.
+            if (!invalid && correct_sample)
+                vote = 0;
+            else
+                vote = rho >= 1.0 ? -1 : -(s + 1);
+        }
+        ++votes[vote];
+    }
+
+    // Plurality with random tie-break.
+    int best_count = 0;
+    for (const auto &[v, c] : votes)
+        best_count = std::max(best_count, c);
+    std::vector<int> leaders;
+    for (const auto &[v, c] : votes) {
+        if (c == best_count)
+            leaders.push_back(v);
+    }
+    const int winner = leaders[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<std::int64_t>(leaders.size()) -
+                               1))];
+    const int correct_vote = choices > 1 ? q.correctChoice : 0;
+    out.correct = winner == correct_vote;
+    return out;
+}
+
+EvalAccuracy
+ResponseSimulator::evaluate(const std::vector<Question> &questions,
+                            const strategy::TokenPolicy &policy,
+                            int parallel)
+{
+    fatal_if(questions.empty(), "evaluate: empty question set");
+    EvalAccuracy agg;
+    agg.questions = questions.size();
+    double correct = 0.0;
+    for (const auto &q : questions) {
+        const QuestionOutcome o = simulateQuestion(q, policy, parallel);
+        correct += o.correct ? 1.0 : 0.0;
+        agg.avgMaxTokens += static_cast<double>(o.maxTokens);
+        agg.avgSumTokens += o.sumTokens;
+        agg.avgPromptTokens += static_cast<double>(o.promptTokens);
+    }
+    const double n = static_cast<double>(questions.size());
+    agg.accuracyPct = 100.0 * correct / n;
+    agg.avgMaxTokens /= n;
+    agg.avgSumTokens /= n;
+    agg.avgPromptTokens /= n;
+    return agg;
+}
+
+} // namespace acc
+} // namespace edgereason

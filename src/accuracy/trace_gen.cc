@@ -1,0 +1,96 @@
+#include "accuracy/trace_gen.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "engine/tokenizer.hh"
+
+namespace edgereason {
+namespace acc {
+
+std::string
+ResponseTrace::fullText() const
+{
+    return "<think>\n" + thinking + "\n</think>\n" + answer;
+}
+
+namespace {
+
+const std::array<const char *, 10> openers = {
+    "Okay, let me work through this carefully.",
+    "Let me start by restating what is being asked.",
+    "First, I need to identify the key constraints here.",
+    "Hmm, this requires a couple of steps.",
+    "Let me break the problem into parts.",
+    "To answer this, I should consider each option in turn.",
+    "The question hinges on one central fact.",
+    "I'll reason step by step before committing to an answer.",
+    "There are a few plausible interpretations; let me compare them.",
+    "Let me recall the relevant background first.",
+};
+
+const std::array<const char *, 12> middles = {
+    "If that premise holds, the next step follows directly.",
+    "Wait, I should double-check that assumption before moving on.",
+    "Comparing the alternatives, one of them is clearly stronger.",
+    "That rules out two of the options immediately.",
+    "On reflection, the earlier estimate was slightly off.",
+    "This is consistent with what the constraints imply.",
+    "Another way to see it is to work backwards from the result.",
+    "Taking the edge cases into account does not change the outcome.",
+    "The intermediate result simplifies nicely.",
+    "Actually, there is a subtlety here worth a second look.",
+    "Putting these pieces together narrows things down.",
+    "A quick sanity check confirms the direction.",
+};
+
+const std::array<const char *, 4> closers = {
+    "So, putting it all together, the conclusion is clear.",
+    "Therefore the reasoning converges on a single choice.",
+    "All the evidence points the same way.",
+    "That settles it.",
+};
+
+} // namespace
+
+ResponseTrace
+generateTrace(const std::string &question,
+              const strategy::TokenPolicy &policy, Tokens target_tokens,
+              Rng &rng)
+{
+    fatal_if(target_tokens < 4, "trace needs >= 4 tokens");
+    const engine::Tokenizer tok;
+    ResponseTrace trace;
+
+    trace.answer = "The answer is (" +
+        std::string(1, static_cast<char>('A' + rng.uniformInt(0, 3))) +
+        ").";
+
+    if (policy.kind == strategy::PolicyKind::NoReasoning) {
+        // The paper's NR injection: a predefined empty thinking block.
+        trace.thinking = "Okay, I think I have finished thinking.";
+    } else {
+        // Weave sentences until the budget is nearly exhausted.
+        std::string think = "The question: " + question + "\n";
+        think += openers[static_cast<std::size_t>(
+            rng.uniformInt(0, openers.size() - 1))];
+        const Tokens reserve = 24; // answer + delimiters
+        while (static_cast<Tokens>(tok.countTokens(think)) + reserve <
+               target_tokens) {
+            think += " ";
+            think += middles[static_cast<std::size_t>(
+                rng.uniformInt(0, middles.size() - 1))];
+        }
+        think += " ";
+        think += closers[static_cast<std::size_t>(
+            rng.uniformInt(0, closers.size() - 1))];
+        trace.thinking = std::move(think);
+    }
+
+    trace.tokens = static_cast<Tokens>(
+        tok.countTokens(trace.fullText()));
+    return trace;
+}
+
+} // namespace acc
+} // namespace edgereason

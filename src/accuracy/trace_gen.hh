@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic reasoning-trace generator: produces chain-of-thought-style
+ * text of a target token length for the demo surface.  The study's
+ * aggregate results never depend on the text itself — only on token
+ * counts and correctness — but examples that stream an answer at
+ * simulated token timing need plausible-looking content, including the
+ * <think> block structure that reasoning distills emit and that the
+ * NR policy short-circuits (Section V's predefined thinking block).
+ */
+
+#ifndef EDGEREASON_ACCURACY_TRACE_GEN_HH
+#define EDGEREASON_ACCURACY_TRACE_GEN_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "strategy/policy.hh"
+
+namespace edgereason {
+namespace acc {
+
+/** A generated response trace. */
+struct ResponseTrace
+{
+    std::string thinking; //!< contents of the <think> block
+    std::string answer;   //!< final answer text
+    Tokens tokens = 0;    //!< total token count (via the tokenizer)
+
+    /** @return the full emitted text including think delimiters. */
+    std::string fullText() const;
+};
+
+/**
+ * Generate a trace for a question under a policy.
+ *
+ * @param question  question text woven into the trace
+ * @param policy  Base/NR/budgeted — controls think-block length
+ * @param target_tokens  approximate total token budget to emit
+ */
+ResponseTrace generateTrace(const std::string &question,
+                            const strategy::TokenPolicy &policy,
+                            Tokens target_tokens, Rng &rng);
+
+} // namespace acc
+} // namespace edgereason
+
+#endif // EDGEREASON_ACCURACY_TRACE_GEN_HH

@@ -1,0 +1,57 @@
+#include "common/csv.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace edgereason {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    fatal_if(!out_, "cannot open CSV file for writing: ", path);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> s;
+    s.reserve(cells.size());
+    for (double v : cells)
+        s.push_back(formatFixed(v, precision));
+    writeRow(s);
+}
+
+void
+CsvWriter::close()
+{
+    out_.close();
+}
+
+} // namespace edgereason

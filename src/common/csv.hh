@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV writer used to export sweep series (the paper's figures) so
+ * results can be re-plotted externally.
+ */
+
+#ifndef EDGEREASON_COMMON_CSV_HH
+#define EDGEREASON_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace edgereason {
+
+/** Streaming CSV writer with quoting for embedded commas/quotes. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing.
+     * @throws std::runtime_error if the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row; cells are quoted as needed. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of doubles with the given precision. */
+    void writeRow(const std::vector<double> &cells, int precision = 9);
+
+    /** Flush and close the file. */
+    void close();
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_CSV_HH

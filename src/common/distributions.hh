@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Probability helpers used by the behavioural accuracy model: standard
+ * normal CDF and inverse CDF, the logistic function, and truncated
+ * log-normal moments (for hard token caps).
+ */
+
+#ifndef EDGEREASON_COMMON_DISTRIBUTIONS_HH
+#define EDGEREASON_COMMON_DISTRIBUTIONS_HH
+
+namespace edgereason {
+
+/** Standard normal CDF. */
+double normCdf(double x);
+
+/**
+ * Inverse standard normal CDF (Acklam's rational approximation refined
+ * with one Halley step; |error| < 1e-9 over (0, 1)).
+ */
+double normInv(double p);
+
+/** Logistic sigmoid 1 / (1 + e^-x). */
+double logistic(double x);
+
+/**
+ * Mean of min(X, cap) for X ~ LogNormal with the given distribution
+ * mean and coefficient of variation (closed form via the normal CDF).
+ */
+double cappedLogNormalMean(double mean, double cv, double cap);
+
+/**
+ * Find the uncapped log-normal mean m such that E[min(X, cap)] equals
+ * @p target_mean (X ~ LogNormal(m, cv * m)).  Returns @p target_mean
+ * unchanged when the cap is far above it.
+ */
+double solveLogNormalMeanForCap(double target_mean, double cv,
+                                double cap);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_DISTRIBUTIONS_HH

@@ -1,0 +1,115 @@
+#include "common/linalg.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+    panic_if(rows == 0 || cols == 0, "degenerate matrix shape");
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    panic_if(r >= rows_ || c >= cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    panic_if(r >= rows_ || c >= cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::transposeTimes(const Matrix &other) const
+{
+    panic_if(rows_ != other.rows_, "transposeTimes: row mismatch");
+    Matrix out(cols_, other.cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = 0; j < other.cols_; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < rows_; ++k)
+                acc += at(k, i) * other.at(k, j);
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::transposeTimesVec(const std::vector<double> &v) const
+{
+    panic_if(rows_ != v.size(), "transposeTimesVec: size mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < rows_; ++k)
+            acc += at(k, i) * v[k];
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+solveLinear(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    panic_if(a.cols() != n, "solveLinear: matrix not square");
+    panic_if(b.size() != n, "solveLinear: rhs size mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col)))
+                pivot = r;
+        }
+        fatal_if(std::abs(a.at(pivot, col)) < 1e-300,
+                 "singular system in solveLinear");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a.at(col, c), a.at(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a.at(r, c) -= f * a.at(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= a.at(i, c) * x[c];
+        x[i] = acc / a.at(i, i);
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const Matrix &x, const std::vector<double> &y)
+{
+    panic_if(x.rows() != y.size(), "leastSquares: size mismatch");
+    fatal_if(x.rows() < x.cols(),
+             "leastSquares: underdetermined system (", x.rows(), " rows, ",
+             x.cols(), " unknowns)");
+    Matrix xtx = x.transposeTimes(x);
+    std::vector<double> xty = x.transposeTimesVec(y);
+    return solveLinear(std::move(xtx), std::move(xty));
+}
+
+} // namespace edgereason

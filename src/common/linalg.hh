@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small dense linear algebra for model fitting: Gaussian elimination with
+ * partial pivoting and ordinary least squares via normal equations.  The
+ * systems that arise in EdgeReasoning are tiny (<= 5 unknowns), so no
+ * effort is spent on blocking or vectorization.
+ */
+
+#ifndef EDGEREASON_COMMON_LINALG_HH
+#define EDGEREASON_COMMON_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace edgereason {
+
+/** Dense row-major matrix, minimal interface for fitting needs. */
+class Matrix
+{
+  public:
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** @return element (r, c), mutable. */
+    double &at(std::size_t r, std::size_t c);
+    /** @return element (r, c). */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** @return number of rows. */
+    std::size_t rows() const { return rows_; }
+    /** @return number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** @return this^T * other. */
+    Matrix transposeTimes(const Matrix &other) const;
+    /** @return this^T * v. */
+    std::vector<double> transposeTimesVec(const std::vector<double> &v)
+        const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the square system A x = b by Gaussian elimination with partial
+ * pivoting.  A is consumed by value.
+ *
+ * @throws std::runtime_error if the system is singular.
+ */
+std::vector<double> solveLinear(Matrix a, std::vector<double> b);
+
+/**
+ * Ordinary least squares: minimize ||X beta - y||^2 where X is the design
+ * matrix.  Solved through the normal equations; adequate for the small,
+ * well-conditioned designs used here.
+ *
+ * @return the coefficient vector beta (size = X.cols()).
+ */
+std::vector<double> leastSquares(const Matrix &x,
+                                 const std::vector<double> &y);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_LINALG_HH

@@ -1,0 +1,37 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace edgereason {
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing (rather than abort()) keeps panics testable with gtest's
+    // EXPECT_THROW while still being fatal in normal control flow.
+    throw std::logic_error(concat("panic: ", file, ":", line, ": ", msg));
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw std::runtime_error(concat("fatal: ", file, ":", line, ": ", msg));
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace edgereason

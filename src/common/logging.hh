@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-handling and status-message helpers in the spirit of gem5's
+ * base/logging.hh.  panic() is for internal invariant violations (bugs in
+ * EdgeReasoning itself); fatal() is for user/configuration errors; warn()
+ * and inform() report non-fatal conditions.
+ */
+
+#ifndef EDGEREASON_COMMON_LOGGING_HH
+#define EDGEREASON_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace edgereason {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate arbitrary streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a bug in this library). */
+#define panic(...)                                                        \
+    ::edgereason::detail::panicImpl(__FILE__, __LINE__,                   \
+        ::edgereason::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define fatal(...)                                                        \
+    ::edgereason::detail::fatalImpl(__FILE__, __LINE__,                   \
+        ::edgereason::detail::concat(__VA_ARGS__))
+
+/** panic() if a condition does not hold. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic("assertion '" #cond "' failed: ", __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+
+/** fatal() if a condition does not hold. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            fatal(__VA_ARGS__);                                           \
+        }                                                                 \
+    } while (0)
+
+/** Report a suspicious but survivable condition. */
+#define warn(...)                                                         \
+    ::edgereason::detail::warnImpl(::edgereason::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...)                                                       \
+    ::edgereason::detail::informImpl(                                     \
+        ::edgereason::detail::concat(__VA_ARGS__))
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_LOGGING_HH

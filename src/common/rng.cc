@@ -1,0 +1,97 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+
+namespace {
+
+/** splitmix64 finalizer, used to spread seed entropy. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : gen_(mix64(seed)), seed_(seed)
+{
+}
+
+Rng::Rng(std::uint64_t seed, std::string_view stream)
+    : Rng(mix64(seed ^ hashString(stream)))
+{
+}
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    panic_if(hi < lo, "uniform bounds inverted");
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    panic_if(hi < lo, "uniformInt bounds inverted");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+double
+Rng::logNormalMeanStd(double mean, double stddev)
+{
+    panic_if(mean <= 0.0, "log-normal mean must be positive");
+    // Convert the distribution's own mean/stddev to the underlying
+    // normal's (mu, sigma).
+    const double cv2 = (stddev / mean) * (stddev / mean);
+    const double sigma2 = std::log1p(cv2);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(gen_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::string_view stream)
+{
+    return Rng(seed_ ^ mix64(hashString(stream)));
+}
+
+std::uint64_t
+Rng::hashString(std::string_view s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+} // namespace edgereason

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic random number generation.  Every stochastic component of
+ * the simulator draws from an Rng derived from a named stream so that runs
+ * are bit-reproducible regardless of evaluation order, and so that adding a
+ * new consumer does not perturb existing streams.
+ */
+
+#ifndef EDGEREASON_COMMON_RNG_HH
+#define EDGEREASON_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace edgereason {
+
+/**
+ * Seeded pseudo-random stream.  Thin wrapper over std::mt19937_64 with the
+ * distributions the simulator needs.  Copyable; copies continue the
+ * sequence independently.
+ */
+class Rng
+{
+  public:
+    /** Construct from a raw 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /**
+     * Construct a named sub-stream.  The stream name is hashed (FNV-1a)
+     * and mixed into the parent seed, giving stable decorrelated streams.
+     *
+     * @param seed  root seed shared by the whole experiment
+     * @param stream  stable stream name, e.g. "decode-noise/DSR1-8B"
+     */
+    Rng(std::uint64_t seed, std::string_view stream);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+    /** @return normal deviate with the given mean and stddev. */
+    double gaussian(double mean, double stddev);
+    /** @return log-normal deviate parameterized by its own mean/stddev. */
+    double logNormalMeanStd(double mean, double stddev);
+    /** @return true with probability p. */
+    bool bernoulli(double p);
+
+    /** Derive a decorrelated child stream. */
+    Rng fork(std::string_view stream);
+
+    /** @return stable 64-bit FNV-1a hash of a string. */
+    static std::uint64_t hashString(std::string_view s);
+
+  private:
+    std::mt19937_64 gen_;
+    std::uint64_t seed_;
+};
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_RNG_HH

@@ -1,0 +1,125 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mape(const std::vector<double> &predicted, const std::vector<double> &actual,
+     double eps)
+{
+    panic_if(predicted.size() != actual.size(),
+             "mape: size mismatch ", predicted.size(), " vs ",
+             actual.size());
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (std::abs(actual[i]) < eps)
+            continue;
+        acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+        ++n;
+    }
+    return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.mean();
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    panic_if(xs.empty(), "percentile of empty vector");
+    panic_if(p < 0.0 || p > 100.0, "percentile out of range: ", p);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &actual)
+{
+    panic_if(predicted.size() != actual.size(), "rSquared: size mismatch");
+    if (actual.empty())
+        return 0.0;
+    const double mu = mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - mu) * (actual[i] - mu);
+    }
+    return ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+}
+
+} // namespace edgereason

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Descriptive statistics used throughout characterization: running
+ * mean/variance accumulators, MAPE (the paper's validation metric for its
+ * analytical models, Tables VI and VIII), and percentile helpers.
+ */
+
+#ifndef EDGEREASON_COMMON_STATS_HH
+#define EDGEREASON_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace edgereason {
+
+/**
+ * Welford running accumulator for mean / variance / extrema.
+ * Numerically stable for long measurement series.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** @return number of samples added. */
+    std::size_t count() const { return n_; }
+    /** @return sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** @return unbiased sample variance (0 when n < 2). */
+    double variance() const;
+    /** @return unbiased sample standard deviation. */
+    double stddev() const;
+    /** @return smallest sample seen. */
+    double min() const { return min_; }
+    /** @return largest sample seen. */
+    double max() const { return max_; }
+    /** @return sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Mean absolute percentage error between predictions and measurements,
+ * in percent.  Entries with |actual| below @p eps are skipped to avoid
+ * division blow-up.
+ */
+double mape(const std::vector<double> &predicted,
+            const std::vector<double> &actual, double eps = 1e-12);
+
+/** Arithmetic mean of a vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation of a vector (0 when n < 2). */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ * @param xs  samples (copied and sorted internally)
+ * @param p  percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Coefficient of determination R^2 of predictions vs actuals. */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &actual);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_STATS_HH

@@ -1,0 +1,140 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+
+std::string
+formatFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    fatal_if(names.empty(), "table header must not be empty");
+    header_ = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    flushPending();
+    fatal_if(cells.size() != header_.size(),
+             "table row width ", cells.size(), " != header width ",
+             header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+Table &
+Table::row()
+{
+    flushPending();
+    row_open_ = true;
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    panic_if(!row_open_, "cell() without row()");
+    pending_.push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(formatFixed(v, precision));
+}
+
+Table &
+Table::cellSci(double v, int precision)
+{
+    return cell(formatSci(v, precision));
+}
+
+Table &
+Table::cell(long long v)
+{
+    return cell(std::to_string(v));
+}
+
+void
+Table::flushPending()
+{
+    if (!row_open_)
+        return;
+    row_open_ = false;
+    std::vector<std::string> cells;
+    cells.swap(pending_);
+    addRow(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    auto *self = const_cast<Table *>(this);
+    self->flushPending();
+
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &r) {
+        os << "|";
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << " " << r[c]
+               << std::string(width[c] - r[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    auto rule = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    rule();
+    print_row(header_);
+    rule();
+    for (const auto &r : rows_)
+        print_row(r);
+    rule();
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace edgereason

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print rows in the
+ * same layout as the paper's tables.  Columns auto-size; numeric cells are
+ * formatted with caller-chosen precision.
+ */
+
+#ifndef EDGEREASON_COMMON_TABLE_HH
+#define EDGEREASON_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edgereason {
+
+/** Column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    /** Construct with a caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row of preformatted cells (must match header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell-by-cell with the helpers below. */
+    Table &row();
+    /** Append a string cell to the row under construction. */
+    Table &cell(const std::string &s);
+    /** Append a numeric cell with fixed precision. */
+    Table &cell(double v, int precision = 3);
+    /** Append a numeric cell in scientific notation. */
+    Table &cellSci(double v, int precision = 2);
+    /** Append an integer cell. */
+    Table &cell(long long v);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+    /** Render to a string. */
+    std::string str() const;
+
+    /** @return number of data rows added. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    void flushPending();
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool row_open_ = false;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatFixed(double v, int precision);
+/** Format a double in scientific notation into a string. */
+std::string formatSci(double v, int precision);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_TABLE_HH

@@ -1,0 +1,39 @@
+#include "common/types.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+
+double
+dtypeWeightBytes(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+        return 4.0;
+      case DType::FP16:
+        return 2.0;
+      case DType::INT8:
+        return 1.0;
+      case DType::W4A16:
+        return 0.5;
+    }
+    panic("unknown dtype");
+}
+
+const char *
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+        return "fp32";
+      case DType::FP16:
+        return "fp16";
+      case DType::INT8:
+        return "int8";
+      case DType::W4A16:
+        return "w4a16";
+    }
+    panic("unknown dtype");
+}
+
+} // namespace edgereason

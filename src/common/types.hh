@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared across all EdgeReasoning
+ * subsystems.  Strong typedefs are intentionally avoided for the physical
+ * quantities (seconds, joules, watts); the aliases below exist to make
+ * signatures self-documenting, matching the notation of the paper
+ * (I = input tokens, O = output tokens, L = latency, P = power, E = energy).
+ */
+
+#ifndef EDGEREASON_COMMON_TYPES_HH
+#define EDGEREASON_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace edgereason {
+
+/** Latency / time in seconds. */
+using Seconds = double;
+/** Power in watts. */
+using Watts = double;
+/** Energy in joules. */
+using Joules = double;
+/** Token count (input length I or output length O). */
+using Tokens = std::int64_t;
+/** Byte count. */
+using Bytes = std::int64_t;
+/** Floating-point operation count. */
+using Flops = double;
+/** US dollars. */
+using Dollars = double;
+
+/** Inference phase, the paper's central decomposition (Section IV-A). */
+enum class Phase { Prefill, Decode };
+
+/** @return a human-readable name for a phase. */
+inline const char *
+phaseName(Phase p)
+{
+    return p == Phase::Prefill ? "prefill" : "decode";
+}
+
+/** Numeric formats relevant to the study (Section V-F). */
+enum class DType {
+    FP32,
+    FP16,
+    INT8,
+    /** W4A16 AWQ weights; compute falls back to INT8 on Orin's Ampere. */
+    W4A16,
+};
+
+/** @return bytes per weight element for a dtype. */
+double dtypeWeightBytes(DType t);
+
+/** @return a human-readable dtype name. */
+const char *dtypeName(DType t);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_TYPES_HH

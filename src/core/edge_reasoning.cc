@@ -1,0 +1,40 @@
+#include "core/edge_reasoning.hh"
+
+#include "hw/soc.hh"
+
+namespace edgereason {
+namespace core {
+
+EdgeReasoning::EdgeReasoning(EdgeReasoningOptions opts)
+    : registry_(opts.registry), evaluator_(registry_, opts.eval),
+      planner_(evaluator_)
+{
+}
+
+StrategyReport
+EdgeReasoning::evaluate(const strategy::InferenceStrategy &strat,
+                        acc::Dataset dataset, std::size_t question_limit)
+{
+    return evaluator_.evaluate(strat, dataset, question_limit);
+}
+
+std::optional<PlanDecision>
+EdgeReasoning::plan(const PlanRequest &request)
+{
+    return planner_.plan(request);
+}
+
+const perf::CharacterizationResult &
+EdgeReasoning::characterization(model::ModelId id, bool quantized)
+{
+    return registry_.perfFor(id, quantized);
+}
+
+std::string
+EdgeReasoning::hardwareSummary() const
+{
+    return hw::JetsonOrin().specTable();
+}
+
+} // namespace core
+} // namespace edgereason

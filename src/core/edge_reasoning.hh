@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The EdgeReasoning facade: one object owning the model registry, the
+ * strategy evaluator and the deployment planner.  This is the public
+ * entry point examples and downstream users should reach for.
+ *
+ * Typical use:
+ * @code
+ *   core::EdgeReasoning er;
+ *   auto report = er.evaluate({model::ModelId::Dsr1Qwen14B, false,
+ *                              strategy::TokenPolicy::hard(256), 1},
+ *                             acc::Dataset::MmluRedux);
+ *   auto plan = er.plan({acc::Dataset::MmluRedux, 5.0});
+ * @endcode
+ */
+
+#ifndef EDGEREASON_CORE_EDGE_REASONING_HH
+#define EDGEREASON_CORE_EDGE_REASONING_HH
+
+#include <memory>
+#include <string>
+
+#include "core/evaluator.hh"
+#include "core/pareto.hh"
+#include "core/planner.hh"
+#include "core/registry.hh"
+
+namespace edgereason {
+namespace core {
+
+/** Facade options. */
+struct EdgeReasoningOptions
+{
+    RegistryOptions registry;
+    EvalOptions eval;
+};
+
+/** Top-level library entry point. */
+class EdgeReasoning
+{
+  public:
+    /** Construct with defaults matching the paper's setup. */
+    explicit EdgeReasoning(EdgeReasoningOptions opts = {});
+
+    /** Evaluate one strategy on a benchmark. */
+    StrategyReport evaluate(const strategy::InferenceStrategy &strat,
+                            acc::Dataset dataset,
+                            std::size_t question_limit = 0);
+
+    /** Plan the best strategy for a latency budget. */
+    std::optional<PlanDecision> plan(const PlanRequest &request);
+
+    /** @return the fitted Section-IV models for a model. */
+    const perf::CharacterizationResult &
+    characterization(model::ModelId id, bool quantized = false);
+
+    /** @return the shared registry. */
+    ModelRegistry &registry() { return registry_; }
+    /** @return the shared evaluator. */
+    StrategyEvaluator &evaluator() { return evaluator_; }
+    /** @return the planner. */
+    DeploymentPlanner &planner() { return planner_; }
+
+    /** @return the Table I hardware summary string. */
+    std::string hardwareSummary() const;
+
+  private:
+    ModelRegistry registry_;
+    StrategyEvaluator evaluator_;
+    DeploymentPlanner planner_;
+};
+
+} // namespace core
+} // namespace edgereason
+
+#endif // EDGEREASON_CORE_EDGE_REASONING_HH

@@ -1,0 +1,163 @@
+#include "core/evaluator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "hw/power.hh"
+
+namespace edgereason {
+namespace core {
+
+StrategyEvaluator::StrategyEvaluator(ModelRegistry &registry,
+                                     EvalOptions opts)
+    : registry_(registry), opts_(opts)
+{
+}
+
+const acc::ResponseProfile &
+StrategyEvaluator::profile(model::ModelId id, acc::Dataset dataset,
+                           bool quantized)
+{
+    const auto key = std::make_tuple(id, dataset, quantized);
+    auto it = profiles_.find(key);
+    if (it == profiles_.end()) {
+        it = profiles_.emplace(key,
+            std::make_unique<acc::ResponseProfile>(id, dataset,
+                                                   quantized)).first;
+    }
+    return *it->second;
+}
+
+const acc::QuestionBank &
+StrategyEvaluator::bank(acc::Dataset dataset)
+{
+    auto it = banks_.find(dataset);
+    if (it == banks_.end()) {
+        it = banks_.emplace(dataset,
+            std::make_unique<acc::QuestionBank>(dataset,
+                                                opts_.seed)).first;
+    }
+    return *it->second;
+}
+
+perf::DecodeLatencyModel
+StrategyEvaluator::decodeModelAtBatch(model::ModelId id, bool quantized,
+                                      int batch)
+{
+    const auto key = std::make_tuple(id, quantized, batch);
+    auto it = batch_models_.find(key);
+    if (it != batch_models_.end())
+        return it->second;
+
+    auto &eng = registry_.engineFor(id, quantized);
+    const Tokens c0 = 512;
+    const Tokens c1 = 4096;
+    const Seconds t0 = eng.decodeStepLatency(c0, batch);
+    const Seconds t1 = eng.decodeStepLatency(c1, batch);
+    perf::DecodeLatencyModel m;
+    m.m = (t1 - t0) / static_cast<double>(c1 - c0);
+    m.n = t0 - m.m * static_cast<double>(c0);
+    batch_models_.emplace(key, m);
+    return m;
+}
+
+Seconds
+StrategyEvaluator::questionLatency(
+    const strategy::InferenceStrategy &strat, Tokens input_tokens,
+    Tokens output_tokens)
+{
+    const auto &pm = registry_.perfFor(strat.model, strat.quantized);
+    const Seconds prefill = pm.latency.prefill(input_tokens);
+    const auto dm = decodeModelAtBatch(strat.model, strat.quantized,
+                                       strat.parallel);
+    return prefill + dm(input_tokens, output_tokens);
+}
+
+Joules
+StrategyEvaluator::questionEnergy(
+    const strategy::InferenceStrategy &strat, Tokens input_tokens,
+    Tokens output_tokens)
+{
+    const auto &entry = registry_.entry(strat.model, strat.quantized);
+    const auto &pm = registry_.perfFor(strat.model, strat.quantized);
+    const hw::PowerModel power(
+        entry.engine->config().powerMode);
+
+    Joules total = pm.prefillPower(input_tokens) *
+        pm.latency.prefill(input_tokens);
+    if (output_tokens <= 0)
+        return total;
+
+    // Batched decode energy: integrate P(o, B) over segments of the
+    // affine batched TBT model.
+    const auto dm = decodeModelAtBatch(strat.model, strat.quantized,
+                                       strat.parallel);
+    const int segments = 8;
+    Tokens prev = 0;
+    for (int s = 1; s <= segments; ++s) {
+        const Tokens upto = output_tokens * s / segments;
+        const Tokens steps = upto - prev;
+        if (steps <= 0)
+            continue;
+        const Tokens o_mid = std::max<Tokens>(1, (prev + upto) / 2);
+        const Tokens ctx_mid = input_tokens + o_mid;
+        const Watts p = power.decode(entry.calib.power, o_mid,
+                                     strat.parallel);
+        total += p * dm.tbt(ctx_mid) * static_cast<double>(steps);
+        prev = upto;
+    }
+    return total;
+}
+
+StrategyReport
+StrategyEvaluator::evaluate(const strategy::InferenceStrategy &strat,
+                            acc::Dataset dataset,
+                            std::size_t question_limit)
+{
+    StrategyReport rep;
+    rep.strat = strat;
+    rep.dataset = dataset;
+
+    const acc::ResponseProfile &prof =
+        profile(strat.model, dataset, strat.quantized);
+    const acc::QuestionBank &qb = bank(dataset);
+    const std::size_t limit = question_limit ? question_limit
+                                             : opts_.questionLimit;
+    const std::vector<acc::Question> questions =
+        limit ? qb.subset(limit) : qb.questions();
+
+    acc::ResponseSimulator sim(prof,
+        Rng::hashString(strat.label()) ^ opts_.seed);
+
+    double correct = 0.0;
+    double sum_energy = 0.0;
+    double sum_latency = 0.0;
+    double sum_max_tokens = 0.0;
+    double sum_all_tokens = 0.0;
+    for (const auto &q : questions) {
+        const acc::QuestionOutcome o =
+            sim.simulateQuestion(q, strat.policy, strat.parallel);
+        correct += o.correct ? 1.0 : 0.0;
+        sum_max_tokens += static_cast<double>(o.maxTokens);
+        sum_all_tokens += o.sumTokens;
+        sum_latency += questionLatency(strat, q.promptTokens,
+                                       o.maxTokens);
+        sum_energy += questionEnergy(strat, q.promptTokens,
+                                     o.maxTokens);
+    }
+
+    const double n = static_cast<double>(questions.size());
+    rep.questions = questions.size();
+    rep.accuracyPct = 100.0 * correct / n;
+    rep.avgTokens = sum_max_tokens / n;
+    rep.avgSumTokens = sum_all_tokens / n;
+    rep.avgLatency = sum_latency / n;
+    rep.avgEnergy = sum_energy / n;
+    rep.cost = cost::edgeCost(sum_energy, sum_latency, sum_all_tokens,
+                              opts_.rates);
+    return rep;
+}
+
+} // namespace core
+} // namespace edgereason

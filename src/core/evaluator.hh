@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Strategy evaluator: combines the behavioural accuracy simulation with
+ * the fitted analytical performance models to produce, per inference
+ * strategy and benchmark, the paper's four reported metrics — accuracy,
+ * average decoded tokens, average latency, and cost per million tokens
+ * (Section V's evaluation protocol).
+ */
+
+#ifndef EDGEREASON_CORE_EVALUATOR_HH
+#define EDGEREASON_CORE_EVALUATOR_HH
+
+#include <map>
+#include <memory>
+
+#include "accuracy/simulate.hh"
+#include "core/registry.hh"
+#include "cost/cost_model.hh"
+#include "strategy/policy.hh"
+
+namespace edgereason {
+namespace core {
+
+/** Aggregate result of evaluating one strategy on one benchmark. */
+struct StrategyReport
+{
+    strategy::InferenceStrategy strat;
+    acc::Dataset dataset = acc::Dataset::MmluRedux;
+
+    double accuracyPct = 0.0;
+    double avgTokens = 0.0;     //!< mean longest-sample tokens/question
+    double avgSumTokens = 0.0;  //!< mean total generated tokens/question
+    Seconds avgLatency = 0.0;   //!< mean end-to-end seconds/question
+    Joules avgEnergy = 0.0;     //!< mean joules/question
+    cost::CostBreakdown cost;   //!< per-1M-generated-tokens economics
+    std::size_t questions = 0;
+};
+
+/** Evaluation knobs. */
+struct EvalOptions
+{
+    /** 0 = the full benchmark; otherwise a deterministic subset. */
+    std::size_t questionLimit = 0;
+    std::uint64_t seed = 99;
+    cost::CostRates rates;
+};
+
+/** Evaluates inference strategies against benchmarks. */
+class StrategyEvaluator
+{
+  public:
+    /** @param registry  shared model registry (borrowed). */
+    explicit StrategyEvaluator(ModelRegistry &registry,
+                               EvalOptions opts = {});
+
+    /** Run the full evaluation of one strategy. */
+    StrategyReport evaluate(const strategy::InferenceStrategy &strat,
+                            acc::Dataset dataset,
+                            std::size_t question_limit = 0);
+
+    /** @return cached behavioural profile for a combination. */
+    const acc::ResponseProfile &profile(model::ModelId id,
+                                        acc::Dataset dataset,
+                                        bool quantized);
+
+    /** @return cached question bank for a dataset. */
+    const acc::QuestionBank &bank(acc::Dataset dataset);
+
+    /**
+     * Batch-adjusted decode latency model: TBT measured at two context
+     * lengths with the given decode batch, solved for (m, n).
+     */
+    perf::DecodeLatencyModel decodeModelAtBatch(model::ModelId id,
+                                                bool quantized,
+                                                int batch);
+
+    /**
+     * Analytic per-question latency under a strategy (prefill at batch
+     * 1 plus batched decode of @p output_tokens).
+     */
+    Seconds questionLatency(const strategy::InferenceStrategy &strat,
+                            Tokens input_tokens, Tokens output_tokens);
+
+    /** Analytic per-question energy under a strategy. */
+    Joules questionEnergy(const strategy::InferenceStrategy &strat,
+                          Tokens input_tokens, Tokens output_tokens);
+
+    /** @return the registry. */
+    ModelRegistry &registry() { return registry_; }
+    /** @return evaluation options. */
+    const EvalOptions &options() const { return opts_; }
+
+  private:
+    ModelRegistry &registry_;
+    EvalOptions opts_;
+    std::map<std::tuple<model::ModelId, acc::Dataset, bool>,
+             std::unique_ptr<acc::ResponseProfile>> profiles_;
+    std::map<acc::Dataset, std::unique_ptr<acc::QuestionBank>> banks_;
+    std::map<std::tuple<model::ModelId, bool, int>,
+             perf::DecodeLatencyModel> batch_models_;
+};
+
+} // namespace core
+} // namespace edgereason
+
+#endif // EDGEREASON_CORE_EVALUATOR_HH

@@ -1,0 +1,85 @@
+#include "core/pareto.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace core {
+
+double
+axisValue(const StrategyReport &r, FrontierAxis axis)
+{
+    switch (axis) {
+      case FrontierAxis::Latency:
+        return r.avgLatency;
+      case FrontierAxis::Cost:
+        return r.cost.totalPerMTok();
+      case FrontierAxis::Tokens:
+        return r.avgTokens;
+    }
+    panic("unknown frontier axis");
+}
+
+std::vector<StrategyReport>
+paretoFrontier(std::vector<StrategyReport> reports, FrontierAxis axis)
+{
+    std::sort(reports.begin(), reports.end(),
+              [axis](const StrategyReport &a, const StrategyReport &b) {
+                  const double xa = axisValue(a, axis);
+                  const double xb = axisValue(b, axis);
+                  if (xa != xb)
+                      return xa < xb;
+                  return a.accuracyPct > b.accuracyPct;
+              });
+    std::vector<StrategyReport> frontier;
+    double best_acc = -1.0;
+    for (auto &r : reports) {
+        if (r.accuracyPct > best_acc) {
+            best_acc = r.accuracyPct;
+            frontier.push_back(std::move(r));
+        }
+    }
+    return frontier;
+}
+
+std::vector<Regime>
+budgetRegimes(const std::vector<StrategyReport> &all,
+              const std::vector<double> &budgets, FrontierAxis axis)
+{
+    fatal_if(budgets.empty(), "budgetRegimes: no budgets");
+    std::vector<double> sorted = budgets;
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<Regime> regimes;
+    double prev_budget = 0.0;
+    for (double budget : sorted) {
+        const StrategyReport *best = nullptr;
+        for (const auto &r : all) {
+            if (axisValue(r, axis) > budget)
+                continue;
+            if (!best || r.accuracyPct > best->accuracyPct)
+                best = &r;
+        }
+        if (!best) {
+            prev_budget = budget;
+            continue;
+        }
+        if (!regimes.empty() &&
+            regimes.back().best.strat.label() == best->strat.label() &&
+            regimes.back().best.strat.parallel == best->strat.parallel) {
+            regimes.back().budgetHi = budget;
+        } else {
+            Regime reg;
+            reg.budgetLo = prev_budget;
+            reg.budgetHi = budget;
+            reg.best = *best;
+            regimes.push_back(std::move(reg));
+        }
+        prev_budget = budget;
+    }
+    return regimes;
+}
+
+} // namespace core
+} // namespace edgereason

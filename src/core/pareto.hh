@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pareto-frontier analysis over strategy reports (Fig. 7's operational
+ * regimes and Fig. 8's cost guidance): which configuration wins at each
+ * latency or cost budget, and where the crossovers fall.
+ */
+
+#ifndef EDGEREASON_CORE_PARETO_HH
+#define EDGEREASON_CORE_PARETO_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/evaluator.hh"
+
+namespace edgereason {
+namespace core {
+
+/** The x-axis metric a frontier is computed against. */
+enum class FrontierAxis { Latency, Cost, Tokens };
+
+/** @return the axis value of a report. */
+double axisValue(const StrategyReport &r, FrontierAxis axis);
+
+/**
+ * Pareto-optimal subset: reports for which no other report has both a
+ * lower (or equal) axis value and strictly higher accuracy.  Returned
+ * sorted by the axis value.
+ */
+std::vector<StrategyReport>
+paretoFrontier(std::vector<StrategyReport> reports, FrontierAxis axis);
+
+/** One operational regime: a budget interval and its winning strategy. */
+struct Regime
+{
+    double budgetLo = 0.0;
+    double budgetHi = 0.0;
+    StrategyReport best;
+};
+
+/**
+ * Partition a budget axis into regimes (Section V-A: sub-5 s is 1.5B
+ * territory, 15-30 s non-reasoning 8B, >30 s DSR1-Qwen-14B).  For each
+ * budget in @p budgets the winner is the highest-accuracy report whose
+ * axis value fits; consecutive budgets with the same winner merge.
+ * Budgets with no feasible strategy are skipped.
+ */
+std::vector<Regime> budgetRegimes(const std::vector<StrategyReport> &all,
+                                  const std::vector<double> &budgets,
+                                  FrontierAxis axis);
+
+} // namespace core
+} // namespace edgereason
+
+#endif // EDGEREASON_CORE_PARETO_HH

@@ -1,0 +1,133 @@
+#include "core/planner.hh"
+
+#include <algorithm>
+
+#include "accuracy/anchors.hh"
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace core {
+
+using model::ModelId;
+using strategy::InferenceStrategy;
+using strategy::TokenPolicy;
+
+DeploymentPlanner::DeploymentPlanner(StrategyEvaluator &evaluator)
+    : evaluator_(evaluator)
+{
+}
+
+Tokens
+DeploymentPlanner::maxTokensForBudget(ModelId id, bool quantized,
+                                      Tokens prompt_tokens,
+                                      Seconds budget, int parallel)
+{
+    const auto &pm = evaluator_.registry().perfFor(id, quantized);
+    perf::LatencyModel lm = pm.latency;
+    lm.decode = evaluator_.decodeModelAtBatch(id, quantized, parallel);
+    return lm.maxOutputTokens(prompt_tokens, budget);
+}
+
+std::vector<InferenceStrategy>
+DeploymentPlanner::candidateStrategies(const PlanRequest &request)
+{
+    static const Tokens hard_budgets[] = {32, 48, 64, 96, 128, 192,
+                                          256, 384, 512, 768, 1024};
+    std::vector<InferenceStrategy> out;
+    for (ModelId id : model::allModels()) {
+        for (bool quant : {false, true}) {
+            if (quant && !request.allowQuantized)
+                continue;
+            if (!acc::hasAnchors(id, request.dataset, quant))
+                continue;
+
+            std::vector<TokenPolicy> policies;
+            policies.push_back(TokenPolicy::base());
+            const auto cat = model::modelCategory(id);
+            if (cat != model::ModelCategory::NonReasoning) {
+                if (request.dataset == acc::Dataset::MmluRedux &&
+                    cat == model::ModelCategory::Reasoning) {
+                    policies.push_back(TokenPolicy::noReasoning());
+                    policies.push_back(TokenPolicy::soft(128));
+                    policies.push_back(TokenPolicy::soft(256));
+                }
+                for (Tokens n : hard_budgets) {
+                    policies.push_back(
+                        cat == model::ModelCategory::BudgetAware
+                            ? TokenPolicy::l1(n)
+                            : TokenPolicy::hard(n));
+                }
+            }
+
+            for (const auto &policy : policies) {
+                for (int par = 1; par <= request.maxParallel; par *= 2) {
+                    InferenceStrategy s;
+                    s.model = id;
+                    s.quantized = quant;
+                    s.policy = policy;
+                    s.parallel = par;
+                    out.push_back(s);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::optional<PlanDecision>
+DeploymentPlanner::plan(const PlanRequest &request)
+{
+    fatal_if(request.latencyBudget <= 0.0,
+             "latency budget must be positive");
+    const Tokens prompt = request.promptTokens > 0
+        ? request.promptTokens
+        : static_cast<Tokens>(
+              acc::datasetInfo(request.dataset).meanPromptTokens);
+
+    std::vector<StrategyReport> feasible;
+    for (const auto &cand : candidateStrategies(request)) {
+        // Fast pre-filter via the analytic latency model: skip
+        // candidates whose expected output length already misses the
+        // budget by 2x.
+        const auto &prof = evaluator_.profile(cand.model,
+                                              request.dataset,
+                                              cand.quantized);
+        const double mean_toks = prof.meanTokens(cand.policy);
+        const Seconds rough = evaluator_.questionLatency(
+            cand, prompt, static_cast<Tokens>(mean_toks));
+        if (rough > 2.0 * request.latencyBudget)
+            continue;
+
+        StrategyReport rep = evaluator_.evaluate(
+            cand, request.dataset, request.sampleQuestions);
+        if (rep.avgLatency > request.latencyBudget)
+            continue;
+        if (request.energyBudgetJ > 0.0 &&
+            rep.avgEnergy > request.energyBudgetJ)
+            continue;
+        feasible.push_back(std::move(rep));
+    }
+    if (feasible.empty())
+        return std::nullopt;
+
+    std::sort(feasible.begin(), feasible.end(),
+              [](const StrategyReport &a, const StrategyReport &b) {
+                  if (a.accuracyPct != b.accuracyPct)
+                      return a.accuracyPct > b.accuracyPct;
+                  if (a.avgEnergy != b.avgEnergy)
+                      return a.avgEnergy < b.avgEnergy;
+                  return a.avgLatency < b.avgLatency;
+              });
+
+    PlanDecision d;
+    d.strategy = feasible.front().strat;
+    d.predicted = feasible.front();
+    d.maxTokenBudget = maxTokensForBudget(
+        d.strategy.model, d.strategy.quantized, prompt,
+        request.latencyBudget, d.strategy.parallel);
+    d.candidates = std::move(feasible);
+    return d;
+}
+
+} // namespace core
+} // namespace edgereason

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deployment planner: the paper's headline use case (Fig. 1, Takeaway
+ * #6).  Given a task's latency budget, invert the fitted latency model
+ * to a maximum decodable token budget, enumerate candidate strategies
+ * (model x precision x token policy x parallel factor), and return the
+ * configuration with the highest predicted accuracy that meets the
+ * budget — turning the discrete accuracy-latency tradeoff into a
+ * continuous dial an autonomous system can set per request.
+ */
+
+#ifndef EDGEREASON_CORE_PLANNER_HH
+#define EDGEREASON_CORE_PLANNER_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/evaluator.hh"
+
+namespace edgereason {
+namespace core {
+
+/** A planning request. */
+struct PlanRequest
+{
+    acc::Dataset dataset = acc::Dataset::MmluRedux;
+    Seconds latencyBudget = 5.0;
+    /** Prompt length; 0 uses the dataset's mean prompt length. */
+    Tokens promptTokens = 0;
+    /** Largest parallel scaling factor to consider. */
+    int maxParallel = 8;
+    /** Questions used to estimate each candidate's accuracy. */
+    std::size_t sampleQuestions = 400;
+    /** Also consider W4A16-quantized variants. */
+    bool allowQuantized = true;
+    /**
+     * Optional per-question energy budget in joules (0 = none).  A
+     * battery-powered robot can cap the joules it will spend on one
+     * decision; candidates above the cap are rejected even when they
+     * meet the latency budget.
+     */
+    Joules energyBudgetJ = 0.0;
+};
+
+/** The planner's decision. */
+struct PlanDecision
+{
+    strategy::InferenceStrategy strategy;
+    /** Max decodable tokens the latency model allows for the budget. */
+    Tokens maxTokenBudget = 0;
+    StrategyReport predicted;
+    /** All feasible candidates considered, best first. */
+    std::vector<StrategyReport> candidates;
+};
+
+/** Latency-budget-driven strategy selection. */
+class DeploymentPlanner
+{
+  public:
+    /** @param evaluator  shared evaluator (borrowed). */
+    explicit DeploymentPlanner(StrategyEvaluator &evaluator);
+
+    /**
+     * Pick the accuracy-optimal strategy within the latency budget.
+     * @return nullopt when no candidate fits (budget below the fastest
+     *   model's prefill time).
+     */
+    std::optional<PlanDecision> plan(const PlanRequest &request);
+
+    /**
+     * The latency-to-token mapping of Takeaway #6: max decodable
+     * tokens for a model under a budget.
+     */
+    Tokens maxTokensForBudget(model::ModelId id, bool quantized,
+                              Tokens prompt_tokens, Seconds budget,
+                              int parallel = 1);
+
+  private:
+    std::vector<strategy::InferenceStrategy>
+    candidateStrategies(const PlanRequest &request);
+
+    StrategyEvaluator &evaluator_;
+};
+
+} // namespace core
+} // namespace edgereason
+
+#endif // EDGEREASON_CORE_PLANNER_HH

@@ -1,0 +1,58 @@
+#include "core/registry.hh"
+
+#include "common/logging.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace edgereason {
+namespace core {
+
+ModelRegistry::ModelRegistry(RegistryOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+const ModelEntry &
+ModelRegistry::entry(model::ModelId id, bool quantized)
+{
+    const auto key = std::make_pair(id, quantized);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return *it->second;
+
+    auto e = std::make_unique<ModelEntry>();
+    e->spec = quantized ? model::quantizedSpec(id) : model::spec(id);
+    e->calib = model::calibration(
+        id, quantized ? DType::W4A16 : DType::FP16);
+    e->engine = std::make_unique<engine::InferenceEngine>(
+        e->spec, e->calib, opts_.engineConfig);
+    if (opts_.characterizeOnLoad) {
+        e->perf = perf::characterize(*e->engine, opts_.sweep,
+                                     opts_.fitQuestions,
+                                     opts_.validationQuestions,
+                                     opts_.seed);
+    }
+    auto [pos, inserted] = cache_.emplace(key, std::move(e));
+    panic_if(!inserted, "registry cache collision");
+    return *pos->second;
+}
+
+engine::InferenceEngine &
+ModelRegistry::engineFor(model::ModelId id, bool quantized)
+{
+    // entry() returns const; engines are deliberately mutable because
+    // measurement noise advances their RNG streams.
+    return *const_cast<ModelEntry &>(entry(id, quantized)).engine;
+}
+
+const perf::CharacterizationResult &
+ModelRegistry::perfFor(model::ModelId id, bool quantized)
+{
+    const ModelEntry &e = entry(id, quantized);
+    fatal_if(!opts_.characterizeOnLoad,
+             "registry built without characterization");
+    return e.perf;
+}
+
+} // namespace core
+} // namespace edgereason

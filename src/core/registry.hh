@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Model registry: lazily constructs and caches, per (model, precision),
+ * the inference engine plus the fitted analytical models produced by
+ * the Section-IV characterization pipeline.  The paper's evaluation
+ * relies on exactly this caching ("we use these fitted latency models
+ * throughout the remainder of this paper to accelerate ... search").
+ */
+
+#ifndef EDGEREASON_CORE_REGISTRY_HH
+#define EDGEREASON_CORE_REGISTRY_HH
+
+#include <map>
+#include <memory>
+
+#include "engine/engine.hh"
+#include "model/model_id.hh"
+#include "perfmodel/characterize.hh"
+
+namespace edgereason {
+namespace core {
+
+/** Cached per-model state. */
+struct ModelEntry
+{
+    std::unique_ptr<engine::InferenceEngine> engine;
+    perf::CharacterizationResult perf;
+    model::ModelCalibration calib;
+    model::TransformerSpec spec;
+};
+
+/** Options shared by every engine the registry builds. */
+struct RegistryOptions
+{
+    engine::EngineConfig engineConfig;
+    perf::SweepConfig sweep;
+    std::size_t fitQuestions = 100;
+    std::size_t validationQuestions = 50;
+    std::uint64_t seed = 1234;
+    /** Skip the sweep-and-fit pipeline (entries then carry only the
+     *  engine; evaluator falls back to kernel-level costs). */
+    bool characterizeOnLoad = true;
+};
+
+/** Lazy cache of engines and fitted models. */
+class ModelRegistry
+{
+  public:
+    /** Construct with shared options. */
+    explicit ModelRegistry(RegistryOptions opts = {});
+
+    /** @return the cached entry, building it on first use. */
+    const ModelEntry &entry(model::ModelId id, bool quantized);
+
+    /** @return the engine for a model (mutable: runs consume RNG). */
+    engine::InferenceEngine &engineFor(model::ModelId id, bool quantized);
+
+    /** @return fitted performance models for a model. */
+    const perf::CharacterizationResult &perfFor(model::ModelId id,
+                                                bool quantized);
+
+    /** @return construction options. */
+    const RegistryOptions &options() const { return opts_; }
+
+  private:
+    RegistryOptions opts_;
+    std::map<std::pair<model::ModelId, bool>,
+             std::unique_ptr<ModelEntry>> cache_;
+};
+
+} // namespace core
+} // namespace edgereason
+
+#endif // EDGEREASON_CORE_REGISTRY_HH

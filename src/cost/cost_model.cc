@@ -1,0 +1,35 @@
+#include "cost/cost_model.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace cost {
+
+CostBreakdown
+edgeCost(Joules energy, Seconds wall_time, double tokens,
+         const CostRates &rates)
+{
+    fatal_if(tokens <= 0.0, "cost per token needs tokens > 0");
+    fatal_if(energy < 0.0 || wall_time < 0.0, "negative usage");
+    CostBreakdown c;
+    const double mtok = tokens / 1e6;
+    const double kwh = energy / 3.6e6;
+    c.energyPerMTok = kwh * rates.electricityPerKwh / mtok;
+    c.hardwarePerMTok = wall_time / 3600.0 * rates.hardwarePerHour / mtok;
+    return c;
+}
+
+CloudPrice
+o1Preview()
+{
+    return {"OpenAI o1-preview", 15.0, 60.0, 89.7};
+}
+
+CloudPrice
+o4Mini()
+{
+    return {"OpenAI o4-mini", 1.1, 4.4, 0.0};
+}
+
+} // namespace cost
+} // namespace edgereason

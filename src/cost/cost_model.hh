@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deployment economics (Section III-B, Table III): edge cost per token
+ * is energy (metered electricity) plus amortized hardware, while cloud
+ * cost is the provider's published per-token price.  The paper's edge
+ * rates: $0.15/kWh electricity and $0.045/hour amortized Jetson AGX
+ * Orin.
+ */
+
+#ifndef EDGEREASON_COST_COST_MODEL_HH
+#define EDGEREASON_COST_COST_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace cost {
+
+/** Edge cost rates. */
+struct CostRates
+{
+    Dollars electricityPerKwh = 0.15;
+    Dollars hardwarePerHour = 0.045;
+};
+
+/** Per-million-token cost decomposition. */
+struct CostBreakdown
+{
+    Dollars energyPerMTok = 0.0;
+    Dollars hardwarePerMTok = 0.0;
+
+    /** @return the combined cost per million tokens. */
+    Dollars totalPerMTok() const
+    {
+        return energyPerMTok + hardwarePerMTok;
+    }
+};
+
+/**
+ * Cost of an edge workload.
+ *
+ * @param energy  total energy consumed
+ * @param wall_time  total wall-clock occupancy of the device
+ * @param tokens  tokens produced (the paper prices output tokens)
+ */
+CostBreakdown edgeCost(Joules energy, Seconds wall_time, double tokens,
+                       const CostRates &rates = {});
+
+/** A cloud API price entry (Table III). */
+struct CloudPrice
+{
+    std::string name;
+    Dollars inputPerMTok = 0.0;
+    Dollars outputPerMTok = 0.0;
+    double userTps = 0.0; //!< reported user-visible throughput
+};
+
+/** @return OpenAI o1-preview pricing ($15 in / $60 out, 89.7 TPS). */
+CloudPrice o1Preview();
+/** @return OpenAI o4-mini output pricing quoted in the paper. */
+CloudPrice o4Mini();
+
+} // namespace cost
+} // namespace edgereason
+
+#endif // EDGEREASON_COST_COST_MODEL_HH

@@ -1,0 +1,301 @@
+#include "engine/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+InferenceEngine::InferenceEngine(model::TransformerSpec spec,
+                                 model::ModelCalibration calib,
+                                 EngineConfig config)
+    : spec_(std::move(spec)), calib_(calib), config_(config),
+      soc_(config.powerMode, calib.gpuEff),
+      kv_(std::max<Bytes>(static_cast<Bytes>(1) << 20,
+              soc_.usableMemory() -
+                  static_cast<Bytes>(spec_.weightBytes())),
+          spec_),
+      overhead_(engineOverhead(config.kind)),
+      rng_(config.seed, spec_.name)
+{
+    spec_.check();
+    if (config_.backend == hw::Backend::Cpu) {
+        // Tile/batch padding is a tensor-core artifact; CPU GEMMs
+        // process exact shapes (Table XVI's CPU prefill scales
+        // linearly with input length).
+        config_.kernelOpts.disablePadding = true;
+    }
+    fatal_if(config_.offloadFfnToDla &&
+                 spec_.weightDtype != DType::W4A16 &&
+                 spec_.weightDtype != DType::INT8,
+             "DLA offload needs INT8-capable weights; ", spec_.name,
+             " stores ", dtypeName(spec_.weightDtype));
+    fatal_if(static_cast<Bytes>(spec_.weightBytes()) >=
+                 soc_.usableMemory(),
+             spec_.name, " weights (", spec_.weightBytes() / 1e9,
+             " GB) exceed usable DRAM (", soc_.usableMemory() / 1e9,
+             " GB)");
+}
+
+Bytes
+InferenceEngine::weightFootprint() const
+{
+    return static_cast<Bytes>(spec_.weightBytes());
+}
+
+Bytes
+InferenceEngine::kvBudget() const
+{
+    return soc_.usableMemory() - weightFootprint();
+}
+
+double
+InferenceEngine::noiseFactor(double cv, Rng &rng) const
+{
+    if (!config_.measurementNoise || cv <= 0.0)
+        return 1.0;
+    return rng.logNormalMeanStd(1.0, cv);
+}
+
+hw::StepCost
+InferenceEngine::executeKernels(
+    const std::vector<hw::KernelDesc> &kernels) const
+{
+    const bool cpu_off = config_.offloadElementwiseToCpu &&
+        config_.backend == hw::Backend::Gpu;
+    const bool dla_off = config_.offloadFfnToDla &&
+        config_.backend == hw::Backend::Gpu;
+    if (!cpu_off && !dla_off)
+        return soc_.execute(config_.backend, kernels);
+
+    // Heterogeneous mode (Section VI): elementwise work can run on
+    // the CPU cluster and FFN matmuls on the NVDLA complex, both
+    // overlapped with the GPU (shared-memory SoC, no copy cost).
+    std::vector<hw::KernelDesc> gpu_side;
+    std::vector<hw::KernelDesc> cpu_side;
+    std::vector<hw::KernelDesc> dla_side;
+    gpu_side.reserve(kernels.size());
+    double total_bytes = 0.0;
+    for (const auto &k : kernels) {
+        total_bytes += k.weightBytes + k.actBytes;
+        if (cpu_off && k.cls == hw::KernelClass::Elementwise) {
+            cpu_side.push_back(k);
+        } else if (dla_off && k.name.rfind("ffn_", 0) == 0 &&
+                   k.cls == hw::KernelClass::GemmTensorCore) {
+            // Only compute-bound (prefill) FFN GEMMs go to the DLA;
+            // decode FFN is weight-streaming-bound, and the DLA's
+            // narrower DRAM interface would slow it down.
+            dla_side.push_back(k);
+        } else {
+            gpu_side.push_back(k);
+        }
+    }
+
+    hw::StepCost combined = soc_.execute(hw::Backend::Gpu, gpu_side);
+    const Seconds gpu_seconds = combined.seconds;
+    if (!cpu_side.empty()) {
+        const hw::StepCost cpu = soc_.execute(hw::Backend::Cpu,
+                                              cpu_side);
+        combined.seconds = std::max(combined.seconds, cpu.seconds);
+        combined.actBytes += cpu.actBytes;
+        combined.flops += cpu.flops;
+    }
+    if (!dla_side.empty()) {
+        const hw::StepCost dla = soc_.dla().executeAll(dla_side);
+        combined.seconds = std::max(combined.seconds, dla.seconds);
+        combined.weightBytes += dla.weightBytes;
+        combined.actBytes += dla.actBytes;
+        combined.flops += dla.flops;
+        // The DLAs share the LPDDR5 bus with the GPU: no amount of
+        // overlap can move the step's bytes faster than the bus.
+        const double shared_floor = total_bytes /
+            (soc_.gpu().effectivePeakBandwidth() *
+             soc_.gpu().efficiency().bandwidthDecode);
+        combined.seconds = std::max(combined.seconds, shared_floor);
+    }
+    if (combined.seconds > 0.0) {
+        // Re-weight the utilization averages onto the combined time.
+        const double rescale = gpu_seconds / combined.seconds;
+        combined.avgBwUtil *= rescale;
+        combined.avgComputeUtil *= rescale;
+    }
+    return combined;
+}
+
+Seconds
+InferenceEngine::prefillLatency(Tokens input_tokens) const
+{
+    const auto kernels = prefillKernels(spec_, input_tokens,
+                                        config_.kernelOpts);
+    const hw::StepCost cost = executeKernels(kernels);
+    return cost.seconds + calib_.prefillEngineOverhead *
+        overhead_.requestOverheadScale;
+}
+
+Seconds
+InferenceEngine::prefillSuffixLatency(Tokens cached_prefix,
+                                      Tokens suffix_tokens) const
+{
+    const auto kernels = prefillSuffixKernels(spec_, cached_prefix,
+                                              suffix_tokens,
+                                              config_.kernelOpts);
+    const hw::StepCost cost = executeKernels(kernels);
+    return cost.seconds + calib_.prefillEngineOverhead *
+        overhead_.requestOverheadScale;
+}
+
+hw::StepCost
+InferenceEngine::decodeStepCost(Tokens context, int batch) const
+{
+    const auto kernels = decodeKernels(spec_, context, batch,
+                                       config_.kernelOpts);
+    hw::StepCost cost = executeKernels(kernels);
+    cost.seconds += calib_.decodeStepOverhead *
+        overhead_.stepOverheadScale + overhead_.extraStepOverhead;
+    return cost;
+}
+
+Seconds
+InferenceEngine::decodeStepLatency(Tokens context, int batch) const
+{
+    return decodeStepCost(context, batch).seconds;
+}
+
+PhaseMetrics
+InferenceEngine::prefillOnly(Tokens input_tokens)
+{
+    const auto kernels = prefillKernels(spec_, input_tokens,
+                                        config_.kernelOpts);
+    const hw::StepCost cost = executeKernels(kernels);
+
+    PhaseMetrics m;
+    m.tokens = input_tokens;
+    m.seconds = (cost.seconds + calib_.prefillEngineOverhead *
+                     overhead_.requestOverheadScale) *
+        noiseFactor(calib_.prefillNoiseCv, rng_);
+    m.avgPower = soc_.power().prefill(calib_.power, input_tokens) *
+        noiseFactor(calib_.powerNoiseCv, rng_);
+    m.energy = m.avgPower * m.seconds;
+    m.bwUtil = cost.avgBwUtil;
+    m.computeUtil = cost.avgComputeUtil;
+    return m;
+}
+
+RequestResult
+InferenceEngine::run(Tokens input_tokens, Tokens output_tokens, int batch)
+{
+    fatal_if(batch < 1, "batch must be >= 1");
+    fatal_if(output_tokens < 0, "negative output length");
+
+    RequestResult res;
+    res.inputTokens = input_tokens;
+    res.outputTokens = output_tokens;
+    res.batch = batch;
+
+    // --- KV accounting: prompt once, generated suffix per sample. ---
+    std::vector<SeqId> seqs;
+    const SeqId root = kv_.createSequence();
+    seqs.push_back(root);
+    fatal_if(!kv_.append(root, input_tokens),
+             spec_.name, ": KV cache cannot hold a ", input_tokens,
+             "-token prompt");
+    for (int b = 1; b < batch; ++b)
+        seqs.push_back(kv_.fork(root));
+
+    // --- Prefill (batch 1). ---
+    res.prefill = prefillOnly(input_tokens);
+
+    // --- Decode at batch B. ---
+    if (output_tokens > 0) {
+        for (SeqId s : seqs) {
+            if (!kv_.append(s, output_tokens)) {
+                for (SeqId r : seqs)
+                    kv_.release(r);
+                fatal(spec_.name, ": KV cache exhausted decoding ",
+                      output_tokens, " tokens x batch ", batch,
+                      " at prompt ", input_tokens);
+            }
+        }
+
+        const int ncp = std::max(
+            2, std::min<int>(config_.decodeCheckpoints,
+                             static_cast<int>(output_tokens) + 1));
+        // Checkpoint contexts span [I, I + O - 1].
+        std::vector<Tokens> ctx(ncp);
+        std::vector<hw::StepCost> cost(ncp);
+        for (int i = 0; i < ncp; ++i) {
+            const double frac = static_cast<double>(i) / (ncp - 1);
+            ctx[i] = input_tokens + static_cast<Tokens>(
+                std::llround(frac * std::max<Tokens>(
+                    0, output_tokens - 1)));
+            cost[i] = decodeStepCost(ctx[i], batch);
+        }
+
+        PhaseMetrics &d = res.decode;
+        d.tokens = output_tokens * batch;
+        double bw_acc = 0.0;
+        double cu_acc = 0.0;
+        for (int i = 0; i + 1 < ncp; ++i) {
+            // Steps in this segment (last segment picks up remainder).
+            const Tokens steps = (i + 2 == ncp)
+                ? output_tokens -
+                    static_cast<Tokens>(std::llround(
+                        static_cast<double>(i) / (ncp - 1) *
+                        output_tokens))
+                : static_cast<Tokens>(std::llround(
+                      static_cast<double>(i + 1) / (ncp - 1) *
+                      output_tokens)) -
+                    static_cast<Tokens>(std::llround(
+                        static_cast<double>(i) / (ncp - 1) *
+                        output_tokens));
+            if (steps <= 0)
+                continue;
+            const Seconds seg_time = 0.5 *
+                (cost[i].seconds + cost[i + 1].seconds) *
+                static_cast<double>(steps);
+            // Power is evaluated at the segment-midpoint output index.
+            const Tokens o_mid = std::max<Tokens>(
+                1, (ctx[i] + ctx[i + 1]) / 2 - input_tokens + 1);
+            const Watts p = soc_.power().decode(calib_.power, o_mid,
+                                                batch);
+            d.seconds += seg_time;
+            d.energy += p * seg_time;
+            bw_acc += cost[i].avgBwUtil * seg_time;
+            cu_acc += cost[i].avgComputeUtil * seg_time;
+        }
+
+        const double lat_noise = noiseFactor(calib_.decodeNoiseCv, rng_);
+        const double pow_noise = noiseFactor(calib_.powerNoiseCv, rng_);
+        d.seconds *= lat_noise;
+        d.energy *= lat_noise * pow_noise;
+        if (d.seconds > 0.0) {
+            d.avgPower = d.energy / d.seconds;
+            d.bwUtil = bw_acc / (d.seconds / lat_noise);
+            d.computeUtil = cu_acc / (d.seconds / lat_noise);
+        }
+
+        if (config_.recordTbt) {
+            res.tbtTrace.reserve(static_cast<std::size_t>(output_tokens));
+            for (Tokens o = 0; o < output_tokens; ++o) {
+                const double frac = output_tokens == 1 ? 0.0
+                    : static_cast<double>(o) / (output_tokens - 1);
+                const double pos = frac * (ncp - 1);
+                const int lo = std::min(ncp - 2,
+                                        static_cast<int>(pos));
+                const double t = pos - lo;
+                res.tbtTrace.push_back(
+                    (cost[lo].seconds * (1.0 - t) +
+                     cost[lo + 1].seconds * t) * lat_noise);
+            }
+        }
+    }
+
+    for (SeqId s : seqs)
+        kv_.release(s);
+    return res;
+}
+
+} // namespace engine
+} // namespace edgereason

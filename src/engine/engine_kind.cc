@@ -1,0 +1,40 @@
+#include "engine/engine_kind.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Vllm:
+        return "vLLM";
+      case EngineKind::HfTransformers:
+        return "HF";
+      case EngineKind::TrtLlm:
+        return "TRT-LLM";
+    }
+    panic("unknown engine kind");
+}
+
+EngineOverhead
+engineOverhead(EngineKind k)
+{
+    // Calibrated to Table IX: at I=16..128, O=128 on DSR1-Llama-8B,
+    // HF is 14.2-14.4 s vs vLLM 12.7-12.8 s and TRT-LLM 12.5-12.9 s.
+    // The ~1.5 s gap over 128 steps is ~11.7 ms extra per step.
+    switch (k) {
+      case EngineKind::Vllm:
+        return EngineOverhead{1.0, 1.0, 0.0};
+      case EngineKind::HfTransformers:
+        return EngineOverhead{1.8, 2.0, 0.0105};
+      case EngineKind::TrtLlm:
+        return EngineOverhead{0.9, 0.9, -0.0002};
+    }
+    panic("unknown engine kind");
+}
+
+} // namespace engine
+} // namespace edgereason

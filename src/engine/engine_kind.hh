@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Inference-framework profiles (Section V-G, Table IX).  The frameworks
+ * share the same kernels on the Orin; what differs is host-side software
+ * overhead.  vLLM v0.86 is the reference engine used throughout the
+ * paper; HF Transformers is ~1.12x slower end to end; TRT-LLM is within
+ * a few percent of vLLM.
+ */
+
+#ifndef EDGEREASON_ENGINE_ENGINE_KIND_HH
+#define EDGEREASON_ENGINE_ENGINE_KIND_HH
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Supported inference frameworks. */
+enum class EngineKind { Vllm, HfTransformers, TrtLlm };
+
+/** @return framework display name. */
+const char *engineKindName(EngineKind k);
+
+/** Host-software overhead profile of a framework. */
+struct EngineOverhead
+{
+    /** Multiplier on per-decode-step software overhead. */
+    double stepOverheadScale = 1.0;
+    /** Multiplier on fixed per-request overhead. */
+    double requestOverheadScale = 1.0;
+    /** Additional per-decode-step cost (Python dispatch, etc.). */
+    Seconds extraStepOverhead = 0.0;
+};
+
+/** @return the overhead profile of a framework. */
+EngineOverhead engineOverhead(EngineKind k);
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_ENGINE_KIND_HH

@@ -1,0 +1,236 @@
+#include "engine/kernels.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+using hw::KernelClass;
+using hw::KernelDesc;
+using model::TransformerSpec;
+
+Tokens
+padToTile(Tokens tokens, Tokens tile)
+{
+    panic_if(tokens < 0, "negative token count");
+    panic_if(tile <= 0, "tile size must be positive");
+    return (tokens + tile - 1) / tile * tile;
+}
+
+namespace {
+
+constexpr double fp16Bytes = 2.0;
+
+/** Append a dense GEMM/GEMV kernel over @p rows token rows. */
+void
+pushLinear(std::vector<KernelDesc> &out, const char *name,
+           KernelClass cls, const TransformerSpec &spec, double rows,
+           double padded_rows, int in_dim, int out_dim, int batch)
+{
+    KernelDesc k;
+    k.name = name;
+    k.cls = cls;
+    k.compute = (spec.weightDtype == DType::W4A16 ||
+                 spec.weightDtype == DType::INT8)
+        ? DType::INT8
+        : DType::FP16;
+    k.batch = batch;
+    k.flops = 2.0 * padded_rows * in_dim * out_dim;
+    k.weightBytes = static_cast<double>(in_dim) * out_dim *
+        dtypeWeightBytes(spec.weightDtype);
+    // Activations stream at the *actual* row count.
+    k.actBytes = rows * (in_dim + out_dim) * fp16Bytes;
+    out.push_back(std::move(k));
+}
+
+/** Append a norm / activation / residual elementwise kernel. */
+void
+pushElementwise(std::vector<KernelDesc> &out, const char *name,
+                double rows, int width, int batch)
+{
+    KernelDesc k;
+    k.name = name;
+    k.cls = KernelClass::Elementwise;
+    k.compute = DType::FP16;
+    k.batch = batch;
+    k.flops = 6.0 * rows * width;
+    k.actBytes = 2.0 * rows * width * fp16Bytes;
+    out.push_back(std::move(k));
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+prefillKernels(const TransformerSpec &spec, Tokens input_tokens,
+               const KernelBuildOptions &opts)
+{
+    fatal_if(input_tokens < 1, "prefill needs at least one token");
+    fatal_if(input_tokens > spec.maxContext, spec.name,
+             ": prefill length ", input_tokens, " exceeds max context ",
+             spec.maxContext);
+
+    const double rows = static_cast<double>(input_tokens);
+    const Tokens padded = opts.disablePadding
+        ? input_tokens
+        : padToTile(input_tokens, opts.tileTokens);
+    const double prows = static_cast<double>(padded);
+
+    std::vector<KernelDesc> out;
+    out.reserve(static_cast<std::size_t>(spec.layers) * 8 + 4);
+
+    // Embedding lookup.
+    pushElementwise(out, "embed", rows, spec.hidden, 1);
+
+    const int qkv_out = (spec.heads + 2 * spec.kvHeads) * spec.headDim;
+    for (int l = 0; l < spec.layers; ++l) {
+        pushElementwise(out, "input_norm", rows, spec.hidden, 1);
+        pushLinear(out, "qkv_proj", KernelClass::GemmTensorCore, spec,
+                   rows, prows, spec.hidden, qkv_out, 1);
+
+        // Causal attention: score + value matmuls over the padded
+        // token count (the padding is the source of the plateau
+        // behaviour within 128-token segments).
+        KernelDesc attn;
+        attn.name = "attn_prefill";
+        attn.cls = KernelClass::AttentionPrefill;
+        attn.compute = DType::FP32;
+        attn.batch = 1;
+        attn.flops = 2.0 * spec.attnWidth() * prows * prows;
+        attn.actBytes = rows * spec.attnWidth() * 3.0 * fp16Bytes +
+            rows * spec.kvHeads * spec.headDim * 2.0 * fp16Bytes;
+        out.push_back(std::move(attn));
+
+        pushLinear(out, "o_proj", KernelClass::GemmTensorCore, spec,
+                   rows, prows, spec.attnWidth(), spec.hidden, 1);
+        pushElementwise(out, "post_norm", rows, spec.hidden, 1);
+        pushLinear(out, "ffn_gate", KernelClass::GemmTensorCore, spec,
+                   rows, prows, spec.hidden, spec.ffnHidden, 1);
+        pushLinear(out, "ffn_up", KernelClass::GemmTensorCore, spec,
+                   rows, prows, spec.hidden, spec.ffnHidden, 1);
+        pushLinear(out, "ffn_down", KernelClass::GemmTensorCore, spec,
+                   rows, prows, spec.ffnHidden, spec.hidden, 1);
+    }
+
+    pushElementwise(out, "final_norm", rows, spec.hidden, 1);
+    // Only the last position goes through the LM head during prefill.
+    pushLinear(out, "lm_head", KernelClass::GemmTensorCore, spec, 1.0,
+               static_cast<double>(opts.tileTokens), spec.hidden,
+               spec.vocab, 1);
+    return out;
+}
+
+std::vector<KernelDesc>
+prefillSuffixKernels(const TransformerSpec &spec, Tokens cached_prefix,
+                     Tokens suffix_tokens, const KernelBuildOptions &opts)
+{
+    fatal_if(cached_prefix < 0, "negative cached prefix");
+    if (cached_prefix == 0)
+        return prefillKernels(spec, suffix_tokens, opts);
+    fatal_if(suffix_tokens < 1, "suffix prefill needs >= 1 token");
+    fatal_if(cached_prefix + suffix_tokens > spec.maxContext, spec.name,
+             ": context ", cached_prefix + suffix_tokens,
+             " exceeds max context ", spec.maxContext);
+
+    // Linear work covers only the suffix rows...
+    auto out = prefillKernels(spec, suffix_tokens, opts);
+    // ...but attention must also read the cached prefix's KV and run
+    // the suffix-vs-prefix score/value matmuls.  Patch the attention
+    // kernels: causal FLOPs over the full context minus the part the
+    // prefix already computed.
+    const double full = spec.attentionPrefillFlops(cached_prefix +
+                                                   suffix_tokens);
+    const double done = spec.attentionPrefillFlops(cached_prefix);
+    const double per_layer_flops = (full - done) / spec.layers;
+    const double prefix_kv_bytes = static_cast<double>(cached_prefix) *
+        spec.kvBytesPerToken() / spec.layers;
+    for (auto &k : out) {
+        if (k.cls == hw::KernelClass::AttentionPrefill) {
+            k.flops = per_layer_flops;
+            k.actBytes += prefix_kv_bytes;
+        }
+    }
+    return out;
+}
+
+std::vector<KernelDesc>
+decodeKernels(const TransformerSpec &spec, Tokens context, int batch,
+              const KernelBuildOptions &opts)
+{
+    fatal_if(context < 1, "decode needs context >= 1");
+    fatal_if(batch < 1, "decode batch must be >= 1");
+    fatal_if(context > spec.maxContext, spec.name,
+             ": context ", context, " exceeds max context ",
+             spec.maxContext);
+
+    // Tensor cores pad the batch (token-row) dimension; below the tile
+    // size the GEMM wavefront is identical, which is why small parallel
+    // scaling factors are nearly latency-free (Section V-E).
+    const int padded_batch = opts.disablePadding
+        ? batch
+        : static_cast<int>(padToTile(batch, opts.batchTile));
+    const double rows = static_cast<double>(batch);
+    const double prows = static_cast<double>(padded_batch);
+
+    std::vector<KernelDesc> out;
+    out.reserve(static_cast<std::size_t>(spec.layers) * 8 + 4);
+
+    pushElementwise(out, "embed", rows, spec.hidden, batch);
+
+    const int qkv_out = (spec.heads + 2 * spec.kvHeads) * spec.headDim;
+    for (int l = 0; l < spec.layers; ++l) {
+        pushElementwise(out, "input_norm", rows, spec.hidden, batch);
+        pushLinear(out, "qkv_proj", KernelClass::GemvBandwidth, spec,
+                   rows, prows, spec.hidden, qkv_out, batch);
+
+        // Attention over the KV cache: every sample streams the shared
+        // prompt KV plus its own generated KV.
+        KernelDesc attn;
+        attn.name = "attn_decode";
+        attn.cls = KernelClass::AttentionDecode;
+        attn.compute = DType::FP16;
+        attn.batch = batch;
+        attn.flops = spec.attentionDecodeFlops(context) / spec.layers *
+            rows;
+        attn.actBytes = rows * static_cast<double>(context) *
+            spec.kvBytesPerToken() / spec.layers;
+        out.push_back(std::move(attn));
+
+        pushLinear(out, "o_proj", KernelClass::GemvBandwidth, spec, rows,
+                   prows, spec.attnWidth(), spec.hidden, batch);
+        pushElementwise(out, "post_norm", rows, spec.hidden, batch);
+        pushLinear(out, "ffn_gate", KernelClass::GemvBandwidth, spec,
+                   rows, prows, spec.hidden, spec.ffnHidden, batch);
+        pushLinear(out, "ffn_up", KernelClass::GemvBandwidth, spec, rows,
+                   prows, spec.hidden, spec.ffnHidden, batch);
+        pushLinear(out, "ffn_down", KernelClass::GemvBandwidth, spec,
+                   rows, prows, spec.ffnHidden, spec.hidden, batch);
+    }
+
+    pushElementwise(out, "final_norm", rows, spec.hidden, batch);
+    pushLinear(out, "lm_head", KernelClass::GemvBandwidth, spec, rows,
+               prows, spec.hidden, spec.vocab, batch);
+    return out;
+}
+
+Flops
+totalFlops(const std::vector<KernelDesc> &kernels)
+{
+    Flops acc = 0.0;
+    for (const auto &k : kernels)
+        acc += k.flops;
+    return acc;
+}
+
+double
+totalBytes(const std::vector<KernelDesc> &kernels)
+{
+    double acc = 0.0;
+    for (const auto &k : kernels)
+        acc += k.weightBytes + k.actBytes;
+    return acc;
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,181 @@
+#include "engine/kv_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+KvCache::KvCache(Bytes capacity_bytes, const model::TransformerSpec &spec,
+                 Tokens block_tokens)
+    : block_tokens_(block_tokens)
+{
+    fatal_if(block_tokens < 1, "block size must be >= 1 token");
+    fatal_if(capacity_bytes <= 0, "KV cache capacity must be positive");
+    block_bytes_ = static_cast<Bytes>(
+        spec.kvBytesPerToken() * static_cast<double>(block_tokens));
+    fatal_if(block_bytes_ <= 0, "degenerate block byte size");
+    block_capacity_ = static_cast<std::size_t>(
+        capacity_bytes / block_bytes_);
+    fatal_if(block_capacity_ == 0,
+             "KV capacity ", capacity_bytes, " B too small for one block (",
+             block_bytes_, " B) of ", spec.name);
+    blocks_.reserve(std::min<std::size_t>(block_capacity_, 1 << 16));
+}
+
+SeqId
+KvCache::createSequence()
+{
+    const SeqId id = next_seq_++;
+    seqs_.emplace(id, Sequence{});
+    return id;
+}
+
+std::uint32_t
+KvCache::allocBlock()
+{
+    panic_if(blocks_in_use_ >= block_capacity_,
+             "allocBlock called with no free capacity");
+    ++blocks_in_use_;
+    if (!free_list_.empty()) {
+        const std::uint32_t b = free_list_.back();
+        free_list_.pop_back();
+        blocks_[b] = Block{1, 0};
+        return b;
+    }
+    blocks_.push_back(Block{1, 0});
+    return static_cast<std::uint32_t>(blocks_.size() - 1);
+}
+
+void
+KvCache::unref(std::uint32_t block)
+{
+    Block &b = blocks_.at(block);
+    panic_if(b.refcount <= 0, "unref of dead block");
+    if (--b.refcount == 0) {
+        --blocks_in_use_;
+        free_list_.push_back(block);
+    }
+}
+
+bool
+KvCache::append(SeqId seq, Tokens n)
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "append to unknown sequence ", seq);
+    panic_if(n < 0, "negative append");
+    Sequence &s = it->second;
+    if (n == 0)
+        return true;
+
+    // Appends are transactional: compute the block demand up front and
+    // reject without mutating when it cannot be met (callers rely on
+    // "false" meaning "nothing happened").
+    Tokens tail_space = 0;
+    bool cow_needed = false;
+    if (!s.blocks.empty()) {
+        const Block &tail = blocks_[s.blocks.back()];
+        if (tail.filled < block_tokens_) {
+            tail_space = block_tokens_ - tail.filled;
+            cow_needed = tail.refcount > 1;
+        }
+    }
+    const Tokens beyond_tail = std::max<Tokens>(0, n - tail_space);
+    const std::size_t new_blocks =
+        static_cast<std::size_t>((beyond_tail + block_tokens_ - 1) /
+                                 block_tokens_) +
+        (cow_needed ? 1 : 0);
+    if (blocks_in_use_ + new_blocks > block_capacity_)
+        return false;
+
+    while (n > 0) {
+        // Copy-on-write the tail block if it is shared or missing/full.
+        bool need_block = s.blocks.empty();
+        if (!need_block) {
+            const Block &tail = blocks_[s.blocks.back()];
+            need_block = tail.filled >= block_tokens_;
+        }
+        bool need_cow = false;
+        if (!need_block) {
+            const Block &tail = blocks_[s.blocks.back()];
+            need_cow = tail.refcount > 1;
+        }
+        if (need_block || need_cow) {
+            panic_if(blocks_in_use_ >= block_capacity_,
+                     "append pre-check admitted an unservable append");
+            const Tokens keep = need_cow
+                ? blocks_[s.blocks.back()].filled : 0;
+            const std::uint32_t nb = allocBlock();
+            if (need_cow) {
+                blocks_[nb].filled = keep;
+                unref(s.blocks.back());
+                s.blocks.back() = nb;
+            } else {
+                s.blocks.push_back(nb);
+            }
+        }
+        Block &tail = blocks_[s.blocks.back()];
+        const Tokens space = block_tokens_ - tail.filled;
+        const Tokens take = std::min(space, n);
+        tail.filled += take;
+        s.tokens += take;
+        n -= take;
+    }
+    return true;
+}
+
+SeqId
+KvCache::fork(SeqId seq)
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "fork of unknown sequence ", seq);
+    const SeqId id = next_seq_++;
+    Sequence child = it->second;
+    for (std::uint32_t b : child.blocks)
+        ++blocks_[b].refcount;
+    seqs_.emplace(id, std::move(child));
+    return id;
+}
+
+void
+KvCache::release(SeqId seq)
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "release of unknown sequence ", seq);
+    for (std::uint32_t b : it->second.blocks)
+        unref(b);
+    seqs_.erase(it);
+}
+
+Tokens
+KvCache::sequenceTokens(SeqId seq) const
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "unknown sequence ", seq);
+    return it->second.tokens;
+}
+
+std::size_t
+KvCache::sequenceBlocks(SeqId seq) const
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "unknown sequence ", seq);
+    return it->second.blocks.size();
+}
+
+Bytes
+KvCache::bytesInUse() const
+{
+    return static_cast<Bytes>(blocks_in_use_) * block_bytes_;
+}
+
+Tokens
+KvCache::freeTokenCapacity() const
+{
+    const std::size_t free_blocks = block_capacity_ - blocks_in_use_;
+    return static_cast<Tokens>(free_blocks) * block_tokens_;
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Paged KV-cache manager in the style of vLLM's PagedAttention (the
+ * paper's inference engine).  Token blocks are reference counted so that
+ * parallel-scaling samples share the prompt prefix and copy-on-write
+ * their generated suffixes.  Capacity accounting is against the Orin's
+ * usable DRAM after the model weights are resident, which is what limits
+ * batch size and context length on a 64 GB part.
+ */
+
+#ifndef EDGEREASON_ENGINE_KV_CACHE_HH
+#define EDGEREASON_ENGINE_KV_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "model/transformer_spec.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Opaque sequence handle. */
+using SeqId = std::uint64_t;
+
+/** Paged KV cache with block sharing. */
+class KvCache
+{
+  public:
+    /**
+     * @param capacity_bytes  DRAM budget for KV blocks
+     * @param spec  architecture (defines bytes per cached token)
+     * @param block_tokens  tokens per block (vLLM default is 16)
+     */
+    KvCache(Bytes capacity_bytes, const model::TransformerSpec &spec,
+            Tokens block_tokens = 16);
+
+    /** Create an empty sequence. @return its handle. */
+    SeqId createSequence();
+
+    /**
+     * Append @p n tokens to a sequence, allocating blocks as needed.
+     * Shared (forked) tail blocks are copied on write.
+     *
+     * @return true on success, false if the cache is out of blocks (the
+     *   caller decides whether that is fatal or triggers preemption)
+     */
+    bool append(SeqId seq, Tokens n);
+
+    /**
+     * Fork a sequence for parallel sampling: the child shares all of the
+     * parent's blocks (prefix sharing).  O(blocks) time.
+     */
+    SeqId fork(SeqId seq);
+
+    /** Release a sequence and unreference its blocks. */
+    void release(SeqId seq);
+
+    /** @return logical token count of a sequence. */
+    Tokens sequenceTokens(SeqId seq) const;
+    /** @return number of physical blocks referenced by a sequence. */
+    std::size_t sequenceBlocks(SeqId seq) const;
+
+    /** @return physical blocks currently allocated. */
+    std::size_t blocksInUse() const { return blocks_in_use_; }
+    /** @return bytes of KV data physically resident. */
+    Bytes bytesInUse() const;
+    /** @return total block capacity. */
+    std::size_t blockCapacity() const { return block_capacity_; }
+    /** @return bytes one full block occupies. */
+    Bytes blockBytes() const { return block_bytes_; }
+    /** @return tokens per block. */
+    Tokens blockTokens() const { return block_tokens_; }
+    /** @return number of live sequences. */
+    std::size_t sequenceCount() const { return seqs_.size(); }
+
+    /** @return largest appendable token count right now for one seq. */
+    Tokens freeTokenCapacity() const;
+
+  private:
+    struct Block
+    {
+        int refcount = 0;
+        Tokens filled = 0; //!< tokens stored in this block
+    };
+
+    struct Sequence
+    {
+        std::vector<std::uint32_t> blocks;
+        Tokens tokens = 0;
+    };
+
+    std::uint32_t allocBlock();
+    void unref(std::uint32_t block);
+
+    Tokens block_tokens_;
+    Bytes block_bytes_;
+    std::size_t block_capacity_;
+    std::size_t blocks_in_use_ = 0;
+    std::vector<Block> blocks_;
+    std::vector<std::uint32_t> free_list_;
+    std::unordered_map<SeqId, Sequence> seqs_;
+    SeqId next_seq_ = 1;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_KV_CACHE_HH

@@ -1,0 +1,267 @@
+#include "engine/server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace edgereason {
+namespace engine {
+
+ServingSimulator::ServingSimulator(InferenceEngine &engine,
+                                   ServerConfig config)
+    : engine_(engine), config_(config)
+{
+    fatal_if(config_.maxBatch < 1, "maxBatch must be >= 1");
+    fatal_if(config_.kvWatermark <= 0.0 || config_.kvWatermark > 1.0,
+             "kvWatermark out of (0, 1]");
+}
+
+std::vector<ServerRequest>
+ServingSimulator::poissonTrace(Rng &rng, std::size_t n, double qps,
+                               double mean_in, double mean_out,
+                               double cv)
+{
+    fatal_if(qps <= 0.0, "qps must be positive");
+    std::vector<ServerRequest> trace;
+    trace.reserve(n);
+    Seconds t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += -std::log(1.0 - rng.uniform()) / qps;
+        ServerRequest r;
+        r.arrival = t;
+        r.inputTokens = std::max<Tokens>(8, static_cast<Tokens>(
+            std::llround(rng.logNormalMeanStd(mean_in,
+                                              cv * mean_in))));
+        r.outputTokens = std::max<Tokens>(8, static_cast<Tokens>(
+            std::llround(rng.logNormalMeanStd(mean_out,
+                                              cv * mean_out))));
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+int
+ServingSimulator::maxBatchForMemory(const InferenceEngine &engine,
+                                    Tokens input_tokens,
+                                    Tokens output_tokens)
+{
+    const double per_seq =
+        engine.spec().kvBytesPerToken() *
+        static_cast<double>(input_tokens + output_tokens);
+    if (per_seq <= 0.0)
+        return 1;
+    return std::max(1, static_cast<int>(
+        static_cast<double>(engine.kvBudget()) / per_seq));
+}
+
+ServingReport
+ServingSimulator::run(std::vector<ServerRequest> trace)
+{
+    fatal_if(trace.empty(), "empty serving trace");
+    std::sort(trace.begin(), trace.end(),
+              [](const ServerRequest &a, const ServerRequest &b) {
+                  return a.arrival < b.arrival;
+              });
+
+    struct Active
+    {
+        ServerRequest req;
+        Seconds prefillStart = 0.0;
+        Tokens generated = 0;
+    };
+
+    struct Prefilling
+    {
+        ServerRequest req;
+        Seconds prefillStart = 0.0;
+        Tokens done = 0;
+    };
+
+    const double kv_budget = config_.kvWatermark *
+        static_cast<double>(engine_.kvBudget());
+    const double kv_per_token = engine_.spec().kvBytesPerToken();
+    const hw::PowerModel &power = engine_.soc().power();
+    const auto &pp = engine_.calib().power;
+
+    // Memoized noiseless step latency over bucketed context.
+    std::map<std::pair<Tokens, int>, Seconds> step_cache;
+    const auto step_latency = [&](Tokens ctx, int batch) {
+        const Tokens bucket = std::max<Tokens>(
+            64, (ctx + 63) / 64 * 64);
+        const auto key = std::make_pair(bucket, batch);
+        auto it = step_cache.find(key);
+        if (it == step_cache.end()) {
+            it = step_cache.emplace(
+                key, engine_.decodeStepLatency(bucket, batch)).first;
+        }
+        return it->second;
+    };
+
+    served_.clear();
+    served_.reserve(trace.size());
+
+    std::size_t next_arrival = 0;
+    std::deque<ServerRequest> queue;
+    std::deque<Prefilling> prefilling;
+    std::vector<Active> active;
+    Seconds clock = 0.0;
+    Seconds busy = 0.0;
+    Joules energy = 0.0;
+    double batch_time_weighted = 0.0;
+    double committed_kv = 0.0;
+    double generated_tokens = 0.0;
+    const Seconds first_arrival = trace.front().arrival;
+
+    const auto pull_arrivals = [&]() {
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival <= clock + 1e-12) {
+            queue.push_back(trace[next_arrival]);
+            ++next_arrival;
+        }
+    };
+
+    while (!queue.empty() || !prefilling.empty() || !active.empty() ||
+           next_arrival < trace.size()) {
+        pull_arrivals();
+
+        if (queue.empty() && prefilling.empty() && active.empty()) {
+            // Idle until the next arrival.
+            clock = trace[next_arrival].arrival;
+            pull_arrivals();
+        }
+
+        // Admission: reserve KV and start prefilling while capacity
+        // allows (prefilling sequences count against the batch cap).
+        // Highest priority first; FIFO within a class.
+        while (!queue.empty() &&
+               static_cast<int>(active.size() + prefilling.size()) <
+                   config_.maxBatch) {
+            auto best = queue.begin();
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                if (it->priority > best->priority ||
+                    (it->priority == best->priority &&
+                     it->arrival < best->arrival))
+                    best = it;
+            }
+            const ServerRequest r = *best;
+            const double need = kv_per_token *
+                static_cast<double>(r.inputTokens + r.outputTokens);
+            if (committed_kv + need > kv_budget &&
+                !(active.empty() && prefilling.empty()))
+                break; // wait for completions to free memory
+            fatal_if(committed_kv + need > kv_budget &&
+                         active.empty() && prefilling.empty(),
+                     "request (", r.inputTokens, "+", r.outputTokens,
+                     " tokens) can never fit the KV budget");
+
+            Prefilling p;
+            p.req = r;
+            p.prefillStart = clock;
+            committed_kv += need;
+            prefilling.push_back(p);
+            queue.erase(best);
+        }
+
+        // Prefill work: one chunk (or the whole prompt when chunking
+        // is disabled) of the oldest prefilling request, interleaved
+        // with decode steps below.
+        if (!prefilling.empty()) {
+            Prefilling &p = prefilling.front();
+            const Tokens remaining = p.req.inputTokens - p.done;
+            const Tokens chunk = config_.prefillChunk > 0
+                ? std::min<Tokens>(config_.prefillChunk, remaining)
+                : remaining;
+            // A chunk costs like a prefill of its own length; the
+            // attention-over-prefix term is second-order for the
+            // chunk sizes of interest and is absorbed by the padding.
+            const Seconds pf = engine_.prefillLatency(chunk);
+            const Watts pw = power.prefill(pp, p.req.inputTokens);
+            clock += pf;
+            busy += pf;
+            energy += pw * pf;
+            p.done += chunk;
+            if (p.done >= p.req.inputTokens) {
+                Active a;
+                a.req = p.req;
+                a.prefillStart = p.prefillStart;
+                active.push_back(a);
+                prefilling.pop_front();
+            }
+        }
+
+        if (active.empty())
+            continue;
+
+        // One decode step for the whole batch.
+        const int batch = static_cast<int>(active.size());
+        double ctx_sum = 0.0;
+        double gen_sum = 0.0;
+        for (const auto &a : active) {
+            ctx_sum += static_cast<double>(a.req.inputTokens +
+                                           a.generated);
+            gen_sum += static_cast<double>(a.generated);
+        }
+        const Tokens avg_ctx = static_cast<Tokens>(
+            std::llround(ctx_sum / batch));
+        const Seconds dt = step_latency(avg_ctx, batch);
+        const Tokens avg_o = std::max<Tokens>(
+            1, static_cast<Tokens>(std::llround(gen_sum / batch)) + 1);
+        const Watts pw = power.decode(pp, avg_o, batch);
+        clock += dt;
+        busy += dt;
+        energy += pw * dt;
+        batch_time_weighted += batch * dt;
+        generated_tokens += batch;
+
+        // Advance sequences; retire completed ones.
+        for (std::size_t i = 0; i < active.size();) {
+            Active &a = active[i];
+            ++a.generated;
+            if (a.generated >= a.req.outputTokens) {
+                ServedRequest done;
+                done.request = a.req;
+                done.queueDelay = a.prefillStart - a.req.arrival;
+                done.serviceTime = clock - a.prefillStart;
+                done.finish = clock;
+                served_.push_back(done);
+                committed_kv -= kv_per_token *
+                    static_cast<double>(a.req.inputTokens +
+                                        a.req.outputTokens);
+                active[i] = active.back();
+                active.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    ServingReport rep;
+    rep.completed = served_.size();
+    rep.makespan = clock - first_arrival;
+    rep.throughputQps = rep.makespan > 0.0
+        ? static_cast<double>(rep.completed) / rep.makespan
+        : 0.0;
+    rep.totalEnergy = energy;
+    rep.energyPerQuery = energy / static_cast<double>(rep.completed);
+    rep.generatedTokens = generated_tokens;
+    rep.avgBatch = busy > 0.0 ? batch_time_weighted / busy : 0.0;
+    rep.utilization = rep.makespan > 0.0 ? busy / rep.makespan : 0.0;
+
+    std::vector<double> latencies;
+    latencies.reserve(served_.size());
+    RunningStats lat;
+    for (const auto &s : served_) {
+        latencies.push_back(s.latency());
+        lat.add(s.latency());
+    }
+    rep.meanLatency = lat.mean();
+    rep.p50Latency = percentile(latencies, 50.0);
+    rep.p95Latency = percentile(latencies, 95.0);
+    return rep;
+}
+
+} // namespace engine
+} // namespace edgereason

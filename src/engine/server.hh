@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Continuous-batching serving simulator.  The paper observes that
+ * "edge deployment costs also benefit from batching and increased
+ * queries per second" (Section III-B); this module quantifies that
+ * claim: requests arrive over time (Poisson or trace-driven), a
+ * vLLM-style scheduler admits them into a shared decode batch as KV
+ * memory allows, and the simulator reports the latency distribution,
+ * throughput, power and energy per query as functions of offered load.
+ *
+ * The decode loop is step-synchronous, which is how continuous
+ * batching behaves on a single GPU: every active sequence advances one
+ * token per engine step, the step cost comes from the roofline model
+ * at the current batch size, and prefills are interleaved between
+ * decode steps (each prefill stalls decoding, as it does on hardware
+ * without chunked prefill).
+ */
+
+#ifndef EDGEREASON_ENGINE_SERVER_HH
+#define EDGEREASON_ENGINE_SERVER_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "engine/engine.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** One serving request. */
+struct ServerRequest
+{
+    Seconds arrival = 0.0;
+    Tokens inputTokens = 0;
+    Tokens outputTokens = 0;
+    /**
+     * Scheduling class: higher admits first (an autonomous system's
+     * "avoid that obstacle now!" outranks its background planning
+     * queries).  FIFO within a class.
+     */
+    int priority = 0;
+};
+
+/** Completed-request record. */
+struct ServedRequest
+{
+    ServerRequest request;
+    Seconds queueDelay = 0.0;   //!< arrival -> prefill start
+    Seconds serviceTime = 0.0;  //!< prefill start -> last token
+    /** @return total request latency. */
+    Seconds latency() const { return queueDelay + serviceTime; }
+    Seconds finish = 0.0;
+};
+
+/** Aggregate serving metrics. */
+struct ServingReport
+{
+    std::size_t completed = 0;
+    Seconds makespan = 0.0;      //!< first arrival -> last completion
+    double throughputQps = 0.0;
+    double avgBatch = 0.0;       //!< time-weighted decode batch size
+    Seconds meanLatency = 0.0;
+    Seconds p50Latency = 0.0;
+    Seconds p95Latency = 0.0;
+    Joules totalEnergy = 0.0;
+    Joules energyPerQuery = 0.0;
+    double generatedTokens = 0.0;
+    /** Device-busy fraction of the makespan. */
+    double utilization = 0.0;
+};
+
+/** Scheduler limits. */
+struct ServerConfig
+{
+    /** Hard cap on concurrent decoding sequences. */
+    int maxBatch = 32;
+    /**
+     * Fraction of the KV budget the scheduler is willing to commit
+     * (vLLM-style watermark to absorb generation-length variance).
+     */
+    double kvWatermark = 0.9;
+    /**
+     * Chunked prefill: process at most this many prompt tokens
+     * between decode steps instead of stalling the whole batch for a
+     * full prefill (0 disables chunking).  Long prompts then admit
+     * gradually, bounding the decode stall per step and improving
+     * tail latency for in-flight requests.
+     */
+    Tokens prefillChunk = 0;
+};
+
+/**
+ * Serving simulator bound to one engine (one model on one SoC).
+ * The engine is borrowed and must outlive the server.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(InferenceEngine &engine, ServerConfig config = {});
+
+    /** Run a request trace to completion. @return aggregate metrics. */
+    ServingReport run(std::vector<ServerRequest> trace);
+
+    /** @return per-request records of the last run. */
+    const std::vector<ServedRequest> &served() const { return served_; }
+
+    /**
+     * Generate a Poisson arrival trace with log-normal input/output
+     * lengths (deterministic in the rng).
+     */
+    static std::vector<ServerRequest>
+    poissonTrace(Rng &rng, std::size_t n, double qps, double mean_in,
+                 double mean_out, double cv = 0.45);
+
+    /**
+     * Largest decode batch whose KV footprint (shared prompts not
+     * assumed) fits the engine's KV budget at the given lengths.
+     */
+    static int maxBatchForMemory(const InferenceEngine &engine,
+                                 Tokens input_tokens,
+                                 Tokens output_tokens);
+
+  private:
+    InferenceEngine &engine_;
+    ServerConfig config_;
+    std::vector<ServedRequest> served_;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_SERVER_HH

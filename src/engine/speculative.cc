@@ -1,0 +1,65 @@
+#include "engine/speculative.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+double
+expectedAccepted(double acceptance, int gamma)
+{
+    fatal_if(acceptance < 0.0 || acceptance >= 1.0,
+             "acceptance rate out of [0, 1)");
+    fatal_if(gamma < 1, "gamma must be >= 1");
+    if (acceptance == 0.0)
+        return 1.0;
+    return (1.0 - std::pow(acceptance, gamma + 1)) / (1.0 - acceptance);
+}
+
+SpeculativeEstimate
+estimateSpeculative(const InferenceEngine &target,
+                    const InferenceEngine &draft, Tokens context,
+                    const SpeculativeConfig &cfg)
+{
+    // Both weight sets must co-reside, plus working KV headroom.
+    const Bytes kv_headroom = 2LL * 1024 * 1024 * 1024;
+    const Bytes combined = target.weightFootprint() +
+        draft.weightFootprint() + kv_headroom;
+    fatal_if(combined >= target.soc().usableMemory(),
+             "draft (", draft.spec().name, ") + target (",
+             target.spec().name, ") weights + KV headroom exceed "
+             "DRAM: ", combined / 1e9, " GB");
+
+    SpeculativeEstimate e;
+    e.plainStep = target.decodeStepLatency(context);
+    e.draftStep = draft.decodeStepLatency(context);
+    // Verification: one target pass over gamma+1 token rows.  The
+    // token rows ride the 128-wide batch-tile padding, so the pass
+    // costs one weight-streaming step plus the extra KV/activation
+    // traffic, which decodeStepLatency(ctx, batch) already models.
+    e.verifyStep = target.decodeStepLatency(context, cfg.gamma + 1);
+    e.acceptedPerCycle = expectedAccepted(cfg.acceptance, cfg.gamma);
+
+    const Seconds cycle = cfg.gamma * e.draftStep + e.verifyStep;
+    e.effectiveTbt = cycle / e.acceptedPerCycle;
+    e.speedup = e.plainStep / e.effectiveTbt;
+
+    // Energy: both models' decode power profiles apply during their
+    // respective phases of the cycle.
+    const hw::PowerModel &power = target.soc().power();
+    const Tokens o_rep = std::max<Tokens>(1, context / 4);
+    const Watts p_target = power.decode(target.calib().power, o_rep,
+                                        cfg.gamma + 1);
+    const Watts p_draft = power.decode(draft.calib().power, o_rep);
+    const Joules cycle_energy = p_draft * cfg.gamma * e.draftStep +
+        p_target * e.verifyStep;
+    e.energyPerToken = cycle_energy / e.acceptedPerCycle;
+    e.plainEnergyPerToken =
+        power.decode(target.calib().power, o_rep) * e.plainStep;
+    return e;
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Speculative decoding estimator (the paper's Section VI names
+ * speculative decoding as the key lever for raising the computational
+ * intensity of bandwidth-bound edge decode).  A small draft model
+ * proposes gamma tokens autoregressively; the target model verifies
+ * them in a single forward pass whose cost is essentially one decode
+ * step (the batch-padded tensor-core GEMMs absorb the extra token rows
+ * for free on the Orin, exactly the effect Section V-E measures).
+ *
+ * Expected accepted tokens per cycle under the standard i.i.d.
+ * acceptance model with rate alpha is (1 - alpha^{gamma+1}) /
+ * (1 - alpha)  [Leviathan et al.].
+ */
+
+#ifndef EDGEREASON_ENGINE_SPECULATIVE_HH
+#define EDGEREASON_ENGINE_SPECULATIVE_HH
+
+#include "engine/engine.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Configuration of a draft/target speculative pair. */
+struct SpeculativeConfig
+{
+    int gamma = 4;          //!< draft tokens proposed per cycle
+    double acceptance = 0.8; //!< per-token acceptance rate alpha
+};
+
+/** Predicted speculative-decoding performance. */
+struct SpeculativeEstimate
+{
+    Seconds draftStep = 0.0;    //!< draft model TBT
+    Seconds verifyStep = 0.0;   //!< target verification pass time
+    Seconds plainStep = 0.0;    //!< target TBT without speculation
+    double acceptedPerCycle = 0.0;
+    Seconds effectiveTbt = 0.0; //!< per emitted token with speculation
+    double speedup = 0.0;       //!< plainStep / effectiveTbt
+    /** Energy per emitted token (draft + verify, watts from both). */
+    Joules energyPerToken = 0.0;
+    Joules plainEnergyPerToken = 0.0;
+};
+
+/**
+ * Estimate speculative decoding of @p target drafted by @p draft.
+ * Both engines must live on the same SoC model (the draft's weights
+ * must co-reside with the target's in DRAM; the estimator checks).
+ *
+ * @param context  representative context length
+ * @throws std::runtime_error if both models cannot fit in DRAM
+ */
+SpeculativeEstimate
+estimateSpeculative(const InferenceEngine &target,
+                    const InferenceEngine &draft, Tokens context,
+                    const SpeculativeConfig &cfg = {});
+
+/** Expected accepted tokens per cycle: (1 - a^{g+1}) / (1 - a). */
+double expectedAccepted(double acceptance, int gamma);
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_SPECULATIVE_HH

@@ -1,0 +1,119 @@
+#include "engine/tokenizer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgereason {
+namespace engine {
+
+Tokenizer::Tokenizer(std::uint32_t vocab_size) : vocab_size_(vocab_size)
+{
+    fatal_if(vocab_size_ < 256, "vocab too small");
+}
+
+std::uint32_t
+Tokenizer::idFor(std::string_view piece) const
+{
+    return static_cast<std::uint32_t>(Rng::hashString(piece) %
+                                      vocab_size_);
+}
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '\'' ||
+        c == '-';
+}
+
+} // namespace
+
+std::vector<TokenPiece>
+Tokenizer::encode(std::string_view text) const
+{
+    std::vector<TokenPiece> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            // Whitespace attaches to the following piece (GPT-style);
+            // a run of whitespace becomes part of the next token.
+            std::size_t j = i;
+            while (j < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[j])))
+                ++j;
+            if (j >= text.size()) {
+                out.push_back({idFor(text.substr(i)),
+                               std::string(text.substr(i))});
+                break;
+            }
+            // Fall through with the whitespace prefix attached.
+            std::size_t k = j;
+            if (isWordChar(text[k])) {
+                while (k < text.size() && isWordChar(text[k]))
+                    ++k;
+                std::string_view word = text.substr(j, k - j);
+                // Leading whitespace joins the first piece.
+                std::size_t p = 0;
+                bool first = true;
+                while (p < word.size()) {
+                    const std::size_t len =
+                        std::min(pieceChars, word.size() - p);
+                    std::string piece = first
+                        ? std::string(text.substr(i, j - i)) +
+                            std::string(word.substr(p, len))
+                        : std::string(word.substr(p, len));
+                    out.push_back({idFor(piece), std::move(piece)});
+                    p += len;
+                    first = false;
+                }
+            } else {
+                std::string piece =
+                    std::string(text.substr(i, j - i)) + text[k];
+                out.push_back({idFor(piece), std::move(piece)});
+                ++k;
+            }
+            i = k;
+            continue;
+        }
+        if (isWordChar(c)) {
+            std::size_t j = i;
+            while (j < text.size() && isWordChar(text[j]))
+                ++j;
+            std::string_view word = text.substr(i, j - i);
+            for (std::size_t p = 0; p < word.size(); p += pieceChars) {
+                const std::size_t len =
+                    std::min(pieceChars, word.size() - p);
+                std::string piece(word.substr(p, len));
+                out.push_back({idFor(piece), std::move(piece)});
+            }
+            i = j;
+        } else {
+            std::string piece(1, c);
+            out.push_back({idFor(piece), std::move(piece)});
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::size_t
+Tokenizer::countTokens(std::string_view text) const
+{
+    return encode(text).size();
+}
+
+std::string
+Tokenizer::decode(const std::vector<TokenPiece> &pieces)
+{
+    std::string out;
+    for (const auto &p : pieces)
+        out += p.text;
+    return out;
+}
+
+} // namespace engine
+} // namespace edgereason

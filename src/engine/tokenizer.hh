@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A small deterministic tokenizer for the demo surface.  The study's
+ * accuracy pipeline works in token counts, but the examples and the
+ * trace generator want to move real text through the engine; this
+ * tokenizer provides a stable text <-> token-count mapping with
+ * BPE-like granularity (short words are one token, long words split
+ * into 4-character pieces, punctuation stands alone), which lands near
+ * the ~1.3 tokens/word ratio of real LLM tokenizers on English text.
+ */
+
+#ifndef EDGEREASON_ENGINE_TOKENIZER_HH
+#define EDGEREASON_ENGINE_TOKENIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgereason {
+namespace engine {
+
+/** One tokenized piece. */
+struct TokenPiece
+{
+    std::uint32_t id = 0;
+    std::string text;
+};
+
+/** Deterministic demo tokenizer. */
+class Tokenizer
+{
+  public:
+    /** @param vocab_size  ids are hashed into [0, vocab_size). */
+    explicit Tokenizer(std::uint32_t vocab_size = 151936);
+
+    /** Tokenize text into pieces. */
+    std::vector<TokenPiece> encode(std::string_view text) const;
+
+    /** @return the token count of a text (no piece materialization). */
+    std::size_t countTokens(std::string_view text) const;
+
+    /** Reassemble text from pieces (inverse of encode). */
+    static std::string decode(const std::vector<TokenPiece> &pieces);
+
+    /** @return the configured vocabulary size. */
+    std::uint32_t vocabSize() const { return vocab_size_; }
+
+    /** Piece length for long-word splitting. */
+    static constexpr std::size_t pieceChars = 4;
+
+  private:
+    std::uint32_t idFor(std::string_view piece) const;
+
+    std::uint32_t vocab_size_;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_TOKENIZER_HH

@@ -1,0 +1,80 @@
+#include "hw/gpu_spec.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace hw {
+
+const char *
+powerModeName(PowerMode m)
+{
+    switch (m) {
+      case PowerMode::W15:
+        return "15W";
+      case PowerMode::W30:
+        return "30W";
+      case PowerMode::W50:
+        return "50W";
+      case PowerMode::MaxN:
+        return "MAXN";
+    }
+    panic("unknown power mode");
+}
+
+double
+powerModeScale(PowerMode m)
+{
+    // Frequency scaling of GPU clock + EMC clock relative to MAXN,
+    // approximated from JetPack nvpmodel tables for the AGX Orin 64GB.
+    switch (m) {
+      case PowerMode::W15:
+        return 0.32;
+      case PowerMode::W30:
+        return 0.47;
+      case PowerMode::W50:
+        return 0.76;
+      case PowerMode::MaxN:
+        return 1.0;
+    }
+    panic("unknown power mode");
+}
+
+Watts
+powerModeCap(PowerMode m)
+{
+    switch (m) {
+      case PowerMode::W15:
+        return 15.0;
+      case PowerMode::W30:
+        return 30.0;
+      case PowerMode::W50:
+        return 50.0;
+      case PowerMode::MaxN:
+        return 60.0;
+    }
+    panic("unknown power mode");
+}
+
+Flops
+GpuSpec::peakTensorFlops(DType compute) const
+{
+    switch (compute) {
+      case DType::FP32:
+        return peakFp32Flops;
+      case DType::FP16:
+        return peakFp16TensorFlops;
+      case DType::INT8:
+      case DType::W4A16: // INT4 unsupported on Ampere; falls back to INT8.
+        return peakInt8TensorOps;
+    }
+    panic("unknown dtype");
+}
+
+double
+GpuSpec::machineBalanceFp16() const
+{
+    return peakFp16TensorFlops / memBandwidth;
+}
+
+} // namespace hw
+} // namespace edgereason

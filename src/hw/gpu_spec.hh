@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compute specifications of the NVIDIA Jetson AGX Orin 64GB SoC used
+ * throughout the paper (Table I and Section II-D), plus the configurable
+ * power modes (Section IV-B).
+ */
+
+#ifndef EDGEREASON_HW_GPU_SPEC_HH
+#define EDGEREASON_HW_GPU_SPEC_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace hw {
+
+/** Orin's configurable power envelopes (Section IV-B). */
+enum class PowerMode { W15, W30, W50, MaxN };
+
+/** @return human-readable power mode name. */
+const char *powerModeName(PowerMode m);
+
+/**
+ * Relative peak-frequency scale of a power mode versus MAXN.  Lower power
+ * modes cap GPU/memory clocks; the scale multiplies both peak FLOPs and
+ * peak DRAM bandwidth in the device model.
+ */
+double powerModeScale(PowerMode m);
+
+/** Power-envelope cap in watts for a mode (MAXN is 60 W on the AGX Orin). */
+Watts powerModeCap(PowerMode m);
+
+/**
+ * Static hardware description of an edge GPU SoC.  Defaults correspond to
+ * the Jetson AGX Orin 64GB (Table I).
+ */
+struct GpuSpec
+{
+    std::string name = "NVIDIA Jetson AGX Orin 64GB";
+
+    int cudaCores = 2048;
+    int tensorCores = 64;
+    int smCount = 16;
+    int dlaCores = 2;
+
+    /** Peak FP32 throughput on CUDA cores. */
+    Flops peakFp32Flops = 5.3e12;
+    /** Peak dense FP16 tensor-core throughput. */
+    Flops peakFp16TensorFlops = 68.75e12;
+    /** Peak dense INT8 tensor-core throughput (ops/s). */
+    Flops peakInt8TensorOps = 137.5e12;
+    /** Peak sparse INT8 throughput quoted in Table I (ops/s). */
+    Flops peakInt8SparseOps = 275e12;
+    /** DLA INT8 throughput (ops/s), idle during transformer inference. */
+    Flops dlaInt8Ops = 52.5e12;
+
+    /** LPDDR5 capacity. */
+    Bytes memCapacity = 64LL * 1024 * 1024 * 1024;
+    /** LPDDR5 peak bandwidth. */
+    double memBandwidth = 204.8e9;
+    /** GPU L2 cache. */
+    Bytes l2Cache = 4LL * 1024 * 1024;
+    /** Aggregate GPU L1 (192 KB x 16 SMs). */
+    Bytes l1Cache = 3LL * 1024 * 1024;
+
+    /**
+     * Tensor-core tile granularity.  CUTLASS kernels pad the token
+     * dimension to 128-element blocks, producing the stepped prefill
+     * latency of Fig. 2.
+     */
+    Tokens tileTokens = 128;
+
+    /**
+     * @return peak tensor throughput for a compute dtype at MAXN.
+     * W4A16 falls back to the INT8 path on Ampere (Section V-F).
+     */
+    Flops peakTensorFlops(DType compute) const;
+
+    /**
+     * FLOPs-to-bytes machine balance for fp16 tensor ops (the paper's
+     * Section VI quotes approximately 1375 for the Orin, derived from
+     * sparse throughput; the dense-path value is about half that).
+     */
+    double machineBalanceFp16() const;
+};
+
+} // namespace hw
+} // namespace edgereason
+
+#endif // EDGEREASON_HW_GPU_SPEC_HH

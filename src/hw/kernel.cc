@@ -1,0 +1,47 @@
+#include "hw/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace hw {
+
+const char *
+kernelClassName(KernelClass c)
+{
+    switch (c) {
+      case KernelClass::GemmTensorCore:
+        return "gemm_tc";
+      case KernelClass::AttentionPrefill:
+        return "attn_prefill";
+      case KernelClass::GemvBandwidth:
+        return "gemv_bw";
+      case KernelClass::AttentionDecode:
+        return "attn_decode";
+      case KernelClass::Elementwise:
+        return "elementwise";
+    }
+    panic("unknown kernel class");
+}
+
+void
+StepCost::add(const KernelDesc &k, const KernelCost &c)
+{
+    seconds += c.seconds;
+    avgBwUtil += c.bwUtil * c.seconds;
+    avgComputeUtil += c.computeUtil * c.seconds;
+    weightBytes += k.weightBytes;
+    actBytes += k.actBytes;
+    flops += k.flops;
+}
+
+void
+StepCost::finalize()
+{
+    if (seconds <= 0.0)
+        return;
+    avgBwUtil /= seconds;
+    avgComputeUtil /= seconds;
+}
+
+} // namespace hw
+} // namespace edgereason

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Kernel work descriptors handed from the inference engine to a device
+ * model.  A kernel is characterized by its arithmetic work, its memory
+ * traffic split into weight streaming and activation/KV traffic, and a
+ * class that selects the execution path (tensor-core GEMM, FP32 attention,
+ * bandwidth-bound GEMV, ...).
+ */
+
+#ifndef EDGEREASON_HW_KERNEL_HH
+#define EDGEREASON_HW_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace hw {
+
+/** Execution-path class of a kernel. */
+enum class KernelClass {
+    /** Dense projection / FFN GEMM on tensor cores (prefill). */
+    GemmTensorCore,
+    /** Prefill attention (score + value); FP32 CUDA-core path on Orin. */
+    AttentionPrefill,
+    /** Weight-streaming GEMV / skinny GEMM (decode projections + FFN). */
+    GemvBandwidth,
+    /** Decode attention over the KV cache (bandwidth bound). */
+    AttentionDecode,
+    /** Norms, activations, embedding lookups, sampling glue. */
+    Elementwise,
+};
+
+/** @return a human-readable kernel class name. */
+const char *kernelClassName(KernelClass c);
+
+/** A unit of device work. */
+struct KernelDesc
+{
+    std::string name;        //!< e.g. "ffn_gate", "attn_score"
+    KernelClass cls = KernelClass::Elementwise;
+    Flops flops = 0.0;       //!< arithmetic operations
+    double weightBytes = 0.0; //!< parameter bytes streamed from DRAM
+    double actBytes = 0.0;    //!< activation / KV-cache bytes moved
+    DType compute = DType::FP16; //!< compute path dtype
+    int batch = 1;            //!< batch dimension (parallel scaling)
+};
+
+/** Cost of executing one kernel on a device model. */
+struct KernelCost
+{
+    Seconds seconds = 0.0;
+    double bwUtil = 0.0;      //!< achieved DRAM bandwidth / peak
+    double computeUtil = 0.0; //!< achieved FLOPs rate / peak for the path
+    bool computeBound = false;
+};
+
+/** Aggregate cost of a kernel sequence. */
+struct StepCost
+{
+    Seconds seconds = 0.0;
+    double avgBwUtil = 0.0;      //!< time-weighted DRAM utilization
+    double avgComputeUtil = 0.0; //!< time-weighted compute utilization
+    double weightBytes = 0.0;
+    double actBytes = 0.0;
+    Flops flops = 0.0;
+
+    /** Accumulate one kernel's cost. */
+    void add(const KernelDesc &k, const KernelCost &c);
+    /** Finish time-weighted averages (no-op if total time is zero). */
+    void finalize();
+};
+
+} // namespace hw
+} // namespace edgereason
+
+#endif // EDGEREASON_HW_KERNEL_HH

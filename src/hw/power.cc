@@ -1,0 +1,69 @@
+#include "hw/power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace hw {
+
+PowerModel::PowerModel(PowerMode mode, bool quantize_states)
+    : mode_(mode), quantize_(quantize_states)
+{
+}
+
+Watts
+PowerModel::finish(Watts w, Watts idle) const
+{
+    // DVFS: the calibrated curves describe MAXN; capped modes run at
+    // lower clock and voltage, shrinking the dynamic component
+    // superlinearly (exponent 1.5 approximates f V^2 with V ~ sqrt f).
+    const double scale = powerModeScale(mode_);
+    if (scale < 1.0 && w > idle)
+        w = idle + (w - idle) * std::pow(scale, 1.5);
+    w = std::min(w, powerModeCap(mode_));
+    if (quantize_) {
+        w = std::round(w / stateGranularity) * stateGranularity;
+        w = std::min(w, powerModeCap(mode_));
+    }
+    return w;
+}
+
+Watts
+PowerModel::prefill(const PowerProfile &p, Tokens input_tokens) const
+{
+    panic_if(input_tokens < 1, "prefill power needs >= 1 token");
+    Watts w;
+    if (p.prefillBreak <= 0 || input_tokens <= p.prefillBreak) {
+        w = p.prefillConst;
+    } else {
+        w = p.prefillLogAlpha * std::log(
+                static_cast<double>(input_tokens)) + p.prefillLogBeta;
+        // The log tail never drops below the constant region.
+        w = std::max(w, p.prefillConst);
+    }
+    return finish(w, p.idle);
+}
+
+Watts
+PowerModel::decode(const PowerProfile &p, Tokens output_tokens,
+                   int batch) const
+{
+    panic_if(output_tokens < 1, "decode power needs >= 1 token");
+    panic_if(batch < 1, "decode power needs batch >= 1");
+    Watts w;
+    if (output_tokens < p.decodeFloorTokens) {
+        w = p.decodeFloor;
+    } else {
+        w = p.decodeLogAlpha * std::log(
+                static_cast<double>(output_tokens)) + p.decodeLogBeta;
+        w = std::max(w, p.decodeFloor);
+    }
+    if (batch > 1)
+        w += p.batchLogCoef * std::log(static_cast<double>(batch));
+    return finish(w, p.idle);
+}
+
+} // namespace hw
+} // namespace edgereason

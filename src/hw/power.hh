@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GPU power model.  The paper measures rail power on the Orin and fits
+ * piecewise constant/logarithmic curves (Eqns. 4 and 6, Tables XX-XXIII);
+ * since power depends on DVFS policy and rail layout that a roofline
+ * cannot predict from first principles, this model is calibrated per
+ * model family to the published measurements: a constant or floor region
+ * at low utilization, logarithmic growth with sequence length, an
+ * additive logarithmic batch term for parallel scaling (Fig. 10c), and a
+ * hard clip at the power-mode envelope.  Energy is then obtained by
+ * integrating this power over the roofline-simulated time, which is what
+ * the paper's measurement pipeline does with real hardware counters.
+ */
+
+#ifndef EDGEREASON_HW_POWER_HH
+#define EDGEREASON_HW_POWER_HH
+
+#include "common/types.hh"
+#include "hw/gpu_spec.hh"
+
+namespace edgereason {
+namespace hw {
+
+/**
+ * Per-model power calibration.  Shapes follow Eqns. 4 and 6: prefill
+ * power is constant @c prefillConst below @c prefillBreak and
+ * @c prefillLogAlpha ln(I) + @c prefillLogBeta above; decode power is a
+ * @c decodeFloor below @c decodeFloorTokens output tokens and
+ * @c decodeLogAlpha ln(O) + @c decodeLogBeta above.
+ */
+struct PowerProfile
+{
+    Watts idle = 3.0; //!< SoC idle contribution included in all readings
+
+    Tokens prefillBreak = 0;  //!< v in Eqn. 4 (<=0: constant everywhere)
+    Watts prefillConst = 5.6; //!< u in Eqn. 4
+    double prefillLogAlpha = 0.0; //!< w in Eqn. 4
+    double prefillLogBeta = 0.0;  //!< x in Eqn. 4
+
+    Tokens decodeFloorTokens = 64; //!< floor region bound in Eqn. 6
+    Watts decodeFloor = 5.9;       //!< floor watts in Eqn. 6
+    double decodeLogAlpha = 0.0;   //!< y in Eqn. 6
+    double decodeLogBeta = 0.0;    //!< z in Eqn. 6
+
+    /** Additional watts per ln(batch) during parallel decode. */
+    double batchLogCoef = 3.0;
+};
+
+/**
+ * Evaluates instantaneous average power for a phase.  Optionally
+ * quantizes to the Orin's discrete power states, which produces the
+ * step-like power trend of Fig. 10c.
+ */
+class PowerModel
+{
+  public:
+    /**
+     * @param mode  active power envelope (clips output)
+     * @param quantize_states  snap output to the discrete state ladder
+     */
+    explicit PowerModel(PowerMode mode = PowerMode::MaxN,
+                        bool quantize_states = false);
+
+    /** Average GPU power during prefill of @p input_tokens. */
+    Watts prefill(const PowerProfile &p, Tokens input_tokens) const;
+
+    /**
+     * Average GPU power during decode.
+     * @param output_tokens  sequence position (drives the log term)
+     * @param batch  parallel scaling factor
+     */
+    Watts decode(const PowerProfile &p, Tokens output_tokens,
+                 int batch = 1) const;
+
+    /** @return the active power mode. */
+    PowerMode powerMode() const { return mode_; }
+
+    /** Step granularity of the discrete power-state ladder. */
+    static constexpr Watts stateGranularity = 2.5;
+
+  private:
+    /**
+     * Apply DVFS scaling (dynamic power shrinks superlinearly with
+     * the frequency cut; P_dyn ~ f V^2 with V tracking f), the
+     * envelope clip, and optional state quantization.
+     */
+    Watts finish(Watts w, Watts idle) const;
+
+    PowerMode mode_;
+    bool quantize_;
+};
+
+} // namespace hw
+} // namespace edgereason
+
+#endif // EDGEREASON_HW_POWER_HH

@@ -1,0 +1,110 @@
+#include "hw/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace hw {
+
+ThermalSimulator::ThermalSimulator(ThermalSpec spec,
+                                   PowerMode initial_mode)
+    : spec_(spec), mode_(initial_mode), temp_(spec.initialC)
+{
+    fatal_if(spec_.rThermal <= 0.0 || spec_.cThermal <= 0.0,
+             "thermal RC must be positive");
+    fatal_if(spec_.recoverC >= spec_.throttleC,
+             "recovery temperature must sit below the throttle point");
+}
+
+PowerMode
+ThermalSimulator::stepDown(PowerMode m) const
+{
+    switch (m) {
+      case PowerMode::MaxN:
+        return PowerMode::W50;
+      case PowerMode::W50:
+        return PowerMode::W30;
+      case PowerMode::W30:
+      case PowerMode::W15:
+        return PowerMode::W15;
+    }
+    panic("unknown power mode");
+}
+
+PowerMode
+ThermalSimulator::stepUp(PowerMode m) const
+{
+    switch (m) {
+      case PowerMode::W15:
+        return PowerMode::W30;
+      case PowerMode::W30:
+        return PowerMode::W50;
+      case PowerMode::W50:
+      case PowerMode::MaxN:
+        return PowerMode::MaxN;
+    }
+    panic("unknown power mode");
+}
+
+double
+ThermalSimulator::steadyStateC(Watts power) const
+{
+    return spec_.ambientC + power * spec_.rThermal;
+}
+
+ThermalSample
+ThermalSimulator::step(Watts maxn_power, Seconds dt, Watts idle)
+{
+    fatal_if(dt <= 0.0, "thermal step needs dt > 0");
+    panic_if(maxn_power < 0.0, "negative power");
+
+    // Derate the MAXN draw to the governed mode (same DVFS rule as
+    // PowerModel::finish).
+    const double scale = powerModeScale(mode_);
+    Watts p = maxn_power;
+    if (scale < 1.0 && p > idle)
+        p = idle + (p - idle) * std::pow(scale, 1.5);
+    p = std::min(p, powerModeCap(mode_));
+
+    // Exact RC integration over dt at constant power.
+    const double tau = spec_.rThermal * spec_.cThermal;
+    const double t_inf = steadyStateC(p);
+    temp_ = t_inf + (temp_ - t_inf) * std::exp(-dt / tau);
+
+    // Hysteretic governor.
+    if (temp_ >= spec_.throttleC)
+        mode_ = stepDown(mode_);
+    else if (temp_ <= spec_.recoverC)
+        mode_ = stepUp(mode_);
+
+    ThermalSample s;
+    s.time = trajectory_.empty() ? dt : trajectory_.back().time + dt;
+    s.temperatureC = temp_;
+    s.mode = mode_;
+    s.power = p;
+    trajectory_.push_back(s);
+    return s;
+}
+
+double
+ThermalSimulator::sustainedSpeedFactor(Watts maxn_power,
+                                       Seconds duration, Seconds dt)
+{
+    fatal_if(duration <= 0.0, "duration must be positive");
+    double speed_time = 0.0;
+    Seconds t = 0.0;
+    while (t < duration) {
+        // Work delivered during this step runs at the mode active
+        // while stepping.
+        const double s = powerModeScale(mode_);
+        step(maxn_power, dt);
+        speed_time += s * dt;
+        t += dt;
+    }
+    return speed_time / duration;
+}
+
+} // namespace hw
+} // namespace edgereason

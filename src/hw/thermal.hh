@@ -1,0 +1,109 @@
+/**
+ * @file
+ * First-order thermal model of the Orin module.  The paper measures
+ * short benchmark runs at MAXN; sustained edge inference (a robot
+ * reasoning continuously, a kiosk serving queries) is instead bounded
+ * by the thermal solution: junction temperature follows an RC response
+ * to dissipated power, and the firmware steps the power mode down when
+ * the throttle threshold is reached.
+ *
+ *   C_th dT/dt = P - (T - T_ambient) / R_th
+ *
+ * with hysteretic mode governance: throttle one mode step at
+ * T >= throttleC, recover one step at T <= recoverC.
+ */
+
+#ifndef EDGEREASON_HW_THERMAL_HH
+#define EDGEREASON_HW_THERMAL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/gpu_spec.hh"
+
+namespace edgereason {
+namespace hw {
+
+/** Thermal parameters of the module + heatsink assembly. */
+struct ThermalSpec
+{
+    double ambientC = 25.0;
+    /** Junction-to-ambient thermal resistance (C per watt). */
+    double rThermal = 1.4;
+    /** Thermal capacitance (joules per C): module + heatsink mass. */
+    double cThermal = 250.0;
+    /** Throttle trigger temperature. */
+    double throttleC = 85.0;
+    /** Recovery temperature (hysteresis). */
+    double recoverC = 75.0;
+    double initialC = 25.0;
+};
+
+/** One sample of the thermal trajectory. */
+struct ThermalSample
+{
+    Seconds time = 0.0;
+    double temperatureC = 0.0;
+    PowerMode mode = PowerMode::MaxN;
+    Watts power = 0.0;
+};
+
+/**
+ * Integrates the RC model over a workload and governs the power mode.
+ * The workload is expressed as the power the device would draw *at
+ * MAXN*; the governor derates it per the active mode's DVFS scaling
+ * (matching PowerModel::finish) and reports the effective slowdown.
+ */
+class ThermalSimulator
+{
+  public:
+    explicit ThermalSimulator(ThermalSpec spec = {},
+                              PowerMode initial_mode = PowerMode::MaxN);
+
+    /**
+     * Advance @p dt seconds at a MAXN-equivalent power draw.
+     * @return the sample at the end of the step.
+     */
+    ThermalSample step(Watts maxn_power, Seconds dt, Watts idle = 3.0);
+
+    /** @return current junction temperature. */
+    double temperature() const { return temp_; }
+    /** @return current governed power mode. */
+    PowerMode mode() const { return mode_; }
+    /** @return relative throughput of the current mode vs MAXN. */
+    double speedFactor() const { return powerModeScale(mode_); }
+    /** @return recorded trajectory (one sample per step call). */
+    const std::vector<ThermalSample> &trajectory() const
+    {
+        return trajectory_;
+    }
+
+    /**
+     * Steady-state temperature at a constant power draw (no
+     * throttling considered): ambient + P * R_th.
+     */
+    double steadyStateC(Watts power) const;
+
+    /**
+     * Sustained-operation summary: run @p duration seconds of
+     * continuous load at the given MAXN power and report the average
+     * speed factor (the fraction of MAXN throughput actually
+     * delivered once thermals settle).
+     */
+    double sustainedSpeedFactor(Watts maxn_power, Seconds duration,
+                                Seconds dt = 1.0);
+
+  private:
+    PowerMode stepDown(PowerMode m) const;
+    PowerMode stepUp(PowerMode m) const;
+
+    ThermalSpec spec_;
+    PowerMode mode_;
+    double temp_;
+    std::vector<ThermalSample> trajectory_;
+};
+
+} // namespace hw
+} // namespace edgereason
+
+#endif // EDGEREASON_HW_THERMAL_HH

@@ -1,0 +1,228 @@
+#include "model/calibration.hh"
+
+#include "common/logging.hh"
+#include "model/zoo.hh"
+
+namespace edgereason {
+namespace model {
+
+SizeClass
+sizeClassOf(const TransformerSpec &spec)
+{
+    const double params = spec.paramCount();
+    if (params < 3e9)
+        return SizeClass::Small;
+    if (params < 10e9)
+        return SizeClass::Medium;
+    return SizeClass::Large;
+}
+
+const char *
+sizeClassName(SizeClass c)
+{
+    switch (c) {
+      case SizeClass::Small:
+        return "small(~1.5B)";
+      case SizeClass::Medium:
+        return "medium(7-8B)";
+      case SizeClass::Large:
+        return "large(14B)";
+    }
+    panic("unknown size class");
+}
+
+namespace {
+
+ModelCalibration
+smallFp16()
+{
+    ModelCalibration c;
+    c.gpuEff.tensorCore = 0.80;
+    // Table IV: a = 1.56e-7 for the 1.5B implies ~10% of peak FP32 on
+    // the prefill attention path.
+    c.gpuEff.attentionPrefill = 0.104;
+    // Measured TBT 24-26 ms over a 3.09 GB weight stream.
+    c.gpuEff.bandwidthDecode = 0.754;
+    c.gpuEff.bandwidthPrefill = 0.60;
+    c.gpuEff.batchKappa = 0.13;
+    c.prefillEngineOverhead = 0.018;
+    c.decodeStepOverhead = 0.0018;
+
+    hw::PowerProfile &p = c.power;
+    p.prefillBreak = 0; // effectively constant over the measured range
+    p.prefillConst = 5.636; // Table XX
+    p.decodeFloor = 5.9;    // Eqn. 6
+    p.decodeLogAlpha = 3.6;  // Table XIX: ~19.6 W sweep average
+    p.decodeLogBeta = 1.5;   // intercept set so trajectory-averaged
+                             // power matches the published averages
+    p.batchLogCoef = 3.2; // Fig. 10c: 14 W -> 25 W over SF 1 -> 32
+
+    c.prefillNoiseCv = 0.123; // Table VI: 9.80% prefill MAPE
+    return c;
+}
+
+ModelCalibration
+mediumFp16()
+{
+    ModelCalibration c;
+    c.gpuEff.tensorCore = 0.80;
+    // Table IV: a = 6.65e-7 for the 8B -> ~7.4% of peak FP32.
+    c.gpuEff.attentionPrefill = 0.0744;
+    // Measured TBT ~105 ms over a 16.06 GB weight stream.
+    c.gpuEff.bandwidthDecode = 0.788;
+    c.gpuEff.bandwidthPrefill = 0.60;
+    c.gpuEff.batchKappa = 0.12;
+    c.prefillEngineOverhead = 0.018;
+    c.decodeStepOverhead = 0.0015;
+
+    hw::PowerProfile &p = c.power;
+    p.prefillBreak = 800; // Table XX transition
+    p.prefillConst = 12.0;
+    p.prefillLogAlpha = 5.52;
+    p.prefillLogBeta = -24.9;
+    p.decodeFloor = 5.9;
+    p.decodeLogAlpha = 2.2;  // Table XIX: ~24.4 W sweep average
+    p.decodeLogBeta = 14.8;
+    p.batchLogCoef = 2.9; // Fig. 10c: ~25 W -> ~35 W
+
+    c.prefillNoiseCv = 0.168; // Table VI: 13.39% prefill MAPE
+    return c;
+}
+
+ModelCalibration
+largeFp16()
+{
+    ModelCalibration c;
+    c.gpuEff.tensorCore = 0.80;
+    // Table IV: a = 1.23e-6 for the 14B -> ~7.5% of peak FP32.
+    c.gpuEff.attentionPrefill = 0.0754;
+    // Measured TBT ~195 ms over a 29.4 GB weight stream.
+    c.gpuEff.bandwidthDecode = 0.764;
+    c.gpuEff.bandwidthPrefill = 0.60;
+    c.gpuEff.batchKappa = 0.12;
+    c.prefillEngineOverhead = 0.018;
+    c.decodeStepOverhead = 0.0020;
+
+    hw::PowerProfile &p = c.power;
+    p.prefillBreak = 384; // Table XX transition
+    p.prefillConst = 17.0;
+    p.prefillLogAlpha = 3.80;
+    p.prefillLogBeta = -5.6;
+    p.decodeFloor = 5.9;
+    p.decodeLogAlpha = 2.26; // Table XIX: ~26.5 W sweep average
+    p.decodeLogBeta = 16.5;
+    p.batchLogCoef = 2.9;
+
+    c.prefillNoiseCv = 0.095; // Table VI: 7.59% prefill MAPE
+    return c;
+}
+
+ModelCalibration
+smallW4()
+{
+    ModelCalibration c = smallFp16();
+    // Table XIX: 73.6 tok/s over a 0.77 GB stream -> dequantization
+    // overhead halves the achievable bandwidth on the small model.
+    c.gpuEff.bandwidthDecode = 0.45;
+    // Table XVIII: prefill 0.33 s -> 0.15 s.
+    c.gpuEff.attentionPrefill = 0.22;
+    hw::PowerProfile &p = c.power;
+    p.prefillConst = 4.83; // Table XXII
+    p.decodeLogAlpha = 2.7;  // Table XIX quant: ~16.2 W average
+    p.decodeLogBeta = 2.5;
+    return c;
+}
+
+ModelCalibration
+mediumW4()
+{
+    ModelCalibration c = mediumFp16();
+    // Table XIX: 25.9 tok/s over a 4.0 GB stream.
+    c.gpuEff.bandwidthDecode = 0.58;
+    // Table XVIII: prefill 2.60 s -> 0.55 s.
+    c.gpuEff.attentionPrefill = 0.30;
+    hw::PowerProfile &p = c.power;
+    p.prefillBreak = 1400; // Table XXII transition
+    p.prefillConst = 11.0;
+    p.prefillLogAlpha = 5.0;
+    p.prefillLogBeta = -24.6;
+    p.decodeLogAlpha = 2.2;  // Table XIX quant: ~25.4 W average
+    p.decodeLogBeta = 15.0;
+    return c;
+}
+
+ModelCalibration
+largeW4()
+{
+    ModelCalibration c = largeFp16();
+    // Table XIX: 15.1 tok/s over a 7.35 GB stream.
+    c.gpuEff.bandwidthDecode = 0.60;
+    // Table XVIII: prefill 3.63 s -> 2.21 s (smaller gain than 8B).
+    c.gpuEff.attentionPrefill = 0.12;
+    hw::PowerProfile &p = c.power;
+    p.prefillBreak = 384;
+    p.prefillConst = 14.0;
+    p.prefillLogAlpha = 4.3;
+    p.prefillLogBeta = -12.7;
+    p.decodeLogAlpha = 2.26; // Table XIX quant: ~28.5 W average
+    p.decodeLogBeta = 18.3;
+    return c;
+}
+
+} // namespace
+
+ModelCalibration
+calibrationForClass(SizeClass c, bool quantized)
+{
+    switch (c) {
+      case SizeClass::Small:
+        return quantized ? smallW4() : smallFp16();
+      case SizeClass::Medium:
+        return quantized ? mediumW4() : mediumFp16();
+      case SizeClass::Large:
+        return quantized ? largeW4() : largeFp16();
+    }
+    panic("unknown size class");
+}
+
+ModelCalibration
+calibrationForClassW8(SizeClass c)
+{
+    ModelCalibration cal = calibrationForClass(c, false);
+    const ModelCalibration w4 = calibrationForClass(c, true);
+    // Per-channel INT8 dequantization is cheap: achieved bandwidth
+    // sits much closer to FP16 than to AWQ-W4.
+    cal.gpuEff.bandwidthDecode *= 0.93;
+    // INT8 tensor cores double GEMM peak; attention-path efficiency
+    // improves part-way toward the W4 kernels.
+    cal.gpuEff.attentionPrefill = 0.5 *
+        (cal.gpuEff.attentionPrefill + w4.gpuEff.attentionPrefill);
+    // Power sits between the FP16 and W4 curves.
+    cal.power.decodeLogAlpha = 0.5 *
+        (cal.power.decodeLogAlpha + w4.power.decodeLogAlpha);
+    cal.power.decodeLogBeta = 0.5 *
+        (cal.power.decodeLogBeta + w4.power.decodeLogBeta);
+    cal.power.prefillConst = 0.5 *
+        (cal.power.prefillConst + w4.power.prefillConst);
+    return cal;
+}
+
+ModelCalibration
+calibration(ModelId id, DType weight_dtype)
+{
+    const TransformerSpec s = spec(id);
+    const SizeClass c = sizeClassOf(s);
+    switch (weight_dtype) {
+      case DType::W4A16:
+        return calibrationForClass(c, true);
+      case DType::INT8:
+        return calibrationForClassW8(c);
+      case DType::FP16:
+      case DType::FP32:
+        return calibrationForClass(c, false);
+    }
+    panic("unknown weight dtype");
+}
+
+} // namespace model
+} // namespace edgereason

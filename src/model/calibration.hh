@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-model calibration of the simulator.  The roofline device model
+ * needs scalar efficiency factors (fraction of peak FLOPs / bandwidth
+ * actually achieved) and the engine needs fixed software overheads; both
+ * are derived once from the paper's published Orin measurements:
+ *
+ *  - decode bandwidth efficiencies from the measured TBT values
+ *    (Table V / X / XIX give a consistent 75-80% of the 204.8 GB/s peak),
+ *  - prefill attention efficiencies from the fitted quadratic
+ *    coefficients of Table IV (7-10% of peak FP32, consistent with
+ *    non-fused attention),
+ *  - engine overheads from the constant terms of Tables IV-V,
+ *  - power profiles from Tables XVIII-XXIII and Figs. 4, 5, 10c.
+ *
+ * Quantized (W4A16) variants carry their own factors because AWQ
+ * dequantization changes both achievable bandwidth and kernel selection
+ * (Section V-F).
+ */
+
+#ifndef EDGEREASON_MODEL_CALIBRATION_HH
+#define EDGEREASON_MODEL_CALIBRATION_HH
+
+#include "common/types.hh"
+#include "hw/power.hh"
+#include "hw/roofline.hh"
+#include "model/model_id.hh"
+#include "model/transformer_spec.hh"
+
+namespace edgereason {
+namespace model {
+
+/** Parameter-count size classes used to key shared calibrations. */
+enum class SizeClass { Small, Medium, Large };
+
+/** @return the size class of an architecture (by parameter count). */
+SizeClass sizeClassOf(const TransformerSpec &spec);
+
+/** @return human-readable size class name. */
+const char *sizeClassName(SizeClass c);
+
+/** Everything the engine needs beyond the architecture itself. */
+struct ModelCalibration
+{
+    hw::GpuEfficiency gpuEff;        //!< roofline derating factors
+    Seconds prefillEngineOverhead = 0.018; //!< fixed cost per prefill
+    Seconds decodeStepOverhead = 0.002;    //!< fixed cost per decode step
+    hw::PowerProfile power;          //!< calibrated power curves
+
+    /**
+     * Run-to-run measurement dispersion, reproducing the residuals the
+     * paper reports when validating its analytical models: prefill
+     * latency varies with CUTLASS kernel-variant selection (Table VI
+     * shows 7.6-13.4% MAPE), total decode latency is highly repeatable
+     * (~0.5% MAPE), and rail-power readings carry ~6% dispersion
+     * (Table VIII).  Values are coefficients of variation.
+     */
+    double prefillNoiseCv = 0.12;
+    double decodeNoiseCv = 0.006;
+    double powerNoiseCv = 0.075;
+};
+
+/**
+ * @return the calibration for a model at a weight dtype.  FP16, W8A8
+ * (DType::INT8 storage) and W4A16 are supported; FP32 falls back to
+ * the FP16 calibration.
+ */
+ModelCalibration calibration(ModelId id, DType weight_dtype = DType::FP16);
+
+/** @return calibration keyed directly by size class (FP16 / W4A16). */
+ModelCalibration calibrationForClass(SizeClass c, bool quantized);
+
+/**
+ * @return the W8A8 calibration for a size class: derived from the
+ * FP16 one with a mild dequantization derate (per-channel INT8 is far
+ * cheaper to unpack than AWQ-W4) and the INT8 tensor-core prefill
+ * path.  No published Orin measurements exist for this point; the
+ * factors interpolate between the FP16 and W4 calibrations.
+ */
+ModelCalibration calibrationForClassW8(SizeClass c);
+
+} // namespace model
+} // namespace edgereason
+
+#endif // EDGEREASON_MODEL_CALIBRATION_HH

@@ -1,0 +1,116 @@
+#include "model/model_id.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace model {
+
+const char *
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+        return "DSR1-Qwen-1.5B";
+      case ModelId::Dsr1Llama8B:
+        return "DSR1-Llama-8B";
+      case ModelId::Dsr1Qwen14B:
+        return "DSR1-Qwen-14B";
+      case ModelId::L1Max:
+        return "L1-Max";
+      case ModelId::DeepScaleR1_5B:
+        return "DeepScaleR-1.5B";
+      case ModelId::Qwen25_1_5BIt:
+        return "Qwen2.5-1.5B-it";
+      case ModelId::Qwen25_7BIt:
+        return "Qwen2.5-7B-it";
+      case ModelId::Qwen25_14BIt:
+        return "Qwen2.5-14B-it";
+      case ModelId::Llama31_8BIt:
+        return "Llama3.1-8B-it";
+      case ModelId::Gemma7BIt:
+        return "Gemma-7B-it";
+    }
+    panic("unknown model id");
+}
+
+ModelCategory
+modelCategory(ModelId id)
+{
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+      case ModelId::Dsr1Llama8B:
+      case ModelId::Dsr1Qwen14B:
+      case ModelId::DeepScaleR1_5B:
+        return ModelCategory::Reasoning;
+      case ModelId::L1Max:
+        return ModelCategory::BudgetAware;
+      case ModelId::Qwen25_1_5BIt:
+      case ModelId::Qwen25_7BIt:
+      case ModelId::Qwen25_14BIt:
+      case ModelId::Llama31_8BIt:
+      case ModelId::Gemma7BIt:
+        return ModelCategory::NonReasoning;
+    }
+    panic("unknown model id");
+}
+
+bool
+isReasoning(ModelId id)
+{
+    return modelCategory(id) != ModelCategory::NonReasoning;
+}
+
+const std::vector<ModelId> &
+dsr1Family()
+{
+    static const std::vector<ModelId> family = {
+        ModelId::Dsr1Qwen1_5B,
+        ModelId::Dsr1Llama8B,
+        ModelId::Dsr1Qwen14B,
+    };
+    return family;
+}
+
+const std::vector<ModelId> &
+allModels()
+{
+    static const std::vector<ModelId> all = {
+        ModelId::Dsr1Qwen1_5B,
+        ModelId::Dsr1Llama8B,
+        ModelId::Dsr1Qwen14B,
+        ModelId::L1Max,
+        ModelId::DeepScaleR1_5B,
+        ModelId::Qwen25_1_5BIt,
+        ModelId::Qwen25_7BIt,
+        ModelId::Qwen25_14BIt,
+        ModelId::Llama31_8BIt,
+        ModelId::Gemma7BIt,
+    };
+    return all;
+}
+
+const std::vector<ModelId> &
+nonReasoningModels()
+{
+    static const std::vector<ModelId> list = {
+        ModelId::Qwen25_1_5BIt,
+        ModelId::Qwen25_7BIt,
+        ModelId::Qwen25_14BIt,
+        ModelId::Llama31_8BIt,
+        ModelId::Gemma7BIt,
+    };
+    return list;
+}
+
+ModelId
+modelIdFromName(const std::string &name)
+{
+    for (ModelId id : allModels()) {
+        if (name == modelName(id))
+            return id;
+    }
+    fatal("unknown model name: ", name);
+}
+
+} // namespace model
+} // namespace edgereason

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Identifiers and categories for every model evaluated in the paper
+ * (Section V): the DeepSeek-R1 distilled reasoning family, the
+ * budget-aware L1 variant, non-reasoning instruction-tuned baselines,
+ * and DeepScaleR for the cost study.
+ */
+
+#ifndef EDGEREASON_MODEL_MODEL_ID_HH
+#define EDGEREASON_MODEL_MODEL_ID_HH
+
+#include <string>
+#include <vector>
+
+namespace edgereason {
+namespace model {
+
+/** Every model in the study. */
+enum class ModelId {
+    // Reasoning (DeepSeek-R1 distills).
+    Dsr1Qwen1_5B,
+    Dsr1Llama8B,
+    Dsr1Qwen14B,
+    // Budget-aware reasoning.
+    L1Max,
+    // RL-fine-tuned math reasoner used in the cost study (Table III).
+    DeepScaleR1_5B,
+    // Non-reasoning instruction-tuned baselines.
+    Qwen25_1_5BIt,
+    Qwen25_7BIt,
+    Qwen25_14BIt,
+    Llama31_8BIt,
+    Gemma7BIt,
+};
+
+/** Model behavioural category (Section V evaluation setup). */
+enum class ModelCategory {
+    Reasoning,     //!< emits a chain of thought before the answer
+    BudgetAware,   //!< reasoning with RL-trained token-budget adherence
+    NonReasoning,  //!< direct answer generation
+};
+
+/** @return the canonical display name used in the paper's tables. */
+const char *modelName(ModelId id);
+
+/** @return the behavioural category of a model. */
+ModelCategory modelCategory(ModelId id);
+
+/** @return true if the model emits explicit reasoning chains. */
+bool isReasoning(ModelId id);
+
+/** @return the three DSR1 distills characterized in Section IV. */
+const std::vector<ModelId> &dsr1Family();
+
+/** @return all models in the study. */
+const std::vector<ModelId> &allModels();
+
+/** @return the non-reasoning baselines. */
+const std::vector<ModelId> &nonReasoningModels();
+
+/** Look up a model by its display name; fatal on unknown names. */
+ModelId modelIdFromName(const std::string &name);
+
+} // namespace model
+} // namespace edgereason
+
+#endif // EDGEREASON_MODEL_MODEL_ID_HH

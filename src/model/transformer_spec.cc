@@ -1,0 +1,85 @@
+#include "model/transformer_spec.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace model {
+
+void
+TransformerSpec::check() const
+{
+    fatal_if(layers <= 0, name, ": layers must be positive");
+    fatal_if(hidden <= 0, name, ": hidden must be positive");
+    fatal_if(heads <= 0 || kvHeads <= 0, name, ": head counts positive");
+    fatal_if(heads % kvHeads != 0, name,
+             ": query heads must be a multiple of kv heads");
+    fatal_if(headDim <= 0, name, ": headDim must be positive");
+    fatal_if(ffnHidden <= 0, name, ": ffnHidden must be positive");
+    fatal_if(vocab <= 0, name, ": vocab must be positive");
+}
+
+double
+TransformerSpec::paramCount() const
+{
+    const double qkv = static_cast<double>(hidden) *
+        (heads + 2 * kvHeads) * headDim;
+    const double out_proj = static_cast<double>(heads) * headDim * hidden;
+    const double mlp = 3.0 * hidden * static_cast<double>(ffnHidden);
+    const double norms = 2.0 * hidden;
+    const double per_layer = qkv + out_proj + mlp + norms;
+    const double embed = static_cast<double>(vocab) * hidden;
+    const double head_mat = tiedEmbeddings ? 0.0 : embed;
+    return per_layer * layers + embed + head_mat + hidden;
+}
+
+double
+TransformerSpec::weightBytes() const
+{
+    return paramCount() * dtypeWeightBytes(weightDtype);
+}
+
+double
+TransformerSpec::kvBytesPerToken() const
+{
+    // KV cache is held in FP16 regardless of the weight dtype; the AWQ
+    // W4A16 scheme quantizes weights only (Section V-F).
+    return 2.0 * layers * kvHeads * headDim * dtypeWeightBytes(DType::FP16);
+}
+
+double
+TransformerSpec::linearFlopsPerToken() const
+{
+    // 2 FLOPs per weight for every dense matmul weight touched per token.
+    const double qkv = 2.0 * hidden * (heads + 2 * kvHeads) * headDim;
+    const double out_proj = 2.0 * heads * headDim * hidden;
+    const double mlp = 2.0 * 3.0 * hidden * static_cast<double>(ffnHidden);
+    const double head_mat = 2.0 * static_cast<double>(vocab) * hidden;
+    return (qkv + out_proj + mlp) * layers + head_mat;
+}
+
+double
+TransformerSpec::attentionPrefillFlops(Tokens input_tokens) const
+{
+    // Score (QK^T) and value (PV) matmuls, causal: 2 matmuls x
+    // 2 FLOPs x attnWidth x I^2 / 2.
+    const double i = static_cast<double>(input_tokens);
+    return 2.0 * layers * attnWidth() * i * i;
+}
+
+double
+TransformerSpec::attentionDecodeFlops(Tokens context) const
+{
+    const double c = static_cast<double>(context);
+    return 4.0 * layers * attnWidth() * c;
+}
+
+TransformerSpec
+TransformerSpec::withWeightDtype(DType dtype) const
+{
+    TransformerSpec s = *this;
+    s.weightDtype = dtype;
+    return s;
+}
+
+} // namespace model
+} // namespace edgereason

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Transformer architecture descriptions.  All FLOP and byte counts used
+ * by the engine derive from these hyper-parameters, which are the real
+ * published configurations of each evaluated model, so scaling behaviour
+ * with model size and sequence length is structural rather than fitted.
+ */
+
+#ifndef EDGEREASON_MODEL_TRANSFORMER_SPEC_HH
+#define EDGEREASON_MODEL_TRANSFORMER_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace model {
+
+/** Decoder-only transformer architecture. */
+struct TransformerSpec
+{
+    std::string name;       //!< e.g. "DSR1-Qwen-1.5B"
+    int layers = 0;         //!< decoder blocks
+    int hidden = 0;         //!< model width
+    int heads = 0;          //!< query heads
+    int kvHeads = 0;        //!< key/value heads (GQA)
+    int headDim = 0;        //!< per-head dimension
+    int ffnHidden = 0;      //!< gated-MLP intermediate size
+    int vocab = 0;          //!< vocabulary size
+    bool tiedEmbeddings = false; //!< lm_head shares the embedding matrix
+    DType weightDtype = DType::FP16; //!< storage dtype of the weights
+    Tokens maxContext = 32768; //!< maximum supported context
+
+    /** @return total parameter count. */
+    double paramCount() const;
+    /** @return total weight bytes at the storage dtype. */
+    double weightBytes() const;
+    /** @return KV-cache bytes appended per token (both K and V). */
+    double kvBytesPerToken() const;
+    /** @return attention width heads * headDim. */
+    int attnWidth() const { return heads * headDim; }
+    /** @return dense FLOPs per token in projection + FFN + lm_head. */
+    double linearFlopsPerToken() const;
+    /**
+     * @return attention score+value FLOPs for a causal prefill of
+     * @p input_tokens (per the 2 * layers * attnWidth * I^2 causal form).
+     */
+    double attentionPrefillFlops(Tokens input_tokens) const;
+    /** @return attention FLOPs for one decode step at context length. */
+    double attentionDecodeFlops(Tokens context) const;
+
+    /** Validate invariants; panics on inconsistent configuration. */
+    void check() const;
+
+    /** @return a copy with weights stored in @p dtype. */
+    TransformerSpec withWeightDtype(DType dtype) const;
+};
+
+} // namespace model
+} // namespace edgereason
+
+#endif // EDGEREASON_MODEL_TRANSFORMER_SPEC_HH

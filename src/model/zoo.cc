@@ -1,0 +1,156 @@
+#include "model/zoo.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace model {
+
+namespace {
+
+TransformerSpec
+qwen25_1_5b(const char *name)
+{
+    TransformerSpec s;
+    s.name = name;
+    s.layers = 28;
+    s.hidden = 1536;
+    s.heads = 12;
+    s.kvHeads = 2;
+    s.headDim = 128;
+    s.ffnHidden = 8960;
+    s.vocab = 151936;
+    s.tiedEmbeddings = true;
+    s.maxContext = 32768;
+    return s;
+}
+
+TransformerSpec
+qwen25_7b(const char *name)
+{
+    TransformerSpec s;
+    s.name = name;
+    s.layers = 28;
+    s.hidden = 3584;
+    s.heads = 28;
+    s.kvHeads = 4;
+    s.headDim = 128;
+    s.ffnHidden = 18944;
+    s.vocab = 152064;
+    s.tiedEmbeddings = false;
+    s.maxContext = 32768;
+    return s;
+}
+
+TransformerSpec
+qwen25_14b(const char *name)
+{
+    TransformerSpec s;
+    s.name = name;
+    s.layers = 48;
+    s.hidden = 5120;
+    s.heads = 40;
+    s.kvHeads = 8;
+    s.headDim = 128;
+    s.ffnHidden = 13824;
+    s.vocab = 152064;
+    s.tiedEmbeddings = false;
+    s.maxContext = 32768;
+    return s;
+}
+
+TransformerSpec
+llama31_8b(const char *name)
+{
+    TransformerSpec s;
+    s.name = name;
+    s.layers = 32;
+    s.hidden = 4096;
+    s.heads = 32;
+    s.kvHeads = 8;
+    s.headDim = 128;
+    s.ffnHidden = 14336;
+    s.vocab = 128256;
+    s.tiedEmbeddings = false;
+    s.maxContext = 131072;
+    return s;
+}
+
+TransformerSpec
+gemma_7b(const char *name)
+{
+    TransformerSpec s;
+    s.name = name;
+    s.layers = 28;
+    s.hidden = 3072;
+    s.heads = 16;
+    s.kvHeads = 16;
+    s.headDim = 256;
+    s.ffnHidden = 24576;
+    s.vocab = 256000;
+    s.tiedEmbeddings = true;
+    s.maxContext = 8192;
+    return s;
+}
+
+} // namespace
+
+TransformerSpec
+spec(ModelId id)
+{
+    TransformerSpec s;
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+        s = qwen25_1_5b("DSR1-Qwen-1.5B");
+        break;
+      case ModelId::Dsr1Llama8B:
+        s = llama31_8b("DSR1-Llama-8B");
+        break;
+      case ModelId::Dsr1Qwen14B:
+        s = qwen25_14b("DSR1-Qwen-14B");
+        break;
+      case ModelId::L1Max:
+        s = qwen25_1_5b("L1-Max");
+        break;
+      case ModelId::DeepScaleR1_5B:
+        s = qwen25_1_5b("DeepScaleR-1.5B");
+        break;
+      case ModelId::Qwen25_1_5BIt:
+        s = qwen25_1_5b("Qwen2.5-1.5B-it");
+        break;
+      case ModelId::Qwen25_7BIt:
+        s = qwen25_7b("Qwen2.5-7B-it");
+        break;
+      case ModelId::Qwen25_14BIt:
+        s = qwen25_14b("Qwen2.5-14B-it");
+        break;
+      case ModelId::Llama31_8BIt:
+        s = llama31_8b("Llama3.1-8B-it");
+        break;
+      case ModelId::Gemma7BIt:
+        s = gemma_7b("Gemma-7B-it");
+        break;
+      default:
+        panic("unknown model id");
+    }
+    s.check();
+    return s;
+}
+
+TransformerSpec
+quantizedSpec(ModelId id)
+{
+    TransformerSpec s = spec(id).withWeightDtype(DType::W4A16);
+    s.name += "-AWQ-W4";
+    return s;
+}
+
+TransformerSpec
+quantizedSpec8(ModelId id)
+{
+    TransformerSpec s = spec(id).withWeightDtype(DType::INT8);
+    s.name += "-W8A8";
+    return s;
+}
+
+} // namespace model
+} // namespace edgereason

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The model zoo: published architecture hyper-parameters for every model
+ * in the study.  DSR1 distills share the architecture of their base
+ * models (DeepSeek-R1 distillation fine-tunes the base weights without
+ * changing the architecture), as do L1 (a DSR1-Qwen-1.5B derivative) and
+ * DeepScaleR (likewise 1.5B).
+ */
+
+#ifndef EDGEREASON_MODEL_ZOO_HH
+#define EDGEREASON_MODEL_ZOO_HH
+
+#include "model/model_id.hh"
+#include "model/transformer_spec.hh"
+
+namespace edgereason {
+namespace model {
+
+/** @return the architecture spec for a model (FP16 weights). */
+TransformerSpec spec(ModelId id);
+
+/** @return the spec with W4A16 AWQ-quantized weights (Section V-F). */
+TransformerSpec quantizedSpec(ModelId id);
+
+/**
+ * @return the spec with W8A8 (SmoothQuant-style) weights — the
+ * standard intermediate precision between FP16 and W4 that Section VI
+ * gestures at ("4-bit or lower"); near-lossless in the literature.
+ */
+TransformerSpec quantizedSpec8(ModelId id);
+
+} // namespace model
+} // namespace edgereason
+
+#endif // EDGEREASON_MODEL_ZOO_HH

@@ -1,0 +1,165 @@
+#include "perfmodel/characterize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace edgereason {
+namespace perf {
+
+void
+SweepConfig::applyDefaults()
+{
+    if (prefillLengths.empty()) {
+        for (Tokens i = 64; i <= 4096; i += 64)
+            prefillLengths.push_back(i);
+    }
+    if (decodeOutputs.empty())
+        decodeOutputs = {32, 64, 96, 128, 192, 256, 384, 512,
+                         768, 1024, 1536, 2048};
+    fatal_if(repeats < 1, "sweep repeats must be >= 1");
+}
+
+PrefillCharacterization
+sweepPrefill(engine::InferenceEngine &eng, const SweepConfig &cfg_in)
+{
+    SweepConfig cfg = cfg_in;
+    cfg.applyDefaults();
+
+    PrefillCharacterization out;
+    for (Tokens len : cfg.prefillLengths) {
+        RunningStats lat, pow;
+        for (int r = 0; r < cfg.repeats; ++r) {
+            const auto m = eng.prefillOnly(len);
+            lat.add(m.seconds);
+            pow.add(m.avgPower);
+        }
+        out.latency.push_back({len, lat.mean()});
+        out.power.push_back({len, pow.mean()});
+        out.energyPerToken.push_back(
+            {len, lat.mean() * pow.mean() / static_cast<double>(len)});
+    }
+    return out;
+}
+
+DecodeCharacterization
+sweepDecode(engine::InferenceEngine &eng, const SweepConfig &cfg_in)
+{
+    SweepConfig cfg = cfg_in;
+    cfg.applyDefaults();
+
+    DecodeCharacterization out;
+    for (Tokens o : cfg.decodeOutputs) {
+        RunningStats lat, pow;
+        for (int r = 0; r < cfg.repeats; ++r) {
+            const auto m = eng.run(cfg.decodeInput, o);
+            lat.add(m.decode.seconds);
+            pow.add(m.decode.avgPower);
+        }
+        out.latency.push_back({cfg.decodeInput, o, lat.mean()});
+        out.power.push_back({o, pow.mean()});
+        out.energyPerToken.push_back(
+            {o, lat.mean() * pow.mean() / static_cast<double>(o)});
+    }
+    return out;
+}
+
+std::vector<std::pair<Tokens, Seconds>>
+tbtVsInputLength(engine::InferenceEngine &eng,
+                 const std::vector<Tokens> &inputs)
+{
+    std::vector<std::pair<Tokens, Seconds>> out;
+    out.reserve(inputs.size());
+    for (Tokens i : inputs)
+        out.emplace_back(i, eng.decodeStepLatency(i));
+    return out;
+}
+
+QuestionWorkload
+sampleWorkload(Rng &rng, std::size_t n, double mean_in, double mean_out,
+               double cv)
+{
+    fatal_if(mean_in <= 0 || mean_out <= 0, "workload means positive");
+    QuestionWorkload w;
+    w.questions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Tokens in = std::max<Tokens>(8, static_cast<Tokens>(
+            std::llround(rng.logNormalMeanStd(mean_in, cv * mean_in))));
+        const Tokens out = std::max<Tokens>(8, static_cast<Tokens>(
+            std::llround(rng.logNormalMeanStd(mean_out,
+                                              cv * mean_out))));
+        w.questions.emplace_back(in, out);
+    }
+    return w;
+}
+
+CharacterizationResult
+characterize(engine::InferenceEngine &eng, SweepConfig cfg,
+             std::size_t fit_questions, std::size_t validation_questions,
+             std::uint64_t seed)
+{
+    cfg.applyDefaults();
+    CharacterizationResult res;
+
+    // --- Prefill: sweep, fit Eqn. 1 and Eqn. 4, fit Eqn. 5 head. ---
+    const auto pf = sweepPrefill(eng, cfg);
+    res.latency.prefill = fitPrefill(pf.latency);
+    res.prefillPower = fitPrefillPower(pf.power);
+    res.prefillEnergy = fitEnergyPerToken(pf.energyPerToken);
+
+    // --- Decode: fit Eqn. 2 on a 100-question workload (paper's
+    //     procedure), Eqn. 6 on the fixed-input sweep. ---
+    Rng rng(seed, "characterize/" + eng.spec().name);
+    const double mean_out = 512.0;
+    const double mean_in = 170.0;
+    const auto fit_wl = sampleWorkload(rng, fit_questions, mean_in,
+                                       mean_out);
+    std::vector<DecodeSample> decode_fit;
+    decode_fit.reserve(fit_wl.questions.size());
+    for (const auto &[i, o] : fit_wl.questions) {
+        const auto m = eng.run(i, o);
+        decode_fit.push_back({i, o, m.decode.seconds});
+    }
+    res.latency.decode = fitDecode(decode_fit);
+
+    const auto dc = sweepDecode(eng, cfg);
+    res.decodePower = fitDecodePower(dc.power);
+    res.decodeEnergy = fitEnergyPerToken(dc.energyPerToken);
+
+    // --- Validation on held-out questions (Tables VI and VIII). ---
+    const auto val_wl = sampleWorkload(rng, validation_questions,
+                                       mean_in, mean_out);
+    std::vector<double> pf_pred, pf_act, dc_pred, dc_act;
+    std::vector<double> tot_pred, tot_act;
+    std::vector<double> de_pred, de_act, te_pred, te_act;
+
+    TotalEnergyModel energy_model;
+    energy_model.latency = res.latency;
+    energy_model.prefillPower = res.prefillPower;
+    energy_model.decodePower = res.decodePower;
+
+    for (const auto &[i, o] : val_wl.questions) {
+        const auto m = eng.run(i, o);
+        pf_pred.push_back(res.latency.prefill(i));
+        pf_act.push_back(m.prefill.seconds);
+        dc_pred.push_back(res.latency.decode(i, o));
+        dc_act.push_back(m.decode.seconds);
+        tot_pred.push_back(res.latency.total(i, o));
+        tot_act.push_back(m.totalSeconds());
+        de_pred.push_back(energy_model.decodeEnergy(i, o));
+        de_act.push_back(m.decode.energy);
+        te_pred.push_back(energy_model.total(i, o));
+        te_act.push_back(m.totalEnergy());
+    }
+    res.prefillMapePct = mape(pf_pred, pf_act);
+    res.decodeMapePct = mape(dc_pred, dc_act);
+    res.totalMapePct = mape(tot_pred, tot_act);
+    res.decodeEnergyMapePct = mape(de_pred, de_act);
+    res.totalEnergyMapePct = mape(te_pred, te_act);
+    return res;
+}
+
+} // namespace perf
+} // namespace edgereason

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Characterization sweeps (Section IV): drive the inference engine over
+ * input/output length grids, collect latency/power/energy samples, fit
+ * the analytical models and validate them on held-out questions — the
+ * full measure -> fit -> validate pipeline the paper runs on hardware.
+ */
+
+#ifndef EDGEREASON_PERFMODEL_CHARACTERIZE_HH
+#define EDGEREASON_PERFMODEL_CHARACTERIZE_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "engine/engine.hh"
+#include "perfmodel/latency_model.hh"
+#include "perfmodel/power_energy_model.hh"
+
+namespace edgereason {
+namespace perf {
+
+/** Sweep grids and repeat counts. */
+struct SweepConfig
+{
+    /** Prefill input lengths; defaults to multiples of 64 up to 4096. */
+    std::vector<Tokens> prefillLengths;
+    /** Decode output lengths; defaults to a power-of-two grid to 2048. */
+    std::vector<Tokens> decodeOutputs;
+    /** Fixed input length for decode sweeps (paper uses 512). */
+    Tokens decodeInput = 512;
+    /** Repeated measurements per point (paper uses 5). */
+    int repeats = 5;
+
+    /** Fill empty grids with the defaults above. */
+    void applyDefaults();
+};
+
+/** Prefill-phase sweep results. */
+struct PrefillCharacterization
+{
+    std::vector<PrefillSample> latency;
+    std::vector<PowerSample> power;
+    std::vector<EnergySample> energyPerToken;
+};
+
+/** Decode-phase sweep results. */
+struct DecodeCharacterization
+{
+    std::vector<DecodeSample> latency;
+    std::vector<PowerSample> power;
+    std::vector<EnergySample> energyPerToken;
+};
+
+/** Run the prefill sweep (Figs. 2 and 4). */
+PrefillCharacterization sweepPrefill(engine::InferenceEngine &eng,
+                                     const SweepConfig &cfg);
+
+/** Run the decode sweep at fixed input length (Figs. 3a and 5). */
+DecodeCharacterization sweepDecode(engine::InferenceEngine &eng,
+                                   const SweepConfig &cfg);
+
+/** TBT versus input length at a fixed short output (Fig. 3b). */
+std::vector<std::pair<Tokens, Seconds>>
+tbtVsInputLength(engine::InferenceEngine &eng,
+                 const std::vector<Tokens> &inputs);
+
+/**
+ * A synthetic question workload: (input, output) token pairs drawn from
+ * the length distributions of a benchmark (used for fitting Eqn. 2 "on
+ * 100 MMLU-Redux data points" and validating on 50 held-out ones).
+ */
+struct QuestionWorkload
+{
+    std::vector<std::pair<Tokens, Tokens>> questions;
+};
+
+/**
+ * Sample a workload with log-normally distributed lengths.
+ *
+ * @param mean_in / @p mean_out  distribution means
+ * @param cv  coefficient of variation for both lengths
+ */
+QuestionWorkload sampleWorkload(Rng &rng, std::size_t n, double mean_in,
+                                double mean_out, double cv = 0.45);
+
+/** Everything Section IV produces for one model. */
+struct CharacterizationResult
+{
+    LatencyModel latency;
+    PrefillPowerModel prefillPower;
+    DecodePowerModel decodePower;
+    EnergyPerTokenModel prefillEnergy;
+    EnergyPerTokenModel decodeEnergy;
+
+    // Table VI
+    double prefillMapePct = 0.0;
+    double decodeMapePct = 0.0;
+    double totalMapePct = 0.0;
+    // Table VIII
+    double decodeEnergyMapePct = 0.0;
+    double totalEnergyMapePct = 0.0;
+};
+
+/**
+ * Full Section-IV pipeline for one engine: sweep, fit Eqns. 1-6, then
+ * validate latency and energy on @p validation_questions held-out
+ * questions (the paper uses 50).
+ */
+CharacterizationResult characterize(engine::InferenceEngine &eng,
+                                    SweepConfig cfg = {},
+                                    std::size_t fit_questions = 100,
+                                    std::size_t validation_questions = 50,
+                                    std::uint64_t seed = 1234);
+
+} // namespace perf
+} // namespace edgereason
+
+#endif // EDGEREASON_PERFMODEL_CHARACTERIZE_HH

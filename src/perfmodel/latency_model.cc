@@ -1,0 +1,153 @@
+#include "perfmodel/latency_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linalg.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace edgereason {
+namespace perf {
+
+Tokens
+PrefillLatencyModel::padded(Tokens input_tokens) const
+{
+    panic_if(input_tokens < 1, "prefill length must be >= 1");
+    return (input_tokens + tile - 1) / tile * tile;
+}
+
+Seconds
+PrefillLatencyModel::operator()(Tokens input_tokens) const
+{
+    const double ip = static_cast<double>(padded(input_tokens));
+    return a * ip * ip + b * ip + c;
+}
+
+Seconds
+DecodeLatencyModel::operator()(Tokens input_tokens,
+                               Tokens output_tokens) const
+{
+    panic_if(output_tokens < 0, "negative output length");
+    const double i = static_cast<double>(input_tokens);
+    const double o = static_cast<double>(output_tokens);
+    return n * o + m * (i * o + o * (o - 1.0) / 2.0);
+}
+
+Seconds
+DecodeLatencyModel::tbt(Tokens context) const
+{
+    return m * static_cast<double>(context) + n;
+}
+
+Seconds
+LatencyModel::total(Tokens input_tokens, Tokens output_tokens) const
+{
+    return prefill(input_tokens) + decode(input_tokens, output_tokens);
+}
+
+Tokens
+LatencyModel::maxOutputTokens(Tokens input_tokens, Seconds budget) const
+{
+    const Seconds fixed = prefill(input_tokens);
+    if (fixed > budget)
+        return 0;
+    // decode(I, O) is monotone in O; binary search the largest O.
+    Tokens lo = 0;
+    Tokens hi = 1;
+    while (decode(input_tokens, hi) <= budget - fixed && hi < (1 << 24))
+        hi *= 2;
+    while (lo < hi) {
+        const Tokens mid = lo + (hi - lo + 1) / 2;
+        if (decode(input_tokens, mid) <= budget - fixed)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+PrefillLatencyModel
+fitPrefill(const std::vector<PrefillSample> &samples, Tokens tile)
+{
+    std::vector<double> x, y;
+    for (const auto &s : samples) {
+        if (s.inputTokens % 64 != 0)
+            continue; // paper: fit only on multiples of 64
+        const Tokens pad = (s.inputTokens + tile - 1) / tile * tile;
+        x.push_back(static_cast<double>(pad));
+        y.push_back(s.latency);
+    }
+    fatal_if(x.size() < 3,
+             "fitPrefill: need >= 3 samples at multiples of 64, got ",
+             x.size());
+    // Weighted least squares with 1/latency weights: prefill latencies
+    // span two orders of magnitude across the sweep, and the validation
+    // metric (MAPE, Table VI) is relative, so the fit should balance
+    // relative rather than absolute residuals.
+    Matrix design(x.size(), 3);
+    std::vector<double> rhs(x.size());
+    for (std::size_t r = 0; r < x.size(); ++r) {
+        fatal_if(y[r] <= 0.0, "non-positive prefill latency sample");
+        const double w = 1.0 / y[r];
+        design.at(r, 0) = x[r] * x[r] * w;
+        design.at(r, 1) = x[r] * w;
+        design.at(r, 2) = w;
+        rhs[r] = 1.0; // y[r] * w
+    }
+    const auto beta = leastSquares(design, rhs);
+    PrefillLatencyModel m;
+    m.a = beta[0];
+    m.b = beta[1];
+    m.c = beta[2];
+    m.tile = tile;
+    return m;
+}
+
+DecodeLatencyModel
+fitDecode(const std::vector<DecodeSample> &samples)
+{
+    fatal_if(samples.size() < 2, "fitDecode: need >= 2 samples");
+    Matrix design(samples.size(), 2);
+    std::vector<double> y;
+    y.reserve(samples.size());
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+        const double i = static_cast<double>(samples[r].inputTokens);
+        const double o = static_cast<double>(samples[r].outputTokens);
+        design.at(r, 0) = o;                          // -> n
+        design.at(r, 1) = i * o + o * (o - 1.0) / 2.0; // -> m
+        y.push_back(samples[r].latency);
+    }
+    const auto beta = leastSquares(design, y);
+    DecodeLatencyModel m;
+    m.n = beta[0];
+    m.m = beta[1];
+    return m;
+}
+
+double
+validatePrefill(const PrefillLatencyModel &model,
+                const std::vector<PrefillSample> &samples)
+{
+    std::vector<double> pred, act;
+    for (const auto &s : samples) {
+        pred.push_back(model(s.inputTokens));
+        act.push_back(s.latency);
+    }
+    return mape(pred, act);
+}
+
+double
+validateDecode(const DecodeLatencyModel &model,
+               const std::vector<DecodeSample> &samples)
+{
+    std::vector<double> pred, act;
+    for (const auto &s : samples) {
+        pred.push_back(model(s.inputTokens, s.outputTokens));
+        act.push_back(s.latency);
+    }
+    return mape(pred, act);
+}
+
+} // namespace perf
+} // namespace edgereason

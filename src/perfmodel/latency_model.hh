@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analytical latency models of Section IV-A.  Prefill latency is a
+ * quadratic in the 128-padded input length (Eqn. 1); decode latency
+ * follows from an affine time-between-tokens model summed over output
+ * steps (Eqn. 2).  Both are fitted to simulator measurements by ordinary
+ * least squares, mirroring the paper's procedure (fit on lengths that
+ * are multiples of 64; validate on held-out questions with MAPE).
+ */
+
+#ifndef EDGEREASON_PERFMODEL_LATENCY_MODEL_HH
+#define EDGEREASON_PERFMODEL_LATENCY_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace perf {
+
+/** L_prefill(I) = a I_pad^2 + b I_pad + c   (Eqn. 1). */
+struct PrefillLatencyModel
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    Tokens tile = 128; //!< padding granularity for I_pad
+
+    /** @return I rounded up to the tile size. */
+    Tokens padded(Tokens input_tokens) const;
+    /** Predict prefill latency for an input length. */
+    Seconds operator()(Tokens input_tokens) const;
+};
+
+/**
+ * TBT_i = m I_i + n summed over O steps (Eqn. 2):
+ * L_decode(I, O) = n O + m (I O + O (O - 1) / 2).
+ */
+struct DecodeLatencyModel
+{
+    double m = 0.0; //!< context-length slope (KV-cache growth)
+    double n = 0.0; //!< constant TBT term (weight streaming)
+
+    /** Predict total decode latency. */
+    Seconds operator()(Tokens input_tokens, Tokens output_tokens) const;
+    /** Predict the TBT at one decode position. */
+    Seconds tbt(Tokens context) const;
+};
+
+/** Combined total latency model (Eqn. 3). */
+struct LatencyModel
+{
+    PrefillLatencyModel prefill;
+    DecodeLatencyModel decode;
+
+    /** Predict end-to-end latency. */
+    Seconds total(Tokens input_tokens, Tokens output_tokens) const;
+
+    /**
+     * Invert the model: the largest output length whose total latency
+     * fits a budget (Takeaway #6's latency-to-token mapping).
+     *
+     * @return the max decodable tokens, or 0 if even prefill misses
+     */
+    Tokens maxOutputTokens(Tokens input_tokens, Seconds budget) const;
+};
+
+/** One prefill measurement. */
+struct PrefillSample
+{
+    Tokens inputTokens = 0;
+    Seconds latency = 0.0;
+};
+
+/** One decode measurement. */
+struct DecodeSample
+{
+    Tokens inputTokens = 0;
+    Tokens outputTokens = 0;
+    Seconds latency = 0.0;
+};
+
+/**
+ * Fit Eqn. 1 by least squares.  Following the paper, only samples whose
+ * input length is a multiple of 64 participate, and lengths are padded
+ * to the tile before fitting.
+ */
+PrefillLatencyModel fitPrefill(const std::vector<PrefillSample> &samples,
+                               Tokens tile = 128);
+
+/** Fit Eqn. 2 by least squares on [O, I O + O(O-1)/2] -> latency. */
+DecodeLatencyModel fitDecode(const std::vector<DecodeSample> &samples);
+
+/** MAPE (%) of a prefill model on samples. */
+double validatePrefill(const PrefillLatencyModel &model,
+                       const std::vector<PrefillSample> &samples);
+
+/** MAPE (%) of a decode model on samples. */
+double validateDecode(const DecodeLatencyModel &model,
+                      const std::vector<DecodeSample> &samples);
+
+} // namespace perf
+} // namespace edgereason
+
+#endif // EDGEREASON_PERFMODEL_LATENCY_MODEL_HH

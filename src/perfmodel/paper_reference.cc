@@ -1,0 +1,176 @@
+#include "perfmodel/paper_reference.hh"
+
+namespace edgereason {
+namespace perf {
+namespace paper {
+
+using model::ModelId;
+
+std::optional<PrefillLatencyModel>
+prefillLatency(ModelId id)
+{
+    PrefillLatencyModel m;
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+        m.a = 1.56e-7;
+        m.b = 2.31e-6;
+        m.c = 0.046;
+        return m;
+      case ModelId::Dsr1Llama8B:
+        m.a = 6.65e-7;
+        m.b = 2.90e-4;
+        m.c = 0.104;
+        return m;
+      case ModelId::Dsr1Qwen14B:
+        m.a = 1.23e-6;
+        m.b = 5.3e-4;
+        m.c = 0.189;
+        return m;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<DecodeLatencyModel>
+decodeLatency(ModelId id)
+{
+    DecodeLatencyModel m;
+    switch (id) {
+      case ModelId::Dsr1Qwen1_5B:
+        m.m = -1.50e-7;
+        m.n = 0.024;
+        return m;
+      case ModelId::Dsr1Llama8B:
+        m.m = 6.92e-7;
+        m.n = 0.010; // published as-is; see header note
+        return m;
+      case ModelId::Dsr1Qwen14B:
+        m.m = 1.13e-6;
+        m.n = 0.187;
+        return m;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<PrefillPowerModel>
+prefillPower(ModelId id, bool quantized)
+{
+    PrefillPowerModel m;
+    if (!quantized) {
+        switch (id) { // Table XX
+          case ModelId::Dsr1Qwen1_5B:
+            m.v = 0;
+            m.u = 5.636;
+            return m;
+          case ModelId::Dsr1Llama8B:
+            m.v = 800;
+            m.u = 12.0; // constant level implied by Fig. 4
+            m.w = 12.33;  // alpha = 0.01233 kW -> W
+            m.x = -73.49; // beta = -0.07349 kW -> W
+            return m;
+          case ModelId::Dsr1Qwen14B:
+            m.v = 384;
+            m.u = 17.0;
+            m.w = 16.05;
+            m.x = -76.43;
+            return m;
+          default:
+            return std::nullopt;
+        }
+    }
+    switch (id) { // Table XXII
+      case ModelId::Dsr1Qwen1_5B:
+        m.v = 0;
+        m.u = 4.83;
+        return m;
+      case ModelId::Dsr1Llama8B:
+        m.v = 1400;
+        m.u = 11.0;
+        m.w = 6.6;
+        m.x = -40.0;
+        return m;
+      case ModelId::Dsr1Qwen14B:
+        m.v = 384;
+        m.u = 14.0;
+        m.w = 15.7;
+        m.x = -89.0;
+        return m;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<DecodePowerModel>
+decodePower(ModelId id, bool quantized)
+{
+    DecodePowerModel m;
+    if (!quantized) {
+        switch (id) { // Table XXI
+          case ModelId::Dsr1Qwen1_5B:
+            m.y = 0.756538;
+            m.z = 3.213711;
+            return m;
+          case ModelId::Dsr1Llama8B:
+            m.y = 8.806744;
+            m.z = 2.701709;
+            return m;
+          case ModelId::Dsr1Qwen14B:
+            m.y = 16.886830;
+            m.z = 1.619387;
+            return m;
+          default:
+            return std::nullopt;
+        }
+    }
+    switch (id) { // Table XXIII
+      case ModelId::Dsr1Qwen1_5B:
+        m.y = 3.0401;
+        m.z = -1.6672;
+        return m;
+      case ModelId::Dsr1Llama8B:
+        m.y = 3.8723;
+        m.z = 3.0186;
+        return m;
+      case ModelId::Dsr1Qwen14B:
+        m.y = 3.0515;
+        m.z = 11.0898;
+        return m;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<LatencyMapeTargets>
+latencyMape(ModelId id)
+{
+    switch (id) { // Table VI
+      case ModelId::Dsr1Qwen1_5B:
+        return LatencyMapeTargets{9.80, 0.42, 0.46};
+      case ModelId::Dsr1Llama8B:
+        return LatencyMapeTargets{13.39, 0.45, 0.49};
+      case ModelId::Dsr1Qwen14B:
+        return LatencyMapeTargets{7.59, 0.53, 0.56};
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<EnergyMapeTargets>
+energyMape(ModelId id)
+{
+    switch (id) { // Table VIII
+      case ModelId::Dsr1Qwen1_5B:
+        return EnergyMapeTargets{6.8, 6.0};
+      case ModelId::Dsr1Llama8B:
+        return EnergyMapeTargets{6.4, 5.7};
+      case ModelId::Dsr1Qwen14B:
+        return EnergyMapeTargets{6.6, 5.8};
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace paper
+} // namespace perf
+} // namespace edgereason

@@ -1,0 +1,246 @@
+#include "perfmodel/power_energy_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace edgereason {
+namespace perf {
+
+Watts
+PrefillPowerModel::operator()(Tokens input_tokens) const
+{
+    panic_if(input_tokens < 1, "power model needs length >= 1");
+    if (v <= 0 || input_tokens <= v)
+        return u;
+    return std::max<double>(
+        u, w * std::log(static_cast<double>(input_tokens)) + x);
+}
+
+Watts
+DecodePowerModel::operator()(Tokens output_tokens) const
+{
+    panic_if(output_tokens < 1, "power model needs length >= 1");
+    if (output_tokens < floorTokens)
+        return floor;
+    return std::max<double>(
+        floor, y * std::log(static_cast<double>(output_tokens)) + z);
+}
+
+Joules
+EnergyPerTokenModel::operator()(Tokens length) const
+{
+    panic_if(length < 1, "energy model needs length >= 1");
+    const double l = static_cast<double>(length);
+    if (ve <= 0 || length <= ve)
+        return head(l);
+    return tail(l);
+}
+
+namespace {
+
+std::vector<double>
+lengths(const std::vector<PowerSample> &s)
+{
+    std::vector<double> x;
+    x.reserve(s.size());
+    for (const auto &p : s)
+        x.push_back(static_cast<double>(p.length));
+    return x;
+}
+
+std::vector<double>
+powers(const std::vector<PowerSample> &s)
+{
+    std::vector<double> y;
+    y.reserve(s.size());
+    for (const auto &p : s)
+        y.push_back(p.power);
+    return y;
+}
+
+} // namespace
+
+PrefillPowerModel
+fitPrefillPower(const std::vector<PowerSample> &samples)
+{
+    fatal_if(samples.size() < 6, "fitPrefillPower: need >= 6 samples");
+    const auto x = lengths(samples);
+    const auto y = powers(samples);
+
+    // Candidate 1: pure constant.
+    const double const_mean = mean(y);
+    double const_err = 0.0;
+    for (double v : y)
+        const_err += (v - const_mean) * (v - const_mean);
+
+    // Candidate 2: piecewise constant + log (Eqn. 4).
+    PrefillPowerModel best;
+    best.v = 0;
+    best.u = const_mean;
+    double best_err = const_err;
+    try {
+        const PiecewiseLogFit pw = piecewiseLogFit(x, y,
+                                                   /*exp_head=*/false);
+        double err = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double d = pw(x[i]) - y[i];
+            err += d * d;
+        }
+        // Require a material improvement to pick the more complex
+        // form (mirrors the paper's constant 1.5B model).
+        if (err < 0.7 * const_err) {
+            best.v = static_cast<Tokens>(pw.breakpoint);
+            best.u = pw.head_const;
+            best.w = pw.tail.alpha;
+            best.x = pw.tail.beta;
+            best_err = err;
+        }
+    } catch (const std::exception &) {
+        // Piecewise fit degenerate; keep the constant model.
+    }
+    (void)best_err;
+    return best;
+}
+
+DecodePowerModel
+fitDecodePower(const std::vector<PowerSample> &samples,
+               Tokens floor_tokens)
+{
+    fatal_if(samples.size() < 2, "fitDecodePower: need >= 2 samples");
+    DecodePowerModel m;
+    m.floorTokens = floor_tokens;
+
+    std::vector<double> head_y;
+    std::vector<double> tail_x, tail_y;
+    for (const auto &s : samples) {
+        if (s.length < floor_tokens) {
+            head_y.push_back(s.power);
+        } else {
+            tail_x.push_back(static_cast<double>(s.length));
+            tail_y.push_back(s.power);
+        }
+    }
+    if (!head_y.empty())
+        m.floor = mean(head_y);
+    fatal_if(tail_x.size() < 2,
+             "fitDecodePower: need >= 2 samples beyond the floor");
+    const LogFit f = logFit(tail_x, tail_y);
+    m.y = f.alpha;
+    m.z = f.beta;
+    if (head_y.empty()) {
+        // No short-output samples: extrapolate the floor from the log
+        // tail at the floor boundary.
+        m.floor = std::max(1.0, f(static_cast<double>(floor_tokens)));
+    }
+    return m;
+}
+
+EnergyPerTokenModel
+fitEnergyPerToken(const std::vector<EnergySample> &samples,
+                  bool force_exp_only)
+{
+    fatal_if(samples.size() < 4, "fitEnergyPerToken: need >= 4 samples");
+    std::vector<double> x, y;
+    x.reserve(samples.size());
+    for (const auto &s : samples) {
+        x.push_back(static_cast<double>(s.length));
+        y.push_back(s.energyPerToken);
+    }
+
+    EnergyPerTokenModel m;
+    const ExpDecayFit exp_all = expDecayFit(x, y, 1e-5, 0.5);
+    double exp_err = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = exp_all(x[i]) - y[i];
+        exp_err += d * d;
+    }
+    m.ve = 0;
+    m.head = exp_all;
+
+    if (force_exp_only || samples.size() < 8)
+        return m;
+
+    try {
+        const PiecewiseLogFit pw = piecewiseLogFit(x, y,
+                                                   /*exp_head=*/true);
+        double pw_err = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double d = pw(x[i]) - y[i];
+            pw_err += d * d;
+        }
+        if (pw_err < 0.8 * exp_err) {
+            m.ve = static_cast<Tokens>(pw.breakpoint);
+            m.head = pw.head_exp;
+            m.tail = pw.tail;
+        }
+    } catch (const std::exception &) {
+        // Keep the pure exponential form.
+    }
+    return m;
+}
+
+double
+validatePrefillPower(const PrefillPowerModel &model,
+                     const std::vector<PowerSample> &samples)
+{
+    std::vector<double> pred, act;
+    for (const auto &s : samples) {
+        pred.push_back(model(s.length));
+        act.push_back(s.power);
+    }
+    return mape(pred, act);
+}
+
+double
+validateDecodePower(const DecodePowerModel &model,
+                    const std::vector<PowerSample> &samples)
+{
+    std::vector<double> pred, act;
+    for (const auto &s : samples) {
+        pred.push_back(model(s.length));
+        act.push_back(s.power);
+    }
+    return mape(pred, act);
+}
+
+double
+validateEnergyPerToken(const EnergyPerTokenModel &model,
+                       const std::vector<EnergySample> &samples)
+{
+    std::vector<double> pred, act;
+    for (const auto &s : samples) {
+        pred.push_back(model(s.length));
+        act.push_back(s.energyPerToken);
+    }
+    return mape(pred, act);
+}
+
+Joules
+TotalEnergyModel::prefillEnergy(Tokens input_tokens) const
+{
+    return prefillPower(input_tokens) * latency.prefill(input_tokens);
+}
+
+Joules
+TotalEnergyModel::decodeEnergy(Tokens input_tokens,
+                               Tokens output_tokens) const
+{
+    if (output_tokens <= 0)
+        return 0.0;
+    return decodePower(output_tokens) *
+        latency.decode(input_tokens, output_tokens);
+}
+
+Joules
+TotalEnergyModel::total(Tokens input_tokens, Tokens output_tokens) const
+{
+    return prefillEnergy(input_tokens) +
+        decodeEnergy(input_tokens, output_tokens);
+}
+
+} // namespace perf
+} // namespace edgereason

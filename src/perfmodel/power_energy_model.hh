@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Analytical power and energy models of Section IV-B.  Prefill power is
+ * piecewise constant/logarithmic in input length (Eqn. 4); decode power
+ * has a floor below 64 output tokens and a logarithmic tail (Eqn. 6);
+ * energy per token follows a piecewise exponential-decay/logarithmic
+ * shape (Eqn. 5, Tables XX-XXIII).  Total energy composes the power and
+ * latency models: E = P(x) * L(x).
+ */
+
+#ifndef EDGEREASON_PERFMODEL_POWER_ENERGY_MODEL_HH
+#define EDGEREASON_PERFMODEL_POWER_ENERGY_MODEL_HH
+
+#include <vector>
+
+#include "common/fit.hh"
+#include "common/types.hh"
+#include "perfmodel/latency_model.hh"
+
+namespace edgereason {
+namespace perf {
+
+/** P_prefill(I): constant u below v, w ln(I) + x above (Eqn. 4). */
+struct PrefillPowerModel
+{
+    Tokens v = 0;      //!< transition point (0: constant everywhere)
+    Watts u = 0.0;     //!< constant head
+    double w = 0.0;    //!< log slope
+    double x = 0.0;    //!< log intercept
+
+    /** Predict average prefill power. */
+    Watts operator()(Tokens input_tokens) const;
+};
+
+/** P_decode(O): floor below 64 tokens, y ln(O) + z above (Eqn. 6). */
+struct DecodePowerModel
+{
+    Watts floor = 5.9;      //!< short-output floor
+    Tokens floorTokens = 64;
+    double y = 0.0;         //!< log slope
+    double z = 0.0;         //!< log intercept
+
+    /** Predict average decode power. */
+    Watts operator()(Tokens output_tokens) const;
+};
+
+/**
+ * Per-token energy model (Eqn. 5): exponential decay head (short
+ * sequences amortize fixed overheads) and logarithmic tail.
+ */
+struct EnergyPerTokenModel
+{
+    Tokens ve = 0;       //!< transition point (0: exp-decay everywhere)
+    ExpDecayFit head;    //!< A e^{-lambda x} + C
+    LogFit tail;         //!< alpha ln(x) + beta
+
+    /** Predict energy per token at a sequence length. */
+    Joules operator()(Tokens length) const;
+};
+
+/** One power measurement. */
+struct PowerSample
+{
+    Tokens length = 0; //!< input length (prefill) or output (decode)
+    Watts power = 0.0;
+};
+
+/** One per-token energy measurement. */
+struct EnergySample
+{
+    Tokens length = 0;
+    Joules energyPerToken = 0.0;
+};
+
+/**
+ * Fit Eqn. 4 to prefill power samples.  The breakpoint is profiled over
+ * the sample grid; a pure-constant model is selected when it explains
+ * the data as well as the piecewise one (the 1.5B case).
+ */
+PrefillPowerModel fitPrefillPower(const std::vector<PowerSample> &samples);
+
+/** Fit Eqn. 6 to decode power samples (floor fixed at 64 tokens). */
+DecodePowerModel fitDecodePower(const std::vector<PowerSample> &samples,
+                                Tokens floor_tokens = 64);
+
+/**
+ * Fit Eqn. 5 to per-token energy samples.
+ * @param force_exp_only  restrict to the pure exponential-decay form
+ *   (used for the 1.5B prefill where no log tail exists)
+ */
+EnergyPerTokenModel fitEnergyPerToken(
+    const std::vector<EnergySample> &samples, bool force_exp_only = false);
+
+/** MAPE (%) of a fitted power model on samples. */
+double validatePrefillPower(const PrefillPowerModel &model,
+                            const std::vector<PowerSample> &samples);
+/** MAPE (%) of a fitted decode power model on samples. */
+double validateDecodePower(const DecodePowerModel &model,
+                           const std::vector<PowerSample> &samples);
+/** MAPE (%) of an energy-per-token model on samples. */
+double validateEnergyPerToken(const EnergyPerTokenModel &model,
+                              const std::vector<EnergySample> &samples);
+
+/**
+ * Composed total-energy model: E = E_prefill + E_decode where each term
+ * is the phase's power model times its latency model (Section IV-B).
+ */
+struct TotalEnergyModel
+{
+    LatencyModel latency;
+    PrefillPowerModel prefillPower;
+    DecodePowerModel decodePower;
+
+    /** Predict prefill energy. */
+    Joules prefillEnergy(Tokens input_tokens) const;
+    /** Predict decode energy. */
+    Joules decodeEnergy(Tokens input_tokens, Tokens output_tokens) const;
+    /** Predict total request energy. */
+    Joules total(Tokens input_tokens, Tokens output_tokens) const;
+};
+
+} // namespace perf
+} // namespace edgereason
+
+#endif // EDGEREASON_PERFMODEL_POWER_ENERGY_MODEL_HH

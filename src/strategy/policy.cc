@@ -1,0 +1,64 @@
+#include "strategy/policy.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace strategy {
+
+const char *
+policyKindLabel(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Base:
+        return "Base";
+      case PolicyKind::HardLimit:
+        return "T";
+      case PolicyKind::SoftLimit:
+        return "NC";
+      case PolicyKind::NoReasoning:
+        return "NR";
+      case PolicyKind::L1Budget:
+        return "L1";
+    }
+    panic("unknown policy kind");
+}
+
+std::string
+TokenPolicy::label() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case PolicyKind::Base:
+        return "Base";
+      case PolicyKind::NoReasoning:
+        return "NR";
+      case PolicyKind::HardLimit:
+        os << budget << "T";
+        return os.str();
+      case PolicyKind::SoftLimit:
+        os << budget << " (NC)";
+        return os.str();
+      case PolicyKind::L1Budget:
+        os << "L1-" << budget;
+        return os.str();
+    }
+    panic("unknown policy kind");
+}
+
+std::string
+InferenceStrategy::label() const
+{
+    std::ostringstream os;
+    os << model::modelName(model);
+    if (quantized)
+        os << "-AWQ-W4";
+    os << " " << policy.label();
+    if (parallel > 1)
+        os << " x" << parallel;
+    return os.str();
+}
+
+} // namespace strategy
+} // namespace edgereason

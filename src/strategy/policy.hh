@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Token-control policies (Section V): Base (unconstrained), hard length
+ * control ([n]T), soft length control ([n]-NC), no-reasoning thinking
+ * bypass (NR), and the L1 budget-aware mode.  A policy plus a parallel
+ * scaling factor forms an inference strategy.
+ */
+
+#ifndef EDGEREASON_STRATEGY_POLICY_HH
+#define EDGEREASON_STRATEGY_POLICY_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "model/model_id.hh"
+
+namespace edgereason {
+namespace strategy {
+
+/** The output-length control mechanism. */
+enum class PolicyKind {
+    /** Unconstrained autoregressive generation. */
+    Base,
+    /** "Answer in [n] words" with strict enforcement ([n]T). */
+    HardLimit,
+    /** Same instruction, no enforcement ([n]-NC). */
+    SoftLimit,
+    /** Predefined empty thinking block (NR). */
+    NoReasoning,
+    /** L1-style RL-trained budget adherence. */
+    L1Budget,
+};
+
+/** @return short policy-kind label ("Base", "T", "NC", "NR", "L1"). */
+const char *policyKindLabel(PolicyKind k);
+
+/** A concrete token-control policy. */
+struct TokenPolicy
+{
+    PolicyKind kind = PolicyKind::Base;
+    Tokens budget = 0; //!< token budget for HardLimit/SoftLimit/L1Budget
+
+    /** @return the unconstrained policy. */
+    static TokenPolicy base() { return {PolicyKind::Base, 0}; }
+    /** @return a hard [n]T policy. */
+    static TokenPolicy hard(Tokens n) { return {PolicyKind::HardLimit, n}; }
+    /** @return a soft [n]-NC policy. */
+    static TokenPolicy soft(Tokens n) { return {PolicyKind::SoftLimit, n}; }
+    /** @return the NR thinking-bypass policy. */
+    static TokenPolicy noReasoning()
+    {
+        return {PolicyKind::NoReasoning, 0};
+    }
+    /** @return an L1 budget policy. */
+    static TokenPolicy l1(Tokens n) { return {PolicyKind::L1Budget, n}; }
+
+    /** @return true if generation is forcibly cut at the budget. */
+    bool isHardCapped() const
+    {
+        return kind == PolicyKind::HardLimit ||
+            kind == PolicyKind::L1Budget;
+    }
+
+    /** @return the paper's config label, e.g. "128T", "256 (NC)". */
+    std::string label() const;
+
+    /** Ordering for use as a map key. */
+    friend bool operator<(const TokenPolicy &a, const TokenPolicy &b)
+    {
+        if (a.kind != b.kind)
+            return a.kind < b.kind;
+        return a.budget < b.budget;
+    }
+    friend bool operator==(const TokenPolicy &a, const TokenPolicy &b)
+    {
+        return a.kind == b.kind && a.budget == b.budget;
+    }
+};
+
+/** A full inference strategy: model + precision + policy + parallelism. */
+struct InferenceStrategy
+{
+    model::ModelId model = model::ModelId::Dsr1Qwen1_5B;
+    bool quantized = false;  //!< W4A16 AWQ weights
+    TokenPolicy policy;
+    int parallel = 1;        //!< parallel scaling factor (majority vote)
+
+    /** @return a descriptive label, e.g. "DSR1-Qwen-14B 256T x8". */
+    std::string label() const;
+};
+
+} // namespace strategy
+} // namespace edgereason
+
+#endif // EDGEREASON_STRATEGY_POLICY_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the accuracy substrate: datasets, anchors, the IRT
+ * scaling law and behavioural profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accuracy/anchors.hh"
+#include "accuracy/dataset.hh"
+#include "accuracy/profile.hh"
+#include "accuracy/scaling_law.hh"
+
+namespace er = edgereason;
+using namespace er::acc;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+TEST(Datasets, PropertiesMatchPaper)
+{
+    EXPECT_EQ(datasetInfo(Dataset::MmluRedux).questionCount, 3000u);
+    EXPECT_EQ(datasetInfo(Dataset::MmluRedux).choices, 4);
+    EXPECT_DOUBLE_EQ(datasetInfo(Dataset::MmluRedux).guessFloor, 0.25);
+    EXPECT_GT(datasetInfo(Dataset::Mmlu).questionCount, 15000u);
+    EXPECT_EQ(datasetInfo(Dataset::Aime2024).questionCount, 30u);
+    EXPECT_EQ(datasetInfo(Dataset::Aime2024).choices, 0);
+}
+
+TEST(QuestionBank, DeterministicAndWellFormed)
+{
+    QuestionBank a(Dataset::MmluRedux, 7);
+    QuestionBank b(Dataset::MmluRedux, 7);
+    ASSERT_EQ(a.questions().size(), 3000u);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const auto &qa = a.questions()[i];
+        EXPECT_DOUBLE_EQ(qa.difficulty, b.questions()[i].difficulty);
+        EXPECT_GE(qa.promptTokens, 16);
+        EXPECT_GE(qa.correctChoice, 0);
+        EXPECT_LT(qa.correctChoice, 4);
+        EXPECT_NE(qa.trapChoice, qa.correctChoice);
+    }
+    EXPECT_EQ(a.subset(150).size(), 150u);
+}
+
+TEST(Anchors, PublishedRowsPresent)
+{
+    const auto a = anchors(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                           false);
+    ASSERT_EQ(a.size(), 6u); // Base, 2 soft, NR, 2 hard
+    bool found_base = false;
+    for (const auto &x : a) {
+        if (x.policy == TokenPolicy::base()) {
+            found_base = true;
+            EXPECT_DOUBLE_EQ(x.accuracyPct, 80.6);
+            EXPECT_DOUBLE_EQ(x.avgTokens, 1317.8);
+        }
+    }
+    EXPECT_TRUE(found_base);
+    // Quantized base rows exist.
+    EXPECT_TRUE(hasAnchors(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                           true));
+    // Natural-Plan covers reasoning + two direct models.
+    EXPECT_TRUE(hasAnchors(ModelId::Qwen25_14BIt,
+                           Dataset::NaturalPlanMeeting, false));
+    EXPECT_FALSE(hasAnchors(ModelId::Gemma7BIt,
+                            Dataset::NaturalPlanTrip, false));
+}
+
+TEST(ScalingLaw, PopulationAccuracyMonotoneAndBounded)
+{
+    double prev = 0.0;
+    for (double a : {-10.0, -2.0, 0.0, 2.0, 10.0}) {
+        const double acc = populationAccuracy(a, 0.25, 1.3);
+        EXPECT_GT(acc, prev);
+        EXPECT_GE(acc, 0.25);
+        EXPECT_LE(acc, 1.0);
+        prev = acc;
+    }
+    EXPECT_NEAR(populationAccuracy(-30.0, 0.25, 1.3), 0.25, 1e-6);
+}
+
+TEST(ScalingLaw, AbilityInversionRoundTrips)
+{
+    for (double target : {0.3, 0.45, 0.617, 0.806, 0.95}) {
+        const double a = abilityForAccuracy(target, 0.25, 1.3);
+        EXPECT_NEAR(populationAccuracy(a, 0.25, 1.3), target, 1e-6);
+    }
+    // At/below the guess floor -> hard negative ability.
+    EXPECT_LT(abilityForAccuracy(0.25, 0.25, 1.3), -20.0);
+}
+
+TEST(ScalingLaw, CurveFitRecoversSaturatingShape)
+{
+    AbilityCurve truth{2.0, 3.0, 400.0};
+    std::vector<std::pair<double, double>> pts;
+    for (double t : {100.0, 200.0, 400.0, 800.0, 1600.0})
+        pts.emplace_back(t, truth(t));
+    const auto fit = fitAbilityCurve(pts);
+    EXPECT_NEAR(fit(100.0), truth(100.0), 0.05);
+    EXPECT_NEAR(fit(1600.0), truth(1600.0), 0.05);
+    EXPECT_NEAR(fit.aInf, 2.0, 0.3);
+}
+
+TEST(ScalingLaw, NonMonotoneDataDegradesToConstant)
+{
+    // Decreasing anchors (the 1.5B pattern) must not produce a
+    // negative-b curve.
+    std::vector<std::pair<double, double>> pts = {
+        {234.0, 0.5}, {740.0, 0.2}, {1474.0, -0.1}};
+    const auto fit = fitAbilityCurve(pts);
+    EXPECT_GE(fit.b, 0.0);
+    EXPECT_GE(fit(2000.0), fit(10.0));
+}
+
+TEST(Profile, AnchorsResolveExactly)
+{
+    const ResponseProfile p(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                            false);
+    // Published rows reproduce exactly as expected accuracy.
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::base()), 0.806, 1e-3);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::noReasoning()), 0.690,
+                1e-3);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::hard(128)), 0.461,
+                1e-3);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::soft(256)), 0.772,
+                1e-3);
+    EXPECT_NEAR(p.meanTokens(TokenPolicy::base()), 1317.8, 0.1);
+    EXPECT_NEAR(p.meanTokens(TokenPolicy::hard(128)), 78.2, 0.1);
+}
+
+TEST(Profile, HardAnchorsCarryParseFailures)
+{
+    // Table XI's 15.9% at 128T is below the 25% guess floor; only a
+    // parse-failure mass can explain it.
+    const ResponseProfile p(ModelId::Dsr1Qwen1_5B, Dataset::MmluRedux,
+                            false);
+    const auto cb = p.resolve(TokenPolicy::hard(128));
+    EXPECT_GT(cb.parseFail, 0.2);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::hard(128)), 0.159,
+                1e-3);
+}
+
+TEST(Profile, InterpolatedBudgetsBehaveSensibly)
+{
+    const ResponseProfile p(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                            false);
+    // A 512-token hard budget sits between 256T and Base.
+    const double acc512 = p.expectedAccuracy(TokenPolicy::hard(512));
+    EXPECT_GT(acc512, p.expectedAccuracy(TokenPolicy::hard(256)));
+    EXPECT_LT(acc512, p.expectedAccuracy(TokenPolicy::base()));
+    // Mean tokens respect the cap.
+    EXPECT_LE(p.meanTokens(TokenPolicy::hard(512)), 512.0);
+    // Larger budgets shed the truncation penalty.
+    EXPECT_LT(p.resolve(TokenPolicy::hard(1024)).parseFail,
+              p.resolve(TokenPolicy::hard(128)).parseFail);
+}
+
+TEST(Profile, QuantizedProfileTracksQuantAnchors)
+{
+    const ResponseProfile p(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                            true);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::base()), 0.579, 1e-3);
+    EXPECT_NEAR(p.meanTokens(TokenPolicy::base()), 549.1, 0.1);
+}
+
+TEST(Profile, QuantizedBudgetsBorrowFp16Structure)
+{
+    // MMLU-Redux quant anchors cover only Base; budgeted policies must
+    // inherit the FP16 budget structure shifted by the quantization
+    // delta (Table XII shows quant budget rows tracking FP16 ones).
+    const ResponseProfile q(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                            true);
+    const ResponseProfile f(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                            false);
+    const double q128 = q.expectedAccuracy(TokenPolicy::hard(128));
+    const double f128 = f.expectedAccuracy(TokenPolicy::hard(128));
+    // Within a few points of the FP16 value, and far below Base.
+    EXPECT_NEAR(q128, f128, 0.05);
+    EXPECT_LT(q128, 0.6 * q.expectedAccuracy(TokenPolicy::base()));
+    // Token means scale with the quant/fp16 base ratio and respect
+    // the cap.
+    EXPECT_LE(q.meanTokens(TokenPolicy::hard(128)), 128.0);
+}
+
+TEST(Profile, BudgetAwareCategoryHasHighCorrelation)
+{
+    const ResponseProfile l1(ModelId::L1Max, Dataset::MmluRedux, false);
+    const ResponseProfile r(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                            false);
+    EXPECT_GT(l1.sampleCorrelation(), r.sampleCorrelation());
+    EXPECT_LT(l1.lengthCv(), r.lengthCv());
+}
+
+TEST(Profile, MissingCombinationIsFatal)
+{
+    EXPECT_THROW(ResponseProfile(ModelId::Gemma7BIt,
+                                 Dataset::NaturalPlanTrip, false),
+                 std::runtime_error);
+}
+
+TEST(Profile, NaturalPlanUsesFreeFormGrading)
+{
+    const ResponseProfile p(ModelId::Dsr1Qwen14B,
+                            Dataset::NaturalPlanCalendar, false);
+    EXPECT_DOUBLE_EQ(p.info().guessFloor, 0.0);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::base()), 0.117, 2e-3);
+    EXPECT_NEAR(p.expectedAccuracy(TokenPolicy::hard(512)), 0.126,
+                2e-3);
+}

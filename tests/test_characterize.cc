@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end tests of the Section-IV characterization pipeline: the
+ * sweep-fit-validate loop must recover coefficients compatible with
+ * Tables IV-VI and VIII on the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+#include "perfmodel/characterize.hh"
+#include "perfmodel/paper_reference.hh"
+
+namespace er = edgereason;
+using namespace er::perf;
+using er::model::ModelId;
+
+namespace {
+
+er::engine::InferenceEngine
+makeEngine(ModelId id)
+{
+    return er::engine::InferenceEngine(er::model::spec(id),
+                                       er::model::calibration(id));
+}
+
+CharacterizationResult
+characterizeModel(ModelId id)
+{
+    auto eng = makeEngine(id);
+    return characterize(eng);
+}
+
+} // namespace
+
+TEST(Characterize, PrefillQuadraticCoefficientNearTableIV)
+{
+    // The quadratic term is physical (attention on the FP32 path) and
+    // should land within ~15% of the paper's fit.
+    const struct { ModelId id; double a; } rows[] = {
+        {ModelId::Dsr1Qwen1_5B, 1.56e-7},
+        {ModelId::Dsr1Llama8B, 6.65e-7},
+        {ModelId::Dsr1Qwen14B, 1.23e-6},
+    };
+    for (const auto &r : rows) {
+        const auto c = characterizeModel(r.id);
+        EXPECT_NEAR(c.latency.prefill.a, r.a, 0.15 * r.a)
+            << er::model::modelName(r.id);
+    }
+}
+
+TEST(Characterize, DecodeConstantTermNearPaperTbt)
+{
+    // n ~ TBT: 0.024-0.026 / ~0.10 / ~0.19 s (Section IV-A text and
+    // Tables X/XIX; Table V's 8B n is a known typo).
+    EXPECT_NEAR(characterizeModel(ModelId::Dsr1Qwen1_5B).latency.decode.n,
+                0.025, 0.004);
+    EXPECT_NEAR(characterizeModel(ModelId::Dsr1Llama8B).latency.decode.n,
+                0.10, 0.012);
+    EXPECT_NEAR(characterizeModel(ModelId::Dsr1Qwen14B).latency.decode.n,
+                0.19, 0.015);
+}
+
+TEST(Characterize, MapeWithinTableVIBands)
+{
+    for (ModelId id : er::model::dsr1Family()) {
+        const auto c = characterizeModel(id);
+        const auto target = paper::latencyMape(id);
+        ASSERT_TRUE(target.has_value());
+        // Prefill MAPE within 2x of the paper's band, decode and
+        // total within a small absolute margin.
+        EXPECT_LT(c.prefillMapePct, 2.0 * target->prefill);
+        EXPECT_GT(c.prefillMapePct, 0.25 * target->prefill);
+        EXPECT_LT(c.decodeMapePct, 1.5);
+        EXPECT_LT(c.totalMapePct, 1.5);
+    }
+}
+
+TEST(Characterize, EnergyMapeWithinTableVIIIBands)
+{
+    for (ModelId id : er::model::dsr1Family()) {
+        const auto c = characterizeModel(id);
+        EXPECT_LT(c.decodeEnergyMapePct, 10.0);
+        EXPECT_LT(c.totalEnergyMapePct, 10.0);
+        EXPECT_GT(c.decodeEnergyMapePct, 2.0); // noise is being modeled
+    }
+}
+
+TEST(Characterize, PrefillPowerShapeMatchesEqn4)
+{
+    // 1.5B: constant; 8B/14B: breakpoint + log tail (Table XX).
+    const auto small = characterizeModel(ModelId::Dsr1Qwen1_5B);
+    EXPECT_EQ(small.prefillPower.v, 0);
+    EXPECT_NEAR(small.prefillPower.u, 5.64, 0.4);
+
+    const auto large = characterizeModel(ModelId::Dsr1Qwen14B);
+    EXPECT_GT(large.prefillPower.v, 0);
+    EXPECT_GT(large.prefillPower.w, 0.0);
+}
+
+TEST(Characterize, DecodePowerGrowsLogarithmically)
+{
+    const auto c = characterizeModel(ModelId::Dsr1Llama8B);
+    EXPECT_GT(c.decodePower.y, 0.0);
+    EXPECT_GT(c.decodePower(1024), c.decodePower(128));
+}
+
+TEST(Characterize, SweepsProduceExpectedShapes)
+{
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    SweepConfig cfg;
+    cfg.repeats = 3;
+    const auto pf = sweepPrefill(eng, cfg);
+    EXPECT_EQ(pf.latency.size(), 64u); // 64..4096 step 64
+    // Latency grows with input length overall.
+    EXPECT_GT(pf.latency.back().latency, pf.latency.front().latency);
+    // Energy per token is U-shaped: the minimum is interior.
+    double min_e = 1e30;
+    std::size_t min_idx = 0;
+    for (std::size_t i = 0; i < pf.energyPerToken.size(); ++i) {
+        if (pf.energyPerToken[i].energyPerToken < min_e) {
+            min_e = pf.energyPerToken[i].energyPerToken;
+            min_idx = i;
+        }
+    }
+    EXPECT_GT(min_idx, 0u);
+    EXPECT_LT(min_idx, pf.energyPerToken.size() - 1);
+
+    const auto dc = sweepDecode(eng, cfg);
+    EXPECT_FALSE(dc.latency.empty());
+    EXPECT_GT(dc.power.back().power, dc.power.front().power);
+}
+
+TEST(Characterize, TbtVsInputIsNearFlat)
+{
+    // Fig. 3b: TBT rises only ~3% from I=1 to 4k.
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    const auto trace = tbtVsInputLength(eng, {1, 1024, 2048, 4096});
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_LT(trace.back().second / trace.front().second, 1.06);
+}
+
+TEST(Characterize, WorkloadSamplerIsDeterministic)
+{
+    er::Rng a(42, "wl");
+    er::Rng b(42, "wl");
+    const auto wa = sampleWorkload(a, 50, 170, 512);
+    const auto wb = sampleWorkload(b, 50, 170, 512);
+    ASSERT_EQ(wa.questions.size(), 50u);
+    EXPECT_EQ(wa.questions, wb.questions);
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: statistics, RNG streams,
+ * linear algebra and curve fitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fit.hh"
+#include "common/linalg.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace er = edgereason;
+
+TEST(RunningStats, MeanAndVariance)
+{
+    er::RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    er::Rng rng(1);
+    er::RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MapeBasics)
+{
+    EXPECT_NEAR(er::mape({110.0, 90.0}, {100.0, 100.0}), 10.0, 1e-12);
+    EXPECT_DOUBLE_EQ(er::mape({1.0}, {1.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolation)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(er::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(er::percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(er::percentile(xs, 50.0), 2.5);
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    er::Rng a(7, "stream-a");
+    er::Rng b(7, "stream-a");
+    er::Rng c(7, "stream-b");
+    bool any_diff = false;
+    for (int i = 0; i < 32; ++i) {
+        const double va = a.uniform();
+        EXPECT_DOUBLE_EQ(va, b.uniform());
+        if (std::abs(va - c.uniform()) > 1e-15)
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, LogNormalMomentsMatch)
+{
+    er::Rng rng(11);
+    er::RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.logNormalMeanStd(1.0, 0.1));
+    EXPECT_NEAR(s.mean(), 1.0, 0.005);
+    EXPECT_NEAR(s.stddev(), 0.1, 0.005);
+}
+
+TEST(Linalg, SolveKnownSystem)
+{
+    er::Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 3.0;
+    const auto x = er::solveLinear(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SingularSystemFails)
+{
+    er::Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 4.0;
+    EXPECT_THROW(er::solveLinear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Fit, PolyFitRecoversQuadratic)
+{
+    std::vector<double> x, y;
+    for (int i = 1; i <= 20; ++i) {
+        x.push_back(i * 64.0);
+        y.push_back(1.5e-7 * x.back() * x.back() + 2e-4 * x.back() +
+                    0.05);
+    }
+    const auto c = er::polyFit(x, y, 2);
+    EXPECT_NEAR(c[0], 0.05, 1e-6);
+    EXPECT_NEAR(c[1], 2e-4, 1e-9);
+    EXPECT_NEAR(c[2], 1.5e-7, 1e-12);
+}
+
+TEST(Fit, LogFitRecoversCurve)
+{
+    std::vector<double> x, y;
+    for (int i = 1; i <= 30; ++i) {
+        x.push_back(i * 100.0);
+        y.push_back(4.0 * std::log(x.back()) - 2.0);
+    }
+    const auto f = er::logFit(x, y);
+    EXPECT_NEAR(f.alpha, 4.0, 1e-9);
+    EXPECT_NEAR(f.beta, -2.0, 1e-8);
+}
+
+TEST(Fit, ExpDecayFitRecoversCurve)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 40; ++i) {
+        x.push_back(i * 32.0);
+        y.push_back(0.07 * std::exp(-0.03 * x.back()) + 0.001);
+    }
+    const auto f = er::expDecayFit(x, y, 1e-4, 0.5);
+    EXPECT_NEAR(f.lambda, 0.03, 0.002);
+    EXPECT_NEAR(f.a, 0.07, 0.003);
+    EXPECT_NEAR(f.c, 0.001, 2e-4);
+}
+
+TEST(Fit, PiecewiseLogFitFindsBreakpoint)
+{
+    std::vector<double> x, y;
+    for (double v : {32.0, 64.0, 128.0, 256.0, 384.0})
+        { x.push_back(v); y.push_back(17.0); }
+    for (double v : {512.0, 768.0, 1024.0, 2048.0, 4096.0}) {
+        x.push_back(v);
+        y.push_back(3.8 * std::log(v) - 5.6);
+    }
+    const auto f = er::piecewiseLogFit(x, y, /*exp_head=*/false);
+    EXPECT_NEAR(f.head_const, 17.0, 1e-9);
+    EXPECT_NEAR(f.tail.alpha, 3.8, 0.05);
+    EXPECT_LE(f.breakpoint, 512.0);
+    EXPECT_GE(f.breakpoint, 256.0);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    er::Table t("demo");
+    t.setHeader({"model", "value"});
+    t.row().cell("a").cell(1.5, 1);
+    t.row().cell("bcd").cell(2.25, 2);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| a     |"), std::string::npos); // padded to "model"
+    EXPECT_NE(s.find("2.25"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RowWidthMismatchFails)
+{
+    er::Table t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Logging, PanicAndFatalThrow)
+{
+    EXPECT_THROW(panic("boom"), std::logic_error);
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+}

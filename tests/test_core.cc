@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Integration tests for the core layer: registry caching, the strategy
+ * evaluator's metric plumbing, Pareto frontiers and the deployment
+ * planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/edge_reasoning.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::core;
+using er::acc::Dataset;
+using er::model::ModelId;
+using er::strategy::InferenceStrategy;
+using er::strategy::TokenPolicy;
+
+namespace {
+
+/** Shared facade: characterization is expensive enough to share. */
+EdgeReasoning &
+facade()
+{
+    static EdgeReasoning er;
+    return er;
+}
+
+InferenceStrategy
+strat(ModelId id, TokenPolicy pol, int par = 1, bool quant = false)
+{
+    InferenceStrategy s;
+    s.model = id;
+    s.quantized = quant;
+    s.policy = pol;
+    s.parallel = par;
+    return s;
+}
+
+} // namespace
+
+TEST(Registry, CachesEntriesPerModelAndPrecision)
+{
+    auto &reg = facade().registry();
+    const auto &a = reg.entry(ModelId::Dsr1Qwen1_5B, false);
+    const auto &b = reg.entry(ModelId::Dsr1Qwen1_5B, false);
+    EXPECT_EQ(&a, &b);
+    const auto &q = reg.entry(ModelId::Dsr1Qwen1_5B, true);
+    EXPECT_NE(&a, &q);
+    EXPECT_NE(a.spec.weightDtype, q.spec.weightDtype);
+}
+
+TEST(Evaluator, TableXRowReproduction)
+{
+    // DSR1-Llama-8B Base: 61.7%, 811 toks, 87.2 s (Table X).  The
+    // latency tolerance reflects our slightly faster calibrated TBT.
+    const auto rep = facade().evaluate(
+        strat(ModelId::Dsr1Llama8B, TokenPolicy::base()),
+        Dataset::MmluRedux, 2000);
+    EXPECT_NEAR(rep.accuracyPct, 61.7, 2.0);
+    EXPECT_NEAR(rep.avgTokens, 811.1, 35.0);
+    EXPECT_NEAR(rep.avgLatency, 87.2, 12.0);
+    EXPECT_GT(rep.avgEnergy, 500.0);
+    EXPECT_EQ(rep.questions, 2000u);
+}
+
+TEST(Evaluator, ReasoningVsNonReasoningTradeoffs)
+{
+    // Section V-C: DSR1-Llama-8B Base is ~5.7 pp more accurate than
+    // Llama3.1-8B-it but ~13x slower.
+    const auto reason = facade().evaluate(
+        strat(ModelId::Dsr1Llama8B, TokenPolicy::base()),
+        Dataset::MmluRedux, 1500);
+    const auto direct = facade().evaluate(
+        strat(ModelId::Llama31_8BIt, TokenPolicy::base()),
+        Dataset::MmluRedux, 1500);
+    EXPECT_NEAR(reason.accuracyPct - direct.accuracyPct, 3.4, 2.5);
+    EXPECT_GT(reason.avgLatency / direct.avgLatency, 9.0);
+    EXPECT_LT(reason.avgLatency / direct.avgLatency, 17.0);
+}
+
+TEST(Evaluator, QuantizationImprovesLatencyWithSmallAccuracyLoss)
+{
+    const auto fp16 = facade().evaluate(
+        strat(ModelId::Dsr1Llama8B, TokenPolicy::base()),
+        Dataset::MmluRedux, 1500);
+    const auto w4 = facade().evaluate(
+        strat(ModelId::Dsr1Llama8B, TokenPolicy::base(), 1, true),
+        Dataset::MmluRedux, 1500);
+    EXPECT_LT(w4.accuracyPct, fp16.accuracyPct);
+    EXPECT_GT(fp16.accuracyPct - w4.accuracyPct, 1.5);
+    // Fig. 14: ~2-5x latency improvement (shorter outputs + faster
+    // decode).
+    EXPECT_GT(fp16.avgLatency / w4.avgLatency, 2.0);
+    EXPECT_LT(fp16.avgLatency / w4.avgLatency, 8.0);
+}
+
+TEST(Evaluator, ParallelismCostsEnergyNotMuchLatency)
+{
+    const auto sf1 = facade().evaluate(
+        strat(ModelId::Dsr1Qwen14B, TokenPolicy::hard(128), 1),
+        Dataset::MmluRedux, 1000);
+    const auto sf4 = facade().evaluate(
+        strat(ModelId::Dsr1Qwen14B, TokenPolicy::hard(128), 4),
+        Dataset::MmluRedux, 1000);
+    EXPECT_GT(sf4.accuracyPct, sf1.accuracyPct);
+    // Latency grows sublinearly (batch padding).
+    EXPECT_LT(sf4.avgLatency / sf1.avgLatency, 2.2);
+    EXPECT_GT(sf4.avgEnergy, sf1.avgEnergy);
+}
+
+TEST(Evaluator, BatchDecodeModelIsConsistent)
+{
+    auto &ev = facade().evaluator();
+    const auto m1 = ev.decodeModelAtBatch(ModelId::Dsr1Qwen14B, false,
+                                          1);
+    const auto m32 = ev.decodeModelAtBatch(ModelId::Dsr1Qwen14B, false,
+                                           32);
+    EXPECT_GT(m32.n, m1.n);
+    EXPECT_GT(m32.m, m1.m); // KV reads scale with batch
+    // Against the engine's own step latency.
+    auto &eng = facade().registry().engineFor(ModelId::Dsr1Qwen14B,
+                                              false);
+    EXPECT_NEAR(m1.tbt(1024), eng.decodeStepLatency(1024), 2e-3);
+}
+
+TEST(Pareto, FrontierIsMonotone)
+{
+    std::vector<StrategyReport> reports;
+    for (auto id : {ModelId::Dsr1Qwen1_5B, ModelId::Llama31_8BIt,
+                    ModelId::Dsr1Qwen14B}) {
+        reports.push_back(facade().evaluate(
+            strat(id, TokenPolicy::base()), Dataset::MmluRedux, 800));
+    }
+    reports.push_back(facade().evaluate(
+        strat(ModelId::Dsr1Qwen14B, TokenPolicy::hard(128)),
+        Dataset::MmluRedux, 800));
+    const auto frontier = paretoFrontier(reports,
+                                         FrontierAxis::Latency);
+    ASSERT_GE(frontier.size(), 2u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].avgLatency, frontier[i - 1].avgLatency);
+        EXPECT_GT(frontier[i].accuracyPct, frontier[i - 1].accuracyPct);
+    }
+}
+
+TEST(Pareto, RegimesMergeConsecutiveWinners)
+{
+    std::vector<StrategyReport> reports;
+    for (auto id : {ModelId::Qwen25_1_5BIt, ModelId::Llama31_8BIt,
+                    ModelId::Dsr1Qwen14B}) {
+        reports.push_back(facade().evaluate(
+            strat(id, TokenPolicy::base()), Dataset::MmluRedux, 800));
+    }
+    const auto regimes = budgetRegimes(
+        reports, {1, 2, 5, 10, 20, 50, 100, 200, 400},
+        FrontierAxis::Latency);
+    ASSERT_GE(regimes.size(), 2u);
+    // Higher-budget regimes have at least the accuracy of lower ones.
+    for (std::size_t i = 1; i < regimes.size(); ++i) {
+        EXPECT_GT(regimes[i].best.accuracyPct,
+                  regimes[i - 1].best.accuracyPct);
+    }
+}
+
+TEST(Planner, MaxTokensForBudgetInvertsLatency)
+{
+    auto &planner = facade().planner();
+    const er::Tokens t5 = planner.maxTokensForBudget(
+        ModelId::Dsr1Qwen14B, false, 170, 5.0);
+    const er::Tokens t30 = planner.maxTokensForBudget(
+        ModelId::Dsr1Qwen14B, false, 170, 30.0);
+    EXPECT_GT(t30, t5);
+    // ~190 ms TBT -> a 30 s budget buys roughly 150 tokens.
+    EXPECT_NEAR(static_cast<double>(t30), 150.0, 25.0);
+}
+
+TEST(Planner, TightBudgetPicksSmallFastConfig)
+{
+    PlanRequest req;
+    req.dataset = Dataset::MmluRedux;
+    req.latencyBudget = 2.0;
+    req.sampleQuestions = 300;
+    req.maxParallel = 4;
+    const auto plan = facade().plan(req);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_LE(plan->predicted.avgLatency, 2.0);
+    // Only 1.5B-class models can answer within 2 s (Takeaway #4).
+    const auto spec = er::model::spec(plan->strategy.model);
+    EXPECT_LT(spec.paramCount(), 3e9);
+}
+
+TEST(Planner, LooseBudgetPicksLargeReasoningModel)
+{
+    PlanRequest req;
+    req.dataset = Dataset::MmluRedux;
+    req.latencyBudget = 300.0;
+    req.sampleQuestions = 300;
+    req.maxParallel = 1;
+    const auto plan = facade().plan(req);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->strategy.model, ModelId::Dsr1Qwen14B);
+    EXPECT_GT(plan->predicted.accuracyPct, 75.0);
+}
+
+TEST(Planner, AccuracyMonotoneInBudget)
+{
+    double prev = 0.0;
+    for (double budget : {1.0, 5.0, 30.0, 120.0}) {
+        PlanRequest req;
+        req.latencyBudget = budget;
+        req.sampleQuestions = 250;
+        req.maxParallel = 4;
+        const auto plan = facade().plan(req);
+        ASSERT_TRUE(plan.has_value()) << "budget " << budget;
+        EXPECT_GE(plan->predicted.accuracyPct, prev - 1.5)
+            << "budget " << budget;
+        prev = plan->predicted.accuracyPct;
+    }
+}
+
+TEST(Planner, EnergyBudgetConstrainsChoice)
+{
+    PlanRequest req;
+    req.dataset = Dataset::MmluRedux;
+    req.latencyBudget = 120.0;
+    req.sampleQuestions = 250;
+    req.maxParallel = 4;
+    const auto unconstrained = facade().plan(req);
+    ASSERT_TRUE(unconstrained.has_value());
+
+    req.energyBudgetJ = 40.0; // a stingy per-question battery budget
+    const auto frugal = facade().plan(req);
+    ASSERT_TRUE(frugal.has_value());
+    EXPECT_LE(frugal->predicted.avgEnergy, 40.0);
+    // The frugal choice cannot out-score the unconstrained one.
+    EXPECT_LE(frugal->predicted.accuracyPct,
+              unconstrained->predicted.accuracyPct + 1.0);
+    // And the unconstrained choice must actually exceed the cap
+    // (otherwise the test is vacuous).
+    EXPECT_GT(unconstrained->predicted.avgEnergy, 40.0);
+}
+
+TEST(Planner, ImpossibleBudgetReturnsNothing)
+{
+    PlanRequest req;
+    req.latencyBudget = 0.01; // below any model's prefill time
+    req.sampleQuestions = 100;
+    EXPECT_FALSE(facade().plan(req).has_value());
+}
+
+TEST(Facade, HardwareSummaryAndCharacterizationAccess)
+{
+    EXPECT_NE(facade().hardwareSummary().find("2048"),
+              std::string::npos);
+    const auto &c = facade().characterization(ModelId::Dsr1Qwen1_5B);
+    EXPECT_GT(c.latency.decode.n, 0.02);
+}

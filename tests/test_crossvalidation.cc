@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cross-validation property suite: the Section-IV analytical models,
+ * fitted on sweep measurements, must predict the engine's behaviour
+ * across the whole operating grid — for every model and precision.
+ * This is the contract that lets the paper (and our evaluator) replace
+ * week-long hardware runs with closed-form evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <tuple>
+
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+#include "perfmodel/characterize.hh"
+
+namespace er = edgereason;
+using er::model::ModelId;
+
+namespace {
+
+struct Fixture
+{
+    er::engine::InferenceEngine engine;
+    er::perf::CharacterizationResult perf;
+};
+
+/** Characterize once per (model, precision); noiseless engine. */
+Fixture &
+fixtureFor(ModelId id, bool quant)
+{
+    static std::map<std::pair<ModelId, bool>,
+                    std::unique_ptr<Fixture>> cache;
+    const auto key = std::make_pair(id, quant);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        er::engine::EngineConfig cfg;
+        cfg.measurementNoise = false;
+        auto f = std::make_unique<Fixture>(Fixture{
+            er::engine::InferenceEngine(
+                quant ? er::model::quantizedSpec(id)
+                      : er::model::spec(id),
+                er::model::calibration(
+                    id, quant ? er::DType::W4A16 : er::DType::FP16),
+                cfg),
+            {}});
+        f->perf = er::perf::characterize(f->engine);
+        it = cache.emplace(key, std::move(f)).first;
+    }
+    return *it->second;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<std::tuple<ModelId, bool>>
+              &info)
+{
+    std::string s = er::model::modelName(std::get<0>(info.param));
+    s += std::get<1>(info.param) ? "_w4" : "_fp16";
+    for (char &c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return s;
+}
+
+} // namespace
+
+class CrossValidationTest
+    : public ::testing::TestWithParam<std::tuple<ModelId, bool>>
+{
+};
+
+TEST_P(CrossValidationTest, PrefillModelPredictsEngineWithinTenPct)
+{
+    const auto [id, quant] = GetParam();
+    auto &f = fixtureFor(id, quant);
+    for (er::Tokens i : {64, 192, 448, 960, 1984, 4032}) {
+        const double pred = f.perf.latency.prefill(i);
+        const double meas = f.engine.prefillLatency(i);
+        EXPECT_NEAR(pred, meas, 0.12 * meas) << "I = " << i;
+    }
+}
+
+TEST_P(CrossValidationTest, DecodeModelPredictsEngineWithinFivePct)
+{
+    const auto [id, quant] = GetParam();
+    auto &f = fixtureFor(id, quant);
+    for (er::Tokens i : {64, 512, 2048}) {
+        for (er::Tokens o : {64, 512, 1536}) {
+            const double pred = f.perf.latency.decode(i, o);
+            const double meas = f.engine.run(i, o).decode.seconds;
+            EXPECT_NEAR(pred, meas, 0.05 * meas)
+                << "I = " << i << " O = " << o;
+        }
+    }
+}
+
+TEST_P(CrossValidationTest, EnergyModelPredictsEngineWithinTenPct)
+{
+    const auto [id, quant] = GetParam();
+    auto &f = fixtureFor(id, quant);
+    er::perf::TotalEnergyModel em;
+    em.latency = f.perf.latency;
+    em.prefillPower = f.perf.prefillPower;
+    em.decodePower = f.perf.decodePower;
+    for (er::Tokens o : {128, 512, 1536}) {
+        const double pred = em.total(512, o);
+        const double meas = f.engine.run(512, o).totalEnergy();
+        EXPECT_NEAR(pred, meas, 0.10 * meas) << "O = " << o;
+    }
+}
+
+TEST_P(CrossValidationTest, BudgetInversionRoundTrips)
+{
+    const auto [id, quant] = GetParam();
+    auto &f = fixtureFor(id, quant);
+    for (double budget : {2.0, 10.0, 60.0, 300.0}) {
+        const er::Tokens max_o =
+            f.perf.latency.maxOutputTokens(170, budget);
+        if (max_o == 0)
+            continue;
+        EXPECT_LE(f.perf.latency.total(170, max_o), budget);
+        EXPECT_GT(f.perf.latency.total(170, max_o + 1), budget);
+        // The engine agrees the budget roughly holds (5% slack).
+        const double meas = f.engine.run(170, max_o).totalSeconds();
+        EXPECT_LT(meas, 1.06 * budget) << "budget " << budget;
+    }
+}
+
+TEST_P(CrossValidationTest, DecodeEnergyDominatesTotal)
+{
+    const auto [id, quant] = GetParam();
+    auto &f = fixtureFor(id, quant);
+    const auto r = f.engine.run(170, 800);
+    EXPECT_GT(r.decode.energy / r.totalEnergy(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDsr1, CrossValidationTest,
+    ::testing::Combine(
+        ::testing::Values(ModelId::Dsr1Qwen1_5B, ModelId::Dsr1Llama8B,
+                          ModelId::Dsr1Qwen14B),
+        ::testing::Bool()),
+    paramName);

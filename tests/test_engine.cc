@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Integration tests for the inference-engine simulator: calibrated TBT
+ * and prefill latencies against the paper's measurements, batch
+ * scaling, framework overheads, noise determinism, power modes and KV
+ * exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::engine;
+using er::model::ModelId;
+
+namespace {
+
+InferenceEngine
+makeEngine(ModelId id, bool quant = false, EngineConfig cfg = {})
+{
+    cfg.measurementNoise = false;
+    auto spec = quant ? er::model::quantizedSpec(id)
+                      : er::model::spec(id);
+    auto calib = er::model::calibration(
+        id, quant ? er::DType::W4A16 : er::DType::FP16);
+    return InferenceEngine(std::move(spec), calib, cfg);
+}
+
+} // namespace
+
+TEST(Engine, DecodeTbtMatchesPaper)
+{
+    // Text of Section IV-A + Tables X/XIX: TBT ~25 / ~105 / ~195 ms.
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Qwen1_5B)
+                    .decodeStepLatency(512), 0.025, 0.004);
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Llama8B)
+                    .decodeStepLatency(512), 0.102, 0.010);
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Qwen14B)
+                    .decodeStepLatency(512), 0.190, 0.015);
+}
+
+TEST(Engine, QuantizedDecodeSpeedup)
+{
+    // Table XIX: 73.6 / 25.9 / 15.1 tok/s for the W4 variants.
+    EXPECT_NEAR(1.0 / makeEngine(ModelId::Dsr1Qwen1_5B, true)
+                          .decodeStepLatency(512), 73.6, 12.0);
+    EXPECT_NEAR(1.0 / makeEngine(ModelId::Dsr1Llama8B, true)
+                          .decodeStepLatency(512), 25.9, 3.0);
+    EXPECT_NEAR(1.0 / makeEngine(ModelId::Dsr1Qwen14B, true)
+                          .decodeStepLatency(512), 15.1, 1.5);
+}
+
+TEST(Engine, PrefillLatencyMatchesTableXVI)
+{
+    // Table XVI GPU column at 128 tokens: 0.051 / 0.148 / 0.270 s.
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Qwen1_5B).prefillLatency(128),
+                0.051, 0.012);
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Llama8B).prefillLatency(128),
+                0.148, 0.035);
+    EXPECT_NEAR(makeEngine(ModelId::Dsr1Qwen14B).prefillLatency(128),
+                0.270, 0.060);
+}
+
+TEST(Engine, PrefillSteppedPattern)
+{
+    // Within a 128-token segment in the compute-bound regime, latency
+    // plateaus; crossing the boundary jumps (Fig. 2).
+    auto eng = makeEngine(ModelId::Dsr1Qwen14B);
+    const double at_2049 = eng.prefillLatency(2049);
+    const double at_2176 = eng.prefillLatency(2176);
+    const double at_2177 = eng.prefillLatency(2177);
+    EXPECT_NEAR(at_2049, at_2176, 0.02 * at_2176); // same segment
+    EXPECT_GT(at_2177, at_2176 * 1.02);            // next segment
+}
+
+TEST(Engine, DecodeLatencyNearLinearInOutput)
+{
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    const auto r256 = eng.run(512, 256);
+    const auto r512 = eng.run(512, 512);
+    EXPECT_NEAR(r512.decode.seconds / r256.decode.seconds, 2.0, 0.06);
+}
+
+TEST(Engine, TbtGrowsSlightlyWithContext)
+{
+    // Fig. 3b: ~3.1% TBT increase from I=1 to I=4k on the 8B.
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    const double t1 = eng.decodeStepLatency(1);
+    const double t4k = eng.decodeStepLatency(4096);
+    EXPECT_GT(t4k, t1);
+    EXPECT_NEAR(t4k / t1, 1.031, 0.025);
+}
+
+TEST(Engine, BatchScalingRoughlyDoublesBySixtyFour)
+{
+    // Fig. 10a: about 2x decode latency from SF=1 to SF=64.
+    auto eng = makeEngine(ModelId::Dsr1Qwen14B);
+    const double t1 = eng.decodeStepLatency(640, 1);
+    const double t64 = eng.decodeStepLatency(640, 64);
+    EXPECT_NEAR(t64 / t1, 2.0, 0.35);
+    // And the early steps are cheap (batch padding).
+    const double t4 = eng.decodeStepLatency(640, 4);
+    EXPECT_LT(t4 / t1, 1.25);
+}
+
+TEST(Engine, FrameworkOverheads)
+{
+    // Table IX: HF ~1.12x slower than vLLM; TRT-LLM within a few
+    // percent, at I=64, O=128 on DSR1-Llama-8B.
+    EngineConfig hf;
+    hf.kind = EngineKind::HfTransformers;
+    EngineConfig trt;
+    trt.kind = EngineKind::TrtLlm;
+    auto v = makeEngine(ModelId::Dsr1Llama8B);
+    auto h = makeEngine(ModelId::Dsr1Llama8B, false, hf);
+    auto t = makeEngine(ModelId::Dsr1Llama8B, false, trt);
+    const double lv = v.run(64, 128).totalSeconds();
+    const double lh = h.run(64, 128).totalSeconds();
+    const double lt = t.run(64, 128).totalSeconds();
+    EXPECT_NEAR(lh / lv, 1.12, 0.04);
+    EXPECT_NEAR(lt / lv, 1.0, 0.05);
+}
+
+TEST(Engine, NoiseIsDeterministicPerSeed)
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = true;
+    cfg.seed = 77;
+    auto spec = er::model::spec(ModelId::Dsr1Qwen1_5B);
+    auto calib = er::model::calibration(ModelId::Dsr1Qwen1_5B);
+    InferenceEngine a(spec, calib, cfg);
+    InferenceEngine b(spec, calib, cfg);
+    const auto ra = a.run(256, 128);
+    const auto rb = b.run(256, 128);
+    EXPECT_DOUBLE_EQ(ra.totalSeconds(), rb.totalSeconds());
+    EXPECT_DOUBLE_EQ(ra.totalEnergy(), rb.totalEnergy());
+}
+
+TEST(Engine, NoiseMagnitudeMatchesCalibration)
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = true;
+    auto spec = er::model::spec(ModelId::Dsr1Llama8B);
+    auto calib = er::model::calibration(ModelId::Dsr1Llama8B);
+    InferenceEngine eng(spec, calib, cfg);
+    er::RunningStats pf;
+    for (int i = 0; i < 300; ++i)
+        pf.add(eng.prefillOnly(512).seconds);
+    // cv should approximate the calibrated prefill noise.
+    EXPECT_NEAR(pf.stddev() / pf.mean(), calib.prefillNoiseCv, 0.04);
+}
+
+TEST(Engine, PowerDrawsWithinEnvelope)
+{
+    auto eng = makeEngine(ModelId::Dsr1Qwen14B);
+    const auto r = eng.run(512, 512, 16);
+    EXPECT_GT(r.decode.avgPower, 10.0);
+    EXPECT_LE(r.decode.avgPower, 60.0);
+    EXPECT_GT(r.prefill.avgPower, 5.0);
+    EXPECT_NEAR(r.decode.energy,
+                r.decode.avgPower * r.decode.seconds, 1e-6);
+}
+
+TEST(Engine, TbtTraceRecordsEveryStep)
+{
+    EngineConfig cfg;
+    cfg.recordTbt = true;
+    auto eng = makeEngine(ModelId::Dsr1Qwen1_5B, false, cfg);
+    const auto r = eng.run(512, 200);
+    ASSERT_EQ(r.tbtTrace.size(), 200u);
+    // TBT is non-decreasing along the run (context grows).
+    EXPECT_GE(r.tbtTrace.back(), r.tbtTrace.front());
+}
+
+TEST(Engine, WeightsMustFitInDram)
+{
+    // A hypothetical 40B model at FP16 exceeds the Orin's DRAM.
+    auto spec = er::model::spec(ModelId::Dsr1Qwen14B);
+    spec.layers *= 3;
+    auto calib = er::model::calibration(ModelId::Dsr1Qwen14B);
+    EXPECT_THROW(InferenceEngine(spec, calib, EngineConfig{}),
+                 std::runtime_error);
+}
+
+TEST(Engine, KvExhaustionIsReported)
+{
+    // 14B FP16 leaves ~26 GB for KV; a batch-64 32k-context request
+    // needs ~400 GB and must be rejected.
+    auto eng = makeEngine(ModelId::Dsr1Qwen14B);
+    EXPECT_THROW(eng.run(512, 32000, 64), std::runtime_error);
+}
+
+TEST(Engine, DecodePhaseDominates)
+{
+    // Takeaway #2: decode dominates >99% of latency for reasoning-scale
+    // outputs.
+    auto eng = makeEngine(ModelId::Dsr1Qwen14B);
+    const auto r = eng.run(170, 1300);
+    EXPECT_GT(r.decode.seconds / r.totalSeconds(), 0.99);
+}
+
+TEST(Engine, PrefixCachingCutsPrefillTime)
+{
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    const double full = eng.prefillLatency(3000);
+    const double cached = eng.prefillSuffixLatency(2800, 200);
+    EXPECT_LT(cached, 0.3 * full);
+    // And a zero prefix degenerates to the plain prefill.
+    EXPECT_DOUBLE_EQ(eng.prefillSuffixLatency(0, 3000), full);
+}
+
+TEST(Engine, W8A8SitsBetweenFp16AndW4OnLatency)
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = false;
+    auto fp16 = makeEngine(ModelId::Dsr1Qwen14B);
+    InferenceEngine w8(er::model::quantizedSpec8(ModelId::Dsr1Qwen14B),
+                       er::model::calibration(ModelId::Dsr1Qwen14B,
+                                              er::DType::INT8),
+                       cfg);
+    auto w4 = makeEngine(ModelId::Dsr1Qwen14B, true);
+    const double t16 = fp16.decodeStepLatency(512);
+    const double t8 = w8.decodeStepLatency(512);
+    const double t4 = w4.decodeStepLatency(512);
+    EXPECT_LT(t4, t8);
+    EXPECT_LT(t8, t16);
+    // Roughly the 2x weight shrink, derated by dequantization.
+    EXPECT_NEAR(t16 / t8, 1.8, 0.3);
+}
+
+TEST(Engine, CheckpointIntegrationMatchesExactStepSum)
+{
+    // The engine integrates decode over ~17 context checkpoints; the
+    // error versus summing every step's kernel-level cost must stay
+    // well under the 0.5% measurement noise it coexists with.
+    auto eng = makeEngine(ModelId::Dsr1Llama8B);
+    const er::Tokens I = 512;
+    const er::Tokens O = 700;
+    const double integrated = eng.run(I, O).decode.seconds;
+    double exact = 0.0;
+    for (er::Tokens o = 0; o < O; ++o)
+        exact += eng.decodeStepLatency(I + o);
+    EXPECT_NEAR(integrated, exact, 0.002 * exact);
+}
+
+TEST(Engine, CpuBackendMatchesTableXvii)
+{
+    EngineConfig cfg;
+    cfg.backend = er::hw::Backend::Cpu;
+    auto eng = makeEngine(ModelId::Dsr1Llama8B, false, cfg);
+    // Table XVII: 8B decode of 128 tokens takes 63.8 s on the CPU.
+    const auto r = eng.run(512, 128);
+    EXPECT_NEAR(r.decode.seconds, 63.8, 8.0);
+}

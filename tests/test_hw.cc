@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the hardware substrate: Orin spec, roofline execution,
+ * power model, CPU backend and the SoC container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/cpu.hh"
+#include "hw/power.hh"
+#include "hw/roofline.hh"
+#include "hw/soc.hh"
+
+namespace er = edgereason;
+using namespace er::hw;
+
+TEST(GpuSpec, TableOneNumbers)
+{
+    const GpuSpec s;
+    EXPECT_EQ(s.cudaCores, 2048);
+    EXPECT_EQ(s.tensorCores, 64);
+    EXPECT_EQ(s.dlaCores, 2);
+    EXPECT_DOUBLE_EQ(s.peakFp32Flops, 5.3e12);
+    EXPECT_DOUBLE_EQ(s.memBandwidth, 204.8e9);
+    EXPECT_EQ(s.memCapacity, 64LL * 1024 * 1024 * 1024);
+    // Section VI: FLOPs-to-bytes balance in the hundreds for the
+    // dense fp16 path.
+    EXPECT_NEAR(s.machineBalanceFp16(), 335.7, 1.0);
+}
+
+TEST(GpuSpec, W4FallsBackToInt8)
+{
+    const GpuSpec s;
+    EXPECT_DOUBLE_EQ(s.peakTensorFlops(er::DType::W4A16),
+                     s.peakTensorFlops(er::DType::INT8));
+}
+
+TEST(PowerModes, ScaleAndCapOrdering)
+{
+    EXPECT_LT(powerModeScale(PowerMode::W15),
+              powerModeScale(PowerMode::W30));
+    EXPECT_LT(powerModeScale(PowerMode::W30),
+              powerModeScale(PowerMode::W50));
+    EXPECT_DOUBLE_EQ(powerModeScale(PowerMode::MaxN), 1.0);
+    EXPECT_DOUBLE_EQ(powerModeCap(PowerMode::MaxN), 60.0);
+    EXPECT_DOUBLE_EQ(powerModeCap(PowerMode::W15), 15.0);
+}
+
+namespace {
+
+KernelDesc
+streamKernel(double bytes)
+{
+    KernelDesc k;
+    k.name = "stream";
+    k.cls = KernelClass::GemvBandwidth;
+    k.weightBytes = bytes;
+    return k;
+}
+
+} // namespace
+
+TEST(Roofline, BandwidthBoundKernelTime)
+{
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    const auto cost = gpu.execute(streamKernel(16e9));
+    // 16 GB at 80% of 204.8 GB/s plus launch overhead.
+    EXPECT_NEAR(cost.seconds, 16e9 / (0.8 * 204.8e9) + 12e-6, 1e-4);
+    EXPECT_FALSE(cost.computeBound);
+    EXPECT_GT(cost.bwUtil, 0.7);
+}
+
+TEST(Roofline, ComputeBoundKernel)
+{
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    KernelDesc k;
+    k.name = "gemm";
+    k.cls = KernelClass::GemmTensorCore;
+    k.flops = 1e13;
+    k.weightBytes = 1e6;
+    const auto cost = gpu.execute(k);
+    EXPECT_TRUE(cost.computeBound);
+    EXPECT_NEAR(cost.seconds, 1e13 / (0.8 * 68.75e12) + 12e-6, 1e-4);
+}
+
+TEST(Roofline, PowerModeSlowsKernels)
+{
+    RooflineGpu maxn(GpuSpec{}, GpuEfficiency{}, PowerMode::MaxN);
+    RooflineGpu w15(GpuSpec{}, GpuEfficiency{}, PowerMode::W15);
+    const auto k = streamKernel(8e9);
+    EXPECT_GT(w15.execute(k).seconds, maxn.execute(k).seconds * 2.0);
+}
+
+TEST(Roofline, BatchDerateMonotone)
+{
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    auto k = streamKernel(8e9);
+    double prev = 0.0;
+    for (int b : {1, 2, 8, 64}) {
+        k.batch = b;
+        const double t = gpu.execute(k).seconds;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Roofline, RejectsNegativeWork)
+{
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    KernelDesc k;
+    k.flops = -1.0;
+    EXPECT_THROW(gpu.execute(k), std::logic_error);
+}
+
+TEST(PowerModel, PrefillConstantHead)
+{
+    PowerProfile p;
+    p.prefillBreak = 800;
+    p.prefillConst = 12.0;
+    p.prefillLogAlpha = 5.52;
+    p.prefillLogBeta = -24.9;
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.prefill(p, 100), 12.0);
+    EXPECT_DOUBLE_EQ(pm.prefill(p, 800), 12.0);
+    EXPECT_GT(pm.prefill(p, 4096), 12.0);
+}
+
+TEST(PowerModel, DecodeFloorAndLogTail)
+{
+    PowerProfile p;
+    p.decodeFloor = 5.9;
+    p.decodeLogAlpha = 2.2;
+    p.decodeLogBeta = 10.3;
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.decode(p, 32), 5.9);
+    EXPECT_GT(pm.decode(p, 128), pm.decode(p, 32));
+    EXPECT_GT(pm.decode(p, 1024), pm.decode(p, 128));
+}
+
+TEST(PowerModel, BatchTermAndEnvelopeCap)
+{
+    PowerProfile p;
+    p.decodeLogAlpha = 2.26;
+    p.decodeLogBeta = 12.0;
+    p.batchLogCoef = 2.9;
+    PowerModel pm(PowerMode::MaxN);
+    const double p1 = pm.decode(p, 128, 1);
+    const double p32 = pm.decode(p, 128, 32);
+    EXPECT_NEAR(p32 - p1, 2.9 * std::log(32.0), 1e-9);
+    // A 15 W envelope clips everything.
+    PowerModel low(PowerMode::W15);
+    EXPECT_LE(low.decode(p, 2048, 64), 15.0);
+}
+
+TEST(PowerModel, DvfsScalesDynamicPowerDown)
+{
+    PowerProfile p;
+    p.idle = 3.0;
+    p.decodeLogAlpha = 2.2;
+    p.decodeLogBeta = 14.8;
+    PowerModel maxn(PowerMode::MaxN);
+    PowerModel w30(PowerMode::W30);
+    const double p_maxn = maxn.decode(p, 512);
+    const double p_w30 = w30.decode(p, 512);
+    EXPECT_LT(p_w30, p_maxn);
+    EXPECT_GT(p_w30, p.idle); // never below idle
+    // Dynamic part shrinks by scale^1.5.
+    EXPECT_NEAR(p_w30 - p.idle,
+                (p_maxn - p.idle) * std::pow(0.47, 1.5), 1e-9);
+}
+
+TEST(PowerModel, QuantizedLadder)
+{
+    PowerProfile p;
+    p.decodeLogAlpha = 2.2;
+    p.decodeLogBeta = 10.3;
+    PowerModel pm(PowerMode::MaxN, /*quantize_states=*/true);
+    const double w = pm.decode(p, 512);
+    EXPECT_NEAR(std::fmod(w, PowerModel::stateGranularity), 0.0, 1e-9);
+}
+
+TEST(CpuDevice, MuchSlowerThanGpu)
+{
+    CpuDevice cpu{CpuSpec{}, CpuEfficiency{}};
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    KernelDesc k;
+    k.cls = KernelClass::GemmTensorCore;
+    k.flops = 1e12;
+    const double t_cpu = cpu.execute(k).seconds;
+    const double t_gpu = gpu.execute(k).seconds;
+    EXPECT_GT(t_cpu / t_gpu, 100.0); // Table XVI: 100-200x
+}
+
+TEST(DlaDevice, ComputeBoundGemmUsesInt8Peak)
+{
+    DlaDevice dla(GpuSpec{}, DlaEfficiency{});
+    KernelDesc k;
+    k.cls = KernelClass::GemmTensorCore;
+    k.compute = er::DType::INT8;
+    k.flops = 1e12;
+    k.weightBytes = 1e6;
+    const auto cost = dla.execute(k);
+    EXPECT_TRUE(cost.computeBound);
+    EXPECT_NEAR(cost.seconds, 1e12 / (0.55 * 52.5e12) + 60e-6, 1e-4);
+}
+
+TEST(DlaDevice, BandwidthShareIsNarrowerThanGpu)
+{
+    DlaDevice dla(GpuSpec{}, DlaEfficiency{});
+    RooflineGpu gpu(GpuSpec{}, GpuEfficiency{});
+    KernelDesc k;
+    k.cls = KernelClass::GemvBandwidth;
+    k.weightBytes = 4e9;
+    EXPECT_GT(dla.execute(k).seconds, 1.5 * gpu.execute(k).seconds);
+}
+
+TEST(JetsonOrin, UsableMemoryReservesRuntime)
+{
+    JetsonOrin soc;
+    EXPECT_LT(soc.usableMemory(), soc.gpu().spec().memCapacity);
+    EXPECT_GT(soc.usableMemory(), 50LL * 1024 * 1024 * 1024);
+}
+
+TEST(JetsonOrin, SpecTableMentionsKeyNumbers)
+{
+    JetsonOrin soc;
+    const std::string t = soc.specTable();
+    EXPECT_NE(t.find("2048"), std::string::npos);
+    EXPECT_NE(t.find("64GB"), std::string::npos);
+    EXPECT_NE(t.find("204.8"), std::string::npos);
+}
+
+TEST(JetsonOrin, ExecutesOnBothBackends)
+{
+    JetsonOrin soc;
+    std::vector<KernelDesc> ks = {streamKernel(1e9)};
+    EXPECT_GT(soc.execute(Backend::Gpu, ks).seconds, 0.0);
+    EXPECT_GT(soc.execute(Backend::Cpu, ks).seconds,
+              soc.execute(Backend::Gpu, ks).seconds);
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the paged KV cache: block allocation, prefix sharing
+ * via fork, copy-on-write, capacity exhaustion and release.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "engine/kv_cache.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using er::engine::KvCache;
+using er::engine::SeqId;
+using er::model::ModelId;
+
+namespace {
+
+KvCache
+smallCache(er::Bytes capacity = 0)
+{
+    const auto s = er::model::spec(ModelId::Dsr1Qwen1_5B);
+    if (capacity == 0)
+        capacity = static_cast<er::Bytes>(s.kvBytesPerToken() * 4096);
+    return KvCache(capacity, s, 16);
+}
+
+} // namespace
+
+TEST(KvCache, BlockGeometry)
+{
+    const auto s = er::model::spec(ModelId::Dsr1Qwen1_5B);
+    KvCache c(static_cast<er::Bytes>(s.kvBytesPerToken() * 1024), s,
+              16);
+    EXPECT_EQ(c.blockTokens(), 16);
+    EXPECT_NEAR(static_cast<double>(c.blockBytes()),
+                s.kvBytesPerToken() * 16, 1.0);
+    EXPECT_EQ(c.blockCapacity(), 64u);
+}
+
+TEST(KvCache, AppendAllocatesBlocksLazily)
+{
+    auto c = smallCache();
+    const SeqId s = c.createSequence();
+    EXPECT_TRUE(c.append(s, 10));
+    EXPECT_EQ(c.sequenceTokens(s), 10);
+    EXPECT_EQ(c.sequenceBlocks(s), 1u);
+    EXPECT_TRUE(c.append(s, 10));
+    EXPECT_EQ(c.sequenceBlocks(s), 2u); // 20 tokens over 16-token blocks
+    EXPECT_EQ(c.blocksInUse(), 2u);
+}
+
+TEST(KvCache, ForkSharesBlocks)
+{
+    auto c = smallCache();
+    const SeqId parent = c.createSequence();
+    ASSERT_TRUE(c.append(parent, 64));
+    const std::size_t blocks_before = c.blocksInUse();
+    const SeqId child = c.fork(parent);
+    EXPECT_EQ(c.blocksInUse(), blocks_before); // no copy on fork
+    EXPECT_EQ(c.sequenceTokens(child), 64);
+}
+
+TEST(KvCache, CopyOnWriteOnSharedTail)
+{
+    auto c = smallCache();
+    const SeqId parent = c.createSequence();
+    ASSERT_TRUE(c.append(parent, 24)); // tail block half full
+    const SeqId child = c.fork(parent);
+    const std::size_t before = c.blocksInUse();
+    ASSERT_TRUE(c.append(child, 1));
+    // The shared tail must be copied for the child.
+    EXPECT_EQ(c.blocksInUse(), before + 1);
+    EXPECT_EQ(c.sequenceTokens(parent), 24);
+    EXPECT_EQ(c.sequenceTokens(child), 25);
+}
+
+TEST(KvCache, ParallelSamplingFootprint)
+{
+    // Prompt shared, generated suffix per sample: footprint should be
+    // prompt + batch * output, not batch * (prompt + output).
+    auto c = smallCache();
+    const SeqId root = c.createSequence();
+    ASSERT_TRUE(c.append(root, 512));
+    std::vector<SeqId> seqs = {root};
+    for (int b = 1; b < 8; ++b)
+        seqs.push_back(c.fork(root));
+    for (SeqId s : seqs)
+        ASSERT_TRUE(c.append(s, 64));
+    const auto tokens_resident = static_cast<double>(c.blocksInUse()) *
+        c.blockTokens();
+    EXPECT_LT(tokens_resident, 512 + 8 * 64 + 8 * 16 + 16);
+    EXPECT_GT(tokens_resident, 512 + 8 * 64 - 1);
+}
+
+TEST(KvCache, ReturnsFalseWhenFull)
+{
+    auto c = smallCache();
+    const SeqId s = c.createSequence();
+    EXPECT_TRUE(c.append(s, 4096));
+    EXPECT_FALSE(c.append(s, 17)); // beyond capacity
+    EXPECT_EQ(c.freeTokenCapacity(), 0);
+}
+
+TEST(KvCache, ReleaseRecyclesBlocks)
+{
+    auto c = smallCache();
+    const SeqId a = c.createSequence();
+    ASSERT_TRUE(c.append(a, 2048));
+    const std::size_t used = c.blocksInUse();
+    EXPECT_GT(used, 0u);
+    c.release(a);
+    EXPECT_EQ(c.blocksInUse(), 0u);
+    // Blocks are reusable afterwards.
+    const SeqId b = c.createSequence();
+    EXPECT_TRUE(c.append(b, 4096));
+}
+
+TEST(KvCache, ForkedBlocksSurviveParentRelease)
+{
+    auto c = smallCache();
+    const SeqId parent = c.createSequence();
+    ASSERT_TRUE(c.append(parent, 64));
+    const SeqId child = c.fork(parent);
+    c.release(parent);
+    EXPECT_EQ(c.sequenceTokens(child), 64);
+    EXPECT_GT(c.blocksInUse(), 0u);
+    c.release(child);
+    EXPECT_EQ(c.blocksInUse(), 0u);
+}
+
+TEST(KvCache, UnknownSequenceFails)
+{
+    auto c = smallCache();
+    EXPECT_THROW(c.append(12345, 1), std::runtime_error);
+    EXPECT_THROW(c.release(12345), std::runtime_error);
+    EXPECT_THROW(c.fork(12345), std::runtime_error);
+}
+
+TEST(KvCache, RandomizedStressKeepsRefcountsConsistent)
+{
+    // Failure-injection style property test: thousands of random
+    // create/append/fork/release operations, with the cache's block
+    // accounting checked against an independent shadow model of
+    // logical token counts.
+    const auto spec = er::model::spec(ModelId::Dsr1Qwen1_5B);
+    KvCache cache(static_cast<er::Bytes>(spec.kvBytesPerToken() *
+                                         20000),
+                  spec, 16);
+    er::Rng rng(2024, "kv-stress");
+
+    std::vector<SeqId> live;
+    std::map<SeqId, er::Tokens> shadow_tokens;
+    int rejected = 0;
+    for (int op = 0; op < 5000; ++op) {
+        const double r = rng.uniform();
+        if (live.empty() || r < 0.25) {
+            const SeqId s = cache.createSequence();
+            live.push_back(s);
+            shadow_tokens[s] = 0;
+        } else if (r < 0.65) {
+            const std::size_t idx = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(live.size()) -
+                                   1));
+            const er::Tokens n = rng.uniformInt(1, 120);
+            if (cache.append(live[idx], n))
+                shadow_tokens[live[idx]] += n;
+            else
+                ++rejected; // full: acceptable, state must stay sane
+        } else if (r < 0.85) {
+            const std::size_t idx = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(live.size()) -
+                                   1));
+            if (cache.blocksInUse() < cache.blockCapacity()) {
+                const SeqId child = cache.fork(live[idx]);
+                live.push_back(child);
+                shadow_tokens[child] = shadow_tokens[live[idx]];
+            }
+        } else {
+            const std::size_t idx = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(live.size()) -
+                                   1));
+            cache.release(live[idx]);
+            shadow_tokens.erase(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+
+        // Invariants after every operation.
+        ASSERT_LE(cache.blocksInUse(), cache.blockCapacity());
+        ASSERT_EQ(cache.sequenceCount(), live.size());
+        for (SeqId s : live) {
+            ASSERT_EQ(cache.sequenceTokens(s), shadow_tokens[s]);
+            // A sequence's block count covers its tokens.
+            ASSERT_GE(static_cast<er::Tokens>(
+                          cache.sequenceBlocks(s)) *
+                          cache.blockTokens(),
+                      shadow_tokens[s]);
+        }
+    }
+    EXPECT_GT(rejected, 0); // the stress actually hit the capacity
+
+    // Releasing everything returns the cache to empty.
+    for (SeqId s : live)
+        cache.release(s);
+    EXPECT_EQ(cache.blocksInUse(), 0u);
+}
+
+TEST(KvCache, FourteenBModelBatchThirtyFitsIn64GB)
+{
+    // Section III-B's batch-30 AIME workload on the 1.5B fits easily;
+    // the 14B at batch 30 with 4k contexts is the tight case.
+    const auto s14 = er::model::spec(ModelId::Dsr1Qwen14B);
+    const er::Bytes budget = 56LL * 1024 * 1024 * 1024 -
+        static_cast<er::Bytes>(s14.weightBytes());
+    KvCache c(budget, s14, 16);
+    const SeqId root = c.createSequence();
+    ASSERT_TRUE(c.append(root, 512));
+    std::vector<SeqId> seqs = {root};
+    for (int b = 1; b < 30; ++b)
+        seqs.push_back(c.fork(root));
+    bool ok = true;
+    for (SeqId s : seqs)
+        ok = ok && c.append(s, 4096);
+    EXPECT_TRUE(ok);
+    EXPECT_LT(c.bytesInUse(), budget);
+}

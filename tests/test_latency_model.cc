@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the analytical latency models (Eqns. 1-3): functional
+ * forms, fitting recovery, budget inversion and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "perfmodel/latency_model.hh"
+#include "perfmodel/paper_reference.hh"
+
+namespace er = edgereason;
+using namespace er::perf;
+
+TEST(PrefillLatencyModel, PaddingAndEvaluation)
+{
+    PrefillLatencyModel m;
+    m.a = 1e-6;
+    m.b = 1e-4;
+    m.c = 0.1;
+    EXPECT_EQ(m.padded(1), 128);
+    EXPECT_EQ(m.padded(128), 128);
+    EXPECT_EQ(m.padded(129), 256);
+    // All lengths in one tile evaluate identically.
+    EXPECT_DOUBLE_EQ(m(1), m(128));
+    EXPECT_GT(m(129), m(128));
+    EXPECT_DOUBLE_EQ(m(128), 1e-6 * 128 * 128 + 1e-4 * 128 + 0.1);
+}
+
+TEST(DecodeLatencyModel, ClosedFormMatchesStepSum)
+{
+    DecodeLatencyModel m;
+    m.m = 1.13e-6;
+    m.n = 0.187;
+    const er::Tokens I = 512;
+    const er::Tokens O = 300;
+    double stepwise = 0.0;
+    for (er::Tokens i = 0; i < O; ++i)
+        stepwise += m.tbt(I + i);
+    EXPECT_NEAR(m(I, O), stepwise, 1e-9);
+}
+
+TEST(DecodeLatencyModel, ZeroOutputIsFree)
+{
+    DecodeLatencyModel m;
+    m.n = 0.1;
+    EXPECT_DOUBLE_EQ(m(512, 0), 0.0);
+}
+
+TEST(LatencyModel, BudgetInversionIsExactBoundary)
+{
+    LatencyModel lm;
+    lm.prefill = {1.56e-7, 2.31e-6, 0.046, 128};
+    lm.decode = {1e-7, 0.024};
+    const er::Tokens max = lm.maxOutputTokens(170, 5.0);
+    EXPECT_GT(max, 0);
+    EXPECT_LE(lm.total(170, max), 5.0);
+    EXPECT_GT(lm.total(170, max + 1), 5.0);
+}
+
+TEST(LatencyModel, ImpossibleBudgetReturnsZero)
+{
+    LatencyModel lm;
+    lm.prefill = {0.0, 0.0, 10.0, 128}; // 10 s fixed prefill
+    lm.decode = {0.0, 0.1};
+    EXPECT_EQ(lm.maxOutputTokens(128, 5.0), 0);
+}
+
+TEST(FitPrefill, RecoversSyntheticCoefficients)
+{
+    PrefillLatencyModel truth;
+    truth.a = 6.65e-7;
+    truth.b = 2.9e-4;
+    truth.c = 0.104;
+    std::vector<PrefillSample> samples;
+    for (er::Tokens i = 64; i <= 4096; i += 64)
+        samples.push_back({i, truth(i)});
+    const auto fit = fitPrefill(samples);
+    EXPECT_NEAR(fit.a, truth.a, 0.02 * truth.a);
+    EXPECT_NEAR(fit.b, truth.b, 0.05 * truth.b);
+    EXPECT_NEAR(fit.c, truth.c, 0.05 * truth.c);
+    EXPECT_LT(validatePrefill(fit, samples), 0.5);
+}
+
+TEST(FitPrefill, IgnoresOffGridSamples)
+{
+    PrefillLatencyModel truth;
+    truth.a = 1e-7;
+    truth.b = 1e-4;
+    truth.c = 0.05;
+    std::vector<PrefillSample> samples;
+    for (er::Tokens i = 64; i <= 2048; i += 64)
+        samples.push_back({i, truth(i)});
+    // Poison off-grid points; the fit must not move.
+    samples.push_back({100, 99.0});
+    samples.push_back({333, 99.0});
+    const auto fit = fitPrefill(samples);
+    EXPECT_NEAR(fit.a, truth.a, 0.02 * truth.a);
+}
+
+TEST(FitDecode, RecoversSyntheticCoefficients)
+{
+    DecodeLatencyModel truth;
+    truth.m = 6.92e-7;
+    truth.n = 0.10;
+    er::Rng rng(5);
+    std::vector<DecodeSample> samples;
+    for (int i = 0; i < 100; ++i) {
+        const er::Tokens in =
+            static_cast<er::Tokens>(rng.uniform(32, 4096));
+        const er::Tokens out =
+            static_cast<er::Tokens>(rng.uniform(32, 2048));
+        samples.push_back({in, out, truth(in, out)});
+    }
+    const auto fit = fitDecode(samples);
+    EXPECT_NEAR(fit.n, truth.n, 0.02 * truth.n);
+    EXPECT_NEAR(fit.m, truth.m, 0.15 * truth.m);
+    EXPECT_LT(validateDecode(fit, samples), 0.5);
+}
+
+TEST(PaperReference, TableIvAndVArePresent)
+{
+    using er::model::ModelId;
+    const auto p8 = paper::prefillLatency(ModelId::Dsr1Llama8B);
+    ASSERT_TRUE(p8.has_value());
+    EXPECT_DOUBLE_EQ(p8->a, 6.65e-7);
+    const auto d14 = paper::decodeLatency(ModelId::Dsr1Qwen14B);
+    ASSERT_TRUE(d14.has_value());
+    EXPECT_DOUBLE_EQ(d14->n, 0.187);
+    EXPECT_FALSE(paper::prefillLatency(ModelId::Gemma7BIt).has_value());
+    const auto mape = paper::latencyMape(ModelId::Dsr1Qwen1_5B);
+    ASSERT_TRUE(mape.has_value());
+    EXPECT_DOUBLE_EQ(mape->prefill, 9.80);
+}
+
+TEST(PaperReference, PredictionsMatchPaperExamples)
+{
+    // Section IV-A: a full 14B model predicts ~196 ms TBT and Table X
+    // implies ~259 s for 1318 tokens.
+    using er::model::ModelId;
+    LatencyModel lm;
+    lm.prefill = *paper::prefillLatency(ModelId::Dsr1Qwen14B);
+    lm.decode = *paper::decodeLatency(ModelId::Dsr1Qwen14B);
+    const double total = lm.total(170, 1318);
+    EXPECT_NEAR(total, 259.0, 20.0);
+}

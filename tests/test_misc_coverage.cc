@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Coverage for the smaller utilities: CSV writer round-trips,
+ * framework overhead profiles, Pareto edge cases, and dtype helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/types.hh"
+#include "core/pareto.hh"
+#include "engine/engine_kind.hh"
+
+namespace er = edgereason;
+
+TEST(Dtypes, WeightBytesAndNames)
+{
+    EXPECT_DOUBLE_EQ(er::dtypeWeightBytes(er::DType::FP32), 4.0);
+    EXPECT_DOUBLE_EQ(er::dtypeWeightBytes(er::DType::FP16), 2.0);
+    EXPECT_DOUBLE_EQ(er::dtypeWeightBytes(er::DType::INT8), 1.0);
+    EXPECT_DOUBLE_EQ(er::dtypeWeightBytes(er::DType::W4A16), 0.5);
+    EXPECT_STREQ(er::dtypeName(er::DType::W4A16), "w4a16");
+    EXPECT_STREQ(er::phaseName(er::Phase::Decode), "decode");
+}
+
+TEST(CsvWriter, EscapesAndRoundTrips)
+{
+    const std::string path = "/tmp/edgereason_csv_test.csv";
+    {
+        er::CsvWriter csv(path);
+        csv.writeRow(std::vector<std::string>{
+            "plain", "with,comma", "with\"quote", "multi\nline"});
+        csv.writeRow(std::vector<double>{1.5, 2.25}, 2);
+        csv.close();
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string content = ss.str();
+    EXPECT_NE(content.find("plain,\"with,comma\""), std::string::npos);
+    EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+    EXPECT_NE(content.find("1.50,2.25"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathFails)
+{
+    EXPECT_THROW(er::CsvWriter("/nonexistent-dir/x.csv"),
+                 std::runtime_error);
+}
+
+TEST(EngineKinds, NamesAndOverheadOrdering)
+{
+    using namespace er::engine;
+    EXPECT_STREQ(engineKindName(EngineKind::Vllm), "vLLM");
+    EXPECT_STREQ(engineKindName(EngineKind::HfTransformers), "HF");
+    EXPECT_STREQ(engineKindName(EngineKind::TrtLlm), "TRT-LLM");
+    // HF carries the largest per-step overhead, TRT the smallest.
+    const auto hf = engineOverhead(EngineKind::HfTransformers);
+    const auto vllm = engineOverhead(EngineKind::Vllm);
+    const auto trt = engineOverhead(EngineKind::TrtLlm);
+    EXPECT_GT(hf.extraStepOverhead, vllm.extraStepOverhead);
+    EXPECT_LE(trt.extraStepOverhead, vllm.extraStepOverhead);
+}
+
+namespace {
+
+er::core::StrategyReport
+fakeReport(double lat, double acc, double cost_per_mtok = 0.1)
+{
+    er::core::StrategyReport r;
+    r.avgLatency = lat;
+    r.accuracyPct = acc;
+    r.cost.energyPerMTok = cost_per_mtok;
+    r.cost.hardwarePerMTok = 0.01;
+    r.avgTokens = 100.0;
+    return r;
+}
+
+} // namespace
+
+TEST(Pareto, DominatedPointsAreDropped)
+{
+    using namespace er::core;
+    // (5s, 50%) dominates (6s, 45%); (1s, 30%) survives as the fast
+    // anchor; equal-latency ties keep the higher accuracy.
+    std::vector<StrategyReport> reports = {
+        fakeReport(5.0, 50.0), fakeReport(6.0, 45.0),
+        fakeReport(1.0, 30.0), fakeReport(5.0, 48.0),
+        fakeReport(20.0, 70.0)};
+    const auto frontier = paretoFrontier(reports,
+                                         FrontierAxis::Latency);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_DOUBLE_EQ(frontier[0].avgLatency, 1.0);
+    EXPECT_DOUBLE_EQ(frontier[1].accuracyPct, 50.0);
+    EXPECT_DOUBLE_EQ(frontier[2].accuracyPct, 70.0);
+}
+
+TEST(Pareto, AxisSelection)
+{
+    using namespace er::core;
+    const auto r = fakeReport(2.0, 40.0, 0.05);
+    EXPECT_DOUBLE_EQ(axisValue(r, FrontierAxis::Latency), 2.0);
+    EXPECT_DOUBLE_EQ(axisValue(r, FrontierAxis::Tokens), 100.0);
+    EXPECT_GT(axisValue(r, FrontierAxis::Cost), 0.05); // + hardware
+}
+
+TEST(Pareto, RegimesSkipInfeasibleBudgets)
+{
+    using namespace er::core;
+    std::vector<StrategyReport> reports = {fakeReport(5.0, 50.0)};
+    const auto regimes = budgetRegimes(reports, {1.0, 2.0, 10.0, 20.0},
+                                       FrontierAxis::Latency);
+    // Budgets 1 and 2 are infeasible; 10 and 20 merge into one regime.
+    ASSERT_EQ(regimes.size(), 1u);
+    EXPECT_DOUBLE_EQ(regimes[0].budgetHi, 20.0);
+    EXPECT_DOUBLE_EQ(regimes[0].best.accuracyPct, 50.0);
+}
+
+TEST(Pareto, EmptyBudgetsRejected)
+{
+    using namespace er::core;
+    std::vector<StrategyReport> reports = {fakeReport(5.0, 50.0)};
+    EXPECT_THROW(budgetRegimes(reports, {}, FrontierAxis::Latency),
+                 std::runtime_error);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the model zoo: parameter counts against published
+ * sizes, KV-cache byte rates against the decode-slope analysis of
+ * Table V, and calibration plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/calibration.hh"
+#include "model/model_id.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::model;
+
+TEST(Zoo, ParamCountsMatchPublishedSizes)
+{
+    // Published parameter counts of the underlying architectures.
+    EXPECT_NEAR(spec(ModelId::Dsr1Qwen1_5B).paramCount() / 1e9, 1.54,
+                0.05);
+    EXPECT_NEAR(spec(ModelId::Dsr1Llama8B).paramCount() / 1e9, 8.03,
+                0.1);
+    EXPECT_NEAR(spec(ModelId::Dsr1Qwen14B).paramCount() / 1e9, 14.7,
+                0.2);
+    EXPECT_NEAR(spec(ModelId::Qwen25_7BIt).paramCount() / 1e9, 7.6,
+                0.15);
+    EXPECT_NEAR(spec(ModelId::Gemma7BIt).paramCount() / 1e9, 8.5, 0.3);
+}
+
+TEST(Zoo, DistillsShareBaseArchitectures)
+{
+    EXPECT_EQ(spec(ModelId::Dsr1Qwen1_5B).layers,
+              spec(ModelId::Qwen25_1_5BIt).layers);
+    EXPECT_EQ(spec(ModelId::Dsr1Llama8B).hidden,
+              spec(ModelId::Llama31_8BIt).hidden);
+    EXPECT_EQ(spec(ModelId::L1Max).ffnHidden,
+              spec(ModelId::Dsr1Qwen1_5B).ffnHidden);
+    EXPECT_EQ(spec(ModelId::DeepScaleR1_5B).vocab,
+              spec(ModelId::Dsr1Qwen1_5B).vocab);
+}
+
+TEST(Zoo, KvBytesPerTokenMatchesDecodeSlopeAnalysis)
+{
+    // The paper's fitted decode slope m ~= kvBytesPerToken / BW.
+    // Llama-8B: 2 x 32 layers x 8 kv heads x 128 dim x 2 B = 128 KiB.
+    EXPECT_NEAR(spec(ModelId::Dsr1Llama8B).kvBytesPerToken(), 131072.0,
+                1.0);
+    // Qwen-14B: 2 x 48 x 8 x 128 x 2 = 192 KiB.
+    EXPECT_NEAR(spec(ModelId::Dsr1Qwen14B).kvBytesPerToken(), 196608.0,
+                1.0);
+    // Qwen-1.5B (2 kv heads) is an order of magnitude lighter.
+    EXPECT_LT(spec(ModelId::Dsr1Qwen1_5B).kvBytesPerToken(), 30000.0);
+}
+
+TEST(Zoo, QuantizationShrinksWeightsOnly)
+{
+    const auto fp16 = spec(ModelId::Dsr1Llama8B);
+    const auto w4 = quantizedSpec(ModelId::Dsr1Llama8B);
+    EXPECT_NEAR(w4.weightBytes() / fp16.weightBytes(), 0.25, 1e-6);
+    // KV cache stays FP16 under W4A16.
+    EXPECT_DOUBLE_EQ(w4.kvBytesPerToken(), fp16.kvBytesPerToken());
+    EXPECT_NE(w4.name.find("AWQ"), std::string::npos);
+}
+
+TEST(Zoo, SpecInvariantsHoldForAllModels)
+{
+    for (ModelId id : allModels()) {
+        const auto s = spec(id);
+        EXPECT_NO_THROW(s.check());
+        EXPECT_GT(s.linearFlopsPerToken(), 0.0);
+        EXPECT_GT(s.attentionPrefillFlops(128), 0.0);
+        // Linear FLOPs per token ~ 2x params (minus embeddings).
+        EXPECT_NEAR(s.linearFlopsPerToken() / (2.0 * s.paramCount()),
+                    1.0, 0.25)
+            << s.name;
+    }
+}
+
+TEST(ModelIds, CategoriesAndFamilies)
+{
+    EXPECT_TRUE(isReasoning(ModelId::Dsr1Qwen14B));
+    EXPECT_TRUE(isReasoning(ModelId::L1Max));
+    EXPECT_FALSE(isReasoning(ModelId::Llama31_8BIt));
+    EXPECT_EQ(modelCategory(ModelId::L1Max),
+              ModelCategory::BudgetAware);
+    EXPECT_EQ(dsr1Family().size(), 3u);
+    EXPECT_EQ(nonReasoningModels().size(), 5u);
+    EXPECT_EQ(modelIdFromName("DSR1-Qwen-14B"), ModelId::Dsr1Qwen14B);
+    EXPECT_THROW(modelIdFromName("GPT-5"), std::runtime_error);
+}
+
+TEST(Calibration, SizeClassesAndPerClassValues)
+{
+    EXPECT_EQ(sizeClassOf(spec(ModelId::Dsr1Qwen1_5B)),
+              SizeClass::Small);
+    EXPECT_EQ(sizeClassOf(spec(ModelId::Dsr1Llama8B)),
+              SizeClass::Medium);
+    EXPECT_EQ(sizeClassOf(spec(ModelId::Gemma7BIt)), SizeClass::Medium);
+    EXPECT_EQ(sizeClassOf(spec(ModelId::Dsr1Qwen14B)),
+              SizeClass::Large);
+
+    // Quantized calibration lowers achievable decode bandwidth
+    // (dequantization overhead) for every size class.
+    for (SizeClass c : {SizeClass::Small, SizeClass::Medium,
+                        SizeClass::Large}) {
+        const auto base = calibrationForClass(c, false);
+        const auto quant = calibrationForClass(c, true);
+        EXPECT_LT(quant.gpuEff.bandwidthDecode,
+                  base.gpuEff.bandwidthDecode);
+    }
+}
+
+TEST(Zoo, W8SpecHalvesWeights)
+{
+    const auto fp16 = spec(ModelId::Dsr1Llama8B);
+    const auto w8 = quantizedSpec8(ModelId::Dsr1Llama8B);
+    EXPECT_NEAR(w8.weightBytes() / fp16.weightBytes(), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(w8.kvBytesPerToken(), fp16.kvBytesPerToken());
+    EXPECT_NE(w8.name.find("W8A8"), std::string::npos);
+}
+
+TEST(Calibration, W8SitsBetweenFp16AndW4)
+{
+    for (SizeClass c : {SizeClass::Small, SizeClass::Medium,
+                        SizeClass::Large}) {
+        const auto fp16 = calibrationForClass(c, false);
+        const auto w8 = calibrationForClassW8(c);
+        const auto w4 = calibrationForClass(c, true);
+        // Bandwidth efficiency: w4 < w8 < fp16 (dequant overhead).
+        EXPECT_LT(w4.gpuEff.bandwidthDecode,
+                  w8.gpuEff.bandwidthDecode);
+        EXPECT_LT(w8.gpuEff.bandwidthDecode,
+                  fp16.gpuEff.bandwidthDecode);
+        // Prefill attention efficiency: fp16 <= w8 <= w4-ish band.
+        EXPECT_GE(w8.gpuEff.attentionPrefill,
+                  fp16.gpuEff.attentionPrefill);
+    }
+    // Dispatch through the dtype-keyed accessor.
+    const auto via = calibration(ModelId::Dsr1Qwen14B,
+                                 edgereason::DType::INT8);
+    EXPECT_DOUBLE_EQ(via.gpuEff.bandwidthDecode,
+                     calibrationForClassW8(SizeClass::Large)
+                         .gpuEff.bandwidthDecode);
+}
+
+TEST(Calibration, PowerProfilesOrderedBySize)
+{
+    const auto s = calibrationForClass(SizeClass::Small, false).power;
+    const auto m = calibrationForClass(SizeClass::Medium, false).power;
+    const auto l = calibrationForClass(SizeClass::Large, false).power;
+    EXPECT_LT(s.prefillConst, m.prefillConst);
+    EXPECT_LT(m.prefillConst, l.prefillConst);
+    // Decode power at a long output: small < medium < large.
+    const auto at = [](const er::hw::PowerProfile &p, double o) {
+        return p.decodeLogAlpha * std::log(o) + p.decodeLogBeta;
+    };
+    EXPECT_LT(at(s, 1024), at(m, 1024));
+    EXPECT_LT(at(m, 1024), at(l, 1024));
+}

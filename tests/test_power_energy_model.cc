@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the analytical power and energy models (Eqns. 4-6):
+ * functional forms, fitting, validation and composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/power_energy_model.hh"
+
+namespace er = edgereason;
+using namespace er::perf;
+
+TEST(PrefillPowerModel, ConstantAndLogRegimes)
+{
+    PrefillPowerModel m;
+    m.v = 800;
+    m.u = 12.0;
+    m.w = 5.52;
+    m.x = -24.9;
+    EXPECT_DOUBLE_EQ(m(64), 12.0);
+    EXPECT_DOUBLE_EQ(m(800), 12.0);
+    EXPECT_NEAR(m(4096), 5.52 * std::log(4096.0) - 24.9, 1e-9);
+    // The log tail never undercuts the constant head.
+    m.x = -100.0;
+    EXPECT_DOUBLE_EQ(m(1024), 12.0);
+}
+
+TEST(DecodePowerModel, FloorBelow64)
+{
+    DecodePowerModel m;
+    m.y = 2.2;
+    m.z = 10.3;
+    EXPECT_DOUBLE_EQ(m(63), 5.9);
+    EXPECT_NEAR(m(64), 2.2 * std::log(64.0) + 10.3, 1e-9);
+}
+
+TEST(FitPrefillPower, SelectsConstantForFlatData)
+{
+    std::vector<PowerSample> flat;
+    for (er::Tokens i = 64; i <= 4096; i += 256)
+        flat.push_back({i, 5.64});
+    const auto m = fitPrefillPower(flat);
+    EXPECT_EQ(m.v, 0);
+    EXPECT_NEAR(m.u, 5.64, 1e-9);
+}
+
+TEST(FitPrefillPower, RecoversPiecewiseShape)
+{
+    std::vector<PowerSample> samples;
+    for (er::Tokens i : {64, 128, 256, 384, 512, 640, 768})
+        samples.push_back({i, 12.0});
+    for (er::Tokens i : {1024, 1536, 2048, 3072, 4096})
+        samples.push_back(
+            {i, 5.52 * std::log(static_cast<double>(i)) - 24.9});
+    const auto m = fitPrefillPower(samples);
+    EXPECT_GT(m.v, 0);
+    EXPECT_NEAR(m.u, 12.0, 0.2);
+    EXPECT_NEAR(m.w, 5.52, 0.4);
+    EXPECT_LT(validatePrefillPower(m, samples), 2.0);
+}
+
+TEST(FitDecodePower, RecoversLogTailAndFloor)
+{
+    std::vector<PowerSample> samples;
+    samples.push_back({32, 5.9});
+    samples.push_back({48, 5.9});
+    for (er::Tokens o : {64, 128, 256, 512, 1024, 2048})
+        samples.push_back(
+            {o, 2.26 * std::log(static_cast<double>(o)) + 12.0});
+    const auto m = fitDecodePower(samples);
+    EXPECT_NEAR(m.floor, 5.9, 1e-9);
+    EXPECT_NEAR(m.y, 2.26, 0.05);
+    EXPECT_NEAR(m.z, 12.0, 0.3);
+    EXPECT_LT(validateDecodePower(m, samples), 1.0);
+}
+
+TEST(FitEnergyPerToken, ExpDecayOnly)
+{
+    // The 1.5B prefill shape from Table XX: A e^{-l I} + C.
+    std::vector<EnergySample> samples;
+    for (er::Tokens i = 16; i <= 512; i += 16)
+        samples.push_back(
+            {i, 0.07308 * std::exp(-0.03195 * i) + 0.000923});
+    const auto m = fitEnergyPerToken(samples, /*force_exp_only=*/true);
+    EXPECT_EQ(m.ve, 0);
+    EXPECT_NEAR(m.head.lambda, 0.03195, 0.004);
+    EXPECT_NEAR(m.head.c, 0.000923, 2e-4);
+    EXPECT_LT(validateEnergyPerToken(m, samples), 3.0);
+}
+
+TEST(FitEnergyPerToken, PiecewiseWithLogTail)
+{
+    // The 8B shape: exp decay to ~640, log growth beyond.
+    std::vector<EnergySample> samples;
+    for (er::Tokens i = 32; i <= 640; i += 64)
+        samples.push_back(
+            {i, 0.15871 * std::exp(-0.0324 * i) + 0.00553});
+    for (er::Tokens i = 768; i <= 4096; i += 256)
+        samples.push_back(
+            {i, 0.01233 * std::log(static_cast<double>(i)) - 0.07349});
+    const auto m = fitEnergyPerToken(samples);
+    EXPECT_GT(m.ve, 0);
+    EXPECT_NEAR(m.tail.alpha, 0.01233, 0.003);
+    EXPECT_LT(validateEnergyPerToken(m, samples), 6.0);
+}
+
+TEST(TotalEnergyModel, ComposesPowerTimesLatency)
+{
+    TotalEnergyModel e;
+    e.latency.prefill = {1e-7, 1e-4, 0.05, 128};
+    e.latency.decode = {1e-6, 0.1};
+    e.prefillPower.u = 10.0;
+    e.decodePower.y = 2.0;
+    e.decodePower.z = 10.0;
+    const double pf = e.prefillEnergy(512);
+    EXPECT_NEAR(pf, 10.0 * e.latency.prefill(512), 1e-9);
+    const double dc = e.decodeEnergy(512, 256);
+    EXPECT_NEAR(dc, e.decodePower(256) * e.latency.decode(512, 256),
+                1e-9);
+    EXPECT_NEAR(e.total(512, 256), pf + dc, 1e-12);
+    EXPECT_DOUBLE_EQ(e.decodeEnergy(512, 0), 0.0);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting invariants that
+ * must hold for every model, precision, and operating point —
+ * monotonicity of latency in each workload dimension, energy
+ * positivity and composition, padding idempotence, and profile
+ * consistency between expected and simulated accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <tuple>
+
+#include "accuracy/simulate.hh"
+#include "engine/engine.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+namespace {
+
+/** gtest parameter names must be alphanumeric; model names are not. */
+struct NameSanitizer
+{
+    static std::string
+    clean(std::string s)
+    {
+        for (char &c : s) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return s;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Engine invariants over (model, precision).
+// ---------------------------------------------------------------------
+
+class EnginePropertyTest
+    : public ::testing::TestWithParam<std::tuple<ModelId, bool>>
+{
+  protected:
+    er::engine::InferenceEngine
+    makeEngine() const
+    {
+        const auto [id, quant] = GetParam();
+        er::engine::EngineConfig cfg;
+        cfg.measurementNoise = false;
+        return er::engine::InferenceEngine(
+            quant ? er::model::quantizedSpec(id) : er::model::spec(id),
+            er::model::calibration(
+                id, quant ? er::DType::W4A16 : er::DType::FP16),
+            cfg);
+    }
+};
+
+TEST_P(EnginePropertyTest, PrefillLatencyMonotoneAcrossTiles)
+{
+    auto eng = makeEngine();
+    double prev = 0.0;
+    for (er::Tokens i = 128; i <= 4096; i += 128) {
+        const double t = eng.prefillLatency(i);
+        EXPECT_GE(t, prev) << "I = " << i;
+        prev = t;
+    }
+}
+
+TEST_P(EnginePropertyTest, TbtMonotoneInContext)
+{
+    auto eng = makeEngine();
+    double prev = 0.0;
+    for (er::Tokens c : {64, 256, 1024, 4096, 16384}) {
+        if (c > eng.spec().maxContext)
+            break; // Gemma tops out at 8k context
+        const double t = eng.decodeStepLatency(c);
+        EXPECT_GE(t, prev) << "ctx = " << c;
+        prev = t;
+    }
+}
+
+TEST_P(EnginePropertyTest, TbtMonotoneInBatch)
+{
+    auto eng = makeEngine();
+    double prev = 0.0;
+    for (int b : {1, 2, 4, 8, 16, 32, 64}) {
+        const double t = eng.decodeStepLatency(512, b);
+        EXPECT_GE(t, prev) << "batch = " << b;
+        prev = t;
+    }
+}
+
+TEST_P(EnginePropertyTest, EnergyAndPowerAreConsistent)
+{
+    auto eng = makeEngine();
+    for (er::Tokens o : {32, 128, 512}) {
+        const auto r = eng.run(256, o);
+        EXPECT_GT(r.prefill.energy, 0.0);
+        EXPECT_GT(r.decode.energy, 0.0);
+        EXPECT_NEAR(r.totalEnergy(),
+                    r.prefill.energy + r.decode.energy, 1e-9);
+        EXPECT_GT(r.decode.avgPower, 4.0);
+        EXPECT_LE(r.decode.avgPower, 60.0);
+        EXPECT_NEAR(r.decode.avgPower * r.decode.seconds,
+                    r.decode.energy, 1e-6);
+    }
+}
+
+TEST_P(EnginePropertyTest, DecodeDominatesAtReasoningLengths)
+{
+    auto eng = makeEngine();
+    const auto r = eng.run(170, 800);
+    EXPECT_GT(r.decode.seconds / r.totalSeconds(), 0.95);
+}
+
+TEST_P(EnginePropertyTest, KvCacheIsReleasedAfterRuns)
+{
+    auto eng = makeEngine();
+    for (int i = 0; i < 5; ++i)
+        eng.run(512, 64, 4);
+    EXPECT_EQ(eng.kvCache().blocksInUse(), 0u);
+    EXPECT_EQ(eng.kvCache().sequenceCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EnginePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(ModelId::Dsr1Qwen1_5B, ModelId::Dsr1Llama8B,
+                          ModelId::Dsr1Qwen14B, ModelId::Qwen25_7BIt,
+                          ModelId::Gemma7BIt),
+        ::testing::Bool()),
+    [](const auto &info) {
+        return NameSanitizer::clean(
+            std::string(er::model::modelName(std::get<0>(info.param))) +
+            (std::get<1>(info.param) ? "_w4" : "_fp16"));
+    });
+
+// ---------------------------------------------------------------------
+// Profile invariants over (model, dataset).
+// ---------------------------------------------------------------------
+
+class ProfilePropertyTest
+    : public ::testing::TestWithParam<std::tuple<ModelId, bool>>
+{
+};
+
+TEST_P(ProfilePropertyTest, ExpectedAccuracyMatchesSimulation)
+{
+    const auto [id, quant] = GetParam();
+    const er::acc::ResponseProfile prof(id, er::acc::Dataset::MmluRedux,
+                                        quant);
+    const er::acc::QuestionBank bank(er::acc::Dataset::MmluRedux, 99);
+    for (const auto &pol : {TokenPolicy::base()}) {
+        double acc = 0.0;
+        const int seeds = 6;
+        for (int s = 0; s < seeds; ++s) {
+            er::acc::ResponseSimulator sim(prof, 31 + 977ull * s);
+            acc += sim.evaluate(bank.questions(), pol, 1).accuracyPct;
+        }
+        acc /= seeds;
+        EXPECT_NEAR(acc / 100.0, prof.expectedAccuracy(pol), 0.012)
+            << er::model::modelName(id);
+    }
+}
+
+TEST_P(ProfilePropertyTest, HardBudgetAccuracyMonotone)
+{
+    const auto [id, quant] = GetParam();
+    if (quant)
+        GTEST_SKIP() << "budget sweeps published for fp16 only";
+    const er::acc::ResponseProfile prof(id, er::acc::Dataset::MmluRedux,
+                                        false);
+    // Accuracy never decreases when the budget doubles (within fit
+    // slack).
+    double prev = 0.0;
+    for (er::Tokens n : {64, 128, 256, 512, 1024, 2048}) {
+        const auto pol = er::model::modelCategory(id) ==
+                er::model::ModelCategory::BudgetAware
+            ? TokenPolicy::l1(n)
+            : TokenPolicy::hard(n);
+        const double acc = prof.expectedAccuracy(pol);
+        EXPECT_GE(acc, prev - 0.02) << "n = " << n;
+        prev = acc;
+    }
+}
+
+TEST_P(ProfilePropertyTest, MeanTokensRespectHardCaps)
+{
+    const auto [id, quant] = GetParam();
+    if (quant)
+        GTEST_SKIP() << "budget sweeps published for fp16 only";
+    const er::acc::ResponseProfile prof(id, er::acc::Dataset::MmluRedux,
+                                        false);
+    for (er::Tokens n : {32, 64, 128, 256, 512, 1024}) {
+        EXPECT_LE(prof.meanTokens(TokenPolicy::hard(n)),
+                  static_cast<double>(n) + 1e-9)
+            << "n = " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AnchoredModels, ProfilePropertyTest,
+    ::testing::Values(std::make_tuple(ModelId::Dsr1Qwen1_5B, false),
+                      std::make_tuple(ModelId::Dsr1Llama8B, false),
+                      std::make_tuple(ModelId::Dsr1Qwen14B, false),
+                      std::make_tuple(ModelId::L1Max, false),
+                      std::make_tuple(ModelId::Dsr1Llama8B, true),
+                      std::make_tuple(ModelId::Dsr1Qwen14B, true)),
+    [](const auto &info) {
+        return NameSanitizer::clean(
+            std::string(er::model::modelName(std::get<0>(info.param))) +
+            (std::get<1>(info.param) ? "_w4" : "_fp16"));
+    });

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo response simulator: anchor reproduction,
+ * voting dynamics (Fig. 9 behaviours), free-form grading and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accuracy/simulate.hh"
+
+namespace er = edgereason;
+using namespace er::acc;
+using er::model::ModelId;
+using er::strategy::TokenPolicy;
+
+namespace {
+
+double
+meanAccuracy(ModelId id, Dataset d, bool quant, TokenPolicy pol,
+             int parallel, int seeds = 8)
+{
+    QuestionBank bank(d, 99);
+    const ResponseProfile prof(id, d, quant);
+    double acc = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+        ResponseSimulator sim(prof, 1000 + 7919ull * s);
+        acc += sim.evaluate(bank.questions(), pol, parallel)
+                   .accuracyPct;
+    }
+    return acc / seeds;
+}
+
+} // namespace
+
+TEST(Simulate, ReproducesPublishedAnchorsWithinNoise)
+{
+    // Seed-averaged accuracy must sit within ~0.7 pp of Tables X/XI.
+    EXPECT_NEAR(meanAccuracy(ModelId::Dsr1Qwen1_5B, Dataset::MmluRedux,
+                             false, TokenPolicy::base(), 1), 38.3, 0.7);
+    EXPECT_NEAR(meanAccuracy(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                             false, TokenPolicy::base(), 1), 61.7, 0.7);
+    EXPECT_NEAR(meanAccuracy(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                             false, TokenPolicy::noReasoning(), 1),
+                69.0, 0.7);
+    EXPECT_NEAR(meanAccuracy(ModelId::Dsr1Qwen1_5B, Dataset::MmluRedux,
+                             false, TokenPolicy::hard(128), 1), 15.9,
+                0.7);
+    EXPECT_NEAR(meanAccuracy(ModelId::L1Max, Dataset::MmluRedux, false,
+                             TokenPolicy::base(), 1), 43.8, 0.7);
+}
+
+TEST(Simulate, TokenLengthsMatchPublishedMeans)
+{
+    QuestionBank bank(Dataset::MmluRedux, 99);
+    const ResponseProfile prof(ModelId::Dsr1Qwen14B, Dataset::MmluRedux,
+                               false);
+    ResponseSimulator sim(prof, 4242);
+    const auto base = sim.evaluate(bank.questions(), TokenPolicy::base(),
+                                   1);
+    EXPECT_NEAR(base.avgMaxTokens, 1317.8, 40.0);
+    const auto hard = sim.evaluate(bank.questions(),
+                                   TokenPolicy::hard(128), 1);
+    EXPECT_NEAR(hard.avgMaxTokens, 78.2, 6.0);
+    // Hard caps are strict.
+    for (const auto &q : bank.subset(200)) {
+        const auto o = sim.simulateQuestion(q, TokenPolicy::hard(128),
+                                            4);
+        EXPECT_LE(o.maxTokens, 128);
+    }
+}
+
+TEST(Simulate, VotingImprovesStrongConfigs)
+{
+    // Fig. 9a: 14B at a 128-token budget gains 1.5-1.8x by SF=32.
+    const double sf1 = meanAccuracy(ModelId::Dsr1Qwen14B,
+                                    Dataset::MmluRedux, false,
+                                    TokenPolicy::hard(128), 1, 4);
+    const double sf32 = meanAccuracy(ModelId::Dsr1Qwen14B,
+                                     Dataset::MmluRedux, false,
+                                     TokenPolicy::hard(128), 32, 4);
+    EXPECT_GT(sf32 / sf1, 1.4);
+    EXPECT_LT(sf32 / sf1, 1.9);
+}
+
+TEST(Simulate, VotingDegradesWeakTruncatedConfigs)
+{
+    // Fig. 9a: the 1.5B at 128T degrades by SF=16.
+    const double sf1 = meanAccuracy(ModelId::Dsr1Qwen1_5B,
+                                    Dataset::MmluRedux, false,
+                                    TokenPolicy::hard(128), 1, 4);
+    const double sf16 = meanAccuracy(ModelId::Dsr1Qwen1_5B,
+                                     Dataset::MmluRedux, false,
+                                     TokenPolicy::hard(128), 16, 4);
+    EXPECT_LT(sf16, sf1);
+}
+
+TEST(Simulate, VotingPlateausAtHighBudget)
+{
+    // Fig. 9b: with a 512-token budget, gains plateau after ~4x.
+    const double sf4 = meanAccuracy(ModelId::Dsr1Qwen14B,
+                                    Dataset::MmluRedux, false,
+                                    TokenPolicy::hard(512), 4, 4);
+    const double sf32 = meanAccuracy(ModelId::Dsr1Qwen14B,
+                                     Dataset::MmluRedux, false,
+                                     TokenPolicy::hard(512), 32, 4);
+    EXPECT_LT(sf32 - sf4, 12.0);
+}
+
+TEST(Simulate, L1GainsLittleFromParallelism)
+{
+    const double sf1 = meanAccuracy(ModelId::L1Max, Dataset::MmluRedux,
+                                    false, TokenPolicy::l1(128), 1, 4);
+    const double sf32 = meanAccuracy(ModelId::L1Max, Dataset::MmluRedux,
+                                     false, TokenPolicy::l1(128), 32,
+                                     4);
+    EXPECT_LT(sf32 - sf1, 8.0);
+}
+
+TEST(Simulate, FreeFormVotingNeedsRepeatedCorrectAnswers)
+{
+    // On free-form datasets, wrong answers never agree, so accuracy
+    // rises with parallelism only through repeated correct samples.
+    const double sf1 = meanAccuracy(ModelId::Dsr1Llama8B,
+                                    Dataset::NaturalPlanMeeting, false,
+                                    TokenPolicy::base(), 1, 4);
+    const double sf8 = meanAccuracy(ModelId::Dsr1Llama8B,
+                                    Dataset::NaturalPlanMeeting, false,
+                                    TokenPolicy::base(), 8, 4);
+    EXPECT_NEAR(sf1, 10.0, 1.5); // Table XIII
+    EXPECT_GT(sf8, sf1);
+}
+
+TEST(Simulate, DeterministicPerSeed)
+{
+    QuestionBank bank(Dataset::MmluRedux, 99);
+    const ResponseProfile prof(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                               false);
+    ResponseSimulator a(prof, 31337);
+    ResponseSimulator b(prof, 31337);
+    const auto ra = a.evaluate(bank.subset(500), TokenPolicy::base(), 4);
+    const auto rb = b.evaluate(bank.subset(500), TokenPolicy::base(), 4);
+    EXPECT_DOUBLE_EQ(ra.accuracyPct, rb.accuracyPct);
+    EXPECT_DOUBLE_EQ(ra.avgSumTokens, rb.avgSumTokens);
+}
+
+TEST(Simulate, OutcomeBookkeeping)
+{
+    QuestionBank bank(Dataset::MmluRedux, 99);
+    const ResponseProfile prof(ModelId::Dsr1Llama8B, Dataset::MmluRedux,
+                               false);
+    ResponseSimulator sim(prof, 1);
+    const auto o = sim.simulateQuestion(bank.questions()[0],
+                                        TokenPolicy::base(), 8);
+    EXPECT_EQ(o.samples, 8);
+    EXPECT_GE(o.sumTokens, static_cast<double>(o.maxTokens));
+    EXPECT_LE(static_cast<double>(o.maxTokens) * 8, o.sumTokens * 8);
+    EXPECT_EQ(o.promptTokens, bank.questions()[0].promptTokens);
+    EXPECT_THROW(sim.simulateQuestion(bank.questions()[0],
+                                      TokenPolicy::base(), 0),
+                 std::runtime_error);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the speculative-decoding estimator and the heterogeneous
+ * CPU-offload engine mode (both from the paper's Section VI
+ * discussion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/speculative.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::engine;
+using er::model::ModelId;
+
+namespace {
+
+InferenceEngine
+makeEngine(ModelId id, EngineConfig cfg = {})
+{
+    cfg.measurementNoise = false;
+    return InferenceEngine(er::model::spec(id),
+                           er::model::calibration(id), cfg);
+}
+
+} // namespace
+
+TEST(Speculative, ExpectedAcceptedFormula)
+{
+    EXPECT_DOUBLE_EQ(expectedAccepted(0.0, 4), 1.0);
+    // alpha = 0.5, gamma = 3: (1 - 0.5^4) / 0.5 = 1.875.
+    EXPECT_NEAR(expectedAccepted(0.5, 3), 1.875, 1e-12);
+    // High acceptance approaches gamma + 1.
+    EXPECT_NEAR(expectedAccepted(0.99, 4), 4.90, 0.05);
+    EXPECT_THROW(expectedAccepted(1.0, 4), std::runtime_error);
+    EXPECT_THROW(expectedAccepted(0.5, 0), std::runtime_error);
+}
+
+TEST(Speculative, SmallDraftSpeedsUpLargeTarget)
+{
+    auto target = makeEngine(ModelId::Dsr1Qwen14B);
+    auto draft = makeEngine(ModelId::Dsr1Qwen1_5B);
+    SpeculativeConfig cfg;
+    cfg.gamma = 4;
+    cfg.acceptance = 0.8;
+    const auto e = estimateSpeculative(target, draft, 512, cfg);
+    // Draft is ~8x faster per token; verification is one padded pass.
+    EXPECT_LT(e.draftStep, 0.3 * e.plainStep);
+    EXPECT_LT(e.verifyStep, 1.3 * e.plainStep);
+    // Net speedup should be tangible (bandwidth-bound decode).
+    EXPECT_GT(e.speedup, 1.3);
+    EXPECT_LT(e.speedup, 4.0);
+    EXPECT_NEAR(e.acceptedPerCycle, expectedAccepted(0.8, 4), 1e-12);
+    // Energy per emitted token should also drop.
+    EXPECT_LT(e.energyPerToken, e.plainEnergyPerToken);
+}
+
+TEST(Speculative, LowAcceptanceHurts)
+{
+    auto target = makeEngine(ModelId::Dsr1Qwen14B);
+    auto draft = makeEngine(ModelId::Dsr1Qwen1_5B);
+    SpeculativeConfig good{4, 0.85};
+    SpeculativeConfig bad{4, 0.2};
+    const auto eg = estimateSpeculative(target, draft, 512, good);
+    const auto eb = estimateSpeculative(target, draft, 512, bad);
+    EXPECT_GT(eg.speedup, eb.speedup);
+    EXPECT_LT(eb.speedup, 1.0); // rejecting most drafts is a loss
+}
+
+TEST(Speculative, SelfDraftingIsPointless)
+{
+    auto target = makeEngine(ModelId::Dsr1Llama8B);
+    auto draft = makeEngine(ModelId::Dsr1Llama8B);
+    const auto e = estimateSpeculative(target, draft, 512,
+                                       SpeculativeConfig{4, 0.9});
+    EXPECT_LT(e.speedup, 1.0);
+}
+
+TEST(Speculative, CombinedWeightsMustFit)
+{
+    // Two 14B models (2 x 29.4 GB) exceed the 56 GB usable budget.
+    auto target = makeEngine(ModelId::Dsr1Qwen14B);
+    auto draft = makeEngine(ModelId::Dsr1Qwen14B);
+    EXPECT_THROW(estimateSpeculative(target, draft, 512),
+                 std::runtime_error);
+}
+
+TEST(HeterogeneousOffload, OverlapNeverSlowsDecode)
+{
+    auto plain = makeEngine(ModelId::Dsr1Qwen1_5B);
+    EngineConfig cfg;
+    cfg.offloadElementwiseToCpu = true;
+    auto offload = makeEngine(ModelId::Dsr1Qwen1_5B, cfg);
+    for (er::Tokens ctx : {128, 512, 2048}) {
+        EXPECT_LE(offload.decodeStepLatency(ctx),
+                  plain.decodeStepLatency(ctx) + 1e-9)
+            << "ctx " << ctx;
+    }
+    // The gain is visible but modest (elementwise is a small share).
+    const double gain = plain.decodeStepLatency(512) /
+        offload.decodeStepLatency(512);
+    EXPECT_GT(gain, 1.0);
+    EXPECT_LT(gain, 1.5);
+}
+
+TEST(DlaOffload, RequiresInt8Weights)
+{
+    EngineConfig cfg;
+    cfg.offloadFfnToDla = true;
+    cfg.measurementNoise = false;
+    EXPECT_THROW(
+        InferenceEngine(er::model::spec(ModelId::Dsr1Llama8B),
+                        er::model::calibration(ModelId::Dsr1Llama8B),
+                        cfg),
+        std::runtime_error);
+}
+
+TEST(DlaOffload, HelpsPrefillLeavesDecodeAlone)
+{
+    EngineConfig plain_cfg;
+    plain_cfg.measurementNoise = false;
+    EngineConfig dla_cfg = plain_cfg;
+    dla_cfg.offloadFfnToDla = true;
+    InferenceEngine plain(
+        er::model::quantizedSpec(ModelId::Dsr1Llama8B),
+        er::model::calibration(ModelId::Dsr1Llama8B,
+                               er::DType::W4A16),
+        plain_cfg);
+    InferenceEngine dla(
+        er::model::quantizedSpec(ModelId::Dsr1Llama8B),
+        er::model::calibration(ModelId::Dsr1Llama8B,
+                               er::DType::W4A16),
+        dla_cfg);
+    // Prefill gains from the extra compute.
+    EXPECT_LT(dla.prefillLatency(2048),
+              0.95 * plain.prefillLatency(2048));
+    // Decode FFN stays on the GPU (offload would regress it).
+    EXPECT_DOUBLE_EQ(dla.decodeStepLatency(512),
+                     plain.decodeStepLatency(512));
+}
+
+TEST(HeterogeneousOffload, NoEffectOnCpuBackend)
+{
+    EngineConfig base_cfg;
+    base_cfg.backend = er::hw::Backend::Cpu;
+    auto cpu = makeEngine(ModelId::Dsr1Qwen1_5B, base_cfg);
+    EngineConfig off_cfg = base_cfg;
+    off_cfg.offloadElementwiseToCpu = true;
+    auto cpu_off = makeEngine(ModelId::Dsr1Qwen1_5B, off_cfg);
+    EXPECT_DOUBLE_EQ(cpu.decodeStepLatency(512),
+                     cpu_off.decodeStepLatency(512));
+}

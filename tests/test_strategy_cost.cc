@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for token policies, strategy labels and the cost model
+ * (Table III arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hh"
+#include "strategy/policy.hh"
+
+namespace er = edgereason;
+using namespace er::strategy;
+using namespace er::cost;
+
+TEST(TokenPolicy, LabelsMatchPaperNotation)
+{
+    EXPECT_EQ(TokenPolicy::base().label(), "Base");
+    EXPECT_EQ(TokenPolicy::hard(128).label(), "128T");
+    EXPECT_EQ(TokenPolicy::soft(256).label(), "256 (NC)");
+    EXPECT_EQ(TokenPolicy::noReasoning().label(), "NR");
+    EXPECT_EQ(TokenPolicy::l1(256).label(), "L1-256");
+}
+
+TEST(TokenPolicy, HardCapFlagAndOrdering)
+{
+    EXPECT_TRUE(TokenPolicy::hard(128).isHardCapped());
+    EXPECT_TRUE(TokenPolicy::l1(128).isHardCapped());
+    EXPECT_FALSE(TokenPolicy::soft(128).isHardCapped());
+    EXPECT_FALSE(TokenPolicy::base().isHardCapped());
+    EXPECT_TRUE(TokenPolicy::hard(128) < TokenPolicy::hard(256));
+    EXPECT_TRUE(TokenPolicy::hard(128) == TokenPolicy::hard(128));
+}
+
+TEST(InferenceStrategy, LabelsComposeAllDimensions)
+{
+    InferenceStrategy s;
+    s.model = er::model::ModelId::Dsr1Qwen14B;
+    s.quantized = true;
+    s.policy = TokenPolicy::hard(256);
+    s.parallel = 8;
+    EXPECT_EQ(s.label(), "DSR1-Qwen-14B-AWQ-W4 256T x8");
+    s.quantized = false;
+    s.parallel = 1;
+    EXPECT_EQ(s.label(), "DSR1-Qwen-14B 256T");
+}
+
+TEST(CostModel, ReproducesTableIIIBatchOne)
+{
+    // Table III: 195,624 tokens in 4,358 s using 0.0317 kWh yields
+    // $0.302/1M tokens ($0.024 energy + $0.278 hardware).
+    const er::Joules energy = 0.0317 * 3.6e6;
+    const auto c = edgeCost(energy, 4358.0, 195624.0);
+    EXPECT_NEAR(c.energyPerMTok, 0.024, 0.002);
+    EXPECT_NEAR(c.hardwarePerMTok, 0.278, 0.005);
+    EXPECT_NEAR(c.totalPerMTok(), 0.302, 0.006);
+}
+
+TEST(CostModel, ReproducesTableIIIBatchThirty)
+{
+    // Batch 30: 398 s and 0.003 kWh -> $0.027/1M.
+    const auto c = edgeCost(0.003 * 3.6e6, 398.0, 195624.0);
+    EXPECT_NEAR(c.energyPerMTok, 0.0023, 0.0005);
+    EXPECT_NEAR(c.hardwarePerMTok, 0.025, 0.002);
+    EXPECT_NEAR(c.totalPerMTok(), 0.027, 0.002);
+}
+
+TEST(CostModel, CloudPricesAreOrdersOfMagnitudeHigher)
+{
+    const auto o1 = o1Preview();
+    EXPECT_DOUBLE_EQ(o1.outputPerMTok, 60.0);
+    const auto batch1 = edgeCost(0.0317 * 3.6e6, 4358.0, 195624.0);
+    EXPECT_GT(o1.outputPerMTok / batch1.totalPerMTok(), 100.0);
+}
+
+TEST(CostModel, CustomRates)
+{
+    CostRates rates;
+    rates.electricityPerKwh = 0.30;
+    rates.hardwarePerHour = 0.09;
+    const auto base = edgeCost(3.6e6, 3600.0, 1e6);
+    const auto doubled = edgeCost(3.6e6, 3600.0, 1e6, rates);
+    EXPECT_NEAR(doubled.energyPerMTok, 2.0 * base.energyPerMTok, 1e-9);
+    EXPECT_NEAR(doubled.hardwarePerMTok, 2.0 * base.hardwarePerMTok,
+                1e-9);
+}
+
+TEST(CostModel, RejectsDegenerateInput)
+{
+    EXPECT_THROW(edgeCost(1.0, 1.0, 0.0), std::runtime_error);
+    EXPECT_THROW(edgeCost(-1.0, 1.0, 10.0), std::runtime_error);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the demo tokenizer and the reasoning-trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accuracy/trace_gen.hh"
+#include "engine/tokenizer.hh"
+
+namespace er = edgereason;
+using er::engine::Tokenizer;
+
+TEST(Tokenizer, RoundTripsText)
+{
+    const Tokenizer tok;
+    const std::string text =
+        "The Jetson AGX Orin delivers 275 TOPS — remarkable, no?";
+    const auto pieces = tok.encode(text);
+    EXPECT_EQ(Tokenizer::decode(pieces), text);
+}
+
+TEST(Tokenizer, TokenRatioNearRealTokenizers)
+{
+    const Tokenizer tok;
+    const std::string text =
+        "Deploying large language models for reasoning tasks on edge "
+        "GPUs faces critical challenges from strict latency "
+        "constraints and limited computational resources available "
+        "on embedded platforms today.";
+    // ~29 words; real tokenizers give ~1.2-1.4 tokens per word.
+    const double ratio = static_cast<double>(tok.countTokens(text)) /
+        29.0;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.9);
+}
+
+TEST(Tokenizer, LongWordsSplitIntoPieces)
+{
+    const Tokenizer tok;
+    // 16 characters -> 4 pieces of 4.
+    EXPECT_EQ(tok.countTokens("abcdefghijklmnop"), 4u);
+    EXPECT_EQ(tok.countTokens("cat"), 1u);
+}
+
+TEST(Tokenizer, IdsAreDeterministicAndBounded)
+{
+    const Tokenizer a, b;
+    const auto pa = a.encode("hello world");
+    const auto pb = b.encode("hello world");
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].id, pb[i].id);
+        EXPECT_LT(pa[i].id, a.vocabSize());
+    }
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceOnly)
+{
+    const Tokenizer tok;
+    EXPECT_EQ(tok.countTokens(""), 0u);
+    EXPECT_GE(tok.countTokens("   "), 1u);
+    EXPECT_EQ(Tokenizer::decode(tok.encode("   ")), "   ");
+}
+
+TEST(TraceGen, HitsTargetTokenCount)
+{
+    er::Rng rng(1);
+    const auto trace = er::acc::generateTrace(
+        "Why is decode bandwidth-bound?",
+        er::strategy::TokenPolicy::base(), 400, rng);
+    EXPECT_NEAR(static_cast<double>(trace.tokens), 400.0, 60.0);
+    EXPECT_NE(trace.fullText().find("<think>"), std::string::npos);
+    EXPECT_NE(trace.fullText().find("</think>"), std::string::npos);
+    EXPECT_FALSE(trace.answer.empty());
+}
+
+TEST(TraceGen, NrPolicyEmitsPredefinedThinkBlock)
+{
+    er::Rng rng(2);
+    const auto trace = er::acc::generateTrace(
+        "Quick check?", er::strategy::TokenPolicy::noReasoning(), 64,
+        rng);
+    EXPECT_NE(trace.thinking.find("finished thinking"),
+              std::string::npos);
+    EXPECT_LT(trace.tokens, 64);
+}
+
+TEST(TraceGen, DeterministicPerSeed)
+{
+    er::Rng a(7), b(7);
+    const auto ta = er::acc::generateTrace(
+        "Same?", er::strategy::TokenPolicy::base(), 256, a);
+    const auto tb = er::acc::generateTrace(
+        "Same?", er::strategy::TokenPolicy::base(), 256, b);
+    EXPECT_EQ(ta.fullText(), tb.fullText());
+}

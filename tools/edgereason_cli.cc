@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Command-line driver for the EdgeReasoning library.
+ *
+ *   edgereason spec
+ *   edgereason models
+ *   edgereason characterize --model DSR1-Qwen-14B [--quant]
+ *   edgereason evaluate --model DSR1-Llama-8B --policy 128T
+ *                       [--parallel 4] [--quant]
+ *                       [--dataset mmlu-redux] [--questions 1000]
+ *   edgereason plan --budget 5.0 [--dataset mmlu-redux]
+ *                   [--prompt-tokens 170] [--max-parallel 8]
+ *   edgereason serve --model DeepScaleR-1.5B --qps 0.1
+ *                    [--requests 100] [--mean-in 120]
+ *                    [--mean-out 1024] [--max-batch 30]
+ *                    [--prefill-chunk 512]
+ *
+ * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/edge_reasoning.hh"
+#include "engine/server.hh"
+#include "model/zoo.hh"
+
+using namespace edgereason;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n\n", msg);
+    std::fprintf(stderr,
+        "usage: edgereason <command> [options]\n"
+        "commands:\n"
+        "  spec          print the Jetson AGX Orin hardware model\n"
+        "  models        list the model zoo\n"
+        "  characterize  fit the Section-IV analytical models\n"
+        "  evaluate      run a strategy on a benchmark\n"
+        "  plan          pick the best strategy for a latency budget\n"
+        "  serve         run the continuous-batching serving study\n"
+        "run a command with bad arguments to see its options.\n");
+    std::exit(2);
+}
+
+/** Minimal --key value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                usage(("unexpected argument: " + key).c_str());
+            key = key.substr(2);
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                kv_[key] = argv[++i];
+            } else {
+                kv_[key] = "true"; // boolean flag
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : it->second;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : std::stod(it->second);
+    }
+
+    long long
+    getInt(const std::string &key, long long fallback) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : std::stoll(it->second);
+    }
+
+    bool
+    getBool(const std::string &key) const
+    {
+        return kv_.count(key) > 0;
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+acc::Dataset
+parseDataset(const std::string &name)
+{
+    static const std::map<std::string, acc::Dataset> table = {
+        {"mmlu-redux", acc::Dataset::MmluRedux},
+        {"mmlu", acc::Dataset::Mmlu},
+        {"aime2024", acc::Dataset::Aime2024},
+        {"math500", acc::Dataset::Math500},
+        {"naturalplan-calendar", acc::Dataset::NaturalPlanCalendar},
+        {"naturalplan-meeting", acc::Dataset::NaturalPlanMeeting},
+        {"naturalplan-trip", acc::Dataset::NaturalPlanTrip},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        usage(("unknown dataset: " + name).c_str());
+    return it->second;
+}
+
+strategy::TokenPolicy
+parsePolicy(const std::string &s)
+{
+    using strategy::TokenPolicy;
+    if (s == "Base" || s == "base")
+        return TokenPolicy::base();
+    if (s == "NR" || s == "nr")
+        return TokenPolicy::noReasoning();
+    if (s.rfind("L1-", 0) == 0)
+        return TokenPolicy::l1(std::stoll(s.substr(3)));
+    if (s.size() > 2 && s.substr(s.size() - 2) == "NC")
+        return TokenPolicy::soft(std::stoll(s.substr(0, s.size() - 2)));
+    if (s.size() > 1 && s.back() == 'T')
+        return TokenPolicy::hard(std::stoll(s.substr(0, s.size() - 1)));
+    usage(("unknown policy: " + s +
+           " (expected Base, NR, <n>T, <n>NC, L1-<n>)").c_str());
+}
+
+int
+cmdSpec()
+{
+    core::EdgeReasoning er;
+    std::printf("%s\n", er.hardwareSummary().c_str());
+    return 0;
+}
+
+int
+cmdModels()
+{
+    Table t("model zoo");
+    t.setHeader({"Name", "Category", "Params (B)", "fp16 (GB)",
+                 "W4 (GB)", "KV bytes/token", "Max context"});
+    for (model::ModelId id : model::allModels()) {
+        const auto s = model::spec(id);
+        const auto q = model::quantizedSpec(id);
+        const char *cat = "non-reasoning";
+        if (model::modelCategory(id) == model::ModelCategory::Reasoning)
+            cat = "reasoning";
+        else if (model::modelCategory(id) ==
+                 model::ModelCategory::BudgetAware)
+            cat = "budget-aware";
+        t.row()
+            .cell(s.name)
+            .cell(cat)
+            .cell(s.paramCount() / 1e9, 2)
+            .cell(s.weightBytes() / 1e9, 1)
+            .cell(q.weightBytes() / 1e9, 1)
+            .cell(static_cast<long long>(s.kvBytesPerToken()))
+            .cell(static_cast<long long>(s.maxContext));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    const auto id = model::modelIdFromName(
+        args.get("model", "DSR1-Qwen-14B"));
+    const bool quant = args.getBool("quant");
+    core::EdgeReasoning er;
+    const auto &c = er.characterization(id, quant);
+    std::printf("%s%s on the simulated Jetson AGX Orin:\n",
+                model::modelName(id), quant ? " (AWQ-W4)" : "");
+    std::printf("  L_prefill(I) = %.3e*Ipad^2 + %.3e*Ipad + %.4f s\n",
+                c.latency.prefill.a, c.latency.prefill.b,
+                c.latency.prefill.c);
+    std::printf("  TBT(ctx)     = %.3e*ctx + %.4f s  (%.1f tok/s)\n",
+                c.latency.decode.m, c.latency.decode.n,
+                1.0 / c.latency.decode.n);
+    std::printf("  P_prefill    = %s\n",
+                c.prefillPower.v > 0
+                    ? (formatFixed(c.prefillPower.u, 1) + " W below " +
+                       std::to_string(c.prefillPower.v) + ", then " +
+                       formatFixed(c.prefillPower.w, 2) + "*ln(I) + " +
+                       formatFixed(c.prefillPower.x, 2)).c_str()
+                    : (formatFixed(c.prefillPower.u, 2) +
+                       " W (constant)").c_str());
+    std::printf("  P_decode     = %.2f*ln(O) + %.2f W (floor %.1f)\n",
+                c.decodePower.y, c.decodePower.z, c.decodePower.floor);
+    std::printf("  validation   : prefill %.1f%%, decode %.2f%%, "
+                "total %.2f%% MAPE; energy %.1f%% MAPE\n",
+                c.prefillMapePct, c.decodeMapePct, c.totalMapePct,
+                c.totalEnergyMapePct);
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    strategy::InferenceStrategy s;
+    s.model = model::modelIdFromName(args.get("model",
+                                              "DSR1-Llama-8B"));
+    s.quantized = args.getBool("quant");
+    s.policy = parsePolicy(args.get("policy", "Base"));
+    s.parallel = static_cast<int>(args.getInt("parallel", 1));
+    const auto dataset = parseDataset(args.get("dataset",
+                                               "mmlu-redux"));
+    const auto limit = static_cast<std::size_t>(
+        args.getInt("questions", 0));
+
+    core::EdgeReasoning er;
+    const auto rep = er.evaluate(s, dataset, limit);
+    std::printf("%s on %s (%zu questions):\n", s.label().c_str(),
+                acc::datasetName(dataset), rep.questions);
+    std::printf("  accuracy   : %.1f%%\n", rep.accuracyPct);
+    std::printf("  tokens/Q   : %.1f (total generated %.1f)\n",
+                rep.avgTokens, rep.avgSumTokens);
+    std::printf("  latency/Q  : %.2f s\n", rep.avgLatency);
+    std::printf("  energy/Q   : %.1f J\n", rep.avgEnergy);
+    std::printf("  $/1M tokens: %.4f energy + %.4f hardware = %.4f\n",
+                rep.cost.energyPerMTok, rep.cost.hardwarePerMTok,
+                rep.cost.totalPerMTok());
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    core::PlanRequest req;
+    req.dataset = parseDataset(args.get("dataset", "mmlu-redux"));
+    req.latencyBudget = args.getDouble("budget", 5.0);
+    req.promptTokens = args.getInt("prompt-tokens", 0);
+    req.maxParallel = static_cast<int>(args.getInt("max-parallel", 8));
+    req.allowQuantized = !args.getBool("no-quant");
+
+    core::EdgeReasoning er;
+    const auto plan = er.plan(req);
+    if (!plan) {
+        std::printf("no strategy meets a %.2f s budget on %s\n",
+                    req.latencyBudget, acc::datasetName(req.dataset));
+        return 1;
+    }
+    std::printf("budget %.2f s on %s -> %s\n", req.latencyBudget,
+                acc::datasetName(req.dataset),
+                plan->strategy.label().c_str());
+    std::printf("  max decodable tokens: %lld\n",
+                static_cast<long long>(plan->maxTokenBudget));
+    std::printf("  predicted: %.1f%% accuracy at %.2f s, %.1f J\n",
+                plan->predicted.accuracyPct, plan->predicted.avgLatency,
+                plan->predicted.avgEnergy);
+    std::printf("  runners-up:\n");
+    for (std::size_t i = 1;
+         i < std::min<std::size_t>(4, plan->candidates.size()); ++i) {
+        const auto &c = plan->candidates[i];
+        std::printf("    %-32s %.1f%% at %.2f s\n",
+                    c.strat.label().c_str(), c.accuracyPct,
+                    c.avgLatency);
+    }
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    const auto id = model::modelIdFromName(
+        args.get("model", "DeepScaleR-1.5B"));
+    core::EdgeReasoning er;
+    auto &eng = er.registry().engineFor(id, args.getBool("quant"));
+
+    engine::ServerConfig cfg;
+    cfg.maxBatch = static_cast<int>(args.getInt("max-batch", 30));
+    cfg.prefillChunk = args.getInt("prefill-chunk", 0);
+    engine::ServingSimulator srv(eng, cfg);
+
+    Rng rng(args.getInt("seed", 777), "cli-serve");
+    const auto trace = engine::ServingSimulator::poissonTrace(
+        rng, static_cast<std::size_t>(args.getInt("requests", 100)),
+        args.getDouble("qps", 0.1), args.getDouble("mean-in", 120),
+        args.getDouble("mean-out", 1024));
+    const auto rep = srv.run(trace);
+    const auto cost = cost::edgeCost(rep.totalEnergy, rep.makespan,
+                                     rep.generatedTokens);
+    std::printf("served %zu requests on %s:\n", rep.completed,
+                eng.spec().name.c_str());
+    std::printf("  throughput : %.3f QPS (offered %.3f)\n",
+                rep.throughputQps, args.getDouble("qps", 0.1));
+    std::printf("  latency    : mean %.1f s, p50 %.1f s, p95 %.1f s\n",
+                rep.meanLatency, rep.p50Latency, rep.p95Latency);
+    std::printf("  batching   : avg %.1f, utilization %.0f%%\n",
+                rep.avgBatch, 100.0 * rep.utilization);
+    std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
+                rep.energyPerQuery, cost.totalPerMTok());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    try {
+        if (cmd == "spec")
+            return cmdSpec();
+        if (cmd == "models")
+            return cmdModels();
+        if (cmd == "characterize")
+            return cmdCharacterize(args);
+        if (cmd == "evaluate")
+            return cmdEvaluate(args);
+        if (cmd == "plan")
+            return cmdPlan(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage(("unknown command: " + cmd).c_str());
+}

@@ -1,0 +1,8 @@
+# Command-line tools.  Included from the top level so the binaries land
+# in ${CMAKE_BINARY_DIR}/tools without CMake clutter.
+
+add_executable(edgereason_cli ${CMAKE_CURRENT_LIST_DIR}/edgereason_cli.cc)
+target_link_libraries(edgereason_cli PRIVATE edgereason)
+set_target_properties(edgereason_cli PROPERTIES
+    OUTPUT_NAME edgereason
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
