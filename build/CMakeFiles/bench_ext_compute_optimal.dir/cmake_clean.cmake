@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_compute_optimal.dir/bench/bench_ext_compute_optimal.cc.o"
+  "CMakeFiles/bench_ext_compute_optimal.dir/bench/bench_ext_compute_optimal.cc.o.d"
+  "bench/bench_ext_compute_optimal"
+  "bench/bench_ext_compute_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_compute_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

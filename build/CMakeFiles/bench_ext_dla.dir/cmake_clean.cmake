@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dla.dir/bench/bench_ext_dla.cc.o"
+  "CMakeFiles/bench_ext_dla.dir/bench/bench_ext_dla.cc.o.d"
+  "bench/bench_ext_dla"
+  "bench/bench_ext_dla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_memory_map.dir/bench/bench_ext_memory_map.cc.o"
+  "CMakeFiles/bench_ext_memory_map.dir/bench/bench_ext_memory_map.cc.o.d"
+  "bench/bench_ext_memory_map"
+  "bench/bench_ext_memory_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

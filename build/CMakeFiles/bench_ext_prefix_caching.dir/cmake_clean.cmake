@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_prefix_caching.dir/bench/bench_ext_prefix_caching.cc.o"
+  "CMakeFiles/bench_ext_prefix_caching.dir/bench/bench_ext_prefix_caching.cc.o.d"
+  "bench/bench_ext_prefix_caching"
+  "bench/bench_ext_prefix_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_prefix_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_serving_qps.dir/bench/bench_ext_serving_qps.cc.o"
+  "CMakeFiles/bench_ext_serving_qps.dir/bench/bench_ext_serving_qps.cc.o.d"
+  "bench/bench_ext_serving_qps"
+  "bench/bench_ext_serving_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serving_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_speculative.dir/bench/bench_ext_speculative.cc.o"
+  "CMakeFiles/bench_ext_speculative.dir/bench/bench_ext_speculative.cc.o.d"
+  "bench/bench_ext_speculative"
+  "bench/bench_ext_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

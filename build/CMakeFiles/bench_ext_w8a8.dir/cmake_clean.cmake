@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_w8a8.dir/bench/bench_ext_w8a8.cc.o"
+  "CMakeFiles/bench_ext_w8a8.dir/bench/bench_ext_w8a8.cc.o.d"
+  "bench/bench_ext_w8a8"
+  "bench/bench_ext_w8a8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_w8a8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

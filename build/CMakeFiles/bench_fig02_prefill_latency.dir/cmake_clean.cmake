@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_prefill_latency.dir/bench/bench_fig02_prefill_latency.cc.o"
+  "CMakeFiles/bench_fig02_prefill_latency.dir/bench/bench_fig02_prefill_latency.cc.o.d"
+  "bench/bench_fig02_prefill_latency"
+  "bench/bench_fig02_prefill_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_prefill_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_acc_vs_tokens.dir/bench/bench_fig06_acc_vs_tokens.cc.o"
+  "CMakeFiles/bench_fig06_acc_vs_tokens.dir/bench/bench_fig06_acc_vs_tokens.cc.o.d"
+  "bench/bench_fig06_acc_vs_tokens"
+  "bench/bench_fig06_acc_vs_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_acc_vs_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

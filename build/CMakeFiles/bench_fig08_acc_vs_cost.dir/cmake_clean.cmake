@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_acc_vs_cost.dir/bench/bench_fig08_acc_vs_cost.cc.o"
+  "CMakeFiles/bench_fig08_acc_vs_cost.dir/bench/bench_fig08_acc_vs_cost.cc.o.d"
+  "bench/bench_fig08_acc_vs_cost"
+  "bench/bench_fig08_acc_vs_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_acc_vs_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_acc_vs_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_quant_decode_power.dir/bench/bench_fig13_quant_decode_power.cc.o"
+  "CMakeFiles/bench_fig13_quant_decode_power.dir/bench/bench_fig13_quant_decode_power.cc.o.d"
+  "bench/bench_fig13_quant_decode_power"
+  "bench/bench_fig13_quant_decode_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_quant_decode_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

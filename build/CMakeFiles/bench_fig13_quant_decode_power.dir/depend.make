@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_quant_decode_power.
+# This may be replaced when dependencies are built.

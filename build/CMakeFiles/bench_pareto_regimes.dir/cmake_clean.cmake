@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto_regimes.dir/bench/bench_pareto_regimes.cc.o"
+  "CMakeFiles/bench_pareto_regimes.dir/bench/bench_pareto_regimes.cc.o.d"
+  "bench/bench_pareto_regimes"
+  "bench/bench_pareto_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_hw_spec.dir/bench/bench_table01_hw_spec.cc.o"
+  "CMakeFiles/bench_table01_hw_spec.dir/bench/bench_table01_hw_spec.cc.o.d"
+  "bench/bench_table01_hw_spec"
+  "bench/bench_table01_hw_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_hw_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_model_comparison.dir/bench/bench_table02_model_comparison.cc.o"
+  "CMakeFiles/bench_table02_model_comparison.dir/bench/bench_table02_model_comparison.cc.o.d"
+  "bench/bench_table02_model_comparison"
+  "bench/bench_table02_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_edge_cloud_cost.dir/bench/bench_table03_edge_cloud_cost.cc.o"
+  "CMakeFiles/bench_table03_edge_cloud_cost.dir/bench/bench_table03_edge_cloud_cost.cc.o.d"
+  "bench/bench_table03_edge_cloud_cost"
+  "bench/bench_table03_edge_cloud_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_edge_cloud_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_pd_ratio.dir/bench/bench_table07_pd_ratio.cc.o"
+  "CMakeFiles/bench_table07_pd_ratio.dir/bench/bench_table07_pd_ratio.cc.o.d"
+  "bench/bench_table07_pd_ratio"
+  "bench/bench_table07_pd_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_pd_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_energy_mape.dir/bench/bench_table08_energy_mape.cc.o"
+  "CMakeFiles/bench_table08_energy_mape.dir/bench/bench_table08_energy_mape.cc.o.d"
+  "bench/bench_table08_energy_mape"
+  "bench/bench_table08_energy_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_energy_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_engines.dir/bench/bench_table09_engines.cc.o"
+  "CMakeFiles/bench_table09_engines.dir/bench/bench_table09_engines.cc.o.d"
+  "bench/bench_table09_engines"
+  "bench/bench_table09_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

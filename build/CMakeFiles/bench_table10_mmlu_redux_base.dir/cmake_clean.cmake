@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_mmlu_redux_base.dir/bench/bench_table10_mmlu_redux_base.cc.o"
+  "CMakeFiles/bench_table10_mmlu_redux_base.dir/bench/bench_table10_mmlu_redux_base.cc.o.d"
+  "bench/bench_table10_mmlu_redux_base"
+  "bench/bench_table10_mmlu_redux_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_mmlu_redux_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_15_naturalplan.dir/bench/bench_table13_15_naturalplan.cc.o"
+  "CMakeFiles/bench_table13_15_naturalplan.dir/bench/bench_table13_15_naturalplan.cc.o.d"
+  "bench/bench_table13_15_naturalplan"
+  "bench/bench_table13_15_naturalplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_15_naturalplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

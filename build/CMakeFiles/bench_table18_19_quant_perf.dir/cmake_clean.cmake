@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table18_19_quant_perf.dir/bench/bench_table18_19_quant_perf.cc.o"
+  "CMakeFiles/bench_table18_19_quant_perf.dir/bench/bench_table18_19_quant_perf.cc.o.d"
+  "bench/bench_table18_19_quant_perf"
+  "bench/bench_table18_19_quant_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table18_19_quant_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

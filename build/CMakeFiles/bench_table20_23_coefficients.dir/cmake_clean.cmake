@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table20_23_coefficients.dir/bench/bench_table20_23_coefficients.cc.o"
+  "CMakeFiles/bench_table20_23_coefficients.dir/bench/bench_table20_23_coefficients.cc.o.d"
+  "bench/bench_table20_23_coefficients"
+  "bench/bench_table20_23_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table20_23_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

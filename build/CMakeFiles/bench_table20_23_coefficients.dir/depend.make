@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table20_23_coefficients.
+# This may be replaced when dependencies are built.

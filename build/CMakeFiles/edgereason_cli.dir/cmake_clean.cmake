@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgereason_cli.dir/tools/edgereason_cli.cc.o"
+  "CMakeFiles/edgereason_cli.dir/tools/edgereason_cli.cc.o.d"
+  "tools/edgereason"
+  "tools/edgereason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgereason_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

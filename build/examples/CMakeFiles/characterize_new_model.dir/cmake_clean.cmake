@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_new_model.dir/characterize_new_model.cc.o"
+  "CMakeFiles/characterize_new_model.dir/characterize_new_model.cc.o.d"
+  "characterize_new_model"
+  "characterize_new_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_new_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

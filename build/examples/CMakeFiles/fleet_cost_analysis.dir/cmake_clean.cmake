@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_cost_analysis.dir/fleet_cost_analysis.cc.o"
+  "CMakeFiles/fleet_cost_analysis.dir/fleet_cost_analysis.cc.o.d"
+  "fleet_cost_analysis"
+  "fleet_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_planner.dir/robot_planner.cc.o"
+  "CMakeFiles/robot_planner.dir/robot_planner.cc.o.d"
+  "robot_planner"
+  "robot_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_shift.dir/robot_shift.cc.o"
+  "CMakeFiles/robot_shift.dir/robot_shift.cc.o.d"
+  "robot_shift"
+  "robot_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

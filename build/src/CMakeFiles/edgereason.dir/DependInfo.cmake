@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accuracy/anchors.cc" "src/CMakeFiles/edgereason.dir/accuracy/anchors.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/anchors.cc.o.d"
+  "/root/repo/src/accuracy/dataset.cc" "src/CMakeFiles/edgereason.dir/accuracy/dataset.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/dataset.cc.o.d"
+  "/root/repo/src/accuracy/profile.cc" "src/CMakeFiles/edgereason.dir/accuracy/profile.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/profile.cc.o.d"
+  "/root/repo/src/accuracy/scaling_law.cc" "src/CMakeFiles/edgereason.dir/accuracy/scaling_law.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/scaling_law.cc.o.d"
+  "/root/repo/src/accuracy/simulate.cc" "src/CMakeFiles/edgereason.dir/accuracy/simulate.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/simulate.cc.o.d"
+  "/root/repo/src/accuracy/trace_gen.cc" "src/CMakeFiles/edgereason.dir/accuracy/trace_gen.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/accuracy/trace_gen.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/edgereason.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/edgereason.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/fit.cc" "src/CMakeFiles/edgereason.dir/common/fit.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/fit.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/CMakeFiles/edgereason.dir/common/linalg.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/linalg.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/edgereason.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/edgereason.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/edgereason.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/edgereason.dir/common/table.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/table.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/edgereason.dir/common/types.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/common/types.cc.o.d"
+  "/root/repo/src/core/edge_reasoning.cc" "src/CMakeFiles/edgereason.dir/core/edge_reasoning.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/core/edge_reasoning.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/edgereason.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/CMakeFiles/edgereason.dir/core/pareto.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/core/pareto.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/edgereason.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/edgereason.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/core/registry.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/edgereason.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/edgereason.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/engine_kind.cc" "src/CMakeFiles/edgereason.dir/engine/engine_kind.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/engine_kind.cc.o.d"
+  "/root/repo/src/engine/kernels.cc" "src/CMakeFiles/edgereason.dir/engine/kernels.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/kernels.cc.o.d"
+  "/root/repo/src/engine/kv_cache.cc" "src/CMakeFiles/edgereason.dir/engine/kv_cache.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/kv_cache.cc.o.d"
+  "/root/repo/src/engine/server.cc" "src/CMakeFiles/edgereason.dir/engine/server.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/server.cc.o.d"
+  "/root/repo/src/engine/speculative.cc" "src/CMakeFiles/edgereason.dir/engine/speculative.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/speculative.cc.o.d"
+  "/root/repo/src/engine/tokenizer.cc" "src/CMakeFiles/edgereason.dir/engine/tokenizer.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/engine/tokenizer.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/edgereason.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/dla.cc" "src/CMakeFiles/edgereason.dir/hw/dla.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/dla.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/CMakeFiles/edgereason.dir/hw/gpu_spec.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/kernel.cc" "src/CMakeFiles/edgereason.dir/hw/kernel.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/kernel.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/CMakeFiles/edgereason.dir/hw/power.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/power.cc.o.d"
+  "/root/repo/src/hw/roofline.cc" "src/CMakeFiles/edgereason.dir/hw/roofline.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/roofline.cc.o.d"
+  "/root/repo/src/hw/soc.cc" "src/CMakeFiles/edgereason.dir/hw/soc.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/soc.cc.o.d"
+  "/root/repo/src/hw/thermal.cc" "src/CMakeFiles/edgereason.dir/hw/thermal.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/hw/thermal.cc.o.d"
+  "/root/repo/src/model/calibration.cc" "src/CMakeFiles/edgereason.dir/model/calibration.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/model/calibration.cc.o.d"
+  "/root/repo/src/model/model_id.cc" "src/CMakeFiles/edgereason.dir/model/model_id.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/model/model_id.cc.o.d"
+  "/root/repo/src/model/transformer_spec.cc" "src/CMakeFiles/edgereason.dir/model/transformer_spec.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/model/transformer_spec.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/CMakeFiles/edgereason.dir/model/zoo.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/model/zoo.cc.o.d"
+  "/root/repo/src/perfmodel/characterize.cc" "src/CMakeFiles/edgereason.dir/perfmodel/characterize.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/perfmodel/characterize.cc.o.d"
+  "/root/repo/src/perfmodel/latency_model.cc" "src/CMakeFiles/edgereason.dir/perfmodel/latency_model.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/perfmodel/latency_model.cc.o.d"
+  "/root/repo/src/perfmodel/paper_reference.cc" "src/CMakeFiles/edgereason.dir/perfmodel/paper_reference.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/perfmodel/paper_reference.cc.o.d"
+  "/root/repo/src/perfmodel/power_energy_model.cc" "src/CMakeFiles/edgereason.dir/perfmodel/power_energy_model.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/perfmodel/power_energy_model.cc.o.d"
+  "/root/repo/src/strategy/policy.cc" "src/CMakeFiles/edgereason.dir/strategy/policy.cc.o" "gcc" "src/CMakeFiles/edgereason.dir/strategy/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

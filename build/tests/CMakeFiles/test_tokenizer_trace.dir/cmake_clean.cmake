@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokenizer_trace.dir/test_tokenizer_trace.cc.o"
+  "CMakeFiles/test_tokenizer_trace.dir/test_tokenizer_trace.cc.o.d"
+  "test_tokenizer_trace"
+  "test_tokenizer_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokenizer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
