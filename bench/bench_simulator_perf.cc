@@ -11,6 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include "accuracy/simulate.hh"
+#include "common/thread_pool.hh"
+#include "core/edge_reasoning.hh"
+#include "core/pareto.hh"
 #include "engine/engine.hh"
 #include "model/calibration.hh"
 #include "model/zoo.hh"
@@ -99,6 +102,56 @@ BENCHMARK(BM_AccuracyEvaluation)
     ->Args({1000, 1})
     ->Args({1000, 8})
     ->Args({3000, 1});
+
+void
+BM_KernelCacheHit(benchmark::State &state)
+{
+    // Steady-state decode-step cost with the (context, batch) memo
+    // cache warm — this is the path the parallel sweeps hammer.
+    auto &eng = sharedEngine();
+    benchmark::DoNotOptimize(eng.decodeStepLatency(1024, 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eng.decodeStepLatency(1024, 4));
+    const auto stats = eng.kernelCacheStats();
+    state.counters["hit_rate"] =
+        static_cast<double>(stats.hits) /
+        static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_KernelCacheHit);
+
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    // End-to-end strategy-grid sweep at 1/2/4 pool threads.  Work runs
+    // on pool workers, so wall time (UseRealTime) is the honest metric.
+    static er::core::EdgeReasoning facade;
+    std::vector<er::strategy::InferenceStrategy> grid;
+    for (auto id : {ModelId::Dsr1Qwen1_5B, ModelId::Llama31_8BIt,
+                    ModelId::Dsr1Llama8B}) {
+        for (int par : {1, 4}) {
+            er::strategy::InferenceStrategy s;
+            s.model = id;
+            s.policy = er::strategy::TokenPolicy::hard(256);
+            s.parallel = par;
+            grid.push_back(s);
+        }
+    }
+    // Characterize/profiling warm-up outside the timed region.
+    er::core::sweepStrategies(facade.evaluator(), grid,
+                              er::acc::Dataset::MmluRedux, 10);
+    er::ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        auto reports = er::core::sweepStrategies(
+            facade.evaluator(), grid, er::acc::Dataset::MmluRedux,
+            500);
+        benchmark::DoNotOptimize(reports);
+    }
+    er::ThreadPool::setGlobalThreads(0);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 } // namespace
 

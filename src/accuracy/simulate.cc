@@ -47,6 +47,14 @@ ResponseSimulator::simulateQuestion(const Question &q,
                                     const strategy::TokenPolicy &policy,
                                     int parallel)
 {
+    return simulateQuestion(q, policy, parallel, rng_);
+}
+
+QuestionOutcome
+ResponseSimulator::simulateQuestion(const Question &q,
+                                    const strategy::TokenPolicy &policy,
+                                    int parallel, Rng &rng) const
+{
     fatal_if(parallel < 1, "parallel factor must be >= 1");
     const ConfigBehavior cfg = profile_.resolve(policy);
     const double p = profile_.sampleCorrectProb(cfg, q.difficulty);
@@ -63,9 +71,9 @@ ResponseSimulator::simulateQuestion(const Question &q,
     // a sample (correctness, parseability, which wrong answer) runs
     // through the copula so that rho = 1 makes parallel samples fully
     // identical (the voting ablation relies on this).
-    const double z_corr = rng_.gaussian(0.0, 1.0);
-    const double z_fail = rng_.gaussian(0.0, 1.0);
-    const double z_wrong = rng_.gaussian(0.0, 1.0);
+    const double z_corr = rng.gaussian(0.0, 1.0);
+    const double z_fail = rng.gaussian(0.0, 1.0);
+    const double z_wrong = rng.gaussian(0.0, 1.0);
     const double thresh =
         p <= 0.0 ? -40.0 : (p >= 1.0 ? 40.0 : normInv(p));
     const double fail_thresh = cfg.parseFail <= 0.0 ? -40.0
@@ -78,14 +86,14 @@ ResponseSimulator::simulateQuestion(const Question &q,
     std::map<int, int> votes;
     for (int s = 0; s < parallel; ++s) {
         const double latent = sq_rho * z_corr +
-            sq_com * rng_.gaussian(0.0, 1.0);
+            sq_com * rng.gaussian(0.0, 1.0);
         const bool correct_sample = latent <= thresh;
         const bool invalid = sq_rho * z_fail +
-            sq_com * rng_.gaussian(0.0, 1.0) <= fail_thresh;
+            sq_com * rng.gaussian(0.0, 1.0) <= fail_thresh;
         const double wrong_u = normCdf(
-            sq_rho * z_wrong + sq_com * rng_.gaussian(0.0, 1.0));
+            sq_rho * z_wrong + sq_com * rng.gaussian(0.0, 1.0));
 
-        const Tokens len = drawLength(cfg, rng_);
+        const Tokens len = drawLength(cfg, rng);
         out.maxTokens = std::max(out.maxTokens, len);
         out.sumTokens += static_cast<double>(len);
 
@@ -139,7 +147,7 @@ ResponseSimulator::simulateQuestion(const Question &q,
             leaders.push_back(v);
     }
     const int winner = leaders[static_cast<std::size_t>(
-        rng_.uniformInt(0, static_cast<std::int64_t>(leaders.size()) -
+        rng.uniformInt(0, static_cast<std::int64_t>(leaders.size()) -
                                1))];
     const int correct_vote = choices > 1 ? q.correctChoice : 0;
     out.correct = winner == correct_vote;

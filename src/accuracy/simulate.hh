@@ -55,6 +55,16 @@ class ResponseSimulator
                                      const strategy::TokenPolicy &policy,
                                      int parallel = 1);
 
+    /**
+     * Simulate one question drawing from an explicit stream instead of
+     * the simulator's own.  Thread-safe: touches no mutable simulator
+     * state, so independent questions can run on separate workers when
+     * each derives its stream from the question index.
+     */
+    QuestionOutcome simulateQuestion(const Question &q,
+                                     const strategy::TokenPolicy &policy,
+                                     int parallel, Rng &rng) const;
+
     /** Simulate a question set and aggregate. */
     EvalAccuracy evaluate(const std::vector<Question> &questions,
                           const strategy::TokenPolicy &policy,

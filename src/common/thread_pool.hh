@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Work-stealing thread pool for the sweep layers (planner candidate
+ * grids, Pareto sweeps, per-question Monte-Carlo evaluation).  Each
+ * worker owns a Chase-Lev deque: owners push/pop ranges at the bottom,
+ * idle workers steal halves from the top, so imbalanced strategy grids
+ * (a Base-policy 14B evaluation is ~100x a 32T 1.5B one) still keep
+ * every core busy.
+ *
+ * Determinism contract: parallelFor/parallelMap impose no ordering on
+ * bodies, so callers must write results to index-addressed slots and
+ * derive any randomness from the index, never from execution order.
+ * Under that contract results are bit-identical at every thread count,
+ * including the serial fallback.
+ *
+ * The pool size is resolved from, in priority order: an explicit
+ * constructor argument, the EDGEREASON_THREADS environment variable,
+ * and std::thread::hardware_concurrency().  A size of 1 means "no
+ * worker threads": every parallelFor runs inline on the caller.
+ */
+
+#ifndef EDGEREASON_COMMON_THREAD_POOL_HH
+#define EDGEREASON_COMMON_THREAD_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace edgereason {
+
+/** Work-stealing thread pool with deterministic fork-join primitives. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads  total worker count including the calling thread;
+     *   0 resolves EDGEREASON_THREADS, then hardware concurrency.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return total parallelism (background workers + the caller). */
+    unsigned threadCount() const;
+
+    /**
+     * Run @p body(i) for every i in [0, n).  Blocks until all
+     * iterations finish; the caller participates in execution.  The
+     * first exception thrown by a body is rethrown here (remaining
+     * iterations are skipped).  Nested calls from inside a body run
+     * serially.
+     *
+     * @param grain  smallest range a task is split into; 0 picks
+     *   n / (8 * threads), clamped to at least 1.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body,
+                     std::size_t grain = 0);
+
+    /**
+     * Map @p fn over @p items; the result vector preserves input
+     * order regardless of scheduling.
+     */
+    template <typename T, typename F>
+    auto parallelMap(const std::vector<T> &items, F &&fn,
+                     std::size_t grain = 0)
+        -> std::vector<decltype(fn(items[0]))>
+    {
+        using R = decltype(fn(items[0]));
+        std::vector<R> out(items.size());
+        parallelFor(items.size(),
+                    [&](std::size_t i) { out[i] = fn(items[i]); },
+                    grain ? grain : 1);
+        return out;
+    }
+
+    /** @return tasks obtained by stealing since construction. */
+    std::uint64_t steals() const;
+
+    /**
+     * Process-wide pool shared by the sweep layers, built on first use
+     * with the configured thread count.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of @p threads workers (0 =
+     * re-resolve the environment).  Must not race with users of the
+     * old pool; intended for CLI startup and test setup.
+     */
+    static void setGlobalThreads(unsigned threads);
+
+    /** @return thread count resolved from the environment. */
+    static unsigned defaultThreads();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_THREAD_POOL_HH

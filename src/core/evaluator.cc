@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "hw/power.hh"
 
 namespace edgereason {
@@ -20,6 +23,14 @@ StrategyEvaluator::profile(model::ModelId id, acc::Dataset dataset,
                            bool quantized)
 {
     const auto key = std::make_tuple(id, dataset, quantized);
+    {
+        std::shared_lock<std::shared_mutex> g(profilesMu_);
+        auto it = profiles_.find(key);
+        if (it != profiles_.end())
+            return *it->second;
+    }
+    // Build under the exclusive lock: same-key racers wait and reuse.
+    std::unique_lock<std::shared_mutex> g(profilesMu_);
     auto it = profiles_.find(key);
     if (it == profiles_.end()) {
         it = profiles_.emplace(key,
@@ -32,6 +43,13 @@ StrategyEvaluator::profile(model::ModelId id, acc::Dataset dataset,
 const acc::QuestionBank &
 StrategyEvaluator::bank(acc::Dataset dataset)
 {
+    {
+        std::shared_lock<std::shared_mutex> g(banksMu_);
+        auto it = banks_.find(dataset);
+        if (it != banks_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> g(banksMu_);
     auto it = banks_.find(dataset);
     if (it == banks_.end()) {
         it = banks_.emplace(dataset,
@@ -46,10 +64,15 @@ StrategyEvaluator::decodeModelAtBatch(model::ModelId id, bool quantized,
                                       int batch)
 {
     const auto key = std::make_tuple(id, quantized, batch);
-    auto it = batch_models_.find(key);
-    if (it != batch_models_.end())
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> g(batchModelsMu_);
+        auto it = batch_models_.find(key);
+        if (it != batch_models_.end())
+            return it->second;
+    }
 
+    // The two-point solve only calls the engine's const query surface;
+    // run it outside the lock so distinct keys solve concurrently.
     auto &eng = registry_.engineFor(id, quantized);
     const Tokens c0 = 512;
     const Tokens c1 = 4096;
@@ -58,6 +81,7 @@ StrategyEvaluator::decodeModelAtBatch(model::ModelId id, bool quantized,
     perf::DecodeLatencyModel m;
     m.m = (t1 - t0) / static_cast<double>(c1 - c0);
     m.n = t0 - m.m * static_cast<double>(c0);
+    std::unique_lock<std::shared_mutex> g(batchModelsMu_);
     batch_models_.emplace(key, m);
     return m;
 }
@@ -127,24 +151,60 @@ StrategyEvaluator::evaluate(const strategy::InferenceStrategy &strat,
     const std::vector<acc::Question> questions =
         limit ? qb.subset(limit) : qb.questions();
 
-    acc::ResponseSimulator sim(prof,
-        Rng::hashString(strat.label()) ^ opts_.seed);
+    const acc::ResponseSimulator sim(prof, opts_.seed);
 
+    // Pre-warm the per-key caches serially so workers only read them.
+    decodeModelAtBatch(strat.model, strat.quantized, strat.parallel);
+    registry_.perfFor(strat.model, strat.quantized);
+
+    // Every question draws from its own stream derived from the seed,
+    // the dataset and the question index, so the fanned-out loop is
+    // bit-identical to the serial one at any thread count.  Streams
+    // are deliberately strategy-independent: common random numbers
+    // pair the question-level latents across strategies, so accuracy
+    // *gaps* between configurations (the paper's takeaways) carry far
+    // less Monte-Carlo noise than independent draws would.
+    const std::string stream_base =
+        std::string(acc::datasetName(dataset)) + "/q";
+
+    struct PerQuestion
+    {
+        double correct = 0.0;
+        double maxTokens = 0.0;
+        double sumTokens = 0.0;
+        Seconds latency = 0.0;
+        Joules energy = 0.0;
+    };
+    std::vector<PerQuestion> per_q(questions.size());
+    ThreadPool::global().parallelFor(
+        questions.size(), [&](std::size_t i) {
+            const acc::Question &q = questions[i];
+            Rng rng(opts_.seed, stream_base + std::to_string(i));
+            const acc::QuestionOutcome o = sim.simulateQuestion(
+                q, strat.policy, strat.parallel, rng);
+            PerQuestion &r = per_q[i];
+            r.correct = o.correct ? 1.0 : 0.0;
+            r.maxTokens = static_cast<double>(o.maxTokens);
+            r.sumTokens = o.sumTokens;
+            r.latency = questionLatency(strat, q.promptTokens,
+                                        o.maxTokens);
+            r.energy = questionEnergy(strat, q.promptTokens,
+                                      o.maxTokens);
+        });
+
+    // Serial index-order reduction keeps the floating-point sums
+    // independent of how the work was scheduled.
     double correct = 0.0;
     double sum_energy = 0.0;
     double sum_latency = 0.0;
     double sum_max_tokens = 0.0;
     double sum_all_tokens = 0.0;
-    for (const auto &q : questions) {
-        const acc::QuestionOutcome o =
-            sim.simulateQuestion(q, strat.policy, strat.parallel);
-        correct += o.correct ? 1.0 : 0.0;
-        sum_max_tokens += static_cast<double>(o.maxTokens);
-        sum_all_tokens += o.sumTokens;
-        sum_latency += questionLatency(strat, q.promptTokens,
-                                       o.maxTokens);
-        sum_energy += questionEnergy(strat, q.promptTokens,
-                                     o.maxTokens);
+    for (const PerQuestion &r : per_q) {
+        correct += r.correct;
+        sum_max_tokens += r.maxTokens;
+        sum_all_tokens += r.sumTokens;
+        sum_latency += r.latency;
+        sum_energy += r.energy;
     }
 
     const double n = static_cast<double>(questions.size());

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "accuracy/simulate.hh"
 #include "core/registry.hh"
@@ -45,7 +46,21 @@ struct EvalOptions
     cost::CostRates rates;
 };
 
-/** Evaluates inference strategies against benchmarks. */
+/**
+ * Evaluates inference strategies against benchmarks.
+ *
+ * Concurrency model: evaluate() draws every question from its own RNG
+ * stream derived from (seed, dataset, question index), so the result is
+ * bit-identical whether the question loop runs serially or fans out
+ * over the work-stealing pool — and independent evaluate() calls can
+ * themselves run on separate workers (the planner's candidate sweep
+ * does).  Streams exclude the strategy on purpose: common random
+ * numbers pair the question-level latents across strategies so accuracy
+ * gaps carry low Monte-Carlo variance.  The profile/bank/batch-model
+ * memo
+ * caches are shared-mutex guarded; cached objects are immutable after
+ * construction and returned by stable reference.
+ */
 class StrategyEvaluator
 {
   public:
@@ -93,9 +108,12 @@ class StrategyEvaluator
   private:
     ModelRegistry &registry_;
     EvalOptions opts_;
+    std::shared_mutex profilesMu_;
     std::map<std::tuple<model::ModelId, acc::Dataset, bool>,
              std::unique_ptr<acc::ResponseProfile>> profiles_;
+    std::shared_mutex banksMu_;
     std::map<acc::Dataset, std::unique_ptr<acc::QuestionBank>> banks_;
+    std::shared_mutex batchModelsMu_;
     std::map<std::tuple<model::ModelId, bool, int>,
              perf::DecodeLatencyModel> batch_models_;
 };

@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace edgereason {
 namespace core {
+
+std::vector<StrategyReport>
+sweepStrategies(StrategyEvaluator &evaluator,
+                const std::vector<strategy::InferenceStrategy> &grid,
+                acc::Dataset dataset, std::size_t question_limit)
+{
+    return ThreadPool::global().parallelMap(
+        grid, [&](const strategy::InferenceStrategy &s) {
+            return evaluator.evaluate(s, dataset, question_limit);
+        });
+}
 
 double
 axisValue(const StrategyReport &r, FrontierAxis axis)

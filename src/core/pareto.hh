@@ -19,6 +19,18 @@ namespace core {
 /** The x-axis metric a frontier is computed against. */
 enum class FrontierAxis { Latency, Cost, Tokens };
 
+/**
+ * Evaluate a whole strategy grid, fanning independent evaluations out
+ * over the work-stealing pool (the hot layer behind the Fig. 7-8
+ * frontiers and the Table X-XIII sweeps).  Reports come back in grid
+ * order and are bit-identical to a serial evaluation at any thread
+ * count (see StrategyEvaluator's determinism contract).
+ */
+std::vector<StrategyReport>
+sweepStrategies(StrategyEvaluator &evaluator,
+                const std::vector<strategy::InferenceStrategy> &grid,
+                acc::Dataset dataset, std::size_t question_limit = 0);
+
 /** @return the axis value of a report. */
 double axisValue(const StrategyReport &r, FrontierAxis axis);
 

@@ -1,9 +1,11 @@
 #include "core/planner.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "accuracy/anchors.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace edgereason {
 namespace core {
@@ -84,28 +86,40 @@ DeploymentPlanner::plan(const PlanRequest &request)
         : static_cast<Tokens>(
               acc::datasetInfo(request.dataset).meanPromptTokens);
 
-    std::vector<StrategyReport> feasible;
-    for (const auto &cand : candidateStrategies(request)) {
-        // Fast pre-filter via the analytic latency model: skip
-        // candidates whose expected output length already misses the
-        // budget by 2x.
-        const auto &prof = evaluator_.profile(cand.model,
-                                              request.dataset,
-                                              cand.quantized);
-        const double mean_toks = prof.meanTokens(cand.policy);
-        const Seconds rough = evaluator_.questionLatency(
-            cand, prompt, static_cast<Tokens>(mean_toks));
-        if (rough > 2.0 * request.latencyBudget)
-            continue;
+    // Candidate evaluations are independent; fan them out over the
+    // work-stealing pool and keep input order so the feasible list
+    // (and every downstream tie-break) matches the serial run.
+    const auto candidates = candidateStrategies(request);
+    auto reports = ThreadPool::global().parallelMap(
+        candidates,
+        [&](const InferenceStrategy &cand)
+            -> std::optional<StrategyReport> {
+            // Fast pre-filter via the analytic latency model: skip
+            // candidates whose expected output length already misses
+            // the budget by 2x.
+            const auto &prof = evaluator_.profile(cand.model,
+                                                  request.dataset,
+                                                  cand.quantized);
+            const double mean_toks = prof.meanTokens(cand.policy);
+            const Seconds rough = evaluator_.questionLatency(
+                cand, prompt, static_cast<Tokens>(mean_toks));
+            if (rough > 2.0 * request.latencyBudget)
+                return std::nullopt;
 
-        StrategyReport rep = evaluator_.evaluate(
-            cand, request.dataset, request.sampleQuestions);
-        if (rep.avgLatency > request.latencyBudget)
-            continue;
-        if (request.energyBudgetJ > 0.0 &&
-            rep.avgEnergy > request.energyBudgetJ)
-            continue;
-        feasible.push_back(std::move(rep));
+            StrategyReport rep = evaluator_.evaluate(
+                cand, request.dataset, request.sampleQuestions);
+            if (rep.avgLatency > request.latencyBudget)
+                return std::nullopt;
+            if (request.energyBudgetJ > 0.0 &&
+                rep.avgEnergy > request.energyBudgetJ)
+                return std::nullopt;
+            return rep;
+        });
+
+    std::vector<StrategyReport> feasible;
+    for (auto &rep : reports) {
+        if (rep)
+            feasible.push_back(std::move(*rep));
     }
     if (feasible.empty())
         return std::nullopt;

@@ -75,10 +75,15 @@ class DeploymentPlanner
                               Tokens prompt_tokens, Seconds budget,
                               int parallel = 1);
 
-  private:
+    /**
+     * Enumerate the model x precision x token-policy x parallel-factor
+     * candidate grid for a request (also the grid the sweep tools and
+     * Pareto benches iterate).
+     */
     std::vector<strategy::InferenceStrategy>
     candidateStrategies(const PlanRequest &request);
 
+  private:
     StrategyEvaluator &evaluator_;
 };
 

@@ -16,25 +16,36 @@ const ModelEntry &
 ModelRegistry::entry(model::ModelId id, bool quantized)
 {
     const auto key = std::make_pair(id, quantized);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return *it->second;
 
-    auto e = std::make_unique<ModelEntry>();
-    e->spec = quantized ? model::quantizedSpec(id) : model::spec(id);
-    e->calib = model::calibration(
-        id, quantized ? DType::W4A16 : DType::FP16);
-    e->engine = std::make_unique<engine::InferenceEngine>(
-        e->spec, e->calib, opts_.engineConfig);
-    if (opts_.characterizeOnLoad) {
-        e->perf = perf::characterize(*e->engine, opts_.sweep,
-                                     opts_.fitQuestions,
-                                     opts_.validationQuestions,
-                                     opts_.seed);
+    // Grab (or create) the key's slot under the map lock, then build
+    // the entry outside it so characterizations of different models
+    // can run concurrently; call_once blocks same-key callers only.
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        auto &s = cache_[key];
+        if (!s)
+            s = std::make_unique<Slot>();
+        slot = s.get();
     }
-    auto [pos, inserted] = cache_.emplace(key, std::move(e));
-    panic_if(!inserted, "registry cache collision");
-    return *pos->second;
+
+    std::call_once(slot->once, [&] {
+        auto e = std::make_unique<ModelEntry>();
+        e->spec = quantized ? model::quantizedSpec(id)
+                            : model::spec(id);
+        e->calib = model::calibration(
+            id, quantized ? DType::W4A16 : DType::FP16);
+        e->engine = std::make_unique<engine::InferenceEngine>(
+            e->spec, e->calib, opts_.engineConfig);
+        if (opts_.characterizeOnLoad) {
+            e->perf = perf::characterize(*e->engine, opts_.sweep,
+                                         opts_.fitQuestions,
+                                         opts_.validationQuestions,
+                                         opts_.seed);
+        }
+        slot->entry = std::move(e);
+    });
+    return *slot->entry;
 }
 
 engine::InferenceEngine &

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "engine/engine.hh"
 #include "model/model_id.hh"
@@ -42,7 +43,18 @@ struct RegistryOptions
     bool characterizeOnLoad = true;
 };
 
-/** Lazy cache of engines and fitted models. */
+/**
+ * Lazy cache of engines and fitted models.
+ *
+ * Thread-safety: entry construction uses per-key once-initialization,
+ * so concurrent sweep workers asking for the same model block until
+ * one of them finishes characterizing it, while different models
+ * characterize in parallel.  The const query surface of a cached
+ * entry (perf models, spec, calibration, the engine's noiseless
+ * latency queries) is safe to share; mutating engine runs
+ * (InferenceEngine::run / prefillOnly) remain single-threaded per
+ * engine because they consume the engine's RNG and KV cache.
+ */
 class ModelRegistry
 {
   public:
@@ -63,9 +75,17 @@ class ModelRegistry
     const RegistryOptions &options() const { return opts_; }
 
   private:
+    /** Map node: built exactly once, then immutable. */
+    struct Slot
+    {
+        std::once_flag once;
+        std::unique_ptr<ModelEntry> entry;
+    };
+
     RegistryOptions opts_;
+    std::mutex mu_; //!< guards the map shape, not entry construction
     std::map<std::pair<model::ModelId, bool>,
-             std::unique_ptr<ModelEntry>> cache_;
+             std::unique_ptr<Slot>> cache_;
 };
 
 } // namespace core

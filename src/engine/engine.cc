@@ -1,12 +1,68 @@
 #include "engine/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
 namespace edgereason {
 namespace engine {
+
+/**
+ * Memo cache of noiseless step costs.  Key for decode is
+ * (context << 16) | batch; prefill is keyed by input length.  Guarded
+ * by a shared mutex so concurrent sweep workers can hit it; entries
+ * are exact, so eviction (a blunt clear at the bound) only costs a
+ * recomputation, never accuracy.
+ */
+struct InferenceEngine::StepCostCache
+{
+    static constexpr std::size_t maxEntries = 1 << 16;
+
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, hw::StepCost> decode;
+    std::unordered_map<Tokens, hw::StepCost> prefill;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+
+    template <typename Map, typename Key, typename Compute>
+    hw::StepCost lookup(Map &map, Key key, Compute &&compute)
+    {
+        {
+            std::shared_lock<std::shared_mutex> g(mu);
+            auto it = map.find(key);
+            if (it != map.end()) {
+                hits.fetch_add(1, std::memory_order_relaxed);
+                return it->second;
+            }
+        }
+        misses.fetch_add(1, std::memory_order_relaxed);
+        const hw::StepCost cost = compute();
+        std::unique_lock<std::shared_mutex> g(mu);
+        if (map.size() >= maxEntries)
+            map.clear();
+        map.emplace(key, cost);
+        return cost;
+    }
+};
+
+InferenceEngine::~InferenceEngine() = default;
+InferenceEngine::InferenceEngine(InferenceEngine &&) noexcept = default;
+InferenceEngine &
+InferenceEngine::operator=(InferenceEngine &&) noexcept = default;
+
+KernelCacheStats
+InferenceEngine::kernelCacheStats() const
+{
+    KernelCacheStats s;
+    s.hits = costCache_->hits.load(std::memory_order_relaxed);
+    s.misses = costCache_->misses.load(std::memory_order_relaxed);
+    return s;
+}
 
 InferenceEngine::InferenceEngine(model::TransformerSpec spec,
                                  model::ModelCalibration calib,
@@ -18,7 +74,8 @@ InferenceEngine::InferenceEngine(model::TransformerSpec spec,
                   static_cast<Bytes>(spec_.weightBytes())),
           spec_),
       overhead_(engineOverhead(config.kind)),
-      rng_(config.seed, spec_.name)
+      rng_(config.seed, spec_.name),
+      costCache_(std::make_unique<StepCostCache>())
 {
     spec_.check();
     if (config_.backend == hw::Backend::Cpu) {
@@ -124,14 +181,21 @@ InferenceEngine::executeKernels(
     return combined;
 }
 
+hw::StepCost
+InferenceEngine::prefillCost(Tokens input_tokens) const
+{
+    return costCache_->lookup(
+        costCache_->prefill, input_tokens, [&] {
+            return executeKernels(prefillKernels(spec_, input_tokens,
+                                                 config_.kernelOpts));
+        });
+}
+
 Seconds
 InferenceEngine::prefillLatency(Tokens input_tokens) const
 {
-    const auto kernels = prefillKernels(spec_, input_tokens,
-                                        config_.kernelOpts);
-    const hw::StepCost cost = executeKernels(kernels);
-    return cost.seconds + calib_.prefillEngineOverhead *
-        overhead_.requestOverheadScale;
+    return prefillCost(input_tokens).seconds +
+        calib_.prefillEngineOverhead * overhead_.requestOverheadScale;
 }
 
 Seconds
@@ -149,12 +213,16 @@ InferenceEngine::prefillSuffixLatency(Tokens cached_prefix,
 hw::StepCost
 InferenceEngine::decodeStepCost(Tokens context, int batch) const
 {
-    const auto kernels = decodeKernels(spec_, context, batch,
-                                       config_.kernelOpts);
-    hw::StepCost cost = executeKernels(kernels);
-    cost.seconds += calib_.decodeStepOverhead *
-        overhead_.stepOverheadScale + overhead_.extraStepOverhead;
-    return cost;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(context) << 16) |
+        static_cast<std::uint64_t>(batch & 0xFFFF);
+    return costCache_->lookup(costCache_->decode, key, [&] {
+        hw::StepCost cost = executeKernels(decodeKernels(
+            spec_, context, batch, config_.kernelOpts));
+        cost.seconds += calib_.decodeStepOverhead *
+            overhead_.stepOverheadScale + overhead_.extraStepOverhead;
+        return cost;
+    });
 }
 
 Seconds
@@ -166,9 +234,7 @@ InferenceEngine::decodeStepLatency(Tokens context, int batch) const
 PhaseMetrics
 InferenceEngine::prefillOnly(Tokens input_tokens)
 {
-    const auto kernels = prefillKernels(spec_, input_tokens,
-                                        config_.kernelOpts);
-    const hw::StepCost cost = executeKernels(kernels);
+    const hw::StepCost cost = prefillCost(input_tokens);
 
     PhaseMetrics m;
     m.tokens = input_tokens;

@@ -16,6 +16,8 @@
 #ifndef EDGEREASON_ENGINE_ENGINE_HH
 #define EDGEREASON_ENGINE_ENGINE_HH
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -91,7 +93,29 @@ struct EngineConfig
     bool offloadFfnToDla = false;
 };
 
-/** vLLM-like single-model inference engine over the SoC simulator. */
+/** Hit/miss counters of the engine's step-cost memo cache. */
+struct KernelCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * vLLM-like single-model inference engine over the SoC simulator.
+ *
+ * Kernel-level step costs are pure functions of (phase, context,
+ * batch) for a fixed spec and config, and the sweep layers evaluate
+ * the same checkpoints over and over (the two-point batch TBT solve,
+ * the trapezoidal decode checkpoints of repeated request shapes), so
+ * the engine memoizes them exactly — the cache changes no numerical
+ * result, only skips re-enumerating identical kernel lists.
+ *
+ * Thread-safety: the const query surface (decodeStepLatency,
+ * prefillLatency, prefillSuffixLatency, spec/calib accessors) is safe
+ * to call from concurrent sweep workers; run() and prefillOnly()
+ * mutate the RNG noise streams and the KV cache and must stay
+ * single-threaded per engine.
+ */
 class InferenceEngine
 {
   public:
@@ -106,6 +130,9 @@ class InferenceEngine
     InferenceEngine(model::TransformerSpec spec,
                     model::ModelCalibration calib,
                     EngineConfig config = {});
+    ~InferenceEngine();
+    InferenceEngine(InferenceEngine &&) noexcept;
+    InferenceEngine &operator=(InferenceEngine &&) noexcept;
 
     /**
      * Run one request: prefill @p input_tokens at batch 1, then decode
@@ -153,8 +180,14 @@ class InferenceEngine
     /** @return the KV cache (for inspection in tests). */
     const KvCache &kvCache() const { return kv_; }
 
+    /** @return step-cost memo cache counters (bench/test support). */
+    KernelCacheStats kernelCacheStats() const;
+
   private:
+    struct StepCostCache; //!< defined in engine.cc
+
     hw::StepCost decodeStepCost(Tokens context, int batch) const;
+    hw::StepCost prefillCost(Tokens input_tokens) const;
     hw::StepCost executeKernels(
         const std::vector<hw::KernelDesc> &kernels) const;
     double noiseFactor(double cv, Rng &rng) const;
@@ -166,6 +199,7 @@ class InferenceEngine
     KvCache kv_;
     EngineOverhead overhead_;
     Rng rng_;
+    std::unique_ptr<StepCostCache> costCache_;
 };
 
 } // namespace engine

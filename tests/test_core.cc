@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
 #include "model/zoo.hh"
 
@@ -256,4 +257,53 @@ TEST(Facade, HardwareSummaryAndCharacterizationAccess)
               std::string::npos);
     const auto &c = facade().characterization(ModelId::Dsr1Qwen1_5B);
     EXPECT_GT(c.latency.decode.n, 0.02);
+}
+
+TEST(Evaluator, BitIdenticalAcrossThreadCounts)
+{
+    // The determinism contract: per-question RNG streams plus the
+    // serial index-order reduction make every report field bit-exact
+    // regardless of how many workers ran the sweep.
+    auto run = [](unsigned threads) {
+        er::ThreadPool::setGlobalThreads(threads);
+        StrategyEvaluator ev(facade().registry());
+        return ev.evaluate(
+            strat(ModelId::Dsr1Llama8B, TokenPolicy::hard(256), 4),
+            Dataset::MmluRedux, 600);
+    };
+    const auto base = run(1);
+    for (unsigned threads : {2u, 8u}) {
+        const auto rep = run(threads);
+        EXPECT_EQ(rep.questions, base.questions) << threads;
+        EXPECT_EQ(rep.accuracyPct, base.accuracyPct) << threads;
+        EXPECT_EQ(rep.avgTokens, base.avgTokens) << threads;
+        EXPECT_EQ(rep.avgSumTokens, base.avgSumTokens) << threads;
+        EXPECT_EQ(rep.avgLatency, base.avgLatency) << threads;
+        EXPECT_EQ(rep.avgEnergy, base.avgEnergy) << threads;
+        EXPECT_EQ(rep.cost.totalPerMTok(), base.cost.totalPerMTok())
+            << threads;
+    }
+    er::ThreadPool::setGlobalThreads(0);
+}
+
+TEST(Pareto, ParallelSweepMatchesDirectEvaluation)
+{
+    std::vector<InferenceStrategy> grid = {
+        strat(ModelId::Dsr1Qwen1_5B, TokenPolicy::base()),
+        strat(ModelId::Llama31_8BIt, TokenPolicy::base()),
+        strat(ModelId::Dsr1Qwen14B, TokenPolicy::hard(128), 4),
+    };
+    er::ThreadPool::setGlobalThreads(4);
+    const auto reports = sweepStrategies(facade().evaluator(), grid,
+                                         Dataset::MmluRedux, 400);
+    er::ThreadPool::setGlobalThreads(0);
+    ASSERT_EQ(reports.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto direct = facade().evaluate(grid[i],
+                                              Dataset::MmluRedux, 400);
+        EXPECT_EQ(reports[i].strat.model, grid[i].model) << i;
+        EXPECT_EQ(reports[i].accuracyPct, direct.accuracyPct) << i;
+        EXPECT_EQ(reports[i].avgLatency, direct.avgLatency) << i;
+        EXPECT_EQ(reports[i].avgEnergy, direct.avgEnergy) << i;
+    }
 }

@@ -10,12 +10,19 @@
  *                       [--dataset mmlu-redux] [--questions 1000]
  *   edgereason plan --budget 5.0 [--dataset mmlu-redux]
  *                   [--prompt-tokens 170] [--max-parallel 8]
+ *   edgereason sweep [--dataset mmlu-redux] [--questions 500]
+ *                    [--max-parallel 8] [--axis latency|cost|tokens]
+ *                    [--no-quant]
  *   edgereason serve --model DeepScaleR-1.5B --qps 0.1
  *                    [--requests 100] [--mean-in 120]
  *                    [--mean-out 1024] [--max-batch 30]
  *                    [--prefill-chunk 512]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
+ *
+ * Every command accepts --threads N to size the work-stealing pool
+ * used by the sweep layers (default: EDGEREASON_THREADS, then the
+ * hardware concurrency).
  */
 
 #include <cstdio>
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
 #include "engine/server.hh"
 #include "model/zoo.hh"
@@ -47,7 +55,12 @@ usage(const char *msg = nullptr)
         "  characterize  fit the Section-IV analytical models\n"
         "  evaluate      run a strategy on a benchmark\n"
         "  plan          pick the best strategy for a latency budget\n"
+        "  sweep         evaluate the strategy grid, print the "
+        "Pareto frontier\n"
         "  serve         run the continuous-batching serving study\n"
+        "global options:\n"
+        "  --threads N   sweep worker count (default "
+        "EDGEREASON_THREADS, then hardware concurrency)\n"
         "run a command with bad arguments to see its options.\n");
     std::exit(2);
 }
@@ -83,14 +96,30 @@ class Args
     getDouble(const std::string &key, double fallback) const
     {
         auto it = kv_.find(key);
-        return it == kv_.end() ? fallback : std::stod(it->second);
+        if (it == kv_.end())
+            return fallback;
+        try {
+            return std::stod(it->second);
+        } catch (const std::exception &) {
+            usage(("invalid number for --" + key + ": " + it->second)
+                      .c_str());
+        }
+        return fallback; // unreachable: usage() exits
     }
 
     long long
     getInt(const std::string &key, long long fallback) const
     {
         auto it = kv_.find(key);
-        return it == kv_.end() ? fallback : std::stoll(it->second);
+        if (it == kv_.end())
+            return fallback;
+        try {
+            return std::stoll(it->second);
+        } catch (const std::exception &) {
+            usage(("invalid number for --" + key + ": " + it->second)
+                      .c_str());
+        }
+        return fallback; // unreachable: usage() exits
     }
 
     bool
@@ -274,6 +303,52 @@ cmdPlan(const Args &args)
 }
 
 int
+cmdSweep(const Args &args)
+{
+    core::PlanRequest req;
+    req.dataset = parseDataset(args.get("dataset", "mmlu-redux"));
+    req.maxParallel = static_cast<int>(args.getInt("max-parallel", 8));
+    req.allowQuantized = !args.getBool("no-quant");
+    const auto questions = static_cast<std::size_t>(
+        args.getInt("questions", 500));
+
+    const std::string axis_name = args.get("axis", "latency");
+    core::FrontierAxis axis;
+    if (axis_name == "latency")
+        axis = core::FrontierAxis::Latency;
+    else if (axis_name == "cost")
+        axis = core::FrontierAxis::Cost;
+    else if (axis_name == "tokens")
+        axis = core::FrontierAxis::Tokens;
+    else
+        usage(("unknown axis: " + axis_name).c_str());
+
+    core::EdgeReasoning er;
+    const auto grid = er.planner().candidateStrategies(req);
+    std::printf("sweeping %zu strategies on %s (%zu questions, "
+                "%u threads)\n",
+                grid.size(), acc::datasetName(req.dataset), questions,
+                ThreadPool::global().threadCount());
+    const auto reports = core::sweepStrategies(
+        er.evaluator(), grid, req.dataset, questions);
+    const auto frontier = core::paretoFrontier(reports, axis);
+
+    Table t("accuracy-" + axis_name + " Pareto frontier");
+    t.setHeader({"Strategy", "Accuracy (%)", "Tokens/Q",
+                 "Latency (s)", "$/1M tok"});
+    for (const auto &r : frontier) {
+        t.row()
+            .cell(r.strat.label())
+            .cell(r.accuracyPct, 1)
+            .cell(r.avgTokens, 1)
+            .cell(r.avgLatency, 2)
+            .cell(r.cost.totalPerMTok(), 4);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
 cmdServe(const Args &args)
 {
     const auto id = model::modelIdFromName(
@@ -312,10 +387,20 @@ cmdServe(const Args &args)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    // Global flags may precede the command:
+    //   edgereason --threads 4 sweep ...  ==  edgereason sweep --threads 4 ...
+    int cmd_at = 1;
+    while (cmd_at < argc && std::string(argv[cmd_at]) == "--threads")
+        cmd_at += 2;
+    if (cmd_at >= argc)
         usage();
-    const std::string cmd = argv[1];
-    const Args args(argc, argv, 2);
+    const std::string cmd = argv[cmd_at];
+    const Args pre(cmd_at, argv, 1);
+    const Args args(argc, argv, cmd_at + 1);
+    const long long threads =
+        args.getInt("threads", pre.getInt("threads", 0));
+    if (threads > 0)
+        ThreadPool::setGlobalThreads(static_cast<unsigned>(threads));
     try {
         if (cmd == "spec")
             return cmdSpec();
@@ -327,6 +412,8 @@ main(int argc, char **argv)
             return cmdEvaluate(args);
         if (cmd == "plan")
             return cmdPlan(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
         if (cmd == "serve")
             return cmdServe(args);
     } catch (const std::exception &e) {
