@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Extension: fault tolerance and graceful degradation.  The paper
+ * characterizes ideal-conditions serving; a deployed edge box instead
+ * rides thermal throttling, brownouts and memory pressure.  This bench
+ * sweeps offered load under a fixed fault environment (passively
+ * cooled enclosure, periodic brownouts, KV-pool shrink windows) with
+ * per-request deadlines, and compares scheduler reactions:
+ *
+ *   none      ride the throttle out, miss deadlines
+ *   budget    clamp admitted token budgets while derated
+ *   fallback  hot-swap to the quantized build while derated
+ *
+ * Goodput (deadline-met completions per second) is the headline
+ * metric; the run also verifies that an inactive fault plan reproduces
+ * the ideal-conditions report bit for bit.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "engine/faults.hh"
+#include "engine/server.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using namespace er::engine;
+
+namespace {
+
+/** Bitwise report equality (zero-fault exactness is an exact claim). */
+bool
+identical(const ServingReport &a, const ServingReport &b)
+{
+    return a.completed == b.completed && a.makespan == b.makespan &&
+        a.throughputQps == b.throughputQps &&
+        a.avgBatch == b.avgBatch && a.meanLatency == b.meanLatency &&
+        a.p50Latency == b.p50Latency && a.p95Latency == b.p95Latency &&
+        a.totalEnergy == b.totalEnergy &&
+        a.energyPerQuery == b.energyPerQuery &&
+        a.generatedTokens == b.generatedTokens &&
+        a.utilization == b.utilization && a.goodputQps == b.goodputQps;
+}
+
+/** The deployment's fault environment: a fanless enclosure in a warm
+ *  spot, flaky shared power, a co-tenant that grabs KV pages. */
+FaultPlan
+deploymentFaults()
+{
+    FaultConfig fc;
+    fc.seed = 64023;
+    fc.horizon = 7200.0;
+    fc.thermal = true;
+    fc.thermalSpec.rThermal = 2.0;  // no fan: poor junction-to-ambient
+    fc.thermalSpec.cThermal = 50.0; // small passive sink
+    fc.thermalSpec.ambientC = 32.0;
+    fc.thermalSpec.initialC = 32.0;
+    fc.brownoutsPerHour = 6.0;
+    fc.brownoutMeanStall = 4.0;
+    fc.kvShrinksPerHour = 12.0;
+    fc.kvShrinkFraction = 0.95; // deep enough to bind the decode batch
+    fc.kvShrinkDuration = 180.0;
+    return FaultPlan(fc);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto &eng = facade().registry().engineFor(
+        er::model::ModelId::Dsr1Llama8B, false);
+    auto &fb = facade().registry().engineFor(
+        er::model::ModelId::Dsr1Llama8B, true);
+
+    // --- Acceptance check: a zero-fault plan changes nothing. -------
+    banner("zero-fault exactness check (DSR1-Llama-8B, 60 requests)");
+    {
+        ServingSimulator srv(eng);
+        er::Rng rng(777, "fault-tolerance/exactness");
+        const auto trace = ServingSimulator::poissonTrace(
+            rng, 60, 0.05, 120, 512);
+        const auto ideal = srv.run(trace);
+        const auto zero = srv.run(trace, FaultPlan());
+        std::printf("inactive FaultPlan reproduces the ideal run "
+                    "bit-for-bit: %s\n",
+                    identical(ideal, zero) ? "yes" : "NO -- BUG");
+    }
+
+    // --- Goodput vs offered load, with and without degradation. ----
+    banner("goodput vs offered load under faults "
+           "(DSR1-Llama-8B, 120 requests, mean 120 in / 512 out, "
+           "240 s deadline; fanless thermals + brownouts + KV-shrink "
+           "windows)");
+
+    const auto plan = deploymentFaults();
+    const er::Seconds deadline = 240.0;
+
+    er::Table t("");
+    t.setHeader({"offered QPS", "goodput none", "goodput budget",
+                 "goodput fallback", "hit% none", "hit% budget",
+                 "hit% fallback", "throttle%", "preempt"});
+    double best_gain = 0.0;
+    double best_qps = 0.0;
+    double best_none = 0.0;
+    double best_degraded = 0.0;
+    const char *best_mode = "";
+    for (double qps : {0.02, 0.05, 0.08, 0.12, 0.16, 0.22, 0.3}) {
+        er::Rng rng(777, "fault-tolerance/load");
+        auto trace = ServingSimulator::poissonTrace(
+            rng, 120, qps, 120, 512);
+        for (auto &r : trace)
+            r.deadline = deadline;
+
+        ServingReport reps[3];
+        const DegradeMode modes[3] = {DegradeMode::None,
+                                      DegradeMode::Budget,
+                                      DegradeMode::Fallback};
+        for (int m = 0; m < 3; ++m) {
+            ServerConfig cfg;
+            cfg.degrade.mode = modes[m];
+            cfg.degrade.budget = er::strategy::TokenPolicy::hard(192);
+            ServingSimulator srv(eng, cfg);
+            if (modes[m] == DegradeMode::Fallback)
+                srv.setFallbackEngine(fb);
+            reps[m] = srv.run(trace, plan);
+        }
+
+        for (int m = 1; m < 3; ++m) {
+            const double gain = reps[m].goodputQps - reps[0].goodputQps;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_qps = qps;
+                best_none = reps[0].goodputQps;
+                best_degraded = reps[m].goodputQps;
+                best_mode = degradeModeName(modes[m]);
+            }
+        }
+
+        t.row()
+            .cell(qps, 3)
+            .cell(reps[0].goodputQps, 4)
+            .cell(reps[1].goodputQps, 4)
+            .cell(reps[2].goodputQps, 4)
+            .cell(100.0 * reps[0].deadlineHitRate, 0)
+            .cell(100.0 * reps[1].deadlineHitRate, 0)
+            .cell(100.0 * reps[2].deadlineHitRate, 0)
+            .cell(100.0 * reps[1].throttleResidency, 0)
+            .cell(static_cast<double>(reps[0].preemptions), 0);
+    }
+    t.print(std::cout);
+
+    if (best_gain > 0.0) {
+        std::printf("\ngraceful degradation wins: at %.3f offered QPS, "
+                    "degrade=%s sustains %.4f goodput vs %.4f without "
+                    "(+%.0f%%)\n",
+                    best_qps, best_mode, best_degraded, best_none,
+                    100.0 * best_gain / std::max(best_none, 1e-12));
+    } else {
+        std::printf("\nWARNING: no load point showed a degradation "
+                    "win -- tune the fault environment\n");
+    }
+    note("under sustained throttle the un-degraded scheduler keeps "
+         "admitting full-length jobs it can no longer finish in time; "
+         "shrinking budgets (or hot-swapping to the quantized build) "
+         "trades tokens per answer for answers within deadline.");
+    return 0;
+}

@@ -1,0 +1,99 @@
+#include "engine/faults.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgereason {
+namespace engine {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Brownout:
+        return "brownout";
+      case FaultKind::KvShrink:
+        return "kv-shrink";
+      case FaultKind::KvRestore:
+        return "kv-restore";
+    }
+    panic("unknown fault kind");
+}
+
+namespace {
+
+/** Exponential deviate with the given mean (inverse-CDF of uniform). */
+Seconds
+exponential(Rng &rng, double mean)
+{
+    return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg_.horizon <= 0.0, "fault horizon must be positive");
+    fatal_if(cfg_.brownoutsPerHour < 0.0 || cfg_.kvShrinksPerHour < 0.0,
+             "fault rates must be non-negative");
+    fatal_if(cfg_.brownoutsPerHour > 0.0 && cfg_.brownoutMeanStall <= 0.0,
+             "brownout mean stall must be positive");
+    fatal_if(cfg_.kvShrinkFraction < 0.0 || cfg_.kvShrinkFraction >= 1.0,
+             "kvShrinkFraction out of [0, 1)");
+    fatal_if(cfg_.kvShrinksPerHour > 0.0 && cfg_.kvShrinkDuration <= 0.0,
+             "kvShrinkDuration must be positive");
+
+    // Each mechanism draws from its own named stream so that enabling
+    // one never reshuffles another's schedule.
+    if (cfg_.brownoutsPerHour > 0.0) {
+        Rng rng(cfg_.seed, "faults/brownout");
+        const double mean_gap = 3600.0 / cfg_.brownoutsPerHour;
+        Seconds t = 0.0;
+        while (true) {
+            t += exponential(rng, mean_gap);
+            if (t >= cfg_.horizon)
+                break;
+            FaultEvent e;
+            e.kind = FaultKind::Brownout;
+            e.time = t;
+            e.duration = exponential(rng, cfg_.brownoutMeanStall);
+            events_.push_back(e);
+        }
+    }
+
+    if (cfg_.kvShrinksPerHour > 0.0 && cfg_.kvShrinkFraction > 0.0) {
+        Rng rng(cfg_.seed, "faults/kv-shrink");
+        const double mean_gap = 3600.0 / cfg_.kvShrinksPerHour;
+        Seconds t = 0.0;
+        while (true) {
+            t += exponential(rng, mean_gap);
+            if (t >= cfg_.horizon)
+                break;
+            FaultEvent shrink;
+            shrink.kind = FaultKind::KvShrink;
+            shrink.time = t;
+            shrink.duration = cfg_.kvShrinkDuration;
+            shrink.magnitude = cfg_.kvShrinkFraction;
+            events_.push_back(shrink);
+            FaultEvent restore;
+            restore.kind = FaultKind::KvRestore;
+            restore.time = t + cfg_.kvShrinkDuration;
+            events_.push_back(restore);
+            // Windows never overlap: resume the Poisson gap after the
+            // restore (the restore may land past the horizon so every
+            // shrink is always paired).
+            t += cfg_.kvShrinkDuration;
+        }
+    }
+
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.time < b.time;
+                     });
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving simulator.  The paper
+ * benchmarks short runs under ideal conditions; sustained edge
+ * deployment (a robot's planning server, a kiosk) is instead shaped by
+ * thermal throttling, transient SoC brownouts, and memory pressure.  A
+ * FaultPlan schedules those events up front from named RNG streams
+ * (seed-keyed, evaluation-order independent), so a fault run is
+ * bit-reproducible at a fixed seed regardless of thread count, and a
+ * plan with every mechanism disabled is indistinguishable from no plan
+ * at all.
+ *
+ * Event taxonomy:
+ *  - Thermal derating: not an event list but a coupled RC simulation
+ *    (hw/thermal.hh) stepped inside the serving decode loop; the
+ *    governed power mode scales step latency and derates power.
+ *  - Brownout: the SoC stalls for an exponentially distributed
+ *    duration (shared-rail dip, DVFS glitch, host interference).
+ *    In-flight work holds its KV and resumes afterwards.
+ *  - KvShrink / KvRestore: a fraction of the KV block pool becomes
+ *    unavailable for a window (co-tenant allocation, ECC retirement).
+ *    The scheduler must preempt victims if the live working set no
+ *    longer fits.
+ */
+
+#ifndef EDGEREASON_ENGINE_FAULTS_HH
+#define EDGEREASON_ENGINE_FAULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/thermal.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Kind of an injected fault event. */
+enum class FaultKind { Brownout, KvShrink, KvRestore };
+
+/** @return human-readable fault-kind name. */
+const char *faultKindName(FaultKind k);
+
+/** One scheduled fault event. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::Brownout;
+    Seconds time = 0.0;
+    /** Brownout: stall length.  KvShrink: length of the window (the
+     *  paired KvRestore is scheduled at time + duration). */
+    Seconds duration = 0.0;
+    /** KvShrink: fraction of KV block capacity removed, in [0, 1). */
+    double magnitude = 0.0;
+};
+
+/** Fault-plan generation parameters. */
+struct FaultConfig
+{
+    /** Root seed of the fault RNG streams ("faults/..."). */
+    std::uint64_t seed = 0xFA17;
+    /** Events are scheduled on [0, horizon) seconds of run time. */
+    Seconds horizon = 7200.0;
+
+    /** Couple the RC thermal model + power-mode governor into the
+     *  serving loop (derates speed and power under sustained load). */
+    bool thermal = false;
+    hw::ThermalSpec thermalSpec;
+
+    /** Mean brownout arrivals per hour (Poisson; 0 disables). */
+    double brownoutsPerHour = 0.0;
+    /** Mean stall length of one brownout (exponential). */
+    Seconds brownoutMeanStall = 2.0;
+
+    /** Mean KV-shrink windows per hour (Poisson gaps; 0 disables).
+     *  Windows never overlap: the next gap starts after the restore. */
+    double kvShrinksPerHour = 0.0;
+    /** Fraction of KV block capacity removed per window, in [0, 1). */
+    double kvShrinkFraction = 0.25;
+    /** Length of one shrink window. */
+    Seconds kvShrinkDuration = 120.0;
+};
+
+/**
+ * An immutable, fully materialized fault schedule.  Construction draws
+ * every event from named sub-streams of the config seed, so two plans
+ * with the same config are identical and adding a new mechanism never
+ * perturbs the existing streams.  A default-constructed plan (or one
+ * whose config enables nothing) is inactive: the serving simulator
+ * then runs the exact legacy ideal-conditions code path.
+ */
+class FaultPlan
+{
+  public:
+    /** An inactive (zero-fault) plan. */
+    FaultPlan() = default;
+
+    /** Materialize the schedule for @p cfg (validates parameters). */
+    explicit FaultPlan(const FaultConfig &cfg);
+
+    /** @return true if any fault mechanism is enabled. */
+    bool active() const { return cfg_.thermal || !events_.empty(); }
+
+    /** @return the generation parameters. */
+    const FaultConfig &config() const { return cfg_; }
+
+    /** @return all scheduled events, sorted by time. */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+  private:
+    FaultConfig cfg_{};
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_FAULTS_HH

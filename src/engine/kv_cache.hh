@@ -78,6 +78,12 @@ class KvCache
     /** @return largest appendable token count right now for one seq. */
     Tokens freeTokenCapacity() const;
 
+    /** @return total token capacity (blockCapacity * blockTokens). */
+    Tokens tokenCapacity() const
+    {
+        return static_cast<Tokens>(block_capacity_) * block_tokens_;
+    }
+
   private:
     struct Block
     {

@@ -14,6 +14,16 @@
  * at the current batch size, and prefills are interleaved between
  * decode steps (each prefill stalls decoding, as it does on hardware
  * without chunked prefill).
+ *
+ * Beyond the ideal-conditions study, a run can carry a FaultPlan
+ * (engine/faults.hh): thermal throttling derates step speed and power,
+ * brownouts stall the device, and KV-shrink windows force preemption.
+ * The scheduler then reacts with deadline-based admission control and
+ * mid-flight aborts, recompute-on-resume preemption with bounded
+ * exponential-backoff retry, and optional degraded modes (token-budget
+ * shrink via strategy/policy, or whole-device fallback to a smaller /
+ * quantized model).  A run without an active fault plan executes the
+ * exact legacy arithmetic, bit for bit.
  */
 
 #ifndef EDGEREASON_ENGINE_SERVER_HH
@@ -24,6 +34,8 @@
 
 #include "common/rng.hh"
 #include "engine/engine.hh"
+#include "engine/faults.hh"
+#include "strategy/policy.hh"
 
 namespace edgereason {
 namespace engine {
@@ -40,17 +52,57 @@ struct ServerRequest
      * queries).  FIFO within a class.
      */
     int priority = 0;
+    /**
+     * Relative deadline in seconds from arrival; <= 0 means none.
+     * Requests that cannot (or did not) finish by arrival + deadline
+     * are shed from the queue or aborted mid-flight.
+     */
+    Seconds deadline = 0.0;
 };
 
-/** Completed-request record. */
+/** Final disposition of a request. */
+enum class RequestOutcome {
+    Completed, //!< all output tokens generated
+    TimedOut,  //!< admitted, aborted at its deadline
+    Shed,      //!< never (re-)admitted: deadline or retries exhausted
+};
+
+/** @return human-readable outcome name. */
+const char *requestOutcomeName(RequestOutcome o);
+
+/**
+ * Per-request record.  Every trace request produces exactly one record
+ * whatever its fate, and all time fields are finite and well-defined
+ * for every outcome:
+ *  - Completed: queueDelay = last prefill start - arrival, serviceTime
+ *    = finish - last prefill start (earlier preempted service is
+ *    discarded work, reflected only in the counters).
+ *  - TimedOut: same fields, with finish = the abort time.
+ *  - Shed: queueDelay = time spent waiting until shed, serviceTime =
+ *    0, finish = the shed time.
+ * latency() is therefore always finish - arrival: time in system.
+ */
 struct ServedRequest
 {
     ServerRequest request;
-    Seconds queueDelay = 0.0;   //!< arrival -> prefill start
-    Seconds serviceTime = 0.0;  //!< prefill start -> last token
-    /** @return total request latency. */
-    Seconds latency() const { return queueDelay + serviceTime; }
+    RequestOutcome outcome = RequestOutcome::Completed;
+    Seconds queueDelay = 0.0;   //!< (last) admission - arrival
+    Seconds serviceTime = 0.0;  //!< (last) prefill start -> finish
     Seconds finish = 0.0;
+    Tokens generated = 0;       //!< output tokens produced (kept work)
+    int preemptions = 0;        //!< times evicted and recomputed
+    bool degraded = false;      //!< served under a degraded policy
+    /** @return time in system (== finish - arrival for all outcomes). */
+    Seconds latency() const { return queueDelay + serviceTime; }
+    /** @return true if the request completed within its deadline
+     *  (requests without a deadline count as met when completed). */
+    bool deadlineMet() const
+    {
+        if (outcome != RequestOutcome::Completed)
+            return false;
+        return request.deadline <= 0.0 ||
+            finish <= request.arrival + request.deadline + 1e-9;
+    }
 };
 
 /** Aggregate serving metrics. */
@@ -60,7 +112,7 @@ struct ServingReport
     Seconds makespan = 0.0;      //!< first arrival -> last completion
     double throughputQps = 0.0;
     double avgBatch = 0.0;       //!< time-weighted decode batch size
-    Seconds meanLatency = 0.0;
+    Seconds meanLatency = 0.0;   //!< over completed requests
     Seconds p50Latency = 0.0;
     Seconds p95Latency = 0.0;
     Joules totalEnergy = 0.0;
@@ -68,6 +120,47 @@ struct ServingReport
     double generatedTokens = 0.0;
     /** Device-busy fraction of the makespan. */
     double utilization = 0.0;
+
+    // --- Fault/degradation observability ---------------------------
+    std::size_t timedOut = 0;          //!< aborted at their deadline
+    std::size_t shed = 0;              //!< never admitted to service
+    std::size_t retriedCompleted = 0;  //!< completed after >=1 preempt
+    std::size_t degradedCompleted = 0; //!< completed under degradation
+    std::uint64_t preemptions = 0;     //!< total eviction events
+    /** Deadline-met completions per second of makespan (== throughput
+     *  when no request carries a deadline). */
+    double goodputQps = 0.0;
+    /** Completed-within-deadline fraction of deadline-carrying
+     *  requests (1.0 when none carry a deadline). */
+    double deadlineHitRate = 1.0;
+    /** Fraction of busy time spent below MAXN (thermal throttle). */
+    double throttleResidency = 0.0;
+};
+
+/** Degraded-mode selection. */
+enum class DegradeMode {
+    None,     //!< no reaction: ride the throttle out
+    Budget,   //!< shrink admitted token budgets via strategy/policy
+    Fallback, //!< hot-swap the device to a fallback engine
+};
+
+/** @return human-readable degrade-mode name. */
+const char *degradeModeName(DegradeMode m);
+
+/** Graceful-degradation policy (consulted only under active faults). */
+struct DegradePolicy
+{
+    DegradeMode mode = DegradeMode::None;
+    /**
+     * Budget mode: the token-control policy applied to new admissions
+     * while the thermal governor holds a derated mode.  Hard-capped
+     * kinds clamp the request's output budget.
+     */
+    strategy::TokenPolicy budget = strategy::TokenPolicy::hard(256);
+    /** Max preemption retries before a request is shed. */
+    int maxRetries = 3;
+    /** Base retry backoff; doubles per successive preemption. */
+    Seconds retryBackoff = 0.5;
 };
 
 /** Scheduler limits. */
@@ -88,6 +181,8 @@ struct ServerConfig
      * tail latency for in-flight requests.
      */
     Tokens prefillChunk = 0;
+    /** Reaction policy under faults (ignored on zero-fault runs). */
+    DegradePolicy degrade;
 };
 
 /**
@@ -99,15 +194,47 @@ class ServingSimulator
   public:
     ServingSimulator(InferenceEngine &engine, ServerConfig config = {});
 
-    /** Run a request trace to completion. @return aggregate metrics. */
-    ServingReport run(std::vector<ServerRequest> trace);
+    /**
+     * Run a request trace to completion under ideal conditions.
+     *
+     * Ordering contract: the trace must be sorted by arrival time
+     * (non-decreasing).  poissonTrace() satisfies this by
+     * construction; hand-built traces must be sorted by the caller.
+     * A non-monotone trace raises a clear error instead of silently
+     * mis-scheduling.
+     *
+     * @return aggregate metrics.
+     */
+    ServingReport run(const std::vector<ServerRequest> &trace);
 
-    /** @return per-request records of the last run. */
+    /**
+     * Run a trace under a fault plan.  An inactive plan reproduces
+     * the ideal-conditions run exactly (bit-identical report); an
+     * active plan enables thermal coupling, scheduled events, paged
+     * KV accounting with preemption, and the degrade policy.
+     */
+    ServingReport run(const std::vector<ServerRequest> &trace,
+                      const FaultPlan &faults);
+
+    /**
+     * Provide the engine used while degraded in Fallback mode (a
+     * smaller or quantized model from the registry).  Borrowed; must
+     * outlive the server.  KV accounting stays on the primary
+     * engine's geometry (conservative); only step latency and power
+     * come from the fallback while the governor holds a derated mode.
+     */
+    void setFallbackEngine(InferenceEngine &fallback)
+    {
+        fallback_ = &fallback;
+    }
+
+    /** @return per-request records of the last run (one per trace
+     *  request, in completion/abort/shed order). */
     const std::vector<ServedRequest> &served() const { return served_; }
 
     /**
      * Generate a Poisson arrival trace with log-normal input/output
-     * lengths (deterministic in the rng).
+     * lengths (deterministic in the rng, sorted by arrival).
      */
     static std::vector<ServerRequest>
     poissonTrace(Rng &rng, std::size_t n, double qps, double mean_in,
@@ -116,6 +243,8 @@ class ServingSimulator
     /**
      * Largest decode batch whose KV footprint (shared prompts not
      * assumed) fits the engine's KV budget at the given lengths.
+     * Returns 0 when even a single sequence cannot fit, and 1 for
+     * zero-length sequences (which fit trivially).
      */
     static int maxBatchForMemory(const InferenceEngine &engine,
                                  Tokens input_tokens,
@@ -123,6 +252,7 @@ class ServingSimulator
 
   private:
     InferenceEngine &engine_;
+    InferenceEngine *fallback_ = nullptr;
     ServerConfig config_;
     std::vector<ServedRequest> served_;
 };

@@ -48,6 +48,14 @@ ThermalSimulator::stepUp(PowerMode m) const
     panic("unknown power mode");
 }
 
+void
+ThermalSimulator::reset(PowerMode initial_mode)
+{
+    mode_ = initial_mode;
+    temp_ = spec_.initialC;
+    trajectory_.clear();
+}
+
 double
 ThermalSimulator::steadyStateC(Watts power) const
 {

@@ -70,6 +70,13 @@ class ThermalSimulator
     double temperature() const { return temp_; }
     /** @return current governed power mode. */
     PowerMode mode() const { return mode_; }
+    /** @return true while the governor holds a derated mode. */
+    bool throttled() const { return powerModeScale(mode_) < 1.0; }
+    /** @return the thermal parameters in use. */
+    const ThermalSpec &spec() const { return spec_; }
+
+    /** Reset temperature/mode/trajectory to the initial state. */
+    void reset(PowerMode initial_mode = PowerMode::MaxN);
     /** @return relative throughput of the current mode vs MAXN. */
     double speedFactor() const { return powerModeScale(mode_); }
     /** @return recorded trajectory (one sample per step call). */

@@ -1,5 +1,6 @@
 #include "strategy/policy.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -23,6 +24,14 @@ policyKindLabel(PolicyKind k)
         return "L1";
     }
     panic("unknown policy kind");
+}
+
+Tokens
+TokenPolicy::apply(Tokens requested) const
+{
+    if (isHardCapped() && budget > 0)
+        return std::min(requested, budget);
+    return requested;
 }
 
 std::string

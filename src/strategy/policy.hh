@@ -61,6 +61,15 @@ struct TokenPolicy
             kind == PolicyKind::L1Budget;
     }
 
+    /**
+     * Apply the policy to a requested generation length: hard-capped
+     * policies clamp to the budget, everything else passes through
+     * (soft control shapes behaviour, it does not enforce).  The
+     * serving simulator's degraded mode uses this to shrink in-flight
+     * token budgets under sustained throttle.
+     */
+    Tokens apply(Tokens requested) const;
+
     /** @return the paper's config label, e.g. "128T", "256 (NC)". */
     std::string label() const;
 

@@ -126,6 +126,26 @@ TEST(Server, KvMemoryLimitsAdmission)
     EXPECT_LT(rep.avgBatch, 4.5);
 }
 
+TEST(Server, MaxBatchForMemoryExtremes)
+{
+    auto eng = makeEngine();
+    // Zero-length sequences hold no KV: they fit trivially (1), and
+    // must not divide by zero.
+    EXPECT_EQ(ServingSimulator::maxBatchForMemory(eng, 0, 0), 1);
+    // A sequence beyond the whole budget fits zero times -- the old
+    // "round up to 1" answer hid an impossible configuration.
+    const er::Tokens over =
+        static_cast<er::Tokens>(eng.kvBudget() /
+                                eng.spec().kvBytesPerToken()) + 1000;
+    EXPECT_EQ(ServingSimulator::maxBatchForMemory(eng, over, 0), 0);
+    EXPECT_EQ(ServingSimulator::maxBatchForMemory(eng, 0, over), 0);
+    // Just inside the budget still fits exactly once.
+    const er::Tokens under =
+        static_cast<er::Tokens>(eng.kvBudget() /
+                                eng.spec().kvBytesPerToken()) - 1000;
+    EXPECT_EQ(ServingSimulator::maxBatchForMemory(eng, under, 0), 1);
+}
+
 TEST(Server, OversizedRequestFails)
 {
     auto eng = makeEngine();

@@ -111,3 +111,88 @@ TEST(Thermal, RejectsBadConfiguration)
     ThermalSimulator sim;
     EXPECT_THROW(sim.step(10.0, 0.0), std::runtime_error);
 }
+
+TEST(Thermal, ThrottleFiresExactlyAtTheThreshold)
+{
+    // Sitting exactly at the throttle point must step down (the
+    // governor uses >=, not >): start at T == throttleC with the
+    // steady state pinned there, so the RC update is the identity.
+    ThermalSpec spec;
+    spec.initialC = spec.throttleC;
+    ThermalSimulator sim(spec);
+    const double pin = (spec.throttleC - spec.ambientC) / spec.rThermal;
+    const auto s = sim.step(pin, 1.0, /*idle=*/pin);
+    EXPECT_DOUBLE_EQ(s.temperatureC, spec.throttleC);
+    EXPECT_EQ(s.mode, PowerMode::W50);
+}
+
+TEST(Thermal, RecoveryFiresExactlyAtTheThreshold)
+{
+    // Symmetric boundary: exactly at recoverC steps back up (<=).
+    ThermalSpec spec;
+    spec.rThermal = 2.0; // keep the pinning power below the W30 cap
+    spec.initialC = spec.recoverC;
+    ThermalSimulator sim(spec, PowerMode::W30);
+    const double pin = (spec.recoverC - spec.ambientC) / spec.rThermal;
+    const auto s = sim.step(pin, 1.0, /*idle=*/pin);
+    EXPECT_DOUBLE_EQ(s.temperatureC, spec.recoverC);
+    EXPECT_EQ(s.mode, PowerMode::W50);
+}
+
+TEST(Thermal, HysteresisOscillationStaysInsideTheBand)
+{
+    // 48 W straddles the band: MAXN steady state (92 C) sits above the
+    // throttle point while the W50-derated draw settles below the
+    // recovery point (71 C), so the governor must cycle down and back
+    // up repeatedly rather than latching either way.
+    ThermalSimulator sim;
+    int downs = 0;
+    int ups = 0;
+    PowerMode prev = sim.mode();
+    for (int i = 0; i < 7200; ++i) {
+        const auto s = sim.step(48.0, 1.0);
+        if (powerModeScale(s.mode) < powerModeScale(prev))
+            ++downs;
+        else if (powerModeScale(s.mode) > powerModeScale(prev))
+            ++ups;
+        prev = s.mode;
+    }
+    EXPECT_GT(downs, 1);
+    EXPECT_GT(ups, 1);
+    // The governor keeps re-throttling: oscillation, not a latch.
+    EXPECT_GE(downs, ups);
+    EXPECT_LE(downs, ups + 1);
+}
+
+TEST(Thermal, ModeSaturatesAtW15AndMaxN)
+{
+    // A runaway power input drives the mode to the W15 floor and no
+    // further; cooling off recovers one step per step() call until the
+    // MaxN ceiling, where stepUp is the identity.
+    ThermalSpec spec;
+    spec.rThermal = 5.0;
+    spec.cThermal = 1.0; // near-instant response
+    ThermalSimulator sim(spec);
+    for (int i = 0; i < 50; ++i)
+        sim.step(200.0, 5.0);
+    EXPECT_EQ(sim.mode(), PowerMode::W15);
+    for (int i = 0; i < 50; ++i)
+        sim.step(0.0, 5.0);
+    EXPECT_EQ(sim.mode(), PowerMode::MaxN);
+    sim.step(0.0, 5.0); // one more stepUp at the ceiling: stays MaxN
+    EXPECT_EQ(sim.mode(), PowerMode::MaxN);
+}
+
+TEST(Thermal, ResetRestoresInitialState)
+{
+    ThermalSimulator sim;
+    for (int i = 0; i < 600; ++i)
+        sim.step(55.0, 1.0);
+    EXPECT_GT(sim.temperature(), sim.spec().initialC);
+    EXPECT_FALSE(sim.trajectory().empty());
+    sim.reset();
+    EXPECT_DOUBLE_EQ(sim.temperature(), sim.spec().initialC);
+    EXPECT_EQ(sim.mode(), PowerMode::MaxN);
+    EXPECT_FALSE(sim.throttled());
+    EXPECT_TRUE(sim.trajectory().empty());
+}

@@ -17,6 +17,12 @@
  *                    [--requests 100] [--mean-in 120]
  *                    [--mean-out 1024] [--max-batch 30]
  *                    [--prefill-chunk 512]
+ *                    [--faults] [--fault-seed 64023]
+ *                    [--deadline 90] [--ambient 32]
+ *                    [--brownout-rate 2] [--kv-shrink-rate 1]
+ *                    [--degrade none|budget|fallback]
+ *                    [--degrade-budget 256]
+ *                    [--fallback-model DeepScaleR-1.5B]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
  *
@@ -348,6 +354,19 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+engine::DegradeMode
+parseDegradeMode(const std::string &s)
+{
+    if (s == "none")
+        return engine::DegradeMode::None;
+    if (s == "budget")
+        return engine::DegradeMode::Budget;
+    if (s == "fallback")
+        return engine::DegradeMode::Fallback;
+    usage(("invalid --degrade mode: " + s +
+           " (expected none|budget|fallback)").c_str());
+}
+
 int
 cmdServe(const Args &args)
 {
@@ -359,17 +378,55 @@ cmdServe(const Args &args)
     engine::ServerConfig cfg;
     cfg.maxBatch = static_cast<int>(args.getInt("max-batch", 30));
     cfg.prefillChunk = args.getInt("prefill-chunk", 0);
+    cfg.degrade.mode = parseDegradeMode(args.get("degrade", "none"));
+    cfg.degrade.budget = strategy::TokenPolicy::hard(
+        static_cast<Tokens>(args.getInt("degrade-budget", 256)));
     engine::ServingSimulator srv(eng, cfg);
+    if (cfg.degrade.mode == engine::DegradeMode::Fallback) {
+        // Default fallback: the quantized build of the primary model.
+        const std::string fb_name = args.get("fallback-model", "");
+        const auto fb_id =
+            fb_name.empty() ? id : model::modelIdFromName(fb_name);
+        const bool fb_quant =
+            fb_name.empty() ? true : args.getBool("fallback-quant");
+        srv.setFallbackEngine(er.registry().engineFor(fb_id, fb_quant));
+    }
 
     Rng rng(args.getInt("seed", 777), "cli-serve");
-    const auto trace = engine::ServingSimulator::poissonTrace(
+    auto trace = engine::ServingSimulator::poissonTrace(
         rng, static_cast<std::size_t>(args.getInt("requests", 100)),
         args.getDouble("qps", 0.1), args.getDouble("mean-in", 120),
         args.getDouble("mean-out", 1024));
-    const auto rep = srv.run(trace);
+    const Seconds deadline = args.getDouble("deadline", 0.0);
+    if (deadline < 0.0)
+        usage("--deadline must be non-negative");
+    for (auto &r : trace)
+        r.deadline = deadline;
+
+    engine::FaultPlan plan;
+    if (args.getBool("faults")) {
+        engine::FaultConfig fc;
+        fc.seed = static_cast<std::uint64_t>(
+            args.getInt("fault-seed", 0xFA17));
+        fc.horizon = trace.back().arrival + 600.0;
+        fc.thermal = true;
+        // Passively-cooled deployment: higher junction-to-ambient
+        // resistance and a warm enclosure, so sustained decode load
+        // actually reaches the throttle point (a desk fan keeps the
+        // default spec below it forever).
+        fc.thermalSpec.rThermal = 2.5;
+        fc.thermalSpec.cThermal = 50.0; // small passive sink
+        fc.thermalSpec.ambientC = args.getDouble("ambient", 32.0);
+        fc.thermalSpec.initialC = fc.thermalSpec.ambientC;
+        fc.brownoutsPerHour = args.getDouble("brownout-rate", 2.0);
+        fc.kvShrinksPerHour = args.getDouble("kv-shrink-rate", 1.0);
+        plan = engine::FaultPlan(fc);
+    }
+
+    const auto rep = srv.run(trace, plan);
     const auto cost = cost::edgeCost(rep.totalEnergy, rep.makespan,
                                      rep.generatedTokens);
-    std::printf("served %zu requests on %s:\n", rep.completed,
+    std::printf("served %zu requests on %s:\n", trace.size(),
                 eng.spec().name.c_str());
     std::printf("  throughput : %.3f QPS (offered %.3f)\n",
                 rep.throughputQps, args.getDouble("qps", 0.1));
@@ -379,6 +436,21 @@ cmdServe(const Args &args)
                 rep.avgBatch, 100.0 * rep.utilization);
     std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
                 rep.energyPerQuery, cost.totalPerMTok());
+    if (plan.active() || deadline > 0.0) {
+        std::printf("  outcomes   : %zu completed, %zu timed out, "
+                    "%zu shed (%llu preemptions, %zu retried, "
+                    "%zu degraded)\n",
+                    rep.completed, rep.timedOut, rep.shed,
+                    static_cast<unsigned long long>(rep.preemptions),
+                    rep.retriedCompleted, rep.degradedCompleted);
+        std::printf("  goodput    : %.3f QPS, deadline hit rate "
+                    "%.0f%%\n",
+                    rep.goodputQps, 100.0 * rep.deadlineHitRate);
+        std::printf("  throttle   : %.0f%% of busy time below MAXN "
+                    "(degrade=%s)\n",
+                    100.0 * rep.throttleResidency,
+                    engine::degradeModeName(cfg.degrade.mode));
+    }
     return 0;
 }
 
