@@ -1,0 +1,179 @@
+#include "cli/serve_options.hh"
+
+#include <cstddef>
+#include <functional>
+#include <map>
+
+namespace edgereason {
+namespace cli {
+
+namespace {
+
+/** Whole-token numeric parses (rejects trailing junk like "12x"). */
+bool
+parseLong(const std::string &s, long long *out)
+{
+    try {
+        std::size_t pos = 0;
+        *out = std::stoll(s, &pos);
+        return pos == s.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    try {
+        std::size_t pos = 0;
+        *out = std::stod(s, &pos);
+        return pos == s.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+parseDegradeMode(const std::string &s, engine::DegradeMode *out)
+{
+    if (s == "none")
+        *out = engine::DegradeMode::None;
+    else if (s == "budget")
+        *out = engine::DegradeMode::Budget;
+    else if (s == "fallback")
+        *out = engine::DegradeMode::Fallback;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::optional<ServeOptions>
+parseServeOptions(const std::vector<std::string> &args,
+                  std::string *error)
+{
+    ServeOptions opt;
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    // Value-taking handlers: each consumes one value token and
+    // returns an error message (empty = ok).
+    using Handler = std::function<std::string(const std::string &)>;
+    const auto longOpt = [&](long long *dst, long long min,
+                             const char *what) {
+        return Handler([dst, min, what](const std::string &v) {
+            long long x = 0;
+            if (!parseLong(v, &x))
+                return std::string(what) + ": not an integer: " + v;
+            if (x < min)
+                return std::string(what) + " must be >= " +
+                    std::to_string(min) + ", got " + v;
+            *dst = x;
+            return std::string();
+        });
+    };
+    const auto doubleOpt = [&](double *dst, double min,
+                               const char *what) {
+        return Handler([dst, min, what](const std::string &v) {
+            double x = 0.0;
+            if (!parseDouble(v, &x))
+                return std::string(what) + ": not a number: " + v;
+            if (x < min)
+                return std::string(what) + " must be >= " +
+                    std::to_string(min) + ", got " + v;
+            *dst = x;
+            return std::string();
+        });
+    };
+
+    long long max_batch = opt.maxBatch;
+    long long prefill_chunk = opt.prefillChunk;
+    long long degrade_budget = opt.degradeBudget;
+    long long fault_seed = static_cast<long long>(opt.faultSeed);
+
+    const std::map<std::string, Handler> value_flags = {
+        {"model", [&](const std::string &v) {
+             opt.model = v;
+             return std::string();
+         }},
+        {"requests", longOpt(&opt.requests, 1, "--requests")},
+        {"qps", doubleOpt(&opt.qps, 0.0, "--qps")},
+        {"mean-in", doubleOpt(&opt.meanIn, 1.0, "--mean-in")},
+        {"mean-out", doubleOpt(&opt.meanOut, 1.0, "--mean-out")},
+        {"seed", longOpt(&opt.seed, 0, "--seed")},
+        {"deadline", doubleOpt(&opt.deadline, 0.0, "--deadline")},
+        {"max-batch", longOpt(&max_batch, 1, "--max-batch")},
+        {"prefill-chunk",
+         longOpt(&prefill_chunk, 0, "--prefill-chunk")},
+        {"scheduler", [&](const std::string &v) {
+             const auto p = engine::schedulerPolicyFromName(v);
+             if (!p)
+                 return "invalid --scheduler policy: " + v +
+                     " (expected fcfs|edf|spjf)";
+             opt.scheduler = *p;
+             return std::string();
+         }},
+        {"degrade", [&](const std::string &v) {
+             if (!parseDegradeMode(v, &opt.degrade))
+                 return "invalid --degrade mode: " + v +
+                     " (expected none|budget|fallback)";
+             return std::string();
+         }},
+        {"degrade-budget",
+         longOpt(&degrade_budget, 1, "--degrade-budget")},
+        {"fallback-model", [&](const std::string &v) {
+             opt.fallbackModel = v;
+             return std::string();
+         }},
+        {"fault-seed", longOpt(&fault_seed, 0, "--fault-seed")},
+        {"ambient", doubleOpt(&opt.ambient, -273.0, "--ambient")},
+        {"brownout-rate",
+         doubleOpt(&opt.brownoutRate, 0.0, "--brownout-rate")},
+        {"kv-shrink-rate",
+         doubleOpt(&opt.kvShrinkRate, 0.0, "--kv-shrink-rate")},
+        {"threads", longOpt(&opt.threads, 0, "--threads")},
+    };
+    const std::map<std::string, bool *> bool_flags = {
+        {"quant", &opt.quant},
+        {"faults", &opt.faults},
+        {"fallback-quant", &opt.fallbackQuant},
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &tok = args[i];
+        if (tok.rfind("--", 0) != 0)
+            return fail("unexpected argument: " + tok);
+        const std::string key = tok.substr(2);
+
+        if (const auto b = bool_flags.find(key);
+            b != bool_flags.end()) {
+            *b->second = true;
+            continue;
+        }
+        const auto v = value_flags.find(key);
+        if (v == value_flags.end())
+            return fail("unknown serve flag: " + tok);
+        if (i + 1 >= args.size() ||
+            args[i + 1].rfind("--", 0) == 0)
+            return fail("missing value for " + tok);
+        const std::string err = v->second(args[++i]);
+        if (!err.empty())
+            return fail(err);
+    }
+
+    if (opt.qps <= 0.0)
+        return fail("--qps must be positive");
+    opt.maxBatch = static_cast<int>(max_batch);
+    opt.prefillChunk = static_cast<Tokens>(prefill_chunk);
+    opt.degradeBudget = static_cast<Tokens>(degrade_budget);
+    opt.faultSeed = static_cast<unsigned long long>(fault_seed);
+    return opt;
+}
+
+} // namespace cli
+} // namespace edgereason

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Flag parsing for the CLI `serve` subcommand, extracted into a pure
+ * function so malformed input is unit-testable: parseServeOptions()
+ * never exits, prints, or touches globals — it returns the parsed
+ * options or an error string for the caller (tools/edgereason_cli.cc)
+ * to turn into a usage message.
+ */
+
+#ifndef EDGEREASON_CLI_SERVE_OPTIONS_HH
+#define EDGEREASON_CLI_SERVE_OPTIONS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "engine/scheduler.hh"
+#include "engine/server.hh"
+
+namespace edgereason {
+namespace cli {
+
+/** Parsed `serve` subcommand flags (defaults = flag omitted). */
+struct ServeOptions
+{
+    std::string model = "DeepScaleR-1.5B";
+    bool quant = false;
+
+    // --- Trace shape -----------------------------------------------
+    long long requests = 100;
+    double qps = 0.1;
+    double meanIn = 120.0;
+    double meanOut = 1024.0;
+    long long seed = 777;
+    Seconds deadline = 0.0; //!< per-request relative deadline (0 = none)
+
+    // --- Scheduler / executor --------------------------------------
+    int maxBatch = 30;
+    Tokens prefillChunk = 0;
+    engine::SchedulerPolicy scheduler = engine::SchedulerPolicy::Fcfs;
+
+    // --- Degradation -----------------------------------------------
+    engine::DegradeMode degrade = engine::DegradeMode::None;
+    Tokens degradeBudget = 256;
+    std::string fallbackModel; //!< empty = quantized primary
+    bool fallbackQuant = false;
+
+    // --- Fault plan ------------------------------------------------
+    bool faults = false;
+    unsigned long long faultSeed = 0xFA17;
+    double ambient = 32.0;
+    double brownoutRate = 2.0;
+    double kvShrinkRate = 1.0;
+
+    /** Parsed but applied globally by main() (thread-pool sizing). */
+    long long threads = 0;
+};
+
+/**
+ * Parse `serve` flags ("--key value ..." tokens, without the leading
+ * program/command names).  Unknown flags, missing values, malformed
+ * numbers, and out-of-range values are all rejected.
+ *
+ * @param args  raw flag tokens, e.g. {"--scheduler", "edf"}
+ * @param error  set to a one-line description on failure
+ * @return the options, or nullopt with *error set
+ */
+std::optional<ServeOptions>
+parseServeOptions(const std::vector<std::string> &args,
+                  std::string *error);
+
+} // namespace cli
+} // namespace edgereason
+
+#endif // EDGEREASON_CLI_SERVE_OPTIONS_HH

@@ -1,0 +1,560 @@
+#include "engine/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace edgereason {
+namespace engine {
+
+BatchExecutor::BatchExecutor(InferenceEngine &engine,
+                             InferenceEngine *fallback,
+                             const ServerConfig &config,
+                             const FaultPlan &faults,
+                             std::vector<ServedRequest> &served)
+    : engine_(engine), fallback_(fallback), config_(config),
+      faults_(faults), served_(served),
+      thermal_(faults.config().thermalSpec)
+{
+    faulty_ = faults_.active();
+    thermalOn_ = faulty_ && faults_.config().thermal;
+    fatal_if(faulty_ && config_.degrade.mode == DegradeMode::Fallback &&
+                 fallback_ == nullptr,
+             "Fallback degrade mode needs setFallbackEngine()");
+
+    kvBudget_ = config_.kvWatermark *
+        static_cast<double>(engine_.kvBudget());
+    kvPerToken_ = engine_.spec().kvBytesPerToken();
+    idleW_ = engine_.calib().power.idle;
+
+    // Under an active fault plan, KV admission switches from the
+    // legacy scalar reservation to a real paged KvCache so that
+    // shrink events exercise the block-level preemption hook
+    // (append() returning false).  A "ballast" sequence models the
+    // unavailable fraction of the pool during a shrink window.
+    if (faulty_) {
+        paged_ = std::make_unique<KvCache>(
+            std::max<Bytes>(static_cast<Bytes>(kvBudget_), 1),
+            engine_.spec());
+        ballast_ = paged_->createSequence();
+    }
+}
+
+double
+BatchExecutor::speedNow() const
+{
+    return thermalOn_ ? thermal_.speedFactor() : 1.0;
+}
+
+// Advance the clock over a busy work quantum whose MAXN-equivalent
+// duration is base_dt at MAXN-equivalent power maxn_power.  With
+// thermals off this is the exact legacy arithmetic; with thermals
+// on, the governed mode stretches time and derates power, and the
+// RC model integrates the heat.  @return the wall time spent.
+Seconds
+BatchExecutor::advanceWork(Seconds base_dt, Watts maxn_power)
+{
+    if (!thermalOn_) {
+        clock_ += base_dt;
+        busy_ += base_dt;
+        energy_ += maxn_power * base_dt;
+        return base_dt;
+    }
+    const double s = thermal_.speedFactor();
+    const Seconds dt = base_dt / s;
+    const auto sample = thermal_.step(maxn_power, dt, idleW_);
+    clock_ += dt;
+    busy_ += dt;
+    energy_ += sample.power * dt;
+    if (s < 1.0)
+        throttledBusy_ += dt;
+    return dt;
+}
+
+void
+BatchExecutor::idleTo(Seconds t)
+{
+    // The thermal mass cools over arrival gaps, retry backoff, and
+    // brownout recovery; integrate in bounded steps so the governor
+    // can recover modes on the way.
+    if (thermalOn_) {
+        Seconds left = t - clock_;
+        while (left > kTimeSlack) {
+            const Seconds d = std::min<Seconds>(left, 10.0);
+            thermal_.step(idleW_, d, idleW_);
+            left -= d;
+        }
+    }
+    clock_ = t; // exact assignment keeps idle jumps bit-stable
+}
+
+Seconds
+BatchExecutor::stepLatency(const InferenceEngine &eng, Tokens ctx,
+                           int batch)
+{
+    const Tokens bucket = std::max<Tokens>(64, (ctx + 63) / 64 * 64);
+    const auto key = std::make_tuple(&eng, bucket, batch);
+    auto it = stepCache_.find(key);
+    if (it == stepCache_.end()) {
+        it = stepCache_.emplace(
+            key, eng.decodeStepLatency(bucket, batch)).first;
+    }
+    return it->second;
+}
+
+Seconds
+BatchExecutor::chunkLatency(const InferenceEngine &eng, Tokens prefix,
+                            Tokens chunk)
+{
+    // A fixed chunk size revisits the same (k * chunk, chunk) pairs
+    // for every long prompt, so exact-key memoization pays off.
+    const auto key = std::make_tuple(&eng, prefix, chunk);
+    auto it = chunkCache_.find(key);
+    if (it == chunkCache_.end()) {
+        it = chunkCache_.emplace(
+            key, eng.prefillSuffixLatency(prefix, chunk)).first;
+    }
+    return it->second;
+}
+
+void
+BatchExecutor::record(TrackedRequest &f, RequestOutcome outcome)
+{
+    f.transitionTo(RequestState::Done);
+    ServedRequest done;
+    done.request = f.req;
+    done.outcome = outcome;
+    done.queueDelay = f.prefillStart - f.req.arrival;
+    done.serviceTime = clock_ - f.prefillStart;
+    done.finish = clock_;
+    done.generated = f.generated;
+    done.preemptions = f.preemptions;
+    done.degraded = f.degraded;
+    served_.push_back(done);
+}
+
+void
+BatchExecutor::shedWaiting(TrackedRequest &p)
+{
+    p.transitionTo(RequestState::Done);
+    ServedRequest s;
+    s.request = p.req;
+    s.outcome = RequestOutcome::Shed;
+    s.queueDelay = clock_ - p.req.arrival;
+    s.serviceTime = 0.0;
+    s.finish = clock_;
+    s.generated = 0;
+    s.preemptions = p.preemptions;
+    served_.push_back(s);
+}
+
+void
+BatchExecutor::releaseKv(const TrackedRequest &f)
+{
+    if (paged_) {
+        paged_->release(f.seq);
+    } else {
+        committedKv_ -= kvPerToken_ *
+            static_cast<double>(f.req.inputTokens + f.effOut);
+    }
+}
+
+// Reserve a request's full KV footprint. @return success.
+bool
+BatchExecutor::reserveKv(const ServerRequest &r, Tokens eff_out,
+                         SeqId &seq)
+{
+    if (paged_) {
+        seq = paged_->createSequence();
+        if (!paged_->append(seq, r.inputTokens + eff_out)) {
+            paged_->release(seq);
+            seq = 0;
+            return false;
+        }
+        return true;
+    }
+    const double need = kvPerToken_ *
+        static_cast<double>(r.inputTokens + eff_out);
+    if (committedKv_ + need > kvBudget_)
+        return false;
+    committedKv_ += need;
+    return true;
+}
+
+// Evict one in-flight request for recompute-on-resume.  Victim
+// policy: lowest priority first, then the youngest request (least
+// sunk work to discard); prefilling requests win ties over active
+// ones.  Sheds the victim once its retries are exhausted.
+// @return false if nothing is preemptible.
+bool
+BatchExecutor::preemptOne(ServingState &st)
+{
+    bool from_prefilling = false;
+    std::size_t idx = 0;
+    const TrackedRequest *best = nullptr;
+    const auto consider = [&](const TrackedRequest &f, bool pre,
+                              std::size_t i) {
+        const bool better = best == nullptr ||
+            f.req.priority < best->req.priority ||
+            (f.req.priority == best->req.priority &&
+             f.req.arrival > best->req.arrival);
+        if (better) {
+            best = &f;
+            from_prefilling = pre;
+            idx = i;
+        }
+    };
+    for (std::size_t i = 0; i < st.prefilling.size(); ++i)
+        consider(st.prefilling[i], true, i);
+    for (std::size_t i = 0; i < st.active.size(); ++i)
+        consider(st.active[i], false, i);
+    if (best == nullptr)
+        return false;
+    TrackedRequest victim = *best;
+    if (from_prefilling)
+        st.prefilling.erase(st.prefilling.begin() +
+                            static_cast<std::ptrdiff_t>(idx));
+    else
+        st.active.erase(st.active.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+    releaseKv(victim);
+    victim.transitionTo(RequestState::Preempted);
+    ++victim.preemptions;
+    ++totalPreemptions_;
+    if (victim.preemptions > config_.degrade.maxRetries) {
+        shedWaiting(victim);
+    } else {
+        victim.notBefore = clock_ + config_.degrade.retryBackoff *
+            std::ldexp(1.0, victim.preemptions - 1);
+        st.enqueue(victim);
+    }
+    return true;
+}
+
+void
+BatchExecutor::applyEvent(const FaultEvent &e, ServingState &st)
+{
+    switch (e.kind) {
+      case FaultKind::Brownout: {
+        // The SoC stalls: no work retires, idle rails keep
+        // drawing, in-flight requests hold their KV and wait.
+        energy_ += idleW_ * e.duration;
+        idleTo(clock_ + e.duration);
+        break;
+      }
+      case FaultKind::KvShrink: {
+        if (!paged_)
+            break;
+        Tokens want = static_cast<Tokens>(
+            e.magnitude *
+            static_cast<double>(paged_->tokenCapacity()));
+        want = want / paged_->blockTokens() * paged_->blockTokens();
+        while (paged_->sequenceTokens(ballast_) < want) {
+            const Tokens missing =
+                want - paged_->sequenceTokens(ballast_);
+            if (paged_->append(ballast_, missing))
+                break; // ballast resident, pool shrunk
+            if (!preemptOne(st)) {
+                // Nothing left to evict: occupy what remains and
+                // run in the (partially) smaller pool.
+                paged_->append(ballast_,
+                               std::min(missing,
+                                        paged_->freeTokenCapacity()));
+                break;
+            }
+        }
+        break;
+      }
+      case FaultKind::KvRestore:
+        if (!paged_)
+            break;
+        paged_->release(ballast_);
+        ballast_ = paged_->createSequence();
+        break;
+    }
+}
+
+void
+BatchExecutor::pumpEvents(ServingState &st)
+{
+    const auto &events = faults_.events();
+    while (nextEvent_ < events.size() &&
+           events[nextEvent_].time <= clock_ + kTimeSlack) {
+        applyEvent(events[nextEvent_], st);
+        ++nextEvent_;
+    }
+}
+
+void
+BatchExecutor::shedExpiredQueued(ServingState &st)
+{
+    for (auto it = st.queue.begin(); it != st.queue.end();) {
+        if (it->deadlineExpired(clock_)) {
+            shedWaiting(*it);
+            it = st.queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+BatchExecutor::beginCycle()
+{
+    // Degradation is in force while the governor holds a derated
+    // mode.  Fallback swaps the whole device's cost model (a model
+    // hot-swap serves everyone from the smaller model); Budget
+    // only shrinks budgets of new admissions.
+    degradedNow_ = thermalOn_ &&
+        config_.degrade.mode != DegradeMode::None &&
+        thermal_.throttled();
+    costEng_ = (degradedNow_ &&
+                config_.degrade.mode == DegradeMode::Fallback)
+        ? fallback_
+        : &engine_;
+}
+
+void
+BatchExecutor::admit(ServingState &st, const Scheduler &sched)
+{
+    // Reserve KV and start prefilling while capacity allows
+    // (prefilling sequences count against the batch cap).
+    while (!st.queue.empty() && st.inFlight() < config_.maxBatch) {
+        const std::size_t idx = sched.pickNext(st.queue, clock_);
+        if (idx == st.queue.size())
+            break; // every queued request is backing off
+
+        TrackedRequest cand = st.queue[idx];
+        Tokens eff_out = cand.req.outputTokens;
+        bool degraded = false;
+        if (degradedNow_ &&
+            config_.degrade.mode == DegradeMode::Budget) {
+            eff_out = config_.degrade.budget.apply(eff_out);
+            degraded = eff_out != cand.req.outputTokens;
+        }
+
+        // Deadline admission control, part 2: refuse work that
+        // cannot meet its deadline even under an optimistic
+        // (no-further-queueing) service estimate.
+        if (cand.hasDeadline()) {
+            const double s = speedNow();
+            const int est_batch = st.inFlight() + 1;
+            const Tokens mid_ctx = cand.req.inputTokens + eff_out / 2;
+            const Seconds est_finish = clock_ +
+                costEng_->prefillLatency(cand.req.inputTokens) / s +
+                static_cast<double>(eff_out) *
+                    stepLatency(*costEng_, mid_ctx, est_batch) / s;
+            if (est_finish >
+                cand.req.arrival + cand.req.deadline +
+                    kDeadlineSlack) {
+                st.queue.erase(st.queue.begin() +
+                               static_cast<std::ptrdiff_t>(idx));
+                shedWaiting(cand);
+                continue;
+            }
+        }
+
+        SeqId seq = 0;
+        if (!reserveKv(cand.req, eff_out, seq)) {
+            const bool ballast_held = paged_ &&
+                paged_->sequenceTokens(ballast_) > 0;
+            fatal_if(!st.hasInFlight() && !ballast_held,
+                     "request (", cand.req.inputTokens, "+", eff_out,
+                     " tokens) can never fit the KV budget");
+            break; // wait for completions (or a KV restore)
+        }
+
+        cand.resetForAdmission(clock_, eff_out, degraded, seq);
+        st.prefilling.push_back(cand);
+        st.queue.erase(st.queue.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+    }
+}
+
+void
+BatchExecutor::prefillStep(ServingState &st)
+{
+    if (st.prefilling.empty())
+        return;
+    TrackedRequest &p = st.prefilling.front();
+    const Tokens remaining = p.req.inputTokens - p.prefillDone;
+    const Tokens chunk = config_.prefillChunk > 0
+        ? std::min<Tokens>(config_.prefillChunk, remaining)
+        : remaining;
+    // An unchunked prefill costs exactly the legacy full prefill; a
+    // chunk is priced as a suffix prefill over the already-cached
+    // prefix, so the attention-over-prefix work of later chunks is
+    // accounted for.
+    const Seconds pf = config_.prefillChunk > 0
+        ? chunkLatency(*costEng_, p.prefillDone, chunk)
+        : costEng_->prefillLatency(chunk);
+    const Watts pw = costEng_->soc().power().prefill(
+        costEng_->calib().power, p.req.inputTokens);
+    advanceWork(pf, pw);
+    p.prefillDone += chunk;
+    if (p.prefillDone >= p.req.inputTokens) {
+        p.transitionTo(RequestState::Decoding);
+        st.active.push_back(p);
+        st.prefilling.pop_front();
+    }
+}
+
+void
+BatchExecutor::abortExpiredPrefills(ServingState &st)
+{
+    for (auto it = st.prefilling.begin(); it != st.prefilling.end();) {
+        if (it->deadlineExpired(clock_)) {
+            record(*it, RequestOutcome::TimedOut);
+            releaseKv(*it);
+            it = st.prefilling.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+BatchExecutor::decodeStep(ServingState &st)
+{
+    // One decode step for the whole batch.
+    const int batch = static_cast<int>(st.active.size());
+    double ctx_sum = 0.0;
+    double gen_sum = 0.0;
+    for (const auto &a : st.active) {
+        ctx_sum += static_cast<double>(a.req.inputTokens +
+                                       a.generated);
+        gen_sum += static_cast<double>(a.generated);
+    }
+    const Tokens avg_ctx = static_cast<Tokens>(
+        std::llround(ctx_sum / batch));
+    const Seconds base_dt = stepLatency(*costEng_, avg_ctx, batch);
+    const Tokens avg_o = std::max<Tokens>(
+        1, static_cast<Tokens>(std::llround(gen_sum / batch)) + 1);
+    const Watts pw = costEng_->soc().power().decode(
+        costEng_->calib().power, avg_o, batch);
+    const Seconds dt = advanceWork(base_dt, pw);
+    batchTimeWeighted_ += batch * dt;
+    generatedTokens_ += batch;
+
+    // Advance sequences; retire completed and timed-out ones.
+    for (std::size_t i = 0; i < st.active.size();) {
+        TrackedRequest &a = st.active[i];
+        ++a.generated;
+        const bool done = a.generated >= a.effOut;
+        const bool expired = !done && a.deadlineExpired(clock_);
+        if (done || expired) {
+            record(a, done ? RequestOutcome::Completed
+                           : RequestOutcome::TimedOut);
+            releaseKv(a);
+            st.active[i] = st.active.back();
+            st.active.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+BatchExecutor::sleepUntilWake(ServingState &st, Seconds next_arrival)
+{
+    Seconds wake = next_arrival;
+    const auto &events = faults_.events();
+    if (nextEvent_ < events.size())
+        wake = std::min(wake, events[nextEvent_].time);
+    for (const auto &p : st.queue) {
+        if (p.notBefore > clock_)
+            wake = std::min(wake, p.notBefore);
+    }
+    fatal_if(!std::isfinite(wake) || wake <= clock_,
+             "serving deadlock: ", st.queue.size(),
+             " queued request(s) can never be admitted");
+    idleTo(wake);
+}
+
+ServingReport
+BatchExecutor::report(Seconds first_arrival, SchedulerPolicy policy,
+                      const ServingState &st) const
+{
+    ServingReport rep;
+    std::size_t met = 0;
+    std::size_t with_deadline = 0;
+    std::size_t with_deadline_met = 0;
+    for (const auto &s : served_) {
+        switch (s.outcome) {
+          case RequestOutcome::Completed:
+            ++rep.completed;
+            if (s.preemptions > 0)
+                ++rep.retriedCompleted;
+            if (s.degraded)
+                ++rep.degradedCompleted;
+            if (s.deadlineMet())
+                ++met;
+            break;
+          case RequestOutcome::TimedOut:
+            ++rep.timedOut;
+            break;
+          case RequestOutcome::Shed:
+            ++rep.shed;
+            break;
+        }
+        if (s.request.deadline > 0.0) {
+            ++with_deadline;
+            if (s.deadlineMet())
+                ++with_deadline_met;
+        }
+    }
+    rep.makespan = clock_ - first_arrival;
+    rep.throughputQps = rep.makespan > 0.0
+        ? static_cast<double>(rep.completed) / rep.makespan
+        : 0.0;
+    rep.totalEnergy = energy_;
+    rep.energyPerQuery = rep.completed > 0
+        ? energy_ / static_cast<double>(rep.completed)
+        : 0.0;
+    rep.generatedTokens = generatedTokens_;
+    rep.avgBatch = busy_ > 0.0 ? batchTimeWeighted_ / busy_ : 0.0;
+    rep.utilization = rep.makespan > 0.0 ? busy_ / rep.makespan : 0.0;
+    rep.preemptions = totalPreemptions_;
+    rep.goodputQps = rep.makespan > 0.0
+        ? static_cast<double>(met) / rep.makespan
+        : 0.0;
+    rep.deadlineHitRate = with_deadline > 0
+        ? static_cast<double>(with_deadline_met) /
+            static_cast<double>(with_deadline)
+        : 1.0;
+    rep.throttleResidency = busy_ > 0.0 ? throttledBusy_ / busy_ : 0.0;
+
+    std::vector<double> latencies;
+    latencies.reserve(served_.size());
+    RunningStats lat;
+    for (const auto &s : served_) {
+        if (s.outcome != RequestOutcome::Completed)
+            continue;
+        latencies.push_back(s.latency());
+        lat.add(s.latency());
+    }
+    rep.meanLatency = lat.mean();
+    rep.p50Latency = percentile(latencies, 50.0);
+    rep.p95Latency = percentile(latencies, 95.0);
+    rep.p99Latency = percentile(latencies, 99.0);
+
+    rep.schedulerPolicy = policy;
+    std::vector<double> waits;
+    waits.reserve(served_.size());
+    RunningStats wait;
+    for (const auto &s : served_) {
+        waits.push_back(s.queueDelay);
+        wait.add(s.queueDelay);
+    }
+    rep.meanQueueDelay = wait.mean();
+    rep.p95QueueDelay = percentile(waits, 95.0);
+    rep.p99QueueDelay = percentile(waits, 99.0);
+    rep.peakQueueDepth = st.peakQueueDepth;
+    return rep;
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The execution layer of the serving stack.  BatchExecutor owns
+ * everything below admission ordering: the simulated clock and
+ * energy/thermal integration, KV reservation (scalar watermark on
+ * ideal runs, paged KvCache with preemption under an active fault
+ * plan), chunked prefill, step-synchronous decode, fault-event
+ * application, and the per-request outcome records.  The scheduler
+ * (engine/scheduler.hh) only decides *which* queued request is
+ * admitted next; the arrival pump (ServingSimulator::run) only decides
+ * *when* the executor runs.
+ *
+ * One executor instance drives one run: all accumulators start at
+ * zero and report() snapshots them into a ServingReport.
+ */
+
+#ifndef EDGEREASON_ENGINE_EXECUTOR_HH
+#define EDGEREASON_ENGINE_EXECUTOR_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "engine/server.hh"
+#include "hw/thermal.hh"
+
+namespace edgereason {
+namespace engine {
+
+/**
+ * Mutable scheduling state of one run, shared between the arrival
+ * pump, the scheduler, and the executor.  The three containers
+ * partition the live requests by lifecycle state: queue holds
+ * Queued/Preempted entries, prefilling holds Prefilling ones (in
+ * admission order; the front request owns the current prefill), and
+ * active holds the Decoding batch.
+ */
+struct ServingState
+{
+    std::deque<TrackedRequest> queue;
+    std::deque<TrackedRequest> prefilling;
+    std::vector<TrackedRequest> active;
+    /** True if any trace request carries a deadline. */
+    bool haveDeadlines = false;
+    /** Largest wait-queue depth observed (queueing observability). */
+    std::size_t peakQueueDepth = 0;
+
+    /** Append to the wait queue, tracking the peak depth. */
+    void enqueue(TrackedRequest r)
+    {
+        queue.push_back(std::move(r));
+        if (queue.size() > peakQueueDepth)
+            peakQueueDepth = queue.size();
+    }
+
+    /** @return number of admitted (prefilling + decoding) requests. */
+    int inFlight() const
+    {
+        return static_cast<int>(prefilling.size() + active.size());
+    }
+
+    /** @return true if any request is admitted. */
+    bool hasInFlight() const
+    {
+        return !prefilling.empty() || !active.empty();
+    }
+};
+
+/**
+ * Batch executor: engine stepping, KV admission, and fault/derating
+ * application for one serving run.  Borrowed engines and the fault
+ * plan must outlive the executor.
+ */
+class BatchExecutor
+{
+  public:
+    /**
+     * @param engine  primary engine (cost model + KV geometry)
+     * @param fallback  degraded-mode engine (Fallback mode only)
+     * @param config  scheduler limits and degrade policy
+     * @param faults  fault plan (inactive plan => legacy ideal path)
+     * @param served  sink for per-request outcome records
+     */
+    BatchExecutor(InferenceEngine &engine, InferenceEngine *fallback,
+                  const ServerConfig &config, const FaultPlan &faults,
+                  std::vector<ServedRequest> &served);
+
+    /** @return the simulated wall clock. */
+    Seconds clock() const { return clock_; }
+
+    /** Jump the clock to @p t with the device idle (thermal cooling
+     *  integrates on the way; exact assignment keeps idle jumps
+     *  bit-stable). */
+    void idleTo(Seconds t);
+
+    /** Apply every fault event scheduled at or before the clock. */
+    void pumpEvents(ServingState &st);
+
+    /** Shed queued requests whose deadline has already passed
+     *  (deadline admission control, part 1). */
+    void shedExpiredQueued(ServingState &st);
+
+    /**
+     * Latch the degraded-mode decision and cost engine for the
+     * current scheduling cycle.  The legacy loop sampled the thermal
+     * governor once per cycle and reused that decision for admission,
+     * prefill, and decode; calling this at cycle start preserves
+     * those semantics.
+     */
+    void beginCycle();
+
+    /**
+     * Admission: ask @p sched for the next request while batch slots
+     * and KV capacity allow.  Applies budget degradation, refuses
+     * work that cannot meet its deadline even under an optimistic
+     * service estimate (part 2 of admission control), and reserves
+     * the full KV footprint up front.
+     */
+    void admit(ServingState &st, const Scheduler &sched);
+
+    /** Process one prefill chunk (or the whole remaining prompt when
+     *  chunking is disabled) of the front prefilling request. */
+    void prefillStep(ServingState &st);
+
+    /** Time out prefilling requests that blew their deadline waiting
+     *  on (or doing) prefill work (mid-flight abort). */
+    void abortExpiredPrefills(ServingState &st);
+
+    /** One decode step for the whole batch; retires completed and
+     *  timed-out sequences. */
+    void decodeStep(ServingState &st);
+
+    /**
+     * All in-flight work drained but the queue is gated (retry
+     * backoff or a shrunken KV pool): sleep to the next wake-up
+     * (arrival, fault event, or backoff expiry).  @p next_arrival is
+     * +inf when the trace is exhausted.
+     */
+    void sleepUntilWake(ServingState &st, Seconds next_arrival);
+
+    /** Snapshot the run's aggregate metrics. */
+    ServingReport report(Seconds first_arrival,
+                         SchedulerPolicy policy,
+                         const ServingState &st) const;
+
+  private:
+    double speedNow() const;
+    Seconds advanceWork(Seconds base_dt, Watts maxn_power);
+    Seconds stepLatency(const InferenceEngine &eng, Tokens ctx,
+                        int batch);
+    Seconds chunkLatency(const InferenceEngine &eng, Tokens prefix,
+                         Tokens chunk);
+    void record(TrackedRequest &f, RequestOutcome outcome);
+    void shedWaiting(TrackedRequest &p);
+    void releaseKv(const TrackedRequest &f);
+    bool reserveKv(const ServerRequest &r, Tokens eff_out, SeqId &seq);
+    bool preemptOne(ServingState &st);
+    void applyEvent(const FaultEvent &e, ServingState &st);
+
+    InferenceEngine &engine_;
+    InferenceEngine *fallback_ = nullptr;
+    const ServerConfig &config_;
+    const FaultPlan &faults_;
+    std::vector<ServedRequest> &served_;
+
+    bool faulty_ = false;
+    bool thermalOn_ = false;
+    double kvBudget_ = 0.0;
+    double kvPerToken_ = 0.0;
+    Watts idleW_ = 0.0;
+
+    /** Paged KV pool + ballast sequence (active fault plans only; see
+     *  the KV-shrink notes in engine/faults.hh). */
+    std::unique_ptr<KvCache> paged_;
+    SeqId ballast_ = 0;
+    hw::ThermalSimulator thermal_;
+
+    // --- Per-cycle latch (beginCycle) ------------------------------
+    bool degradedNow_ = false;
+    const InferenceEngine *costEng_ = nullptr;
+
+    // --- Clocks and accumulators -----------------------------------
+    Seconds clock_ = 0.0;
+    Seconds busy_ = 0.0;
+    Seconds throttledBusy_ = 0.0;
+    Joules energy_ = 0.0;
+    double batchTimeWeighted_ = 0.0;
+    double committedKv_ = 0.0;
+    double generatedTokens_ = 0.0;
+    std::uint64_t totalPreemptions_ = 0;
+    std::size_t nextEvent_ = 0;
+
+    /** Memoized noiseless step latency over bucketed context, keyed
+     *  per cost engine (primary vs degraded fallback). */
+    std::map<std::tuple<const InferenceEngine *, Tokens, int>, Seconds>
+        stepCache_;
+    /** Memoized chunk costs (chunked prefill), keyed per cost engine
+     *  on the exact (cached prefix, chunk) pair. */
+    std::map<std::tuple<const InferenceEngine *, Tokens, Tokens>,
+             Seconds>
+        chunkCache_;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_EXECUTOR_HH

@@ -1,0 +1,85 @@
+#include "engine/request_state.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+const char *
+requestOutcomeName(RequestOutcome o)
+{
+    switch (o) {
+      case RequestOutcome::Completed:
+        return "completed";
+      case RequestOutcome::TimedOut:
+        return "timed-out";
+      case RequestOutcome::Shed:
+        return "shed";
+    }
+    panic("unknown request outcome");
+}
+
+const char *
+requestStateName(RequestState s)
+{
+    switch (s) {
+      case RequestState::Queued:
+        return "queued";
+      case RequestState::Prefilling:
+        return "prefilling";
+      case RequestState::Decoding:
+        return "decoding";
+      case RequestState::Preempted:
+        return "preempted";
+      case RequestState::Done:
+        return "done";
+    }
+    panic("unknown request state");
+}
+
+bool
+requestTransitionAllowed(RequestState from, RequestState to)
+{
+    switch (from) {
+      case RequestState::Queued:
+        return to == RequestState::Prefilling ||
+            to == RequestState::Done;
+      case RequestState::Prefilling:
+        return to == RequestState::Decoding ||
+            to == RequestState::Preempted || to == RequestState::Done;
+      case RequestState::Decoding:
+        return to == RequestState::Preempted ||
+            to == RequestState::Done;
+      case RequestState::Preempted:
+        return to == RequestState::Prefilling ||
+            to == RequestState::Done;
+      case RequestState::Done:
+        return false; // terminal
+    }
+    panic("unknown request state");
+}
+
+void
+TrackedRequest::transitionTo(RequestState next)
+{
+    panic_if(!requestTransitionAllowed(state, next),
+             "illegal request lifecycle transition ",
+             requestStateName(state), " -> ", requestStateName(next));
+    state = next;
+}
+
+void
+TrackedRequest::resetForAdmission(Seconds now, Tokens eff_out,
+                                  bool degraded_now, SeqId kv_seq)
+{
+    transitionTo(RequestState::Prefilling);
+    effOut = eff_out;
+    prefillStart = now;
+    prefillDone = 0;
+    generated = 0;
+    degraded = degraded_now;
+    seq = kv_seq;
+}
+
+} // namespace engine
+} // namespace edgereason

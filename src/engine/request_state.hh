@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Per-request lifecycle for the layered serving stack.  A request moves
+ * through an explicit state machine:
+ *
+ *     Queued ──admit──> Prefilling ──prompt done──> Decoding ──> Done
+ *       ^  \                │                          │
+ *       │   shed/abort      ├──evict──> Preempted <───evict
+ *       │                   v               │
+ *       └────────────── (re-queue) <────────┘   (retry, backoff-gated)
+ *
+ * Terminal Done covers every RequestOutcome (completed, timed out,
+ * shed).  TrackedRequest carries one request through all of its states
+ * — the scheduler ranks Queued/Preempted entries, the executor drives
+ * Prefilling/Decoding ones — and transitionTo() panics on any edge not
+ * in the diagram, so a scheduling bug trips an invariant instead of
+ * silently corrupting accounting.
+ */
+
+#ifndef EDGEREASON_ENGINE_REQUEST_STATE_HH
+#define EDGEREASON_ENGINE_REQUEST_STATE_HH
+
+#include <limits>
+
+#include "common/types.hh"
+#include "engine/kv_cache.hh"
+
+namespace edgereason {
+namespace engine {
+
+/**
+ * Slack added to deadline comparisons so that a request finishing
+ * exactly at its deadline (up to floating-point round-off in the clock
+ * integration) counts as on time.  Shared by ServedRequest::deadlineMet
+ * and every scheduler-side deadline check (queue shed, mid-flight
+ * abort, decode expiry) so the two sides can never drift: a request
+ * aborted as late is never re-counted as having met its deadline, and
+ * vice versa.
+ */
+inline constexpr Seconds kDeadlineSlack = 1e-9;
+
+/**
+ * Slack of the event/arrival pumps and retry-backoff gates ("has this
+ * instant been reached yet"): much tighter than kDeadlineSlack because
+ * it compares the clock against times the simulator itself produced.
+ */
+inline constexpr Seconds kTimeSlack = 1e-12;
+
+/** One serving request. */
+struct ServerRequest
+{
+    Seconds arrival = 0.0;
+    Tokens inputTokens = 0;
+    Tokens outputTokens = 0;
+    /**
+     * Scheduling class: higher admits first (an autonomous system's
+     * "avoid that obstacle now!" outranks its background planning
+     * queries).  FIFO within a class under the fcfs policy.
+     */
+    int priority = 0;
+    /**
+     * Relative deadline in seconds from arrival; <= 0 means none.
+     * Requests that cannot (or did not) finish by arrival + deadline
+     * are shed from the queue or aborted mid-flight.
+     */
+    Seconds deadline = 0.0;
+};
+
+/** Final disposition of a request. */
+enum class RequestOutcome {
+    Completed, //!< all output tokens generated
+    TimedOut,  //!< admitted, aborted at its deadline
+    Shed,      //!< never (re-)admitted: deadline or retries exhausted
+};
+
+/** @return human-readable outcome name. */
+const char *requestOutcomeName(RequestOutcome o);
+
+/**
+ * Per-request record.  Every trace request produces exactly one record
+ * whatever its fate, and all time fields are finite and well-defined
+ * for every outcome:
+ *  - Completed: queueDelay = last prefill start - arrival, serviceTime
+ *    = finish - last prefill start (earlier preempted service is
+ *    discarded work, reflected only in the counters).
+ *  - TimedOut: same fields, with finish = the abort time.
+ *  - Shed: queueDelay = time spent waiting until shed, serviceTime =
+ *    0, finish = the shed time.
+ * latency() is therefore always finish - arrival: time in system.
+ */
+struct ServedRequest
+{
+    ServerRequest request;
+    RequestOutcome outcome = RequestOutcome::Completed;
+    Seconds queueDelay = 0.0;   //!< (last) admission - arrival
+    Seconds serviceTime = 0.0;  //!< (last) prefill start -> finish
+    Seconds finish = 0.0;
+    Tokens generated = 0;       //!< output tokens produced (kept work)
+    int preemptions = 0;        //!< times evicted and recomputed
+    bool degraded = false;      //!< served under a degraded policy
+    /** @return time in system (== finish - arrival for all outcomes). */
+    Seconds latency() const { return queueDelay + serviceTime; }
+    /** @return true if the request completed within its deadline
+     *  (requests without a deadline count as met when completed). */
+    bool deadlineMet() const
+    {
+        if (outcome != RequestOutcome::Completed)
+            return false;
+        return request.deadline <= 0.0 ||
+            finish <= request.arrival + request.deadline +
+                kDeadlineSlack;
+    }
+};
+
+/** Lifecycle state of a request inside the serving stack. */
+enum class RequestState {
+    Queued,     //!< waiting for admission (never yet admitted)
+    Prefilling, //!< admitted, prompt tokens being processed
+    Decoding,   //!< in the shared decode batch
+    Preempted,  //!< evicted, waiting (backoff-gated) for re-admission
+    Done,       //!< terminal: completed, timed out, or shed
+};
+
+/** @return human-readable state name. */
+const char *requestStateName(RequestState s);
+
+/** @return true if @p from -> @p to is a legal lifecycle edge. */
+bool requestTransitionAllowed(RequestState from, RequestState to);
+
+/**
+ * One request tracked through its whole lifecycle.  Queued/Preempted
+ * entries live in the scheduler queue; Prefilling/Decoding ones in the
+ * executor's in-flight sets.  Preemption is recompute-on-resume: the
+ * in-flight fields are discarded on eviction and re-initialized by
+ * resetForAdmission() on the next admission.
+ */
+struct TrackedRequest
+{
+    ServerRequest req;
+    RequestState state = RequestState::Queued;
+
+    // --- Waiting fields (Queued / Preempted) -----------------------
+    Seconds notBefore = 0.0; //!< retry-backoff gate
+
+    // --- In-flight fields (Prefilling / Decoding) ------------------
+    Tokens effOut = 0; //!< output budget (degraded <= requested)
+    Seconds prefillStart = 0.0;
+    Tokens prefillDone = 0;
+    Tokens generated = 0;
+    int preemptions = 0;
+    bool degraded = false;
+    SeqId seq = 0; //!< paged-mode KV sequence handle
+
+    /** Move to @p next; panics on an edge not in the state machine. */
+    void transitionTo(RequestState next);
+
+    /** @return true if the request carries a deadline. */
+    bool hasDeadline() const { return req.deadline > 0.0; }
+
+    /** @return absolute deadline instant (+inf when none). */
+    Seconds absoluteDeadline() const
+    {
+        return hasDeadline()
+            ? req.arrival + req.deadline
+            : std::numeric_limits<Seconds>::infinity();
+    }
+
+    /** @return true if the deadline has passed at @p now. */
+    bool deadlineExpired(Seconds now) const
+    {
+        return hasDeadline() &&
+            now > req.arrival + req.deadline + kDeadlineSlack;
+    }
+
+    /** @return true if the retry-backoff gate is open at @p now. */
+    bool eligibleAt(Seconds now) const
+    {
+        return notBefore <= now + kTimeSlack;
+    }
+
+    /**
+     * (Re-)initialize the in-flight fields at admission time
+     * (recompute-on-resume: prior prefill/decode progress is
+     * discarded work).  Transitions to Prefilling.
+     */
+    void resetForAdmission(Seconds now, Tokens eff_out,
+                           bool degraded_now, SeqId kv_seq);
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_REQUEST_STATE_HH

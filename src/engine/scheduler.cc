@@ -1,0 +1,141 @@
+#include "engine/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+const char *
+schedulerPolicyName(SchedulerPolicy p)
+{
+    switch (p) {
+      case SchedulerPolicy::Fcfs:
+        return "fcfs";
+      case SchedulerPolicy::Edf:
+        return "edf";
+      case SchedulerPolicy::Spjf:
+        return "spjf";
+    }
+    panic("unknown scheduler policy");
+}
+
+std::optional<SchedulerPolicy>
+schedulerPolicyFromName(const std::string &name)
+{
+    if (name == "fcfs")
+        return SchedulerPolicy::Fcfs;
+    if (name == "edf")
+        return SchedulerPolicy::Edf;
+    if (name == "spjf")
+        return SchedulerPolicy::Spjf;
+    return std::nullopt;
+}
+
+namespace {
+
+/**
+ * Shared selection skeleton: scan the queue in order, skip gated
+ * entries, keep the entry @p better prefers.  Queue order breaks all
+ * remaining ties (stable), which is what makes fcfs exactly FIFO
+ * within a priority class.
+ */
+template <typename Better>
+std::size_t
+scanQueue(const std::deque<TrackedRequest> &queue, Seconds now,
+          Better &&better)
+{
+    std::size_t best = queue.size();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (!queue[i].eligibleAt(now))
+            continue; // backing off after a preemption
+        if (best == queue.size() || better(queue[i], queue[best]))
+            best = i;
+    }
+    return best;
+}
+
+/** The legacy order: priority class desc, then arrival asc. */
+bool
+fcfsBetter(const TrackedRequest &a, const TrackedRequest &b)
+{
+    return a.req.priority > b.req.priority ||
+        (a.req.priority == b.req.priority &&
+         a.req.arrival < b.req.arrival);
+}
+
+} // namespace
+
+std::size_t
+FcfsScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+                        Seconds now) const
+{
+    return scanQueue(queue, now, fcfsBetter);
+}
+
+std::size_t
+EdfScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+                       Seconds now) const
+{
+    return scanQueue(queue, now,
+                     [](const TrackedRequest &a,
+                        const TrackedRequest &b) {
+                         const Seconds da = a.absoluteDeadline();
+                         const Seconds db = b.absoluteDeadline();
+                         if (da != db)
+                             return da < db;
+                         return fcfsBetter(a, b);
+                     });
+}
+
+SpjfScheduler::SpjfScheduler(perf::LatencyModel model)
+    : model_(model)
+{
+    fatal_if(model_.decode.n <= 0.0,
+             "SPJF needs a fitted latency model (decode.n must be a "
+             "positive per-token time, got ", model_.decode.n, ")");
+}
+
+Seconds
+SpjfScheduler::predictedService(const TrackedRequest &r) const
+{
+    // Queued/Preempted work restarts from scratch (recompute-on-
+    // resume), so the whole prompt and every output token remain.
+    return model_.prefill(r.req.inputTokens) +
+        model_.decode.remaining(r.req.inputTokens, r.req.outputTokens);
+}
+
+std::size_t
+SpjfScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+                        Seconds now) const
+{
+    return scanQueue(queue, now,
+                     [this](const TrackedRequest &a,
+                            const TrackedRequest &b) {
+                         if (a.req.priority != b.req.priority)
+                             return a.req.priority > b.req.priority;
+                         const Seconds sa = predictedService(a);
+                         const Seconds sb = predictedService(b);
+                         if (sa != sb)
+                             return sa < sb;
+                         return a.req.arrival < b.req.arrival;
+                     });
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerPolicy p, const perf::LatencyModel *spjf_model)
+{
+    switch (p) {
+      case SchedulerPolicy::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerPolicy::Edf:
+        return std::make_unique<EdfScheduler>();
+      case SchedulerPolicy::Spjf:
+        fatal_if(spjf_model == nullptr,
+                 "SchedulerPolicy::Spjf needs a latency model");
+        return std::make_unique<SpjfScheduler>(*spjf_model);
+    }
+    panic("unknown scheduler policy");
+}
+
+} // namespace engine
+} // namespace edgereason

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Pluggable admission scheduling for the serving stack.  A Scheduler
+ * owns exactly one decision: given the wait queue (Queued/Preempted
+ * requests, some gated by retry backoff), which request is admitted
+ * next?  Everything else — KV reservation, deadline admission control,
+ * chunked prefill, fault reaction — belongs to the BatchExecutor
+ * (engine/executor.hh), so a new scheduling idea is a new subclass,
+ * not a rewrite of the serving loop.
+ *
+ * Built-in policies:
+ *  - fcfs: the legacy policy — highest priority class first, FIFO
+ *    within a class.  The default, and bit-exact with the
+ *    pre-decomposition simulator.
+ *  - edf: earliest (absolute) deadline first; requests without a
+ *    deadline rank after all deadline-carrying ones.  Maximizes
+ *    deadline hit rate under over-subscription.
+ *  - spjf: shortest predicted job first; predicted service time comes
+ *    from a fitted perf::LatencyModel (Section IV-A), so the policy
+ *    needs no oracle knowledge of actual run times.  Minimizes mean
+ *    latency under skewed output-length mixes.
+ */
+
+#ifndef EDGEREASON_ENGINE_SCHEDULER_HH
+#define EDGEREASON_ENGINE_SCHEDULER_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/request_state.hh"
+#include "perfmodel/latency_model.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Built-in admission policies. */
+enum class SchedulerPolicy {
+    Fcfs, //!< priority class, then FIFO (legacy behaviour)
+    Edf,  //!< earliest absolute deadline first
+    Spjf, //!< shortest predicted job first (perf::LatencyModel)
+};
+
+/** @return human-readable policy name ("fcfs", "edf", "spjf"). */
+const char *schedulerPolicyName(SchedulerPolicy p);
+
+/** Parse a policy name; nullopt on an unknown name. */
+std::optional<SchedulerPolicy>
+schedulerPolicyFromName(const std::string &name);
+
+/**
+ * Admission-ordering policy.  Stateless between calls: the executor
+ * asks once per free batch slot.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** @return the policy this scheduler implements. */
+    virtual SchedulerPolicy policy() const = 0;
+
+    /** @return the policy name (for reports and logs). */
+    const char *name() const { return schedulerPolicyName(policy()); }
+
+    /**
+     * Pick the next request to admit at time @p now.  Entries whose
+     * retry-backoff gate is still closed (eligibleAt(now) == false)
+     * must be skipped.
+     *
+     * @return index into @p queue, or queue.size() when no entry is
+     *         eligible.
+     */
+    virtual std::size_t
+    pickNext(const std::deque<TrackedRequest> &queue,
+             Seconds now) const = 0;
+};
+
+/** Legacy policy: highest priority first, FIFO within a class. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::Fcfs;
+    }
+    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+                         Seconds now) const override;
+};
+
+/**
+ * Earliest-deadline-first.  Ties (equal absolute deadline, including
+ * the no-deadline +inf class) fall back to the fcfs order so that a
+ * deadline-free trace behaves exactly like fcfs.
+ */
+class EdfScheduler : public Scheduler
+{
+  public:
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::Edf;
+    }
+    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+                         Seconds now) const override;
+};
+
+/**
+ * Shortest-predicted-job-first.  The predicted service time of a
+ * queued request is prefill(I) plus the remaining decode time of all
+ * O output tokens under the fitted latency model; priority classes
+ * still dominate (a high-priority long job beats a low-priority short
+ * one), SPJF orders within a class.
+ */
+class SpjfScheduler : public Scheduler
+{
+  public:
+    /** @param model  fitted latency model of the served engine. */
+    explicit SpjfScheduler(perf::LatencyModel model);
+
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::Spjf;
+    }
+    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+                         Seconds now) const override;
+
+    /** @return predicted total service time of @p r's remaining work. */
+    Seconds predictedService(const TrackedRequest &r) const;
+
+  private:
+    perf::LatencyModel model_;
+};
+
+/**
+ * Policy factory.  @p spjf_model is required for SchedulerPolicy::Spjf
+ * (it must predict a positive per-token decode time) and ignored
+ * otherwise.
+ */
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerPolicy p,
+              const perf::LatencyModel *spjf_model = nullptr);
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_SCHEDULER_HH

@@ -3,29 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <memory>
-#include <tuple>
 
 #include "common/logging.hh"
-#include "common/stats.hh"
+#include "engine/executor.hh"
 
 namespace edgereason {
 namespace engine {
-
-const char *
-requestOutcomeName(RequestOutcome o)
-{
-    switch (o) {
-      case RequestOutcome::Completed:
-        return "completed";
-      case RequestOutcome::TimedOut:
-        return "timed-out";
-      case RequestOutcome::Shed:
-        return "shed";
-    }
-    panic("unknown request outcome");
-}
 
 const char *
 degradeModeName(DegradeMode m)
@@ -50,8 +33,16 @@ ServingSimulator::ServingSimulator(InferenceEngine &engine,
              "kvWatermark out of (0, 1]");
     fatal_if(config_.degrade.maxRetries < 0,
              "maxRetries must be non-negative");
-    fatal_if(config_.degrade.retryBackoff < 0.0,
-             "retryBackoff must be non-negative");
+    fatal_if(config_.prefillChunk < 0,
+             "prefillChunk must be non-negative");
+    scheduler_ = makeScheduler(config_.scheduler, &config_.spjfModel);
+}
+
+void
+ServingSimulator::setScheduler(std::unique_ptr<Scheduler> scheduler)
+{
+    fatal_if(scheduler == nullptr, "null scheduler");
+    scheduler_ = std::move(scheduler);
 }
 
 std::vector<ServerRequest>
@@ -105,7 +96,7 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
                       const FaultPlan &faults)
 {
     fatal_if(trace.empty(), "empty serving trace");
-    bool have_deadlines = false;
+    ServingState st;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         fatal_if(i > 0 && trace[i].arrival < trace[i - 1].arrival,
                  "serving trace must be sorted by arrival time: "
@@ -114,573 +105,66 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
                  trace[i - 1].arrival, " s");
         fatal_if(trace[i].deadline < 0.0,
                  "negative deadline on request ", i);
-        have_deadlines = have_deadlines || trace[i].deadline > 0.0;
+        st.haveDeadlines = st.haveDeadlines || trace[i].deadline > 0.0;
     }
-
-    const bool faulty = faults.active();
-    const bool thermal_on = faulty && faults.config().thermal;
-    fatal_if(faulty && config_.degrade.mode == DegradeMode::Fallback &&
-                 fallback_ == nullptr,
-             "Fallback degrade mode needs setFallbackEngine()");
-
-    struct Flight
-    {
-        ServerRequest req;
-        Tokens effOut = 0; //!< output budget (degraded <= requested)
-        Seconds prefillStart = 0.0;
-        Tokens prefillDone = 0;
-        Tokens generated = 0;
-        int preemptions = 0;
-        bool degraded = false;
-        SeqId seq = 0; //!< paged-mode KV sequence handle
-    };
-
-    struct Pending
-    {
-        ServerRequest req;
-        Seconds notBefore = 0.0; //!< retry-backoff gate
-        int preemptions = 0;
-    };
-
-    const double kv_budget = config_.kvWatermark *
-        static_cast<double>(engine_.kvBudget());
-    const double kv_per_token = engine_.spec().kvBytesPerToken();
-    const Watts idle_w = engine_.calib().power.idle;
-
-    // Under an active fault plan, KV admission switches from the
-    // legacy scalar reservation to a real paged KvCache so that
-    // shrink events exercise the block-level preemption hook
-    // (append() returning false).  A "ballast" sequence models the
-    // unavailable fraction of the pool during a shrink window.
-    std::unique_ptr<KvCache> paged;
-    SeqId ballast = 0;
-    if (faulty) {
-        paged = std::make_unique<KvCache>(
-            std::max<Bytes>(static_cast<Bytes>(kv_budget), 1),
-            engine_.spec());
-        ballast = paged->createSequence();
-    }
-    hw::ThermalSimulator thermal(faults.config().thermalSpec);
-
-    // Memoized noiseless step latency over bucketed context, keyed
-    // per cost engine (primary vs degraded fallback).
-    std::map<std::tuple<const InferenceEngine *, Tokens, int>, Seconds>
-        step_cache;
-    const auto step_latency = [&](const InferenceEngine &eng,
-                                  Tokens ctx, int batch) {
-        const Tokens bucket = std::max<Tokens>(
-            64, (ctx + 63) / 64 * 64);
-        const auto key = std::make_tuple(&eng, bucket, batch);
-        auto it = step_cache.find(key);
-        if (it == step_cache.end()) {
-            it = step_cache.emplace(
-                key, eng.decodeStepLatency(bucket, batch)).first;
-        }
-        return it->second;
-    };
 
     served_.clear();
     served_.reserve(trace.size());
+    BatchExecutor exec(engine_, fallback_, config_, faults, served_);
 
     std::size_t next_arrival = 0;
-    std::deque<Pending> queue;
-    std::deque<Flight> prefilling;
-    std::vector<Flight> active;
-    Seconds clock = 0.0;
-    Seconds busy = 0.0;
-    Seconds throttled_busy = 0.0;
-    Joules energy = 0.0;
-    double batch_time_weighted = 0.0;
-    double committed_kv = 0.0;
-    double generated_tokens = 0.0;
-    std::uint64_t total_preemptions = 0;
-    const Seconds first_arrival = trace.front().arrival;
-    std::size_t next_event = 0;
-    const auto &events = faults.events();
-
     const auto pull_arrivals = [&]() {
         while (next_arrival < trace.size() &&
-               trace[next_arrival].arrival <= clock + 1e-12) {
-            queue.push_back(Pending{trace[next_arrival], 0.0, 0});
+               trace[next_arrival].arrival <=
+                   exec.clock() + kTimeSlack) {
+            TrackedRequest r;
+            r.req = trace[next_arrival];
+            st.enqueue(std::move(r));
             ++next_arrival;
         }
     };
 
-    const auto speed_now = [&]() {
-        return thermal_on ? thermal.speedFactor() : 1.0;
-    };
-
-    // Advance the clock over a busy work quantum whose MAXN-equivalent
-    // duration is base_dt at MAXN-equivalent power maxn_power.  With
-    // thermals off this is the exact legacy arithmetic; with thermals
-    // on, the governed mode stretches time and derates power, and the
-    // RC model integrates the heat.  @return the wall time spent.
-    const auto advance_work = [&](Seconds base_dt,
-                                  Watts maxn_power) -> Seconds {
-        if (!thermal_on) {
-            clock += base_dt;
-            busy += base_dt;
-            energy += maxn_power * base_dt;
-            return base_dt;
-        }
-        const double s = thermal.speedFactor();
-        const Seconds dt = base_dt / s;
-        const auto sample = thermal.step(maxn_power, dt, idle_w);
-        clock += dt;
-        busy += dt;
-        energy += sample.power * dt;
-        if (s < 1.0)
-            throttled_busy += dt;
-        return dt;
-    };
-
-    // Jump the clock to t with the device idle (arrival gaps, retry
-    // backoff, brownout recovery).  The thermal mass cools; integrate
-    // in bounded steps so the governor can recover modes on the way.
-    const auto idle_to = [&](Seconds t) {
-        if (thermal_on) {
-            Seconds left = t - clock;
-            while (left > 1e-12) {
-                const Seconds d = std::min<Seconds>(left, 10.0);
-                thermal.step(idle_w, d, idle_w);
-                left -= d;
-            }
-        }
-        clock = t; // exact assignment keeps idle jumps bit-stable
-    };
-
-    const auto record = [&](const Flight &f, RequestOutcome outcome) {
-        ServedRequest done;
-        done.request = f.req;
-        done.outcome = outcome;
-        done.queueDelay = f.prefillStart - f.req.arrival;
-        done.serviceTime = clock - f.prefillStart;
-        done.finish = clock;
-        done.generated = f.generated;
-        done.preemptions = f.preemptions;
-        done.degraded = f.degraded;
-        served_.push_back(done);
-    };
-
-    const auto shed = [&](const Pending &p) {
-        ServedRequest s;
-        s.request = p.req;
-        s.outcome = RequestOutcome::Shed;
-        s.queueDelay = clock - p.req.arrival;
-        s.serviceTime = 0.0;
-        s.finish = clock;
-        s.generated = 0;
-        s.preemptions = p.preemptions;
-        served_.push_back(s);
-    };
-
-    const auto release_kv = [&](const Flight &f) {
-        if (paged) {
-            paged->release(f.seq);
-        } else {
-            committed_kv -= kv_per_token *
-                static_cast<double>(f.req.inputTokens + f.effOut);
-        }
-    };
-
-    // Reserve a request's full KV footprint. @return success.
-    const auto reserve_kv = [&](const ServerRequest &r, Tokens eff_out,
-                                SeqId &seq) {
-        if (paged) {
-            seq = paged->createSequence();
-            if (!paged->append(seq, r.inputTokens + eff_out)) {
-                paged->release(seq);
-                seq = 0;
-                return false;
-            }
-            return true;
-        }
-        const double need = kv_per_token *
-            static_cast<double>(r.inputTokens + eff_out);
-        if (committed_kv + need > kv_budget)
-            return false;
-        committed_kv += need;
-        return true;
-    };
-
-    // Evict one in-flight request for recompute-on-resume.  Victim
-    // policy: lowest priority first, then the youngest request (least
-    // sunk work to discard); prefilling requests win ties over active
-    // ones.  Sheds the victim once its retries are exhausted.
-    // @return false if nothing is preemptible.
-    const auto preempt_one = [&]() -> bool {
-        bool from_prefilling = false;
-        std::size_t idx = 0;
-        const Flight *best = nullptr;
-        const auto consider = [&](const Flight &f, bool pre,
-                                  std::size_t i) {
-            const bool better = best == nullptr ||
-                f.req.priority < best->req.priority ||
-                (f.req.priority == best->req.priority &&
-                 f.req.arrival > best->req.arrival);
-            if (better) {
-                best = &f;
-                from_prefilling = pre;
-                idx = i;
-            }
-        };
-        for (std::size_t i = 0; i < prefilling.size(); ++i)
-            consider(prefilling[i], true, i);
-        for (std::size_t i = 0; i < active.size(); ++i)
-            consider(active[i], false, i);
-        if (best == nullptr)
-            return false;
-        Flight victim = *best;
-        if (from_prefilling)
-            prefilling.erase(prefilling.begin() +
-                             static_cast<std::ptrdiff_t>(idx));
-        else
-            active.erase(active.begin() +
-                         static_cast<std::ptrdiff_t>(idx));
-        release_kv(victim);
-        ++victim.preemptions;
-        ++total_preemptions;
-        if (victim.preemptions > config_.degrade.maxRetries) {
-            shed(Pending{victim.req, 0.0, victim.preemptions});
-        } else {
-            Pending p;
-            p.req = victim.req;
-            p.preemptions = victim.preemptions;
-            p.notBefore = clock + config_.degrade.retryBackoff *
-                std::ldexp(1.0, victim.preemptions - 1);
-            queue.push_back(p);
-        }
-        return true;
-    };
-
-    const auto apply_event = [&](const FaultEvent &e) {
-        switch (e.kind) {
-          case FaultKind::Brownout: {
-            // The SoC stalls: no work retires, idle rails keep
-            // drawing, in-flight requests hold their KV and wait.
-            energy += idle_w * e.duration;
-            idle_to(clock + e.duration);
-            break;
-          }
-          case FaultKind::KvShrink: {
-            if (!paged)
-                break;
-            Tokens want = static_cast<Tokens>(
-                e.magnitude *
-                static_cast<double>(paged->tokenCapacity()));
-            want = want / paged->blockTokens() * paged->blockTokens();
-            while (paged->sequenceTokens(ballast) < want) {
-                const Tokens missing =
-                    want - paged->sequenceTokens(ballast);
-                if (paged->append(ballast, missing))
-                    break; // ballast resident, pool shrunk
-                if (!preempt_one()) {
-                    // Nothing left to evict: occupy what remains and
-                    // run in the (partially) smaller pool.
-                    paged->append(ballast,
-                                  std::min(missing,
-                                           paged->freeTokenCapacity()));
-                    break;
-                }
-            }
-            break;
-          }
-          case FaultKind::KvRestore:
-            if (!paged)
-                break;
-            paged->release(ballast);
-            ballast = paged->createSequence();
-            break;
-        }
-    };
-
-    const auto pump_events = [&]() {
-        while (next_event < events.size() &&
-               events[next_event].time <= clock + 1e-12) {
-            apply_event(events[next_event]);
-            ++next_event;
-        }
-    };
-
-    while (!queue.empty() || !prefilling.empty() || !active.empty() ||
+    while (!st.queue.empty() || st.hasInFlight() ||
            next_arrival < trace.size()) {
         pull_arrivals();
-        pump_events();
+        exec.pumpEvents(st);
 
-        if (queue.empty() && prefilling.empty() && active.empty() &&
+        if (st.queue.empty() && !st.hasInFlight() &&
             next_arrival < trace.size()) {
             // Idle until the next arrival.
-            idle_to(trace[next_arrival].arrival);
+            exec.idleTo(trace[next_arrival].arrival);
             pull_arrivals();
-            pump_events();
+            exec.pumpEvents(st);
         }
 
-        // Deadline admission control, part 1: shed queued requests
-        // whose deadline has already passed.
-        if (have_deadlines) {
-            for (auto it = queue.begin(); it != queue.end();) {
-                if (it->req.deadline > 0.0 &&
-                    clock > it->req.arrival + it->req.deadline +
-                        1e-12) {
-                    shed(*it);
-                    it = queue.erase(it);
-                } else {
-                    ++it;
-                }
-            }
-        }
+        if (st.haveDeadlines)
+            exec.shedExpiredQueued(st);
 
-        // Degradation is in force while the governor holds a derated
-        // mode.  Fallback swaps the whole device's cost model (a model
-        // hot-swap serves everyone from the smaller model); Budget
-        // only shrinks budgets of new admissions.
-        const bool degraded_now = thermal_on &&
-            config_.degrade.mode != DegradeMode::None &&
-            thermal.throttled();
-        const InferenceEngine &cost_eng =
-            (degraded_now &&
-             config_.degrade.mode == DegradeMode::Fallback)
-                ? *fallback_
-                : engine_;
-        const hw::PowerModel &cost_power = cost_eng.soc().power();
-        const auto &cost_pp = cost_eng.calib().power;
-
-        // Admission: reserve KV and start prefilling while capacity
-        // allows (prefilling sequences count against the batch cap).
-        // Highest priority first; FIFO within a class.
-        while (!queue.empty() &&
-               static_cast<int>(active.size() + prefilling.size()) <
-                   config_.maxBatch) {
-            auto best = queue.end();
-            for (auto it = queue.begin(); it != queue.end(); ++it) {
-                if (it->notBefore > clock + 1e-12)
-                    continue; // backing off after a preemption
-                if (best == queue.end() ||
-                    it->req.priority > best->req.priority ||
-                    (it->req.priority == best->req.priority &&
-                     it->req.arrival < best->req.arrival))
-                    best = it;
-            }
-            if (best == queue.end())
-                break; // every queued request is backing off
-
-            const Pending cand = *best;
-            Tokens eff_out = cand.req.outputTokens;
-            bool degraded = false;
-            if (degraded_now &&
-                config_.degrade.mode == DegradeMode::Budget) {
-                eff_out = config_.degrade.budget.apply(eff_out);
-                degraded = eff_out != cand.req.outputTokens;
-            }
-
-            // Deadline admission control, part 2: refuse work that
-            // cannot meet its deadline even under an optimistic
-            // (no-further-queueing) service estimate.
-            if (cand.req.deadline > 0.0) {
-                const double s = speed_now();
-                const int est_batch = static_cast<int>(
-                    active.size() + prefilling.size()) + 1;
-                const Tokens mid_ctx =
-                    cand.req.inputTokens + eff_out / 2;
-                const Seconds est_finish = clock +
-                    cost_eng.prefillLatency(cand.req.inputTokens) / s +
-                    static_cast<double>(eff_out) *
-                        step_latency(cost_eng, mid_ctx, est_batch) / s;
-                if (est_finish >
-                    cand.req.arrival + cand.req.deadline + 1e-12) {
-                    queue.erase(best);
-                    shed(cand);
-                    continue;
-                }
-            }
-
-            SeqId seq = 0;
-            if (!reserve_kv(cand.req, eff_out, seq)) {
-                const bool ballast_held = paged &&
-                    paged->sequenceTokens(ballast) > 0;
-                fatal_if(active.empty() && prefilling.empty() &&
-                             !ballast_held,
-                         "request (", cand.req.inputTokens, "+",
-                         eff_out,
-                         " tokens) can never fit the KV budget");
-                break; // wait for completions (or a KV restore)
-            }
-
-            Flight f;
-            f.req = cand.req;
-            f.effOut = eff_out;
-            f.prefillStart = clock;
-            f.preemptions = cand.preemptions;
-            f.degraded = degraded;
-            f.seq = seq;
-            prefilling.push_back(f);
-            queue.erase(best);
-        }
+        exec.beginCycle();
+        exec.admit(st, *scheduler_);
 
         // All in-flight work drained but the queue is gated (retry
         // backoff or a shrunken KV pool): sleep to the next wake-up.
-        if (prefilling.empty() && active.empty()) {
-            if (queue.empty())
+        if (!st.hasInFlight()) {
+            if (st.queue.empty())
                 continue; // outer loop idles to the next arrival
-            Seconds wake = std::numeric_limits<Seconds>::infinity();
-            if (next_arrival < trace.size())
-                wake = std::min(wake, trace[next_arrival].arrival);
-            if (next_event < events.size())
-                wake = std::min(wake, events[next_event].time);
-            for (const auto &p : queue) {
-                if (p.notBefore > clock)
-                    wake = std::min(wake, p.notBefore);
-            }
-            fatal_if(!std::isfinite(wake) || wake <= clock,
-                     "serving deadlock: ", queue.size(),
-                     " queued request(s) can never be admitted");
-            idle_to(wake);
+            exec.sleepUntilWake(
+                st, next_arrival < trace.size()
+                        ? trace[next_arrival].arrival
+                        : std::numeric_limits<Seconds>::infinity());
             continue;
         }
 
-        // Prefill work: one chunk (or the whole prompt when chunking
-        // is disabled) of the oldest prefilling request, interleaved
-        // with decode steps below.
-        if (!prefilling.empty()) {
-            Flight &p = prefilling.front();
-            const Tokens remaining = p.req.inputTokens - p.prefillDone;
-            const Tokens chunk = config_.prefillChunk > 0
-                ? std::min<Tokens>(config_.prefillChunk, remaining)
-                : remaining;
-            // A chunk costs like a prefill of its own length; the
-            // attention-over-prefix term is second-order for the
-            // chunk sizes of interest and is absorbed by the padding.
-            const Seconds pf = cost_eng.prefillLatency(chunk);
-            const Watts pw = cost_power.prefill(cost_pp,
-                                                p.req.inputTokens);
-            advance_work(pf, pw);
-            p.prefillDone += chunk;
-            if (p.prefillDone >= p.req.inputTokens) {
-                active.push_back(p);
-                prefilling.pop_front();
-            }
-        }
-
-        // Mid-flight abort: time out prefilling requests that blew
-        // their deadline waiting on (or doing) prefill work.
-        if (have_deadlines) {
-            for (auto it = prefilling.begin();
-                 it != prefilling.end();) {
-                if (it->req.deadline > 0.0 &&
-                    clock > it->req.arrival + it->req.deadline +
-                        1e-12) {
-                    record(*it, RequestOutcome::TimedOut);
-                    release_kv(*it);
-                    it = prefilling.erase(it);
-                } else {
-                    ++it;
-                }
-            }
-        }
-
-        if (active.empty())
+        exec.prefillStep(st);
+        if (st.haveDeadlines)
+            exec.abortExpiredPrefills(st);
+        if (st.active.empty())
             continue;
-
-        // One decode step for the whole batch.
-        const int batch = static_cast<int>(active.size());
-        double ctx_sum = 0.0;
-        double gen_sum = 0.0;
-        for (const auto &a : active) {
-            ctx_sum += static_cast<double>(a.req.inputTokens +
-                                           a.generated);
-            gen_sum += static_cast<double>(a.generated);
-        }
-        const Tokens avg_ctx = static_cast<Tokens>(
-            std::llround(ctx_sum / batch));
-        const Seconds base_dt = step_latency(cost_eng, avg_ctx, batch);
-        const Tokens avg_o = std::max<Tokens>(
-            1, static_cast<Tokens>(std::llround(gen_sum / batch)) + 1);
-        const Watts pw = cost_power.decode(cost_pp, avg_o, batch);
-        const Seconds dt = advance_work(base_dt, pw);
-        batch_time_weighted += batch * dt;
-        generated_tokens += batch;
-
-        // Advance sequences; retire completed and timed-out ones.
-        for (std::size_t i = 0; i < active.size();) {
-            Flight &a = active[i];
-            ++a.generated;
-            const bool done = a.generated >= a.effOut;
-            const bool expired = !done && a.req.deadline > 0.0 &&
-                clock > a.req.arrival + a.req.deadline + 1e-12;
-            if (done || expired) {
-                record(a, done ? RequestOutcome::Completed
-                               : RequestOutcome::TimedOut);
-                release_kv(a);
-                active[i] = active.back();
-                active.pop_back();
-            } else {
-                ++i;
-            }
-        }
+        exec.decodeStep(st);
     }
 
-    ServingReport rep;
-    std::size_t met = 0;
-    std::size_t with_deadline = 0;
-    std::size_t with_deadline_met = 0;
-    for (const auto &s : served_) {
-        switch (s.outcome) {
-          case RequestOutcome::Completed:
-            ++rep.completed;
-            if (s.preemptions > 0)
-                ++rep.retriedCompleted;
-            if (s.degraded)
-                ++rep.degradedCompleted;
-            if (s.deadlineMet())
-                ++met;
-            break;
-          case RequestOutcome::TimedOut:
-            ++rep.timedOut;
-            break;
-          case RequestOutcome::Shed:
-            ++rep.shed;
-            break;
-        }
-        if (s.request.deadline > 0.0) {
-            ++with_deadline;
-            if (s.deadlineMet())
-                ++with_deadline_met;
-        }
-    }
-    rep.makespan = clock - first_arrival;
-    rep.throughputQps = rep.makespan > 0.0
-        ? static_cast<double>(rep.completed) / rep.makespan
-        : 0.0;
-    rep.totalEnergy = energy;
-    rep.energyPerQuery = rep.completed > 0
-        ? energy / static_cast<double>(rep.completed)
-        : 0.0;
-    rep.generatedTokens = generated_tokens;
-    rep.avgBatch = busy > 0.0 ? batch_time_weighted / busy : 0.0;
-    rep.utilization = rep.makespan > 0.0 ? busy / rep.makespan : 0.0;
-    rep.preemptions = total_preemptions;
-    rep.goodputQps = rep.makespan > 0.0
-        ? static_cast<double>(met) / rep.makespan
-        : 0.0;
-    rep.deadlineHitRate = with_deadline > 0
-        ? static_cast<double>(with_deadline_met) /
-            static_cast<double>(with_deadline)
-        : 1.0;
-    rep.throttleResidency = busy > 0.0 ? throttled_busy / busy : 0.0;
-
-    std::vector<double> latencies;
-    latencies.reserve(served_.size());
-    RunningStats lat;
-    for (const auto &s : served_) {
-        if (s.outcome != RequestOutcome::Completed)
-            continue;
-        latencies.push_back(s.latency());
-        lat.add(s.latency());
-    }
-    rep.meanLatency = lat.mean();
-    rep.p50Latency = percentile(latencies, 50.0);
-    rep.p95Latency = percentile(latencies, 95.0);
-    return rep;
+    return exec.report(trace.front().arrival, scheduler_->policy(),
+                       st);
 }
 
 } // namespace engine

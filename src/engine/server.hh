@@ -8,102 +8,52 @@
  * memory allows, and the simulator reports the latency distribution,
  * throughput, power and energy per query as functions of offered load.
  *
+ * The serving stack is layered (see DESIGN.md §8):
+ *  - engine/request_state.hh — the per-request lifecycle state machine
+ *    (Queued -> Prefilling -> Decoding -> Preempted -> Done);
+ *  - engine/scheduler.hh — pluggable admission policies (fcfs / edf /
+ *    spjf);
+ *  - engine/executor.hh — the BatchExecutor, which owns engine
+ *    stepping, KV admission, chunked prefill, and fault/derating
+ *    application;
+ *  - ServingSimulator::run — a thin arrival pump over scheduler +
+ *    executor.
+ *
  * The decode loop is step-synchronous, which is how continuous
  * batching behaves on a single GPU: every active sequence advances one
- * token per engine step, the step cost comes from the roofline model
- * at the current batch size, and prefills are interleaved between
- * decode steps (each prefill stalls decoding, as it does on hardware
- * without chunked prefill).
+ * token per engine step and the step cost comes from the roofline
+ * model at the current batch size.  Prefills interleave between decode
+ * steps; with chunked prefill (ServerConfig::prefillChunk > 0) a long
+ * prompt is processed in bounded chunks so it can no longer stall the
+ * whole decode batch for its full length.
  *
  * Beyond the ideal-conditions study, a run can carry a FaultPlan
  * (engine/faults.hh): thermal throttling derates step speed and power,
  * brownouts stall the device, and KV-shrink windows force preemption.
- * The scheduler then reacts with deadline-based admission control and
+ * The executor then reacts with deadline-based admission control and
  * mid-flight aborts, recompute-on-resume preemption with bounded
  * exponential-backoff retry, and optional degraded modes (token-budget
  * shrink via strategy/policy, or whole-device fallback to a smaller /
- * quantized model).  A run without an active fault plan executes the
- * exact legacy arithmetic, bit for bit.
+ * quantized model).  A run without an active fault plan under the
+ * default fcfs policy with chunking disabled executes the exact legacy
+ * arithmetic, bit for bit.
  */
 
 #ifndef EDGEREASON_ENGINE_SERVER_HH
 #define EDGEREASON_ENGINE_SERVER_HH
 
-#include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
 #include "engine/engine.hh"
 #include "engine/faults.hh"
+#include "engine/request_state.hh"
+#include "engine/scheduler.hh"
 #include "strategy/policy.hh"
 
 namespace edgereason {
 namespace engine {
-
-/** One serving request. */
-struct ServerRequest
-{
-    Seconds arrival = 0.0;
-    Tokens inputTokens = 0;
-    Tokens outputTokens = 0;
-    /**
-     * Scheduling class: higher admits first (an autonomous system's
-     * "avoid that obstacle now!" outranks its background planning
-     * queries).  FIFO within a class.
-     */
-    int priority = 0;
-    /**
-     * Relative deadline in seconds from arrival; <= 0 means none.
-     * Requests that cannot (or did not) finish by arrival + deadline
-     * are shed from the queue or aborted mid-flight.
-     */
-    Seconds deadline = 0.0;
-};
-
-/** Final disposition of a request. */
-enum class RequestOutcome {
-    Completed, //!< all output tokens generated
-    TimedOut,  //!< admitted, aborted at its deadline
-    Shed,      //!< never (re-)admitted: deadline or retries exhausted
-};
-
-/** @return human-readable outcome name. */
-const char *requestOutcomeName(RequestOutcome o);
-
-/**
- * Per-request record.  Every trace request produces exactly one record
- * whatever its fate, and all time fields are finite and well-defined
- * for every outcome:
- *  - Completed: queueDelay = last prefill start - arrival, serviceTime
- *    = finish - last prefill start (earlier preempted service is
- *    discarded work, reflected only in the counters).
- *  - TimedOut: same fields, with finish = the abort time.
- *  - Shed: queueDelay = time spent waiting until shed, serviceTime =
- *    0, finish = the shed time.
- * latency() is therefore always finish - arrival: time in system.
- */
-struct ServedRequest
-{
-    ServerRequest request;
-    RequestOutcome outcome = RequestOutcome::Completed;
-    Seconds queueDelay = 0.0;   //!< (last) admission - arrival
-    Seconds serviceTime = 0.0;  //!< (last) prefill start -> finish
-    Seconds finish = 0.0;
-    Tokens generated = 0;       //!< output tokens produced (kept work)
-    int preemptions = 0;        //!< times evicted and recomputed
-    bool degraded = false;      //!< served under a degraded policy
-    /** @return time in system (== finish - arrival for all outcomes). */
-    Seconds latency() const { return queueDelay + serviceTime; }
-    /** @return true if the request completed within its deadline
-     *  (requests without a deadline count as met when completed). */
-    bool deadlineMet() const
-    {
-        if (outcome != RequestOutcome::Completed)
-            return false;
-        return request.deadline <= 0.0 ||
-            finish <= request.arrival + request.deadline + 1e-9;
-    }
-};
 
 /** Aggregate serving metrics. */
 struct ServingReport
@@ -115,11 +65,22 @@ struct ServingReport
     Seconds meanLatency = 0.0;   //!< over completed requests
     Seconds p50Latency = 0.0;
     Seconds p95Latency = 0.0;
+    Seconds p99Latency = 0.0;
     Joules totalEnergy = 0.0;
     Joules energyPerQuery = 0.0;
     double generatedTokens = 0.0;
     /** Device-busy fraction of the makespan. */
     double utilization = 0.0;
+
+    // --- Queueing observability (per scheduling policy) ------------
+    /** Admission policy that produced this report. */
+    SchedulerPolicy schedulerPolicy = SchedulerPolicy::Fcfs;
+    /** Mean admission wait over all requests (incl. shed waits). */
+    Seconds meanQueueDelay = 0.0;
+    Seconds p95QueueDelay = 0.0;
+    Seconds p99QueueDelay = 0.0;
+    /** Largest wait-queue depth observed during the run. */
+    std::size_t peakQueueDepth = 0;
 
     // --- Fault/degradation observability ---------------------------
     std::size_t timedOut = 0;          //!< aborted at their deadline
@@ -176,11 +137,22 @@ struct ServerConfig
     /**
      * Chunked prefill: process at most this many prompt tokens
      * between decode steps instead of stalling the whole batch for a
-     * full prefill (0 disables chunking).  Long prompts then admit
-     * gradually, bounding the decode stall per step and improving
-     * tail latency for in-flight requests.
+     * full prefill (0 disables chunking).  Chunk costs come from
+     * prefillSuffixLatency(), so the attention-over-prefix work of
+     * later chunks is priced in.  Long prompts then admit gradually,
+     * bounding the decode stall per step and improving tail latency
+     * for in-flight requests.
      */
     Tokens prefillChunk = 0;
+    /** Admission policy (see engine/scheduler.hh). */
+    SchedulerPolicy scheduler = SchedulerPolicy::Fcfs;
+    /**
+     * Fitted latency model backing SchedulerPolicy::Spjf (required
+     * for that policy, ignored otherwise): get one from
+     * core::EdgeReasoning::characterization().latency or
+     * perf::fitPrefill/fitDecode.
+     */
+    perf::LatencyModel spjfModel{};
     /** Reaction policy under faults (ignored on zero-fault runs). */
     DegradePolicy degrade;
 };
@@ -215,6 +187,16 @@ class ServingSimulator
      */
     ServingReport run(const std::vector<ServerRequest> &trace,
                       const FaultPlan &faults);
+
+    /**
+     * Replace the admission policy (overrides ServerConfig::scheduler
+     * for subsequent runs).  For custom policies beyond the built-in
+     * three: subclass Scheduler and inject it here.
+     */
+    void setScheduler(std::unique_ptr<Scheduler> scheduler);
+
+    /** @return the admission policy in force. */
+    const Scheduler &scheduler() const { return *scheduler_; }
 
     /**
      * Provide the engine used while degraded in Fallback mode (a
@@ -254,6 +236,7 @@ class ServingSimulator
     InferenceEngine &engine_;
     InferenceEngine *fallback_ = nullptr;
     ServerConfig config_;
+    std::unique_ptr<Scheduler> scheduler_;
     std::vector<ServedRequest> served_;
 };
 

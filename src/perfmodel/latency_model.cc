@@ -41,6 +41,16 @@ DecodeLatencyModel::tbt(Tokens context) const
 }
 
 Seconds
+DecodeLatencyModel::remaining(Tokens context,
+                              Tokens remaining_tokens) const
+{
+    panic_if(remaining_tokens < 0, "negative remaining length");
+    const double c = static_cast<double>(context);
+    const double r = static_cast<double>(remaining_tokens);
+    return n * r + m * (c * r + r * (r - 1.0) / 2.0);
+}
+
+Seconds
 LatencyModel::total(Tokens input_tokens, Tokens output_tokens) const
 {
     return prefill(input_tokens) + decode(input_tokens, output_tokens);

@@ -45,6 +45,15 @@ struct DecodeLatencyModel
     Seconds operator()(Tokens input_tokens, Tokens output_tokens) const;
     /** Predict the TBT at one decode position. */
     Seconds tbt(Tokens context) const;
+    /**
+     * Predict the remaining decode time of @p remaining_tokens steps
+     * starting from @p context tokens already resident in the KV
+     * cache (sum of Eqn. 2's TBT over the remaining positions).  With
+     * context = I and remaining_tokens = O this equals the full
+     * decode prediction; schedulers use it mid-flight, where context
+     * has grown past I.
+     */
+    Seconds remaining(Tokens context, Tokens remaining_tokens) const;
 };
 
 /** Combined total latency model (Eqn. 3). */

@@ -48,6 +48,26 @@ TEST(DecodeLatencyModel, ZeroOutputIsFree)
     EXPECT_DOUBLE_EQ(m(512, 0), 0.0);
 }
 
+TEST(DecodeLatencyModel, RemainingMatchesStepSumFromAnyContext)
+{
+    DecodeLatencyModel m;
+    m.m = 1.13e-6;
+    m.n = 0.187;
+    // remaining(I, O) from the prompt boundary is the full prediction.
+    EXPECT_NEAR(m.remaining(512, 300), m(512, 300), 1e-12);
+    EXPECT_DOUBLE_EQ(m.remaining(512, 0), 0.0);
+    // Mid-flight: the TBT sum over the positions still to be decoded.
+    const er::Tokens ctx = 700; // 512 prompt + 188 already generated
+    const er::Tokens left = 112;
+    double stepwise = 0.0;
+    for (er::Tokens i = 0; i < left; ++i)
+        stepwise += m.tbt(ctx + i);
+    EXPECT_NEAR(m.remaining(ctx, left), stepwise, 1e-9);
+    // Splitting at any point conserves the total.
+    EXPECT_NEAR(m.remaining(512, 188) + m.remaining(700, 112),
+                m(512, 300), 1e-9);
+}
+
 TEST(LatencyModel, BudgetInversionIsExactBoundary)
 {
     LatencyModel lm;

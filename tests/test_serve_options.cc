@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the `serve` subcommand flag parser.  parseServeOptions()
+ * is a pure function (no exits, no printing), so malformed input —
+ * which previously died inside the CLI binary — is directly
+ * unit-testable here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cli/serve_options.hh"
+
+namespace er = edgereason;
+using er::cli::ServeOptions;
+using er::cli::parseServeOptions;
+using er::engine::DegradeMode;
+using er::engine::SchedulerPolicy;
+
+namespace {
+
+std::optional<ServeOptions>
+parse(std::initializer_list<const char *> toks, std::string *err)
+{
+    std::vector<std::string> args;
+    for (const char *t : toks)
+        args.emplace_back(t);
+    return parseServeOptions(args, err);
+}
+
+TEST(ServeOptions, EmptyArgsYieldDefaults)
+{
+    std::string err;
+    const auto o = parse({}, &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->model, "DeepScaleR-1.5B");
+    EXPECT_FALSE(o->quant);
+    EXPECT_EQ(o->requests, 100);
+    EXPECT_DOUBLE_EQ(o->qps, 0.1);
+    EXPECT_EQ(o->maxBatch, 30);
+    EXPECT_EQ(o->prefillChunk, 0);
+    EXPECT_EQ(o->scheduler, SchedulerPolicy::Fcfs);
+    EXPECT_EQ(o->degrade, DegradeMode::None);
+    EXPECT_EQ(o->degradeBudget, 256);
+    EXPECT_FALSE(o->faults);
+    EXPECT_EQ(o->faultSeed, 0xFA17u);
+}
+
+TEST(ServeOptions, ParsesFullFlagSet)
+{
+    std::string err;
+    const auto o = parse(
+        {"--model", "DSR1-Llama-8B", "--quant", "--requests", "250",
+         "--qps", "1.5", "--mean-in", "200", "--mean-out", "768",
+         "--seed", "9", "--deadline", "45", "--max-batch", "12",
+         "--prefill-chunk", "256", "--scheduler", "edf", "--degrade",
+         "budget", "--degrade-budget", "128", "--faults",
+         "--fault-seed", "77", "--ambient", "40", "--brownout-rate",
+         "6", "--kv-shrink-rate", "3", "--fallback-model",
+         "DeepScaleR-1.5B", "--fallback-quant", "--threads", "4"},
+        &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->model, "DSR1-Llama-8B");
+    EXPECT_TRUE(o->quant);
+    EXPECT_EQ(o->requests, 250);
+    EXPECT_DOUBLE_EQ(o->qps, 1.5);
+    EXPECT_DOUBLE_EQ(o->meanIn, 200.0);
+    EXPECT_DOUBLE_EQ(o->meanOut, 768.0);
+    EXPECT_EQ(o->seed, 9);
+    EXPECT_DOUBLE_EQ(o->deadline, 45.0);
+    EXPECT_EQ(o->maxBatch, 12);
+    EXPECT_EQ(o->prefillChunk, 256);
+    EXPECT_EQ(o->scheduler, SchedulerPolicy::Edf);
+    EXPECT_EQ(o->degrade, DegradeMode::Budget);
+    EXPECT_EQ(o->degradeBudget, 128);
+    EXPECT_TRUE(o->faults);
+    EXPECT_EQ(o->faultSeed, 77u);
+    EXPECT_DOUBLE_EQ(o->ambient, 40.0);
+    EXPECT_DOUBLE_EQ(o->brownoutRate, 6.0);
+    EXPECT_DOUBLE_EQ(o->kvShrinkRate, 3.0);
+    EXPECT_EQ(o->fallbackModel, "DeepScaleR-1.5B");
+    EXPECT_TRUE(o->fallbackQuant);
+    EXPECT_EQ(o->threads, 4);
+}
+
+TEST(ServeOptions, ParsesEachSchedulerPolicy)
+{
+    std::string err;
+    EXPECT_EQ(parse({"--scheduler", "fcfs"}, &err)->scheduler,
+              SchedulerPolicy::Fcfs);
+    EXPECT_EQ(parse({"--scheduler", "edf"}, &err)->scheduler,
+              SchedulerPolicy::Edf);
+    EXPECT_EQ(parse({"--scheduler", "spjf"}, &err)->scheduler,
+              SchedulerPolicy::Spjf);
+}
+
+TEST(ServeOptions, RejectsMalformedScheduler)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--scheduler", "sjf"}, &err).has_value());
+    EXPECT_NE(err.find("--scheduler"), std::string::npos);
+    EXPECT_NE(err.find("sjf"), std::string::npos);
+    EXPECT_FALSE(parse({"--scheduler", "EDF"}, &err).has_value());
+    EXPECT_FALSE(parse({"--scheduler"}, &err).has_value());
+    EXPECT_NE(err.find("missing value"), std::string::npos);
+}
+
+TEST(ServeOptions, RejectsMalformedPrefillChunk)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--prefill-chunk", "-5"}, &err).has_value());
+    EXPECT_NE(err.find("--prefill-chunk"), std::string::npos);
+    EXPECT_FALSE(parse({"--prefill-chunk", "abc"}, &err).has_value());
+    EXPECT_NE(err.find("not an integer"), std::string::npos);
+    EXPECT_FALSE(parse({"--prefill-chunk", "12x"}, &err).has_value());
+    // 0 (chunking disabled) stays valid.
+    EXPECT_EQ(parse({"--prefill-chunk", "0"}, &err)->prefillChunk, 0);
+}
+
+TEST(ServeOptions, RejectsOutOfRangeNumbers)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--max-batch", "0"}, &err).has_value());
+    EXPECT_FALSE(parse({"--requests", "0"}, &err).has_value());
+    EXPECT_FALSE(parse({"--deadline", "-1"}, &err).has_value());
+    EXPECT_FALSE(parse({"--qps", "0"}, &err).has_value());
+    EXPECT_NE(err.find("--qps"), std::string::npos);
+    EXPECT_FALSE(parse({"--qps", "nope"}, &err).has_value());
+    EXPECT_FALSE(parse({"--degrade-budget", "0"}, &err).has_value());
+    EXPECT_FALSE(parse({"--mean-out", "0.5"}, &err).has_value());
+}
+
+TEST(ServeOptions, RejectsUnknownAndMalformedTokens)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--warp-speed", "9"}, &err).has_value());
+    EXPECT_NE(err.find("--warp-speed"), std::string::npos);
+    EXPECT_FALSE(parse({"serve"}, &err).has_value());
+    EXPECT_NE(err.find("unexpected argument"), std::string::npos);
+    EXPECT_FALSE(parse({"--degrade", "sometimes"}, &err).has_value());
+    EXPECT_NE(err.find("--degrade"), std::string::npos);
+}
+
+TEST(ServeOptions, BooleanFlagsDoNotConsumeValues)
+{
+    std::string err;
+    const auto o =
+        parse({"--faults", "--max-batch", "4", "--quant"}, &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_TRUE(o->faults);
+    EXPECT_TRUE(o->quant);
+    EXPECT_EQ(o->maxBatch, 4);
+}
+
+} // namespace

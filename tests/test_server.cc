@@ -182,8 +182,13 @@ TEST(Server, ChunkedPrefillPreservesWorkAndHelpsTails)
 
     EXPECT_EQ(rep_plain.completed, trace.size());
     EXPECT_EQ(rep_chunked.completed, trace.size());
-    // Short requests' p95 improves (or at least does not regress
-    // materially) when long prefills are chunked.
+    // Short requests' p95 must not regress materially when long
+    // prefills are chunked.  Chunk costs are priced with
+    // prefillSuffixLatency (attention over the cached prefix plus a
+    // per-chunk overhead), so on a trace this saturated chunking adds
+    // a few percent of total prefill work; the tail *win* shows on
+    // traces with decode cohorts in flight and idle slack
+    // (test_scheduler.cc's ChunkedPrefill cases).
     std::vector<double> short_plain, short_chunked;
     for (const auto &s : plain.served()) {
         if (s.request.inputTokens <= 128)
@@ -194,7 +199,7 @@ TEST(Server, ChunkedPrefillPreservesWorkAndHelpsTails)
             short_chunked.push_back(s.latency());
     }
     EXPECT_LT(er::percentile(short_chunked, 95.0),
-              er::percentile(short_plain, 95.0) * 1.02);
+              er::percentile(short_plain, 95.0) * 1.05);
 }
 
 TEST(Server, PriorityClassesJumpTheQueue)

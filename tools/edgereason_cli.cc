@@ -16,6 +16,7 @@
  *   edgereason serve --model DeepScaleR-1.5B --qps 0.1
  *                    [--requests 100] [--mean-in 120]
  *                    [--mean-out 1024] [--max-batch 30]
+ *                    [--scheduler fcfs|edf|spjf]
  *                    [--prefill-chunk 512]
  *                    [--faults] [--fault-seed 64023]
  *                    [--deadline 90] [--ambient 32]
@@ -38,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/serve_options.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
@@ -354,60 +356,52 @@ cmdSweep(const Args &args)
     return 0;
 }
 
-engine::DegradeMode
-parseDegradeMode(const std::string &s)
-{
-    if (s == "none")
-        return engine::DegradeMode::None;
-    if (s == "budget")
-        return engine::DegradeMode::Budget;
-    if (s == "fallback")
-        return engine::DegradeMode::Fallback;
-    usage(("invalid --degrade mode: " + s +
-           " (expected none|budget|fallback)").c_str());
-}
-
 int
-cmdServe(const Args &args)
+cmdServe(const std::vector<std::string> &raw)
 {
-    const auto id = model::modelIdFromName(
-        args.get("model", "DeepScaleR-1.5B"));
+    std::string err;
+    const auto parsed = cli::parseServeOptions(raw, &err);
+    if (!parsed)
+        usage(err.c_str());
+    const cli::ServeOptions &o = *parsed;
+
+    const auto id = model::modelIdFromName(o.model);
     core::EdgeReasoning er;
-    auto &eng = er.registry().engineFor(id, args.getBool("quant"));
+    auto &eng = er.registry().engineFor(id, o.quant);
 
     engine::ServerConfig cfg;
-    cfg.maxBatch = static_cast<int>(args.getInt("max-batch", 30));
-    cfg.prefillChunk = args.getInt("prefill-chunk", 0);
-    cfg.degrade.mode = parseDegradeMode(args.get("degrade", "none"));
-    cfg.degrade.budget = strategy::TokenPolicy::hard(
-        static_cast<Tokens>(args.getInt("degrade-budget", 256)));
+    cfg.maxBatch = o.maxBatch;
+    cfg.prefillChunk = o.prefillChunk;
+    cfg.scheduler = o.scheduler;
+    if (o.scheduler == engine::SchedulerPolicy::Spjf) {
+        // SPJF ranks jobs by the fitted Section-IV latency model of
+        // the served engine (no oracle knowledge of run times).
+        cfg.spjfModel = er.characterization(id, o.quant).latency;
+    }
+    cfg.degrade.mode = o.degrade;
+    cfg.degrade.budget = strategy::TokenPolicy::hard(o.degradeBudget);
     engine::ServingSimulator srv(eng, cfg);
     if (cfg.degrade.mode == engine::DegradeMode::Fallback) {
         // Default fallback: the quantized build of the primary model.
-        const std::string fb_name = args.get("fallback-model", "");
-        const auto fb_id =
-            fb_name.empty() ? id : model::modelIdFromName(fb_name);
+        const auto fb_id = o.fallbackModel.empty()
+            ? id
+            : model::modelIdFromName(o.fallbackModel);
         const bool fb_quant =
-            fb_name.empty() ? true : args.getBool("fallback-quant");
+            o.fallbackModel.empty() ? true : o.fallbackQuant;
         srv.setFallbackEngine(er.registry().engineFor(fb_id, fb_quant));
     }
 
-    Rng rng(args.getInt("seed", 777), "cli-serve");
+    Rng rng(o.seed, "cli-serve");
     auto trace = engine::ServingSimulator::poissonTrace(
-        rng, static_cast<std::size_t>(args.getInt("requests", 100)),
-        args.getDouble("qps", 0.1), args.getDouble("mean-in", 120),
-        args.getDouble("mean-out", 1024));
-    const Seconds deadline = args.getDouble("deadline", 0.0);
-    if (deadline < 0.0)
-        usage("--deadline must be non-negative");
+        rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+        o.meanOut);
     for (auto &r : trace)
-        r.deadline = deadline;
+        r.deadline = o.deadline;
 
     engine::FaultPlan plan;
-    if (args.getBool("faults")) {
+    if (o.faults) {
         engine::FaultConfig fc;
-        fc.seed = static_cast<std::uint64_t>(
-            args.getInt("fault-seed", 0xFA17));
+        fc.seed = static_cast<std::uint64_t>(o.faultSeed);
         fc.horizon = trace.back().arrival + 600.0;
         fc.thermal = true;
         // Passively-cooled deployment: higher junction-to-ambient
@@ -416,27 +410,36 @@ cmdServe(const Args &args)
         // default spec below it forever).
         fc.thermalSpec.rThermal = 2.5;
         fc.thermalSpec.cThermal = 50.0; // small passive sink
-        fc.thermalSpec.ambientC = args.getDouble("ambient", 32.0);
+        fc.thermalSpec.ambientC = o.ambient;
         fc.thermalSpec.initialC = fc.thermalSpec.ambientC;
-        fc.brownoutsPerHour = args.getDouble("brownout-rate", 2.0);
-        fc.kvShrinksPerHour = args.getDouble("kv-shrink-rate", 1.0);
+        fc.brownoutsPerHour = o.brownoutRate;
+        fc.kvShrinksPerHour = o.kvShrinkRate;
         plan = engine::FaultPlan(fc);
     }
 
     const auto rep = srv.run(trace, plan);
     const auto cost = cost::edgeCost(rep.totalEnergy, rep.makespan,
                                      rep.generatedTokens);
-    std::printf("served %zu requests on %s:\n", trace.size(),
-                eng.spec().name.c_str());
+    std::printf("served %zu requests on %s (scheduler=%s, "
+                "prefill-chunk=%lld):\n",
+                trace.size(), eng.spec().name.c_str(),
+                engine::schedulerPolicyName(rep.schedulerPolicy),
+                static_cast<long long>(cfg.prefillChunk));
     std::printf("  throughput : %.3f QPS (offered %.3f)\n",
-                rep.throughputQps, args.getDouble("qps", 0.1));
-    std::printf("  latency    : mean %.1f s, p50 %.1f s, p95 %.1f s\n",
-                rep.meanLatency, rep.p50Latency, rep.p95Latency);
+                rep.throughputQps, o.qps);
+    std::printf("  latency    : mean %.1f s, p50 %.1f s, p95 %.1f s, "
+                "p99 %.1f s\n",
+                rep.meanLatency, rep.p50Latency, rep.p95Latency,
+                rep.p99Latency);
+    std::printf("  queueing   : mean wait %.1f s, p99 wait %.1f s, "
+                "peak depth %zu\n",
+                rep.meanQueueDelay, rep.p99QueueDelay,
+                rep.peakQueueDepth);
     std::printf("  batching   : avg %.1f, utilization %.0f%%\n",
                 rep.avgBatch, 100.0 * rep.utilization);
     std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
                 rep.energyPerQuery, cost.totalPerMTok());
-    if (plan.active() || deadline > 0.0) {
+    if (plan.active() || o.deadline > 0.0) {
         std::printf("  outcomes   : %zu completed, %zu timed out, "
                     "%zu shed (%llu preemptions, %zu retried, "
                     "%zu degraded)\n",
@@ -486,8 +489,11 @@ main(int argc, char **argv)
             return cmdPlan(args);
         if (cmd == "sweep")
             return cmdSweep(args);
-        if (cmd == "serve")
-            return cmdServe(args);
+        if (cmd == "serve") {
+            std::vector<std::string> raw(argv + cmd_at + 1,
+                                         argv + argc);
+            return cmdServe(raw);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
