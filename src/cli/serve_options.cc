@@ -95,6 +95,8 @@ parseServeOptions(const std::vector<std::string> &args,
     long long prefill_chunk = opt.prefillChunk;
     long long degrade_budget = opt.degradeBudget;
     long long fault_seed = static_cast<long long>(opt.faultSeed);
+    long long checkpoint_every =
+        static_cast<long long>(opt.checkpointEvery);
 
     const std::map<std::string, Handler> value_flags = {
         {"model", [&](const std::string &v) {
@@ -136,12 +138,30 @@ parseServeOptions(const std::vector<std::string> &args,
          doubleOpt(&opt.brownoutRate, 0.0, "--brownout-rate")},
         {"kv-shrink-rate",
          doubleOpt(&opt.kvShrinkRate, 0.0, "--kv-shrink-rate")},
+        {"checkpoint-dir", [&](const std::string &v) {
+             opt.checkpointDir = v;
+             return std::string();
+         }},
+        {"checkpoint-every",
+         longOpt(&checkpoint_every, 1, "--checkpoint-every")},
+        {"resume", [&](const std::string &v) {
+             // --resume DIR implies --checkpoint-dir DIR.
+             opt.checkpointDir = v;
+             opt.resume = true;
+             return std::string();
+         }},
+        {"crash-at-step",
+         longOpt(&opt.crashAtStep, 0, "--crash-at-step")},
+        {"crash-at-time",
+         doubleOpt(&opt.crashAtTime, 0.0, "--crash-at-time")},
+        {"crash-rate", doubleOpt(&opt.crashRate, 0.0, "--crash-rate")},
         {"threads", longOpt(&opt.threads, 0, "--threads")},
     };
     const std::map<std::string, bool *> bool_flags = {
         {"quant", &opt.quant},
         {"faults", &opt.faults},
         {"fallback-quant", &opt.fallbackQuant},
+        {"paranoid", &opt.paranoid},
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -168,10 +188,17 @@ parseServeOptions(const std::vector<std::string> &args,
 
     if (opt.qps <= 0.0)
         return fail("--qps must be positive");
+    const bool crash_on = opt.crashAtStep >= 0 ||
+        opt.crashAtTime >= 0.0 || opt.crashRate > 0.0;
+    if (crash_on && opt.checkpointDir.empty())
+        return fail("crash injection needs --checkpoint-dir (or "
+                    "--resume) so the run can be recovered");
     opt.maxBatch = static_cast<int>(max_batch);
     opt.prefillChunk = static_cast<Tokens>(prefill_chunk);
     opt.degradeBudget = static_cast<Tokens>(degrade_budget);
     opt.faultSeed = static_cast<unsigned long long>(fault_seed);
+    opt.checkpointEvery =
+        static_cast<unsigned long long>(checkpoint_every);
     return opt;
 }
 

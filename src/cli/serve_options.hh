@@ -53,6 +53,22 @@ struct ServeOptions
     double brownoutRate = 2.0;
     double kvShrinkRate = 1.0;
 
+    // --- Crash safety (DESIGN.md §9) -------------------------------
+    /** Journal + checkpoint directory (empty = durability off). */
+    std::string checkpointDir;
+    /** Checkpoint every N batch steps (0 = only the step-0 one). */
+    unsigned long long checkpointEvery = 0;
+    /** Resume from the latest checkpoint in checkpointDir. */
+    bool resume = false;
+    /** Run the invariant auditor at every batch-step boundary. */
+    bool paranoid = false;
+    /** Simulated kill at batch step N (-1 disables). */
+    long long crashAtStep = -1;
+    /** Simulated kill at the first boundary at/after sim time T. */
+    double crashAtTime = -1.0;
+    /** Mean Poisson crashes per hour of sim time (0 disables). */
+    double crashRate = 0.0;
+
     /** Parsed but applied globally by main() (thread-pool sizing). */
     long long threads = 0;
 };

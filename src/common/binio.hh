@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-layout binary serialization helpers shared by the write-ahead
+ * event journal and the checkpoint/restore machinery (engine/journal,
+ * engine/checkpoint).  Every multi-byte value is written little-endian
+ * byte by byte, so the on-disk format is identical across hosts, and
+ * doubles round-trip through their IEEE-754 bit patterns — the property
+ * the crash-recovery tests rely on for bit-identical resumed reports.
+ *
+ * ByteReader is deliberately paranoid: every read is bounds-checked and
+ * a short buffer raises fatal() with the exact byte offset, so a
+ * truncated or gnawed-on file can never be silently half-parsed.
+ */
+
+#ifndef EDGEREASON_COMMON_BINIO_HH
+#define EDGEREASON_COMMON_BINIO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace edgereason {
+
+/** Append-only little-endian byte buffer. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    /** IEEE-754 bit pattern: exact double round-trip. */
+    void f64(double v);
+    /** Length-prefixed string (u32 length + raw bytes). */
+    void str(std::string_view s);
+
+    const std::string &bytes() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked reader over a byte buffer (borrowed; must outlive the
+ * reader).  Reads past the end raise fatal() with the offset.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    std::string str();
+
+    std::size_t offset() const { return pos_; }
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    /** fatal() unless the buffer was consumed exactly. */
+    void expectEnd(const char *what) const;
+
+  private:
+    void need(std::size_t n) const;
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * FNV-1a over a byte range, seedable for chaining.  The journal and
+ * checkpoint formats use it as their corruption checksum; it is not
+ * cryptographic and does not need to be (the threat model is torn
+ * writes and bit rot, not an adversary).
+ */
+std::uint64_t fnv1a(std::string_view data,
+                    std::uint64_t h = 0xCBF29CE484222325ULL);
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_BINIO_HH

@@ -7,7 +7,7 @@
 
 namespace edgereason {
 
-CsvWriter::CsvWriter(const std::string &path) : out_(path)
+CsvWriter::CsvWriter(const std::string &path) : out_(path), path_(path)
 {
     fatal_if(!out_, "cannot open CSV file for writing: ", path);
 }
@@ -36,6 +36,9 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
         out_ << escape(cells[i]);
     }
     out_ << '\n';
+    // A full disk only shows up as a failbit/badbit on the stream; without
+    // this check rows silently vanish and the CSV is truncated.
+    fatal_if(!out_, "write failed (disk full?) on CSV file: ", path_);
 }
 
 void
@@ -51,7 +54,12 @@ CsvWriter::writeRow(const std::vector<double> &cells, int precision)
 void
 CsvWriter::close()
 {
+    if (!out_.is_open())
+        return;
+    out_.flush();
+    fatal_if(!out_, "flush failed (disk full?) on CSV file: ", path_);
     out_.close();
+    fatal_if(out_.fail(), "close failed on CSV file: ", path_);
 }
 
 } // namespace edgereason

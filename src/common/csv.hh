@@ -23,19 +23,27 @@ class CsvWriter
      */
     explicit CsvWriter(const std::string &path);
 
-    /** Write one row; cells are quoted as needed. */
+    /**
+     * Write one row; cells are quoted as needed.
+     * @throws std::runtime_error if the underlying write fails (e.g.
+     *         disk full) — the error message names the path.
+     */
     void writeRow(const std::vector<std::string> &cells);
 
     /** Write a row of doubles with the given precision. */
     void writeRow(const std::vector<double> &cells, int precision = 9);
 
-    /** Flush and close the file. */
+    /**
+     * Flush and close the file.
+     * @throws std::runtime_error if flushing buffered rows fails.
+     */
     void close();
 
   private:
     static std::string escape(const std::string &cell);
 
     std::ofstream out_;
+    std::string path_;
 };
 
 } // namespace edgereason

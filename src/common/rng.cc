@@ -1,6 +1,7 @@
 #include "common/rng.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -92,6 +93,95 @@ Rng::hashString(std::string_view s)
         h *= 0x100000001B3ULL;
     }
     return h;
+}
+
+std::string
+Rng::saveState() const
+{
+    // mt19937_64's operator<< emits the full state as decimal words
+    // separated by spaces; prepend the fork seed so fork() keeps working
+    // after a restore.
+    std::ostringstream os;
+    os << seed_ << ' ' << gen_;
+    return os.str();
+}
+
+void
+Rng::loadState(const std::string &state)
+{
+    std::istringstream is(state);
+    std::uint64_t seed = 0;
+    std::mt19937_64 gen;
+    is >> seed >> gen;
+    fatal_if(is.fail(), "Rng::loadState: malformed generator state");
+    seed_ = seed;
+    gen_ = gen;
+}
+
+RngBank::RngBank(std::uint64_t rootSeed) : rootSeed_(rootSeed)
+{
+}
+
+Rng &
+RngBank::create(std::string_view name)
+{
+    panic_if(streams_.count(name) != 0,
+             "RngBank: duplicate named-stream creation: \"", name,
+             "\" (two consumers would silently share one stream)");
+    auto [it, inserted] =
+        streams_.emplace(std::string(name), Rng(rootSeed_, name));
+    (void)inserted;
+    return it->second;
+}
+
+Rng &
+RngBank::get(std::string_view name)
+{
+    auto it = streams_.find(name);
+    panic_if(it == streams_.end(),
+             "RngBank: unknown stream \"", name, "\"");
+    return it->second;
+}
+
+bool
+RngBank::has(std::string_view name) const
+{
+    return streams_.count(name) != 0;
+}
+
+std::vector<std::string>
+RngBank::streamNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(streams_.size());
+    for (const auto &[name, rng] : streams_)
+        names.push_back(name);
+    return names; // std::map iteration order is already sorted
+}
+
+std::map<std::string, std::string>
+RngBank::serialize() const
+{
+    std::map<std::string, std::string> states;
+    for (const auto &[name, rng] : streams_)
+        states[name] = rng.saveState();
+    return states;
+}
+
+void
+RngBank::restore(const std::map<std::string, std::string> &states)
+{
+    for (const auto &[name, rng] : streams_) {
+        fatal_if(states.count(name) == 0,
+                 "RngBank::restore: live stream \"", name,
+                 "\" missing from checkpoint; refusing partial restore");
+    }
+    for (const auto &[name, state] : states) {
+        auto it = streams_.find(name);
+        if (it == streams_.end())
+            it = streams_.emplace(name, Rng(rootSeed_, name)).first;
+        it->second.loadState(state);
+    }
 }
 
 } // namespace edgereason

@@ -1,0 +1,143 @@
+#include "engine/auditor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "engine/executor.hh"
+
+namespace edgereason {
+namespace engine {
+
+void
+Auditor::check(const AuditView &v)
+{
+    panic_if(v.served == nullptr || v.state == nullptr,
+             "auditor: incomplete view");
+    const ServingState &st = *v.state;
+
+    // 1. Request conservation.
+    panic_if(v.nextArrival > v.traceSize,
+             "auditor: arrival cursor ", v.nextArrival,
+             " past trace size ", v.traceSize);
+    const std::size_t accounted = v.served->size() + st.queue.size() +
+        st.prefilling.size() + st.active.size() +
+        (v.traceSize - v.nextArrival);
+    panic_if(accounted != v.traceSize,
+             "auditor: request conservation violated: ",
+             v.served->size(), " retired + ", st.queue.size(),
+             " queued + ", st.prefilling.size(), " prefilling + ",
+             st.active.size(), " decoding + ",
+             v.traceSize - v.nextArrival, " pending != trace size ",
+             v.traceSize);
+
+    // 2. State-machine legality per container.
+    for (const auto &r : st.queue)
+        panic_if(r.state != RequestState::Queued &&
+                     r.state != RequestState::Preempted,
+                 "auditor: wait queue holds a request in state ",
+                 requestStateName(r.state));
+    for (const auto &r : st.prefilling)
+        panic_if(r.state != RequestState::Prefilling,
+                 "auditor: prefill set holds a request in state ",
+                 requestStateName(r.state));
+    for (const auto &r : st.active)
+        panic_if(r.state != RequestState::Decoding,
+                 "auditor: decode batch holds a request in state ",
+                 requestStateName(r.state));
+
+    // 3. Clock sanity.
+    panic_if(!std::isfinite(v.acc.clock) || v.acc.clock < 0.0,
+             "auditor: sim clock is ", v.acc.clock);
+    panic_if(haveLast_ && v.acc.clock < lastClock_,
+             "auditor: sim clock moved backwards: ", v.acc.clock,
+             " after ", lastClock_);
+    panic_if(v.acc.busy > v.acc.clock + kTimeSlack,
+             "auditor: busy time ", v.acc.busy, " exceeds clock ",
+             v.acc.clock);
+    panic_if(v.acc.throttledBusy > v.acc.busy + kTimeSlack,
+             "auditor: throttled busy ", v.acc.throttledBusy,
+             " exceeds busy ", v.acc.busy);
+
+    // 4. Non-negative integrators.
+    panic_if(v.acc.busy < 0.0 || v.acc.throttledBusy < 0.0 ||
+                 v.acc.energy < 0.0 || v.acc.batchTimeWeighted < 0.0 ||
+                 v.acc.generatedTokens < 0.0,
+             "auditor: negative integrator (busy ", v.acc.busy,
+             ", throttled ", v.acc.throttledBusy, ", energy ",
+             v.acc.energy, ", batch-time ", v.acc.batchTimeWeighted,
+             ", generated ", v.acc.generatedTokens, ")");
+
+    // Retired records must be terminal and in the past.
+    for (const auto &s : *v.served)
+        panic_if(s.finish > v.acc.clock + kTimeSlack,
+                 "auditor: retired request finishes at ", s.finish,
+                 " after the clock ", v.acc.clock);
+
+    // 5. KV accounting.
+    if (v.paged) {
+        panic_if(v.kv == nullptr, "auditor: paged mode without cache");
+        panic_if(v.kv->blocksInUse() > v.kv->blockCapacity(),
+                 "auditor: ", v.kv->blocksInUse(),
+                 " KV blocks in use exceed capacity ",
+                 v.kv->blockCapacity());
+        std::size_t blocks = v.kv->sequenceBlocks(v.ballast);
+        Tokens tokens = v.kv->sequenceTokens(v.ballast);
+        std::size_t live = 1; // ballast
+        const auto audit_seq = [&](const TrackedRequest &f) {
+            const Tokens expect = f.req.inputTokens + f.effOut;
+            panic_if(v.kv->sequenceTokens(f.seq) != expect,
+                     "auditor: sequence ", f.seq, " holds ",
+                     v.kv->sequenceTokens(f.seq),
+                     " KV tokens but its admitted footprint is ",
+                     expect);
+            blocks += v.kv->sequenceBlocks(f.seq);
+            tokens += v.kv->sequenceTokens(f.seq);
+            ++live;
+        };
+        for (const auto &f : st.prefilling)
+            audit_seq(f);
+        for (const auto &f : st.active)
+            audit_seq(f);
+        // Serving never forks, so physical blocks are unshared and
+        // per-sequence block counts must reconcile exactly.
+        panic_if(blocks != v.kv->blocksInUse(),
+                 "auditor: KV page accounting broken: sequences hold ",
+                 blocks, " blocks but the pool reports ",
+                 v.kv->blocksInUse(), " in use");
+        panic_if(v.kv->sequenceCount() != live,
+                 "auditor: ", v.kv->sequenceCount(),
+                 " live KV sequences but ", live, " owners");
+        panic_if(tokens > v.kv->tokenCapacity(),
+                 "auditor: resident KV tokens ", tokens,
+                 " exceed tokenCapacity() ", v.kv->tokenCapacity());
+    } else {
+        double expect = 0.0;
+        for (const auto &f : st.prefilling)
+            expect += v.kvPerToken *
+                static_cast<double>(f.req.inputTokens + f.effOut);
+        for (const auto &f : st.active)
+            expect += v.kvPerToken *
+                static_cast<double>(f.req.inputTokens + f.effOut);
+        const double eps =
+            1e-6 * std::max(1.0, std::max(expect, v.acc.committedKv));
+        panic_if(std::abs(v.acc.committedKv - expect) > eps,
+                 "auditor: scalar KV accounting broken: committed ",
+                 v.acc.committedKv, " bytes vs in-flight footprint ",
+                 expect);
+        panic_if(v.acc.committedKv > v.kvBudget + eps,
+                 "auditor: committed KV ", v.acc.committedKv,
+                 " exceeds the watermark budget ", v.kvBudget);
+    }
+
+    // 6. Queue observability.
+    panic_if(st.peakQueueDepth < st.queue.size(),
+             "auditor: peak queue depth ", st.peakQueueDepth,
+             " below current depth ", st.queue.size());
+
+    lastClock_ = v.acc.clock;
+    haveLast_ = true;
+    ++checks_;
+}
+
+} // namespace engine
+} // namespace edgereason

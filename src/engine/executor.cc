@@ -6,9 +6,45 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "engine/journal.hh"
 
 namespace edgereason {
 namespace engine {
+
+void
+ServingState::serialize(ByteWriter &w) const
+{
+    w.u64(queue.size());
+    for (const auto &r : queue)
+        engine::serialize(w, r);
+    w.u64(prefilling.size());
+    for (const auto &r : prefilling)
+        engine::serialize(w, r);
+    w.u64(active.size());
+    for (const auto &r : active)
+        engine::serialize(w, r);
+    w.u8(haveDeadlines ? 1 : 0);
+    w.u64(peakQueueDepth);
+}
+
+void
+ServingState::restore(ByteReader &r)
+{
+    const auto read_into = [&r](auto &container) {
+        container.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            TrackedRequest t;
+            engine::restore(r, t);
+            container.push_back(std::move(t));
+        }
+    };
+    read_into(queue);
+    read_into(prefilling);
+    read_into(active);
+    haveDeadlines = r.u8() != 0;
+    peakQueueDepth = r.u64();
+}
 
 BatchExecutor::BatchExecutor(InferenceEngine &engine,
                              InferenceEngine *fallback,
@@ -58,19 +94,19 @@ Seconds
 BatchExecutor::advanceWork(Seconds base_dt, Watts maxn_power)
 {
     if (!thermalOn_) {
-        clock_ += base_dt;
-        busy_ += base_dt;
-        energy_ += maxn_power * base_dt;
+        acc_.clock += base_dt;
+        acc_.busy += base_dt;
+        acc_.energy += maxn_power * base_dt;
         return base_dt;
     }
     const double s = thermal_.speedFactor();
     const Seconds dt = base_dt / s;
     const auto sample = thermal_.step(maxn_power, dt, idleW_);
-    clock_ += dt;
-    busy_ += dt;
-    energy_ += sample.power * dt;
+    acc_.clock += dt;
+    acc_.busy += dt;
+    acc_.energy += sample.power * dt;
     if (s < 1.0)
-        throttledBusy_ += dt;
+        acc_.throttledBusy += dt;
     return dt;
 }
 
@@ -81,14 +117,14 @@ BatchExecutor::idleTo(Seconds t)
     // brownout recovery; integrate in bounded steps so the governor
     // can recover modes on the way.
     if (thermalOn_) {
-        Seconds left = t - clock_;
+        Seconds left = t - acc_.clock;
         while (left > kTimeSlack) {
             const Seconds d = std::min<Seconds>(left, 10.0);
             thermal_.step(idleW_, d, idleW_);
             left -= d;
         }
     }
-    clock_ = t; // exact assignment keeps idle jumps bit-stable
+    acc_.clock = t; // exact assignment keeps idle jumps bit-stable
 }
 
 Seconds
@@ -128,11 +164,14 @@ BatchExecutor::record(TrackedRequest &f, RequestOutcome outcome)
     done.request = f.req;
     done.outcome = outcome;
     done.queueDelay = f.prefillStart - f.req.arrival;
-    done.serviceTime = clock_ - f.prefillStart;
-    done.finish = clock_;
+    done.serviceTime = acc_.clock - f.prefillStart;
+    done.finish = acc_.clock;
     done.generated = f.generated;
     done.preemptions = f.preemptions;
     done.degraded = f.degraded;
+    done.traceIndex = f.traceIndex;
+    if (journal_)
+        journal_->emitRetire(done);
     served_.push_back(done);
 }
 
@@ -143,11 +182,14 @@ BatchExecutor::shedWaiting(TrackedRequest &p)
     ServedRequest s;
     s.request = p.req;
     s.outcome = RequestOutcome::Shed;
-    s.queueDelay = clock_ - p.req.arrival;
+    s.queueDelay = acc_.clock - p.req.arrival;
     s.serviceTime = 0.0;
-    s.finish = clock_;
+    s.finish = acc_.clock;
     s.generated = 0;
     s.preemptions = p.preemptions;
+    s.traceIndex = p.traceIndex;
+    if (journal_)
+        journal_->emitRetire(s);
     served_.push_back(s);
 }
 
@@ -157,7 +199,7 @@ BatchExecutor::releaseKv(const TrackedRequest &f)
     if (paged_) {
         paged_->release(f.seq);
     } else {
-        committedKv_ -= kvPerToken_ *
+        acc_.committedKv -= kvPerToken_ *
             static_cast<double>(f.req.inputTokens + f.effOut);
     }
 }
@@ -178,9 +220,9 @@ BatchExecutor::reserveKv(const ServerRequest &r, Tokens eff_out,
     }
     const double need = kvPerToken_ *
         static_cast<double>(r.inputTokens + eff_out);
-    if (committedKv_ + need > kvBudget_)
+    if (acc_.committedKv + need > kvBudget_)
         return false;
-    committedKv_ += need;
+    acc_.committedKv += need;
     return true;
 }
 
@@ -223,13 +265,19 @@ BatchExecutor::preemptOne(ServingState &st)
     releaseKv(victim);
     victim.transitionTo(RequestState::Preempted);
     ++victim.preemptions;
-    ++totalPreemptions_;
+    ++acc_.preemptions;
     if (victim.preemptions > config_.degrade.maxRetries) {
+        if (journal_)
+            journal_->emitPreempt(victim, false, st.queue.size(),
+                                  acc_.preemptions);
         shedWaiting(victim);
     } else {
-        victim.notBefore = clock_ + config_.degrade.retryBackoff *
+        victim.notBefore = acc_.clock + config_.degrade.retryBackoff *
             std::ldexp(1.0, victim.preemptions - 1);
         st.enqueue(victim);
+        if (journal_)
+            journal_->emitPreempt(victim, true, st.queue.size(),
+                                  acc_.preemptions);
     }
     return true;
 }
@@ -241,8 +289,8 @@ BatchExecutor::applyEvent(const FaultEvent &e, ServingState &st)
       case FaultKind::Brownout: {
         // The SoC stalls: no work retires, idle rails keep
         // drawing, in-flight requests hold their KV and wait.
-        energy_ += idleW_ * e.duration;
-        idleTo(clock_ + e.duration);
+        acc_.energy += idleW_ * e.duration;
+        idleTo(acc_.clock + e.duration);
         break;
       }
       case FaultKind::KvShrink: {
@@ -275,16 +323,18 @@ BatchExecutor::applyEvent(const FaultEvent &e, ServingState &st)
         ballast_ = paged_->createSequence();
         break;
     }
+    if (journal_)
+        journal_->emitFault(e, acc_.clock);
 }
 
 void
 BatchExecutor::pumpEvents(ServingState &st)
 {
     const auto &events = faults_.events();
-    while (nextEvent_ < events.size() &&
-           events[nextEvent_].time <= clock_ + kTimeSlack) {
-        applyEvent(events[nextEvent_], st);
-        ++nextEvent_;
+    while (acc_.nextEvent < events.size() &&
+           events[acc_.nextEvent].time <= acc_.clock + kTimeSlack) {
+        applyEvent(events[acc_.nextEvent], st);
+        ++acc_.nextEvent;
     }
 }
 
@@ -292,7 +342,7 @@ void
 BatchExecutor::shedExpiredQueued(ServingState &st)
 {
     for (auto it = st.queue.begin(); it != st.queue.end();) {
-        if (it->deadlineExpired(clock_)) {
+        if (it->deadlineExpired(acc_.clock)) {
             shedWaiting(*it);
             it = st.queue.erase(it);
         } else {
@@ -323,7 +373,7 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
     // Reserve KV and start prefilling while capacity allows
     // (prefilling sequences count against the batch cap).
     while (!st.queue.empty() && st.inFlight() < config_.maxBatch) {
-        const std::size_t idx = sched.pickNext(st.queue, clock_);
+        const std::size_t idx = sched.pickNext(st.queue, acc_.clock);
         if (idx == st.queue.size())
             break; // every queued request is backing off
 
@@ -343,7 +393,7 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
             const double s = speedNow();
             const int est_batch = st.inFlight() + 1;
             const Tokens mid_ctx = cand.req.inputTokens + eff_out / 2;
-            const Seconds est_finish = clock_ +
+            const Seconds est_finish = acc_.clock +
                 costEng_->prefillLatency(cand.req.inputTokens) / s +
                 static_cast<double>(eff_out) *
                     stepLatency(*costEng_, mid_ctx, est_batch) / s;
@@ -367,7 +417,9 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
             break; // wait for completions (or a KV restore)
         }
 
-        cand.resetForAdmission(clock_, eff_out, degraded, seq);
+        cand.resetForAdmission(acc_.clock, eff_out, degraded, seq);
+        if (journal_)
+            journal_->emitAdmit(cand, acc_.clock);
         st.prefilling.push_back(cand);
         st.queue.erase(st.queue.begin() +
                        static_cast<std::ptrdiff_t>(idx));
@@ -394,6 +446,8 @@ BatchExecutor::prefillStep(ServingState &st)
     const Watts pw = costEng_->soc().power().prefill(
         costEng_->calib().power, p.req.inputTokens);
     advanceWork(pf, pw);
+    if (journal_)
+        journal_->emitStep(0, acc_);
     p.prefillDone += chunk;
     if (p.prefillDone >= p.req.inputTokens) {
         p.transitionTo(RequestState::Decoding);
@@ -406,7 +460,7 @@ void
 BatchExecutor::abortExpiredPrefills(ServingState &st)
 {
     for (auto it = st.prefilling.begin(); it != st.prefilling.end();) {
-        if (it->deadlineExpired(clock_)) {
+        if (it->deadlineExpired(acc_.clock)) {
             record(*it, RequestOutcome::TimedOut);
             releaseKv(*it);
             it = st.prefilling.erase(it);
@@ -436,15 +490,17 @@ BatchExecutor::decodeStep(ServingState &st)
     const Watts pw = costEng_->soc().power().decode(
         costEng_->calib().power, avg_o, batch);
     const Seconds dt = advanceWork(base_dt, pw);
-    batchTimeWeighted_ += batch * dt;
-    generatedTokens_ += batch;
+    acc_.batchTimeWeighted += batch * dt;
+    acc_.generatedTokens += batch;
+    if (journal_)
+        journal_->emitStep(1, acc_);
 
     // Advance sequences; retire completed and timed-out ones.
     for (std::size_t i = 0; i < st.active.size();) {
         TrackedRequest &a = st.active[i];
         ++a.generated;
         const bool done = a.generated >= a.effOut;
-        const bool expired = !done && a.deadlineExpired(clock_);
+        const bool expired = !done && a.deadlineExpired(acc_.clock);
         if (done || expired) {
             record(a, done ? RequestOutcome::Completed
                            : RequestOutcome::TimedOut);
@@ -462,98 +518,73 @@ BatchExecutor::sleepUntilWake(ServingState &st, Seconds next_arrival)
 {
     Seconds wake = next_arrival;
     const auto &events = faults_.events();
-    if (nextEvent_ < events.size())
-        wake = std::min(wake, events[nextEvent_].time);
+    if (acc_.nextEvent < events.size())
+        wake = std::min(wake, events[acc_.nextEvent].time);
     for (const auto &p : st.queue) {
-        if (p.notBefore > clock_)
+        if (p.notBefore > acc_.clock)
             wake = std::min(wake, p.notBefore);
     }
-    fatal_if(!std::isfinite(wake) || wake <= clock_,
+    fatal_if(!std::isfinite(wake) || wake <= acc_.clock,
              "serving deadlock: ", st.queue.size(),
              " queued request(s) can never be admitted");
     idleTo(wake);
+}
+
+AuditView
+BatchExecutor::auditView(const ServingState &st, std::size_t trace_size,
+                         std::size_t next_arrival) const
+{
+    AuditView v;
+    v.traceSize = trace_size;
+    v.nextArrival = next_arrival;
+    v.served = &served_;
+    v.state = &st;
+    v.acc = acc_;
+    v.paged = paged_ != nullptr;
+    v.kv = paged_.get();
+    v.ballast = ballast_;
+    v.kvBudget = kvBudget_;
+    v.kvPerToken = kvPerToken_;
+    return v;
+}
+
+void
+BatchExecutor::serialize(ByteWriter &w) const
+{
+    engine::serialize(w, acc_);
+    thermal_.serialize(w);
+    w.u8(paged_ ? 1 : 0);
+    if (paged_) {
+        w.u64(ballast_);
+        paged_->serialize(w);
+    }
+    // stepCache_/chunkCache_ are pure memoization over the engine's
+    // noiseless const query surface: rebuilt identically on resume.
+}
+
+void
+BatchExecutor::restore(ByteReader &r)
+{
+    engine::restore(r, acc_);
+    thermal_.restore(r);
+    const bool paged = r.u8() != 0;
+    fatal_if(paged != (paged_ != nullptr),
+             "checkpoint executor mode mismatch: checkpoint is ",
+             paged ? "paged" : "scalar", "-KV but this run is ",
+             paged_ ? "paged" : "scalar",
+             "-KV (different fault plan?); refusing to restore");
+    if (paged_) {
+        ballast_ = r.u64();
+        paged_->restore(r);
+    }
 }
 
 ServingReport
 BatchExecutor::report(Seconds first_arrival, SchedulerPolicy policy,
                       const ServingState &st) const
 {
-    ServingReport rep;
-    std::size_t met = 0;
-    std::size_t with_deadline = 0;
-    std::size_t with_deadline_met = 0;
-    for (const auto &s : served_) {
-        switch (s.outcome) {
-          case RequestOutcome::Completed:
-            ++rep.completed;
-            if (s.preemptions > 0)
-                ++rep.retriedCompleted;
-            if (s.degraded)
-                ++rep.degradedCompleted;
-            if (s.deadlineMet())
-                ++met;
-            break;
-          case RequestOutcome::TimedOut:
-            ++rep.timedOut;
-            break;
-          case RequestOutcome::Shed:
-            ++rep.shed;
-            break;
-        }
-        if (s.request.deadline > 0.0) {
-            ++with_deadline;
-            if (s.deadlineMet())
-                ++with_deadline_met;
-        }
-    }
-    rep.makespan = clock_ - first_arrival;
-    rep.throughputQps = rep.makespan > 0.0
-        ? static_cast<double>(rep.completed) / rep.makespan
-        : 0.0;
-    rep.totalEnergy = energy_;
-    rep.energyPerQuery = rep.completed > 0
-        ? energy_ / static_cast<double>(rep.completed)
-        : 0.0;
-    rep.generatedTokens = generatedTokens_;
-    rep.avgBatch = busy_ > 0.0 ? batchTimeWeighted_ / busy_ : 0.0;
-    rep.utilization = rep.makespan > 0.0 ? busy_ / rep.makespan : 0.0;
-    rep.preemptions = totalPreemptions_;
-    rep.goodputQps = rep.makespan > 0.0
-        ? static_cast<double>(met) / rep.makespan
-        : 0.0;
-    rep.deadlineHitRate = with_deadline > 0
-        ? static_cast<double>(with_deadline_met) /
-            static_cast<double>(with_deadline)
-        : 1.0;
-    rep.throttleResidency = busy_ > 0.0 ? throttledBusy_ / busy_ : 0.0;
-
-    std::vector<double> latencies;
-    latencies.reserve(served_.size());
-    RunningStats lat;
-    for (const auto &s : served_) {
-        if (s.outcome != RequestOutcome::Completed)
-            continue;
-        latencies.push_back(s.latency());
-        lat.add(s.latency());
-    }
-    rep.meanLatency = lat.mean();
-    rep.p50Latency = percentile(latencies, 50.0);
-    rep.p95Latency = percentile(latencies, 95.0);
-    rep.p99Latency = percentile(latencies, 99.0);
-
-    rep.schedulerPolicy = policy;
-    std::vector<double> waits;
-    waits.reserve(served_.size());
-    RunningStats wait;
-    for (const auto &s : served_) {
-        waits.push_back(s.queueDelay);
-        wait.add(s.queueDelay);
-    }
-    rep.meanQueueDelay = wait.mean();
-    rep.p95QueueDelay = percentile(waits, 95.0);
-    rep.p99QueueDelay = percentile(waits, 99.0);
-    rep.peakQueueDepth = st.peakQueueDepth;
-    return rep;
+    return buildServingReport(served_, acc_, first_arrival, policy,
+                              st.peakQueueDepth);
 }
 
 } // namespace engine

@@ -23,11 +23,14 @@
 #include <tuple>
 #include <vector>
 
+#include "engine/auditor.hh"
 #include "engine/server.hh"
 #include "hw/thermal.hh"
 
 namespace edgereason {
 namespace engine {
+
+class Journal;
 
 /**
  * Mutable scheduling state of one run, shared between the arrival
@@ -66,6 +69,10 @@ struct ServingState
     {
         return !prefilling.empty() || !active.empty();
     }
+
+    /** Checkpoint serialization of the full scheduling state. */
+    void serialize(ByteWriter &w) const;
+    void restore(ByteReader &r);
 };
 
 /**
@@ -88,7 +95,33 @@ class BatchExecutor
                   std::vector<ServedRequest> &served);
 
     /** @return the simulated wall clock. */
-    Seconds clock() const { return clock_; }
+    Seconds clock() const { return acc_.clock; }
+
+    /** @return the scalar integrators (journal/checkpoint snapshot). */
+    const ExecAccumulators &accumulators() const { return acc_; }
+
+    /**
+     * Attach a write-ahead journal: every admission, step, preemption,
+     * fault application, and retirement is recorded through it.
+     * Observer-only — attaching a journal never changes the run's
+     * arithmetic.  Borrowed; null detaches.
+     */
+    void setJournal(Journal *journal) { journal_ = journal; }
+
+    /** Build the invariant auditor's snapshot (engine/auditor.hh). */
+    AuditView auditView(const ServingState &st, std::size_t trace_size,
+                        std::size_t next_arrival) const;
+
+    /**
+     * Serialize the executor's mutable run state: accumulators,
+     * thermal state, and (under an active fault plan) the paged KV
+     * pool with its ballast handle.  Memoization caches are skipped —
+     * they rebuild from the engine's noiseless const query surface,
+     * so a resumed run recomputes identical values.
+     */
+    void serialize(ByteWriter &w) const;
+    /** Restore serialize() output; fatal() on a mode mismatch. */
+    void restore(ByteReader &r);
 
     /** Jump the clock to @p t with the device idle (thermal cooling
      *  integrates on the way; exact assignment keeps idle jumps
@@ -164,6 +197,7 @@ class BatchExecutor
     const ServerConfig &config_;
     const FaultPlan &faults_;
     std::vector<ServedRequest> &served_;
+    Journal *journal_ = nullptr;
 
     bool faulty_ = false;
     bool thermalOn_ = false;
@@ -181,16 +215,8 @@ class BatchExecutor
     bool degradedNow_ = false;
     const InferenceEngine *costEng_ = nullptr;
 
-    // --- Clocks and accumulators -----------------------------------
-    Seconds clock_ = 0.0;
-    Seconds busy_ = 0.0;
-    Seconds throttledBusy_ = 0.0;
-    Joules energy_ = 0.0;
-    double batchTimeWeighted_ = 0.0;
-    double committedKv_ = 0.0;
-    double generatedTokens_ = 0.0;
-    std::uint64_t totalPreemptions_ = 0;
-    std::size_t nextEvent_ = 0;
+    // --- Clocks and accumulators (one checkpointable unit) ---------
+    ExecAccumulators acc_;
 
     /** Memoized noiseless step latency over bucketed context, keyed
      *  per cost engine (primary vs degraded fallback). */

@@ -9,6 +9,14 @@
 namespace edgereason {
 namespace engine {
 
+SimulatedCrash::SimulatedCrash(std::int64_t step_, Seconds clock_)
+    : std::runtime_error(detail::concat(
+          "simulated crash at batch step ", step_, " (sim time ", clock_,
+          " s)")),
+      step(step_), clock(clock_)
+{
+}
+
 const char *
 faultKindName(FaultKind k)
 {
@@ -93,6 +101,24 @@ FaultPlan::FaultPlan(const FaultConfig &cfg) : cfg_(cfg)
                      [](const FaultEvent &a, const FaultEvent &b) {
                          return a.time < b.time;
                      });
+
+    // Crash times live outside events_ so they never flip active() or
+    // perturb the behavioural schedule.
+    fatal_if(cfg_.crash.perHour < 0.0, "crash rate must be non-negative");
+    if (cfg_.crash.atTime >= 0.0)
+        crashTimes_.push_back(cfg_.crash.atTime);
+    if (cfg_.crash.perHour > 0.0) {
+        Rng rng(cfg_.seed, "faults/crash");
+        const double mean_gap = 3600.0 / cfg_.crash.perHour;
+        Seconds t = 0.0;
+        while (true) {
+            t += exponential(rng, mean_gap);
+            if (t >= cfg_.horizon)
+                break;
+            crashTimes_.push_back(t);
+        }
+    }
+    std::sort(crashTimes_.begin(), crashTimes_.end());
 }
 
 } // namespace engine

@@ -27,6 +27,7 @@
 #define EDGEREASON_ENGINE_FAULTS_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/types.hh"
@@ -51,6 +52,42 @@ struct FaultEvent
     Seconds duration = 0.0;
     /** KvShrink: fraction of KV block capacity removed, in [0, 1). */
     double magnitude = 0.0;
+};
+
+/**
+ * Process-death schedule for crash-safety testing.  A crash is not a
+ * FaultEvent: fault events change simulator behaviour (and therefore the
+ * run's results), whereas a crash only decides *when the process dies* —
+ * a run that crashes and resumes must produce bit-identical results to
+ * one that never crashed.  Keeping crashes out of the event list (and
+ * out of FaultPlan::active()) preserves that separation.
+ */
+struct CrashSchedule
+{
+    /** Kill when the executor reaches batch step N (-1 disables). */
+    std::int64_t atStep = -1;
+    /** Kill at the first step boundary at/after sim time T (<0 off). */
+    Seconds atTime = -1.0;
+    /** Mean Poisson crashes per hour of sim time (0 disables). */
+    double perHour = 0.0;
+
+    bool enabled() const
+    {
+        return atStep >= 0 || atTime >= 0.0 || perHour > 0.0;
+    }
+};
+
+/**
+ * Thrown by the serving loop when a CrashSchedule fires (a simulated
+ * power cut at a batch-step boundary).  Derives from runtime_error so it
+ * unwinds like fatal(); the CLI catches it to print a resume hint.
+ */
+struct SimulatedCrash : std::runtime_error
+{
+    SimulatedCrash(std::int64_t step_, Seconds clock_);
+
+    std::int64_t step;
+    Seconds clock;
 };
 
 /** Fault-plan generation parameters. */
@@ -78,6 +115,9 @@ struct FaultConfig
     double kvShrinkFraction = 0.25;
     /** Length of one shrink window. */
     Seconds kvShrinkDuration = 120.0;
+
+    /** When to simulate process death (never affects results). */
+    CrashSchedule crash;
 };
 
 /**
@@ -97,7 +137,12 @@ class FaultPlan
     /** Materialize the schedule for @p cfg (validates parameters). */
     explicit FaultPlan(const FaultConfig &cfg);
 
-    /** @return true if any fault mechanism is enabled. */
+    /**
+     * @return true if any *behavioural* fault mechanism is enabled.
+     * A crash schedule alone does not make a plan active: crashes must
+     * not switch the executor onto the fault-hardened code path, or a
+     * crash-only run would stop being bit-identical to a plain run.
+     */
     bool active() const { return cfg_.thermal || !events_.empty(); }
 
     /** @return the generation parameters. */
@@ -106,9 +151,18 @@ class FaultPlan
     /** @return all scheduled events, sorted by time. */
     const std::vector<FaultEvent> &events() const { return events_; }
 
+    /**
+     * @return sim times at which the process should die (sorted).
+     * Materialized from cfg.crash: explicit atTime plus Poisson draws
+     * from the "faults/crash" stream.  atStep kills are matched against
+     * the step counter directly and do not appear here.
+     */
+    const std::vector<Seconds> &crashTimes() const { return crashTimes_; }
+
   private:
     FaultConfig cfg_{};
     std::vector<FaultEvent> events_;
+    std::vector<Seconds> crashTimes_;
 };
 
 } // namespace engine

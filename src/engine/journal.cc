@@ -1,0 +1,514 @@
+#include "engine/journal.hh"
+
+#include <filesystem>
+#include <iomanip>
+#include <ios>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'E', 'D', 'G', 'E',
+                                   'R', 'J', 'N', 'L'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+
+std::string
+headerBytes(std::uint64_t fingerprint)
+{
+    ByteWriter w;
+    for (char c : kJournalMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kJournalVersion);
+    w.u64(fingerprint);
+    return w.bytes();
+}
+
+/** Frame one record: type | len | payload | fnv1a(everything before). */
+std::string
+frameRecord(JournalRecordType type, const std::string &payload)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string frame = w.bytes() + payload;
+    ByteWriter ck;
+    ck.u64(fnv1a(frame));
+    return frame + ck.bytes();
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open journal file: ", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fatal_if(!in.good() && !in.eof(), "read error on journal file: ",
+             path);
+    return buf.str();
+}
+
+} // namespace
+
+const char *
+journalRecordTypeName(JournalRecordType t)
+{
+    switch (t) {
+      case JournalRecordType::RunBegin:
+        return "run-begin";
+      case JournalRecordType::Arrival:
+        return "arrival";
+      case JournalRecordType::Admit:
+        return "admit";
+      case JournalRecordType::Step:
+        return "step";
+      case JournalRecordType::Preempt:
+        return "preempt";
+      case JournalRecordType::Fault:
+        return "fault";
+      case JournalRecordType::Retire:
+        return "retire";
+      case JournalRecordType::CheckpointMark:
+        return "checkpoint-mark";
+      case JournalRecordType::RunEnd:
+        return "run-end";
+    }
+    panic("unknown journal record type");
+}
+
+void
+serialize(ByteWriter &w, const ExecAccumulators &acc)
+{
+    w.f64(acc.clock);
+    w.f64(acc.busy);
+    w.f64(acc.throttledBusy);
+    w.f64(acc.energy);
+    w.f64(acc.batchTimeWeighted);
+    w.f64(acc.committedKv);
+    w.f64(acc.generatedTokens);
+    w.u64(acc.preemptions);
+    w.u64(acc.nextEvent);
+}
+
+void
+restore(ByteReader &r, ExecAccumulators &acc)
+{
+    acc.clock = r.f64();
+    acc.busy = r.f64();
+    acc.throttledBusy = r.f64();
+    acc.energy = r.f64();
+    acc.batchTimeWeighted = r.f64();
+    acc.committedKv = r.f64();
+    acc.generatedTokens = r.f64();
+    acc.preemptions = r.u64();
+    acc.nextEvent = r.u64();
+}
+
+Journal
+Journal::createFresh(const std::string &path, std::uint64_t fingerprint)
+{
+    Journal j;
+    j.path_ = path;
+    j.out_ = std::make_unique<std::ofstream>(
+        path, std::ios::binary | std::ios::trunc);
+    fatal_if(!*j.out_, "cannot create journal file: ", path);
+    *j.out_ << headerBytes(fingerprint);
+    j.out_->flush();
+    fatal_if(!*j.out_, "write failed on journal file: ", path);
+    return j;
+}
+
+Journal
+Journal::resumeAt(const std::string &path, std::uint64_t fingerprint,
+                  std::uint64_t step, bool verify_tail)
+{
+    const JournalContents contents = readJournal(path);
+    fatal_if(contents.fingerprint != fingerprint,
+             "journal ", path, " belongs to a different run: ",
+             "fingerprint 0x", std::hex, contents.fingerprint,
+             " vs expected 0x", fingerprint, std::dec,
+             "; refusing to resume");
+
+    // Locate the CheckpointMark covering the checkpoint we restored.
+    std::size_t mark = contents.records.size();
+    for (std::size_t i = 0; i < contents.records.size(); ++i) {
+        const auto &rec = contents.records[i];
+        if (rec.type != JournalRecordType::CheckpointMark)
+            continue;
+        ByteReader r(rec.payload);
+        if (r.u64() == step)
+            mark = i;
+    }
+    fatal_if(mark == contents.records.size(),
+             "journal ", path, " has no checkpoint-mark for step ",
+             step, "; cannot resume");
+
+    const std::uint64_t keep = mark + 1 < contents.records.size()
+        ? contents.records[mark + 1].offset
+        : contents.endOffset;
+
+    Journal j;
+    j.path_ = path;
+    j.verifyTail_ = verify_tail;
+    for (std::size_t i = mark + 1; i < contents.records.size(); ++i)
+        j.tail_.push_back(contents.records[i]);
+
+    // Truncate the tail on disk: the resumed run re-emits it (and, with
+    // verify_tail, proves it re-emits it identically).
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    fatal_if(ec, "cannot truncate journal ", path, ": ", ec.message());
+    j.out_ = std::make_unique<std::ofstream>(
+        path, std::ios::binary | std::ios::app);
+    fatal_if(!*j.out_, "cannot reopen journal file: ", path);
+    return j;
+}
+
+void
+Journal::emit(JournalRecordType type, const ByteWriter &payload)
+{
+    if (!out_)
+        return;
+    if (!tail_.empty()) {
+        const JournalRawRecord expected = tail_.front();
+        tail_.pop_front();
+        if (verifyTail_) {
+            fatal_if(expected.type != type ||
+                         expected.payload != payload.bytes(),
+                     "deterministic replay divergence in journal ",
+                     path_, " at offset ", expected.offset,
+                     ": pre-crash run recorded ",
+                     journalRecordTypeName(expected.type), " (",
+                     expected.payload.size(),
+                     " bytes) but the resumed run emitted ",
+                     journalRecordTypeName(type), " (",
+                     payload.size(), " bytes)");
+        }
+    }
+    *out_ << frameRecord(type, payload.bytes());
+    out_->flush(); // write-ahead: durable before the simulator proceeds
+    fatal_if(!*out_, "write failed on journal file: ", path_);
+}
+
+void
+Journal::emitRunBegin(std::size_t trace_size, SchedulerPolicy policy,
+                      Seconds first_arrival)
+{
+    ByteWriter w;
+    w.u64(trace_size);
+    w.u8(static_cast<std::uint8_t>(policy));
+    w.f64(first_arrival);
+    emit(JournalRecordType::RunBegin, w);
+}
+
+void
+Journal::emitArrival(const TrackedRequest &r, std::size_t queue_depth)
+{
+    ByteWriter w;
+    w.i64(r.traceIndex);
+    serialize(w, r.req);
+    w.u64(queue_depth);
+    emit(JournalRecordType::Arrival, w);
+}
+
+void
+Journal::emitAdmit(const TrackedRequest &r, Seconds clock)
+{
+    ByteWriter w;
+    w.i64(r.traceIndex);
+    w.f64(clock);
+    w.i64(r.effOut);
+    w.u8(r.degraded ? 1 : 0);
+    w.u64(r.seq);
+    emit(JournalRecordType::Admit, w);
+}
+
+void
+Journal::emitStep(std::uint8_t kind, const ExecAccumulators &acc)
+{
+    ByteWriter w;
+    w.u8(kind);
+    serialize(w, acc);
+    emit(JournalRecordType::Step, w);
+}
+
+void
+Journal::emitPreempt(const TrackedRequest &r, bool requeued,
+                     std::size_t queue_depth,
+                     std::uint64_t total_preemptions)
+{
+    ByteWriter w;
+    w.i64(r.traceIndex);
+    w.u8(requeued ? 1 : 0);
+    w.u64(queue_depth);
+    w.u64(total_preemptions);
+    emit(JournalRecordType::Preempt, w);
+}
+
+void
+Journal::emitFault(const FaultEvent &e, Seconds clock_after)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.f64(e.time);
+    w.f64(e.duration);
+    w.f64(e.magnitude);
+    w.f64(clock_after);
+    emit(JournalRecordType::Fault, w);
+}
+
+void
+Journal::emitRetire(const ServedRequest &s)
+{
+    ByteWriter w;
+    serialize(w, s);
+    emit(JournalRecordType::Retire, w);
+}
+
+void
+Journal::emitCheckpointMark(std::uint64_t step)
+{
+    ByteWriter w;
+    w.u64(step);
+    emit(JournalRecordType::CheckpointMark, w);
+}
+
+void
+Journal::emitRunEnd(const ExecAccumulators &acc,
+                    std::size_t peak_queue_depth)
+{
+    ByteWriter w;
+    serialize(w, acc);
+    w.u64(peak_queue_depth);
+    emit(JournalRecordType::RunEnd, w);
+}
+
+JournalContents
+readJournal(const std::string &path)
+{
+    const std::string data = readWholeFile(path);
+    fatal_if(data.size() < kHeaderBytes,
+             "journal ", path, " truncated: ", data.size(),
+             " byte(s), header needs ", kHeaderBytes);
+    fatal_if(std::string_view(data.data(), 8) !=
+                 std::string_view(kJournalMagic, 8),
+             "journal ", path, " has a bad magic at offset 0 "
+             "(not a journal file?)");
+
+    JournalContents out;
+    ByteReader header(std::string_view(data).substr(8, 12));
+    out.version = header.u32();
+    out.fingerprint = header.u64();
+    fatal_if(out.version != kJournalVersion,
+             "journal ", path, " has format version ", out.version,
+             " but this build reads version ", kJournalVersion);
+
+    std::size_t pos = kHeaderBytes;
+    while (pos < data.size()) {
+        fatal_if(data.size() - pos < 5,
+                 "journal ", path, " truncated at offset ", pos,
+                 ": record header cut short");
+        ByteReader rh(std::string_view(data).substr(pos, 5));
+        const std::uint8_t type = rh.u8();
+        const std::uint32_t len = rh.u32();
+        fatal_if(type < 1 ||
+                     type > static_cast<std::uint8_t>(
+                                JournalRecordType::RunEnd),
+                 "journal ", path, " corrupt at offset ", pos,
+                 ": unknown record type ", int(type));
+        fatal_if(data.size() - pos < 5ULL + len + 8,
+                 "journal ", path, " truncated at offset ", pos,
+                 ": record needs ", 5ULL + len + 8,
+                 " byte(s) but only ", data.size() - pos, " remain");
+        const std::string_view frame(data.data() + pos, 5 + len);
+        ByteReader ck(std::string_view(data).substr(pos + 5 + len, 8));
+        const std::uint64_t found = ck.u64();
+        const std::uint64_t expected = fnv1a(frame);
+        fatal_if(found != expected,
+                 "journal ", path, " corrupt at offset ", pos,
+                 ": expected checksum 0x", std::hex, expected,
+                 " found 0x", found, std::dec);
+        JournalRawRecord rec;
+        rec.type = static_cast<JournalRecordType>(type);
+        rec.payload.assign(data, pos + 5, len);
+        rec.offset = pos;
+        out.records.push_back(std::move(rec));
+        pos += 5ULL + len + 8;
+    }
+    out.endOffset = pos;
+    return out;
+}
+
+ServingReport
+replayServingReport(const std::string &path)
+{
+    const JournalContents contents = readJournal(path);
+
+    bool haveBegin = false;
+    bool haveAcc = false;
+    bool haveEnd = false;
+    SchedulerPolicy policy = SchedulerPolicy::Fcfs;
+    Seconds firstArrival = 0.0;
+    ExecAccumulators acc;
+    std::size_t peak = 0;
+    std::vector<ServedRequest> served;
+
+    for (const auto &rec : contents.records) {
+        ByteReader r(rec.payload);
+        switch (rec.type) {
+          case JournalRecordType::RunBegin: {
+            r.u64(); // trace size (informational)
+            const std::uint8_t p = r.u8();
+            fatal_if(p > static_cast<std::uint8_t>(
+                             SchedulerPolicy::Spjf),
+                     "journal ", path, ": invalid policy at offset ",
+                     rec.offset);
+            policy = static_cast<SchedulerPolicy>(p);
+            firstArrival = r.f64();
+            haveBegin = true;
+            break;
+          }
+          case JournalRecordType::Arrival: {
+            r.i64();
+            ServerRequest req;
+            restore(r, req);
+            peak = std::max<std::size_t>(peak, r.u64());
+            break;
+          }
+          case JournalRecordType::Step: {
+            r.u8();
+            restore(r, acc);
+            haveAcc = true;
+            break;
+          }
+          case JournalRecordType::Preempt: {
+            r.i64();
+            r.u8();
+            peak = std::max<std::size_t>(peak, r.u64());
+            r.u64(); // running preemption total (Step carries it too)
+            break;
+          }
+          case JournalRecordType::Retire: {
+            ServedRequest s;
+            restore(r, s);
+            served.push_back(std::move(s));
+            break;
+          }
+          case JournalRecordType::RunEnd: {
+            restore(r, acc);
+            peak = std::max<std::size_t>(peak, r.u64());
+            haveAcc = true;
+            haveEnd = true;
+            break;
+          }
+          case JournalRecordType::Admit:
+          case JournalRecordType::Fault:
+          case JournalRecordType::CheckpointMark:
+            continue; // payload not needed for the report
+        }
+        r.expectEnd(journalRecordTypeName(rec.type));
+    }
+
+    fatal_if(!haveBegin, "journal ", path,
+             " has no run-begin record; nothing to replay");
+    fatal_if(!haveAcc, "journal ", path,
+             " has no step or run-end record; nothing to replay");
+    if (!haveEnd)
+        warn("journal ", path, " has no run-end record (crashed run): "
+             "replaying the prefix that was journaled");
+    return buildServingReport(served, acc, firstArrival, policy, peak);
+}
+
+void
+dumpJournalText(const std::string &path, std::ostream &os)
+{
+    const JournalContents contents = readJournal(path);
+    os << "journal " << path << " version " << contents.version
+       << " fingerprint 0x" << std::hex << contents.fingerprint
+       << std::dec << " (" << contents.records.size() << " records)\n";
+    os << std::setprecision(17);
+    for (const auto &rec : contents.records) {
+        ByteReader r(rec.payload);
+        os << rec.offset << " " << journalRecordTypeName(rec.type);
+        switch (rec.type) {
+          case JournalRecordType::RunBegin: {
+            os << " trace=" << r.u64();
+            os << " policy="
+               << schedulerPolicyName(
+                      static_cast<SchedulerPolicy>(r.u8()));
+            os << " first-arrival=" << r.f64();
+            break;
+          }
+          case JournalRecordType::Arrival: {
+            os << " idx=" << r.i64();
+            ServerRequest req;
+            restore(r, req);
+            os << " arrival=" << req.arrival << " in="
+               << req.inputTokens << " out=" << req.outputTokens
+               << " prio=" << req.priority << " deadline="
+               << req.deadline << " depth=" << r.u64();
+            break;
+          }
+          case JournalRecordType::Admit: {
+            os << " idx=" << r.i64() << " clock=" << r.f64()
+               << " eff-out=" << r.i64()
+               << " degraded=" << int(r.u8()) << " seq=" << r.u64();
+            break;
+          }
+          case JournalRecordType::Step: {
+            const std::uint8_t kind = r.u8();
+            ExecAccumulators acc;
+            restore(r, acc);
+            os << (kind == 0 ? " prefill" : " decode")
+               << " clock=" << acc.clock << " busy=" << acc.busy
+               << " energy=" << acc.energy
+               << " generated=" << acc.generatedTokens
+               << " preemptions=" << acc.preemptions;
+            break;
+          }
+          case JournalRecordType::Preempt: {
+            os << " idx=" << r.i64() << " requeued=" << int(r.u8())
+               << " depth=" << r.u64() << " total=" << r.u64();
+            break;
+          }
+          case JournalRecordType::Fault: {
+            os << " kind="
+               << faultKindName(static_cast<FaultKind>(r.u8()))
+               << " time=" << r.f64() << " duration=" << r.f64()
+               << " magnitude=" << r.f64() << " clock=" << r.f64();
+            break;
+          }
+          case JournalRecordType::Retire: {
+            ServedRequest s;
+            restore(r, s);
+            os << " idx=" << s.traceIndex << " outcome="
+               << requestOutcomeName(s.outcome) << " finish="
+               << s.finish << " latency=" << s.latency()
+               << " generated=" << s.generated << " preemptions="
+               << s.preemptions << " degraded=" << int(s.degraded);
+            break;
+          }
+          case JournalRecordType::CheckpointMark: {
+            os << " step=" << r.u64();
+            break;
+          }
+          case JournalRecordType::RunEnd: {
+            ExecAccumulators acc;
+            restore(r, acc);
+            os << " clock=" << acc.clock << " busy=" << acc.busy
+               << " energy=" << acc.energy << " peak-depth="
+               << r.u64();
+            break;
+          }
+        }
+        os << "\n";
+    }
+}
+
+} // namespace engine
+} // namespace edgereason

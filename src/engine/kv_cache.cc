@@ -177,5 +177,93 @@ KvCache::freeTokenCapacity() const
     return static_cast<Tokens>(free_blocks) * block_tokens_;
 }
 
+void
+KvCache::serialize(ByteWriter &w) const
+{
+    w.i64(block_tokens_);
+    w.i64(block_bytes_);
+    w.u64(block_capacity_);
+    w.u64(blocks_in_use_);
+    w.u64(next_seq_);
+    w.u64(blocks_.size());
+    for (const Block &b : blocks_) {
+        w.u32(static_cast<std::uint32_t>(b.refcount));
+        w.i64(b.filled);
+    }
+    w.u64(free_list_.size());
+    for (std::uint32_t f : free_list_)
+        w.u32(f);
+    // unordered_map iteration order is not deterministic; emit sequences
+    // sorted by handle so identical states produce identical bytes.
+    std::vector<SeqId> ids;
+    ids.reserve(seqs_.size());
+    for (const auto &[id, seq] : seqs_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (SeqId id : ids) {
+        const Sequence &s = seqs_.at(id);
+        w.u64(id);
+        w.i64(s.tokens);
+        w.u64(s.blocks.size());
+        for (std::uint32_t b : s.blocks)
+            w.u32(b);
+    }
+}
+
+void
+KvCache::restore(ByteReader &r)
+{
+    const Tokens blockTokens = r.i64();
+    const Bytes blockBytes = r.i64();
+    const std::uint64_t blockCap = r.u64();
+    fatal_if(blockTokens != block_tokens_ || blockBytes != block_bytes_ ||
+                 blockCap != block_capacity_,
+             "KvCache restore: geometry mismatch (checkpoint ", blockCap,
+             " blocks of ", blockTokens, " tokens vs instance ",
+             block_capacity_, " blocks of ", block_tokens_, " tokens)");
+    const std::uint64_t inUse = r.u64();
+    const std::uint64_t nextSeq = r.u64();
+    const std::uint64_t nBlocks = r.u64();
+    fatal_if(inUse > blockCap, "KvCache restore: blocks_in_use overflow");
+    std::vector<Block> blocks(nBlocks);
+    for (auto &b : blocks) {
+        b.refcount = static_cast<int>(r.u32());
+        b.filled = r.i64();
+        fatal_if(b.refcount < 0 || b.filled < 0 ||
+                     b.filled > block_tokens_,
+                 "KvCache restore: corrupt block record");
+    }
+    const std::uint64_t nFree = r.u64();
+    std::vector<std::uint32_t> freeList(nFree);
+    for (auto &f : freeList) {
+        f = r.u32();
+        fatal_if(f >= nBlocks, "KvCache restore: free-list entry ", f,
+                 " out of range");
+    }
+    const std::uint64_t nSeqs = r.u64();
+    std::unordered_map<SeqId, Sequence> seqs;
+    seqs.reserve(nSeqs);
+    for (std::uint64_t i = 0; i < nSeqs; ++i) {
+        const SeqId id = r.u64();
+        Sequence s;
+        s.tokens = r.i64();
+        const std::uint64_t nb = r.u64();
+        s.blocks.resize(nb);
+        for (auto &b : s.blocks) {
+            b = r.u32();
+            fatal_if(b >= nBlocks,
+                     "KvCache restore: sequence block out of range");
+        }
+        fatal_if(!seqs.emplace(id, std::move(s)).second,
+                 "KvCache restore: duplicate sequence ", id);
+    }
+    blocks_in_use_ = inUse;
+    next_seq_ = nextSeq;
+    blocks_ = std::move(blocks);
+    free_list_ = std::move(freeList);
+    seqs_ = std::move(seqs);
+}
+
 } // namespace engine
 } // namespace edgereason

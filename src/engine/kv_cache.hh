@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 #include "model/transformer_spec.hh"
 
@@ -83,6 +84,20 @@ class KvCache
     {
         return static_cast<Tokens>(block_capacity_) * block_tokens_;
     }
+
+    /**
+     * Serialize the full allocation state (blocks, free list, sequences,
+     * next handle) in a canonical order, so two caches holding the same
+     * state emit identical bytes.  Geometry (capacity, block size) is
+     * written too and validated on restore().
+     */
+    void serialize(ByteWriter &w) const;
+    /**
+     * Restore state written by serialize() into this cache.  fatal() if
+     * the checkpoint's geometry does not match this instance — restoring
+     * onto a differently-sized cache would corrupt accounting.
+     */
+    void restore(ByteReader &r);
 
   private:
     struct Block

@@ -22,6 +22,7 @@
 
 #include <limits>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 #include "engine/kv_cache.hh"
 
@@ -98,6 +99,7 @@ struct ServedRequest
     Tokens generated = 0;       //!< output tokens produced (kept work)
     int preemptions = 0;        //!< times evicted and recomputed
     bool degraded = false;      //!< served under a degraded policy
+    std::int64_t traceIndex = -1; //!< position in the input trace
     /** @return time in system (== finish - arrival for all outcomes). */
     Seconds latency() const { return queueDelay + serviceTime; }
     /** @return true if the request completed within its deadline
@@ -138,6 +140,7 @@ struct TrackedRequest
 {
     ServerRequest req;
     RequestState state = RequestState::Queued;
+    std::int64_t traceIndex = -1; //!< position in the input trace
 
     // --- Waiting fields (Queued / Preempted) -----------------------
     Seconds notBefore = 0.0; //!< retry-backoff gate
@@ -186,6 +189,14 @@ struct TrackedRequest
     void resetForAdmission(Seconds now, Tokens eff_out,
                            bool degraded_now, SeqId kv_seq);
 };
+
+// --- Checkpoint/journal serialization (common/binio format) ----------
+void serialize(ByteWriter &w, const ServerRequest &r);
+void restore(ByteReader &r, ServerRequest &out);
+void serialize(ByteWriter &w, const ServedRequest &r);
+void restore(ByteReader &r, ServedRequest &out);
+void serialize(ByteWriter &w, const TrackedRequest &r);
+void restore(ByteReader &r, TrackedRequest &out);
 
 } // namespace engine
 } // namespace edgereason

@@ -121,6 +121,42 @@ SpjfScheduler::pickNext(const std::deque<TrackedRequest> &queue,
                      });
 }
 
+void
+Scheduler::serialize(ByteWriter &w) const
+{
+    w.u8(static_cast<std::uint8_t>(policy()));
+}
+
+void
+Scheduler::verifyMatches(ByteReader &r) const
+{
+    ByteWriter expected;
+    serialize(expected);
+    ByteReader er(expected.bytes());
+    while (!er.atEnd()) {
+        const std::size_t off = r.offset();
+        const std::uint8_t found = r.u8();
+        const std::uint8_t want = er.u8();
+        fatal_if(found != want,
+                 "checkpoint scheduler mismatch at byte ", off,
+                 ": resuming run is configured as \"", name(),
+                 "\" but the checkpoint was written by a different "
+                 "policy/model; refusing to resume");
+    }
+}
+
+void
+SpjfScheduler::serialize(ByteWriter &w) const
+{
+    Scheduler::serialize(w);
+    w.f64(model_.prefill.a);
+    w.f64(model_.prefill.b);
+    w.f64(model_.prefill.c);
+    w.i64(model_.prefill.tile);
+    w.f64(model_.decode.m);
+    w.f64(model_.decode.n);
+}
+
 std::unique_ptr<Scheduler>
 makeScheduler(SchedulerPolicy p, const perf::LatencyModel *spjf_model)
 {

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "common/binio.hh"
 #include "engine/request_state.hh"
 #include "perfmodel/latency_model.hh"
 
@@ -75,6 +76,22 @@ class Scheduler
     virtual std::size_t
     pickNext(const std::deque<TrackedRequest> &queue,
              Seconds now) const = 0;
+
+    /**
+     * Serialize the scheduler's identity and parameters.  Schedulers
+     * are stateless between pickNext calls, so this captures policy
+     * configuration only; checkpoint restore uses it to verify the
+     * resuming process configured the same policy (and, for spjf, the
+     * same fitted model) rather than to rebuild the object.
+     */
+    virtual void serialize(ByteWriter &w) const;
+
+    /**
+     * fatal() unless @p r holds serialize() output matching this
+     * scheduler — a resume under a different policy would produce a
+     * silently different (non-bit-identical) run.
+     */
+    void verifyMatches(ByteReader &r) const;
 };
 
 /** Legacy policy: highest priority first, FIFO within a class. */
@@ -127,6 +144,8 @@ class SpjfScheduler : public Scheduler
 
     /** @return predicted total service time of @p r's remaining work. */
     Seconds predictedService(const TrackedRequest &r) const;
+
+    void serialize(ByteWriter &w) const override;
 
   private:
     perf::LatencyModel model_;

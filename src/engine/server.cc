@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "engine/checkpoint.hh"
 #include "engine/executor.hh"
+#include "engine/journal.hh"
 
 namespace edgereason {
 namespace engine {
@@ -22,6 +26,93 @@ degradeModeName(DegradeMode m)
         return "fallback";
     }
     panic("unknown degrade mode");
+}
+
+ServingReport
+buildServingReport(const std::vector<ServedRequest> &served,
+                   const ExecAccumulators &acc, Seconds first_arrival,
+                   SchedulerPolicy policy, std::size_t peak_queue_depth)
+{
+    ServingReport rep;
+    std::size_t met = 0;
+    std::size_t with_deadline = 0;
+    std::size_t with_deadline_met = 0;
+    for (const auto &s : served) {
+        switch (s.outcome) {
+          case RequestOutcome::Completed:
+            ++rep.completed;
+            if (s.preemptions > 0)
+                ++rep.retriedCompleted;
+            if (s.degraded)
+                ++rep.degradedCompleted;
+            if (s.deadlineMet())
+                ++met;
+            break;
+          case RequestOutcome::TimedOut:
+            ++rep.timedOut;
+            break;
+          case RequestOutcome::Shed:
+            ++rep.shed;
+            break;
+        }
+        if (s.request.deadline > 0.0) {
+            ++with_deadline;
+            if (s.deadlineMet())
+                ++with_deadline_met;
+        }
+    }
+    rep.makespan = acc.clock - first_arrival;
+    rep.throughputQps = rep.makespan > 0.0
+        ? static_cast<double>(rep.completed) / rep.makespan
+        : 0.0;
+    rep.totalEnergy = acc.energy;
+    rep.energyPerQuery = rep.completed > 0
+        ? acc.energy / static_cast<double>(rep.completed)
+        : 0.0;
+    rep.generatedTokens = acc.generatedTokens;
+    rep.avgBatch = acc.busy > 0.0 ? acc.batchTimeWeighted / acc.busy
+                                  : 0.0;
+    rep.utilization = rep.makespan > 0.0 ? acc.busy / rep.makespan
+                                         : 0.0;
+    rep.preemptions = acc.preemptions;
+    rep.goodputQps = rep.makespan > 0.0
+        ? static_cast<double>(met) / rep.makespan
+        : 0.0;
+    rep.deadlineHitRate = with_deadline > 0
+        ? static_cast<double>(with_deadline_met) /
+            static_cast<double>(with_deadline)
+        : 1.0;
+    rep.throttleResidency = acc.busy > 0.0
+        ? acc.throttledBusy / acc.busy
+        : 0.0;
+
+    std::vector<double> latencies;
+    latencies.reserve(served.size());
+    RunningStats lat;
+    for (const auto &s : served) {
+        if (s.outcome != RequestOutcome::Completed)
+            continue;
+        latencies.push_back(s.latency());
+        lat.add(s.latency());
+    }
+    rep.meanLatency = lat.mean();
+    rep.p50Latency = percentile(latencies, 50.0);
+    rep.p95Latency = percentile(latencies, 95.0);
+    rep.p99Latency = percentile(latencies, 99.0);
+
+    rep.schedulerPolicy = policy;
+    std::vector<double> waits;
+    waits.reserve(served.size());
+    RunningStats wait;
+    for (const auto &s : served) {
+        waits.push_back(s.queueDelay);
+        wait.add(s.queueDelay);
+    }
+    rep.meanQueueDelay = wait.mean();
+    rep.p95QueueDelay = percentile(waits, 95.0);
+    rep.p99QueueDelay = percentile(waits, 99.0);
+    rep.peakQueueDepth = peak_queue_depth;
+    return rep;
 }
 
 ServingSimulator::ServingSimulator(InferenceEngine &engine,
@@ -95,7 +186,17 @@ ServingReport
 ServingSimulator::run(const std::vector<ServerRequest> &trace,
                       const FaultPlan &faults)
 {
+    return run(trace, faults, DurabilityOptions{});
+}
+
+ServingReport
+ServingSimulator::run(const std::vector<ServerRequest> &trace,
+                      const FaultPlan &faults,
+                      const DurabilityOptions &dur)
+{
     fatal_if(trace.empty(), "empty serving trace");
+    fatal_if(dur.resume && dur.checkpointDir.empty(),
+             "resume requested without a checkpoint directory");
     ServingState st;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         fatal_if(i > 0 && trace[i].arrival < trace[i - 1].arrival,
@@ -112,20 +213,151 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
     served_.reserve(trace.size());
     BatchExecutor exec(engine_, fallback_, config_, faults, served_);
 
+    const bool durable = !dur.checkpointDir.empty();
+    const std::uint64_t fingerprint =
+        durable ? runFingerprint(engine_, config_, trace, faults) : 0;
+    const std::string journalPath = durable
+        ? (std::filesystem::path(dur.checkpointDir) / "journal.bin")
+              .string()
+        : std::string();
+
+    // --- Resume: latest checkpoint + journal tail -------------------
     std::size_t next_arrival = 0;
+    std::uint64_t step = 0;
+    std::uint64_t restoredStep = 0;
+    bool resumed = false;
+    Journal journal;
+    if (dur.resume) {
+        const auto ckpts = listCheckpoints(dur.checkpointDir);
+        fatal_if(ckpts.empty(), "no checkpoints found under ",
+                 dur.checkpointDir, "; cannot resume");
+        const auto &[ckStep, ckPath] = ckpts.back();
+        const std::string payload =
+            loadCheckpointFile(ckPath, fingerprint);
+        ByteReader r(payload);
+        step = r.u64();
+        fatal_if(step != ckStep, "checkpoint ", ckPath,
+                 " is named for step ", ckStep,
+                 " but its payload records step ", step);
+        scheduler_->verifyMatches(r);
+        st.restore(r);
+        const std::uint64_t nServed = r.u64();
+        served_.clear();
+        for (std::uint64_t i = 0; i < nServed; ++i) {
+            ServedRequest s;
+            engine::restore(r, s);
+            served_.push_back(std::move(s));
+        }
+        next_arrival = static_cast<std::size_t>(r.u64());
+        fatal_if(next_arrival > trace.size(),
+                 "checkpoint arrival cursor ", next_arrival,
+                 " exceeds trace size ", trace.size());
+        exec.restore(r);
+        if (r.u8() != 0) {
+            std::map<std::string, std::string> states;
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::string name = r.str();
+                states[std::move(name)] = r.str();
+            }
+            if (dur.rngBank != nullptr)
+                dur.rngBank->restore(states);
+        }
+        r.expectEnd("checkpoint payload");
+        restoredStep = step;
+        resumed = true;
+        journal = Journal::resumeAt(journalPath, fingerprint, step,
+                                    dur.verifyTail);
+    } else if (durable) {
+        std::error_code ec;
+        std::filesystem::create_directories(dur.checkpointDir, ec);
+        fatal_if(ec, "cannot create checkpoint directory ",
+                 dur.checkpointDir, ": ", ec.message());
+        journal = Journal::createFresh(journalPath, fingerprint);
+        journal.emitRunBegin(trace.size(), scheduler_->policy(),
+                             trace.front().arrival);
+    }
+    exec.setJournal(journal.active() ? &journal : nullptr);
+
+    // Crash injection: scheduled kills fire at the first batch-step
+    // boundary at/after their trigger, mimicking an external SIGKILL
+    // between scheduler cycles.  On resume, triggers already behind
+    // the restored clock are considered spent.
+    const CrashSchedule &crash = faults.config().crash;
+    const auto &crashTimes = faults.crashTimes();
+    std::size_t crashCursor = 0;
+    while (crashCursor < crashTimes.size() &&
+           crashTimes[crashCursor] <= exec.clock())
+        ++crashCursor;
+
+    Auditor auditor;
+    const auto audit = [&]() {
+        if (dur.paranoid)
+            auditor.check(
+                exec.auditView(st, trace.size(), next_arrival));
+    };
+
     const auto pull_arrivals = [&]() {
         while (next_arrival < trace.size() &&
                trace[next_arrival].arrival <=
                    exec.clock() + kTimeSlack) {
             TrackedRequest r;
             r.req = trace[next_arrival];
+            r.traceIndex = static_cast<std::int64_t>(next_arrival);
             st.enqueue(std::move(r));
+            if (journal.active())
+                journal.emitArrival(st.queue.back(), st.queue.size());
             ++next_arrival;
         }
     };
 
     while (!st.queue.empty() || st.hasInFlight() ||
            next_arrival < trace.size()) {
+        // --- Batch-step boundary: audit, checkpoint, crash ----------
+        audit();
+        const bool ckptDue = durable &&
+            (step == 0 ||
+             (dur.checkpointEvery > 0 &&
+              step % dur.checkpointEvery == 0)) &&
+            !(resumed && step == restoredStep);
+        if (ckptDue) {
+            ByteWriter w;
+            w.u64(step);
+            scheduler_->serialize(w);
+            st.serialize(w);
+            w.u64(served_.size());
+            for (const auto &s : served_)
+                engine::serialize(w, s);
+            w.u64(next_arrival);
+            exec.serialize(w);
+            if (dur.rngBank != nullptr) {
+                w.u8(1);
+                const auto states = dur.rngBank->serialize();
+                w.u64(states.size());
+                for (const auto &[name, state] : states) {
+                    w.str(name);
+                    w.str(state);
+                }
+            } else {
+                w.u8(0);
+            }
+            writeCheckpointFile(
+                checkpointPath(dur.checkpointDir, step), fingerprint,
+                w);
+            journal.emitCheckpointMark(step);
+        }
+        if (crash.enabled()) {
+            const bool stepHit = crash.atStep >= 0 &&
+                static_cast<std::uint64_t>(crash.atStep) == step &&
+                !(resumed && step == restoredStep);
+            const bool timeHit = crashCursor < crashTimes.size() &&
+                exec.clock() >= crashTimes[crashCursor];
+            if (stepHit || timeHit)
+                throw SimulatedCrash(static_cast<std::int64_t>(step),
+                                     exec.clock());
+        }
+        ++step;
+
         pull_arrivals();
         exec.pumpEvents(st);
 
@@ -163,6 +395,9 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
         exec.decodeStep(st);
     }
 
+    audit();
+    if (journal.active())
+        journal.emitRunEnd(exec.accumulators(), st.peakQueueDepth);
     return exec.report(trace.front().arrival, scheduler_->policy(),
                        st);
 }

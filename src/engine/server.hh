@@ -55,6 +55,25 @@
 namespace edgereason {
 namespace engine {
 
+/**
+ * The executor's scalar integrators, grouped so the journal can
+ * snapshot them per step and checkpoint/restore can move them as one
+ * unit.  All doubles integrate monotonically over a run (the auditor
+ * relies on that).
+ */
+struct ExecAccumulators
+{
+    Seconds clock = 0.0;
+    Seconds busy = 0.0;
+    Seconds throttledBusy = 0.0;
+    Joules energy = 0.0;
+    double batchTimeWeighted = 0.0;
+    double committedKv = 0.0; //!< scalar-mode reserved KV bytes
+    double generatedTokens = 0.0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t nextEvent = 0; //!< fault-event cursor
+};
+
 /** Aggregate serving metrics. */
 struct ServingReport
 {
@@ -158,6 +177,57 @@ struct ServerConfig
 };
 
 /**
+ * Derive a ServingReport from the per-request records plus the final
+ * accumulator snapshot.  This is THE report arithmetic: the executor's
+ * report() and journal replay (engine/journal.hh) both call it, which
+ * is what makes a replayed report bit-identical to the live one.
+ */
+ServingReport buildServingReport(const std::vector<ServedRequest> &served,
+                                 const ExecAccumulators &acc,
+                                 Seconds first_arrival,
+                                 SchedulerPolicy policy,
+                                 std::size_t peak_queue_depth);
+
+/**
+ * Crash-safety controls for one serving run (all off by default).
+ * See DESIGN.md §9: checkpoints snapshot the full run state at a
+ * batch-step boundary; the write-ahead journal records every
+ * externally-visible event; recovery = latest checkpoint + journal
+ * tail, and a resumed run is bit-identical to an uninterrupted one.
+ */
+struct DurabilityOptions
+{
+    /**
+     * Directory for the journal (journal.bin) and checkpoints
+     * (ckpt-<step>.bin).  Empty disables both journaling and
+     * checkpointing.  Created if missing.
+     */
+    std::string checkpointDir;
+    /** Write a checkpoint every N batch-step boundaries (0 = only the
+     *  initial step-0 checkpoint). */
+    std::uint64_t checkpointEvery = 0;
+    /** Resume from the latest valid checkpoint in checkpointDir
+     *  instead of starting fresh. */
+    bool resume = false;
+    /**
+     * On resume, verify each re-emitted journal record byte-for-byte
+     * against the pre-crash journal tail (deterministic-replay check;
+     * a mismatch means the resumed run diverged and is a fatal()).
+     */
+    bool verifyTail = true;
+    /** Run the invariant auditor (engine/auditor.hh) at every
+     *  batch-step boundary; violations panic(). */
+    bool paranoid = false;
+    /**
+     * Optional named-stream registry to capture in checkpoints.  The
+     * serving loop itself draws no randomness, but callers whose
+     * surrounding harness does (e.g. chaos tests) can register streams
+     * here so they resume mid-sequence.  Borrowed; may be null.
+     */
+    RngBank *rngBank = nullptr;
+};
+
+/**
  * Serving simulator bound to one engine (one model on one SoC).
  * The engine is borrowed and must outlive the server.
  */
@@ -187,6 +257,22 @@ class ServingSimulator
      */
     ServingReport run(const std::vector<ServerRequest> &trace,
                       const FaultPlan &faults);
+
+    /**
+     * Run a trace under a fault plan with durability controls: a
+     * write-ahead journal, periodic checkpoints, crash injection
+     * (FaultConfig::crash), resume-from-checkpoint, and the paranoid
+     * invariant auditor.  With default-constructed options this is
+     * exactly run(trace, faults).
+     *
+     * @throws SimulatedCrash when the plan's CrashSchedule fires; the
+     *   journal and checkpoints on disk are complete up to the crash
+     *   point and a subsequent call with dur.resume = true finishes
+     *   the run bit-identically.
+     */
+    ServingReport run(const std::vector<ServerRequest> &trace,
+                      const FaultPlan &faults,
+                      const DurabilityOptions &dur);
 
     /**
      * Replace the admission policy (overrides ServerConfig::scheduler

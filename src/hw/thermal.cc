@@ -114,5 +114,28 @@ ThermalSimulator::sustainedSpeedFactor(Watts maxn_power,
     return speed_time / duration;
 }
 
+void
+ThermalSimulator::serialize(ByteWriter &w) const
+{
+    w.f64(temp_);
+    w.u8(static_cast<std::uint8_t>(mode_));
+    // trajectory_ intentionally omitted: samples are observability-only
+    // and never feed back into temperature or governance.
+}
+
+void
+ThermalSimulator::restore(ByteReader &r)
+{
+    const double temp = r.f64();
+    const std::uint8_t mode = r.u8();
+    fatal_if(!std::isfinite(temp),
+             "thermal restore: non-finite temperature");
+    fatal_if(mode > static_cast<std::uint8_t>(PowerMode::MaxN),
+             "thermal restore: invalid power mode ", int(mode));
+    temp_ = temp;
+    mode_ = static_cast<PowerMode>(mode);
+    trajectory_.clear();
+}
+
 } // namespace hw
 } // namespace edgereason

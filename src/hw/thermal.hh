@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 #include "hw/gpu_spec.hh"
 
@@ -99,6 +100,15 @@ class ThermalSimulator
      */
     double sustainedSpeedFactor(Watts maxn_power, Seconds duration,
                                 Seconds dt = 1.0);
+
+    /**
+     * Serialize the governed state (temperature + power mode).  The
+     * trajectory is observability-only — it never feeds back into the
+     * model — so checkpoints omit it and restore() clears it.
+     */
+    void serialize(ByteWriter &w) const;
+    /** Restore a state written by serialize(); fatal() on corruption. */
+    void restore(ByteReader &r);
 
   private:
     PowerMode stepDown(PowerMode m) const;

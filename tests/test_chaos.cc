@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Randomized crash/recovery chaos suite.  25 seeds each generate a
+ * distinct fault-ridden serving scenario and a random crash point; the
+ * run is executed uninterrupted, then crashed + resumed with paranoid
+ * invariant auditing, and the two reports must match bit for bit.  On
+ * a failure the seed's journal and checkpoints are left under
+ * ./chaos-artifacts/ (the CI chaos job uploads that directory), so a
+ * failing seed can be replayed and inspected offline:
+ *
+ *   edgereason replay chaos-artifacts/seed-<N>/journal.bin --dump
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "engine/checkpoint.hh"
+#include "engine/journal.hh"
+#include "engine/server.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::engine;
+namespace fs = std::filesystem;
+
+namespace {
+
+InferenceEngine
+makeEngine()
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = false;
+    return InferenceEngine(
+        er::model::spec(er::model::ModelId::DeepScaleR1_5B),
+        er::model::calibration(er::model::ModelId::DeepScaleR1_5B),
+        cfg);
+}
+
+void
+expectIdentical(const ServingReport &a, const ServingReport &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.throughputQps, b.throughputQps);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.goodputQps, b.goodputQps);
+    EXPECT_EQ(a.deadlineHitRate, b.deadlineHitRate);
+    EXPECT_EQ(a.throttleResidency, b.throttleResidency);
+    EXPECT_EQ(a.meanQueueDelay, b.meanQueueDelay);
+    EXPECT_EQ(a.peakQueueDepth, b.peakQueueDepth);
+}
+
+} // namespace
+
+TEST(Chaos, RandomCrashPointsRecoverBitIdentically)
+{
+    const fs::path artifacts = "chaos-artifacts";
+    fs::remove_all(artifacts);
+
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        SCOPED_TRACE("chaos seed " + std::to_string(seed));
+        er::Rng dice(seed, "chaos/dice");
+
+        // A seed-specific scenario: moderate load with thermal
+        // coupling, brownouts, KV shrink windows, and deadlines on
+        // every third seed.
+        ServerConfig cfg;
+        cfg.maxBatch = 4 + static_cast<int>(dice.uniform() * 12.0);
+        cfg.prefillChunk = dice.uniform() < 0.5 ? 0 : 128;
+        cfg.scheduler = seed % 3 == 0 ? SchedulerPolicy::Edf
+                                      : SchedulerPolicy::Fcfs;
+        cfg.degrade.mode = seed % 2 == 0 ? DegradeMode::Budget
+                                         : DegradeMode::None;
+
+        er::Rng traceRng(seed, "chaos/trace");
+        auto trace = ServingSimulator::poissonTrace(
+            traceRng, 24, 1.0 + 2.0 * dice.uniform(), 120, 400);
+        if (seed % 3 == 0) {
+            for (auto &r : trace)
+                r.deadline = 45.0;
+        }
+
+        FaultConfig fc;
+        fc.seed = seed * 7919;
+        fc.horizon = trace.back().arrival + 600.0;
+        fc.thermal = true;
+        fc.thermalSpec.rThermal = 2.5;
+        fc.thermalSpec.cThermal = 20.0;
+        fc.thermalSpec.ambientC = 50.0;
+        fc.thermalSpec.initialC = 50.0;
+        fc.brownoutsPerHour = 120.0;
+        fc.kvShrinksPerHour = 120.0;
+        fc.kvShrinkFraction = 0.5;
+        fc.kvShrinkDuration = 20.0;
+
+        auto eng = makeEngine();
+        ServingSimulator baseline_srv(eng, cfg);
+        const auto baseline =
+            baseline_srv.run(trace, FaultPlan(fc));
+
+        const std::string dir =
+            (artifacts / ("seed-" + std::to_string(seed))).string();
+        fs::create_directories(dir);
+        DurabilityOptions dur;
+        dur.checkpointDir = dir;
+        dur.checkpointEvery = 1 + static_cast<std::uint64_t>(
+            dice.uniform() * 16.0);
+        dur.paranoid = true;
+
+        FaultConfig crash_fc = fc;
+        crash_fc.crash.atStep =
+            static_cast<std::int64_t>(dice.uniform() * 400.0);
+
+        ServingSimulator crash_srv(eng, cfg);
+        ServingReport rep;
+        bool crashed = false;
+        try {
+            rep = crash_srv.run(trace, FaultPlan(crash_fc), dur);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        if (crashed) {
+            ServingSimulator resume_srv(eng, cfg);
+            DurabilityOptions res = dur;
+            res.resume = true;
+            rep = resume_srv.run(trace, FaultPlan(fc), res);
+        }
+        expectIdentical(baseline, rep);
+        expectIdentical(baseline,
+                        replayServingReport(dir + "/journal.bin"));
+    }
+
+    // Keep the journals for artifact upload only when something
+    // failed; a green run cleans up after itself.
+    if (!::testing::Test::HasFailure())
+        fs::remove_all(artifacts);
+}

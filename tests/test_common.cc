@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 
+#include "common/csv.hh"
 #include "common/fit.hh"
 #include "common/linalg.hh"
 #include "common/logging.hh"
@@ -184,4 +186,78 @@ TEST(Logging, PanicAndFatalThrow)
 {
     EXPECT_THROW(panic("boom"), std::logic_error);
     EXPECT_THROW(fatal("boom"), std::runtime_error);
+}
+
+TEST(RngBank, DuplicateStreamCreationPanics)
+{
+    er::RngBank bank(42);
+    bank.create("arrivals");
+    EXPECT_THROW(bank.create("arrivals"), std::logic_error);
+}
+
+TEST(RngBank, StreamNamesAreSortedAndComplete)
+{
+    er::RngBank bank(42);
+    bank.create("zeta");
+    bank.create("alpha");
+    bank.create("mid");
+    const auto names = bank.streamNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "mid");
+    EXPECT_EQ(names[2], "zeta");
+    EXPECT_TRUE(bank.has("alpha"));
+    EXPECT_FALSE(bank.has("omega"));
+    EXPECT_THROW(bank.get("omega"), std::logic_error);
+}
+
+TEST(RngBank, SerializeRestoreResumesMidSequence)
+{
+    er::RngBank bank(42);
+    auto &s = bank.create("gen");
+    for (int i = 0; i < 17; ++i)
+        s.uniform();
+    const auto states = bank.serialize();
+
+    // The restored bank continues the sequence exactly where the
+    // original stood, even when created fresh.
+    er::RngBank other(42);
+    other.create("gen");
+    other.restore(states);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(bank.get("gen").uniform(),
+                         other.get("gen").uniform());
+}
+
+TEST(RngBank, RestoreRefusesPartialState)
+{
+    er::RngBank bank(42);
+    bank.create("a");
+    bank.create("b");
+    er::RngBank donor(42);
+    donor.create("a");
+    // The donor lacks stream "b": restoring would silently reset it.
+    EXPECT_THROW(bank.restore(donor.serialize()), std::runtime_error);
+}
+
+TEST(Csv, WriteFailureOnFullDeviceThrows)
+{
+    // /dev/full accepts the open but fails every write with ENOSPC,
+    // which is exactly the disk-full condition writeRow must surface.
+    std::ifstream probe("/dev/full");
+    if (!probe.good())
+        GTEST_SKIP() << "/dev/full not available";
+    er::CsvWriter csv("/dev/full");
+    try {
+        // The stream buffers: keep writing until the flush-on-full
+        // path reports the failure.
+        for (int i = 0; i < 100000; ++i)
+            csv.writeRow(std::vector<std::string>{
+                "a-reasonably-long-cell-to-fill-the-buffer", "x", "y"});
+        FAIL() << "writeRow never reported the full device";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("/dev/full"),
+                  std::string::npos)
+            << "error must name the path: " << e.what();
+    }
 }

@@ -151,4 +151,58 @@ TEST(ServeOptions, BooleanFlagsDoNotConsumeValues)
     EXPECT_EQ(o->maxBatch, 4);
 }
 
+TEST(ServeOptions, ParsesDurabilityFlags)
+{
+    std::string err;
+    const auto o = parse({"--checkpoint-dir", "/tmp/ck",
+                          "--checkpoint-every", "64", "--paranoid",
+                          "--crash-at-step", "100"},
+                         &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->checkpointDir, "/tmp/ck");
+    EXPECT_EQ(o->checkpointEvery, 64ull);
+    EXPECT_TRUE(o->paranoid);
+    EXPECT_FALSE(o->resume);
+    EXPECT_EQ(o->crashAtStep, 100);
+    EXPECT_EQ(o->crashAtTime, -1.0);
+    EXPECT_EQ(o->crashRate, 0.0);
+}
+
+TEST(ServeOptions, ResumeImpliesCheckpointDir)
+{
+    std::string err;
+    const auto o = parse({"--resume", "/tmp/ck"}, &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_TRUE(o->resume);
+    EXPECT_EQ(o->checkpointDir, "/tmp/ck");
+}
+
+TEST(ServeOptions, CrashInjectionNeedsACheckpointDir)
+{
+    // A crash without durability would lose the run: the parser
+    // rejects each crash flag unless a checkpoint dir is given.
+    std::string err;
+    EXPECT_FALSE(parse({"--crash-at-step", "5"}, &err).has_value());
+    EXPECT_NE(err.find("--checkpoint-dir"), std::string::npos);
+    EXPECT_FALSE(parse({"--crash-at-time", "10"}, &err).has_value());
+    EXPECT_FALSE(parse({"--crash-rate", "0.5"}, &err).has_value());
+    EXPECT_TRUE(parse({"--crash-rate", "0.5", "--checkpoint-dir",
+                       "/tmp/ck"},
+                      &err)
+                    .has_value());
+}
+
+TEST(ServeOptions, RejectsMalformedDurabilityValues)
+{
+    std::string err;
+    EXPECT_FALSE(
+        parse({"--checkpoint-every", "0"}, &err).has_value());
+    EXPECT_FALSE(
+        parse({"--crash-at-step", "-2"}, &err).has_value());
+    EXPECT_FALSE(
+        parse({"--crash-rate", "-1"}, &err).has_value());
+    EXPECT_FALSE(parse({"--resume"}, &err).has_value());
+    EXPECT_NE(err.find("--resume"), std::string::npos);
+}
+
 } // namespace

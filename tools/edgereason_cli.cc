@@ -24,6 +24,11 @@
  *                    [--degrade none|budget|fallback]
  *                    [--degrade-budget 256]
  *                    [--fallback-model DeepScaleR-1.5B]
+ *                    [--checkpoint-dir DIR] [--checkpoint-every 64]
+ *                    [--resume DIR] [--paranoid]
+ *                    [--crash-at-step N] [--crash-at-time T]
+ *                    [--crash-rate 0.5]
+ *   edgereason replay <journal.bin> [--dump]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
  *
@@ -43,6 +48,7 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
+#include "engine/journal.hh"
 #include "engine/server.hh"
 #include "model/zoo.hh"
 
@@ -66,6 +72,8 @@ usage(const char *msg = nullptr)
         "  sweep         evaluate the strategy grid, print the "
         "Pareto frontier\n"
         "  serve         run the continuous-batching serving study\n"
+        "  replay        re-derive a serving report from a "
+        "write-ahead journal\n"
         "global options:\n"
         "  --threads N   sweep worker count (default "
         "EDGEREASON_THREADS, then hardware concurrency)\n"
@@ -356,6 +364,50 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+/**
+ * Print the body of a ServingReport.  Shared between `serve` and
+ * `replay` so a replayed report renders exactly like the live one.
+ * @param degrade_name  degrade-mode label for the throttle line, or
+ *   null when unknown (replay has no ServerConfig).
+ */
+void
+printServingReport(const engine::ServingReport &rep, bool show_outcomes,
+                   const char *degrade_name)
+{
+    const auto cost = cost::edgeCost(rep.totalEnergy, rep.makespan,
+                                     rep.generatedTokens);
+    std::printf("  throughput : %.3f QPS\n", rep.throughputQps);
+    std::printf("  latency    : mean %.1f s, p50 %.1f s, p95 %.1f s, "
+                "p99 %.1f s\n",
+                rep.meanLatency, rep.p50Latency, rep.p95Latency,
+                rep.p99Latency);
+    std::printf("  queueing   : mean wait %.1f s, p99 wait %.1f s, "
+                "peak depth %zu\n",
+                rep.meanQueueDelay, rep.p99QueueDelay,
+                rep.peakQueueDepth);
+    std::printf("  batching   : avg %.1f, utilization %.0f%%\n",
+                rep.avgBatch, 100.0 * rep.utilization);
+    std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
+                rep.energyPerQuery, cost.totalPerMTok());
+    if (!show_outcomes)
+        return;
+    std::printf("  outcomes   : %zu completed, %zu timed out, "
+                "%zu shed (%llu preemptions, %zu retried, "
+                "%zu degraded)\n",
+                rep.completed, rep.timedOut, rep.shed,
+                static_cast<unsigned long long>(rep.preemptions),
+                rep.retriedCompleted, rep.degradedCompleted);
+    std::printf("  goodput    : %.3f QPS, deadline hit rate %.0f%%\n",
+                rep.goodputQps, 100.0 * rep.deadlineHitRate);
+    if (degrade_name)
+        std::printf("  throttle   : %.0f%% of busy time below MAXN "
+                    "(degrade=%s)\n",
+                    100.0 * rep.throttleResidency, degrade_name);
+    else
+        std::printf("  throttle   : %.0f%% of busy time below MAXN\n",
+                    100.0 * rep.throttleResidency);
+}
+
 int
 cmdServe(const std::vector<std::string> &raw)
 {
@@ -398,62 +450,86 @@ cmdServe(const std::vector<std::string> &raw)
     for (auto &r : trace)
         r.deadline = o.deadline;
 
+    const bool crash_on = o.crashAtStep >= 0 || o.crashAtTime >= 0.0 ||
+        o.crashRate > 0.0;
     engine::FaultPlan plan;
-    if (o.faults) {
+    if (o.faults || crash_on) {
         engine::FaultConfig fc;
         fc.seed = static_cast<std::uint64_t>(o.faultSeed);
         fc.horizon = trace.back().arrival + 600.0;
-        fc.thermal = true;
-        // Passively-cooled deployment: higher junction-to-ambient
-        // resistance and a warm enclosure, so sustained decode load
-        // actually reaches the throttle point (a desk fan keeps the
-        // default spec below it forever).
-        fc.thermalSpec.rThermal = 2.5;
-        fc.thermalSpec.cThermal = 50.0; // small passive sink
-        fc.thermalSpec.ambientC = o.ambient;
-        fc.thermalSpec.initialC = fc.thermalSpec.ambientC;
-        fc.brownoutsPerHour = o.brownoutRate;
-        fc.kvShrinksPerHour = o.kvShrinkRate;
+        if (o.faults) {
+            fc.thermal = true;
+            // Passively-cooled deployment: higher junction-to-ambient
+            // resistance and a warm enclosure, so sustained decode load
+            // actually reaches the throttle point (a desk fan keeps the
+            // default spec below it forever).
+            fc.thermalSpec.rThermal = 2.5;
+            fc.thermalSpec.cThermal = 50.0; // small passive sink
+            fc.thermalSpec.ambientC = o.ambient;
+            fc.thermalSpec.initialC = fc.thermalSpec.ambientC;
+            fc.brownoutsPerHour = o.brownoutRate;
+            fc.kvShrinksPerHour = o.kvShrinkRate;
+        }
+        fc.crash.atStep = o.crashAtStep;
+        fc.crash.atTime = o.crashAtTime;
+        fc.crash.perHour = o.crashRate;
         plan = engine::FaultPlan(fc);
     }
 
-    const auto rep = srv.run(trace, plan);
-    const auto cost = cost::edgeCost(rep.totalEnergy, rep.makespan,
-                                     rep.generatedTokens);
+    engine::DurabilityOptions dur;
+    dur.checkpointDir = o.checkpointDir;
+    dur.checkpointEvery = o.checkpointEvery;
+    dur.resume = o.resume;
+    dur.paranoid = o.paranoid;
+
+    engine::ServingReport rep;
+    try {
+        rep = srv.run(trace, plan, dur);
+    } catch (const engine::SimulatedCrash &c) {
+        std::fprintf(stderr, "%s\n", c.what());
+        std::fprintf(stderr,
+                     "journal and checkpoints are intact under %s; "
+                     "finish the run with:\n"
+                     "  edgereason serve ... --resume %s\n",
+                     o.checkpointDir.c_str(), o.checkpointDir.c_str());
+        return 3;
+    }
     std::printf("served %zu requests on %s (scheduler=%s, "
-                "prefill-chunk=%lld):\n",
+                "prefill-chunk=%lld, offered %.3f QPS):\n",
                 trace.size(), eng.spec().name.c_str(),
                 engine::schedulerPolicyName(rep.schedulerPolicy),
-                static_cast<long long>(cfg.prefillChunk));
-    std::printf("  throughput : %.3f QPS (offered %.3f)\n",
-                rep.throughputQps, o.qps);
-    std::printf("  latency    : mean %.1f s, p50 %.1f s, p95 %.1f s, "
-                "p99 %.1f s\n",
-                rep.meanLatency, rep.p50Latency, rep.p95Latency,
-                rep.p99Latency);
-    std::printf("  queueing   : mean wait %.1f s, p99 wait %.1f s, "
-                "peak depth %zu\n",
-                rep.meanQueueDelay, rep.p99QueueDelay,
-                rep.peakQueueDepth);
-    std::printf("  batching   : avg %.1f, utilization %.0f%%\n",
-                rep.avgBatch, 100.0 * rep.utilization);
-    std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
-                rep.energyPerQuery, cost.totalPerMTok());
-    if (plan.active() || o.deadline > 0.0) {
-        std::printf("  outcomes   : %zu completed, %zu timed out, "
-                    "%zu shed (%llu preemptions, %zu retried, "
-                    "%zu degraded)\n",
-                    rep.completed, rep.timedOut, rep.shed,
-                    static_cast<unsigned long long>(rep.preemptions),
-                    rep.retriedCompleted, rep.degradedCompleted);
-        std::printf("  goodput    : %.3f QPS, deadline hit rate "
-                    "%.0f%%\n",
-                    rep.goodputQps, 100.0 * rep.deadlineHitRate);
-        std::printf("  throttle   : %.0f%% of busy time below MAXN "
-                    "(degrade=%s)\n",
-                    100.0 * rep.throttleResidency,
-                    engine::degradeModeName(cfg.degrade.mode));
+                static_cast<long long>(cfg.prefillChunk), o.qps);
+    printServingReport(rep, plan.active() || o.deadline > 0.0,
+                       engine::degradeModeName(cfg.degrade.mode));
+    return 0;
+}
+
+int
+cmdReplay(const std::vector<std::string> &raw)
+{
+    std::string path;
+    bool dump = false;
+    for (const auto &tok : raw) {
+        if (tok == "--dump")
+            dump = true;
+        else if (tok.rfind("--", 0) == 0)
+            usage(("unknown replay flag: " + tok).c_str());
+        else if (path.empty())
+            path = tok;
+        else
+            usage(("unexpected argument: " + tok).c_str());
     }
+    if (path.empty())
+        usage("replay needs a journal file: edgereason replay "
+              "<journal.bin> [--dump]");
+    if (dump) {
+        engine::dumpJournalText(path, std::cout);
+        return 0;
+    }
+    const auto rep = engine::replayServingReport(path);
+    std::printf("replayed %s (scheduler=%s):\n", path.c_str(),
+                engine::schedulerPolicyName(rep.schedulerPolicy));
+    printServingReport(rep, true, nullptr);
     return 0;
 }
 
@@ -470,6 +546,17 @@ main(int argc, char **argv)
     if (cmd_at >= argc)
         usage();
     const std::string cmd = argv[cmd_at];
+    if (cmd == "replay") {
+        // Dispatched before the generic Args parse: replay takes a
+        // positional journal path, which Args would reject.
+        std::vector<std::string> raw(argv + cmd_at + 1, argv + argc);
+        try {
+            return cmdReplay(raw);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     const Args pre(cmd_at, argv, 1);
     const Args args(argc, argv, cmd_at + 1);
     const long long threads =
