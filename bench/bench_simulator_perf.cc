@@ -15,6 +15,7 @@
 #include "core/edge_reasoning.hh"
 #include "core/pareto.hh"
 #include "engine/engine.hh"
+#include "engine/server.hh"
 #include "model/calibration.hh"
 #include "model/zoo.hh"
 
@@ -152,6 +153,56 @@ BM_ParallelSweep(benchmark::State &state)
                             static_cast<std::int64_t>(grid.size()));
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- Serving executor: exact vs macro decode stepping ----------------
+
+/** 64-request trace with ~2k-token outputs: long decode stretches
+ *  between scheduler events, the case macro-stepping targets. */
+const std::vector<er::engine::ServerRequest> &
+servingTrace()
+{
+    static const auto trace = [] {
+        er::Rng rng(21, "bench-serving");
+        return er::engine::ServingSimulator::poissonTrace(
+            rng, 64, 8.0, 120, 2000);
+    }();
+    return trace;
+}
+
+void
+BM_ServingDecode(benchmark::State &state, bool exact_steps)
+{
+    auto &eng = sharedEngine();
+    er::engine::ServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.exactSteps = exact_steps;
+    double generated = 0.0;
+    for (auto _ : state) {
+        er::engine::ServingSimulator srv(eng, cfg);
+        auto rep = srv.run(servingTrace());
+        generated = rep.generatedTokens;
+        benchmark::DoNotOptimize(rep);
+    }
+    // items_per_second = simulated decode tokens per wall second; the
+    // macro/exact ratio is the fast-forward speedup (DESIGN.md §10).
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+}
+
+void
+BM_ServingDecodeExact(benchmark::State &state)
+{
+    BM_ServingDecode(state, true);
+}
+BENCHMARK(BM_ServingDecodeExact);
+
+void
+BM_ServingDecodeMacro(benchmark::State &state)
+{
+    BM_ServingDecode(state, false);
+}
+BENCHMARK(BM_ServingDecodeMacro);
 
 } // namespace
 

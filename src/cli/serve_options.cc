@@ -162,6 +162,7 @@ parseServeOptions(const std::vector<std::string> &args,
         {"faults", &opt.faults},
         {"fallback-quant", &opt.fallbackQuant},
         {"paranoid", &opt.paranoid},
+        {"exact-steps", &opt.exactSteps},
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {

@@ -69,6 +69,10 @@ struct ServeOptions
     /** Mean Poisson crashes per hour of sim time (0 disables). */
     double crashRate = 0.0;
 
+    /** Token-by-token decode (legacy loop) instead of macro-stepping
+     *  to the next scheduler event (DESIGN.md §10). */
+    bool exactSteps = false;
+
     /** Parsed but applied globally by main() (thread-pool sizing). */
     long long threads = 0;
 };

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal open-addressed hash map for hot memoization paths (the
+ * executor's per-(engine, bucket, batch) step-latency and chunk-latency
+ * caches).  std::map's red-black tree costs ~6 dependent pointer chases
+ * per lookup on keys that are three machine words; here a lookup is one
+ * FNV-1a over the packed key bytes (the same hash primitive the journal
+ * uses, common/binio.hh) plus a short linear probe over a flat array.
+ *
+ * Deliberately narrow: insert-only (memo caches never erase), keys must
+ * be trivially copyable with unique object representations (no padding
+ * bytes — enforced at compile time, so hashing the raw bytes is
+ * well-defined), and growth rehashes in place at ~0.7 load.
+ */
+
+#ifndef EDGEREASON_COMMON_OPEN_HASH_HH
+#define EDGEREASON_COMMON_OPEN_HASH_HH
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/binio.hh"
+
+namespace edgereason {
+
+template <typename Key, typename Value>
+class OpenHashMap
+{
+    static_assert(std::is_trivially_copyable_v<Key>,
+                  "keys are hashed by raw bytes");
+    static_assert(std::has_unique_object_representations_v<Key>,
+                  "keys must be padding-free so byte hashing and "
+                  "equality agree");
+
+  public:
+    /** @return the cached value for @p key, or nullptr on a miss. */
+    Value *find(const Key &key)
+    {
+        if (slots_.empty())
+            return nullptr;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (!s.used)
+                return nullptr;
+            if (equal(s.key, key))
+                return &s.value;
+        }
+    }
+
+    /**
+     * Insert @p key -> @p value (the key must not be present) and
+     * return a reference to the stored value.  References are
+     * invalidated by the next insert.
+     */
+    Value &insert(const Key &key, const Value &value)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (!s.used) {
+                s.used = true;
+                s.key = key;
+                s.value = value;
+                ++size_;
+                return s.value;
+            }
+        }
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool used = false;
+    };
+
+    static bool equal(const Key &a, const Key &b)
+    {
+        return std::memcmp(&a, &b, sizeof(Key)) == 0;
+    }
+
+    std::size_t indexOf(const Key &key) const
+    {
+        char raw[sizeof(Key)];
+        std::memcpy(raw, &key, sizeof(Key));
+        return static_cast<std::size_t>(
+                   fnv1aInline(raw, sizeof(Key))) &
+               mask_;
+    }
+
+    void grow()
+    {
+        // Start large enough that a serving run's working set of
+        // (bucket, batch) keys never triggers the rehash ladder.
+        const std::size_t cap =
+            slots_.empty() ? 512 : slots_.size() * 2;
+        std::vector<Slot> old;
+        old.swap(slots_);
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        size_ = 0;
+        for (const Slot &s : old)
+            if (s.used)
+                insert(s.key, s.value);
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace edgereason
+
+#endif // EDGEREASON_COMMON_OPEN_HASH_HH

@@ -1,6 +1,7 @@
 #include "engine/auditor.hh"
 
 #include <cmath>
+#include <set>
 
 #include "common/logging.hh"
 #include "engine/executor.hh"
@@ -133,6 +134,29 @@ Auditor::check(const AuditView &v)
     panic_if(st.peakQueueDepth < st.queue.size(),
              "auditor: peak queue depth ", st.peakQueueDepth,
              " below current depth ", st.queue.size());
+
+    // 7. Macro-stepping bookkeeping.  Every decode step generates one
+    // token per active sequence (>= 1), and every journaled segment
+    // coalesces >= 1 step; the retry-gate index must mirror the
+    // queue's backoff gates exactly (derived-state drift would make
+    // sleepUntilWake and the macro gate stop silently wrong).
+    panic_if(v.acc.macroSegments > v.acc.decodeSteps,
+             "auditor: ", v.acc.macroSegments,
+             " macro segments exceed ", v.acc.decodeSteps,
+             " decode steps");
+    panic_if(v.acc.generatedTokens <
+                 static_cast<double>(v.acc.decodeSteps),
+             "auditor: ", v.acc.generatedTokens,
+             " generated tokens below ", v.acc.decodeSteps,
+             " decode steps");
+    std::multiset<Seconds> gates;
+    for (const auto &q : st.queue)
+        if (q.notBefore > 0.0)
+            gates.insert(q.notBefore);
+    panic_if(gates != st.retryGates,
+             "auditor: retry-gate index out of sync: ",
+             st.retryGates.size(), " indexed gates vs ", gates.size(),
+             " queued backoff entries");
 
     lastClock_ = v.acc.clock;
     haveLast_ = true;

@@ -157,6 +157,11 @@ runFingerprint(const InferenceEngine &engine,
     w.i64(config.degrade.budget.budget);
     w.i64(config.degrade.maxRetries);
     w.f64(config.degrade.retryBackoff);
+    // Stepping mode: exact vs macro journals segment differently, so
+    // a resumed run must re-execute in the mode that wrote the tail
+    // for byte-for-byte tail verification to hold.
+    w.u8(config.exactSteps ? 1 : 0);
+    w.u64(config.macroHorizonCap);
 
     w.u64(trace.size());
     for (const auto &r : trace)

@@ -38,8 +38,12 @@
 namespace edgereason {
 namespace engine {
 
-/** Checkpoint format version (bump on any layout change). */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/**
+ * Checkpoint format version (bump on any layout change).
+ * v2: ExecAccumulators gained decodeSteps/macroSegments and the run
+ * fingerprint covers the stepping mode (exactSteps/macroHorizonCap).
+ */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** @return the canonical checkpoint path: <dir>/ckpt-<step>.bin. */
 std::string checkpointPath(const std::string &dir, std::uint64_t step);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -44,6 +45,12 @@ ServingState::restore(ByteReader &r)
     read_into(active);
     haveDeadlines = r.u8() != 0;
     peakQueueDepth = r.u64();
+    // retryGates is derived state (not on the wire): rebuild it from
+    // the restored queue.
+    retryGates.clear();
+    for (const auto &q : queue)
+        if (q.notBefore > 0.0)
+            retryGates.insert(q.notBefore);
 }
 
 BatchExecutor::BatchExecutor(InferenceEngine &engine,
@@ -132,13 +139,11 @@ BatchExecutor::stepLatency(const InferenceEngine &eng, Tokens ctx,
                            int batch)
 {
     const Tokens bucket = std::max<Tokens>(64, (ctx + 63) / 64 * 64);
-    const auto key = std::make_tuple(&eng, bucket, batch);
-    auto it = stepCache_.find(key);
-    if (it == stepCache_.end()) {
-        it = stepCache_.emplace(
-            key, eng.decodeStepLatency(bucket, batch)).first;
-    }
-    return it->second;
+    const StepKey key{reinterpret_cast<std::uintptr_t>(&eng), bucket,
+                      batch};
+    if (const Seconds *hit = stepCache_.find(key))
+        return *hit;
+    return stepCache_.insert(key, eng.decodeStepLatency(bucket, batch));
 }
 
 Seconds
@@ -147,13 +152,12 @@ BatchExecutor::chunkLatency(const InferenceEngine &eng, Tokens prefix,
 {
     // A fixed chunk size revisits the same (k * chunk, chunk) pairs
     // for every long prompt, so exact-key memoization pays off.
-    const auto key = std::make_tuple(&eng, prefix, chunk);
-    auto it = chunkCache_.find(key);
-    if (it == chunkCache_.end()) {
-        it = chunkCache_.emplace(
-            key, eng.prefillSuffixLatency(prefix, chunk)).first;
-    }
-    return it->second;
+    const ChunkKey key{reinterpret_cast<std::uintptr_t>(&eng), prefix,
+                       chunk};
+    if (const Seconds *hit = chunkCache_.find(key))
+        return *hit;
+    return chunkCache_.insert(key,
+                              eng.prefillSuffixLatency(prefix, chunk));
 }
 
 void
@@ -343,6 +347,7 @@ BatchExecutor::shedExpiredQueued(ServingState &st)
 {
     for (auto it = st.queue.begin(); it != st.queue.end();) {
         if (it->deadlineExpired(acc_.clock)) {
+            st.dropGate(*it);
             shedWaiting(*it);
             it = st.queue.erase(it);
         } else {
@@ -400,6 +405,7 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
             if (est_finish >
                 cand.req.arrival + cand.req.deadline +
                     kDeadlineSlack) {
+                st.dropGate(cand);
                 st.queue.erase(st.queue.begin() +
                                static_cast<std::ptrdiff_t>(idx));
                 shedWaiting(cand);
@@ -417,6 +423,7 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
             break; // wait for completions (or a KV restore)
         }
 
+        st.dropGate(st.queue[idx]);
         cand.resetForAdmission(acc_.clock, eff_out, degraded, seq);
         if (journal_)
             journal_->emitAdmit(cand, acc_.clock);
@@ -447,7 +454,7 @@ BatchExecutor::prefillStep(ServingState &st)
         costEng_->calib().power, p.req.inputTokens);
     advanceWork(pf, pw);
     if (journal_)
-        journal_->emitStep(0, acc_);
+        journal_->emitStep(0, 1, acc_);
     p.prefillDone += chunk;
     if (p.prefillDone >= p.req.inputTokens) {
         p.transitionTo(RequestState::Decoding);
@@ -492,13 +499,344 @@ BatchExecutor::decodeStep(ServingState &st)
     const Seconds dt = advanceWork(base_dt, pw);
     acc_.batchTimeWeighted += batch * dt;
     acc_.generatedTokens += batch;
+    ++acc_.decodeSteps;
+    ++acc_.macroSegments;
     if (journal_)
-        journal_->emitStep(1, acc_);
+        journal_->emitStep(1, 1, acc_);
 
     // Advance sequences; retire completed and timed-out ones.
     for (std::size_t i = 0; i < st.active.size();) {
         TrackedRequest &a = st.active[i];
         ++a.generated;
+        const bool done = a.generated >= a.effOut;
+        const bool expired = !done && a.deadlineExpired(acc_.clock);
+        if (done || expired) {
+            record(a, done ? RequestOutcome::Completed
+                           : RequestOutcome::TimedOut);
+            releaseKv(a);
+            st.active[i] = st.active.back();
+            st.active.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+// Macro-stepping decode (DESIGN.md §10).  The segment's per-step
+// inner loop performs the *same arithmetic in the same order* as
+// decodeStep() — that, not a closed-form aggregate, is the exactness
+// contract that keeps every accumulator bit-identical to the exact
+// loop.  What the segment eliminates is the per-token overhead: the
+// O(batch) container rescans (the sums advance incrementally — they
+// hold integer values below 2^53, so "+= batch" is bitwise equal to
+// a fresh scan), the memo lookups (refreshed only on a 64-token
+// bucket crossing), the power model in its constant floor region,
+// the journal record (one coalesced Step per segment), the
+// retirement scan (done once at the horizon), and the whole
+// admission/arrival/event machinery of the outer scheduling cycle.
+namespace {
+
+/**
+ * Log partial sum: sum_{o=lo..hi} log o (== lgamma(hi + 1) -
+ * lgamma(lo)), served from a lazily extended per-thread cumulative
+ * table so a steady-state bucket-run costs two array reads instead
+ * of two lgamma evaluations (~100ns each — a measurable slice of
+ * the macro-path budget once the timing loop is down to a few adds
+ * per step).  Requires 1 <= lo <= hi.
+ */
+double
+logSumRange(Tokens lo, Tokens hi)
+{
+    thread_local std::vector<double> cum{0.0};
+    while (cum.size() <= static_cast<std::size_t>(hi))
+        cum.push_back(cum.back() +
+                      std::log(static_cast<double>(cum.size())));
+    return cum[static_cast<std::size_t>(hi)] -
+        cum[static_cast<std::size_t>(lo - 1)];
+}
+
+/**
+ * Sum of PowerModel::decode over output positions [lo, hi] at a fixed
+ * batch, matching the per-element evaluation up to round-off.  Valid
+ * only when finish() is the identity (MAXN scale, no quantization —
+ * the caller checks): then the log-curve region collapses to a
+ * log-gamma partial sum, sum log o = lgamma(hi + 1) - lgamma(lo),
+ * and the floor region is a constant.  Runs straddling the floor
+ * boundary or touching the envelope cap fall back to per-element
+ * evaluation (at most once per segment).
+ */
+Watts
+decodePowerSum(const hw::PowerModel &pm, const hw::PowerProfile &pp,
+               Tokens lo, Tokens hi, int batch, Watts batch_term,
+               Watts cap, Watts pw_floor)
+{
+    if (hi < lo)
+        return 0.0;
+    const double n = static_cast<double>(hi - lo + 1);
+    if (hi < pp.decodeFloorTokens)
+        return pw_floor * n;
+    if (lo >= pp.decodeFloorTokens) {
+        const double w_lo = pp.decodeLogAlpha *
+                std::log(static_cast<double>(lo)) +
+            pp.decodeLogBeta;
+        const double w_hi = pp.decodeLogAlpha *
+                std::log(static_cast<double>(hi)) +
+            pp.decodeLogBeta;
+        // The curve is monotone in log(o), so the endpoints bound it:
+        // no floor max and no cap clip can bind mid-run.
+        if (std::min(w_lo, w_hi) >= pp.decodeFloor &&
+            std::max(w_lo, w_hi) + batch_term <= cap) {
+            const double sum_log = logSumRange(lo, hi);
+            return pp.decodeLogAlpha * sum_log +
+                n * (pp.decodeLogBeta + batch_term);
+        }
+    }
+    Watts sum = 0.0;
+    for (Tokens o = lo; o <= hi; ++o)
+        sum += o < pp.decodeFloorTokens ? pw_floor
+                                        : pm.decode(pp, o, batch);
+    return sum;
+}
+
+} // namespace
+
+void
+BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
+                           std::uint64_t horizon_cap)
+{
+    constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+    const int batch = static_cast<int>(st.active.size());
+
+    // Segment-start scan: the sums decodeStep() recomputes each step,
+    // plus the horizon inputs.
+    double ctx_sum = 0.0;
+    double gen_sum = 0.0;
+    Tokens min_remaining = std::numeric_limits<Tokens>::max();
+    for (const auto &a : st.active) {
+        ctx_sum += static_cast<double>(a.req.inputTokens +
+                                       a.generated);
+        gen_sum += static_cast<double>(a.generated);
+        min_remaining = std::min(min_remaining,
+                                 a.effOut - a.generated);
+    }
+    // Earliest deadline the outer machinery could act on: an active
+    // expiry retires at the step that crosses it, a queued expiry is
+    // shed by shedExpiredQueued() at the next cycle boundary.
+    Seconds dmin = kInf;
+    if (st.haveDeadlines) {
+        for (const auto &a : st.active)
+            dmin = std::min(dmin, a.absoluteDeadline());
+        for (const auto &q : st.queue)
+            dmin = std::min(dmin, q.absoluteDeadline());
+    }
+
+    // Event horizon.  Completions bound the step count; arrivals,
+    // fault events, retry-gate openings, deadline expiries, and
+    // thermal-latch flips are checked per step against the advancing
+    // clock (their instants are fixed for the whole segment: nothing
+    // mid-segment can schedule new ones).
+    std::uint64_t kmax = static_cast<std::uint64_t>(min_remaining);
+    if (horizon_cap > 0)
+        kmax = std::min(kmax, horizon_cap);
+
+    // Fast-forwarding skips per-cycle admission, which is only safe
+    // when admission is a provable no-op for every skipped cycle: no
+    // prefill in flight, and no *eligible* queued request whose
+    // clock-dependent deadline estimate admit() would re-evaluate.
+    // Ineligible (gated) entries are covered by the gate stop; a
+    // KV-blocked eligible entry without a deadline fails the same
+    // reservation every cycle until a retirement or fault event ends
+    // the segment anyway.
+    bool allow_multi = st.prefilling.empty();
+    if (allow_multi && st.haveDeadlines &&
+        st.inFlight() < config_.maxBatch) {
+        for (const auto &q : st.queue) {
+            if (q.hasDeadline() && q.eligibleAt(acc_.clock)) {
+                allow_multi = false;
+                break;
+            }
+        }
+    }
+    if (!allow_multi)
+        kmax = 1;
+
+    const auto &events = faults_.events();
+    const Seconds next_event = acc_.nextEvent < events.size()
+        ? events[acc_.nextEvent].time
+        : kInf;
+    // A gate opening only matters while a batch slot is free.
+    const Seconds next_gate =
+        (!st.queue.empty() && st.inFlight() < config_.maxBatch)
+            ? st.nextGateAfter(acc_.clock)
+            : kInf;
+    // The degrade latch samples the governor once per cycle
+    // (beginCycle); stop the segment when the governor flips so the
+    // next cycle re-latches at the same step the exact loop would.
+    const bool watch_latch = thermalOn_ &&
+        config_.degrade.mode != DegradeMode::None;
+    const bool start_throttled = thermal_.throttled();
+
+    // Hoisted out of the per-step loop: the power model's operands.
+    // Below the floor region boundary the decode draw is independent
+    // of the output position, so one evaluation covers those steps.
+    const auto &pm = costEng_->soc().power();
+    const auto &pp = costEng_->calib().power;
+    const Watts pw_floor = pm.decode(pp, 1, batch);
+
+    std::uint64_t k = 0;
+    // Fast-forward eligibility.  With thermal coupling off, every
+    // timing quantity of a step is a pure function of the two batch
+    // averages, which advance by exactly one token per step (integer
+    // sums below 2^53 divided by the batch round identically whether
+    // recomputed or incremented).  The energy integral additionally
+    // needs PowerModel::finish to be the identity: MAXN scale (no
+    // DVFS derating branch) and no state quantization.  Then clock /
+    // busy / batch-time advance by the same per-step additions the
+    // exact loop performs — same values, same order, bit-identical —
+    // and only the deferred energy sum (log-gamma partial sums per
+    // bucket-run) differs from sequential accumulation, within
+    // ~1e-12 relative round-off (DESIGN.md §10).
+    const bool fast = !thermalOn_ && !pm.quantized() &&
+        hw::powerModeScale(pm.powerMode()) >= 1.0;
+    if (fast) {
+        Tokens avg_ctx =
+            static_cast<Tokens>(std::llround(ctx_sum / batch));
+        Tokens avg_o = std::max<Tokens>(
+            1,
+            static_cast<Tokens>(std::llround(gen_sum / batch)) + 1);
+        const Watts batch_term = batch > 1
+            ? pp.batchLogCoef * std::log(static_cast<double>(batch))
+            : 0.0;
+        const Watts cap = hw::powerModeCap(pm.powerMode());
+        const Seconds stop =
+            std::min(next_arrival, std::min(next_event, next_gate));
+        const Seconds dmin_slack = dmin + kDeadlineSlack;
+        // Latest clock that provably trips no stop check: the arrival
+        // / event / gate check fires at clock >= stop - kTimeSlack,
+        // the deadline check at clock > dmin_slack.
+        const Seconds free_lim = std::min(stop - kTimeSlack, dmin_slack);
+        bool stopped = false;
+        while (k < kmax && !stopped) {
+            // One bucket-run: constant step latency until the average
+            // context crosses the next 64-token boundary.  The
+            // per-simulator stepCache_ is skipped here: each (bucket,
+            // batch) pair occurs once per segment sweep, so the
+            // engine's own memo is the only layer that can hit.
+            const Tokens b =
+                std::max<Tokens>(64, (avg_ctx + 63) / 64 * 64);
+            const Seconds dt = costEng_->decodeStepLatency(b, batch);
+            const double bdt = batch * dt;
+            const std::uint64_t n = std::min(
+                kmax - k, static_cast<std::uint64_t>(b - avg_ctx + 1));
+            std::uint64_t j = 0;
+            while (j < n) {
+                // Steps that provably cannot trip a stop run with no
+                // per-step compare at all: a run is at most 64 steps,
+                // so accumulated round-off in clock is orders below
+                // the two-step margin kept against free_lim, and the
+                // additions themselves are the exact per-step sequence
+                // (same values, same order — bit-identical).
+                const double room =
+                    (free_lim - acc_.clock) / dt - 2.0;
+                std::uint64_t n_free = 0;
+                if (room >= static_cast<double>(n - j))
+                    n_free = n - j;
+                else if (room > 0.0)
+                    n_free = static_cast<std::uint64_t>(room);
+                for (std::uint64_t i = 0; i < n_free; ++i) {
+                    acc_.clock += dt;
+                    acc_.busy += dt;
+                    acc_.batchTimeWeighted += bdt;
+                }
+                j += n_free;
+                if (j >= n)
+                    break;
+                acc_.clock += dt;
+                acc_.busy += dt;
+                acc_.batchTimeWeighted += bdt;
+                ++j;
+                if (stop <= acc_.clock + kTimeSlack ||
+                    acc_.clock > dmin_slack) {
+                    stopped = true;
+                    break;
+                }
+            }
+            acc_.energy += dt *
+                decodePowerSum(pm, pp, avg_o,
+                               avg_o + static_cast<Tokens>(j) - 1,
+                               batch, batch_term, cap, pw_floor);
+            acc_.generatedTokens += static_cast<double>(batch) *
+                static_cast<double>(j);
+            acc_.decodeSteps += j;
+            k += j;
+            avg_ctx += static_cast<Tokens>(j);
+            avg_o += static_cast<Tokens>(j);
+        }
+    } else {
+        Tokens bucket = 0; // current stepLatency bucket (0 = none yet)
+        Seconds base_dt = 0.0;
+        while (true) {
+            const Tokens avg_ctx = static_cast<Tokens>(
+                std::llround(ctx_sum / batch));
+            const Tokens b =
+                std::max<Tokens>(64, (avg_ctx + 63) / 64 * 64);
+            if (b != bucket) {
+                bucket = b;
+                base_dt = stepLatency(*costEng_, avg_ctx, batch);
+            }
+            const Tokens avg_o = std::max<Tokens>(
+                1,
+                static_cast<Tokens>(std::llround(gen_sum / batch)) + 1);
+            const Watts pw = avg_o < pp.decodeFloorTokens
+                ? pw_floor
+                : pm.decode(pp, avg_o, batch);
+            const Seconds dt = advanceWork(base_dt, pw);
+            acc_.batchTimeWeighted += batch * dt;
+            acc_.generatedTokens += batch;
+            ++acc_.decodeSteps;
+            ++k;
+            ctx_sum += batch;
+            gen_sum += batch;
+
+            if (k >= kmax)
+                break;
+            if (next_arrival <= acc_.clock + kTimeSlack)
+                break;
+            if (next_event <= acc_.clock + kTimeSlack)
+                break;
+            if (next_gate <= acc_.clock + kTimeSlack)
+                break;
+            if (acc_.clock > dmin + kDeadlineSlack)
+                break;
+            if (watch_latch && thermal_.throttled() != start_throttled)
+                break;
+
+            // Advisory: with the latch armed, solve the RC model for the
+            // step count to the next governor transition and align the
+            // horizon with it.  The per-step latch check above remains
+            // authoritative (power drifts with the output position, so
+            // the closed form is a prediction, not a guarantee).
+            if (k == 1 && watch_latch) {
+                const std::uint64_t cross =
+                    thermal_.stepsToThresholdCrossing(pw, dt, idleW_);
+                if (cross != UINT64_MAX)
+                    kmax = std::min(kmax, k + cross);
+            }
+        }
+    }
+
+    ++acc_.macroSegments;
+    if (journal_)
+        journal_->emitStep(1, static_cast<std::uint32_t>(k), acc_);
+
+    // Retirement at the horizon: k never exceeds the earliest
+    // completion, and the deadline stop breaks at the first step past
+    // the earliest expiry, so retiring here visits the same requests
+    // at the same clock as the per-step scan would.
+    const Tokens gained = static_cast<Tokens>(k);
+    for (std::size_t i = 0; i < st.active.size();) {
+        TrackedRequest &a = st.active[i];
+        a.generated += gained;
         const bool done = a.generated >= a.effOut;
         const bool expired = !done && a.deadlineExpired(acc_.clock);
         if (done || expired) {
@@ -520,10 +858,10 @@ BatchExecutor::sleepUntilWake(ServingState &st, Seconds next_arrival)
     const auto &events = faults_.events();
     if (acc_.nextEvent < events.size())
         wake = std::min(wake, events[acc_.nextEvent].time);
-    for (const auto &p : st.queue) {
-        if (p.notBefore > acc_.clock)
-            wake = std::min(wake, p.notBefore);
-    }
+    // First retry gate strictly in the future; gates at or behind the
+    // clock belong to already-eligible entries (blocked on KV, not on
+    // time), which cannot be what this sleep is waiting for.
+    wake = std::min(wake, st.nextGateAfter(acc_.clock));
     fatal_if(!std::isfinite(wake) || wake <= acc_.clock,
              "serving deadlock: ", st.queue.size(),
              " queued request(s) can never be admitted");

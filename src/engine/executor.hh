@@ -17,12 +17,14 @@
 #ifndef EDGEREASON_ENGINE_EXECUTOR_HH
 #define EDGEREASON_ENGINE_EXECUTOR_HH
 
+#include <cstdint>
 #include <deque>
-#include <map>
+#include <limits>
 #include <memory>
-#include <tuple>
+#include <set>
 #include <vector>
 
+#include "common/open_hash.hh"
 #include "engine/auditor.hh"
 #include "engine/server.hh"
 #include "hw/thermal.hh"
@@ -49,13 +51,45 @@ struct ServingState
     bool haveDeadlines = false;
     /** Largest wait-queue depth observed (queueing observability). */
     std::size_t peakQueueDepth = 0;
+    /**
+     * Retry-backoff gates of queued entries: one element per queue
+     * entry with notBefore > 0, kept sorted so the executor finds the
+     * next gate opening in O(log n) instead of scanning the whole
+     * queue (sleepUntilWake, macro-segment stops).  Derived state —
+     * maintained by enqueue()/dropGate() and rebuilt on restore().
+     */
+    std::multiset<Seconds> retryGates;
 
     /** Append to the wait queue, tracking the peak depth. */
     void enqueue(TrackedRequest r)
     {
+        if (r.notBefore > 0.0)
+            retryGates.insert(r.notBefore);
         queue.push_back(std::move(r));
         if (queue.size() > peakQueueDepth)
             peakQueueDepth = queue.size();
+    }
+
+    /** Forget @p r's backoff gate; call before erasing it from the
+     *  queue. */
+    void dropGate(const TrackedRequest &r)
+    {
+        if (r.notBefore <= 0.0)
+            return;
+        const auto it = retryGates.find(r.notBefore);
+        if (it != retryGates.end())
+            retryGates.erase(it);
+    }
+
+    /** @return the earliest gate strictly after @p t (+inf if none):
+     *  the first instant a currently ineligible entry becomes
+     *  eligible.  Matches the legacy scan's `notBefore > clock`. */
+    Seconds nextGateAfter(Seconds t) const
+    {
+        const auto it = retryGates.upper_bound(t);
+        return it == retryGates.end()
+                   ? std::numeric_limits<Seconds>::infinity()
+                   : *it;
     }
 
     /** @return number of admitted (prefilling + decoding) requests. */
@@ -166,6 +200,25 @@ class BatchExecutor
     void decodeStep(ServingState &st);
 
     /**
+     * Macro-stepping decode (DESIGN.md §10): fast-forward whole-batch
+     * decode steps until the next scheduler-visible boundary — the
+     * next arrival (@p next_arrival, +inf when the trace is
+     * exhausted), the next fault event, the earliest completion or
+     * deadline expiry, a retry gate opening, a thermal-latch flip, or
+     * @p horizon_cap steps (0 = unbounded; durable runs pass the
+     * checkpoint cadence).  Each fast-forwarded step performs the
+     * same arithmetic in the same order as decodeStep(), so every
+     * accumulator and report field is bit-identical to the exact
+     * loop; what the segment skips is the per-step scheduler
+     * machinery and journal traffic (one coalesced Step record per
+     * segment).  Retirement happens at the horizon, where it is
+     * equivalent: the horizon never extends past the earliest
+     * completion or deadline expiry.
+     */
+    void decodeSteps(ServingState &st, Seconds next_arrival,
+                     std::uint64_t horizon_cap);
+
+    /**
      * All in-flight work drained but the queue is gated (retry
      * backoff or a shrunken KV pool): sleep to the next wake-up
      * (arrival, fault event, or backoff expiry).  @p next_arrival is
@@ -218,15 +271,26 @@ class BatchExecutor
     // --- Clocks and accumulators (one checkpointable unit) ---------
     ExecAccumulators acc_;
 
+    /** Packed padding-free memo keys (hashed by raw bytes). */
+    struct StepKey
+    {
+        std::uintptr_t eng;
+        Tokens bucket;
+        std::int64_t batch;
+    };
+    struct ChunkKey
+    {
+        std::uintptr_t eng;
+        Tokens prefix;
+        Tokens chunk;
+    };
+
     /** Memoized noiseless step latency over bucketed context, keyed
      *  per cost engine (primary vs degraded fallback). */
-    std::map<std::tuple<const InferenceEngine *, Tokens, int>, Seconds>
-        stepCache_;
+    OpenHashMap<StepKey, Seconds> stepCache_;
     /** Memoized chunk costs (chunked prefill), keyed per cost engine
      *  on the exact (cached prefix, chunk) pair. */
-    std::map<std::tuple<const InferenceEngine *, Tokens, Tokens>,
-             Seconds>
-        chunkCache_;
+    OpenHashMap<ChunkKey, Seconds> chunkCache_;
 };
 
 } // namespace engine

@@ -93,6 +93,8 @@ serialize(ByteWriter &w, const ExecAccumulators &acc)
     w.f64(acc.generatedTokens);
     w.u64(acc.preemptions);
     w.u64(acc.nextEvent);
+    w.u64(acc.decodeSteps);
+    w.u64(acc.macroSegments);
 }
 
 void
@@ -107,6 +109,8 @@ restore(ByteReader &r, ExecAccumulators &acc)
     acc.generatedTokens = r.f64();
     acc.preemptions = r.u64();
     acc.nextEvent = r.u64();
+    acc.decodeSteps = r.u64();
+    acc.macroSegments = r.u64();
 }
 
 Journal
@@ -229,10 +233,12 @@ Journal::emitAdmit(const TrackedRequest &r, Seconds clock)
 }
 
 void
-Journal::emitStep(std::uint8_t kind, const ExecAccumulators &acc)
+Journal::emitStep(std::uint8_t kind, std::uint32_t count,
+                  const ExecAccumulators &acc)
 {
     ByteWriter w;
     w.u8(kind);
+    w.u32(count);
     serialize(w, acc);
     emit(JournalRecordType::Step, w);
 }
@@ -382,6 +388,7 @@ replayServingReport(const std::string &path)
           }
           case JournalRecordType::Step: {
             r.u8();
+            r.u32(); // coalesced step count (observability only)
             restore(r, acc);
             haveAcc = true;
             break;
@@ -462,9 +469,11 @@ dumpJournalText(const std::string &path, std::ostream &os)
           }
           case JournalRecordType::Step: {
             const std::uint8_t kind = r.u8();
+            const std::uint32_t count = r.u32();
             ExecAccumulators acc;
             restore(r, acc);
             os << (kind == 0 ? " prefill" : " decode")
+               << " x" << count
                << " clock=" << acc.clock << " busy=" << acc.busy
                << " energy=" << acc.energy
                << " generated=" << acc.generatedTokens

@@ -45,8 +45,12 @@
 namespace edgereason {
 namespace engine {
 
-/** Journal format version (bump on any layout change). */
-inline constexpr std::uint32_t kJournalVersion = 1;
+/**
+ * Journal format version (bump on any layout change).
+ * v2: Step records carry a coalesced step count (macro-stepping) and
+ * ExecAccumulators gained decodeSteps/macroSegments.
+ */
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /** Record types of the write-ahead journal. */
 enum class JournalRecordType : std::uint8_t {
@@ -123,8 +127,15 @@ class Journal
                       Seconds first_arrival);
     void emitArrival(const TrackedRequest &r, std::size_t queue_depth);
     void emitAdmit(const TrackedRequest &r, Seconds clock);
-    /** @param kind  0 = prefill chunk, 1 = decode step. */
-    void emitStep(std::uint8_t kind, const ExecAccumulators &acc);
+    /**
+     * @param kind   0 = prefill chunk, 1 = decode step.
+     * @param count  whole-batch steps coalesced into this record (1 in
+     *               exact mode and for prefill chunks; the macro
+     *               executor emits one record per fast-forwarded
+     *               segment with its horizon length K).
+     */
+    void emitStep(std::uint8_t kind, std::uint32_t count,
+                  const ExecAccumulators &acc);
     void emitPreempt(const TrackedRequest &r, bool requeued,
                      std::size_t queue_depth,
                      std::uint64_t total_preemptions);

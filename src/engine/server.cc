@@ -290,6 +290,16 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
            crashTimes[crashCursor] <= exec.clock())
         ++crashCursor;
 
+    // Macro-stepping horizon cap: only the user-configured cap is
+    // applied.  Durability must NOT shorten segments: the deferred
+    // energy sums are grouped per bucket-run, so a durable-only cap
+    // would regroup them and break the bit-identity between durable
+    // and plain runs (DESIGN.md §9).  Checkpoint marks and
+    // crash-at-step triggers fire at cycle boundaries, which are
+    // identical in both modes; checkpointEvery counts cycles (one
+    // macro segment each), not decode steps.
+    const std::uint64_t macroCap = config_.macroHorizonCap;
+
     Auditor auditor;
     const auto audit = [&]() {
         if (dur.paranoid)
@@ -392,7 +402,16 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
             exec.abortExpiredPrefills(st);
         if (st.active.empty())
             continue;
-        exec.decodeStep(st);
+        if (config_.exactSteps) {
+            exec.decodeStep(st);
+        } else {
+            exec.decodeSteps(
+                st,
+                next_arrival < trace.size()
+                    ? trace[next_arrival].arrival
+                    : std::numeric_limits<Seconds>::infinity(),
+                macroCap);
+        }
     }
 
     audit();

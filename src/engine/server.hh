@@ -72,6 +72,14 @@ struct ExecAccumulators
     double generatedTokens = 0.0;
     std::uint64_t preemptions = 0;
     std::uint64_t nextEvent = 0; //!< fault-event cursor
+    /** Whole-batch decode steps executed (same in exact and macro mode). */
+    std::uint64_t decodeSteps = 0;
+    /**
+     * Coalesced decode journal records emitted — one per decodeStep()
+     * in exact mode, one per macro segment otherwise.  The only
+     * accumulator that legitimately differs between the two modes.
+     */
+    std::uint64_t macroSegments = 0;
 };
 
 /** Aggregate serving metrics. */
@@ -174,6 +182,22 @@ struct ServerConfig
     perf::LatencyModel spjfModel{};
     /** Reaction policy under faults (ignored on zero-fault runs). */
     DegradePolicy degrade;
+    /**
+     * Run decode one token per executor call (the legacy loop)
+     * instead of macro-stepping to the next scheduler-visible event
+     * (DESIGN.md §10).  The two modes produce bit-identical reports;
+     * exact mode remains the executable specification and gives
+     * per-token journal granularity (one Step record per token
+     * instead of one per macro segment).
+     */
+    bool exactSteps = false;
+    /**
+     * Upper bound on decode steps fast-forwarded per macro segment
+     * (0 = unbounded).  Durable runs additionally cap segments at
+     * the checkpoint cadence so checkpoint marks stay an event
+     * horizon boundary.
+     */
+    std::uint64_t macroHorizonCap = 0;
 };
 
 /**

@@ -75,6 +75,9 @@ class PowerModel
     /** @return the active power mode. */
     PowerMode powerMode() const { return mode_; }
 
+    /** @return true when output snaps to the discrete state ladder. */
+    bool quantized() const { return quantize_; }
+
     /** Step granularity of the discrete power-state ladder. */
     static constexpr Watts stateGranularity = 2.5;
 

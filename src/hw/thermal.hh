@@ -16,6 +16,7 @@
 #ifndef EDGEREASON_HW_THERMAL_HH
 #define EDGEREASON_HW_THERMAL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/binio.hh"
@@ -93,6 +94,46 @@ class ThermalSimulator
     double steadyStateC(Watts power) const;
 
     /**
+     * Closed-form fast-forward: advance @p steps quanta of @p dt
+     * seconds each at a constant MAXN-equivalent draw, without
+     * governing between quanta.  With the mode fixed the derated
+     * power — and thus the RC target T_inf — is constant, so the
+     * repeated first-order update composes analytically:
+     *
+     *   T_k = T_inf + (T_0 - T_inf) * exp(-k dt / tau)
+     *
+     * The governor is applied once at the end and a single coalesced
+     * trajectory sample covers the whole segment.  This matches
+     * calling step() @p steps times only while no throttle/recover
+     * transition would fire mid-segment (bound the segment with
+     * stepsToThresholdCrossing() first), and even then only up to
+     * floating-point round-off: the iterated update multiplies by
+     * exp(-dt/tau) k times, the closed form once by exp(-k dt/tau).
+     * Callers that need bit-identity with the stepped path (the
+     * serving executor's exactness contract, DESIGN.md §10) must
+     * keep per-quantum stepping instead.
+     *
+     * @return the sample at the end of the segment.
+     */
+    ThermalSample advance(Watts maxn_power, Seconds dt,
+                          std::uint64_t steps, Watts idle = 3.0);
+
+    /**
+     * Number of whole @p dt quanta at a constant MAXN-equivalent
+     * draw until the trajectory first reaches the threshold at which
+     * the governor would *change* mode: throttleC when heating with
+     * a mode that can still step down, recoverC when cooling with a
+     * mode that can still step up.  Returns UINT64_MAX when no such
+     * crossing ever happens (the asymptote sits inside the
+     * hysteresis band, or the governor action at the threshold would
+     * be a ladder-end no-op).  Always >= 1: the first quantum has to
+     * be simulated before any crossing can be observed.
+     */
+    std::uint64_t stepsToThresholdCrossing(Watts maxn_power,
+                                           Seconds dt,
+                                           Watts idle = 3.0) const;
+
+    /**
      * Sustained-operation summary: run @p duration seconds of
      * continuous load at the given MAXN power and report the average
      * speed factor (the fraction of MAXN throughput actually
@@ -113,6 +154,8 @@ class ThermalSimulator
   private:
     PowerMode stepDown(PowerMode m) const;
     PowerMode stepUp(PowerMode m) const;
+    /** MAXN draw derated to the governed mode (PowerModel::finish rule). */
+    Watts deratedPower(Watts maxn_power, Watts idle) const;
 
     ThermalSpec spec_;
     PowerMode mode_;

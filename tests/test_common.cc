@@ -261,3 +261,90 @@ TEST(Csv, WriteFailureOnFullDeviceThrows)
             << "error must name the path: " << e.what();
     }
 }
+
+// --- OpenHashMap (hot memoization paths) -----------------------------
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/open_hash.hh"
+
+namespace {
+
+/** Mirrors the executor's step-cache key shape: three machine words,
+ *  no padding. */
+struct PackedKey
+{
+    std::uintptr_t a;
+    std::int64_t b;
+    std::int64_t c;
+};
+
+} // namespace
+
+TEST(OpenHashMap, FindOnEmptyMissesWithoutAllocating)
+{
+    er::OpenHashMap<PackedKey, double> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(PackedKey{1, 2, 3}), nullptr);
+}
+
+TEST(OpenHashMap, InsertThenFindRoundTrips)
+{
+    er::OpenHashMap<PackedKey, double> m;
+    m.insert(PackedKey{1, 64, 8}, 0.25);
+    m.insert(PackedKey{1, 128, 8}, 0.5);
+    m.insert(PackedKey{2, 64, 8}, 0.75);
+    EXPECT_EQ(m.size(), 3u);
+    ASSERT_NE(m.find(PackedKey{1, 64, 8}), nullptr);
+    EXPECT_DOUBLE_EQ(*m.find(PackedKey{1, 64, 8}), 0.25);
+    EXPECT_DOUBLE_EQ(*m.find(PackedKey{1, 128, 8}), 0.5);
+    EXPECT_DOUBLE_EQ(*m.find(PackedKey{2, 64, 8}), 0.75);
+    // Near misses (one field off) must not alias.
+    EXPECT_EQ(m.find(PackedKey{1, 64, 9}), nullptr);
+    EXPECT_EQ(m.find(PackedKey{3, 64, 8}), nullptr);
+}
+
+TEST(OpenHashMap, GrowthPreservesEveryEntryAgainstStdMap)
+{
+    // Push far past the initial 64-slot table through several rehashes
+    // and mirror into std::map as the oracle.  Keys are generated from
+    // a deterministic RNG so runs of clustered values exercise the
+    // linear probe.
+    er::OpenHashMap<PackedKey, std::int64_t> m;
+    std::map<std::tuple<std::uintptr_t, std::int64_t, std::int64_t>,
+             std::int64_t>
+        oracle;
+    er::Rng rng(99, "open-hash");
+    for (int i = 0; i < 5000; ++i) {
+        const PackedKey k{
+            static_cast<std::uintptr_t>(rng.uniformInt(0, 7)),
+            64 * rng.uniformInt(1, 40), rng.uniformInt(1, 30)};
+        const auto tup = std::make_tuple(k.a, k.b, k.c);
+        if (oracle.find(tup) != oracle.end()) {
+            ASSERT_NE(m.find(k), nullptr);
+            EXPECT_EQ(*m.find(k), oracle[tup]);
+            continue;
+        }
+        oracle[tup] = i;
+        m.insert(k, i);
+    }
+    EXPECT_EQ(m.size(), oracle.size());
+    EXPECT_GT(m.size(), 500u); // actually grew past the initial table
+    for (const auto &[tup, v] : oracle) {
+        const PackedKey k{std::get<0>(tup), std::get<1>(tup),
+                          std::get<2>(tup)};
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), v);
+    }
+}
+
+TEST(OpenHashMap, InsertedReferenceIsWritable)
+{
+    er::OpenHashMap<PackedKey, double> m;
+    double &slot = m.insert(PackedKey{5, 6, 7}, 1.0);
+    slot = 2.0;
+    ASSERT_NE(m.find(PackedKey{5, 6, 7}), nullptr);
+    EXPECT_DOUBLE_EQ(*m.find(PackedKey{5, 6, 7}), 2.0);
+}

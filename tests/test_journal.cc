@@ -74,7 +74,7 @@ makeJournal(const std::string &dir, std::uint64_t fingerprint)
     acc.busy = 1.0;
     acc.energy = 30.0;
     acc.generatedTokens = 7.0;
-    j.emitStep(1, acc);
+    j.emitStep(1, 1, acc);
     ServedRequest s;
     s.request = t.req;
     s.outcome = RequestOutcome::Completed;
@@ -264,7 +264,7 @@ TEST(Journal, ReplayFailsWithoutRunBegin)
     const std::string path = dir + "/journal.bin";
     Journal j = Journal::createFresh(path, 1);
     ExecAccumulators acc;
-    j.emitStep(1, acc);
+    j.emitStep(1, 1, acc);
     expectFatalContaining([&] { replayServingReport(path); },
                           {"run-begin"});
     fs::remove_all(dir);

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Macro-stepping equivalence tests (DESIGN.md §10).  The central
+ * claim: fast-forwarding decode between scheduler-visible events
+ * (ServerConfig::exactSteps = false, the default) produces the same
+ * run the token-stepped legacy loop produces.  Every integer field,
+ * every per-request record, and every TIMING double is compared with
+ * EXPECT_EQ — the fast path replays the exact per-step clock
+ * arithmetic, so scheduling decisions cannot drift.  Only the two
+ * energy aggregates may differ: the fast path collapses the power
+ * integral into log-gamma partial sums, bounded at 1e-9 relative
+ * (observed ~1e-12).  The %.17g goldens in test_scheduler pin the
+ * legacy loop via exactSteps.
+ *
+ * Matrix: {fcfs, edf, spjf} x {zero-fault, faulted, KV-pressure} x
+ * {thermal on, off}, plus a horizon-splitting property test (capping
+ * segments at K' < K must reproduce the same accumulators), journal
+ * coalescing checks, and a crash/resume that tail-verifies across
+ * coalesced segments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/binio.hh"
+#include "engine/journal.hh"
+#include "engine/server.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace er = edgereason;
+using namespace er::engine;
+using er::Seconds;
+using er::Tokens;
+using er::model::ModelId;
+namespace fs = std::filesystem;
+
+namespace {
+
+InferenceEngine
+makeEngine()
+{
+    EngineConfig cfg;
+    cfg.measurementNoise = false;
+    return InferenceEngine(
+        er::model::spec(ModelId::DeepScaleR1_5B),
+        er::model::calibration(ModelId::DeepScaleR1_5B), cfg);
+}
+
+er::perf::LatencyModel
+toyModel()
+{
+    er::perf::LatencyModel m;
+    m.prefill.a = 0.0;
+    m.prefill.b = 1e-4;
+    m.prefill.c = 0.01;
+    m.decode.m = 1e-6;
+    m.decode.n = 0.02;
+    return m;
+}
+
+/** One scenario of the equivalence matrix. */
+struct Scenario
+{
+    std::string name;
+    ServerConfig cfg;
+    std::vector<ServerRequest> trace;
+    FaultConfig fc;
+    bool faulted = false;
+};
+
+Scenario
+zeroFaultScenario(bool thermal)
+{
+    Scenario s;
+    s.name = thermal ? "zero-fault/thermal" : "zero-fault";
+    s.cfg.prefillChunk = 64;
+    er::Rng rng(42, "golden");
+    s.trace = ServingSimulator::poissonTrace(rng, 40, 0.5, 120, 256);
+    if (thermal) {
+        // Thermal integration without any discrete fault events: the
+        // governor alone perturbs speed and power mid-run.
+        s.fc.seed = 0xBEEF;
+        s.fc.horizon = s.trace.back().arrival + 600.0;
+        s.fc.thermal = true;
+        s.fc.thermalSpec.rThermal = 2.5;
+        s.fc.thermalSpec.cThermal = 20.0;
+        s.fc.thermalSpec.ambientC = 55.0;
+        s.fc.thermalSpec.initialC = 55.0;
+        s.faulted = true;
+    }
+    return s;
+}
+
+Scenario
+faultedScenario(bool thermal)
+{
+    Scenario s;
+    s.name = thermal ? "faulted/thermal" : "faulted";
+    s.cfg.maxBatch = 8;
+    s.cfg.degrade.mode = DegradeMode::Budget;
+    s.cfg.degrade.budget = er::strategy::TokenPolicy::hard(128);
+    er::Rng rng(42, "golden-faults");
+    s.trace = ServingSimulator::poissonTrace(rng, 50, 2.0, 120, 512);
+    for (auto &r : s.trace)
+        r.deadline = 30.0;
+    s.fc.seed = 0xFA17;
+    s.fc.horizon = s.trace.back().arrival + 600.0;
+    s.fc.thermal = thermal;
+    s.fc.thermalSpec.rThermal = 2.5;
+    s.fc.thermalSpec.cThermal = 20.0;
+    s.fc.thermalSpec.ambientC = 55.0;
+    s.fc.thermalSpec.initialC = 55.0;
+    s.fc.brownoutsPerHour = 300.0;
+    s.fc.kvShrinksPerHour = 200.0;
+    s.fc.kvShrinkFraction = 0.6;
+    s.fc.kvShrinkDuration = 15.0;
+    s.faulted = true;
+    return s;
+}
+
+Scenario
+kvPressureScenario(bool thermal)
+{
+    Scenario s;
+    s.name = thermal ? "kv-pressure/thermal" : "kv-pressure";
+    er::Rng rng(7, "golden-kv");
+    s.trace = ServingSimulator::poissonTrace(rng, 30, 4.0, 120, 3000);
+    s.fc.seed = 0xFA17;
+    s.fc.horizon = s.trace.back().arrival + 600.0;
+    s.fc.thermal = thermal;
+    if (thermal) {
+        s.fc.thermalSpec.rThermal = 2.5;
+        s.fc.thermalSpec.cThermal = 20.0;
+        s.fc.thermalSpec.ambientC = 55.0;
+        s.fc.thermalSpec.initialC = 55.0;
+    }
+    s.fc.kvShrinksPerHour = 240.0;
+    s.fc.kvShrinkFraction = 0.97;
+    s.fc.kvShrinkDuration = 30.0;
+    s.faulted = true;
+    return s;
+}
+
+struct RunResult
+{
+    ServingReport report;
+    std::vector<ServedRequest> served;
+};
+
+RunResult
+runScenario(const Scenario &s, SchedulerPolicy policy,
+            bool exact_steps, std::uint64_t horizon_cap = 0)
+{
+    auto eng = makeEngine();
+    ServerConfig cfg = s.cfg;
+    cfg.scheduler = policy;
+    if (policy == SchedulerPolicy::Spjf)
+        cfg.spjfModel = toyModel();
+    cfg.exactSteps = exact_steps;
+    cfg.macroHorizonCap = horizon_cap;
+    ServingSimulator srv(eng, cfg);
+    RunResult out;
+    out.report = s.faulted ? srv.run(s.trace, FaultPlan(s.fc))
+                           : srv.run(s.trace);
+    out.served = srv.served();
+    return out;
+}
+
+/** Same-mode comparison: every field bit-identical, doubles included
+ *  (resume/replay of one run must not drift at all). */
+void
+expectIdenticalReports(const ServingReport &a, const ServingReport &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.throughputQps, b.throughputQps);
+    EXPECT_EQ(a.avgBatch, b.avgBatch);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.energyPerQuery, b.energyPerQuery);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.schedulerPolicy, b.schedulerPolicy);
+    EXPECT_EQ(a.meanQueueDelay, b.meanQueueDelay);
+    EXPECT_EQ(a.p95QueueDelay, b.p95QueueDelay);
+    EXPECT_EQ(a.p99QueueDelay, b.p99QueueDelay);
+    EXPECT_EQ(a.peakQueueDepth, b.peakQueueDepth);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.retriedCompleted, b.retriedCompleted);
+    EXPECT_EQ(a.degradedCompleted, b.degradedCompleted);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.goodputQps, b.goodputQps);
+    EXPECT_EQ(a.deadlineHitRate, b.deadlineHitRate);
+    EXPECT_EQ(a.throttleResidency, b.throttleResidency);
+}
+
+/** Cross-mode comparison (exact vs macro): bit-identical except the
+ *  two energy aggregates, which the fast path integrates via
+ *  log-gamma partial sums — 1e-9 relative, the design contract. */
+void
+expectEquivalentReports(const ServingReport &a, const ServingReport &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.throughputQps, b.throughputQps);
+    EXPECT_EQ(a.avgBatch, b.avgBatch);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_NEAR(a.totalEnergy, b.totalEnergy,
+                1e-9 * std::max(1.0, std::abs(a.totalEnergy)));
+    EXPECT_NEAR(a.energyPerQuery, b.energyPerQuery,
+                1e-9 * std::max(1.0, std::abs(a.energyPerQuery)));
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.schedulerPolicy, b.schedulerPolicy);
+    EXPECT_EQ(a.meanQueueDelay, b.meanQueueDelay);
+    EXPECT_EQ(a.p95QueueDelay, b.p95QueueDelay);
+    EXPECT_EQ(a.p99QueueDelay, b.p99QueueDelay);
+    EXPECT_EQ(a.peakQueueDepth, b.peakQueueDepth);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.retriedCompleted, b.retriedCompleted);
+    EXPECT_EQ(a.degradedCompleted, b.degradedCompleted);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.goodputQps, b.goodputQps);
+    EXPECT_EQ(a.deadlineHitRate, b.deadlineHitRate);
+    EXPECT_EQ(a.throttleResidency, b.throttleResidency);
+}
+
+void
+expectIdenticalServed(const std::vector<ServedRequest> &a,
+                      const std::vector<ServedRequest> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("served record " + std::to_string(i));
+        EXPECT_EQ(a[i].traceIndex, b[i].traceIndex);
+        EXPECT_EQ(a[i].outcome, b[i].outcome);
+        EXPECT_EQ(a[i].queueDelay, b[i].queueDelay);
+        EXPECT_EQ(a[i].serviceTime, b[i].serviceTime);
+        EXPECT_EQ(a[i].finish, b[i].finish);
+        EXPECT_EQ(a[i].generated, b[i].generated);
+        EXPECT_EQ(a[i].preemptions, b[i].preemptions);
+        EXPECT_EQ(a[i].degraded, b[i].degraded);
+    }
+}
+
+std::vector<Scenario>
+matrixScenarios()
+{
+    return {zeroFaultScenario(false), zeroFaultScenario(true),
+            faultedScenario(false),   faultedScenario(true),
+            kvPressureScenario(false), kvPressureScenario(true)};
+}
+
+const SchedulerPolicy kPolicies[] = {SchedulerPolicy::Fcfs,
+                                     SchedulerPolicy::Edf,
+                                     SchedulerPolicy::Spjf};
+
+} // namespace
+
+TEST(MacroStep, EquivalenceMatrixMacroMatchesExactBitForBit)
+{
+    for (const auto &s : matrixScenarios()) {
+        for (const auto policy : kPolicies) {
+            SCOPED_TRACE(s.name + " / " + schedulerPolicyName(policy));
+            const auto exact = runScenario(s, policy, true);
+            const auto macro = runScenario(s, policy, false);
+            expectEquivalentReports(exact.report, macro.report);
+            expectIdenticalServed(exact.served, macro.served);
+        }
+    }
+}
+
+// Splitting any horizon K into K1 + K2 must reproduce the same
+// accumulators: capping the segment length changes only where the
+// journal would coalesce, never what the run computes.  cap = 1
+// degenerates every segment into single steps through the macro
+// code path — the strongest split.
+TEST(MacroStep, HorizonSplittingReproducesAccumulators)
+{
+    const Scenario scenarios[] = {faultedScenario(true),
+                                  kvPressureScenario(false)};
+    for (const auto &s : scenarios) {
+        const auto unbounded =
+            runScenario(s, SchedulerPolicy::Fcfs, false, 0);
+        for (const std::uint64_t cap : {1ULL, 3ULL, 17ULL}) {
+            SCOPED_TRACE(s.name + " / cap " + std::to_string(cap));
+            const auto split =
+                runScenario(s, SchedulerPolicy::Fcfs, false, cap);
+            expectEquivalentReports(unbounded.report, split.report);
+            expectIdenticalServed(unbounded.served, split.served);
+        }
+    }
+}
+
+namespace {
+
+/** Decode Step records of a journal as (count, generatedTokens). */
+std::vector<std::pair<std::uint32_t, double>>
+decodeStepRecords(const std::string &path)
+{
+    std::vector<std::pair<std::uint32_t, double>> out;
+    for (const auto &rec : readJournal(path).records) {
+        if (rec.type != JournalRecordType::Step)
+            continue;
+        er::ByteReader r(rec.payload);
+        const std::uint8_t kind = r.u8();
+        const std::uint32_t count = r.u32();
+        ExecAccumulators acc;
+        restore(r, acc);
+        if (kind == 1)
+            out.emplace_back(count, acc.generatedTokens);
+    }
+    return out;
+}
+
+std::string
+scratchDir(const std::string &tag)
+{
+    const auto dir =
+        fs::temp_directory_path() / ("edgereason_macro_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+} // namespace
+
+// The macro journal coalesces: its decode Step records carry counts
+// that sum to the exact run's record count, at least one of them > 1,
+// and both journals replay to the same report.
+TEST(MacroStep, JournalCoalescesStepsAndReplaysIdentically)
+{
+    const Scenario s = zeroFaultScenario(false);
+    auto eng = makeEngine();
+
+    const auto run_durable = [&](bool exact, const std::string &dir) {
+        ServerConfig cfg = s.cfg;
+        cfg.exactSteps = exact;
+        DurabilityOptions dur;
+        dur.checkpointDir = dir;
+        ServingSimulator srv(eng, cfg);
+        return srv.run(s.trace, FaultPlan(), dur);
+    };
+
+    const std::string exactDir = scratchDir("exact");
+    const std::string macroDir = scratchDir("macro");
+    const auto exactRep = run_durable(true, exactDir);
+    const auto macroRep = run_durable(false, macroDir);
+    expectEquivalentReports(exactRep, macroRep);
+
+    const auto exactSteps = decodeStepRecords(exactDir + "/journal.bin");
+    const auto macroSteps = decodeStepRecords(macroDir + "/journal.bin");
+    ASSERT_FALSE(exactSteps.empty());
+    ASSERT_FALSE(macroSteps.empty());
+    EXPECT_LT(macroSteps.size(), exactSteps.size());
+
+    std::uint64_t exactCount = 0;
+    for (const auto &[count, gen] : exactSteps) {
+        EXPECT_EQ(count, 1u);
+        exactCount += count;
+    }
+    std::uint64_t macroCount = 0;
+    std::uint32_t maxCount = 0;
+    for (const auto &[count, gen] : macroSteps) {
+        macroCount += count;
+        maxCount = std::max(maxCount, count);
+    }
+    EXPECT_EQ(exactCount, macroCount);
+    EXPECT_GT(maxCount, 1u);
+    // The shared suffix of both journals: final generated totals agree.
+    EXPECT_EQ(exactSteps.back().second, macroSteps.back().second);
+
+    expectIdenticalReports(exactRep,
+                           replayServingReport(exactDir +
+                                               "/journal.bin"));
+    expectIdenticalReports(macroRep,
+                           replayServingReport(macroDir +
+                                               "/journal.bin"));
+
+    fs::remove_all(exactDir);
+    fs::remove_all(macroDir);
+}
+
+// Crash/resume in macro mode: the resumed run re-derives the same
+// segmentation, so byte-for-byte tail verification passes across
+// coalesced Step records and the final report is bit-identical to
+// the uninterrupted run.
+TEST(MacroStep, CrashResumeTailVerifiesAcrossCoalescedSegments)
+{
+    const Scenario s = faultedScenario(true);
+    auto eng = makeEngine();
+
+    ServerConfig cfg = s.cfg;
+    cfg.exactSteps = false;
+    ServingSimulator base_srv(eng, cfg);
+    const auto baseline = base_srv.run(s.trace, FaultPlan(s.fc));
+
+    const std::string dir = scratchDir("resume");
+    DurabilityOptions dur;
+    dur.checkpointDir = dir;
+    dur.checkpointEvery = 5;
+    dur.paranoid = true;
+
+    FaultConfig crash_fc = s.fc;
+    crash_fc.crash.atStep = 13;
+    ServingSimulator crash_srv(eng, cfg);
+    EXPECT_THROW(crash_srv.run(s.trace, FaultPlan(crash_fc), dur),
+                 SimulatedCrash);
+
+    // The journal tail past the surviving checkpoint contains
+    // coalesced segments (checkpointEvery caps them at 5 steps, and
+    // decode horizons regularly reach that cap).
+    ServingSimulator resume_srv(eng, cfg);
+    DurabilityOptions res = dur;
+    res.resume = true;
+    const auto resumed =
+        resume_srv.run(s.trace, FaultPlan(s.fc), res);
+    expectIdenticalReports(baseline, resumed);
+
+    std::uint32_t maxCount = 0;
+    for (const auto &[count, gen] :
+         decodeStepRecords(dir + "/journal.bin"))
+        maxCount = std::max(maxCount, count);
+    EXPECT_GT(maxCount, 1u);
+
+    fs::remove_all(dir);
+}

@@ -268,7 +268,11 @@ const GoldenReq kKvPressureReqs[] = {
 TEST(SchedulerGolden, ZeroFaultRunIsBitExact)
 {
     auto eng = makeEngine();
-    ServingSimulator srv(eng);
+    // The goldens pin the legacy token-stepped loop (DESIGN.md §10);
+    // macro-stepping equivalence is covered by test_macrostep.
+    ServerConfig cfg;
+    cfg.exactSteps = true;
+    ServingSimulator srv(eng, cfg);
     er::Rng rng(42, "golden");
     const auto trace =
         ServingSimulator::poissonTrace(rng, 40, 0.5, 120, 256);
@@ -290,6 +294,7 @@ TEST(SchedulerGolden, FaultedRunIsBitExact)
     cfg.maxBatch = 8;
     cfg.degrade.mode = DegradeMode::Budget;
     cfg.degrade.budget = er::strategy::TokenPolicy::hard(128);
+    cfg.exactSteps = true; // goldens pin the legacy loop
     ServingSimulator srv(eng, cfg);
     er::Rng rng(42, "golden-faults");
     auto trace = ServingSimulator::poissonTrace(rng, 50, 2.0, 120, 512);
@@ -325,6 +330,7 @@ TEST(SchedulerGolden, KvPressureRunIsBitExact)
     auto eng = makeEngine();
     ServerConfig cfg;
     cfg.maxBatch = 32;
+    cfg.exactSteps = true; // goldens pin the legacy loop
     ServingSimulator srv(eng, cfg);
     er::Rng rng(7, "golden-kv");
     const auto trace =

@@ -43,6 +43,7 @@ TEST(ServeOptions, EmptyArgsYieldDefaults)
     EXPECT_EQ(o->degradeBudget, 256);
     EXPECT_FALSE(o->faults);
     EXPECT_EQ(o->faultSeed, 0xFA17u);
+    EXPECT_FALSE(o->exactSteps);
 }
 
 TEST(ServeOptions, ParsesFullFlagSet)
@@ -206,3 +207,17 @@ TEST(ServeOptions, RejectsMalformedDurabilityValues)
 }
 
 } // namespace
+
+TEST(ServeOptions, ParsesExactStepsFlag)
+{
+    std::string err;
+    const auto o = parse({"--exact-steps"}, &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_TRUE(o->exactSteps);
+
+    // A boolean flag must not consume a following token as its value.
+    const auto o2 = parse({"--exact-steps", "--qps", "2.0"}, &err);
+    ASSERT_TRUE(o2.has_value()) << err;
+    EXPECT_TRUE(o2->exactSteps);
+    EXPECT_DOUBLE_EQ(o2->qps, 2.0);
+}

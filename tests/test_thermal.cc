@@ -196,3 +196,105 @@ TEST(Thermal, ResetRestoresInitialState)
     EXPECT_FALSE(sim.throttled());
     EXPECT_TRUE(sim.trajectory().empty());
 }
+
+// --- Macro-stepping support (DESIGN.md §10) --------------------------
+
+TEST(Thermal, AdvanceMatchesIteratedStepsWithinRoundoff)
+{
+    // Both simulators see the same quanta; advance() composes them in
+    // closed form.  Choose a power low enough that no governor
+    // transition fires, so the comparison isolates the RC arithmetic.
+    ThermalSimulator stepped;
+    ThermalSimulator fast;
+    const int k = 137;
+    ThermalSample last{};
+    for (int i = 0; i < k; ++i)
+        last = stepped.step(20.0, 0.75);
+    const auto coalesced = fast.advance(20.0, 0.75, k);
+    EXPECT_NEAR(fast.temperature(), stepped.temperature(), 1e-9);
+    EXPECT_EQ(fast.mode(), stepped.mode());
+    EXPECT_NEAR(coalesced.time, last.time, 1e-9);
+    EXPECT_EQ(coalesced.mode, last.mode);
+    EXPECT_NEAR(coalesced.power, last.power, 1e-9);
+    // One coalesced trajectory sample vs k per-step samples.
+    EXPECT_EQ(fast.trajectory().size(), 1u);
+    EXPECT_EQ(stepped.trajectory().size(), static_cast<std::size_t>(k));
+}
+
+TEST(Thermal, AdvanceAppliesGovernorOnceAtSegmentEnd)
+{
+    // 55 W heats past the throttle point well inside the segment; the
+    // governor still only acts once, at the end, stepping down exactly
+    // one mode -- the caller is responsible for bounding segments with
+    // stepsToThresholdCrossing() when that matters.
+    ThermalSimulator sim;
+    sim.advance(55.0, 1.0, 100000);
+    EXPECT_EQ(sim.mode(), PowerMode::W50);
+    EXPECT_GT(sim.temperature(), sim.spec().throttleC);
+}
+
+TEST(Thermal, StepsToThresholdCrossingMatchesBruteForce)
+{
+    // 55 W from ambient: heating toward 102 C crosses 85 C after some
+    // finite number of 1 s quanta.  The solver must name the exact
+    // quantum at which step() first changes mode.
+    ThermalSimulator probe;
+    const std::uint64_t k = probe.stepsToThresholdCrossing(55.0, 1.0);
+    ASSERT_NE(k, UINT64_MAX);
+    ASSERT_GE(k, 1u);
+    ThermalSimulator sim;
+    for (std::uint64_t i = 0; i + 1 < k; ++i) {
+        sim.step(55.0, 1.0);
+        ASSERT_EQ(sim.mode(), PowerMode::MaxN)
+            << "governor fired early at quantum " << i;
+    }
+    sim.step(55.0, 1.0);
+    EXPECT_EQ(sim.mode(), PowerMode::W50);
+}
+
+TEST(Thermal, StepsToThresholdCrossingCoolingMatchesBruteForce)
+{
+    // Heat at 55 W until the governor throttles (temperature just past
+    // 85 C, mode W50), then cool at a near-idle draw: the solver must
+    // name the quantum at which the recovery threshold is reached.
+    ThermalSimulator sim;
+    while (!sim.throttled())
+        sim.step(55.0, 1.0);
+    ASSERT_GT(sim.temperature(), sim.spec().recoverC);
+    const PowerMode hot_mode = sim.mode();
+    ASSERT_LT(powerModeScale(hot_mode), 1.0);
+    const std::uint64_t k = sim.stepsToThresholdCrossing(4.0, 1.0);
+    ASSERT_NE(k, UINT64_MAX);
+    for (std::uint64_t i = 0; i + 1 < k; ++i) {
+        sim.step(4.0, 1.0);
+        ASSERT_EQ(sim.mode(), hot_mode)
+            << "recovery fired early at quantum " << i;
+    }
+    sim.step(4.0, 1.0);
+    EXPECT_GT(powerModeScale(sim.mode()), powerModeScale(hot_mode));
+}
+
+TEST(Thermal, StepsToThresholdCrossingNeverCases)
+{
+    // Asymptote inside the hysteresis band: 30 W -> 67 C steady state,
+    // below throttleC while heating from ambient.
+    ThermalSimulator sim;
+    EXPECT_EQ(sim.stepsToThresholdCrossing(30.0, 1.0), UINT64_MAX);
+    // Ladder-end no-op: already at MAXN and cooling -- stepUp would
+    // not change the mode, so no governor-relevant crossing exists.
+    EXPECT_EQ(sim.stepsToThresholdCrossing(0.0, 1.0), UINT64_MAX);
+    // At the W15 floor while heating, stepDown is the identity.
+    ThermalSimulator floor_sim(ThermalSpec{}, PowerMode::W15);
+    EXPECT_EQ(floor_sim.stepsToThresholdCrossing(200.0, 1.0),
+              UINT64_MAX);
+}
+
+TEST(Thermal, StepsToThresholdCrossingAlreadyPastReturnsOne)
+{
+    // Start above the throttle point while heating: the very first
+    // quantum triggers the governor.
+    ThermalSpec spec;
+    spec.initialC = 90.0;
+    ThermalSimulator sim(spec);
+    EXPECT_EQ(sim.stepsToThresholdCrossing(55.0, 1.0), 1u);
+}

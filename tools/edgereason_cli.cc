@@ -27,7 +27,7 @@
  *                    [--checkpoint-dir DIR] [--checkpoint-every 64]
  *                    [--resume DIR] [--paranoid]
  *                    [--crash-at-step N] [--crash-at-time T]
- *                    [--crash-rate 0.5]
+ *                    [--crash-rate 0.5] [--exact-steps]
  *   edgereason replay <journal.bin> [--dump]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
@@ -432,6 +432,7 @@ cmdServe(const std::vector<std::string> &raw)
     }
     cfg.degrade.mode = o.degrade;
     cfg.degrade.budget = strategy::TokenPolicy::hard(o.degradeBudget);
+    cfg.exactSteps = o.exactSteps;
     engine::ServingSimulator srv(eng, cfg);
     if (cfg.degrade.mode == engine::DegradeMode::Fallback) {
         // Default fallback: the quantized build of the primary model.
