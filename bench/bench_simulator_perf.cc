@@ -123,8 +123,15 @@ BENCHMARK(BM_KernelCacheHit);
 void
 BM_ParallelSweep(benchmark::State &state)
 {
-    // End-to-end strategy-grid sweep at 1/2/4 pool threads.  Work runs
-    // on pool workers, so wall time (UseRealTime) is the honest metric.
+    // Thread-scaling benchmark of one strategy evaluation's inner
+    // question fan-out.  The earlier version timed sweepStrategies(),
+    // which parallelizes over the six *strategies*: one 8B evaluation
+    // dominates the grid, and the nested per-question parallelFor runs
+    // serially from inside a pool task, so wall time was the slowest
+    // single strategy at every thread count (~flat items/s at 1/2/4
+    // threads — measuring nothing).  Iterating the grid serially here
+    // puts the 500-question Monte-Carlo loop of each evaluate() on the
+    // pool, which is the layer whose scaling this benchmark guards.
     static er::core::EdgeReasoning facade;
     std::vector<er::strategy::InferenceStrategy> grid;
     for (auto id : {ModelId::Dsr1Qwen1_5B, ModelId::Llama31_8BIt,
@@ -137,18 +144,25 @@ BM_ParallelSweep(benchmark::State &state)
             grid.push_back(s);
         }
     }
-    // Characterize/profiling warm-up outside the timed region.
-    er::core::sweepStrategies(facade.evaluator(), grid,
-                              er::acc::Dataset::MmluRedux, 10);
+    // Profile/bank construction warm-up outside the timed region; the
+    // evaluations themselves are recomputed cold every iteration.
+    for (const auto &s : grid) {
+        auto warm = facade.evaluator().evaluate(
+            s, er::acc::Dataset::MmluRedux, 10);
+        benchmark::DoNotOptimize(warm);
+    }
     er::ThreadPool::setGlobalThreads(
         static_cast<unsigned>(state.range(0)));
     for (auto _ : state) {
-        auto reports = er::core::sweepStrategies(
-            facade.evaluator(), grid, er::acc::Dataset::MmluRedux,
-            500);
-        benchmark::DoNotOptimize(reports);
+        for (const auto &s : grid) {
+            auto rep = facade.evaluator().evaluate(
+                s, er::acc::Dataset::MmluRedux, 500);
+            benchmark::DoNotOptimize(rep);
+        }
     }
     er::ThreadPool::setGlobalThreads(0);
+    // items/s = strategy evaluations per wall second (UseRealTime:
+    // work runs on pool workers, so CPU time would overcount).
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(grid.size()));
 }
@@ -203,6 +217,83 @@ BM_ServingDecodeMacro(benchmark::State &state)
     BM_ServingDecode(state, false);
 }
 BENCHMARK(BM_ServingDecodeMacro);
+
+// --- Columnar request state + calendar-queue horizon (DESIGN.md §11) -
+
+void
+BM_ServingDecodeColumnar(benchmark::State &state)
+{
+    // Horizon-scan-bound workload: a deep backlog (16k requests at
+    // 50 qps against one device) keeps the wait queue thousands of
+    // entries long, so pre-columnar macro segments paid an O(queue)
+    // deadline/eligibility rescan per segment.  The calendar-queue
+    // indexes turn that into amortized O(1); this benchmark is the
+    // regression guard on that path.
+    auto &eng = sharedEngine();
+    static const auto trace = [] {
+        er::Rng rng(33, "bench-columnar");
+        return er::engine::ServingSimulator::poissonTrace(
+            rng, 16384, 50.0, 64, 256);
+    }();
+    er::engine::ServerConfig cfg;
+    cfg.maxBatch = 256;
+    double generated = 0.0;
+    for (auto _ : state) {
+        er::engine::ServingSimulator srv(eng, cfg);
+        auto rep = srv.run(trace);
+        generated = rep.generatedTokens;
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+}
+BENCHMARK(BM_ServingDecodeColumnar);
+
+void
+BM_ShardedTraceScaling(benchmark::State &state)
+{
+    // runSharded() thread scaling over 16 independent replications.
+    // The trace set is fixed (named RngBank streams, independent of
+    // execution order), so every thread count simulates identical
+    // work and the reports are bit-identical — only wall time moves.
+    auto &eng = sharedEngine();
+    static const auto traces = [] {
+        er::RngBank bank(404);
+        return er::engine::ServingSimulator::replicatedPoissonTraces(
+            bank, 16, 512, 8.0, 120, 512);
+    }();
+    er::engine::ServerConfig cfg;
+    cfg.maxBatch = 64;
+    // Engine memo warm-up so thread 1 and thread 8 meet equally warm
+    // caches.
+    {
+        auto warm = er::engine::ServingSimulator::runSharded(
+            eng, cfg, traces, traces.size());
+        benchmark::DoNotOptimize(warm);
+    }
+    er::ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(state.range(0)));
+    double generated = 0.0;
+    for (auto _ : state) {
+        auto reports = er::engine::ServingSimulator::runSharded(
+            eng, cfg, traces, traces.size());
+        generated = 0.0;
+        for (const auto &r : reports)
+            generated += r.generatedTokens;
+        benchmark::DoNotOptimize(reports);
+    }
+    er::ThreadPool::setGlobalThreads(0);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+}
+BENCHMARK(BM_ShardedTraceScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 } // namespace
 

@@ -155,6 +155,9 @@ parseServeOptions(const std::vector<std::string> &args,
         {"crash-at-time",
          doubleOpt(&opt.crashAtTime, 0.0, "--crash-at-time")},
         {"crash-rate", doubleOpt(&opt.crashRate, 0.0, "--crash-rate")},
+        {"replications",
+         longOpt(&opt.replications, 1, "--replications")},
+        {"shards", longOpt(&opt.shards, 0, "--shards")},
         {"threads", longOpt(&opt.threads, 0, "--threads")},
     };
     const std::map<std::string, bool *> bool_flags = {
@@ -194,6 +197,24 @@ parseServeOptions(const std::vector<std::string> &args,
     if (crash_on && opt.checkpointDir.empty())
         return fail("crash injection needs --checkpoint-dir (or "
                     "--resume) so the run can be recovered");
+    if (opt.replications > 1) {
+        // Sharded replications are trace-parallel plain runs; the
+        // single-run machinery does not compose with them.
+        if (opt.faults || crash_on)
+            return fail("--replications > 1 excludes fault/crash "
+                        "injection (per-run fault plans)");
+        if (!opt.checkpointDir.empty() || opt.resume)
+            return fail("--replications > 1 excludes "
+                        "--checkpoint-dir/--resume (per-run "
+                        "durability)");
+        if (opt.degrade == engine::DegradeMode::Fallback)
+            return fail("--replications > 1 excludes "
+                        "--degrade fallback (per-run fallback "
+                        "engine)");
+    } else if (opt.shards > 1) {
+        return fail("--shards needs --replications > 1 (nothing to "
+                    "shard over)");
+    }
     opt.maxBatch = static_cast<int>(max_batch);
     opt.prefillChunk = static_cast<Tokens>(prefill_chunk);
     opt.degradeBudget = static_cast<Tokens>(degrade_budget);

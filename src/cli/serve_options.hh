@@ -73,6 +73,19 @@ struct ServeOptions
      *  to the next scheduler event (DESIGN.md §10). */
     bool exactSteps = false;
 
+    // --- Sharded replications (DESIGN.md §11) ----------------------
+    /**
+     * Number of independent trace replications to simulate.  > 1
+     * switches `serve` to runSharded(): each replication draws its
+     * trace from its own named RngBank stream, so the set — and every
+     * report — is identical at any shard/thread count.  Sharded mode
+     * is trace-parallel only; it excludes fault plans, durability,
+     * and the fallback engine (those attach to a single run).
+     */
+    long long replications = 1;
+    /** Work-chunk count for runSharded (0 = one shard per trace). */
+    long long shards = 0;
+
     /** Parsed but applied globally by main() (thread-pool sizing). */
     long long threads = 0;
 };

@@ -413,6 +413,29 @@ ThreadPool::parallelFor(std::size_t n,
         std::rethrow_exception(job.error);
 }
 
+void
+ThreadPool::parallelChunks(
+    std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &body)
+{
+    if (n == 0 || chunks == 0)
+        return;
+    chunks = std::min(chunks, n);
+    const std::size_t base = n / chunks;
+    const std::size_t rem = n % chunks;
+    // grain 1: a chunk is already a coarse unit of work; splitting one
+    // would break the per-chunk state contract.
+    parallelFor(
+        chunks,
+        [&](std::size_t c) {
+            const std::size_t begin = c * base + std::min(c, rem);
+            const std::size_t end = begin + base + (c < rem ? 1 : 0);
+            body(c, begin, end);
+        },
+        1);
+}
+
 unsigned
 ThreadPool::defaultThreads()
 {

@@ -78,6 +78,20 @@ class ThreadPool
         return out;
     }
 
+    /**
+     * Partition [0, n) into @p chunks contiguous ranges of near-equal
+     * size (the first n % chunks ranges get one extra element) and run
+     * @p body(chunk, begin, end) for each in parallel, one task per
+     * chunk.  The partition is a pure function of (n, chunks) — never
+     * of the thread count — so callers that keep per-chunk state
+     * (RNG streams, accumulators) get bit-identical results at any
+     * parallelism.  Chunks beyond n are not invoked.
+     */
+    void parallelChunks(
+        std::size_t n, std::size_t chunks,
+        const std::function<void(std::size_t, std::size_t, std::size_t)>
+            &body);
+
     /** @return tasks obtained by stealing since construction. */
     std::uint64_t steals() const;
 

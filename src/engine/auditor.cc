@@ -1,7 +1,8 @@
 #include "engine/auditor.hh"
 
+#include <algorithm>
 #include <cmath>
-#include <set>
+#include <vector>
 
 #include "common/logging.hh"
 #include "engine/executor.hh"
@@ -15,6 +16,7 @@ Auditor::check(const AuditView &v)
     panic_if(v.served == nullptr || v.state == nullptr,
              "auditor: incomplete view");
     const ServingState &st = *v.state;
+    const RequestBatch &pool = st.pool;
 
     // 1. Request conservation.
     panic_if(v.nextArrival > v.traceSize,
@@ -30,21 +32,29 @@ Auditor::check(const AuditView &v)
              st.active.size(), " decoding + ",
              v.traceSize - v.nextArrival, " pending != trace size ",
              v.traceSize);
+    panic_if(pool.liveCount() !=
+                 st.queue.size() + st.prefilling.size() +
+                     st.active.size(),
+             "auditor: request pool holds ", pool.liveCount(),
+             " live slots but the containers own ",
+             st.queue.size() + st.prefilling.size() + st.active.size());
 
     // 2. State-machine legality per container.
-    for (const auto &r : st.queue)
-        panic_if(r.state != RequestState::Queued &&
-                     r.state != RequestState::Preempted,
+    for (std::size_t i = 0; i < st.queue.size(); ++i) {
+        const RequestState s = pool.state(st.queue[i]);
+        panic_if(s != RequestState::Queued &&
+                     s != RequestState::Preempted,
                  "auditor: wait queue holds a request in state ",
-                 requestStateName(r.state));
-    for (const auto &r : st.prefilling)
-        panic_if(r.state != RequestState::Prefilling,
+                 requestStateName(s));
+    }
+    for (const ReqId id : st.prefilling)
+        panic_if(pool.state(id) != RequestState::Prefilling,
                  "auditor: prefill set holds a request in state ",
-                 requestStateName(r.state));
-    for (const auto &r : st.active)
-        panic_if(r.state != RequestState::Decoding,
+                 requestStateName(pool.state(id)));
+    for (const ReqId id : st.active)
+        panic_if(pool.state(id) != RequestState::Decoding,
                  "auditor: decode batch holds a request in state ",
-                 requestStateName(r.state));
+                 requestStateName(pool.state(id)));
 
     // 3. Clock sanity.
     panic_if(!std::isfinite(v.acc.clock) || v.acc.clock < 0.0,
@@ -84,21 +94,22 @@ Auditor::check(const AuditView &v)
         std::size_t blocks = v.kv->sequenceBlocks(v.ballast);
         Tokens tokens = v.kv->sequenceTokens(v.ballast);
         std::size_t live = 1; // ballast
-        const auto audit_seq = [&](const TrackedRequest &f) {
-            const Tokens expect = f.req.inputTokens + f.effOut;
-            panic_if(v.kv->sequenceTokens(f.seq) != expect,
-                     "auditor: sequence ", f.seq, " holds ",
-                     v.kv->sequenceTokens(f.seq),
+        const auto audit_seq = [&](ReqId id) {
+            const Tokens expect =
+                pool.inputTokens(id) + pool.effOut(id);
+            panic_if(v.kv->sequenceTokens(pool.seq(id)) != expect,
+                     "auditor: sequence ", pool.seq(id), " holds ",
+                     v.kv->sequenceTokens(pool.seq(id)),
                      " KV tokens but its admitted footprint is ",
                      expect);
-            blocks += v.kv->sequenceBlocks(f.seq);
-            tokens += v.kv->sequenceTokens(f.seq);
+            blocks += v.kv->sequenceBlocks(pool.seq(id));
+            tokens += v.kv->sequenceTokens(pool.seq(id));
             ++live;
         };
-        for (const auto &f : st.prefilling)
-            audit_seq(f);
-        for (const auto &f : st.active)
-            audit_seq(f);
+        for (const ReqId id : st.prefilling)
+            audit_seq(id);
+        for (const ReqId id : st.active)
+            audit_seq(id);
         // Serving never forks, so physical blocks are unshared and
         // per-sequence block counts must reconcile exactly.
         panic_if(blocks != v.kv->blocksInUse(),
@@ -113,12 +124,14 @@ Auditor::check(const AuditView &v)
                  " exceed tokenCapacity() ", v.kv->tokenCapacity());
     } else {
         double expect = 0.0;
-        for (const auto &f : st.prefilling)
+        for (const ReqId id : st.prefilling)
             expect += v.kvPerToken *
-                static_cast<double>(f.req.inputTokens + f.effOut);
-        for (const auto &f : st.active)
+                static_cast<double>(pool.inputTokens(id) +
+                                    pool.effOut(id));
+        for (const ReqId id : st.active)
             expect += v.kvPerToken *
-                static_cast<double>(f.req.inputTokens + f.effOut);
+                static_cast<double>(pool.inputTokens(id) +
+                                    pool.effOut(id));
         const double eps =
             1e-6 * std::max(1.0, std::max(expect, v.acc.committedKv));
         panic_if(std::abs(v.acc.committedKv - expect) > eps,
@@ -137,9 +150,7 @@ Auditor::check(const AuditView &v)
 
     // 7. Macro-stepping bookkeeping.  Every decode step generates one
     // token per active sequence (>= 1), and every journaled segment
-    // coalesces >= 1 step; the retry-gate index must mirror the
-    // queue's backoff gates exactly (derived-state drift would make
-    // sleepUntilWake and the macro gate stop silently wrong).
+    // coalesces >= 1 step.
     panic_if(v.acc.macroSegments > v.acc.decodeSteps,
              "auditor: ", v.acc.macroSegments,
              " macro segments exceed ", v.acc.decodeSteps,
@@ -149,14 +160,45 @@ Auditor::check(const AuditView &v)
              "auditor: ", v.acc.generatedTokens,
              " generated tokens below ", v.acc.decodeSteps,
              " decode steps");
-    std::multiset<Seconds> gates;
-    for (const auto &q : st.queue)
-        if (q.notBefore > 0.0)
-            gates.insert(q.notBefore);
-    panic_if(gates != st.retryGates,
-             "auditor: retry-gate index out of sync: ",
-             st.retryGates.size(), " indexed gates vs ", gates.size(),
-             " queued backoff entries");
+
+    // 8. Calendar-queue indexes.  All three are derived state; drift
+    // would make sleepUntilWake, the macro horizon stops, and the
+    // O(1) shed/abort guards silently wrong.  Rebuild each key
+    // multiset brute-force from the containers and compare as sorted
+    // vectors (the wheel's bucket geometry is irrelevant to its
+    // contract, so sortedKeys() is the right observable).
+    const auto check_index = [](const CalendarQueue &cq,
+                                std::vector<Seconds> expect,
+                                const char *what) {
+        std::sort(expect.begin(), expect.end());
+        panic_if(cq.sortedKeys() != expect, "auditor: ", what,
+                 " index out of sync: ", cq.size(), " indexed keys vs ",
+                 expect.size(), " rebuilt from the containers");
+    };
+    std::vector<Seconds> gates;
+    std::vector<Seconds> queuedGates;
+    for (std::size_t i = 0; i < st.queue.size(); ++i) {
+        const ReqId id = st.queue[i];
+        if (pool.notBefore(id) > 0.0)
+            gates.push_back(pool.notBefore(id));
+        if (pool.hasDeadline(id))
+            queuedGates.push_back(pool.notBefore(id));
+    }
+    check_index(st.retryGates, std::move(gates), "retry-gate");
+    check_index(st.queuedDeadlineGates, std::move(queuedGates),
+                "queued-deadline-gate");
+    std::vector<Seconds> dls;
+    const auto collect_deadline = [&](ReqId id) {
+        if (pool.hasDeadline(id))
+            dls.push_back(pool.absoluteDeadline(id));
+    };
+    for (std::size_t i = 0; i < st.queue.size(); ++i)
+        collect_deadline(st.queue[i]);
+    for (const ReqId id : st.prefilling)
+        collect_deadline(id);
+    for (const ReqId id : st.active)
+        collect_deadline(id);
+    check_index(st.deadlines, std::move(dls), "live-deadline");
 
     lastClock_ = v.acc.clock;
     haveLast_ = true;

@@ -24,6 +24,12 @@
  *     of in-flight footprints and respect the watermark budget.
  *  6. Queue observability: the recorded peak depth is an upper bound
  *     of the current depth.
+ *  7. Macro-stepping bookkeeping: segments never exceed steps, tokens
+ *     never fall below steps.
+ *  8. Calendar-queue indexes: the retry-gate, live-deadline, and
+ *     queued-deadline-gate indexes (engine/event_queue.hh) match
+ *     brute-force rebuilds from the containers — derived-state drift
+ *     panics instead of silently corrupting the macro horizon.
  */
 
 #ifndef EDGEREASON_ENGINE_AUDITOR_HH

@@ -1,0 +1,171 @@
+#include "engine/event_queue.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+/** Initial wheel size; doubles as the population grows. */
+constexpr std::size_t kInitialBuckets = 64;
+/** Rebuild when the mean occupancy exceeds this. */
+constexpr std::size_t kMaxMeanOccupancy = 8;
+/** Rebuild when a clamp bucket (0 or overflow) holds more than this
+ *  fraction of the population — the wheel has rotated away from the
+ *  live key range. */
+constexpr double kClampFraction = 0.5;
+
+} // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kInitialBuckets) {}
+
+std::size_t
+CalendarQueue::bucketOf(Seconds key) const
+{
+    if (key < origin_)
+        return 0;
+    const double idx = (key - origin_) / width_;
+    const double last = static_cast<double>(buckets_.size() - 1);
+    return idx >= last ? buckets_.size() - 1
+                       : static_cast<std::size_t>(idx);
+}
+
+void
+CalendarQueue::insert(Seconds key)
+{
+    panic_if(std::isnan(key), "calendar queue: NaN key");
+    const std::size_t idx = bucketOf(key);
+    buckets_[idx].push_back(key);
+    ++count_;
+    if (idx < lowHint_)
+        lowHint_ = idx;
+    maybeRebuildAfterInsert(idx);
+}
+
+void
+CalendarQueue::erase(Seconds key)
+{
+    const std::size_t idx = bucketOf(key);
+    auto &b = buckets_[idx];
+    const auto it = std::find(b.begin(), b.end(), key);
+    panic_if(it == b.end(),
+             "calendar queue: erase of absent key ", key,
+             " (derived-state drift)");
+    *it = b.back();
+    b.pop_back();
+    --count_;
+}
+
+Seconds
+CalendarQueue::min() const
+{
+    if (count_ == 0) {
+        lowHint_ = buckets_.size() - 1;
+        return kInf;
+    }
+    // Advance the hint past drained buckets (each bucket is passed
+    // once per drain, so the scans amortize to O(1) per operation),
+    // then take the value-min of the first occupied one.
+    std::size_t b = lowHint_;
+    while (buckets_[b].empty())
+        ++b;
+    lowHint_ = b;
+    Seconds lo = kInf;
+    for (const Seconds k : buckets_[b])
+        lo = std::min(lo, k);
+    return lo;
+}
+
+Seconds
+CalendarQueue::firstAfter(Seconds t) const
+{
+    if (count_ == 0)
+        return kInf;
+    std::size_t b = std::max(lowHint_, bucketOf(t));
+    for (; b < buckets_.size(); ++b) {
+        Seconds lo = kInf;
+        for (const Seconds k : buckets_[b])
+            if (k > t)
+                lo = std::min(lo, k);
+        // Later regular buckets only hold larger keys, so the first
+        // bucket with a qualifying key decides; the overflow bucket
+        // is last and therefore also final.
+        if (lo != kInf)
+            return lo;
+    }
+    return kInf;
+}
+
+void
+CalendarQueue::clear()
+{
+    buckets_.assign(kInitialBuckets, {});
+    origin_ = 0.0;
+    width_ = 1.0;
+    count_ = 0;
+    lowHint_ = 0;
+}
+
+std::vector<Seconds>
+CalendarQueue::sortedKeys() const
+{
+    std::vector<Seconds> keys;
+    keys.reserve(count_);
+    for (const auto &b : buckets_)
+        keys.insert(keys.end(), b.begin(), b.end());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+void
+CalendarQueue::rebuild(std::size_t n_buckets)
+{
+    const std::vector<Seconds> keys = sortedKeys();
+    buckets_.assign(n_buckets, {});
+    if (keys.empty()) {
+        origin_ = 0.0;
+        width_ = 1.0;
+        lowHint_ = 0;
+        count_ = 0;
+        return;
+    }
+    // Re-center on the live range; the two clamp buckets stay free so
+    // fresh keys just past either edge do not immediately re-trigger.
+    origin_ = keys.front();
+    const Seconds span = keys.back() - keys.front();
+    width_ = std::max(span / static_cast<double>(n_buckets - 2),
+                      1e-9);
+    lowHint_ = 0;
+    count_ = 0;
+    for (const Seconds k : keys) {
+        buckets_[bucketOf(k)].push_back(k);
+        ++count_;
+    }
+}
+
+void
+CalendarQueue::maybeRebuildAfterInsert(std::size_t idx)
+{
+    const std::size_t nb = buckets_.size();
+    if (count_ > kMaxMeanOccupancy * nb) {
+        rebuild(nb * 2);
+        return;
+    }
+    // A bloated clamp bucket means the wheel no longer covers the key
+    // range (the simulation clock rotated past it, or keys landed far
+    // before the origin): rotate by re-centering.
+    if ((idx == 0 || idx == nb - 1) && count_ >= 2 * kInitialBuckets &&
+        static_cast<double>(buckets_[idx].size()) >
+            kClampFraction * static_cast<double>(count_))
+        rebuild(nb);
+}
+
+} // namespace engine
+} // namespace edgereason

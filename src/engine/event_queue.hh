@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Calendar queue (bucketed time-wheel) for the serving executor's
+ * event indexes (DESIGN.md §11).  The executor needs three multiset
+ * views over future instants — retry-gate releases, absolute
+ * deadlines of live requests, and the gate keys of queued
+ * deadline-carrying entries — and asks each of them two questions per
+ * scheduling cycle: "what is the earliest key?" and "what is the
+ * earliest key strictly after t?".  A std::multiset answers in
+ * O(log n) with a pointer chase per level; the calendar queue answers
+ * in amortized O(1) by hashing keys into fixed-width time buckets and
+ * remembering the lowest possibly-occupied bucket, which only moves
+ * forward as the simulation clock does.
+ *
+ * Layout: nBuckets contiguous unsorted buckets of `width` simulated
+ * seconds starting at `origin`.  Keys below the origin clamp into
+ * bucket 0 and keys past the last regular bucket clamp into the final
+ * (overflow) bucket, so the structure never rejects a key; it instead
+ * rebuilds ("rotates" the wheel) when the clamped buckets grow out of
+ * proportion or the population outgrows the wheel, re-centering the
+ * origin on the live key range and re-sizing the width to the
+ * observed span.  Rebuilds move every key once and at least halve the
+ * trigger pressure, so their cost amortizes to O(1) per operation.
+ *
+ * Determinism: min()/firstAfter() compare key *values* (exact double
+ * comparisons — keys are reproduced bit-identically by the simulator),
+ * so the answer is independent of bucket geometry, insertion order,
+ * and rebuild history.  This is what lets the executor swap its
+ * std::multiset indexes for calendar queues without perturbing a
+ * single reported bit.
+ */
+
+#ifndef EDGEREASON_ENGINE_EVENT_QUEUE_HH
+#define EDGEREASON_ENGINE_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edgereason {
+namespace engine {
+
+/** Multiset of future instants with amortized-O(1) earliest-key
+ *  queries.  Duplicate keys are kept (multiset semantics). */
+class CalendarQueue
+{
+  public:
+    CalendarQueue();
+
+    /** Add one instance of @p key. */
+    void insert(Seconds key);
+
+    /** Remove one instance of @p key; panics if absent (an absent key
+     *  means derived-state drift, the class of bug the auditor
+     *  exists to catch). */
+    void erase(Seconds key);
+
+    /** @return the smallest key (+inf when empty). */
+    Seconds min() const;
+
+    /** @return the smallest key strictly greater than @p t (+inf when
+     *  none) — the multiset upper_bound. */
+    Seconds firstAfter(Seconds t) const;
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    void clear();
+
+    /** All keys, sorted ascending (auditor cross-checks; O(n log n)). */
+    std::vector<Seconds> sortedKeys() const;
+
+  private:
+    std::size_t bucketOf(Seconds key) const;
+    void rebuild(std::size_t n_buckets);
+    void maybeRebuildAfterInsert(std::size_t idx);
+
+    std::vector<std::vector<Seconds>> buckets_;
+    Seconds origin_ = 0.0;
+    Seconds width_ = 1.0;
+    std::size_t count_ = 0;
+    /** Lowest bucket that may be non-empty: advanced lazily by the
+     *  min scans, pulled back by inserts.  A hint, never a promise —
+     *  buckets below it are provably empty. */
+    mutable std::size_t lowHint_ = 0;
+};
+
+} // namespace engine
+} // namespace edgereason
+
+#endif // EDGEREASON_ENGINE_EVENT_QUEUE_HH

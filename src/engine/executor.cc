@@ -15,15 +15,19 @@ namespace engine {
 void
 ServingState::serialize(ByteWriter &w) const
 {
+    // Pre-columnar wire format: TrackedRequest records in container
+    // order.  Ids and calendar queues are derived state and stay off
+    // the wire, so checkpoints written before and after the columnar
+    // refactor are byte-identical.
     w.u64(queue.size());
-    for (const auto &r : queue)
-        engine::serialize(w, r);
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        engine::serialize(w, pool.materialize(queue[i]));
     w.u64(prefilling.size());
-    for (const auto &r : prefilling)
-        engine::serialize(w, r);
+    for (const ReqId id : prefilling)
+        engine::serialize(w, pool.materialize(id));
     w.u64(active.size());
-    for (const auto &r : active)
-        engine::serialize(w, r);
+    for (const ReqId id : active)
+        engine::serialize(w, pool.materialize(id));
     w.u8(haveDeadlines ? 1 : 0);
     w.u64(peakQueueDepth);
 }
@@ -31,26 +35,37 @@ ServingState::serialize(ByteWriter &w) const
 void
 ServingState::restore(ByteReader &r)
 {
-    const auto read_into = [&r](auto &container) {
-        container.clear();
+    pool.clear();
+    queue.clear();
+    prefilling.clear();
+    active.clear();
+    retryGates.clear();
+    deadlines.clear();
+    queuedDeadlineGates.clear();
+    peakQueueDepth = 0;
+    // Adopt in container order; every index is derived state rebuilt
+    // here (enqueueNew rebuilds the queue-side ones).
+    const std::uint64_t nq = r.u64();
+    for (std::uint64_t i = 0; i < nq; ++i) {
+        TrackedRequest t;
+        engine::restore(r, t);
+        enqueueNew(t);
+    }
+    const auto read_in_flight = [this, &r](std::vector<ReqId> &ids) {
         const std::uint64_t n = r.u64();
         for (std::uint64_t i = 0; i < n; ++i) {
             TrackedRequest t;
             engine::restore(r, t);
-            container.push_back(std::move(t));
+            const ReqId id = pool.adopt(t);
+            if (pool.hasDeadline(id))
+                deadlines.insert(pool.absoluteDeadline(id));
+            ids.push_back(id);
         }
     };
-    read_into(queue);
-    read_into(prefilling);
-    read_into(active);
+    read_in_flight(prefilling);
+    read_in_flight(active);
     haveDeadlines = r.u8() != 0;
     peakQueueDepth = r.u64();
-    // retryGates is derived state (not on the wire): rebuild it from
-    // the restored queue.
-    retryGates.clear();
-    for (const auto &q : queue)
-        if (q.notBefore > 0.0)
-            retryGates.insert(q.notBefore);
 }
 
 BatchExecutor::BatchExecutor(InferenceEngine &engine,
@@ -161,50 +176,63 @@ BatchExecutor::chunkLatency(const InferenceEngine &eng, Tokens prefix,
 }
 
 void
-BatchExecutor::record(TrackedRequest &f, RequestOutcome outcome)
+BatchExecutor::record(ServingState &st, ReqId id,
+                      RequestOutcome outcome)
 {
-    f.transitionTo(RequestState::Done);
+    st.pool.transition(id, RequestState::Done);
     ServedRequest done;
-    done.request = f.req;
+    done.request.arrival = st.pool.arrival(id);
+    done.request.inputTokens = st.pool.inputTokens(id);
+    done.request.outputTokens = st.pool.outputTokens(id);
+    done.request.priority = st.pool.priority(id);
+    done.request.deadline = st.pool.deadline(id);
     done.outcome = outcome;
-    done.queueDelay = f.prefillStart - f.req.arrival;
-    done.serviceTime = acc_.clock - f.prefillStart;
+    done.queueDelay = st.pool.prefillStart(id) - st.pool.arrival(id);
+    done.serviceTime = acc_.clock - st.pool.prefillStart(id);
     done.finish = acc_.clock;
-    done.generated = f.generated;
-    done.preemptions = f.preemptions;
-    done.degraded = f.degraded;
-    done.traceIndex = f.traceIndex;
+    done.generated = st.pool.generated(id);
+    done.preemptions = st.pool.preemptions(id);
+    done.degraded = st.pool.degraded(id);
+    done.traceIndex = st.pool.traceIndex(id);
     if (journal_)
         journal_->emitRetire(done);
     served_.push_back(done);
+    st.unindexDeadline(id);
 }
 
 void
-BatchExecutor::shedWaiting(TrackedRequest &p)
+BatchExecutor::shedWaiting(ServingState &st, ReqId id)
 {
-    p.transitionTo(RequestState::Done);
+    st.pool.transition(id, RequestState::Done);
     ServedRequest s;
-    s.request = p.req;
+    s.request.arrival = st.pool.arrival(id);
+    s.request.inputTokens = st.pool.inputTokens(id);
+    s.request.outputTokens = st.pool.outputTokens(id);
+    s.request.priority = st.pool.priority(id);
+    s.request.deadline = st.pool.deadline(id);
     s.outcome = RequestOutcome::Shed;
-    s.queueDelay = acc_.clock - p.req.arrival;
+    s.queueDelay = acc_.clock - st.pool.arrival(id);
     s.serviceTime = 0.0;
     s.finish = acc_.clock;
     s.generated = 0;
-    s.preemptions = p.preemptions;
-    s.traceIndex = p.traceIndex;
+    s.preemptions = st.pool.preemptions(id);
+    s.traceIndex = st.pool.traceIndex(id);
     if (journal_)
         journal_->emitRetire(s);
     served_.push_back(s);
+    st.unindexDeadline(id);
+    st.pool.release(id);
 }
 
 void
-BatchExecutor::releaseKv(const TrackedRequest &f)
+BatchExecutor::releaseKv(const ServingState &st, ReqId id)
 {
     if (paged_) {
-        paged_->release(f.seq);
+        paged_->release(st.pool.seq(id));
     } else {
         acc_.committedKv -= kvPerToken_ *
-            static_cast<double>(f.req.inputTokens + f.effOut);
+            static_cast<double>(st.pool.inputTokens(id) +
+                                st.pool.effOut(id));
     }
 }
 
@@ -238,17 +266,17 @@ BatchExecutor::reserveKv(const ServerRequest &r, Tokens eff_out,
 bool
 BatchExecutor::preemptOne(ServingState &st)
 {
+    constexpr ReqId kNone = static_cast<ReqId>(-1);
     bool from_prefilling = false;
     std::size_t idx = 0;
-    const TrackedRequest *best = nullptr;
-    const auto consider = [&](const TrackedRequest &f, bool pre,
-                              std::size_t i) {
-        const bool better = best == nullptr ||
-            f.req.priority < best->req.priority ||
-            (f.req.priority == best->req.priority &&
-             f.req.arrival > best->req.arrival);
+    ReqId best = kNone;
+    const auto consider = [&](ReqId id, bool pre, std::size_t i) {
+        const bool better = best == kNone ||
+            st.pool.priority(id) < st.pool.priority(best) ||
+            (st.pool.priority(id) == st.pool.priority(best) &&
+             st.pool.arrival(id) > st.pool.arrival(best));
         if (better) {
-            best = &f;
+            best = id;
             from_prefilling = pre;
             idx = i;
         }
@@ -257,31 +285,34 @@ BatchExecutor::preemptOne(ServingState &st)
         consider(st.prefilling[i], true, i);
     for (std::size_t i = 0; i < st.active.size(); ++i)
         consider(st.active[i], false, i);
-    if (best == nullptr)
+    if (best == kNone)
         return false;
-    TrackedRequest victim = *best;
+    // Shifting erase keeps admission order in both containers (the
+    // front prefill owns the current chunk; decode scans sum in
+    // container order).
     if (from_prefilling)
         st.prefilling.erase(st.prefilling.begin() +
                             static_cast<std::ptrdiff_t>(idx));
     else
         st.active.erase(st.active.begin() +
                         static_cast<std::ptrdiff_t>(idx));
-    releaseKv(victim);
-    victim.transitionTo(RequestState::Preempted);
-    ++victim.preemptions;
+    releaseKv(st, best);
+    st.pool.transition(best, RequestState::Preempted);
+    st.pool.bumpPreemptions(best);
     ++acc_.preemptions;
-    if (victim.preemptions > config_.degrade.maxRetries) {
+    if (st.pool.preemptions(best) > config_.degrade.maxRetries) {
         if (journal_)
-            journal_->emitPreempt(victim, false, st.queue.size(),
-                                  acc_.preemptions);
-        shedWaiting(victim);
+            journal_->emitPreempt(st.pool.materialize(best), false,
+                                  st.queue.size(), acc_.preemptions);
+        shedWaiting(st, best);
     } else {
-        victim.notBefore = acc_.clock + config_.degrade.retryBackoff *
-            std::ldexp(1.0, victim.preemptions - 1);
-        st.enqueue(victim);
+        st.pool.setNotBefore(
+            best, acc_.clock + config_.degrade.retryBackoff *
+                std::ldexp(1.0, st.pool.preemptions(best) - 1));
+        st.requeue(best);
         if (journal_)
-            journal_->emitPreempt(victim, true, st.queue.size(),
-                                  acc_.preemptions);
+            journal_->emitPreempt(st.pool.materialize(best), true,
+                                  st.queue.size(), acc_.preemptions);
     }
     return true;
 }
@@ -345,13 +376,19 @@ BatchExecutor::pumpEvents(ServingState &st)
 void
 BatchExecutor::shedExpiredQueued(ServingState &st)
 {
-    for (auto it = st.queue.begin(); it != st.queue.end();) {
-        if (it->deadlineExpired(acc_.clock)) {
-            st.dropGate(*it);
-            shedWaiting(*it);
-            it = st.queue.erase(it);
+    // Deadline index guard: the min is over every live deadline (a
+    // superset of the queued ones), so a future min proves no queued
+    // entry has expired and the scan below would be a no-op.
+    if (acc_.clock <= st.deadlines.min() + kDeadlineSlack)
+        return;
+    for (std::size_t i = 0; i < st.queue.size();) {
+        const ReqId id = st.queue[i];
+        if (st.pool.deadlineExpired(id, acc_.clock)) {
+            st.onLeaveQueue(id);
+            st.queue.eraseAt(i);
+            shedWaiting(st, id);
         } else {
-            ++it;
+            ++i;
         }
     }
 }
@@ -378,58 +415,61 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
     // Reserve KV and start prefilling while capacity allows
     // (prefilling sequences count against the batch cap).
     while (!st.queue.empty() && st.inFlight() < config_.maxBatch) {
-        const std::size_t idx = sched.pickNext(st.queue, acc_.clock);
+        const std::size_t idx =
+            sched.pickNext(st.pool, st.queue, acc_.clock);
         if (idx == st.queue.size())
             break; // every queued request is backing off
 
-        TrackedRequest cand = st.queue[idx];
-        Tokens eff_out = cand.req.outputTokens;
+        const ReqId id = st.queue[idx];
+        Tokens eff_out = st.pool.outputTokens(id);
         bool degraded = false;
         if (degradedNow_ &&
             config_.degrade.mode == DegradeMode::Budget) {
             eff_out = config_.degrade.budget.apply(eff_out);
-            degraded = eff_out != cand.req.outputTokens;
+            degraded = eff_out != st.pool.outputTokens(id);
         }
 
         // Deadline admission control, part 2: refuse work that
         // cannot meet its deadline even under an optimistic
         // (no-further-queueing) service estimate.
-        if (cand.hasDeadline()) {
+        if (st.pool.hasDeadline(id)) {
             const double s = speedNow();
             const int est_batch = st.inFlight() + 1;
-            const Tokens mid_ctx = cand.req.inputTokens + eff_out / 2;
+            const Tokens mid_ctx =
+                st.pool.inputTokens(id) + eff_out / 2;
             const Seconds est_finish = acc_.clock +
-                costEng_->prefillLatency(cand.req.inputTokens) / s +
+                costEng_->prefillLatency(st.pool.inputTokens(id)) / s +
                 static_cast<double>(eff_out) *
                     stepLatency(*costEng_, mid_ctx, est_batch) / s;
             if (est_finish >
-                cand.req.arrival + cand.req.deadline +
+                st.pool.arrival(id) + st.pool.deadline(id) +
                     kDeadlineSlack) {
-                st.dropGate(cand);
-                st.queue.erase(st.queue.begin() +
-                               static_cast<std::ptrdiff_t>(idx));
-                shedWaiting(cand);
+                st.onLeaveQueue(id);
+                st.queue.eraseAt(idx);
+                shedWaiting(st, id);
                 continue;
             }
         }
 
+        ServerRequest req;
+        req.inputTokens = st.pool.inputTokens(id);
         SeqId seq = 0;
-        if (!reserveKv(cand.req, eff_out, seq)) {
+        if (!reserveKv(req, eff_out, seq)) {
             const bool ballast_held = paged_ &&
                 paged_->sequenceTokens(ballast_) > 0;
             fatal_if(!st.hasInFlight() && !ballast_held,
-                     "request (", cand.req.inputTokens, "+", eff_out,
+                     "request (", st.pool.inputTokens(id), "+", eff_out,
                      " tokens) can never fit the KV budget");
             break; // wait for completions (or a KV restore)
         }
 
-        st.dropGate(st.queue[idx]);
-        cand.resetForAdmission(acc_.clock, eff_out, degraded, seq);
+        st.onLeaveQueue(id);
+        st.pool.resetForAdmission(id, acc_.clock, eff_out, degraded,
+                                  seq);
         if (journal_)
-            journal_->emitAdmit(cand, acc_.clock);
-        st.prefilling.push_back(cand);
-        st.queue.erase(st.queue.begin() +
-                       static_cast<std::ptrdiff_t>(idx));
+            journal_->emitAdmit(st.pool.materialize(id), acc_.clock);
+        st.prefilling.push_back(id);
+        st.queue.eraseAt(idx);
     }
 }
 
@@ -438,8 +478,9 @@ BatchExecutor::prefillStep(ServingState &st)
 {
     if (st.prefilling.empty())
         return;
-    TrackedRequest &p = st.prefilling.front();
-    const Tokens remaining = p.req.inputTokens - p.prefillDone;
+    const ReqId id = st.prefilling.front();
+    const Tokens remaining =
+        st.pool.inputTokens(id) - st.pool.prefillDone(id);
     const Tokens chunk = config_.prefillChunk > 0
         ? std::min<Tokens>(config_.prefillChunk, remaining)
         : remaining;
@@ -448,31 +489,38 @@ BatchExecutor::prefillStep(ServingState &st)
     // prefix, so the attention-over-prefix work of later chunks is
     // accounted for.
     const Seconds pf = config_.prefillChunk > 0
-        ? chunkLatency(*costEng_, p.prefillDone, chunk)
+        ? chunkLatency(*costEng_, st.pool.prefillDone(id), chunk)
         : costEng_->prefillLatency(chunk);
     const Watts pw = costEng_->soc().power().prefill(
-        costEng_->calib().power, p.req.inputTokens);
+        costEng_->calib().power, st.pool.inputTokens(id));
     advanceWork(pf, pw);
     if (journal_)
         journal_->emitStep(0, 1, acc_);
-    p.prefillDone += chunk;
-    if (p.prefillDone >= p.req.inputTokens) {
-        p.transitionTo(RequestState::Decoding);
-        st.active.push_back(p);
-        st.prefilling.pop_front();
+    st.pool.setPrefillDone(id, st.pool.prefillDone(id) + chunk);
+    if (st.pool.prefillDone(id) >= st.pool.inputTokens(id)) {
+        st.pool.transition(id, RequestState::Decoding);
+        st.active.push_back(id);
+        st.prefilling.erase(st.prefilling.begin());
     }
 }
 
 void
 BatchExecutor::abortExpiredPrefills(ServingState &st)
 {
-    for (auto it = st.prefilling.begin(); it != st.prefilling.end();) {
-        if (it->deadlineExpired(acc_.clock)) {
-            record(*it, RequestOutcome::TimedOut);
-            releaseKv(*it);
-            it = st.prefilling.erase(it);
+    // Same superset-min guard as shedExpiredQueued: prefilling
+    // deadlines are covered by the live-deadline index.
+    if (acc_.clock <= st.deadlines.min() + kDeadlineSlack)
+        return;
+    for (std::size_t i = 0; i < st.prefilling.size();) {
+        const ReqId id = st.prefilling[i];
+        if (st.pool.deadlineExpired(id, acc_.clock)) {
+            record(st, id, RequestOutcome::TimedOut);
+            releaseKv(st, id);
+            st.pool.release(id);
+            st.prefilling.erase(st.prefilling.begin() +
+                                static_cast<std::ptrdiff_t>(i));
         } else {
-            ++it;
+            ++i;
         }
     }
 }
@@ -484,10 +532,10 @@ BatchExecutor::decodeStep(ServingState &st)
     const int batch = static_cast<int>(st.active.size());
     double ctx_sum = 0.0;
     double gen_sum = 0.0;
-    for (const auto &a : st.active) {
-        ctx_sum += static_cast<double>(a.req.inputTokens +
-                                       a.generated);
-        gen_sum += static_cast<double>(a.generated);
+    for (const ReqId id : st.active) {
+        ctx_sum += static_cast<double>(st.pool.inputTokens(id) +
+                                       st.pool.generated(id));
+        gen_sum += static_cast<double>(st.pool.generated(id));
     }
     const Tokens avg_ctx = static_cast<Tokens>(
         std::llround(ctx_sum / batch));
@@ -506,14 +554,17 @@ BatchExecutor::decodeStep(ServingState &st)
 
     // Advance sequences; retire completed and timed-out ones.
     for (std::size_t i = 0; i < st.active.size();) {
-        TrackedRequest &a = st.active[i];
-        ++a.generated;
-        const bool done = a.generated >= a.effOut;
-        const bool expired = !done && a.deadlineExpired(acc_.clock);
+        const ReqId id = st.active[i];
+        const Tokens gen = st.pool.generated(id) + 1;
+        st.pool.setGenerated(id, gen);
+        const bool done = gen >= st.pool.effOut(id);
+        const bool expired =
+            !done && st.pool.deadlineExpired(id, acc_.clock);
         if (done || expired) {
-            record(a, done ? RequestOutcome::Completed
-                           : RequestOutcome::TimedOut);
-            releaseKv(a);
+            record(st, id, done ? RequestOutcome::Completed
+                                : RequestOutcome::TimedOut);
+            releaseKv(st, id);
+            st.pool.release(id);
             st.active[i] = st.active.back();
             st.active.pop_back();
         } else {
@@ -607,28 +658,28 @@ BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
     constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
     const int batch = static_cast<int>(st.active.size());
 
-    // Segment-start scan: the sums decodeStep() recomputes each step,
-    // plus the horizon inputs.
+    // Segment-start scan: the sums decodeStep() recomputes each step
+    // (contiguous column gathers), plus the completion horizon.
     double ctx_sum = 0.0;
     double gen_sum = 0.0;
     Tokens min_remaining = std::numeric_limits<Tokens>::max();
-    for (const auto &a : st.active) {
-        ctx_sum += static_cast<double>(a.req.inputTokens +
-                                       a.generated);
-        gen_sum += static_cast<double>(a.generated);
-        min_remaining = std::min(min_remaining,
-                                 a.effOut - a.generated);
+    for (const ReqId id : st.active) {
+        const Tokens gen = st.pool.generated(id);
+        ctx_sum += static_cast<double>(st.pool.inputTokens(id) + gen);
+        gen_sum += static_cast<double>(gen);
+        min_remaining =
+            std::min(min_remaining, st.pool.effOut(id) - gen);
     }
     // Earliest deadline the outer machinery could act on: an active
     // expiry retires at the step that crosses it, a queued expiry is
-    // shed by shedExpiredQueued() at the next cycle boundary.
+    // shed by shedExpiredQueued() at the next cycle boundary.  The
+    // calendar queue serves the min over all live deadlines; the
+    // superset (prefilling entries included) is behaviour-identical
+    // because a non-empty prefill set forces kmax = 1 below, where
+    // the deadline bound cannot alter any accumulator addition.
     Seconds dmin = kInf;
-    if (st.haveDeadlines) {
-        for (const auto &a : st.active)
-            dmin = std::min(dmin, a.absoluteDeadline());
-        for (const auto &q : st.queue)
-            dmin = std::min(dmin, q.absoluteDeadline());
-    }
+    if (st.haveDeadlines)
+        dmin = st.deadlines.min();
 
     // Event horizon.  Completions bound the step count; arrivals,
     // fault events, retry-gate openings, deadline expiries, and
@@ -646,17 +697,14 @@ BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
     // Ineligible (gated) entries are covered by the gate stop; a
     // KV-blocked eligible entry without a deadline fails the same
     // reservation every cycle until a retirement or fault event ends
-    // the segment anyway.
+    // the segment anyway.  The gate index answers the eligibility
+    // question in O(1): an eligible deadline-carrying entry exists
+    // iff the smallest gate key is at or behind the clock.
     bool allow_multi = st.prefilling.empty();
     if (allow_multi && st.haveDeadlines &&
-        st.inFlight() < config_.maxBatch) {
-        for (const auto &q : st.queue) {
-            if (q.hasDeadline() && q.eligibleAt(acc_.clock)) {
-                allow_multi = false;
-                break;
-            }
-        }
-    }
+        st.inFlight() < config_.maxBatch)
+        allow_multi =
+            st.queuedDeadlineGates.min() > acc_.clock + kTimeSlack;
     if (!allow_multi)
         kmax = 1;
 
@@ -835,14 +883,17 @@ BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
     // at the same clock as the per-step scan would.
     const Tokens gained = static_cast<Tokens>(k);
     for (std::size_t i = 0; i < st.active.size();) {
-        TrackedRequest &a = st.active[i];
-        a.generated += gained;
-        const bool done = a.generated >= a.effOut;
-        const bool expired = !done && a.deadlineExpired(acc_.clock);
+        const ReqId id = st.active[i];
+        const Tokens gen = st.pool.generated(id) + gained;
+        st.pool.setGenerated(id, gen);
+        const bool done = gen >= st.pool.effOut(id);
+        const bool expired =
+            !done && st.pool.deadlineExpired(id, acc_.clock);
         if (done || expired) {
-            record(a, done ? RequestOutcome::Completed
-                           : RequestOutcome::TimedOut);
-            releaseKv(a);
+            record(st, id, done ? RequestOutcome::Completed
+                                : RequestOutcome::TimedOut);
+            releaseKv(st, id);
+            st.pool.release(id);
             st.active[i] = st.active.back();
             st.active.pop_back();
         } else {

@@ -18,14 +18,14 @@
 #define EDGEREASON_ENGINE_EXECUTOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "common/open_hash.hh"
 #include "engine/auditor.hh"
+#include "engine/event_queue.hh"
+#include "engine/request_batch.hh"
 #include "engine/server.hh"
 #include "hw/thermal.hh"
 
@@ -36,49 +36,79 @@ class Journal;
 
 /**
  * Mutable scheduling state of one run, shared between the arrival
- * pump, the scheduler, and the executor.  The three containers
- * partition the live requests by lifecycle state: queue holds
- * Queued/Preempted entries, prefilling holds Prefilling ones (in
+ * pump, the scheduler, and the executor.  Request fields live in the
+ * columnar `pool` (engine/request_batch.hh); the three id containers
+ * partition the live ids by lifecycle state: `queue` holds
+ * Queued/Preempted entries, `prefilling` holds Prefilling ones (in
  * admission order; the front request owns the current prefill), and
- * active holds the Decoding batch.
+ * `active` holds the Decoding batch.
+ *
+ * Three calendar queues (engine/event_queue.hh) index future instants
+ * the executor would otherwise rediscover by scanning containers:
+ *
+ *  - retryGates: one key per queued entry with notBefore > 0 — the
+ *    next gate opening for sleepUntilWake and the macro gate stop;
+ *  - deadlines: the absolute deadline of every *live* deadline-
+ *    carrying request (queued, prefilling, or decoding).  Its min is
+ *    a superset min of what decodeSteps' legacy scan computed (active
+ *    + queue); the superset only adds prefilling entries, and a
+ *    non-empty prefill set forces the macro horizon to one step,
+ *    where the deadline bound provably cannot alter any accumulator —
+ *    so the shared index is behaviour-identical and lets queue sheds
+ *    and prefill aborts skip their scans whenever min() is in the
+ *    future;
+ *  - queuedDeadlineGates: the notBefore key (0.0 when ungated) of
+ *    every queued deadline-carrying entry; min() <= now + kTimeSlack
+ *    iff some eligible deadline-carrying entry is waiting, which is
+ *    exactly the legacy allow_multi disqualification scan.
+ *
+ * All three are derived state: maintained by the mutators below,
+ * rebuilt from the containers on restore(), never serialized, and
+ * cross-checked against brute-force rebuilds by the auditor.
  */
 struct ServingState
 {
-    std::deque<TrackedRequest> queue;
-    std::deque<TrackedRequest> prefilling;
-    std::vector<TrackedRequest> active;
+    RequestBatch pool;
+    IdQueue queue;
+    std::vector<ReqId> prefilling;
+    std::vector<ReqId> active;
     /** True if any trace request carries a deadline. */
     bool haveDeadlines = false;
     /** Largest wait-queue depth observed (queueing observability). */
     std::size_t peakQueueDepth = 0;
-    /**
-     * Retry-backoff gates of queued entries: one element per queue
-     * entry with notBefore > 0, kept sorted so the executor finds the
-     * next gate opening in O(log n) instead of scanning the whole
-     * queue (sleepUntilWake, macro-segment stops).  Derived state —
-     * maintained by enqueue()/dropGate() and rebuilt on restore().
-     */
-    std::multiset<Seconds> retryGates;
+    CalendarQueue retryGates;
+    CalendarQueue deadlines;
+    CalendarQueue queuedDeadlineGates;
 
-    /** Append to the wait queue, tracking the peak depth. */
-    void enqueue(TrackedRequest r)
+    /** Adopt a fresh trace arrival into the pool and wait queue. */
+    ReqId enqueueNew(const TrackedRequest &t)
     {
-        if (r.notBefore > 0.0)
-            retryGates.insert(r.notBefore);
-        queue.push_back(std::move(r));
-        if (queue.size() > peakQueueDepth)
-            peakQueueDepth = queue.size();
+        const ReqId id = pool.adopt(t);
+        if (pool.hasDeadline(id))
+            deadlines.insert(pool.absoluteDeadline(id));
+        pushQueue(id);
+        return id;
     }
 
-    /** Forget @p r's backoff gate; call before erasing it from the
-     *  queue. */
-    void dropGate(const TrackedRequest &r)
+    /** Re-queue a preempted (still live) request. */
+    void requeue(ReqId id) { pushQueue(id); }
+
+    /** Forget @p id's queue-side index keys; call before erasing it
+     *  from the queue. */
+    void onLeaveQueue(ReqId id)
     {
-        if (r.notBefore <= 0.0)
-            return;
-        const auto it = retryGates.find(r.notBefore);
-        if (it != retryGates.end())
-            retryGates.erase(it);
+        if (pool.notBefore(id) > 0.0)
+            retryGates.erase(pool.notBefore(id));
+        if (pool.hasDeadline(id))
+            queuedDeadlineGates.erase(pool.notBefore(id));
+    }
+
+    /** Forget @p id's deadline key; call when it leaves the live set
+     *  (retire/shed), before pool.release(). */
+    void unindexDeadline(ReqId id)
+    {
+        if (pool.hasDeadline(id))
+            deadlines.erase(pool.absoluteDeadline(id));
     }
 
     /** @return the earliest gate strictly after @p t (+inf if none):
@@ -86,10 +116,7 @@ struct ServingState
      *  eligible.  Matches the legacy scan's `notBefore > clock`. */
     Seconds nextGateAfter(Seconds t) const
     {
-        const auto it = retryGates.upper_bound(t);
-        return it == retryGates.end()
-                   ? std::numeric_limits<Seconds>::infinity()
-                   : *it;
+        return retryGates.firstAfter(t);
     }
 
     /** @return number of admitted (prefilling + decoding) requests. */
@@ -104,9 +131,27 @@ struct ServingState
         return !prefilling.empty() || !active.empty();
     }
 
-    /** Checkpoint serialization of the full scheduling state. */
+    /**
+     * Checkpoint serialization of the full scheduling state.  The wire
+     * format is the pre-columnar one: TrackedRequest records in
+     * container order (pool ids and the calendar queues are derived
+     * state, rebuilt on restore), so checkpoints stay byte-compatible.
+     */
     void serialize(ByteWriter &w) const;
     void restore(ByteReader &r);
+
+  private:
+    void pushQueue(ReqId id)
+    {
+        const bool gated = pool.notBefore(id) > 0.0;
+        if (gated)
+            retryGates.insert(pool.notBefore(id));
+        if (pool.hasDeadline(id))
+            queuedDeadlineGates.insert(pool.notBefore(id));
+        queue.push(id, pool.priority(id), pool.arrival(id), gated);
+        if (queue.size() > peakQueueDepth)
+            peakQueueDepth = queue.size();
+    }
 };
 
 /**
@@ -166,7 +211,8 @@ class BatchExecutor
     void pumpEvents(ServingState &st);
 
     /** Shed queued requests whose deadline has already passed
-     *  (deadline admission control, part 1). */
+     *  (deadline admission control, part 1).  O(1) when the earliest
+     *  live deadline is still in the future. */
     void shedExpiredQueued(ServingState &st);
 
     /**
@@ -192,7 +238,8 @@ class BatchExecutor
     void prefillStep(ServingState &st);
 
     /** Time out prefilling requests that blew their deadline waiting
-     *  on (or doing) prefill work (mid-flight abort). */
+     *  on (or doing) prefill work (mid-flight abort).  O(1) when the
+     *  earliest live deadline is still in the future. */
     void abortExpiredPrefills(ServingState &st);
 
     /** One decode step for the whole batch; retires completed and
@@ -213,7 +260,10 @@ class BatchExecutor
      * machinery and journal traffic (one coalesced Step record per
      * segment).  Retirement happens at the horizon, where it is
      * equivalent: the horizon never extends past the earliest
-     * completion or deadline expiry.
+     * completion or deadline expiry.  The horizon inputs (earliest
+     * deadline, next gate, eligible deadline-carrying entries) come
+     * from the ServingState calendar queues in amortized O(1) instead
+     * of per-segment container scans.
      */
     void decodeSteps(ServingState &st, Seconds next_arrival,
                      std::uint64_t horizon_cap);
@@ -238,9 +288,14 @@ class BatchExecutor
                         int batch);
     Seconds chunkLatency(const InferenceEngine &eng, Tokens prefix,
                          Tokens chunk);
-    void record(TrackedRequest &f, RequestOutcome outcome);
-    void shedWaiting(TrackedRequest &p);
-    void releaseKv(const TrackedRequest &f);
+    /** Retire @p id (emit + served record + deadline unindex); the
+     *  caller still owns KV release, pool release, and container
+     *  removal. */
+    void record(ServingState &st, ReqId id, RequestOutcome outcome);
+    /** Shed a waiting (never re-admitted) request and free its slot;
+     *  @p id must already be out of the queue. */
+    void shedWaiting(ServingState &st, ReqId id);
+    void releaseKv(const ServingState &st, ReqId id);
     bool reserveKv(const ServerRequest &r, Tokens eff_out, SeqId &seq);
     bool preemptOne(ServingState &st);
     void applyEvent(const FaultEvent &e, ServingState &st);

@@ -1,0 +1,201 @@
+#include "engine/request_batch.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace edgereason {
+namespace engine {
+
+ReqId
+RequestBatch::adopt(const TrackedRequest &t)
+{
+    ReqId id;
+    if (!free_.empty()) {
+        id = free_.back();
+        free_.pop_back();
+    } else {
+        id = static_cast<ReqId>(arrival_.size());
+        arrival_.push_back(0.0);
+        inputTokens_.push_back(0);
+        outputTokens_.push_back(0);
+        priority_.push_back(0);
+        deadline_.push_back(0.0);
+        absDeadline_.push_back(0.0);
+        state_.push_back(RequestState::Queued);
+        traceIndex_.push_back(-1);
+        notBefore_.push_back(0.0);
+        effOut_.push_back(0);
+        prefillStart_.push_back(0.0);
+        prefillDone_.push_back(0);
+        generated_.push_back(0);
+        preemptions_.push_back(0);
+        degraded_.push_back(0);
+        seq_.push_back(0);
+        live_.push_back(0);
+    }
+    arrival_[id] = t.req.arrival;
+    inputTokens_[id] = t.req.inputTokens;
+    outputTokens_[id] = t.req.outputTokens;
+    priority_[id] = t.req.priority;
+    deadline_[id] = t.req.deadline;
+    absDeadline_[id] = t.req.deadline > 0.0
+        ? t.req.arrival + t.req.deadline
+        : std::numeric_limits<Seconds>::infinity();
+    state_[id] = t.state;
+    traceIndex_[id] = t.traceIndex;
+    notBefore_[id] = t.notBefore;
+    effOut_[id] = t.effOut;
+    prefillStart_[id] = t.prefillStart;
+    prefillDone_[id] = t.prefillDone;
+    generated_[id] = t.generated;
+    preemptions_[id] = t.preemptions;
+    degraded_[id] = t.degraded ? 1 : 0;
+    seq_[id] = t.seq;
+    live_[id] = 1;
+    return id;
+}
+
+void
+RequestBatch::release(ReqId id)
+{
+    panic_if(live_[id] == 0, "request pool: double release of slot ",
+             id);
+    panic_if(state_[id] != RequestState::Done,
+             "request pool: releasing slot ", id, " in state ",
+             requestStateName(state_[id]));
+    live_[id] = 0;
+    free_.push_back(id);
+}
+
+TrackedRequest
+RequestBatch::materialize(ReqId id) const
+{
+    TrackedRequest t;
+    t.req.arrival = arrival_[id];
+    t.req.inputTokens = inputTokens_[id];
+    t.req.outputTokens = outputTokens_[id];
+    t.req.priority = priority_[id];
+    t.req.deadline = deadline_[id];
+    t.state = state_[id];
+    t.traceIndex = traceIndex_[id];
+    t.notBefore = notBefore_[id];
+    t.effOut = effOut_[id];
+    t.prefillStart = prefillStart_[id];
+    t.prefillDone = prefillDone_[id];
+    t.generated = generated_[id];
+    t.preemptions = preemptions_[id];
+    t.degraded = degraded_[id] != 0;
+    t.seq = seq_[id];
+    return t;
+}
+
+void
+RequestBatch::clear()
+{
+    arrival_.clear();
+    inputTokens_.clear();
+    outputTokens_.clear();
+    priority_.clear();
+    deadline_.clear();
+    absDeadline_.clear();
+    state_.clear();
+    traceIndex_.clear();
+    notBefore_.clear();
+    effOut_.clear();
+    prefillStart_.clear();
+    prefillDone_.clear();
+    generated_.clear();
+    preemptions_.clear();
+    degraded_.clear();
+    seq_.clear();
+    live_.clear();
+    free_.clear();
+}
+
+void
+RequestBatch::transition(ReqId i, RequestState next)
+{
+    panic_if(!requestTransitionAllowed(state_[i], next),
+             "illegal request lifecycle transition ",
+             requestStateName(state_[i]), " -> ",
+             requestStateName(next));
+    state_[i] = next;
+}
+
+void
+RequestBatch::resetForAdmission(ReqId i, Seconds now, Tokens eff_out,
+                                bool degraded_now, SeqId kv_seq)
+{
+    transition(i, RequestState::Prefilling);
+    effOut_[i] = eff_out;
+    prefillStart_[i] = now;
+    prefillDone_[i] = 0;
+    generated_[i] = 0;
+    degraded_[i] = degraded_now ? 1 : 0;
+    seq_[i] = kv_seq;
+}
+
+void
+IdQueue::push(ReqId id, int priority, Seconds arrival, bool gated)
+{
+    if (!haveFirst_) {
+        haveFirst_ = true;
+        priorityClass_ = priority;
+        lastArrival_ = arrival;
+    } else {
+        if (priority != priorityClass_)
+            uniformPriority_ = false;
+        // lastArrival_ may be stale after a back erase, which only
+        // makes the hint conservatively false, never wrongly true.
+        if (arrival < lastArrival_)
+            fifoByArrival_ = false;
+        lastArrival_ = arrival;
+    }
+    if (gated)
+        anyGated_ = true;
+    ids_.push_back(id);
+}
+
+void
+IdQueue::eraseAt(std::size_t i)
+{
+    if (i == 0) {
+        ++head_;
+        // Reclaim the popped prefix once it dominates the storage.
+        if (head_ >= 1024 && head_ * 2 >= ids_.size()) {
+            ids_.erase(ids_.begin(),
+                       ids_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    } else {
+        ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(head_ + i));
+    }
+    if (empty()) {
+        ids_.clear();
+        head_ = 0;
+        resetHints();
+    }
+}
+
+void
+IdQueue::clear()
+{
+    ids_.clear();
+    head_ = 0;
+    resetHints();
+}
+
+void
+IdQueue::resetHints()
+{
+    uniformPriority_ = true;
+    fifoByArrival_ = true;
+    anyGated_ = false;
+    haveFirst_ = false;
+    priorityClass_ = 0;
+    lastArrival_ = 0.0;
+}
+
+} // namespace engine
+} // namespace edgereason

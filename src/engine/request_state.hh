@@ -135,6 +135,14 @@ bool requestTransitionAllowed(RequestState from, RequestState to);
  * executor's in-flight sets.  Preemption is recompute-on-resume: the
  * in-flight fields are discarded on eviction and re-initialized by
  * resetForAdmission() on the next admission.
+ *
+ * Since the columnar refactor (DESIGN.md §11) the executor's live
+ * state is the struct-of-arrays RequestBatch pool; this struct is its
+ * *materialized view* (`pool.materialize(id)` / `pool.adopt(t)`),
+ * kept as the unit of the checkpoint/journal wire format and of
+ * scheduler code that wants a whole request by value.  Field-for-field
+ * it mirrors the pool's columns, so the serialized bytes are
+ * unchanged from the pre-columnar executor.
  */
 struct TrackedRequest
 {

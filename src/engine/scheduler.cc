@@ -34,56 +34,59 @@ schedulerPolicyFromName(const std::string &name)
 namespace {
 
 /**
- * Shared selection skeleton: scan the queue in order, skip gated
- * entries, keep the entry @p better prefers.  Queue order breaks all
- * remaining ties (stable), which is what makes fcfs exactly FIFO
+ * Shared selection skeleton: scan the queue in logical order, skip
+ * gated entries, keep the entry @p better prefers.  Queue order breaks
+ * all remaining ties (stable), which is what makes fcfs exactly FIFO
  * within a priority class.
  */
 template <typename Better>
 std::size_t
-scanQueue(const std::deque<TrackedRequest> &queue, Seconds now,
+scanQueue(const RequestBatch &pool, const IdQueue &queue, Seconds now,
           Better &&better)
 {
-    std::size_t best = queue.size();
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        if (!queue[i].eligibleAt(now))
+    const std::size_t n = queue.size();
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!pool.eligibleAt(queue[i], now))
             continue; // backing off after a preemption
-        if (best == queue.size() || better(queue[i], queue[best]))
+        if (best == n || better(queue[i], queue[best]))
             best = i;
     }
     return best;
 }
 
-/** The legacy order: priority class desc, then arrival asc. */
-bool
-fcfsBetter(const TrackedRequest &a, const TrackedRequest &b)
-{
-    return a.req.priority > b.req.priority ||
-        (a.req.priority == b.req.priority &&
-         a.req.arrival < b.req.arrival);
-}
-
 } // namespace
 
 std::size_t
-FcfsScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+FcfsScheduler::pickNext(const RequestBatch &pool, const IdQueue &queue,
                         Seconds now) const
 {
-    return scanQueue(queue, now, fcfsBetter);
+    // Order-hint fast path: one priority class, FIFO by arrival, no
+    // gates — the scan below provably returns the front (the strict
+    // arrival comparison never replaces an earlier equal entry).
+    if (!queue.empty() && queue.fcfsFrontIsPick())
+        return 0;
+    return scanQueue(pool, queue, now,
+                     [&pool](ReqId a, ReqId b) {
+                         return pool.priority(a) > pool.priority(b) ||
+                             (pool.priority(a) == pool.priority(b) &&
+                              pool.arrival(a) < pool.arrival(b));
+                     });
 }
 
 std::size_t
-EdfScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+EdfScheduler::pickNext(const RequestBatch &pool, const IdQueue &queue,
                        Seconds now) const
 {
-    return scanQueue(queue, now,
-                     [](const TrackedRequest &a,
-                        const TrackedRequest &b) {
-                         const Seconds da = a.absoluteDeadline();
-                         const Seconds db = b.absoluteDeadline();
+    return scanQueue(pool, queue, now,
+                     [&pool](ReqId a, ReqId b) {
+                         const Seconds da = pool.absoluteDeadline(a);
+                         const Seconds db = pool.absoluteDeadline(b);
                          if (da != db)
                              return da < db;
-                         return fcfsBetter(a, b);
+                         return pool.priority(a) > pool.priority(b) ||
+                             (pool.priority(a) == pool.priority(b) &&
+                              pool.arrival(a) < pool.arrival(b));
                      });
 }
 
@@ -96,28 +99,28 @@ SpjfScheduler::SpjfScheduler(perf::LatencyModel model)
 }
 
 Seconds
-SpjfScheduler::predictedService(const TrackedRequest &r) const
+SpjfScheduler::predictedService(Tokens input, Tokens output) const
 {
     // Queued/Preempted work restarts from scratch (recompute-on-
     // resume), so the whole prompt and every output token remain.
-    return model_.prefill(r.req.inputTokens) +
-        model_.decode.remaining(r.req.inputTokens, r.req.outputTokens);
+    return model_.prefill(input) + model_.decode.remaining(input, output);
 }
 
 std::size_t
-SpjfScheduler::pickNext(const std::deque<TrackedRequest> &queue,
+SpjfScheduler::pickNext(const RequestBatch &pool, const IdQueue &queue,
                         Seconds now) const
 {
-    return scanQueue(queue, now,
-                     [this](const TrackedRequest &a,
-                            const TrackedRequest &b) {
-                         if (a.req.priority != b.req.priority)
-                             return a.req.priority > b.req.priority;
-                         const Seconds sa = predictedService(a);
-                         const Seconds sb = predictedService(b);
+    return scanQueue(pool, queue, now,
+                     [this, &pool](ReqId a, ReqId b) {
+                         if (pool.priority(a) != pool.priority(b))
+                             return pool.priority(a) > pool.priority(b);
+                         const Seconds sa = predictedService(
+                             pool.inputTokens(a), pool.outputTokens(a));
+                         const Seconds sb = predictedService(
+                             pool.inputTokens(b), pool.outputTokens(b));
                          if (sa != sb)
                              return sa < sb;
-                         return a.req.arrival < b.req.arrival;
+                         return pool.arrival(a) < pool.arrival(b);
                      });
 }
 

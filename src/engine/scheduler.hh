@@ -8,6 +8,12 @@
  * (engine/executor.hh), so a new scheduling idea is a new subclass,
  * not a rewrite of the serving loop.
  *
+ * Since the columnar refactor (DESIGN.md §11) the queue is an id
+ * sequence over a RequestBatch pool: pickNext ranks logical queue
+ * indices while reading only the columns its policy compares, and the
+ * fcfs policy skips the scan entirely when the queue's order hints
+ * prove the front entry is the pick.
+ *
  * Built-in policies:
  *  - fcfs: the legacy policy — highest priority class first, FIFO
  *    within a class.  The default, and bit-exact with the
@@ -24,12 +30,12 @@
 #ifndef EDGEREASON_ENGINE_SCHEDULER_HH
 #define EDGEREASON_ENGINE_SCHEDULER_HH
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "common/binio.hh"
+#include "engine/request_batch.hh"
 #include "engine/request_state.hh"
 #include "perfmodel/latency_model.hh"
 
@@ -67,14 +73,14 @@ class Scheduler
 
     /**
      * Pick the next request to admit at time @p now.  Entries whose
-     * retry-backoff gate is still closed (eligibleAt(now) == false)
-     * must be skipped.
+     * retry-backoff gate is still closed (pool.eligibleAt(id, now) ==
+     * false) must be skipped.
      *
-     * @return index into @p queue, or queue.size() when no entry is
-     *         eligible.
+     * @return logical index into @p queue, or queue.size() when no
+     *         entry is eligible.
      */
     virtual std::size_t
-    pickNext(const std::deque<TrackedRequest> &queue,
+    pickNext(const RequestBatch &pool, const IdQueue &queue,
              Seconds now) const = 0;
 
     /**
@@ -102,7 +108,7 @@ class FcfsScheduler : public Scheduler
     {
         return SchedulerPolicy::Fcfs;
     }
-    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+    std::size_t pickNext(const RequestBatch &pool, const IdQueue &queue,
                          Seconds now) const override;
 };
 
@@ -118,7 +124,7 @@ class EdfScheduler : public Scheduler
     {
         return SchedulerPolicy::Edf;
     }
-    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+    std::size_t pickNext(const RequestBatch &pool, const IdQueue &queue,
                          Seconds now) const override;
 };
 
@@ -139,11 +145,17 @@ class SpjfScheduler : public Scheduler
     {
         return SchedulerPolicy::Spjf;
     }
-    std::size_t pickNext(const std::deque<TrackedRequest> &queue,
+    std::size_t pickNext(const RequestBatch &pool, const IdQueue &queue,
                          Seconds now) const override;
 
     /** @return predicted total service time of @p r's remaining work. */
-    Seconds predictedService(const TrackedRequest &r) const;
+    Seconds predictedService(const TrackedRequest &r) const
+    {
+        return predictedService(r.req.inputTokens, r.req.outputTokens);
+    }
+
+    /** Column form of the prediction (same arithmetic). */
+    Seconds predictedService(Tokens input, Tokens output) const;
 
     void serialize(ByteWriter &w) const override;
 

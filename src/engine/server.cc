@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "engine/checkpoint.hh"
 #include "engine/executor.hh"
 #include "engine/journal.hh"
@@ -86,6 +87,15 @@ buildServingReport(const std::vector<ServedRequest> &served,
         ? acc.throttledBusy / acc.busy
         : 0.0;
 
+    // Degenerate-run contract: percentile() panics on an empty sample
+    // set, so guard it here once for every caller (live report and
+    // journal replay alike).  A run with zero completions reports 0.0
+    // latency percentiles — same convention as meanLatency (and
+    // throughput) — never NaN and never a panic; a single sample is
+    // its own percentile for every p.
+    const auto pct = [](const std::vector<double> &xs, double p) {
+        return xs.empty() ? 0.0 : percentile(xs, p);
+    };
     std::vector<double> latencies;
     latencies.reserve(served.size());
     RunningStats lat;
@@ -96,9 +106,9 @@ buildServingReport(const std::vector<ServedRequest> &served,
         lat.add(s.latency());
     }
     rep.meanLatency = lat.mean();
-    rep.p50Latency = percentile(latencies, 50.0);
-    rep.p95Latency = percentile(latencies, 95.0);
-    rep.p99Latency = percentile(latencies, 99.0);
+    rep.p50Latency = pct(latencies, 50.0);
+    rep.p95Latency = pct(latencies, 95.0);
+    rep.p99Latency = pct(latencies, 99.0);
 
     rep.schedulerPolicy = policy;
     std::vector<double> waits;
@@ -109,8 +119,8 @@ buildServingReport(const std::vector<ServedRequest> &served,
         wait.add(s.queueDelay);
     }
     rep.meanQueueDelay = wait.mean();
-    rep.p95QueueDelay = percentile(waits, 95.0);
-    rep.p99QueueDelay = percentile(waits, 99.0);
+    rep.p95QueueDelay = pct(waits, 95.0);
+    rep.p99QueueDelay = pct(waits, 99.0);
     rep.peakQueueDepth = peak_queue_depth;
     return rep;
 }
@@ -158,6 +168,42 @@ ServingSimulator::poissonTrace(Rng &rng, std::size_t n, double qps,
         trace.push_back(r);
     }
     return trace;
+}
+
+std::vector<std::vector<ServerRequest>>
+ServingSimulator::replicatedPoissonTraces(RngBank &bank,
+                                          std::size_t replications,
+                                          std::size_t n, double qps,
+                                          double mean_in,
+                                          double mean_out, double cv)
+{
+    std::vector<std::vector<ServerRequest>> traces;
+    traces.reserve(replications);
+    for (std::size_t i = 0; i < replications; ++i) {
+        Rng &rng = bank.create("shard/" + std::to_string(i));
+        traces.push_back(
+            poissonTrace(rng, n, qps, mean_in, mean_out, cv));
+    }
+    return traces;
+}
+
+std::vector<ServingReport>
+ServingSimulator::runSharded(
+    InferenceEngine &engine, const ServerConfig &config,
+    const std::vector<std::vector<ServerRequest>> &traces,
+    std::size_t n_shards)
+{
+    fatal_if(n_shards == 0, "runSharded needs at least one shard");
+    std::vector<ServingReport> reports(traces.size());
+    ThreadPool::global().parallelChunks(
+        traces.size(), n_shards,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                ServingSimulator sim(engine, config);
+                reports[i] = sim.run(traces[i]);
+            }
+        });
+    return reports;
 }
 
 int
@@ -314,9 +360,9 @@ ServingSimulator::run(const std::vector<ServerRequest> &trace,
             TrackedRequest r;
             r.req = trace[next_arrival];
             r.traceIndex = static_cast<std::int64_t>(next_arrival);
-            st.enqueue(std::move(r));
+            st.enqueueNew(r);
             if (journal.active())
-                journal.emitArrival(st.queue.back(), st.queue.size());
+                journal.emitArrival(r, st.queue.size());
             ++next_arrival;
         }
     };

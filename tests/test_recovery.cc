@@ -475,7 +475,7 @@ struct AuditFixture
         t.req.inputTokens = 100;
         t.req.outputTokens = 100;
         t.traceIndex = 0;
-        st.enqueue(t); // 1 queued + 1 not yet arrived == traceSize 2
+        st.enqueueNew(t); // 1 queued + 1 not yet arrived == traceSize 2
     }
 };
 
@@ -519,7 +519,7 @@ TEST(Auditor, CatchesSeededAccountingBugs)
     }
     {
         AuditFixture f; // illegal lifecycle state in the wait queue
-        f.st.queue.front().state = RequestState::Decoding;
+        f.st.pool.overrideState(f.st.queue[0], RequestState::Decoding);
         EXPECT_THROW(Auditor().check(f.view()), std::logic_error);
     }
     {

@@ -499,60 +499,97 @@ TEST(SchedulerPick, PolicyNamesRoundTrip)
     EXPECT_FALSE(schedulerPolicyFromName("").has_value());
 }
 
+/** Columnar scheduler-test fixture: a pool plus a queue over it. */
+struct PickQ
+{
+    RequestBatch pool;
+    IdQueue q;
+    void push(const TrackedRequest &t)
+    {
+        const ReqId id = pool.adopt(t);
+        q.push(id, t.req.priority, t.req.arrival, t.notBefore > 0.0);
+    }
+};
+
 TEST(SchedulerPick, FcfsPriorityThenArrival)
 {
     FcfsScheduler s;
-    std::deque<TrackedRequest> q;
-    q.push_back(tracked(5.0, 64, 64, 0));
-    q.push_back(tracked(1.0, 64, 64, 0));
-    q.push_back(tracked(9.0, 64, 64, 2)); // higher class, later arrival
-    EXPECT_EQ(s.pickNext(q, 100.0), 2u);
-    q.pop_back();
-    EXPECT_EQ(s.pickNext(q, 100.0), 1u); // earliest arrival in class
+    PickQ f;
+    f.push(tracked(5.0, 64, 64, 0));
+    f.push(tracked(1.0, 64, 64, 0));
+    f.push(tracked(9.0, 64, 64, 2)); // higher class, later arrival
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 100.0), 2u);
+    f.q.eraseAt(2);
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 100.0), 1u); // earliest in class
+}
+
+TEST(SchedulerPick, FcfsOrderHintFastPathMatchesScan)
+{
+    // A uniform-priority, FIFO-by-arrival, gate-free queue takes the
+    // order-hint fast path (front pick, no scan); the hints must drop
+    // back to the scan the moment any assumption breaks.
+    FcfsScheduler s;
+    PickQ f;
+    f.push(tracked(1.0, 64, 64, 0));
+    f.push(tracked(2.0, 64, 64, 0));
+    EXPECT_TRUE(f.q.fcfsFrontIsPick());
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 100.0), 0u);
+    f.push(tracked(3.0, 64, 64, 1)); // second priority class
+    EXPECT_FALSE(f.q.fcfsFrontIsPick());
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 100.0), 2u);
+    // Draining the queue resets the hints for its next life.
+    f.q.eraseAt(2);
+    f.q.eraseAt(0);
+    f.q.eraseAt(0);
+    EXPECT_TRUE(f.q.empty());
+    f.push(tracked(9.0, 64, 64, 5));
+    EXPECT_TRUE(f.q.fcfsFrontIsPick());
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 100.0), 0u);
 }
 
 TEST(SchedulerPick, BackoffGateSkipsIneligibleEntries)
 {
     FcfsScheduler s;
-    std::deque<TrackedRequest> q;
-    q.push_back(tracked(0.0, 64, 64, 0, 0.0, /*not_before=*/10.0));
-    q.push_back(tracked(1.0, 64, 64, 0));
-    EXPECT_EQ(s.pickNext(q, 5.0), 1u);  // entry 0 still backing off
-    EXPECT_EQ(s.pickNext(q, 10.0), 0u); // gate open: earlier arrival
-    q.pop_back();
-    EXPECT_EQ(s.pickNext(q, 5.0), q.size()); // nothing eligible
+    PickQ f;
+    f.push(tracked(0.0, 64, 64, 0, 0.0, /*not_before=*/10.0));
+    f.push(tracked(1.0, 64, 64, 0));
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 5.0), 1u);  // 0 backing off
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 10.0), 0u); // gate open: earlier
+    f.q.eraseAt(1);
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 5.0), f.q.size()); // none open
 }
 
 TEST(SchedulerPick, EdfPrefersTighterAbsoluteDeadline)
 {
     EdfScheduler s;
-    std::deque<TrackedRequest> q;
-    q.push_back(tracked(0.0, 64, 64, 0, 50.0)); // absolute 50
-    q.push_back(tracked(20.0, 64, 64, 0, 10.0)); // absolute 30
-    q.push_back(tracked(1.0, 64, 64, 0));        // no deadline: +inf
-    EXPECT_EQ(s.pickNext(q, 25.0), 1u);
+    PickQ f;
+    f.push(tracked(0.0, 64, 64, 0, 50.0));  // absolute 50
+    f.push(tracked(20.0, 64, 64, 0, 10.0)); // absolute 30
+    f.push(tracked(1.0, 64, 64, 0));        // no deadline: +inf
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 25.0), 1u);
     // Deadline-free requests rank after every deadline-carrying one,
     // even though they arrived first.
-    q.erase(q.begin() + 1);
-    EXPECT_EQ(s.pickNext(q, 25.0), 0u);
+    f.q.eraseAt(1);
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 25.0), 0u);
     // Equal deadlines fall back to the fcfs order.
-    std::deque<TrackedRequest> tie;
-    tie.push_back(tracked(4.0, 64, 64, 0, 6.0)); // absolute 10
-    tie.push_back(tracked(2.0, 64, 64, 0, 8.0)); // absolute 10
-    EXPECT_EQ(s.pickNext(tie, 5.0), 1u);
+    PickQ tie;
+    tie.push(tracked(4.0, 64, 64, 0, 6.0)); // absolute 10
+    tie.push(tracked(2.0, 64, 64, 0, 8.0)); // absolute 10
+    EXPECT_EQ(s.pickNext(tie.pool, tie.q, 5.0), 1u);
 }
 
 TEST(SchedulerPick, SpjfPrefersShortPredictedJobs)
 {
     SpjfScheduler s(toyModel());
-    std::deque<TrackedRequest> q;
-    q.push_back(tracked(0.0, 128, 2048, 0));
-    q.push_back(tracked(1.0, 128, 64, 0)); // far shorter job
-    EXPECT_EQ(s.pickNext(q, 10.0), 1u);
-    EXPECT_LT(s.predictedService(q[1]), s.predictedService(q[0]));
+    PickQ f;
+    f.push(tracked(0.0, 128, 2048, 0));
+    f.push(tracked(1.0, 128, 64, 0)); // far shorter job
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 10.0), 1u);
+    EXPECT_LT(s.predictedService(f.pool.materialize(f.q[1])),
+              s.predictedService(f.pool.materialize(f.q[0])));
     // Priority classes dominate predicted length.
-    q.push_back(tracked(2.0, 4096, 8192, 1));
-    EXPECT_EQ(s.pickNext(q, 10.0), 2u);
+    f.push(tracked(2.0, 4096, 8192, 1));
+    EXPECT_EQ(s.pickNext(f.pool, f.q, 10.0), 2u);
 }
 
 TEST(SchedulerPick, FactoryBuildsEachPolicy)

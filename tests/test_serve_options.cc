@@ -206,6 +206,55 @@ TEST(ServeOptions, RejectsMalformedDurabilityValues)
     EXPECT_NE(err.find("--resume"), std::string::npos);
 }
 
+TEST(ServeOptions, ParsesShardedReplications)
+{
+    std::string err;
+    const auto o = parse({"--replications", "8", "--shards", "4"},
+                         &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->replications, 8);
+    EXPECT_EQ(o->shards, 4);
+
+    // Defaults: one replication, shards auto (one per trace).
+    const auto d = parse({}, &err);
+    ASSERT_TRUE(d.has_value()) << err;
+    EXPECT_EQ(d->replications, 1);
+    EXPECT_EQ(d->shards, 0);
+}
+
+TEST(ServeOptions, ShardsNeedReplications)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--shards", "4"}, &err).has_value());
+    EXPECT_NE(err.find("--replications"), std::string::npos);
+}
+
+TEST(ServeOptions, ShardedModeExcludesPerRunMachinery)
+{
+    // runSharded() executes plain runs: no fault plan, no
+    // durability, no fallback engine.  The parser rejects the
+    // combinations rather than silently dropping flags.
+    std::string err;
+    EXPECT_FALSE(parse({"--replications", "4", "--faults"}, &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--replications", "4", "--checkpoint-dir",
+                        "/tmp/ck"},
+                       &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--replications", "4", "--resume", "/tmp/ck"},
+                       &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--replications", "4", "--degrade",
+                        "fallback"},
+                       &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--replications", "0"}, &err).has_value());
+    EXPECT_TRUE(parse({"--replications", "4", "--degrade", "budget"},
+                      &err)
+                    .has_value())
+        << err;
+}
+
 } // namespace
 
 TEST(ServeOptions, ParsesExactStepsFlag)

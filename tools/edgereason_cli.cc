@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "cli/serve_options.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
@@ -442,6 +444,48 @@ cmdServe(const std::vector<std::string> &raw)
         const bool fb_quant =
             o.fallbackModel.empty() ? true : o.fallbackQuant;
         srv.setFallbackEngine(er.registry().engineFor(fb_id, fb_quant));
+    }
+
+    if (o.replications > 1) {
+        // Sharded mode (DESIGN.md §11): independent trace
+        // replications partitioned across the thread pool.  Each
+        // trace comes from its own named RngBank stream, so the
+        // reports are bit-identical at any --shards/--threads value.
+        RngBank bank(static_cast<std::uint64_t>(o.seed));
+        auto traces = engine::ServingSimulator::replicatedPoissonTraces(
+            bank, static_cast<std::size_t>(o.replications),
+            static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+            o.meanOut);
+        for (auto &trace : traces)
+            for (auto &r : trace)
+                r.deadline = o.deadline;
+        const std::size_t shards = o.shards > 0
+            ? static_cast<std::size_t>(o.shards)
+            : traces.size();
+        const auto reports = engine::ServingSimulator::runSharded(
+            eng, cfg, traces, shards);
+        std::printf("served %lld replications x %lld requests on %s "
+                    "(scheduler=%s, shards=%zu, offered %.3f QPS "
+                    "each):\n",
+                    o.replications, o.requests,
+                    eng.spec().name.c_str(),
+                    engine::schedulerPolicyName(cfg.scheduler), shards,
+                    o.qps);
+        RunningStats qps_stats, p95_stats;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            const auto &rep = reports[i];
+            std::printf("  replication %2zu: %.3f QPS, p95 %.1f s, "
+                        "%zu completed\n",
+                        i, rep.throughputQps, rep.p95Latency,
+                        rep.completed);
+            qps_stats.add(rep.throughputQps);
+            p95_stats.add(rep.p95Latency);
+        }
+        std::printf("  across replications: throughput %.3f +- %.3f "
+                    "QPS, p95 latency %.1f +- %.1f s\n",
+                    qps_stats.mean(), qps_stats.stddev(),
+                    p95_stats.mean(), p95_stats.stddev());
+        return 0;
     }
 
     Rng rng(o.seed, "cli-serve");
