@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Extension: resilient fleet serving under node failures.  The paper
+ * characterizes one edge GPU in isolation; a deployed site runs a
+ * rack of them behind a router, and the boxes crash.  This bench
+ * sweeps the node crash rate over a 4-node heterogeneous fleet
+ * (MAXN / 50W / 30W / 15W Orin power modes) with per-request
+ * deadlines, retry + failover enabled, and compares routing policies:
+ *
+ *   rr        round-robin over healthy nodes
+ *   least     fewest-backlog node
+ *   deadline  earliest predicted finish (EDF-flavoured dispatch)
+ *   cost      cheapest deadline-feasible node (energy proxy)
+ *
+ * Goodput (deadline-met completions per second) is the headline
+ * metric.  Round-robin keeps feeding the slow 15 W node and the
+ * crash-victim's retries land blindly; load- and deadline-aware
+ * policies should hold goodput as the failure rate climbs.  The run
+ * asserts the conservation invariant at every point: no request is
+ * ever lost, whatever the crash schedule.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "engine/server.hh"
+#include "fleet/fleet.hh"
+#include "hw/gpu_spec.hh"
+
+using namespace benchutil;
+namespace er = edgereason;
+using namespace er::fleet;
+using er::engine::ServingSimulator;
+
+namespace {
+
+/** The deployment: four Orin boxes at descending power caps. */
+FleetConfig
+siteFleet(RouterPolicy policy, double crashes_per_hour)
+{
+    const er::hw::PowerMode modes[4] = {
+        er::hw::PowerMode::MaxN, er::hw::PowerMode::W50,
+        er::hw::PowerMode::W30, er::hw::PowerMode::W15};
+    FleetConfig fc;
+    for (int i = 0; i < 4; ++i) {
+        NodeSpec s;
+        s.model = er::model::ModelId::DeepScaleR1_5B;
+        s.powerMode = modes[i];
+        fc.nodes.push_back(s);
+    }
+    fc.server.maxBatch = 8;
+    fc.router = policy;
+    fc.maxRetries = 3;
+    fc.retryBackoff = 0.25;
+    fc.nodeFaults.seed = 0xF1EE7;
+    fc.nodeFaults.horizon = 3600.0;
+    fc.nodeFaults.crashesPerHour = crashes_per_hour;
+    fc.nodeFaults.meanRebootSeconds = 20.0;
+    return fc;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fleet goodput vs node failure rate "
+           "(4x DeepScaleR-1.5B on Orin MAXN/50W/30W/15W, 160 "
+           "requests, mean 96 in / 256 out, 90 s deadline, retry 3 + "
+           "failover)");
+
+    const RouterPolicy policies[4] = {
+        RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+        RouterPolicy::DeadlineAware, RouterPolicy::CostAware};
+
+    er::Rng rng(777, "fleet-sweep");
+    auto trace = ServingSimulator::poissonTrace(rng, 160, 1.6, 96, 256);
+    for (auto &r : trace)
+        r.deadline = 90.0;
+
+    er::Table t("");
+    t.setHeader({"crashes/h", "policy", "goodput", "hit%", "served",
+                 "timed out", "retries", "failovers", "crashes"});
+    double best_gain = 0.0;
+    double best_rate = 0.0;
+    double best_rr = 0.0;
+    double best_other = 0.0;
+    const char *best_policy = "";
+    for (double rate : {0.0, 30.0, 60.0, 120.0}) {
+        double rr_goodput = 0.0;
+        for (const RouterPolicy p : policies) {
+            FleetSimulator sim(siteFleet(p, rate));
+            const auto rep = sim.run(trace);
+
+            // Conservation: every arrival reaches exactly one
+            // terminal state even while nodes crash mid-decode.
+            if (rep.served + rep.timedOut + rep.shed + rep.offloaded !=
+                rep.arrivals) {
+                std::printf("CONSERVATION VIOLATION at rate %.0f "
+                            "policy %s\n",
+                            rate, routerPolicyName(p));
+                return 1;
+            }
+
+            std::uint64_t crashes = 0;
+            for (const auto &node : rep.nodes)
+                crashes += node.crashes;
+            if (p == RouterPolicy::RoundRobin)
+                rr_goodput = rep.goodput;
+            else if (rate > 0.0 && rep.goodput > rr_goodput) {
+                const double gain = rep.goodput - rr_goodput;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_rate = rate;
+                    best_rr = rr_goodput;
+                    best_other = rep.goodput;
+                    best_policy = routerPolicyName(p);
+                }
+            }
+            t.row()
+                .cell(rate, 0)
+                .cell(routerPolicyName(p))
+                .cell(rep.goodput, 4)
+                .cell(100.0 * rep.deadlineHitRate, 0)
+                .cell(static_cast<long long>(rep.served))
+                .cell(static_cast<long long>(rep.timedOut))
+                .cell(static_cast<long long>(rep.retries))
+                .cell(static_cast<long long>(rep.failovers))
+                .cell(static_cast<long long>(crashes));
+        }
+    }
+    t.print(std::cout);
+
+    if (best_gain > 0.0) {
+        std::printf("\nrouting wins under failures: at %.0f "
+                    "crashes/h, router=%s sustains %.4f goodput vs "
+                    "%.4f for round-robin (+%.0f%%)\n",
+                    best_rate, best_policy, best_other, best_rr,
+                    100.0 * best_gain / std::max(best_rr, 1e-12));
+    } else {
+        std::printf("\nno routing policy beat round-robin goodput "
+                    "under failures -- investigate\n");
+    }
+    note("every cell above ran the full retry/failover path with the "
+         "fleet conservation auditor's terminal-state check; a lost "
+         "request fails the bench.");
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/pareto.hh"
 #include "engine/engine.hh"
 #include "engine/server.hh"
+#include "fleet/fleet.hh"
 #include "model/calibration.hh"
 #include "model/zoo.hh"
 
@@ -294,6 +295,46 @@ BENCHMARK(BM_ShardedTraceScaling)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// --- Fleet serving (DESIGN.md §12) -----------------------------------
+
+void
+BM_FleetScaling(benchmark::State &state)
+{
+    // End-to-end fleet cost per simulated token: N fault-injected
+    // nodes behind the least-loaded router with retry + failover.
+    // The fleet adds a conservative sync loop and per-event routing
+    // on top of per-node macro-stepping; this guards that overhead.
+    const int n = static_cast<int>(state.range(0));
+    er::fleet::FleetConfig fc;
+    for (int i = 0; i < n; ++i) {
+        er::fleet::NodeSpec s;
+        s.model = ModelId::DeepScaleR1_5B;
+        fc.nodes.push_back(s);
+    }
+    fc.server.maxBatch = 16;
+    fc.router = er::fleet::RouterPolicy::LeastLoaded;
+    fc.nodeFaults.seed = 0xF1EE7;
+    fc.nodeFaults.horizon = 3600.0;
+    fc.nodeFaults.crashesPerHour = 12.0;
+    fc.nodeFaults.meanRebootSeconds = 15.0;
+    static const auto trace = [] {
+        er::Rng rng(55, "bench-fleet");
+        return er::engine::ServingSimulator::poissonTrace(
+            rng, 512, 4.0, 96, 256);
+    }();
+    double generated = 0.0;
+    for (auto _ : state) {
+        er::fleet::FleetSimulator sim(fc);
+        auto rep = sim.run(trace);
+        generated = rep.generatedTokens;
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+}
+BENCHMARK(BM_FleetScaling)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -91,6 +91,7 @@ parseServeOptions(const std::vector<std::string> &args,
         });
     };
 
+    bool fleet_only_flag = false; // fleet-scoped value flag was given
     long long max_batch = opt.maxBatch;
     long long prefill_chunk = opt.prefillChunk;
     long long degrade_budget = opt.degradeBudget;
@@ -157,7 +158,43 @@ parseServeOptions(const std::vector<std::string> &args,
         {"crash-rate", doubleOpt(&opt.crashRate, 0.0, "--crash-rate")},
         {"replications",
          longOpt(&opt.replications, 1, "--replications")},
-        {"shards", longOpt(&opt.shards, 0, "--shards")},
+        {"shards", longOpt(&opt.shards, 1, "--shards")},
+        {"fleet", longOpt(&opt.fleet, 1, "--fleet")},
+        {"router", [&](const std::string &v) {
+             const auto p = fleet::routerPolicyFromName(v);
+             if (!p)
+                 return "invalid --router policy: " + v +
+                     " (expected rr|least|deadline|cost)";
+             opt.router = *p;
+             fleet_only_flag = true;
+             return std::string();
+         }},
+        {"node-crash-rate",
+         doubleOpt(&opt.nodeCrashRate, 0.0, "--node-crash-rate")},
+        {"node-reboot",
+         doubleOpt(&opt.nodeReboot, 0.0, "--node-reboot")},
+        {"node-degrade-rate",
+         doubleOpt(&opt.nodeDegradeRate, 0.0, "--node-degrade-rate")},
+        {"node-degrade-mean",
+         doubleOpt(&opt.nodeDegradeMean, 0.0, "--node-degrade-mean")},
+        {"retry", longOpt(&opt.retry, 0, "--retry")},
+        {"retry-backoff",
+         doubleOpt(&opt.retryBackoff, 0.0, "--retry-backoff")},
+        {"request-timeout",
+         doubleOpt(&opt.requestTimeout, 0.0, "--request-timeout")},
+        {"hedge", doubleOpt(&opt.hedge, 0.0, "--hedge")},
+        {"cloud", [&](const std::string &v) {
+             if (v != "o4-mini" && v != "o1-preview")
+                 return "invalid --cloud tier: " + v +
+                     " (expected o4-mini|o1-preview)";
+             opt.cloud = v;
+             return std::string();
+         }},
+        {"cloud-rtt", doubleOpt(&opt.cloudRtt, 0.0, "--cloud-rtt")},
+        {"fleet-journals", [&](const std::string &v) {
+             opt.fleetJournals = v;
+             return std::string();
+         }},
         {"threads", longOpt(&opt.threads, 0, "--threads")},
     };
     const std::map<std::string, bool *> bool_flags = {
@@ -166,6 +203,8 @@ parseServeOptions(const std::vector<std::string> &args,
         {"fallback-quant", &opt.fallbackQuant},
         {"paranoid", &opt.paranoid},
         {"exact-steps", &opt.exactSteps},
+        {"hetero", &opt.hetero},
+        {"node-faults", &opt.nodeFaults},
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -214,6 +253,46 @@ parseServeOptions(const std::vector<std::string> &args,
     } else if (opt.shards > 1) {
         return fail("--shards needs --replications > 1 (nothing to "
                     "shard over)");
+    }
+    if (opt.fleet >= 1) {
+        // The fleet path owns faults and routing itself; single-run
+        // machinery does not compose with it.
+        if (opt.replications > 1)
+            return fail("--fleet excludes --replications > 1 (fleet "
+                        "runs are already multi-node)");
+        if (!opt.checkpointDir.empty() || opt.resume)
+            return fail("--fleet excludes --checkpoint-dir/--resume "
+                        "(fleet journals are per-node: "
+                        "--fleet-journals)");
+        if (crash_on)
+            return fail("--fleet excludes single-node crash "
+                        "injection (use --node-crash-rate)");
+        if (opt.faults)
+            return fail("--fleet excludes --faults (use "
+                        "--node-faults for per-node behavioural "
+                        "faults)");
+        if (opt.scheduler == engine::SchedulerPolicy::Spjf)
+            return fail("--fleet excludes --scheduler spjf (nodes "
+                        "carry no fitted latency model)");
+        if (opt.degrade == engine::DegradeMode::Fallback)
+            return fail("--fleet excludes --degrade fallback (no "
+                        "per-node fallback engine)");
+        if (opt.hedge > 1.0)
+            return fail("--hedge must be in [0, 1]");
+        if (opt.nodeCrashRate > 0.0 && opt.nodeReboot <= 0.0)
+            return fail("--node-reboot must be positive when "
+                        "--node-crash-rate is set");
+        if (opt.nodeDegradeRate > 0.0 && opt.nodeDegradeMean <= 0.0)
+            return fail("--node-degrade-mean must be positive when "
+                        "--node-degrade-rate is set");
+    } else {
+        const bool fleet_flag_used = fleet_only_flag || opt.hetero ||
+            opt.nodeFaults || opt.nodeCrashRate > 0.0 ||
+            opt.nodeDegradeRate > 0.0 || opt.hedge > 0.0 ||
+            !opt.cloud.empty() || !opt.fleetJournals.empty();
+        if (fleet_flag_used)
+            return fail("fleet flags (--router, --hedge, --cloud, "
+                        "--node-*) need --fleet N");
     }
     opt.maxBatch = static_cast<int>(max_batch);
     opt.prefillChunk = static_cast<Tokens>(prefill_chunk);

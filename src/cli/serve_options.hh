@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "engine/scheduler.hh"
 #include "engine/server.hh"
+#include "fleet/router.hh"
 
 namespace edgereason {
 namespace cli {
@@ -85,6 +86,34 @@ struct ServeOptions
     long long replications = 1;
     /** Work-chunk count for runSharded (0 = one shard per trace). */
     long long shards = 0;
+
+    // --- Fleet serving (DESIGN.md §12) -----------------------------
+    /**
+     * Node count of the fleet simulator; 0 = flag omitted (single-node
+     * serve).  `--fleet N` (N >= 1) switches serve to the resilient
+     * multi-node path: router + retry/hedge/failover over
+     * fault-injected nodes.  Fleet mode excludes sharded replications,
+     * durability, single-node crash injection, the spjf scheduler, and
+     * fallback degradation.
+     */
+    long long fleet = 0;
+    fleet::RouterPolicy router = fleet::RouterPolicy::RoundRobin;
+    /** Cycle node power modes MAXN/50W/30W/15W (heterogeneous fleet). */
+    bool hetero = false;
+    /** Apply the behavioural fault plan (thermal/brownout/KV-shrink)
+     *  inside every node, from node-scoped RNG streams. */
+    bool nodeFaults = false;
+    double nodeCrashRate = 0.0;   //!< node crashes per hour
+    double nodeReboot = 20.0;     //!< mean reboot seconds
+    double nodeDegradeRate = 0.0; //!< degrade windows per hour
+    double nodeDegradeMean = 60.0; //!< mean degrade-window seconds
+    long long retry = 3;          //!< max re-dispatches per request
+    double retryBackoff = 0.25;   //!< base backoff, doubles per try
+    double requestTimeout = 0.0;  //!< per-try budget cap (0 = deadline)
+    double hedge = 0.0;           //!< hedge slack fraction (0 = off)
+    std::string cloud;            //!< offload tier: o4-mini|o1-preview
+    double cloudRtt = 0.15;       //!< cloud round-trip seconds
+    std::string fleetJournals;    //!< per-node journal directory
 
     /** Parsed but applied globally by main() (thread-pool sizing). */
     long long threads = 0;

@@ -201,7 +201,8 @@ BatchExecutor::record(ServingState &st, ReqId id,
 }
 
 void
-BatchExecutor::shedWaiting(ServingState &st, ReqId id)
+BatchExecutor::shedWaiting(ServingState &st, ReqId id,
+                           RequestOutcome outcome)
 {
     st.pool.transition(id, RequestState::Done);
     ServedRequest s;
@@ -210,7 +211,7 @@ BatchExecutor::shedWaiting(ServingState &st, ReqId id)
     s.request.outputTokens = st.pool.outputTokens(id);
     s.request.priority = st.pool.priority(id);
     s.request.deadline = st.pool.deadline(id);
-    s.outcome = RequestOutcome::Shed;
+    s.outcome = outcome;
     s.queueDelay = acc_.clock - st.pool.arrival(id);
     s.serviceTime = 0.0;
     s.finish = acc_.clock;
@@ -900,6 +901,40 @@ BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
             ++i;
         }
     }
+}
+
+bool
+BatchExecutor::cancelByTraceIndex(ServingState &st,
+                                  std::int64_t trace_index)
+{
+    // Queue side: the request never started service, so it retires on
+    // the shed path (serviceTime 0) with the Cancelled outcome.
+    for (std::size_t i = 0; i < st.queue.size(); ++i) {
+        const ReqId id = st.queue[i];
+        if (st.pool.traceIndex(id) != trace_index)
+            continue;
+        st.onLeaveQueue(id);
+        st.queue.eraseAt(i);
+        shedWaiting(st, id, RequestOutcome::Cancelled);
+        return true;
+    }
+    // In-flight side: same retire sequence as a mid-flight abort
+    // (record + KV release + slot release), shifting erase so the
+    // prefill front / decode scan order stays canonical.
+    const auto retireInFlight = [&](std::vector<ReqId> &ids) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const ReqId id = ids[i];
+            if (st.pool.traceIndex(id) != trace_index)
+                continue;
+            record(st, id, RequestOutcome::Cancelled);
+            releaseKv(st, id);
+            st.pool.release(id);
+            ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+        return false;
+    };
+    return retireInFlight(st.prefilling) || retireInFlight(st.active);
 }
 
 void

@@ -276,6 +276,23 @@ class BatchExecutor
      */
     void sleepUntilWake(ServingState &st, Seconds next_arrival);
 
+    /**
+     * Cancel a live request by its trace index (fleet hedging and
+     * failover): the request retires immediately with
+     * RequestOutcome::Cancelled, releasing its KV reservation and
+     * batch slot at the current clock.  @return false when no live
+     * request carries @p trace_index (already retired — the benign
+     * hedge race where both legs ran to completion).
+     */
+    bool cancelByTraceIndex(ServingState &st, std::int64_t trace_index);
+
+    /** @return true while the thermal governor holds a derated mode
+     *  (fleet health probes treat this as a degraded node). */
+    bool throttled() const
+    {
+        return thermalOn_ && thermal_.throttled();
+    }
+
     /** Snapshot the run's aggregate metrics. */
     ServingReport report(Seconds first_arrival,
                          SchedulerPolicy policy,
@@ -292,9 +309,10 @@ class BatchExecutor
      *  caller still owns KV release, pool release, and container
      *  removal. */
     void record(ServingState &st, ReqId id, RequestOutcome outcome);
-    /** Shed a waiting (never re-admitted) request and free its slot;
-     *  @p id must already be out of the queue. */
-    void shedWaiting(ServingState &st, ReqId id);
+    /** Retire a waiting (never re-admitted) request and free its
+     *  slot; @p id must already be out of the queue. */
+    void shedWaiting(ServingState &st, ReqId id,
+                     RequestOutcome outcome = RequestOutcome::Shed);
     void releaseKv(const ServingState &st, ReqId id);
     bool reserveKv(const ServerRequest &r, Tokens eff_out, SeqId &seq);
     bool preemptOne(ServingState &st);

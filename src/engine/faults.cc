@@ -56,8 +56,10 @@ FaultPlan::FaultPlan(const FaultConfig &cfg) : cfg_(cfg)
 
     // Each mechanism draws from its own named stream so that enabling
     // one never reshuffles another's schedule.
+    fatal_if(cfg_.streamPrefix.empty(),
+             "fault streamPrefix must be non-empty");
     if (cfg_.brownoutsPerHour > 0.0) {
-        Rng rng(cfg_.seed, "faults/brownout");
+        Rng rng(cfg_.seed, cfg_.streamPrefix + "/brownout");
         const double mean_gap = 3600.0 / cfg_.brownoutsPerHour;
         Seconds t = 0.0;
         while (true) {
@@ -73,7 +75,7 @@ FaultPlan::FaultPlan(const FaultConfig &cfg) : cfg_(cfg)
     }
 
     if (cfg_.kvShrinksPerHour > 0.0 && cfg_.kvShrinkFraction > 0.0) {
-        Rng rng(cfg_.seed, "faults/kv-shrink");
+        Rng rng(cfg_.seed, cfg_.streamPrefix + "/kv-shrink");
         const double mean_gap = 3600.0 / cfg_.kvShrinksPerHour;
         Seconds t = 0.0;
         while (true) {
@@ -108,7 +110,7 @@ FaultPlan::FaultPlan(const FaultConfig &cfg) : cfg_(cfg)
     if (cfg_.crash.atTime >= 0.0)
         crashTimes_.push_back(cfg_.crash.atTime);
     if (cfg_.crash.perHour > 0.0) {
-        Rng rng(cfg_.seed, "faults/crash");
+        Rng rng(cfg_.seed, cfg_.streamPrefix + "/crash");
         const double mean_gap = 3600.0 / cfg_.crash.perHour;
         Seconds t = 0.0;
         while (true) {

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -93,8 +94,16 @@ struct SimulatedCrash : std::runtime_error
 /** Fault-plan generation parameters. */
 struct FaultConfig
 {
-    /** Root seed of the fault RNG streams ("faults/..."). */
+    /** Root seed of the fault RNG streams ("<streamPrefix>/..."). */
     std::uint64_t seed = 0xFA17;
+    /**
+     * Stream-name prefix of the RNG streams this plan draws from.  The
+     * default reproduces every historical single-node schedule bit for
+     * bit; fleet runs scope it per node ("fault/node<i>") so N plans
+     * derived from one seed are independent and adding a node never
+     * perturbs the existing nodes' schedules.
+     */
+    std::string streamPrefix = "faults";
     /** Events are scheduled on [0, horizon) seconds of run time. */
     Seconds horizon = 7200.0;
 

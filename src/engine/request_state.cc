@@ -15,6 +15,8 @@ requestOutcomeName(RequestOutcome o)
         return "timed-out";
       case RequestOutcome::Shed:
         return "shed";
+      case RequestOutcome::Cancelled:
+        return "cancelled";
     }
     panic("unknown request outcome");
 }
@@ -120,8 +122,9 @@ restore(ByteReader &r, ServedRequest &out)
 {
     restore(r, out.request);
     const std::uint8_t outcome = r.u8();
-    fatal_if(outcome > static_cast<std::uint8_t>(RequestOutcome::Shed),
-             "ServedRequest restore: invalid outcome ", int(outcome));
+    fatal_if(
+        outcome > static_cast<std::uint8_t>(RequestOutcome::Cancelled),
+        "ServedRequest restore: invalid outcome ", int(outcome));
     out.outcome = static_cast<RequestOutcome>(outcome);
     out.queueDelay = r.f64();
     out.serviceTime = r.f64();

@@ -72,6 +72,7 @@ enum class RequestOutcome {
     Completed, //!< all output tokens generated
     TimedOut,  //!< admitted, aborted at its deadline
     Shed,      //!< never (re-)admitted: deadline or retries exhausted
+    Cancelled, //!< withdrawn by the caller (fleet hedge/failover)
 };
 
 /** @return human-readable outcome name. */

@@ -55,6 +55,9 @@ buildServingReport(const std::vector<ServedRequest> &served,
           case RequestOutcome::Shed:
             ++rep.shed;
             break;
+          case RequestOutcome::Cancelled:
+            ++rep.cancelled;
+            break;
         }
         if (s.request.deadline > 0.0) {
             ++with_deadline;

@@ -112,6 +112,7 @@ struct ServingReport
     // --- Fault/degradation observability ---------------------------
     std::size_t timedOut = 0;          //!< aborted at their deadline
     std::size_t shed = 0;              //!< never admitted to service
+    std::size_t cancelled = 0;         //!< withdrawn by the caller
     std::size_t retriedCompleted = 0;  //!< completed after >=1 preempt
     std::size_t degradedCompleted = 0; //!< completed under degradation
     std::uint64_t preemptions = 0;     //!< total eviction events

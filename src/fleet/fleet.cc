@@ -1,0 +1,713 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+#include "cost/cost_model.hh"
+
+namespace edgereason {
+namespace fleet {
+
+using engine::kDeadlineSlack;
+using engine::kTimeSlack;
+
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+/**
+ * Forward-progress quantum for the heap-empty drain: when no fleet
+ * event is scheduled but nodes still hold work, the laggard is
+ * advanced by at most this much per round so gated queues reach their
+ * shed deadlines in bounded, deterministic steps.
+ */
+constexpr Seconds kDrainQuantum = 1.0;
+
+std::string
+g17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+const char *
+fleetOutcomeName(FleetOutcome o)
+{
+    switch (o) {
+      case FleetOutcome::Served:
+        return "served";
+      case FleetOutcome::TimedOut:
+        return "timed-out";
+      case FleetOutcome::Shed:
+        return "shed";
+      case FleetOutcome::Offloaded:
+        return "offloaded";
+    }
+    panic("unknown fleet outcome");
+}
+
+FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
+{
+    fatal_if(cfg_.nodes.empty(), "fleet needs at least one node");
+    fatal_if(cfg_.maxRetries < 0, "maxRetries must be non-negative");
+    fatal_if(cfg_.retryBackoff <= 0.0 && cfg_.maxRetries > 0,
+             "retry backoff must be positive");
+    fatal_if(cfg_.hedgeFraction < 0.0 || cfg_.hedgeFraction > 1.0,
+             "hedge fraction must be in [0, 1]");
+    fatal_if(cfg_.healthFailureThreshold < 1,
+             "health failure threshold must be at least 1");
+    fatal_if(!cfg_.explicitSchedules.empty() &&
+                 cfg_.explicitSchedules.size() != cfg_.nodes.size(),
+             "explicit fault schedules must match the node count");
+
+    schedules_ = cfg_.explicitSchedules.empty()
+        ? deriveNodeFaultPlans(cfg_.nodeFaults, cfg_.nodes.size())
+        : cfg_.explicitSchedules;
+
+    nodes_.reserve(cfg_.nodes.size());
+    for (std::size_t i = 0; i < cfg_.nodes.size(); ++i)
+        nodes_.push_back(std::make_unique<FleetNode>(
+            static_cast<int>(i), cfg_.nodes[i], cfg_.server,
+            schedules_[i].behavioural, cfg_.journalDir));
+    router_ = makeRouter(cfg_.router);
+
+    liveOnNode_.resize(nodes_.size());
+    drained_.assign(nodes_.size(), 0);
+    consecFailures_.assign(nodes_.size(), 0);
+    cooldownUntil_.assign(nodes_.size(), 0.0);
+    degradeDepth_.assign(nodes_.size(), 0);
+}
+
+void
+FleetSimulator::push(Seconds t, int kind, std::int64_t gid, int node,
+                     std::size_t served_idx, Seconds aux)
+{
+    heap_.push_back({t, kind, seq_++, gid, node, served_idx, aux});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void
+FleetSimulator::drainOutcomes()
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto &served = nodes_[i]->served();
+        for (; drained_[i] < served.size(); ++drained_[i]) {
+            const auto &rec = served[drained_[i]];
+            // Cancelled records are the echo of a driver-side
+            // withdrawal, already fully accounted for.
+            if (rec.outcome == engine::RequestOutcome::Cancelled)
+                continue;
+            push(rec.finish, KOutcome,
+                 nodes_[i]->gidForLocal(rec.traceIndex),
+                 static_cast<int>(i), drained_[i]);
+        }
+    }
+}
+
+void
+FleetSimulator::syncNodesTo(Seconds target)
+{
+    auto &pool = ThreadPool::global();
+    while (true) {
+        std::vector<int> lag;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (nodes_[i]->up() && nodes_[i]->busy() &&
+                nodes_[i]->clock() + kTimeSlack < target)
+                lag.push_back(static_cast<int>(i));
+        }
+        if (lag.empty())
+            break;
+        // One chunk per node: the partition (and every node's
+        // arithmetic) is independent of the worker count.
+        pool.parallelChunks(
+            lag.size(), lag.size(),
+            [&](std::size_t, std::size_t b, std::size_t e) {
+                for (std::size_t k = b; k < e; ++k)
+                    nodes_[static_cast<std::size_t>(lag[k])]
+                        ->advanceUntil(target, true);
+            });
+        drainOutcomes();
+    }
+}
+
+Seconds
+FleetSimulator::nextNodeStop() const
+{
+    Seconds lo = kInf;
+    for (const auto &n : nodes_)
+        if (n->up() && n->busy())
+            lo = std::min(lo, n->clock());
+    return lo;
+}
+
+void
+FleetSimulator::noteFailure(int node, Seconds now)
+{
+    if (++consecFailures_[static_cast<std::size_t>(node)] >=
+        cfg_.healthFailureThreshold) {
+        cooldownUntil_[static_cast<std::size_t>(node)] =
+            now + cfg_.healthCooldown;
+        consecFailures_[static_cast<std::size_t>(node)] = 0;
+    }
+}
+
+void
+FleetSimulator::noteSuccess(int node)
+{
+    consecFailures_[static_cast<std::size_t>(node)] = 0;
+}
+
+bool
+FleetSimulator::draining(int node, Seconds now) const
+{
+    return degradeDepth_[static_cast<std::size_t>(node)] > 0 ||
+        cooldownUntil_[static_cast<std::size_t>(node)] > now;
+}
+
+void
+FleetSimulator::cancelLeg(Track &t, int slot, Seconds now)
+{
+    (void)now;
+    Leg &leg = t.legs[slot];
+    panic_if(!leg.live, "cancel of a dead leg");
+    panic_if(leg.node < 0, "cloud legs cannot be cancelled");
+    leg.live = false;
+    liveOnNode_[static_cast<std::size_t>(leg.node)].erase(t.gid);
+    // A false return means the leg already retired and its outcome
+    // record is in flight; marking it dead above stale-drops it.
+    if (nodes_[static_cast<std::size_t>(leg.node)]->cancel(leg.local))
+        ++cancelledLegs_;
+    if (slot == t.hedgeSlot)
+        ++hedgeWaste_;
+}
+
+void
+FleetSimulator::finishTrack(Track &t, FleetOutcome o, Seconds finish,
+                            Tokens generated, int served_by)
+{
+    panic_if(t.terminal, "double-terminal fleet track ", t.gid);
+    for (int slot = 0; slot < 2; ++slot)
+        if (t.legs[slot].live)
+            cancelLeg(t, slot, finish);
+    t.terminal = true;
+    t.outcome = o;
+    t.finish = finish;
+    t.generated = generated;
+    t.servedBy = served_by;
+}
+
+void
+FleetSimulator::dispatch(Track &t, Seconds now, int exclude,
+                         bool is_hedge, bool is_failover)
+{
+    (void)is_failover;
+    std::vector<NodeView> views(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        views[i] = {nodes_[i].get(), nodes_[i]->up(),
+                    draining(static_cast<int>(i), now)};
+
+    const RouteDecision d = router_->route(t.req, now, t.absDeadline,
+                                           views, cfg_.cloud, exclude);
+    if (is_hedge) {
+        // Hedge legs only duplicate onto a *different* edge node;
+        // anything else (cloud, reject, same node) skips the hedge.
+        if (d.cloud || d.rejected() || d.node == exclude)
+            return;
+    } else if (d.rejected()) {
+        finishTrack(t, FleetOutcome::Shed, now, 0, -1);
+        return;
+    } else if (d.cloud) {
+        cloudDollars_ += cfg_.cloud.dollars(t.req);
+        int slot = t.legs[0].live ? 1 : 0;
+        panic_if(t.legs[slot].live, "no free leg slot");
+        t.legs[slot] = {-2, -1, true};
+        ++t.attempts;
+        push(now + cfg_.cloud.latency(t.req), KCloudDone, t.gid, -1);
+        return;
+    }
+
+    engine::ServerRequest leg = t.req;
+    leg.arrival = now;
+    Seconds budget = 0.0;
+    if (t.absDeadline < kInf)
+        budget = t.absDeadline - now;
+    if (cfg_.requestTimeout > 0.0)
+        budget = budget > 0.0 ? std::min(budget, cfg_.requestTimeout)
+                              : cfg_.requestTimeout;
+    leg.deadline = budget;
+
+    const int slot = t.legs[0].live ? 1 : 0;
+    panic_if(t.legs[slot].live, "no free leg slot");
+    const std::int64_t local =
+        nodes_[static_cast<std::size_t>(d.node)]->submit(leg, t.gid);
+    t.legs[slot] = {d.node, local, true};
+    liveOnNode_[static_cast<std::size_t>(d.node)].insert(t.gid);
+    if (is_hedge) {
+        t.hedgeSlot = slot;
+        ++hedgesLaunched_;
+    } else {
+        ++t.attempts;
+        // Arm the hedge once: duplicate this leg when the remaining
+        // slack shrinks below hedgeFraction x the relative deadline.
+        if (cfg_.hedgeFraction > 0.0 && !t.hedgeScheduled &&
+            t.absDeadline < kInf) {
+            const Seconds at = std::max(
+                now,
+                t.absDeadline - cfg_.hedgeFraction * t.req.deadline);
+            push(at, KHedgeTimer, t.gid, -1);
+            t.hedgeScheduled = true;
+        }
+    }
+}
+
+void
+FleetSimulator::scheduleRetry(Track &t, Seconds now, int failed_node)
+{
+    if (t.attempts > cfg_.maxRetries) {
+        finishTrack(t, FleetOutcome::TimedOut, now, 0, -1);
+        return;
+    }
+    const Seconds backoff = std::min(
+        cfg_.retryBackoffCap,
+        cfg_.retryBackoff *
+            static_cast<double>(1ull << std::min(t.attempts - 1, 40)));
+    const Seconds at = now + backoff;
+    if (at + kDeadlineSlack >= t.absDeadline) {
+        finishTrack(t, FleetOutcome::TimedOut, now, 0, -1);
+        return;
+    }
+    push(at, KRetryTimer, t.gid, failed_node);
+    ++t.pendingTimers;
+}
+
+void
+FleetSimulator::onArrival(const Event &e)
+{
+    const std::size_t idx = static_cast<std::size_t>(e.gid);
+    Track &t = tracks_[idx];
+    t.req = (*trace_)[idx];
+    t.gid = e.gid;
+    t.absDeadline = t.req.deadline > 0.0
+        ? t.req.arrival + t.req.deadline
+        : kInf;
+    dispatch(t, e.time, -1, false, false);
+    if (nextArrival_ < trace_->size()) {
+        push((*trace_)[nextArrival_].arrival, KArrival,
+             static_cast<std::int64_t>(nextArrival_), -1);
+        ++nextArrival_;
+    }
+}
+
+void
+FleetSimulator::onOutcome(const Event &e)
+{
+    const auto &rec =
+        nodes_[static_cast<std::size_t>(e.node)]->served()[e.servedIdx];
+    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    int slot = -1;
+    for (int s = 0; s < 2; ++s)
+        if (t.legs[s].live && t.legs[s].node == e.node &&
+            t.legs[s].local == rec.traceIndex)
+            slot = s;
+    if (slot < 0)
+        return; // stale: the leg was cancelled or failed over
+
+    t.legs[slot].live = false;
+    liveOnNode_[static_cast<std::size_t>(e.node)].erase(t.gid);
+
+    if (rec.outcome == engine::RequestOutcome::Completed) {
+        noteSuccess(e.node);
+        if (slot == t.hedgeSlot)
+            ++hedgeWins_;
+        finishTrack(t, FleetOutcome::Served, rec.finish, rec.generated,
+                    e.node);
+        return;
+    }
+
+    // The node shed or aborted the leg (its time budget ran out).
+    noteFailure(e.node, e.time);
+    if (t.legs[0].live || t.legs[1].live)
+        return; // a hedge partner is still running
+    scheduleRetry(t, e.time, e.node);
+}
+
+void
+FleetSimulator::onCloudDone(const Event &e)
+{
+    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    int slot = -1;
+    for (int s = 0; s < 2; ++s)
+        if (t.legs[s].live && t.legs[s].node == -2)
+            slot = s;
+    panic_if(slot < 0, "cloud completion without a live cloud leg");
+    t.legs[slot].live = false;
+    finishTrack(t, FleetOutcome::Offloaded, e.time,
+                t.req.outputTokens, -2);
+}
+
+void
+FleetSimulator::onCrash(const Event &e)
+{
+    FleetNode &n = *nodes_[static_cast<std::size_t>(e.node)];
+    if (!n.up())
+        return; // overlapping explicit schedule; already down
+
+    // Fail over every live leg in deterministic gid order.  The gid
+    // set is the authority: outcome records the node simulated past
+    // the crash instant are in the heap but their legs die here, so
+    // they stale-drop — crash beats lookahead.
+    const std::set<std::int64_t> lost =
+        liveOnNode_[static_cast<std::size_t>(e.node)];
+    liveOnNode_[static_cast<std::size_t>(e.node)].clear();
+    n.crash();
+    push(e.time + e.aux, KReboot, -1, e.node);
+
+    for (const std::int64_t gid : lost) {
+        Track &t = tracks_[static_cast<std::size_t>(gid)];
+        for (int s = 0; s < 2; ++s)
+            if (t.legs[s].live && t.legs[s].node == e.node)
+                t.legs[s].live = false;
+        if (t.terminal)
+            continue;
+        if (t.legs[0].live || t.legs[1].live)
+            continue; // the hedge partner carries on
+        if (e.time + kDeadlineSlack >= t.absDeadline) {
+            finishTrack(t, FleetOutcome::TimedOut, e.time, 0, -1);
+            continue;
+        }
+        ++failovers_;
+        dispatch(t, e.time, e.node, false, true);
+    }
+}
+
+void
+FleetSimulator::onReboot(const Event &e)
+{
+    nodes_[static_cast<std::size_t>(e.node)]->reboot();
+    consecFailures_[static_cast<std::size_t>(e.node)] = 0;
+    cooldownUntil_[static_cast<std::size_t>(e.node)] = 0.0;
+}
+
+void
+FleetSimulator::onHedgeTimer(const Event &e)
+{
+    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    if (t.terminal)
+        return;
+    const bool live0 = t.legs[0].live, live1 = t.legs[1].live;
+    if (live0 == live1)
+        return; // zero or two legs: nothing to duplicate
+    const Leg &leg = live0 ? t.legs[0] : t.legs[1];
+    if (leg.node < 0)
+        return; // cloud legs are not hedged
+    if (e.time + kDeadlineSlack >= t.absDeadline)
+        return;
+    dispatch(t, e.time, leg.node, true, false);
+}
+
+void
+FleetSimulator::onRetryTimer(const Event &e)
+{
+    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    --t.pendingTimers;
+    if (t.terminal || t.legs[0].live || t.legs[1].live)
+        return;
+    if (e.time + kDeadlineSlack >= t.absDeadline) {
+        finishTrack(t, FleetOutcome::TimedOut, e.time, 0, -1);
+        return;
+    }
+    ++retries_;
+    dispatch(t, e.time, e.node, false, false);
+}
+
+void
+FleetSimulator::audit(Seconds now) const
+{
+    std::size_t live_legs = 0;
+    for (std::size_t gid = 0; gid < tracks_.size(); ++gid) {
+        const Track &t = tracks_[gid];
+        if (t.gid < 0)
+            continue; // not yet arrived
+        int live = (t.legs[0].live ? 1 : 0) + (t.legs[1].live ? 1 : 0);
+        live_legs += static_cast<std::size_t>(live);
+        if (t.terminal) {
+            fatal_if(live != 0, "fleet audit: terminal track ", gid,
+                     " still has ", live, " live leg(s)");
+            fatal_if(t.pendingTimers != 0, "fleet audit: terminal "
+                     "track ", gid, " has pending retry timers");
+        } else {
+            fatal_if(live == 0 && t.pendingTimers == 0,
+                     "fleet audit: track ", gid,
+                     " is lost (no live leg, no pending timer)");
+        }
+        for (int s = 0; s < 2; ++s) {
+            const Leg &leg = t.legs[s];
+            if (!leg.live || leg.node < 0)
+                continue;
+            const auto &set =
+                liveOnNode_[static_cast<std::size_t>(leg.node)];
+            fatal_if(set.find(t.gid) == set.end(), "fleet audit: leg "
+                     "of track ", gid, " missing from node ",
+                     leg.node, "'s live set");
+        }
+    }
+    std::size_t on_nodes = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        fatal_if(!nodes_[i]->up() && !liveOnNode_[i].empty(),
+                 "fleet audit: down node ", i, " has live legs");
+        on_nodes += liveOnNode_[i].size();
+    }
+    // Every live edge leg is in exactly one node set (hedges never
+    // share a node, so gid sets count legs exactly).
+    std::size_t edge_legs = 0;
+    for (const Track &t : tracks_)
+        for (int s = 0; s < 2; ++s)
+            edge_legs += (t.legs[s].live && t.legs[s].node >= 0) ? 1 : 0;
+    fatal_if(on_nodes != edge_legs, "fleet audit: node live sets (",
+             on_nodes, ") disagree with live edge legs (", edge_legs,
+             ")");
+    fatal_if(now + kTimeSlack < now_,
+             "fleet audit: time ran backwards");
+}
+
+FleetReport
+FleetSimulator::run(const std::vector<engine::ServerRequest> &trace)
+{
+    fatal_if(trace_ != nullptr, "FleetSimulator::run is single-shot");
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        fatal_if(trace[i].arrival < trace[i - 1].arrival,
+                 "fleet trace arrivals must be sorted");
+    trace_ = &trace;
+    tracks_.assign(trace.size(), Track{});
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (const auto &c : schedules_[i].crashes)
+            push(c.time, KCrash, -1, static_cast<int>(i), 0,
+                 c.rebootAfter);
+        for (const auto &d : schedules_[i].degrades) {
+            push(d.start, KDegradeStart, -1, static_cast<int>(i));
+            push(d.start + d.duration, KDegradeEnd, -1,
+                 static_cast<int>(i));
+        }
+    }
+    if (!trace.empty()) {
+        push(trace[0].arrival, KArrival, 0, -1);
+        nextArrival_ = 1;
+    }
+
+    while (true) {
+        if (heap_.empty()) {
+            const Seconds lo = nextNodeStop();
+            if (lo == kInf)
+                break; // no events, no busy nodes: done
+            syncNodesTo(lo + kDrainQuantum);
+            continue;
+        }
+        // Conservatively advance every busy node to the event horizon
+        // first; outcomes they produce before it enter the heap and
+        // are popped in global time order.
+        syncNodesTo(heap_.front().time);
+        const Event e = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
+        now_ = std::max(now_, e.time);
+
+        switch (e.kind) {
+          case KOutcome:
+            onOutcome(e);
+            break;
+          case KCloudDone:
+            onCloudDone(e);
+            break;
+          case KCrash:
+            onCrash(e);
+            break;
+          case KReboot:
+            onReboot(e);
+            break;
+          case KDegradeStart:
+            ++degradeDepth_[static_cast<std::size_t>(e.node)];
+            break;
+          case KDegradeEnd:
+            --degradeDepth_[static_cast<std::size_t>(e.node)];
+            break;
+          case KHedgeTimer:
+            onHedgeTimer(e);
+            break;
+          case KRetryTimer:
+            onRetryTimer(e);
+            break;
+          case KArrival:
+            onArrival(e);
+            break;
+          default:
+            panic("unknown fleet event kind ", e.kind);
+        }
+        if (cfg_.paranoid)
+            audit(now_);
+    }
+
+    audit(now_);
+    for (std::size_t gid = 0; gid < tracks_.size(); ++gid)
+        fatal_if(!tracks_[gid].terminal, "fleet conservation violated: "
+                 "request ", gid, " never reached a terminal state");
+    return buildReport();
+}
+
+FleetReport
+FleetSimulator::buildReport() const
+{
+    FleetReport r;
+    r.router = cfg_.router;
+    r.arrivals = tracks_.size();
+
+    std::vector<double> latencies;
+    std::size_t deadline_met = 0;
+    Seconds makespan = 0.0;
+    for (const Track &t : tracks_) {
+        makespan = std::max(makespan, t.finish);
+        switch (t.outcome) {
+          case FleetOutcome::Served:
+            ++r.served;
+            break;
+          case FleetOutcome::TimedOut:
+            ++r.timedOut;
+            break;
+          case FleetOutcome::Shed:
+            ++r.shed;
+            break;
+          case FleetOutcome::Offloaded:
+            ++r.offloaded;
+            break;
+        }
+        if (t.outcome == FleetOutcome::Served ||
+            t.outcome == FleetOutcome::Offloaded) {
+            latencies.push_back(t.finish - t.req.arrival);
+            if (t.absDeadline == kInf ||
+                t.finish <= t.absDeadline + kDeadlineSlack)
+                ++deadline_met;
+        }
+    }
+    r.retries = retries_;
+    r.failovers = failovers_;
+    r.hedgesLaunched = hedgesLaunched_;
+    r.hedgeWins = hedgeWins_;
+    r.hedgeWaste = hedgeWaste_;
+    r.cancelledLegs = cancelledLegs_;
+    r.makespan = makespan;
+
+    const std::size_t finished = r.served + r.offloaded;
+    if (makespan > 0.0) {
+        r.throughput = static_cast<double>(finished) / makespan;
+        r.goodput = static_cast<double>(deadline_met) / makespan;
+    }
+    if (r.arrivals > 0)
+        r.deadlineHitRate = static_cast<double>(deadline_met) /
+            static_cast<double>(r.arrivals);
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (const double v : latencies)
+            sum += v;
+        r.meanLatency = sum / static_cast<double>(latencies.size());
+        r.p50Latency = percentile(latencies, 50.0);
+        r.p99Latency = percentile(latencies, 99.0);
+        r.p999Latency = percentile(latencies, 99.9);
+    }
+
+    Seconds total_busy = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const NodeTotals tot = nodes_[i]->totals();
+        NodeSummary s;
+        s.id = static_cast<int>(i);
+        for (const auto &rec : nodes_[i]->served()) {
+            switch (rec.outcome) {
+              case engine::RequestOutcome::Completed:
+                ++s.served;
+                break;
+              case engine::RequestOutcome::Cancelled:
+                ++s.cancelled;
+                break;
+              default:
+                ++s.timedOut;
+                break;
+            }
+        }
+        s.crashes = tot.crashes;
+        s.energy = tot.energy;
+        s.busy = tot.busy;
+        s.generatedTokens = tot.generatedTokens;
+        s.up = nodes_[i]->up();
+        r.nodes.push_back(s);
+        r.totalEnergy += tot.energy;
+        r.generatedTokens += tot.generatedTokens;
+        total_busy += tot.busy;
+    }
+    if (finished > 0)
+        r.energyPerQuery = r.totalEnergy /
+            static_cast<double>(finished);
+    if (r.generatedTokens > 0.0)
+        r.edgeDollars =
+            cost::edgeCost(r.totalEnergy, total_busy,
+                           r.generatedTokens)
+                .totalPerMTok() *
+            r.generatedTokens / 1e6;
+    r.cloudDollars = cloudDollars_;
+    if (finished > 0)
+        r.dollarsPerQuery = (r.edgeDollars + r.cloudDollars) /
+            static_cast<double>(finished);
+    return r;
+}
+
+std::string
+formatFleetReport(const FleetReport &r)
+{
+    std::string out;
+    out += "fleet report (router=";
+    out += routerPolicyName(r.router);
+    out += ")\n";
+    out += "arrivals " + std::to_string(r.arrivals) + " served " +
+        std::to_string(r.served) + " timed-out " +
+        std::to_string(r.timedOut) + " shed " +
+        std::to_string(r.shed) + " offloaded " +
+        std::to_string(r.offloaded) + "\n";
+    out += "retries " + std::to_string(r.retries) + " failovers " +
+        std::to_string(r.failovers) + " hedges " +
+        std::to_string(r.hedgesLaunched) + " (wins " +
+        std::to_string(r.hedgeWins) + ", waste " +
+        std::to_string(r.hedgeWaste) + ") cancelled-legs " +
+        std::to_string(r.cancelledLegs) + "\n";
+    out += "makespan " + g17(r.makespan) + " throughput " +
+        g17(r.throughput) + " goodput " + g17(r.goodput) +
+        " deadline-hit " + g17(r.deadlineHitRate) + "\n";
+    out += "latency mean " + g17(r.meanLatency) + " p50 " +
+        g17(r.p50Latency) + " p99 " + g17(r.p99Latency) + " p999 " +
+        g17(r.p999Latency) + "\n";
+    out += "energy " + g17(r.totalEnergy) + " J (" +
+        g17(r.energyPerQuery) + " J/query) tokens " +
+        g17(r.generatedTokens) + "\n";
+    out += "dollars edge " + g17(r.edgeDollars) + " cloud " +
+        g17(r.cloudDollars) + " (" + g17(r.dollarsPerQuery) +
+        " $/query)\n";
+    for (const NodeSummary &n : r.nodes) {
+        out += "node " + std::to_string(n.id) + ": served " +
+            std::to_string(n.served) + " timed-out " +
+            std::to_string(n.timedOut) + " cancelled " +
+            std::to_string(n.cancelled) + " crashes " +
+            std::to_string(n.crashes) + " energy " + g17(n.energy) +
+            " busy " + g17(n.busy) + " tokens " +
+            g17(n.generatedTokens) + (n.up ? " up" : " down") + "\n";
+    }
+    return out;
+}
+
+} // namespace fleet
+} // namespace edgereason

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Fleet driver: N independent single-node serving stacks behind a
+ * resilient router.  The driver owns the fleet event loop — arrivals,
+ * node crash/reboot and degrade windows, request timeouts with capped
+ * exponential-backoff retry, hedged duplicates for near-deadline
+ * requests, failover of in-flight legs when a node crash-faults, and
+ * an optional priced cloud-offload tier — and produces one
+ * FleetReport.
+ *
+ * Determinism.  All routing and bookkeeping happens on the driver
+ * thread against a (time, kind, seq) min-heap whose order is a pure
+ * function of the configuration; node simulation work fans out with
+ * one parallelChunks chunk per node, and each node's arithmetic is a
+ * pure function of its own submission sequence.  Reports are therefore
+ * bit-identical at any --threads value.
+ *
+ * Synchronization is conservative: before processing a heap event at
+ * time T, every busy node is advanced to T (in stop-on-first-outcome
+ * rounds, so outcomes that happen before T are interleaved into the
+ * heap in global time order).  A node may overshoot T by at most one
+ * scheduling cycle — a macro decode segment is never split — which is
+ * itself deterministic; the documented consequence is that work a
+ * crashed node simulated past the crash instant is discarded by the
+ * fleet (failover wins) while the node's own energy tallies keep it.
+ *
+ * Conservation invariant: every arrival terminates exactly once —
+ * served, timed out, shed, or offloaded.  FleetAuditor checks it (and
+ * the leg-liveness bookkeeping behind it) after every event in
+ * paranoid mode and always at end of run.
+ */
+
+#ifndef EDGEREASON_FLEET_FLEET_HH
+#define EDGEREASON_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/server.hh"
+#include "fleet/node.hh"
+#include "fleet/node_faults.hh"
+#include "fleet/router.hh"
+
+namespace edgereason {
+namespace fleet {
+
+/** Terminal state of one fleet request. */
+enum class FleetOutcome {
+    Served,    //!< an edge leg completed in time
+    TimedOut,  //!< deadline expired with retries exhausted
+    Shed,      //!< no destination would accept it (rejected)
+    Offloaded, //!< completed by the cloud tier
+};
+
+/** @return lowercase outcome name. */
+const char *fleetOutcomeName(FleetOutcome o);
+
+struct FleetConfig
+{
+    /** One spec per node; size() is the fleet size. */
+    std::vector<NodeSpec> nodes;
+    /** Per-node scheduler/executor limits (shared by all nodes). */
+    engine::ServerConfig server;
+    RouterPolicy router = RouterPolicy::RoundRobin;
+
+    /** Derived per-node fault schedules (ignored when
+     *  explicitSchedules is non-empty). */
+    NodeFaultConfig nodeFaults;
+    /** Test hook: exact per-node schedules (size must match nodes). */
+    std::vector<NodeFaultSchedule> explicitSchedules;
+
+    /** Retry budget per request beyond the first attempt. */
+    int maxRetries = 3;
+    /** Base re-dispatch delay; doubles per failed attempt. */
+    Seconds retryBackoff = 0.25;
+    Seconds retryBackoffCap = 8.0;
+    /** Per-try time budget cap (<= 0: the remaining deadline). */
+    Seconds requestTimeout = 0.0;
+
+    /**
+     * Hedging: when a dispatched request's remaining slack falls below
+     * hedgeFraction x its relative deadline, launch a duplicate leg on
+     * another node; the first completion wins and the loser is
+     * cancelled.  0 disables hedging.
+     */
+    double hedgeFraction = 0.0;
+
+    /** Consecutive failures (timeout/shed/crash) that trip a node's
+     *  breaker, draining it from routing for healthCooldown. */
+    int healthFailureThreshold = 3;
+    Seconds healthCooldown = 30.0;
+
+    CloudTier cloud;
+
+    /** Audit the fleet invariants after every event (tests/chaos). */
+    bool paranoid = false;
+    /** When non-empty, per-node incarnation journals land here. */
+    std::string journalDir;
+};
+
+/** Per-node slice of the fleet report. */
+struct NodeSummary
+{
+    int id = 0;
+    std::size_t served = 0;    //!< completed legs
+    std::size_t timedOut = 0;  //!< legs shed/aborted/timed out on-node
+    std::size_t cancelled = 0; //!< legs withdrawn by the driver
+    std::uint64_t crashes = 0;
+    Joules energy = 0.0;
+    Seconds busy = 0.0;
+    double generatedTokens = 0.0;
+    bool up = true; //!< node state at end of run
+};
+
+struct FleetReport
+{
+    RouterPolicy router = RouterPolicy::RoundRobin;
+    std::size_t arrivals = 0;
+    std::size_t served = 0;
+    std::size_t timedOut = 0;
+    std::size_t shed = 0;
+    std::size_t offloaded = 0;
+
+    std::size_t retries = 0;        //!< re-dispatches after failure
+    std::size_t failovers = 0;      //!< legs re-homed off a crash
+    std::size_t hedgesLaunched = 0;
+    std::size_t hedgeWins = 0;      //!< hedge leg finished first
+    std::size_t hedgeWaste = 0;     //!< hedge cancelled without a win
+    std::size_t cancelledLegs = 0;  //!< total withdrawn edge legs
+
+    Seconds makespan = 0.0;
+    double throughput = 0.0;      //!< finished (served+offloaded)/s
+    double goodput = 0.0;         //!< deadline-met served/s
+    double deadlineHitRate = 0.0; //!< deadline-met / arrivals
+
+    Seconds meanLatency = 0.0;
+    Seconds p50Latency = 0.0;
+    Seconds p99Latency = 0.0;
+    Seconds p999Latency = 0.0;
+
+    Joules totalEnergy = 0.0;
+    Joules energyPerQuery = 0.0; //!< per finished request
+    double generatedTokens = 0.0;
+    Dollars edgeDollars = 0.0;  //!< energy + amortized hardware
+    Dollars cloudDollars = 0.0; //!< offload API charges
+    Dollars dollarsPerQuery = 0.0;
+
+    std::vector<NodeSummary> nodes;
+};
+
+/** Render @p r as the canonical fleet report block (goldens diff this
+ *  string; all doubles printed with %.17g so it is bit-exact). */
+std::string formatFleetReport(const FleetReport &r);
+
+class FleetSimulator
+{
+  public:
+    explicit FleetSimulator(FleetConfig cfg);
+
+    /** Run @p trace to completion and return the fleet report. */
+    FleetReport run(const std::vector<engine::ServerRequest> &trace);
+
+  private:
+    struct Leg
+    {
+        int node = -2; //!< node id; -2 = cloud leg
+        std::int64_t local = -1;
+        bool live = false;
+    };
+
+    struct Track
+    {
+        engine::ServerRequest req;
+        std::int64_t gid = -1;
+        Seconds absDeadline = 0.0; //!< +inf when no deadline
+        Leg legs[2];               //!< primary + hedge slot
+        int hedgeSlot = -1;        //!< slot index of the hedge leg
+        int attempts = 0;          //!< dispatches so far
+        int pendingTimers = 0;     //!< scheduled retry timers
+        bool hedgeScheduled = false;
+        bool terminal = false;
+        FleetOutcome outcome = FleetOutcome::Served;
+        Seconds finish = 0.0;
+        Tokens generated = 0;
+        int servedBy = -1; //!< node id, or -2 for the cloud
+    };
+
+    struct Event
+    {
+        Seconds time = 0.0;
+        int kind = 0; //!< EventKind rank (heap tie-break)
+        std::uint64_t seq = 0;
+        std::int64_t gid = -1;   //!< request events
+        int node = -1;           //!< node events / outcome node
+        std::size_t servedIdx = 0; //!< outcome record index
+        Seconds aux = 0.0;       //!< reboot delay / window end
+
+        bool operator>(const Event &o) const
+        {
+            if (time != o.time)
+                return time > o.time;
+            if (kind != o.kind)
+                return kind > o.kind;
+            return seq > o.seq;
+        }
+    };
+
+    enum EventKind {
+        KOutcome = 0,
+        KCloudDone = 1,
+        KCrash = 2,
+        KReboot = 3,
+        KDegradeStart = 4,
+        KDegradeEnd = 5,
+        KHedgeTimer = 6,
+        KRetryTimer = 7,
+        KArrival = 8,
+    };
+
+    void push(Seconds t, int kind, std::int64_t gid, int node,
+              std::size_t served_idx = 0, Seconds aux = 0.0);
+    void syncNodesTo(Seconds target);
+    void drainOutcomes();
+    Seconds nextNodeStop() const;
+
+    void dispatch(Track &t, Seconds now, int exclude, bool is_hedge,
+                  bool is_failover);
+    void scheduleRetry(Track &t, Seconds now, int failed_node);
+    void finishTrack(Track &t, FleetOutcome o, Seconds finish,
+                     Tokens generated, int served_by);
+    void cancelLeg(Track &t, int slot, Seconds now);
+    void noteFailure(int node, Seconds now);
+    void noteSuccess(int node);
+    bool draining(int node, Seconds now) const;
+
+    void onOutcome(const Event &e);
+    void onCloudDone(const Event &e);
+    void onCrash(const Event &e);
+    void onReboot(const Event &e);
+    void onHedgeTimer(const Event &e);
+    void onRetryTimer(const Event &e);
+    void onArrival(const Event &e);
+
+    void audit(Seconds now) const;
+    FleetReport buildReport() const;
+
+    FleetConfig cfg_;
+    std::vector<std::unique_ptr<FleetNode>> nodes_;
+    std::vector<NodeFaultSchedule> schedules_;
+    std::unique_ptr<Router> router_;
+
+    std::vector<Event> heap_; //!< min-heap via std::*_heap
+    std::uint64_t seq_ = 0;
+    Seconds now_ = 0.0;
+
+    const std::vector<engine::ServerRequest> *trace_ = nullptr;
+    std::size_t nextArrival_ = 0;
+
+    std::vector<Track> tracks_;
+    /** Per-node sets of live gids: the authority for leg liveness
+     *  (stale outcome events are dropped against these). */
+    std::vector<std::set<std::int64_t>> liveOnNode_;
+    /** Drained prefix of each node's served() vector. */
+    std::vector<std::size_t> drained_;
+
+    // Health breaker state.
+    std::vector<int> consecFailures_;
+    std::vector<Seconds> cooldownUntil_;
+    // Degrade windows currently in force (count handles overlap from
+    // explicit test schedules).
+    std::vector<int> degradeDepth_;
+
+    // Tallies.
+    std::size_t retries_ = 0;
+    std::size_t failovers_ = 0;
+    std::size_t hedgesLaunched_ = 0;
+    std::size_t hedgeWins_ = 0;
+    std::size_t hedgeWaste_ = 0;
+    std::size_t cancelledLegs_ = 0;
+    Dollars cloudDollars_ = 0.0;
+};
+
+} // namespace fleet
+} // namespace edgereason
+
+#endif // EDGEREASON_FLEET_FLEET_HH

@@ -1,0 +1,244 @@
+#include "fleet/node.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "model/calibration.hh"
+#include "model/zoo.hh"
+
+namespace edgereason {
+namespace fleet {
+
+using engine::kTimeSlack;
+
+FleetNode::FleetNode(int id, const NodeSpec &spec,
+                     const engine::ServerConfig &config,
+                     engine::FaultPlan behavioural,
+                     std::string journal_dir)
+    : id_(id), spec_(spec), cfg_(config), faults_(std::move(behavioural)),
+      journalDir_(std::move(journal_dir))
+{
+    fatal_if(cfg_.scheduler == engine::SchedulerPolicy::Spjf,
+             "fleet nodes do not support the spjf scheduler (no "
+             "fitted latency model)");
+    fatal_if(cfg_.degrade.mode == engine::DegradeMode::Fallback,
+             "fleet nodes do not support fallback degradation (no "
+             "per-node fallback engine)");
+    engine::EngineConfig ec;
+    ec.powerMode = spec_.powerMode;
+    engine_ = std::make_unique<engine::InferenceEngine>(
+        spec_.quantized ? model::quantizedSpec(spec_.model)
+                        : model::spec(spec_.model),
+        model::calibration(spec_.model, spec_.quantized
+                                            ? DType::W4A16
+                                            : DType::FP16),
+        ec);
+    scheduler_ = engine::makeScheduler(cfg_.scheduler);
+    exec_ = std::make_unique<engine::BatchExecutor>(
+        *engine_, nullptr, cfg_, faults_, served_);
+    openJournal();
+}
+
+void
+FleetNode::openJournal()
+{
+    if (journalDir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(journalDir_, ec);
+    fatal_if(ec, "cannot create fleet journal directory ", journalDir_,
+             ": ", ec.message());
+    const std::string path =
+        (std::filesystem::path(journalDir_) /
+         ("node-" + std::to_string(id_) + "-inc" +
+          std::to_string(incarnation_) + ".bin"))
+            .string();
+    // Fingerprint keys the journal to (node, incarnation); fleet
+    // journals are observer-only crash artifacts, never replayed.
+    journal_ = engine::Journal::createFresh(
+        path, 0xF1EE70000000000ull ^
+                  (static_cast<std::uint64_t>(id_) << 32) ^
+                  incarnation_);
+    journal_.emitRunBegin(0, cfg_.scheduler, 0.0);
+    exec_->setJournal(&journal_);
+}
+
+std::int64_t
+FleetNode::submit(const engine::ServerRequest &req, std::int64_t gid)
+{
+    panic_if(!up_, "submit to down fleet node ", id_);
+    panic_if(!pending_.empty() &&
+                 req.arrival < pending_.back().req.arrival,
+             "fleet node ", id_, ": dispatch times must be monotone");
+    const std::int64_t local = submitted_++;
+    gidByLocal_.push_back(gid);
+    pending_.push_back({req, local});
+    return local;
+}
+
+void
+FleetNode::pullArrivals()
+{
+    while (!pending_.empty() &&
+           pending_.front().req.arrival <= exec_->clock() + kTimeSlack) {
+        engine::TrackedRequest t;
+        t.req = pending_.front().req;
+        t.traceIndex = pending_.front().local;
+        st_.haveDeadlines =
+            st_.haveDeadlines || t.req.deadline > 0.0;
+        const engine::ReqId id = st_.enqueueNew(t);
+        (void)id;
+        if (journal_.active())
+            journal_.emitArrival(t, st_.queue.size());
+        pending_.pop_front();
+    }
+}
+
+Seconds
+FleetNode::nextPendingArrival() const
+{
+    return pending_.empty()
+        ? std::numeric_limits<Seconds>::infinity()
+        : pending_.front().req.arrival;
+}
+
+void
+FleetNode::advanceUntil(Seconds target, bool stop_on_outcome)
+{
+    if (!up_)
+        return;
+    while (busy() && exec_->clock() + kTimeSlack < target) {
+        const std::size_t before = served_.size();
+
+        pullArrivals();
+        exec_->pumpEvents(st_);
+
+        if (st_.queue.empty() && !st_.hasInFlight()) {
+            // Idle until the next dispatched arrival.  busy() above
+            // guarantees pending_ is non-empty here, and pullArrivals
+            // left only strictly-future arrivals.
+            exec_->idleTo(pending_.front().req.arrival);
+            pullArrivals();
+            exec_->pumpEvents(st_);
+        }
+
+        if (st_.haveDeadlines)
+            exec_->shedExpiredQueued(st_);
+
+        exec_->beginCycle();
+        exec_->admit(st_, *scheduler_);
+
+        if (!st_.hasInFlight()) {
+            if (st_.queue.empty()) {
+                // Everything drained this cycle (e.g. expired-queue
+                // shed); re-evaluate busy() at the top.
+                if (stop_on_outcome && served_.size() > before)
+                    return;
+                continue;
+            }
+            // Queue fully gated (retry backoff / shrunken KV): sleep
+            // to the next wake-up, never past the sync target.
+            const Seconds bound =
+                std::min(nextPendingArrival(), target);
+            if (bound <= exec_->clock() + kTimeSlack)
+                return; // at the target; the driver re-syncs
+            exec_->sleepUntilWake(st_, bound);
+            if (stop_on_outcome && served_.size() > before)
+                return;
+            continue;
+        }
+
+        exec_->prefillStep(st_);
+        if (st_.haveDeadlines)
+            exec_->abortExpiredPrefills(st_);
+        if (!st_.active.empty()) {
+            if (cfg_.exactSteps)
+                exec_->decodeStep(st_);
+            else
+                exec_->decodeSteps(
+                    st_, std::min(nextPendingArrival(), target),
+                    cfg_.macroHorizonCap);
+        }
+        if (stop_on_outcome && served_.size() > before)
+            return;
+    }
+}
+
+bool
+FleetNode::cancel(std::int64_t local)
+{
+    if (!up_)
+        return false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->local == local) {
+            pending_.erase(it);
+            return true;
+        }
+    }
+    return exec_->cancelByTraceIndex(st_, local);
+}
+
+void
+FleetNode::crash()
+{
+    panic_if(!up_, "double crash of fleet node ", id_);
+    const auto &acc = exec_->accumulators();
+    life_.energy += acc.energy;
+    life_.busy += acc.busy;
+    life_.generatedTokens += acc.generatedTokens;
+    ++life_.crashes;
+    up_ = false;
+    pending_.clear();
+    exec_->setJournal(nullptr);
+    journal_ = engine::Journal();
+    exec_.reset();
+    st_ = engine::ServingState();
+}
+
+void
+FleetNode::reboot()
+{
+    panic_if(up_, "reboot of a live fleet node ", id_);
+    ++incarnation_;
+    st_ = engine::ServingState();
+    exec_ = std::make_unique<engine::BatchExecutor>(
+        *engine_, nullptr, cfg_, faults_, served_);
+    up_ = true;
+    openJournal();
+}
+
+std::int64_t
+FleetNode::gidForLocal(std::int64_t local) const
+{
+    panic_if(local < 0 ||
+                 local >= static_cast<std::int64_t>(gidByLocal_.size()),
+             "fleet node ", id_, ": unknown local index ", local);
+    return gidByLocal_[static_cast<std::size_t>(local)];
+}
+
+NodeTotals
+FleetNode::totals() const
+{
+    NodeTotals t = life_;
+    if (exec_) {
+        const auto &acc = exec_->accumulators();
+        t.energy += acc.energy;
+        t.busy += acc.busy;
+        t.generatedTokens += acc.generatedTokens;
+    }
+    return t;
+}
+
+Seconds
+FleetNode::estimateServiceTime(const engine::ServerRequest &r) const
+{
+    const int batch = std::max(1, st_.inFlight() + 1);
+    const Tokens mid_ctx = r.inputTokens + r.outputTokens / 2;
+    return engine_->prefillLatency(r.inputTokens) +
+        static_cast<double>(r.outputTokens) *
+        engine_->decodeStepLatency(mid_ctx, batch);
+}
+
+} // namespace fleet
+} // namespace edgereason

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * One fleet node: a complete single-node serving stack (scheduler ->
+ * BatchExecutor -> InferenceEngine) wrapped behind a submit/advance
+ * interface the fleet driver can compose.  Where ServingSimulator::run
+ * pumps a fixed trace to completion, a FleetNode receives requests
+ * incrementally from the router (arrival = dispatch time) and advances
+ * its simulation on demand, up to a target instant, so the driver can
+ * keep N nodes conservatively synchronized.
+ *
+ * The node's execution is a pure function of its submission sequence:
+ * every request is identified by a node-local trace index (a monotone
+ * submit counter) mapped to the fleet-global id, and the internal loop
+ * mirrors the single-node arrival pump cycle for cycle, so per-node
+ * arithmetic is bit-identical however the driver chunks its
+ * advanceUntil() calls and whatever thread advances it.
+ *
+ * Crash/reboot: crash() discards the executor, scheduling state, and
+ * pending arrivals (the fleet driver fails the lost requests over);
+ * lifetime accumulator totals are snapshotted first so energy spent by
+ * dead incarnations still counts.  reboot() starts a fresh incarnation
+ * — cold clock, cold thermal state — over the same engine and the
+ * same served-record sink, so node tallies span incarnations.
+ */
+
+#ifndef EDGEREASON_FLEET_NODE_HH
+#define EDGEREASON_FLEET_NODE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hh"
+#include "engine/journal.hh"
+#include "engine/server.hh"
+#include "hw/gpu_spec.hh"
+#include "model/model_id.hh"
+
+namespace edgereason {
+namespace fleet {
+
+/** Identity and knobs of one node (heterogeneous fleets vary all
+ *  three: model, quantization, power mode). */
+struct NodeSpec
+{
+    model::ModelId model = model::ModelId::Dsr1Qwen1_5B;
+    bool quantized = false;
+    hw::PowerMode powerMode = hw::PowerMode::MaxN;
+};
+
+/** Lifetime totals of one node across all incarnations. */
+struct NodeTotals
+{
+    Joules energy = 0.0;
+    Seconds busy = 0.0;
+    double generatedTokens = 0.0;
+    std::uint64_t crashes = 0;
+};
+
+class FleetNode
+{
+  public:
+    /**
+     * Build the node's engine and first executor incarnation.
+     *
+     * @param id  fleet node index (display / tie-breaking)
+     * @param spec  model, quantization level, and power mode
+     * @param config  scheduler limits (spjf is not supported: nodes
+     *   carry no fitted latency model)
+     * @param behavioural  node-scoped behavioural fault plan
+     * @param journal_dir  when non-empty, each incarnation writes an
+     *   observer-only WAL to <dir>/node-<id>-inc<k>.bin
+     */
+    FleetNode(int id, const NodeSpec &spec,
+              const engine::ServerConfig &config,
+              engine::FaultPlan behavioural,
+              std::string journal_dir = {});
+
+    int id() const { return id_; }
+    const NodeSpec &spec() const { return spec_; }
+    bool up() const { return up_; }
+    /** @return the node's simulated clock (0 while down). */
+    Seconds clock() const { return exec_ ? exec_->clock() : 0.0; }
+    /** @return true if the node has any work (pending, queued, or in
+     *  flight); a down node is never busy. */
+    bool busy() const
+    {
+        return up_ && (!pending_.empty() || !st_.queue.empty() ||
+                       st_.hasInFlight());
+    }
+    /** @return dispatched-but-unqueued plus queued request count. */
+    std::size_t backlog() const
+    {
+        return pending_.size() + st_.queue.size();
+    }
+    int inFlight() const { return st_.inFlight(); }
+    /** @return true while the node's thermal governor is derated. */
+    bool throttled() const { return exec_ && exec_->throttled(); }
+
+    /**
+     * Dispatch one request leg to this node.  @p req.arrival must be
+     * the fleet dispatch time (>= every earlier submission); the
+     * deadline field carries the remaining time budget the node may
+     * spend (the node's own deadline machinery then sheds, aborts, or
+     * times the leg out, which is how fleet-level per-try timeouts
+     * work).  @return the node-local trace index of the leg.
+     */
+    std::int64_t submit(const engine::ServerRequest &req,
+                        std::int64_t gid);
+
+    /**
+     * Run scheduling cycles until the clock reaches @p target, the
+     * node runs out of work, or (with @p stop_on_outcome) at least one
+     * new served record was produced.  The clock may overshoot
+     * @p target by up to one cycle (a macro decode segment or prefill
+     * chunk is never split); the overshoot is deterministic.
+     */
+    void advanceUntil(Seconds target, bool stop_on_outcome);
+
+    /**
+     * Cancel the live leg with node-local index @p local (hedge loser
+     * or failover duplicate).  Pending legs vanish without a record;
+     * queued and in-flight legs retire as RequestOutcome::Cancelled at
+     * the node's current clock.  @return false when the leg already
+     * retired (its outcome record is in flight to the driver).
+     */
+    bool cancel(std::int64_t local);
+
+    /** Kill the node: snapshot lifetime totals, then discard the
+     *  executor, scheduling state, and pending arrivals.  The caller
+     *  owns failing over the lost requests. */
+    void crash();
+
+    /** Start a fresh incarnation (cold clock and thermal state). */
+    void reboot();
+
+    /** @return the fleet-global id of node-local leg @p local. */
+    std::int64_t gidForLocal(std::int64_t local) const;
+
+    /** Per-leg records across all incarnations, in retire order; the
+     *  driver drains the tail, tests inspect outcomes. */
+    const std::vector<engine::ServedRequest> &served() const
+    {
+        return served_;
+    }
+
+    /** @return lifetime totals (dead incarnations + the live one). */
+    NodeTotals totals() const;
+
+    /**
+     * Optimistic service-time estimate for @p r at the current batch
+     * level, from the engine's noiseless query surface (deadline- and
+     * cost-aware routing).
+     */
+    Seconds estimateServiceTime(const engine::ServerRequest &r) const;
+
+  private:
+    struct Pending
+    {
+        engine::ServerRequest req;
+        std::int64_t local = -1;
+    };
+
+    void pullArrivals();
+    Seconds nextPendingArrival() const;
+    void openJournal();
+
+    int id_;
+    NodeSpec spec_;
+    engine::ServerConfig cfg_;
+    engine::FaultPlan faults_;
+    std::string journalDir_;
+    std::unique_ptr<engine::InferenceEngine> engine_;
+    std::unique_ptr<engine::Scheduler> scheduler_;
+    std::vector<engine::ServedRequest> served_;
+    engine::ServingState st_;
+    std::unique_ptr<engine::BatchExecutor> exec_;
+    engine::Journal journal_;
+
+    std::deque<Pending> pending_;
+    std::vector<std::int64_t> gidByLocal_;
+    std::int64_t submitted_ = 0;
+    bool up_ = true;
+    std::uint64_t incarnation_ = 0;
+
+    // Accumulator totals of dead incarnations (crash() snapshots).
+    NodeTotals life_;
+};
+
+} // namespace fleet
+} // namespace edgereason
+
+#endif // EDGEREASON_FLEET_NODE_HH

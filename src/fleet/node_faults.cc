@@ -1,0 +1,86 @@
+#include "fleet/node_faults.hh"
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgereason {
+namespace fleet {
+
+namespace {
+
+Seconds
+exponential(Rng &rng, double mean)
+{
+    return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+} // namespace
+
+std::vector<NodeFaultSchedule>
+deriveNodeFaultPlans(const NodeFaultConfig &cfg, std::size_t n)
+{
+    fatal_if(cfg.horizon <= 0.0, "node-fault horizon must be positive");
+    fatal_if(cfg.crashesPerHour < 0.0 || cfg.degradesPerHour < 0.0,
+             "node-fault rates must be non-negative");
+    fatal_if(cfg.crashesPerHour > 0.0 && cfg.meanRebootSeconds <= 0.0,
+             "mean reboot length must be positive");
+    fatal_if(cfg.degradesPerHour > 0.0 && cfg.meanDegradeSeconds <= 0.0,
+             "mean degrade length must be positive");
+    fatal_if(cfg.behavioural.crash.enabled(),
+             "fleet nodes cannot carry a single-node crash schedule "
+             "(node crashes are fleet-level: NodeFaultConfig::"
+             "crashesPerHour)");
+
+    std::vector<NodeFaultSchedule> plans;
+    plans.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string prefix = "fleet/node" + std::to_string(i);
+        NodeFaultSchedule s;
+
+        if (cfg.crashesPerHour > 0.0) {
+            Rng rng(cfg.seed, prefix + "/node-crash");
+            const double gap = 3600.0 / cfg.crashesPerHour;
+            Seconds t = 0.0;
+            while (true) {
+                t += exponential(rng, gap);
+                const Seconds dur =
+                    exponential(rng, cfg.meanRebootSeconds);
+                if (t >= cfg.horizon)
+                    break;
+                s.crashes.push_back({t, dur});
+                // The node cannot crash while down: the next gap
+                // starts after the reboot.
+                t += dur;
+            }
+        }
+
+        if (cfg.degradesPerHour > 0.0) {
+            Rng rng(cfg.seed, prefix + "/degrade");
+            const double gap = 3600.0 / cfg.degradesPerHour;
+            Seconds t = 0.0;
+            while (true) {
+                t += exponential(rng, gap);
+                const Seconds dur =
+                    exponential(rng, cfg.meanDegradeSeconds);
+                if (t >= cfg.horizon)
+                    break;
+                s.degrades.push_back({t, dur});
+                t += dur; // windows never overlap
+            }
+        }
+
+        engine::FaultConfig b = cfg.behavioural;
+        b.seed = cfg.seed;
+        b.streamPrefix = prefix;
+        b.crash = engine::CrashSchedule{};
+        s.behavioural = engine::FaultPlan(b);
+        plans.push_back(std::move(s));
+    }
+    return plans;
+}
+
+} // namespace fleet
+} // namespace edgereason

@@ -1,0 +1,276 @@
+#include "fleet/router.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "fleet/node.hh"
+#include "hw/gpu_spec.hh"
+
+namespace edgereason {
+namespace fleet {
+
+const char *
+routerPolicyName(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::RoundRobin:
+        return "rr";
+      case RouterPolicy::LeastLoaded:
+        return "least";
+      case RouterPolicy::DeadlineAware:
+        return "deadline";
+      case RouterPolicy::CostAware:
+        return "cost";
+    }
+    panic("unknown router policy");
+}
+
+std::optional<RouterPolicy>
+routerPolicyFromName(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return RouterPolicy::RoundRobin;
+    if (name == "least" || name == "least-loaded")
+        return RouterPolicy::LeastLoaded;
+    if (name == "deadline" || name == "deadline-aware")
+        return RouterPolicy::DeadlineAware;
+    if (name == "cost" || name == "cost-aware")
+        return RouterPolicy::CostAware;
+    return std::nullopt;
+}
+
+std::vector<int>
+Router::candidates(const std::vector<NodeView> &views, int exclude)
+{
+    const auto collect = [&](bool allow_draining, bool allow_excluded) {
+        std::vector<int> ids;
+        for (std::size_t i = 0; i < views.size(); ++i) {
+            if (!views[i].up)
+                continue;
+            if (!allow_draining && views[i].draining)
+                continue;
+            if (!allow_excluded && static_cast<int>(i) == exclude)
+                continue;
+            ids.push_back(static_cast<int>(i));
+        }
+        return ids;
+    };
+    // Progressive relaxation: drain and failure-avoidance are
+    // preferences, not availability losses.
+    auto ids = collect(false, false);
+    if (ids.empty())
+        ids = collect(true, false);
+    if (ids.empty())
+        ids = collect(true, true);
+    return ids;
+}
+
+namespace {
+
+/** Backlog-scaled predicted finish of @p req on node @p i: the
+ *  optimistic service estimate stretched by the queue ahead of it. */
+Seconds
+predictedFinish(const engine::ServerRequest &req, Seconds now,
+                const NodeView &v)
+{
+    const Seconds est = v.node->estimateServiceTime(req);
+    return now +
+        est * (1.0 + static_cast<double>(v.node->backlog()));
+}
+
+class RoundRobinRouter final : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::RoundRobin;
+    }
+
+    RouteDecision route(const engine::ServerRequest &req, Seconds now,
+                        Seconds abs_deadline,
+                        const std::vector<NodeView> &views,
+                        const CloudTier &cloud, int exclude) override
+    {
+        (void)req;
+        (void)now;
+        (void)abs_deadline;
+        const auto ids = candidates(views, exclude);
+        if (ids.empty())
+            return cloud.enabled ? RouteDecision::toCloud()
+                                 : RouteDecision::reject();
+        // First candidate at/after the cursor in cyclic id order.
+        int pick = ids.front();
+        for (const int i : ids) {
+            if (i >= cursor_) {
+                pick = i;
+                break;
+            }
+        }
+        cursor_ = (pick + 1) % static_cast<int>(views.size());
+        return RouteDecision::toNode(pick);
+    }
+
+  private:
+    int cursor_ = 0;
+};
+
+class LeastLoadedRouter final : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::LeastLoaded;
+    }
+
+    RouteDecision route(const engine::ServerRequest &req, Seconds now,
+                        Seconds abs_deadline,
+                        const std::vector<NodeView> &views,
+                        const CloudTier &cloud, int exclude) override
+    {
+        (void)req;
+        (void)now;
+        (void)abs_deadline;
+        const auto ids = candidates(views, exclude);
+        if (ids.empty())
+            return cloud.enabled ? RouteDecision::toCloud()
+                                 : RouteDecision::reject();
+        int best = ids.front();
+        std::size_t best_load =
+            views[static_cast<std::size_t>(best)].node->backlog() +
+            static_cast<std::size_t>(
+                views[static_cast<std::size_t>(best)].node->inFlight());
+        for (const int i : ids) {
+            const auto &v = views[static_cast<std::size_t>(i)];
+            const std::size_t load = v.node->backlog() +
+                static_cast<std::size_t>(v.node->inFlight());
+            if (load < best_load) {
+                best = i;
+                best_load = load;
+            }
+        }
+        return RouteDecision::toNode(best);
+    }
+};
+
+class DeadlineAwareRouter final : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::DeadlineAware;
+    }
+
+    RouteDecision route(const engine::ServerRequest &req, Seconds now,
+                        Seconds abs_deadline,
+                        const std::vector<NodeView> &views,
+                        const CloudTier &cloud, int exclude) override
+    {
+        const auto ids = candidates(views, exclude);
+        if (ids.empty())
+            return cloud.enabled ? RouteDecision::toCloud()
+                                 : RouteDecision::reject();
+        int best = -1;
+        Seconds best_finish =
+            std::numeric_limits<Seconds>::infinity();
+        for (const int i : ids) {
+            const Seconds f = predictedFinish(
+                req, now, views[static_cast<std::size_t>(i)]);
+            if (f < best_finish) {
+                best = i;
+                best_finish = f;
+            }
+        }
+        // Edge-infeasible deadline the cloud can still make: offload.
+        if (cloud.enabled &&
+            abs_deadline <
+                std::numeric_limits<Seconds>::infinity() &&
+            best_finish > abs_deadline + engine::kDeadlineSlack &&
+            now + cloud.latency(req) <=
+                abs_deadline + engine::kDeadlineSlack)
+            return RouteDecision::toCloud();
+        return RouteDecision::toNode(best);
+    }
+};
+
+class CostAwareRouter final : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::CostAware;
+    }
+
+    RouteDecision route(const engine::ServerRequest &req, Seconds now,
+                        Seconds abs_deadline,
+                        const std::vector<NodeView> &views,
+                        const CloudTier &cloud, int exclude) override
+    {
+        const auto ids = candidates(views, exclude);
+        if (ids.empty())
+            return cloud.enabled ? RouteDecision::toCloud()
+                                 : RouteDecision::reject();
+
+        const bool cloud_feasible = cloud.enabled &&
+            now + cloud.latency(req) <=
+                abs_deadline + engine::kDeadlineSlack;
+
+        // Cheapest deadline-feasible edge candidate; energy proxy =
+        // optimistic service time x the node's power-mode cap.
+        int best_feasible = -1;
+        double best_cost =
+            std::numeric_limits<double>::infinity();
+        int best_any = -1;
+        Seconds best_finish =
+            std::numeric_limits<Seconds>::infinity();
+        std::size_t min_backlog =
+            std::numeric_limits<std::size_t>::max();
+        for (const int i : ids) {
+            const auto &v = views[static_cast<std::size_t>(i)];
+            const Seconds f = predictedFinish(req, now, v);
+            if (f < best_finish) {
+                best_any = i;
+                best_finish = f;
+            }
+            min_backlog = std::min(min_backlog, v.node->backlog());
+            if (f <= abs_deadline + engine::kDeadlineSlack) {
+                const double cost =
+                    v.node->estimateServiceTime(req) *
+                    hw::powerModeCap(v.node->spec().powerMode);
+                if (cost < best_cost) {
+                    best_feasible = i;
+                    best_cost = cost;
+                }
+            }
+        }
+        // Saturated edge: every candidate is buried; pay the cloud.
+        if (cloud.enabled && min_backlog >= cloud.saturationBacklog)
+            return RouteDecision::toCloud();
+        if (best_feasible >= 0)
+            return RouteDecision::toNode(best_feasible);
+        if (cloud_feasible &&
+            abs_deadline < std::numeric_limits<Seconds>::infinity())
+            return RouteDecision::toCloud();
+        return RouteDecision::toNode(best_any);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeRouter(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>();
+      case RouterPolicy::LeastLoaded:
+        return std::make_unique<LeastLoadedRouter>();
+      case RouterPolicy::DeadlineAware:
+        return std::make_unique<DeadlineAwareRouter>();
+      case RouterPolicy::CostAware:
+        return std::make_unique<CostAwareRouter>();
+    }
+    panic("unknown router policy");
+}
+
+} // namespace fleet
+} // namespace edgereason

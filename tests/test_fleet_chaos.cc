@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Randomized fleet chaos sweep.  Each seed generates a distinct
+ * fleet — random node count, heterogeneous power modes, random
+ * crash/degrade schedules, random routing policy, hedging and
+ * timeouts — and runs it with the paranoid fleet auditor checking the
+ * conservation invariant after every event.  The run itself fatals if
+ * any request is lost; on a gtest failure the per-node write-ahead
+ * journals are left under ./fleet-chaos-artifacts/seed-<N>/ (the CI
+ * fleet-chaos job uploads that directory) so the failing fleet can be
+ * inspected offline:
+ *
+ *   edgereason replay fleet-chaos-artifacts/seed-<N>/node-0-inc0.bin --dump
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "engine/server.hh"
+#include "fleet/fleet.hh"
+#include "hw/gpu_spec.hh"
+#include "model/model_id.hh"
+
+namespace er = edgereason;
+using namespace er::fleet;
+using er::engine::ServingSimulator;
+
+TEST(FleetChaos, RandomFleetsConserveEveryRequest)
+{
+    const std::filesystem::path artifacts = "fleet-chaos-artifacts";
+    std::filesystem::remove_all(artifacts);
+
+    const RouterPolicy policies[] = {
+        RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+        RouterPolicy::DeadlineAware, RouterPolicy::CostAware};
+    const er::hw::PowerMode modes[] = {
+        er::hw::PowerMode::MaxN, er::hw::PowerMode::W50,
+        er::hw::PowerMode::W30, er::hw::PowerMode::W15};
+
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        SCOPED_TRACE("fleet chaos seed " + std::to_string(seed));
+        er::Rng dice(seed, "fleet-chaos/dice");
+
+        const int n = 2 + static_cast<int>(dice.uniform() * 4.0);
+        FleetConfig fc;
+        for (int i = 0; i < n; ++i) {
+            NodeSpec s;
+            s.model = er::model::ModelId::DeepScaleR1_5B;
+            s.powerMode =
+                modes[static_cast<int>(dice.uniform() * 4.0) % 4];
+            fc.nodes.push_back(s);
+        }
+        fc.server.maxBatch = 4 + static_cast<int>(dice.uniform() * 8.0);
+        fc.router = policies[seed % 4];
+        fc.maxRetries = 2 + static_cast<int>(dice.uniform() * 3.0);
+        fc.retryBackoff = 0.25;
+        fc.hedgeFraction = seed % 2 ? 0.4 : 0.0;
+        fc.requestTimeout = seed % 3 == 0 ? 20.0 : 0.0;
+        fc.paranoid = true;
+        fc.journalDir =
+            (artifacts / ("seed-" + std::to_string(seed))).string();
+
+        // Aggressive node trouble: expected several crashes and
+        // degrade windows inside the active span of every run.
+        fc.nodeFaults.seed = seed * 7919;
+        fc.nodeFaults.horizon = 300.0;
+        fc.nodeFaults.crashesPerHour = 120.0 + 240.0 * dice.uniform();
+        fc.nodeFaults.meanRebootSeconds = 5.0 + 20.0 * dice.uniform();
+        fc.nodeFaults.degradesPerHour = 60.0 * dice.uniform();
+        fc.nodeFaults.meanDegradeSeconds = 15.0;
+
+        er::Rng traceRng(seed, "fleet-chaos/trace");
+        auto trace = ServingSimulator::poissonTrace(
+            traceRng, 30, 0.8 + 1.2 * dice.uniform(), 96, 256);
+        if (seed % 2) {
+            for (auto &r : trace)
+                r.deadline = 90.0;
+        }
+
+        // run() fatals on any conservation violation (a request that
+        // never reaches a terminal state, a leg the bookkeeping
+        // lost); the tallies must also reconcile exactly.
+        FleetSimulator sim(fc);
+        const auto rep = sim.run(trace);
+        EXPECT_EQ(rep.served + rep.timedOut + rep.shed + rep.offloaded,
+                  rep.arrivals);
+        EXPECT_EQ(rep.arrivals, trace.size());
+        // With failover + retry enabled and no cloud, every request
+        // must end on an edge node or in a deliberate terminal state
+        // — never vanish.  Crash-heavy fleets must actually exercise
+        // the failover path.
+        if (rep.nodes.size() > 1) {
+            std::uint64_t crashes = 0;
+            for (const auto &node : rep.nodes)
+                crashes += node.crashes;
+            EXPECT_GT(crashes, 0u);
+        }
+    }
+
+    // A green sweep cleans up its journals; failures keep them for
+    // the CI artifact upload.
+    if (!::testing::Test::HasFailure())
+        std::filesystem::remove_all(artifacts);
+}

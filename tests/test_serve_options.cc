@@ -270,3 +270,94 @@ TEST(ServeOptions, ParsesExactStepsFlag)
     EXPECT_TRUE(o2->exactSteps);
     EXPECT_DOUBLE_EQ(o2->qps, 2.0);
 }
+
+TEST(ServeOptions, RejectsZeroCountFlags)
+{
+    // Zero replications/shards/fleet are nonsense; each must be a
+    // clear parse error, not a silently-degenerate run.
+    std::string err;
+    EXPECT_FALSE(parse({"--replications", "0"}, &err).has_value());
+    EXPECT_NE(err.find("--replications"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--shards", "0"}, &err).has_value());
+    EXPECT_NE(err.find("--shards"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "0"}, &err).has_value());
+    EXPECT_NE(err.find("--fleet"), std::string::npos) << err;
+}
+
+TEST(ServeOptions, ParsesFleetFlags)
+{
+    std::string err;
+    const auto o = parse(
+        {"--fleet", "4", "--router", "deadline", "--hetero",
+         "--node-faults", "--node-crash-rate", "6", "--node-reboot",
+         "12.5", "--node-degrade-rate", "3", "--node-degrade-mean",
+         "45", "--retry", "5", "--retry-backoff", "0.5",
+         "--request-timeout", "20", "--hedge", "0.25", "--cloud",
+         "o4-mini", "--cloud-rtt", "0.2", "--fleet-journals", "/tmp/j"},
+        &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->fleet, 4);
+    EXPECT_EQ(o->router, er::fleet::RouterPolicy::DeadlineAware);
+    EXPECT_TRUE(o->hetero);
+    EXPECT_TRUE(o->nodeFaults);
+    EXPECT_DOUBLE_EQ(o->nodeCrashRate, 6.0);
+    EXPECT_DOUBLE_EQ(o->nodeReboot, 12.5);
+    EXPECT_DOUBLE_EQ(o->nodeDegradeRate, 3.0);
+    EXPECT_DOUBLE_EQ(o->nodeDegradeMean, 45.0);
+    EXPECT_EQ(o->retry, 5);
+    EXPECT_DOUBLE_EQ(o->retryBackoff, 0.5);
+    EXPECT_DOUBLE_EQ(o->requestTimeout, 20.0);
+    EXPECT_DOUBLE_EQ(o->hedge, 0.25);
+    EXPECT_EQ(o->cloud, "o4-mini");
+    EXPECT_DOUBLE_EQ(o->cloudRtt, 0.2);
+    EXPECT_EQ(o->fleetJournals, "/tmp/j");
+}
+
+TEST(ServeOptions, RejectsMalformedFleetValues)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--router", "zigzag"}, &err)
+                     .has_value());
+    EXPECT_NE(err.find("--router"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--cloud", "gpt-99"}, &err)
+                     .has_value());
+    EXPECT_NE(err.find("--cloud"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--hedge", "1.5"}, &err)
+                     .has_value());
+    EXPECT_NE(err.find("--hedge"), std::string::npos) << err;
+}
+
+TEST(ServeOptions, FleetExcludesSingleRunMachinery)
+{
+    // The fleet path owns faults, durability, and routing; the
+    // single-run flags must not silently combine with it.
+    std::string err;
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--replications", "4"}, &err)
+            .has_value());
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--faults"}, &err).has_value());
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--checkpoint-dir", "/tmp/x"}, &err)
+            .has_value());
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--crash-rate", "1",
+               "--checkpoint-dir", "/tmp/x"}, &err)
+            .has_value());
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--scheduler", "spjf"}, &err)
+            .has_value());
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--degrade", "fallback"}, &err)
+            .has_value());
+}
+
+TEST(ServeOptions, FleetFlagsNeedFleet)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--router", "least"}, &err).has_value());
+    EXPECT_NE(err.find("--fleet"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--hedge", "0.5"}, &err).has_value());
+    EXPECT_FALSE(parse({"--cloud", "o4-mini"}, &err).has_value());
+    EXPECT_FALSE(parse({"--node-crash-rate", "3"}, &err).has_value());
+}

@@ -50,8 +50,11 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
+#include "cost/cost_model.hh"
 #include "engine/journal.hh"
 #include "engine/server.hh"
+#include "fleet/fleet.hh"
+#include "hw/gpu_spec.hh"
 #include "model/zoo.hh"
 
 using namespace edgereason;
@@ -410,6 +413,106 @@ printServingReport(const engine::ServingReport &rep, bool show_outcomes,
                     100.0 * rep.throttleResidency);
 }
 
+void
+printFleetReport(const fleet::FleetReport &rep)
+{
+    std::printf("  outcomes   : %zu served, %zu timed out, %zu shed, "
+                "%zu offloaded (of %zu)\n",
+                rep.served, rep.timedOut, rep.shed, rep.offloaded,
+                rep.arrivals);
+    std::printf("  resilience : %zu retries, %zu failovers, %zu "
+                "hedges (%zu wins, %zu waste), %zu cancelled legs\n",
+                rep.retries, rep.failovers, rep.hedgesLaunched,
+                rep.hedgeWins, rep.hedgeWaste, rep.cancelledLegs);
+    std::printf("  goodput    : %.3f QPS good / %.3f QPS total, "
+                "deadline hit rate %.0f%%\n",
+                rep.goodput, rep.throughput,
+                100.0 * rep.deadlineHitRate);
+    std::printf("  latency    : mean %.2f s, p50 %.2f s, p99 %.2f s, "
+                "p99.9 %.2f s\n",
+                rep.meanLatency, rep.p50Latency, rep.p99Latency,
+                rep.p999Latency);
+    std::printf("  energy     : %.0f J total, %.1f J/query\n",
+                rep.totalEnergy, rep.energyPerQuery);
+    std::printf("  dollars    : $%.4f edge + $%.4f cloud = $%.6f "
+                "per query\n",
+                rep.edgeDollars, rep.cloudDollars, rep.dollarsPerQuery);
+    for (const auto &n : rep.nodes)
+        std::printf("  node %2d    : %zu served, %zu timed out, %zu "
+                    "cancelled, %llu crashes, %.0f J, %s\n",
+                    n.id, n.served, n.timedOut, n.cancelled,
+                    static_cast<unsigned long long>(n.crashes),
+                    n.energy, n.up ? "up" : "down");
+}
+
+int
+cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
+{
+    const auto id = model::modelIdFromName(o.model);
+    static const hw::PowerMode kHetero[] = {
+        hw::PowerMode::MaxN, hw::PowerMode::W50, hw::PowerMode::W30,
+        hw::PowerMode::W15};
+
+    fleet::FleetConfig fc;
+    fc.server = cfg;
+    fc.router = o.router;
+    for (long long i = 0; i < o.fleet; ++i) {
+        fleet::NodeSpec spec;
+        spec.model = id;
+        spec.quantized = o.quant;
+        if (o.hetero)
+            spec.powerMode = kHetero[static_cast<std::size_t>(i) % 4];
+        fc.nodes.push_back(spec);
+    }
+    fc.maxRetries = static_cast<int>(o.retry);
+    fc.retryBackoff = o.retryBackoff;
+    fc.requestTimeout = o.requestTimeout;
+    fc.hedgeFraction = o.hedge;
+    fc.paranoid = o.paranoid;
+    fc.journalDir = o.fleetJournals;
+    if (!o.cloud.empty()) {
+        fc.cloud.enabled = true;
+        fc.cloud.price = o.cloud == "o4-mini" ? cost::o4Mini()
+                                              : cost::o1Preview();
+        fc.cloud.rtt = o.cloudRtt;
+    }
+
+    Rng rng(o.seed, "cli-serve");
+    auto trace = engine::ServingSimulator::poissonTrace(
+        rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+        o.meanOut);
+    for (auto &r : trace)
+        r.deadline = o.deadline;
+
+    fc.nodeFaults.seed = static_cast<std::uint64_t>(o.faultSeed);
+    fc.nodeFaults.horizon = trace.back().arrival + 3600.0;
+    fc.nodeFaults.crashesPerHour = o.nodeCrashRate;
+    fc.nodeFaults.meanRebootSeconds = o.nodeReboot;
+    fc.nodeFaults.degradesPerHour = o.nodeDegradeRate;
+    fc.nodeFaults.meanDegradeSeconds = o.nodeDegradeMean;
+    if (o.nodeFaults) {
+        auto &b = fc.nodeFaults.behavioural;
+        b.horizon = fc.nodeFaults.horizon;
+        b.thermal = true;
+        b.thermalSpec.rThermal = 2.5;
+        b.thermalSpec.cThermal = 50.0;
+        b.thermalSpec.ambientC = o.ambient;
+        b.thermalSpec.initialC = b.thermalSpec.ambientC;
+        b.brownoutsPerHour = o.brownoutRate;
+        b.kvShrinksPerHour = o.kvShrinkRate;
+    }
+
+    fleet::FleetSimulator sim(fc);
+    const auto rep = sim.run(trace);
+    std::printf("served %zu requests on a %lld-node fleet of %s "
+                "(router=%s, scheduler=%s, offered %.3f QPS):\n",
+                trace.size(), o.fleet, o.model.c_str(),
+                fleet::routerPolicyName(rep.router),
+                engine::schedulerPolicyName(cfg.scheduler), o.qps);
+    printFleetReport(rep);
+    return 0;
+}
+
 int
 cmdServe(const std::vector<std::string> &raw)
 {
@@ -435,6 +538,8 @@ cmdServe(const std::vector<std::string> &raw)
     cfg.degrade.mode = o.degrade;
     cfg.degrade.budget = strategy::TokenPolicy::hard(o.degradeBudget);
     cfg.exactSteps = o.exactSteps;
+    if (o.fleet >= 1)
+        return cmdServeFleet(o, cfg);
     engine::ServingSimulator srv(eng, cfg);
     if (cfg.degrade.mode == engine::DegradeMode::Fallback) {
         // Default fallback: the quantized build of the primary model.
