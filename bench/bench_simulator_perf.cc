@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "accuracy/simulate.hh"
+#include "accuracy/trace_gen.hh"
 #include "common/thread_pool.hh"
 #include "core/edge_reasoning.hh"
 #include "core/pareto.hh"
@@ -250,6 +251,47 @@ BM_ServingDecodeColumnar(benchmark::State &state)
     state.counters["sim_tokens"] = generated;
 }
 BENCHMARK(BM_ServingDecodeColumnar);
+
+// --- Shared-prefix KV reuse (DESIGN.md §13) --------------------------
+
+void
+BM_PrefixHitServing(benchmark::State &state)
+{
+    // Session workload against the radix prefix index: 32 overlapping
+    // chat sessions re-send their growing history each turn, so most
+    // admissions walk the index, attach shared blocks, and publish
+    // fresh ones at retire.  Guards the cost of the prefix-enabled
+    // serving path (paged KV + chain-hash index + eviction) end to
+    // end.
+    auto &eng = sharedEngine();
+    static const auto trace = [] {
+        er::acc::SessionTraceConfig sc;
+        sc.sessions = 32;
+        sc.turnsPerSession = 4;
+        sc.sessionQps = 1.0;
+        sc.meanTurnGap = 15.0;
+        sc.systemPromptTokens = 512;
+        er::Rng rng(77, "bench-prefix-serving");
+        return er::acc::generateSessionTrace(sc, rng);
+    }();
+    er::engine::ServerConfig cfg;
+    cfg.maxBatch = 32;
+    cfg.prefixCache.enabled = true;
+    double generated = 0.0;
+    double hit_rate = 0.0;
+    for (auto _ : state) {
+        er::engine::ServingSimulator srv(eng, cfg);
+        auto rep = srv.run(trace);
+        generated = rep.generatedTokens;
+        hit_rate = rep.prefixHitRate;
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+    state.counters["hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_PrefixHitServing);
 
 void
 BM_ShardedTraceScaling(benchmark::State &state)

@@ -1,6 +1,8 @@
 #include "accuracy/trace_gen.hh"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "engine/tokenizer.hh"
@@ -89,6 +91,123 @@ generateTrace(const std::string &question,
 
     trace.tokens = static_cast<Tokens>(
         tok.countTokens(trace.fullText()));
+    return trace;
+}
+
+namespace {
+
+/** One block's chain hash: mixes the previous block's chain hash with
+ *  every token symbol in the block, so equal hashes imply equal full
+ *  prefixes (FNV-1a over the 8-byte symbols, seeded by the chain). */
+std::uint64_t
+chainBlockHash(std::uint64_t prev, const std::uint64_t *tokens,
+               Tokens count)
+{
+    std::uint64_t h = prev ^ 0xcbf29ce484222325ULL;
+    for (Tokens i = 0; i < count; ++i) {
+        std::uint64_t t = tokens[i];
+        for (int b = 0; b < 8; ++b) {
+            h ^= (t >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+/** Chain hashes of every *full* block of @p context. */
+std::vector<std::uint64_t>
+chainHashes(const std::vector<std::uint64_t> &context, Tokens block)
+{
+    std::vector<std::uint64_t> out;
+    std::uint64_t prev = 0x5edfe5a1u; // chain seed for block 0
+    const std::size_t full =
+        context.size() / static_cast<std::size_t>(block);
+    out.reserve(full);
+    for (std::size_t i = 0; i < full; ++i) {
+        prev = chainBlockHash(
+            prev, context.data() + i * static_cast<std::size_t>(block),
+            block);
+        out.push_back(prev);
+    }
+    return out;
+}
+
+Tokens
+drawTokens(Rng &rng, double mean, double cv, Tokens floor)
+{
+    return std::max<Tokens>(floor, static_cast<Tokens>(std::llround(
+        rng.logNormalMeanStd(mean, cv * mean))));
+}
+
+} // namespace
+
+std::vector<engine::ServerRequest>
+generateSessionTrace(const SessionTraceConfig &cfg, Rng &rng)
+{
+    fatal_if(cfg.sessions == 0, "session trace needs >= 1 session");
+    fatal_if(cfg.turnsPerSession == 0,
+             "session trace needs >= 1 turn per session");
+    fatal_if(cfg.sessionQps <= 0.0, "session qps must be positive");
+    fatal_if(cfg.meanTurnGap <= 0.0, "turn gap must be positive");
+    fatal_if(cfg.blockTokens <= 0, "block tokens must be positive");
+
+    // The system prompt is symbol-identical across every session —
+    // that is what makes its blocks shareable in the radix index.
+    std::vector<std::uint64_t> system;
+    system.reserve(static_cast<std::size_t>(cfg.systemPromptTokens));
+    for (Tokens i = 0; i < cfg.systemPromptTokens; ++i)
+        system.push_back(
+            Rng::hashString("system-token/" + std::to_string(i)));
+
+    std::vector<engine::ServerRequest> trace;
+    trace.reserve(cfg.sessions * cfg.turnsPerSession);
+    Seconds session_start = 0.0;
+    for (std::size_t s = 0; s < cfg.sessions; ++s) {
+        session_start +=
+            -std::log(1.0 - rng.uniform()) / cfg.sessionQps;
+        const std::string sprefix =
+            "session/" + std::to_string(s) + "/turn/";
+        std::vector<std::uint64_t> context = system;
+        Seconds arrival = session_start;
+        for (std::size_t t = 0; t < cfg.turnsPerSession; ++t) {
+            const std::string tprefix = sprefix + std::to_string(t);
+            const Tokens user =
+                drawTokens(rng, cfg.meanUserTokens, cfg.cv, 4);
+            for (Tokens i = 0; i < user; ++i)
+                context.push_back(Rng::hashString(
+                    tprefix + "/user/" + std::to_string(i)));
+
+            const Tokens think =
+                drawTokens(rng, cfg.meanThinkTokens, cfg.cv, 4);
+            const Tokens answer =
+                drawTokens(rng, cfg.meanAnswerTokens, cfg.cv, 4);
+
+            engine::ServerRequest r;
+            r.arrival = arrival;
+            r.inputTokens = static_cast<Tokens>(context.size());
+            r.outputTokens = think + answer;
+            r.sessionId = static_cast<std::int64_t>(s);
+            r.prefixHashes = chainHashes(context, cfg.blockTokens);
+            trace.push_back(std::move(r));
+
+            // Fold the turn's output back into the context so the
+            // next turn's prompt extends this one's full transcript.
+            const Tokens carried =
+                (cfg.carryThink ? think : 0) + answer;
+            for (Tokens i = 0; i < carried; ++i)
+                context.push_back(Rng::hashString(
+                    tprefix + "/out/" + std::to_string(i)));
+
+            arrival += -std::log(1.0 - rng.uniform()) *
+                cfg.meanTurnGap;
+        }
+    }
+
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const engine::ServerRequest &a,
+                        const engine::ServerRequest &b) {
+                         return a.arrival < b.arrival;
+                     });
     return trace;
 }
 

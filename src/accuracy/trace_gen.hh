@@ -7,15 +7,26 @@
  * simulated token timing need plausible-looking content, including the
  * <think> block structure that reasoning distills emit and that the
  * NR policy short-circuits (Section V's predefined thinking block).
+ *
+ * Also hosts the multi-turn *session* workload generator for the
+ * prefix-cache serving path (DESIGN.md §13): chat sessions share a
+ * system prompt and each follow-up turn re-submits the whole prior
+ * context, so consecutive turns of one session (and turn 1 of every
+ * session) overlap in long token prefixes.  The generator models
+ * token identity symbolically — each position holds a 64-bit symbol
+ * drawn from a stable name hash — and emits per-block chain hashes
+ * that the radix index matches on.
  */
 
 #ifndef EDGEREASON_ACCURACY_TRACE_GEN_HH
 #define EDGEREASON_ACCURACY_TRACE_GEN_HH
 
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "engine/request_state.hh"
 #include "strategy/policy.hh"
 
 namespace edgereason {
@@ -42,6 +53,40 @@ struct ResponseTrace
 ResponseTrace generateTrace(const std::string &question,
                             const strategy::TokenPolicy &policy,
                             Tokens target_tokens, Rng &rng);
+
+/** Shape of a multi-turn session workload. */
+struct SessionTraceConfig
+{
+    std::size_t sessions = 8;       //!< concurrent chat sessions
+    std::size_t turnsPerSession = 4; //!< requests per session
+    double sessionQps = 0.5;        //!< Poisson rate of session starts
+    double meanTurnGap = 20.0;      //!< mean think-time between turns (s)
+    Tokens systemPromptTokens = 512; //!< shared across ALL sessions
+    double meanUserTokens = 96.0;   //!< new user tokens per turn
+    double meanAnswerTokens = 128.0; //!< visible answer tokens per turn
+    double meanThinkTokens = 384.0; //!< reasoning tokens per turn
+    double cv = 0.4;                //!< lognormal coefficient of variation
+    bool carryThink = true;         //!< keep <think> tokens in context
+    Tokens blockTokens = 16;        //!< KV block size for chain hashes
+};
+
+/**
+ * Generate a multi-turn session trace for the serving simulator.
+ *
+ * Every session opens with the same shared system prompt; each turn
+ * appends fresh user tokens, and the turn's output (think + answer,
+ * or answer only when carryThink is off) is appended to the session
+ * context before the next turn.  Each request's inputTokens is the
+ * full accumulated context, its prefixHashes chain-hash every full
+ * block of that context, and its sessionId identifies the session —
+ * so turn k >= 2 shares all of turn k-1's blocks and turn 1 of every
+ * session shares the system-prompt blocks.  Arrivals: session starts
+ * are Poisson at sessionQps; turn gaps are exponential with mean
+ * meanTurnGap.  The result is sorted by arrival (stable), as
+ * ServingSimulator::run requires.
+ */
+std::vector<engine::ServerRequest>
+generateSessionTrace(const SessionTraceConfig &cfg, Rng &rng);
 
 } // namespace acc
 } // namespace edgereason

@@ -92,6 +92,8 @@ parseServeOptions(const std::vector<std::string> &args,
     };
 
     bool fleet_only_flag = false; // fleet-scoped value flag was given
+    bool session_only_flag = false; // session-scoped value flag given
+    bool prefix_evict_given = false;
     long long max_batch = opt.maxBatch;
     long long prefill_chunk = opt.prefillChunk;
     long long degrade_budget = opt.degradeBudget;
@@ -195,6 +197,45 @@ parseServeOptions(const std::vector<std::string> &args,
              opt.fleetJournals = v;
              return std::string();
          }},
+        {"sessions", longOpt(&opt.sessions, 1, "--sessions")},
+        {"turns-per-session", [&](const std::string &v) {
+             session_only_flag = true;
+             return longOpt(&opt.turnsPerSession, 1,
+                            "--turns-per-session")(v);
+         }},
+        {"session-qps", [&](const std::string &v) {
+             session_only_flag = true;
+             return doubleOpt(&opt.sessionQps, 0.0, "--session-qps")(v);
+         }},
+        {"turn-gap", [&](const std::string &v) {
+             session_only_flag = true;
+             return doubleOpt(&opt.turnGap, 0.0, "--turn-gap")(v);
+         }},
+        {"system-prompt", [&](const std::string &v) {
+             session_only_flag = true;
+             return longOpt(&opt.systemPrompt, 0, "--system-prompt")(v);
+         }},
+        {"prefix-cache", [&](const std::string &v) {
+             if (v == "on")
+                 opt.prefixCache = 1;
+             else if (v == "off")
+                 opt.prefixCache = 0;
+             else
+                 return "invalid --prefix-cache value: " + v +
+                     " (expected on|off)";
+             return std::string();
+         }},
+        {"prefix-evict", [&](const std::string &v) {
+             if (v == "lru")
+                 opt.prefixEvict = engine::PrefixEvictPolicy::Lru;
+             else if (v == "cost")
+                 opt.prefixEvict = engine::PrefixEvictPolicy::Cost;
+             else
+                 return "invalid --prefix-evict policy: " + v +
+                     " (expected lru|cost)";
+             prefix_evict_given = true;
+             return std::string();
+         }},
         {"threads", longOpt(&opt.threads, 0, "--threads")},
     };
     const std::map<std::string, bool *> bool_flags = {
@@ -293,6 +334,32 @@ parseServeOptions(const std::vector<std::string> &args,
         if (fleet_flag_used)
             return fail("fleet flags (--router, --hedge, --cloud, "
                         "--node-*) need --fleet N");
+    }
+    if (opt.sessions > 0) {
+        // Session traces are single-run workloads.
+        if (opt.replications > 1)
+            return fail("--sessions excludes --replications > 1 "
+                        "(session traces are single-run)");
+        if (opt.fleet >= 1)
+            return fail("--sessions excludes --fleet (fleet requests "
+                        "carry no prefix identity)");
+    } else {
+        if (session_only_flag)
+            return fail("session flags (--turns-per-session, "
+                        "--session-qps, --turn-gap, --system-prompt) "
+                        "need --sessions N");
+    }
+    if (opt.prefixCacheOn()) {
+        if (opt.fleet >= 1)
+            return fail("--prefix-cache on excludes --fleet (nodes "
+                        "run the single-node executor without a "
+                        "shared index)");
+        if (opt.replications > 1)
+            return fail("--prefix-cache on excludes "
+                        "--replications > 1");
+    } else if (prefix_evict_given) {
+        return fail("--prefix-evict needs the prefix cache on "
+                    "(--prefix-cache on or --sessions N)");
     }
     opt.maxBatch = static_cast<int>(max_batch);
     opt.prefillChunk = static_cast<Tokens>(prefill_chunk);

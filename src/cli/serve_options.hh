@@ -74,6 +74,32 @@ struct ServeOptions
      *  to the next scheduler event (DESIGN.md §10). */
     bool exactSteps = false;
 
+    // --- Session workload / prefix cache (DESIGN.md §13) -----------
+    /**
+     * Session count for the multi-turn workload; 0 = flag omitted
+     * (single-turn Poisson trace).  `--sessions N` switches the trace
+     * generator to chat sessions that share a system prompt and
+     * re-submit their full context each turn, which is what the
+     * radix prefix index exploits.
+     */
+    long long sessions = 0;
+    long long turnsPerSession = 4; //!< requests per session
+    double sessionQps = 0.5;       //!< session starts per second
+    double turnGap = 20.0;         //!< mean seconds between turns
+    long long systemPrompt = 512;  //!< shared system-prompt tokens
+    /** Tri-state --prefix-cache on|off: -1 = flag omitted, meaning
+     *  on exactly when --sessions is given (legacy traces keep the
+     *  bit-identical non-prefix path by default). */
+    int prefixCache = -1;
+    engine::PrefixEvictPolicy prefixEvict =
+        engine::PrefixEvictPolicy::Lru;
+
+    /** @return whether the resolved prefix-cache mode is on. */
+    bool prefixCacheOn() const
+    {
+        return prefixCache == 1 || (prefixCache == -1 && sessions > 0);
+    }
+
     // --- Sharded replications (DESIGN.md §11) ----------------------
     /**
      * Number of independent trace replications to simulate.  > 1

@@ -110,18 +110,28 @@ Auditor::check(const AuditView &v)
             audit_seq(id);
         for (const ReqId id : st.active)
             audit_seq(id);
-        // Serving never forks, so physical blocks are unshared and
-        // per-sequence block counts must reconcile exactly.
-        panic_if(blocks != v.kv->blocksInUse(),
-                 "auditor: KV page accounting broken: sequences hold ",
-                 blocks, " blocks but the pool reports ",
-                 v.kv->blocksInUse(), " in use");
         panic_if(v.kv->sequenceCount() != live,
                  "auditor: ", v.kv->sequenceCount(),
                  " live KV sequences but ", live, " owners");
-        panic_if(tokens > v.kv->tokenCapacity(),
-                 "auditor: resident KV tokens ", tokens,
-                 " exceed tokenCapacity() ", v.kv->tokenCapacity());
+        if (!v.kv->prefixEnabled()) {
+            // Without the prefix index serving never forks, so
+            // physical blocks are unshared and per-sequence block
+            // counts must reconcile exactly.
+            panic_if(blocks != v.kv->blocksInUse(),
+                     "auditor: KV page accounting broken: sequences "
+                     "hold ", blocks, " blocks but the pool reports ",
+                     v.kv->blocksInUse(), " in use");
+            panic_if(tokens > v.kv->tokenCapacity(),
+                     "auditor: resident KV tokens ", tokens,
+                     " exceed tokenCapacity() ", v.kv->tokenCapacity());
+        } else {
+            // 9. Prefix-index conservation.  Blocks are shared between
+            // sequences and the index, so the unshared reconciliation
+            // above does not apply; instead every block's refcount
+            // must equal its sequence owners plus its index entry, and
+            // the index structure itself must be self-consistent.
+            v.kv->auditConservation();
+        }
     } else {
         double expect = 0.0;
         for (const ReqId id : st.prefilling)

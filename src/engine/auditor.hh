@@ -30,6 +30,11 @@
  *     queued-deadline-gate indexes (engine/event_queue.hh) match
  *     brute-force rebuilds from the containers — derived-state drift
  *     panics instead of silently corrupting the macro horizon.
+ *  9. Prefix-index conservation (prefix cache only): every paged
+ *     block's refcount equals its sequence owners plus its index
+ *     entry, index pages are full blocks, and the radix structure
+ *     (hash map, parent links, child counts, free-list) is
+ *     self-consistent — delegated to KvCache::auditConservation().
  */
 
 #ifndef EDGEREASON_ENGINE_AUDITOR_HH

@@ -162,6 +162,10 @@ runFingerprint(const InferenceEngine &engine,
     // for byte-for-byte tail verification to hold.
     w.u8(config.exactSteps ? 1 : 0);
     w.u64(config.macroHorizonCap);
+    // Prefix-cache mode changes admission arithmetic and the KvCache
+    // wire payload, so a resume must match the writer's mode exactly.
+    w.u8(config.prefixCache.enabled ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(config.prefixCache.evict));
 
     w.u64(trace.size());
     for (const auto &r : trace)

@@ -42,8 +42,11 @@ namespace engine {
  * Checkpoint format version (bump on any layout change).
  * v2: ExecAccumulators gained decodeSteps/macroSegments and the run
  * fingerprint covers the stepping mode (exactSteps/macroHorizonCap).
+ * v3: prefix-cache support — requests carry sessionId/prefixHashes,
+ * accumulators carry prefix accounting, KvCache serializes its prefix
+ * index, and the fingerprint covers the prefix-cache config.
  */
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** @return the canonical checkpoint path: <dir>/ckpt-<step>.bin. */
 std::string checkpointPath(const std::string &dir, std::uint64_t step);

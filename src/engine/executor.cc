@@ -92,13 +92,27 @@ BatchExecutor::BatchExecutor(InferenceEngine &engine,
     // legacy scalar reservation to a real paged KvCache so that
     // shrink events exercise the block-level preemption hook
     // (append() returning false).  A "ballast" sequence models the
-    // unavailable fraction of the pool during a shrink window.
-    if (faulty_) {
+    // unavailable fraction of the pool during a shrink window.  The
+    // cross-request prefix index likewise needs physical blocks to
+    // share, so enabling it forces paged accounting even on
+    // zero-fault runs.
+    if (faulty_ || config_.prefixCache.enabled) {
         paged_ = std::make_unique<KvCache>(
             std::max<Bytes>(static_cast<Bytes>(kvBudget_), 1),
-            engine_.spec());
+            engine_.spec(), 16, config_.prefixCache);
         ballast_ = paged_->createSequence();
     }
+}
+
+void
+BatchExecutor::syncPrefixEvictions()
+{
+    // Mirror the pool's eviction counter into the accumulator block at
+    // every site that can evict (reservation appends, ballast growth)
+    // so the journal's RunEnd snapshot — the replay source of truth —
+    // always carries the final value.
+    if (paged_ && paged_->prefixEnabled())
+        acc_.prefixEvictions = paged_->prefixStats().evictions;
 }
 
 double
@@ -179,6 +193,11 @@ void
 BatchExecutor::record(ServingState &st, ReqId id,
                       RequestOutcome outcome)
 {
+    // Donate the fully prefilled prompt blocks to the prefix index
+    // before the caller releases the KV sequence (no-op when the index
+    // is off, the workload supplied no hashes, or prefill never
+    // finished).
+    maybeInsertPrefix(st, id);
     st.pool.transition(id, RequestState::Done);
     ServedRequest done;
     done.request.arrival = st.pool.arrival(id);
@@ -186,6 +205,7 @@ BatchExecutor::record(ServingState &st, ReqId id,
     done.request.outputTokens = st.pool.outputTokens(id);
     done.request.priority = st.pool.priority(id);
     done.request.deadline = st.pool.deadline(id);
+    done.request.sessionId = st.pool.sessionId(id);
     done.outcome = outcome;
     done.queueDelay = st.pool.prefillStart(id) - st.pool.arrival(id);
     done.serviceTime = acc_.clock - st.pool.prefillStart(id);
@@ -194,6 +214,8 @@ BatchExecutor::record(ServingState &st, ReqId id,
     done.preemptions = st.pool.preemptions(id);
     done.degraded = st.pool.degraded(id);
     done.traceIndex = st.pool.traceIndex(id);
+    done.cachedPrefix = st.pool.cachedPrefix(id);
+    done.firstToken = st.pool.prefillEnd(id);
     if (journal_)
         journal_->emitRetire(done);
     served_.push_back(done);
@@ -211,6 +233,7 @@ BatchExecutor::shedWaiting(ServingState &st, ReqId id,
     s.request.outputTokens = st.pool.outputTokens(id);
     s.request.priority = st.pool.priority(id);
     s.request.deadline = st.pool.deadline(id);
+    s.request.sessionId = st.pool.sessionId(id);
     s.outcome = outcome;
     s.queueDelay = acc_.clock - st.pool.arrival(id);
     s.serviceTime = 0.0;
@@ -237,26 +260,69 @@ BatchExecutor::releaseKv(const ServingState &st, ReqId id)
     }
 }
 
-// Reserve a request's full KV footprint. @return success.
+// Reserve a request's full KV footprint, first attaching whatever
+// prompt prefix the index already holds (at most input - 1 tokens, so
+// at least one prompt token is always recomputed, vLLM-style).
+// @return success; on success @p cached holds the attached prefix.
 bool
-BatchExecutor::reserveKv(const ServerRequest &r, Tokens eff_out,
-                         SeqId &seq)
+BatchExecutor::reserveKv(Tokens input, Tokens eff_out,
+                         const std::vector<std::uint64_t> &hashes,
+                         SeqId &seq, Tokens &cached)
 {
+    cached = 0;
     if (paged_) {
         seq = paged_->createSequence();
-        if (!paged_->append(seq, r.inputTokens + eff_out)) {
+        if (paged_->prefixEnabled() && !hashes.empty())
+            cached = paged_->acquirePrefix(seq, hashes, input - 1);
+        const bool ok = paged_->append(seq, input + eff_out - cached);
+        syncPrefixEvictions();
+        if (!ok) {
             paged_->release(seq);
             seq = 0;
+            cached = 0;
             return false;
         }
         return true;
     }
     const double need = kvPerToken_ *
-        static_cast<double>(r.inputTokens + eff_out);
+        static_cast<double>(input + eff_out);
     if (acc_.committedKv + need > kvBudget_)
         return false;
     acc_.committedKv += need;
     return true;
+}
+
+void
+BatchExecutor::maybeInsertPrefix(ServingState &st, ReqId id)
+{
+    if (!paged_ || !paged_->prefixEnabled())
+        return;
+    const auto &hashes = st.pool.prefixHashes(id);
+    if (hashes.empty())
+        return;
+    // Only a fully prefilled prompt has honest KV for every hashed
+    // block (an aborted prefill's tail blocks were never computed).
+    if (st.pool.prefillDone(id) < st.pool.inputTokens(id))
+        return;
+    // Only whole blocks of *prompt* tokens are content-addressable: a
+    // tail block topped up by decode output must never be indexed
+    // under a prompt hash.
+    const Tokens bt = paged_->blockTokens();
+    const std::size_t n = std::min(
+        hashes.size(),
+        static_cast<std::size_t>(st.pool.inputTokens(id) / bt));
+    if (n == 0)
+        return;
+    const std::vector<std::uint64_t> use(hashes.begin(),
+                                         hashes.begin() +
+                                             static_cast<std::ptrdiff_t>(n));
+    // Cost-aware eviction score of block i: the prefill seconds needed
+    // to rebuild it given blocks [0, i) — priced off the primary
+    // engine, so scores are stable across degrade episodes.
+    std::vector<double> costs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        costs[i] = chunkLatency(engine_, static_cast<Tokens>(i) * bt, bt);
+    paged_->insertPrefix(st.pool.seq(id), use, costs);
 }
 
 // Evict one in-flight request for recompute-on-resume.  Victim
@@ -350,6 +416,7 @@ BatchExecutor::applyEvent(const FaultEvent &e, ServingState &st)
                 break;
             }
         }
+        syncPrefixEvictions(); // ballast growth can reclaim index pages
         break;
       }
       case FaultKind::KvRestore:
@@ -432,14 +499,24 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
 
         // Deadline admission control, part 2: refuse work that
         // cannot meet its deadline even under an optimistic
-        // (no-further-queueing) service estimate.
+        // (no-further-queueing) service estimate.  With the prefix
+        // index on, the prefill estimate starts past the currently
+        // matchable prefix (a peek — recency state is untouched until
+        // the request actually reserves).
         if (st.pool.hasDeadline(id)) {
             const double s = speedNow();
             const int est_batch = st.inFlight() + 1;
-            const Tokens mid_ctx =
-                st.pool.inputTokens(id) + eff_out / 2;
-            const Seconds est_finish = acc_.clock +
-                costEng_->prefillLatency(st.pool.inputTokens(id)) / s +
+            const Tokens input = st.pool.inputTokens(id);
+            const Tokens mid_ctx = input + eff_out / 2;
+            Tokens est_cached = 0;
+            if (paged_ && paged_->prefixEnabled() &&
+                !st.pool.prefixHashes(id).empty())
+                est_cached = paged_->peekPrefix(st.pool.prefixHashes(id),
+                                               input - 1);
+            const Seconds est_prefill = est_cached > 0
+                ? chunkLatency(*costEng_, est_cached, input - est_cached)
+                : costEng_->prefillLatency(input);
+            const Seconds est_finish = acc_.clock + est_prefill / s +
                 static_cast<double>(eff_out) *
                     stepLatency(*costEng_, mid_ctx, est_batch) / s;
             if (est_finish >
@@ -452,10 +529,10 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
             }
         }
 
-        ServerRequest req;
-        req.inputTokens = st.pool.inputTokens(id);
         SeqId seq = 0;
-        if (!reserveKv(req, eff_out, seq)) {
+        Tokens cached = 0;
+        if (!reserveKv(st.pool.inputTokens(id), eff_out,
+                       st.pool.prefixHashes(id), seq, cached)) {
             const bool ballast_held = paged_ &&
                 paged_->sequenceTokens(ballast_) > 0;
             fatal_if(!st.hasInFlight() && !ballast_held,
@@ -466,7 +543,19 @@ BatchExecutor::admit(ServingState &st, const Scheduler &sched)
 
         st.onLeaveQueue(id);
         st.pool.resetForAdmission(id, acc_.clock, eff_out, degraded,
-                                  seq);
+                                  seq, cached);
+        if (paged_ && paged_->prefixEnabled()) {
+            const Tokens input = st.pool.inputTokens(id);
+            acc_.admittedPromptTokens += static_cast<double>(input);
+            acc_.cachedPrefixTokens += static_cast<double>(cached);
+            // Prefill seconds avoided: full-prompt cost minus the
+            // suffix cost the prefill path will actually charge
+            // (prefillSuffixLatency over the cached prefix).
+            if (cached > 0)
+                acc_.prefillSecondsSaved +=
+                    costEng_->prefillLatency(input) -
+                    chunkLatency(*costEng_, cached, input - cached);
+        }
         if (journal_)
             journal_->emitAdmit(st.pool.materialize(id), acc_.clock);
         st.prefilling.push_back(id);
@@ -488,8 +577,11 @@ BatchExecutor::prefillStep(ServingState &st)
     // An unchunked prefill costs exactly the legacy full prefill; a
     // chunk is priced as a suffix prefill over the already-cached
     // prefix, so the attention-over-prefix work of later chunks is
-    // accounted for.
-    const Seconds pf = config_.prefillChunk > 0
+    // accounted for.  A cached prefix (prefillDone starts past zero)
+    // takes the same suffix pricing even when chunking is off — that
+    // is precisely the prefix-hit discount.
+    const Seconds pf =
+        (config_.prefillChunk > 0 || st.pool.cachedPrefix(id) > 0)
         ? chunkLatency(*costEng_, st.pool.prefillDone(id), chunk)
         : costEng_->prefillLatency(chunk);
     const Watts pw = costEng_->soc().power().prefill(
@@ -499,6 +591,7 @@ BatchExecutor::prefillStep(ServingState &st)
         journal_->emitStep(0, 1, acc_);
     st.pool.setPrefillDone(id, st.pool.prefillDone(id) + chunk);
     if (st.pool.prefillDone(id) >= st.pool.inputTokens(id)) {
+        st.pool.setPrefillEnd(id, acc_.clock); // TTFT marker
         st.pool.transition(id, RequestState::Decoding);
         st.active.push_back(id);
         st.prefilling.erase(st.prefilling.begin());

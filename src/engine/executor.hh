@@ -314,7 +314,18 @@ class BatchExecutor
     void shedWaiting(ServingState &st, ReqId id,
                      RequestOutcome outcome = RequestOutcome::Shed);
     void releaseKv(const ServingState &st, ReqId id);
-    bool reserveKv(const ServerRequest &r, Tokens eff_out, SeqId &seq);
+    /** Reserve KV for input+eff_out tokens; with the prefix index on,
+     *  first attaches the longest cached prefix of @p hashes (capped
+     *  at input-1 so at least one prompt token is recomputed) and
+     *  returns its length via @p cached. */
+    bool reserveKv(Tokens input, Tokens eff_out,
+                   const std::vector<std::uint64_t> &hashes, SeqId &seq,
+                   Tokens &cached);
+    /** Donate a retiring request's fully-prefilled prompt blocks to
+     *  the prefix index (no-op unless the index is on). */
+    void maybeInsertPrefix(ServingState &st, ReqId id);
+    /** Mirror KvCache eviction counters into the accumulators. */
+    void syncPrefixEvictions();
     bool preemptOne(ServingState &st);
     void applyEvent(const FaultEvent &e, ServingState &st);
 

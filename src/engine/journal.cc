@@ -95,6 +95,10 @@ serialize(ByteWriter &w, const ExecAccumulators &acc)
     w.u64(acc.nextEvent);
     w.u64(acc.decodeSteps);
     w.u64(acc.macroSegments);
+    w.f64(acc.admittedPromptTokens);
+    w.f64(acc.cachedPrefixTokens);
+    w.f64(acc.prefillSecondsSaved);
+    w.u64(acc.prefixEvictions);
 }
 
 void
@@ -111,6 +115,10 @@ restore(ByteReader &r, ExecAccumulators &acc)
     acc.nextEvent = r.u64();
     acc.decodeSteps = r.u64();
     acc.macroSegments = r.u64();
+    acc.admittedPromptTokens = r.f64();
+    acc.cachedPrefixTokens = r.f64();
+    acc.prefillSecondsSaved = r.f64();
+    acc.prefixEvictions = r.u64();
 }
 
 Journal

@@ -49,8 +49,10 @@ namespace engine {
  * Journal format version (bump on any layout change).
  * v2: Step records carry a coalesced step count (macro-stepping) and
  * ExecAccumulators gained decodeSteps/macroSegments.
+ * v3: requests carry sessionId/prefixHashes and ExecAccumulators
+ * gained the prefix-cache accounting fields.
  */
-inline constexpr std::uint32_t kJournalVersion = 2;
+inline constexpr std::uint32_t kJournalVersion = 3;
 
 /** Record types of the write-ahead journal. */
 enum class JournalRecordType : std::uint8_t {

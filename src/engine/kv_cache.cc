@@ -7,9 +7,28 @@
 namespace edgereason {
 namespace engine {
 
+namespace {
+
+/** Serialized prefix-index section marker ("PRFX"). */
+constexpr std::uint32_t kPrefixIndexMagic = 0x58465250u;
+
+} // namespace
+
+const char *
+prefixEvictPolicyName(PrefixEvictPolicy p)
+{
+    switch (p) {
+      case PrefixEvictPolicy::Lru:
+        return "lru";
+      case PrefixEvictPolicy::Cost:
+        return "cost";
+    }
+    return "?";
+}
+
 KvCache::KvCache(Bytes capacity_bytes, const model::TransformerSpec &spec,
-                 Tokens block_tokens)
-    : block_tokens_(block_tokens)
+                 Tokens block_tokens, PrefixCacheConfig prefix)
+    : block_tokens_(block_tokens), prefix_(prefix)
 {
     fatal_if(block_tokens < 1, "block size must be >= 1 token");
     fatal_if(capacity_bytes <= 0, "KV cache capacity must be positive");
@@ -86,6 +105,13 @@ KvCache::append(SeqId seq, Tokens n)
         static_cast<std::size_t>((beyond_tail + block_tokens_ - 1) /
                                  block_tokens_) +
         (cow_needed ? 1 : 0);
+    // Under pressure, reclaim unreferenced index pages before rejecting;
+    // eviction never touches a page a live sequence still shares.
+    if (prefix_.enabled) {
+        while (blocks_in_use_ + new_blocks > block_capacity_ &&
+               evictOnePrefixBlock()) {
+        }
+    }
     if (blocks_in_use_ + new_blocks > block_capacity_)
         return false;
 
@@ -177,6 +203,253 @@ KvCache::freeTokenCapacity() const
     return static_cast<Tokens>(free_blocks) * block_tokens_;
 }
 
+Tokens
+KvCache::freeTokenCapacity(SeqId seq) const
+{
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "unknown sequence ", seq);
+    const Sequence &s = it->second;
+    const Tokens whole = freeTokenCapacity();
+    if (s.blocks.empty())
+        return whole;
+    const Block &tail = blocks_[s.blocks.back()];
+    if (tail.filled >= block_tokens_)
+        return whole; // exactly-full tail: no slack, next token opens a block
+    const Tokens slack = block_tokens_ - tail.filled;
+    if (tail.refcount <= 1)
+        return whole + slack;
+    // Shared partial tail: the first write copies it, consuming one free
+    // block whose usable space is only the slack.
+    if (whole == 0)
+        return 0;
+    return whole - tail.filled;
+}
+
+// --- Cross-request prefix index --------------------------------------
+
+std::size_t
+KvCache::indexedBlocks() const
+{
+    return by_hash_.size();
+}
+
+Tokens
+KvCache::peekPrefix(const std::vector<std::uint64_t> &hashes,
+                    Tokens max_tokens) const
+{
+    if (!prefix_.enabled)
+        return 0;
+    Tokens matched = 0;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        if (matched + block_tokens_ > max_tokens)
+            break;
+        const auto f = by_hash_.find(hashes[i]);
+        if (f == by_hash_.end())
+            break;
+        matched += block_tokens_;
+    }
+    return matched;
+}
+
+Tokens
+KvCache::acquirePrefix(SeqId seq, const std::vector<std::uint64_t> &hashes,
+                       Tokens max_tokens)
+{
+    if (!prefix_.enabled)
+        return 0;
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "acquirePrefix on unknown sequence ", seq);
+    Sequence &s = it->second;
+    panic_if(!s.blocks.empty() || s.tokens != 0,
+             "acquirePrefix requires an empty sequence");
+    const std::size_t usable = std::min<std::size_t>(
+        hashes.size(),
+        static_cast<std::size_t>(
+            std::max<Tokens>(0, max_tokens) / block_tokens_));
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < usable; ++i) {
+        const auto f = by_hash_.find(hashes[i]);
+        if (f == by_hash_.end())
+            break;
+        PrefixNode &nd = nodes_[f->second];
+        panic_if(nd.depth != i, "prefix chain depth mismatch");
+        nd.lastTouch = ++touch_clock_;
+        ++blocks_[nd.block].refcount;
+        s.blocks.push_back(nd.block);
+        s.tokens += block_tokens_;
+        ++matched;
+    }
+    pstats_.hitBlocks += matched;
+    pstats_.missBlocks += usable - matched;
+    pstats_.hitTokens +=
+        static_cast<double>(matched) * static_cast<double>(block_tokens_);
+    pstats_.hitBytes +=
+        static_cast<double>(matched) * static_cast<double>(block_bytes_);
+    pstats_.missBytes += static_cast<double>(usable - matched) *
+        static_cast<double>(block_bytes_);
+    return static_cast<Tokens>(matched) * block_tokens_;
+}
+
+std::size_t
+KvCache::insertPrefix(SeqId seq, const std::vector<std::uint64_t> &hashes,
+                      const std::vector<double> &rebuild_seconds)
+{
+    if (!prefix_.enabled || hashes.empty())
+        return 0;
+    fatal_if(rebuild_seconds.size() != hashes.size(),
+             "insertPrefix: rebuild cost vector length mismatch (",
+             rebuild_seconds.size(), " vs ", hashes.size(), " hashes)");
+    auto it = seqs_.find(seq);
+    fatal_if(it == seqs_.end(), "insertPrefix on unknown sequence ", seq);
+    const Sequence &s = it->second;
+    const std::size_t n = std::min(hashes.size(), s.blocks.size());
+    std::uint32_t parent = kNoNode;
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t b = s.blocks[i];
+        if (blocks_[b].filled != block_tokens_)
+            break; // only full blocks are content-addressable
+        const auto f = by_hash_.find(hashes[i]);
+        if (f != by_hash_.end()) {
+            // Already indexed (possibly via another physical copy); the
+            // index keeps its page, we just refresh recency and descend.
+            PrefixNode &nd = nodes_[f->second];
+            panic_if(nd.depth != i, "prefix chain depth mismatch");
+            nd.lastTouch = ++touch_clock_;
+            parent = f->second;
+            continue;
+        }
+        std::uint32_t nid;
+        if (!node_free_.empty()) {
+            nid = node_free_.back();
+            node_free_.pop_back();
+        } else {
+            nid = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        PrefixNode &nd = nodes_[nid];
+        nd = PrefixNode{};
+        nd.hash = hashes[i];
+        nd.block = b;
+        nd.parent = parent;
+        nd.depth = static_cast<std::uint32_t>(i);
+        nd.children = 0;
+        nd.lastTouch = ++touch_clock_;
+        nd.insertSeq = ++insert_clock_;
+        nd.rebuildSeconds = rebuild_seconds[i];
+        nd.live = true;
+        ++blocks_[b].refcount; // the index's own reference
+        if (parent != kNoNode)
+            ++nodes_[parent].children;
+        by_hash_.emplace(hashes[i], nid);
+        parent = nid;
+        ++inserted;
+        ++pstats_.insertedBlocks;
+    }
+    return inserted;
+}
+
+bool
+KvCache::evictOnePrefixBlock()
+{
+    // Victim: a live LEAF whose page only the index references
+    // (refcount 1).  Interior nodes are never reclaimed before their
+    // descendants, and pages shared with live sequences are never
+    // reclaimed at all.  Ties are broken by (lastTouch, insertSeq), both
+    // drawn from strictly monotone logical clocks, so the choice is
+    // deterministic regardless of node-table iteration order.
+    std::uint32_t victim = kNoNode;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(nodes_.size()); ++i) {
+        const PrefixNode &nd = nodes_[i];
+        if (!nd.live || nd.children != 0)
+            continue;
+        if (blocks_[nd.block].refcount != 1)
+            continue;
+        if (victim == kNoNode) {
+            victim = i;
+            continue;
+        }
+        const PrefixNode &v = nodes_[victim];
+        const bool lru_before = nd.lastTouch < v.lastTouch ||
+            (nd.lastTouch == v.lastTouch && nd.insertSeq < v.insertSeq);
+        bool better;
+        if (prefix_.evict == PrefixEvictPolicy::Lru) {
+            better = lru_before;
+        } else {
+            // Cost-aware: reclaim the cheapest page first, where cost is
+            // bytes × rebuild-prefill-seconds.
+            const double ca = static_cast<double>(block_bytes_) *
+                nd.rebuildSeconds;
+            const double cb = static_cast<double>(block_bytes_) *
+                v.rebuildSeconds;
+            better = ca < cb || (ca == cb && lru_before);
+        }
+        if (better)
+            victim = i;
+    }
+    if (victim == kNoNode)
+        return false;
+    PrefixNode &nd = nodes_[victim];
+    by_hash_.erase(nd.hash);
+    if (nd.parent != kNoNode)
+        --nodes_[nd.parent].children;
+    unref(nd.block);
+    nd.live = false;
+    node_free_.push_back(victim);
+    ++pstats_.evictions;
+    pstats_.evictedBytes += static_cast<double>(block_bytes_);
+    return true;
+}
+
+void
+KvCache::auditConservation() const
+{
+    std::vector<std::int64_t> refs(blocks_.size(), 0);
+    for (const auto &[id, s] : seqs_)
+        for (std::uint32_t b : s.blocks)
+            ++refs[b];
+    std::size_t live_nodes = 0;
+    std::vector<std::uint32_t> child_census(nodes_.size(), 0);
+    for (const PrefixNode &nd : nodes_) {
+        if (!nd.live)
+            continue;
+        ++live_nodes;
+        ++refs[nd.block];
+        panic_if(blocks_[nd.block].filled != block_tokens_,
+                 "prefix audit: index page ", nd.block, " not full");
+        const auto f = by_hash_.find(nd.hash);
+        panic_if(f == by_hash_.end() || !(nodes_[f->second].hash == nd.hash),
+                 "prefix audit: live node missing from hash map");
+        if (nd.parent != kNoNode) {
+            panic_if(!nodes_[nd.parent].live,
+                     "prefix audit: dangling parent link");
+            ++child_census[nd.parent];
+        }
+    }
+    panic_if(live_nodes != by_hash_.size(),
+             "prefix audit: node/map census mismatch (", live_nodes,
+             " live nodes vs ", by_hash_.size(), " keys)");
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        panic_if(nodes_[i].live && nodes_[i].children != child_census[i],
+                 "prefix audit: child count drift at node ", i);
+    std::size_t in_use = 0;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        panic_if(refs[b] != blocks_[b].refcount,
+                 "prefix audit: block ", b, " refcount ",
+                 blocks_[b].refcount, " != ", refs[b],
+                 " (sequence + index references)");
+        if (blocks_[b].refcount > 0)
+            ++in_use;
+    }
+    panic_if(in_use != blocks_in_use_,
+             "prefix audit: blocksInUse ", blocks_in_use_,
+             " != live census ", in_use);
+    for (std::uint32_t f : free_list_)
+        panic_if(blocks_[f].refcount != 0,
+                 "prefix audit: free-list block ", f, " still referenced");
+}
+
 void
 KvCache::serialize(ByteWriter &w) const
 {
@@ -208,6 +481,47 @@ KvCache::serialize(ByteWriter &w) const
         w.u64(s.blocks.size());
         for (std::uint32_t b : s.blocks)
             w.u32(b);
+    }
+    if (!prefix_.enabled)
+        return;
+    // Prefix-index section.  Nodes go out sorted by (depth, hash) so two
+    // caches holding the same logical index emit identical bytes, and so
+    // every node's parent precedes it on restore.
+    w.u32(kPrefixIndexMagic);
+    w.u8(static_cast<std::uint8_t>(prefix_.evict));
+    w.u64(touch_clock_);
+    w.u64(insert_clock_);
+    w.u64(pstats_.hitBlocks);
+    w.u64(pstats_.missBlocks);
+    w.u64(pstats_.insertedBlocks);
+    w.u64(pstats_.evictions);
+    w.f64(pstats_.hitTokens);
+    w.f64(pstats_.hitBytes);
+    w.f64(pstats_.missBytes);
+    w.f64(pstats_.evictedBytes);
+    std::vector<std::uint32_t> live;
+    live.reserve(by_hash_.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(nodes_.size()); ++i)
+        if (nodes_[i].live)
+            live.push_back(i);
+    std::sort(live.begin(), live.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  if (nodes_[a].depth != nodes_[b].depth)
+                      return nodes_[a].depth < nodes_[b].depth;
+                  return nodes_[a].hash < nodes_[b].hash;
+              });
+    w.u64(live.size());
+    for (std::uint32_t i : live) {
+        const PrefixNode &nd = nodes_[i];
+        w.u64(nd.hash);
+        w.u8(nd.parent != kNoNode ? 1 : 0);
+        w.u64(nd.parent != kNoNode ? nodes_[nd.parent].hash : 0);
+        w.u32(nd.block);
+        w.u32(nd.depth);
+        w.u64(nd.lastTouch);
+        w.u64(nd.insertSeq);
+        w.f64(nd.rebuildSeconds);
     }
 }
 
@@ -258,11 +572,78 @@ KvCache::restore(ByteReader &r)
         fatal_if(!seqs.emplace(id, std::move(s)).second,
                  "KvCache restore: duplicate sequence ", id);
     }
+    PrefixStats pstats;
+    std::vector<PrefixNode> nodes;
+    std::unordered_map<std::uint64_t, std::uint32_t> byHash;
+    std::uint64_t touchClock = 0;
+    std::uint64_t insertClock = 0;
+    if (prefix_.enabled) {
+        fatal_if(r.u32() != kPrefixIndexMagic,
+                 "KvCache restore: prefix-index section missing — "
+                 "checkpoint written without --prefix-cache?");
+        const auto evict = static_cast<PrefixEvictPolicy>(r.u8());
+        fatal_if(evict != prefix_.evict,
+                 "KvCache restore: eviction policy mismatch (checkpoint ",
+                 prefixEvictPolicyName(evict), " vs instance ",
+                 prefixEvictPolicyName(prefix_.evict), ")");
+        touchClock = r.u64();
+        insertClock = r.u64();
+        pstats.hitBlocks = r.u64();
+        pstats.missBlocks = r.u64();
+        pstats.insertedBlocks = r.u64();
+        pstats.evictions = r.u64();
+        pstats.hitTokens = r.f64();
+        pstats.hitBytes = r.f64();
+        pstats.missBytes = r.f64();
+        pstats.evictedBytes = r.f64();
+        const std::uint64_t nNodes = r.u64();
+        nodes.reserve(nNodes);
+        byHash.reserve(nNodes);
+        for (std::uint64_t i = 0; i < nNodes; ++i) {
+            PrefixNode nd;
+            nd.hash = r.u64();
+            const bool hasParent = r.u8() != 0;
+            const std::uint64_t parentHash = r.u64();
+            nd.block = r.u32();
+            nd.depth = r.u32();
+            nd.lastTouch = r.u64();
+            nd.insertSeq = r.u64();
+            nd.rebuildSeconds = r.f64();
+            nd.live = true;
+            fatal_if(nd.block >= nBlocks,
+                     "KvCache restore: index page out of range");
+            fatal_if(blocks[nd.block].refcount < 1 ||
+                         blocks[nd.block].filled != block_tokens_,
+                     "KvCache restore: index page ", nd.block,
+                     " not a live full block");
+            if (hasParent) {
+                const auto p = byHash.find(parentHash);
+                fatal_if(p == byHash.end(),
+                         "KvCache restore: index node parent missing");
+                nd.parent = p->second;
+                ++nodes[p->second].children;
+            } else {
+                fatal_if(nd.depth != 0,
+                         "KvCache restore: non-root node without parent");
+            }
+            const std::uint32_t nid =
+                static_cast<std::uint32_t>(nodes.size());
+            fatal_if(!byHash.emplace(nd.hash, nid).second,
+                     "KvCache restore: duplicate index hash");
+            nodes.push_back(nd);
+        }
+    }
     blocks_in_use_ = inUse;
     next_seq_ = nextSeq;
     blocks_ = std::move(blocks);
     free_list_ = std::move(freeList);
     seqs_ = std::move(seqs);
+    pstats_ = pstats;
+    nodes_ = std::move(nodes);
+    node_free_.clear();
+    by_hash_ = std::move(byHash);
+    touch_clock_ = touchClock;
+    insert_clock_ = insertClock;
 }
 
 } // namespace engine

@@ -6,6 +6,16 @@
  * their generated suffixes.  Capacity accounting is against the Orin's
  * usable DRAM after the model weights are resident, which is what limits
  * batch size and context length on a 64 GB part.
+ *
+ * On top of the per-sequence pager sits an optional *cross-request radix
+ * prefix index* (DESIGN.md §13): full blocks of retired prompts are
+ * published under their chain hash (a hash of all token ids up to and
+ * including that block, so one 64-bit key addresses a whole prefix
+ * path), and later sequences whose workload-supplied hashes match attach
+ * the shared physical blocks instead of recomputing them.  Index pages
+ * hold one reference of their own and are reclaimed — never while a live
+ * sequence still shares them — by a pluggable eviction policy when an
+ * append would otherwise fail.
  */
 
 #ifndef EDGEREASON_ENGINE_KV_CACHE_HH
@@ -25,7 +35,36 @@ namespace engine {
 /** Opaque sequence handle. */
 using SeqId = std::uint64_t;
 
-/** Paged KV cache with block sharing. */
+/** Which index page to reclaim first when the pool is out of blocks. */
+enum class PrefixEvictPolicy : std::uint8_t
+{
+    Lru = 0,  //!< least-recently-touched chain node first
+    Cost = 1, //!< cheapest to rebuild (bytes × rebuild-prefill-seconds) first
+};
+
+const char *prefixEvictPolicyName(PrefixEvictPolicy p);
+
+/** Configuration of the cross-request prefix index. */
+struct PrefixCacheConfig
+{
+    bool enabled = false;
+    PrefixEvictPolicy evict = PrefixEvictPolicy::Lru;
+};
+
+/** Lifetime counters of the prefix index. */
+struct PrefixStats
+{
+    std::uint64_t hitBlocks = 0;      //!< blocks attached from the index
+    std::uint64_t missBlocks = 0;     //!< hashed blocks that had to be built
+    std::uint64_t insertedBlocks = 0; //!< blocks published at retire
+    std::uint64_t evictions = 0;      //!< index pages reclaimed
+    double hitTokens = 0.0;           //!< tokens served from the index
+    double hitBytes = 0.0;            //!< bytes of KV reused from the index
+    double missBytes = 0.0;           //!< bytes of KV rebuilt despite hashing
+    double evictedBytes = 0.0;        //!< bytes of index pages reclaimed
+};
+
+/** Paged KV cache with block sharing and an optional prefix index. */
 class KvCache
 {
   public:
@@ -33,16 +72,20 @@ class KvCache
      * @param capacity_bytes  DRAM budget for KV blocks
      * @param spec  architecture (defines bytes per cached token)
      * @param block_tokens  tokens per block (vLLM default is 16)
+     * @param prefix  cross-request prefix index configuration
      */
     KvCache(Bytes capacity_bytes, const model::TransformerSpec &spec,
-            Tokens block_tokens = 16);
+            Tokens block_tokens = 16, PrefixCacheConfig prefix = {});
 
     /** Create an empty sequence. @return its handle. */
     SeqId createSequence();
 
     /**
      * Append @p n tokens to a sequence, allocating blocks as needed.
-     * Shared (forked) tail blocks are copied on write.
+     * Shared (forked or prefix-indexed) tail blocks are copied on write.
+     * When the prefix index is enabled and the pool is short, refcount-0
+     * index pages are evicted (per the configured policy) before giving
+     * up.
      *
      * @return true on success, false if the cache is out of blocks (the
      *   caller decides whether that is fatal or triggers preemption)
@@ -76,8 +119,26 @@ class KvCache
     /** @return number of live sequences. */
     std::size_t sequenceCount() const { return seqs_.size(); }
 
-    /** @return largest appendable token count right now for one seq. */
+    /**
+     * Largest token count appendable right now to a FRESH (empty)
+     * sequence: whole free blocks only.  A sequence with a partially
+     * filled tail can take more (the tail slack) or less (a shared tail
+     * must be copied first); use the SeqId overload for that.  When the
+     * tail block is exactly full there is no slack — the next token
+     * opens a new block — so both overloads agree at block boundaries.
+     */
     Tokens freeTokenCapacity() const;
+
+    /**
+     * Largest @p n for which append(seq, n) would succeed right now.
+     * Accounts for the sequence's tail block: an unshared partial tail
+     * adds its remaining slack, a shared partial tail costs one block to
+     * copy-on-write before its slack is writable, and an exactly-full
+     * tail contributes nothing (semantically identical to the no-tail
+     * case — this is the block-boundary condition the no-arg overload is
+     * documented against).
+     */
+    Tokens freeTokenCapacity(SeqId seq) const;
 
     /** @return total token capacity (blockCapacity * blockTokens). */
     Tokens tokenCapacity() const
@@ -85,17 +146,74 @@ class KvCache
         return static_cast<Tokens>(block_capacity_) * block_tokens_;
     }
 
+    // --- Cross-request prefix index (DESIGN.md §13) -------------------
+
+    /** @return true when the radix prefix index is active. */
+    bool prefixEnabled() const { return prefix_.enabled; }
+    /** @return the index configuration. */
+    const PrefixCacheConfig &prefixConfig() const { return prefix_; }
+    /** @return lifetime hit/miss/eviction counters. */
+    const PrefixStats &prefixStats() const { return pstats_; }
+    /** @return number of blocks currently held by the index. */
+    std::size_t indexedBlocks() const;
+
+    /**
+     * Longest indexed prefix of @p hashes, in tokens, without touching
+     * recency state.  @p max_tokens caps the answer (pass prompt-1 so at
+     * least one token is always recomputed, vLLM-style).
+     */
+    Tokens peekPrefix(const std::vector<std::uint64_t> &hashes,
+                      Tokens max_tokens) const;
+
+    /**
+     * Attach the longest indexed prefix of @p hashes to @p seq, which
+     * must be empty: each matched index page gains a reference and
+     * becomes part of the sequence (copy-on-write protects it from later
+     * suffix writes).  Touches the matched chain for LRU and updates
+     * hit/miss stats.  @return tokens attached (multiple of blockTokens,
+     * capped at @p max_tokens).
+     */
+    Tokens acquirePrefix(SeqId seq, const std::vector<std::uint64_t> &hashes,
+                         Tokens max_tokens);
+
+    /**
+     * Publish the full prompt blocks of @p seq into the index under
+     * @p hashes (chain hash of block i covers tokens [0, (i+1)·B)).
+     * Called at retire, before the sequence is released.  Blocks already
+     * indexed are de-duplicated (the index keeps its copy); fresh ones
+     * gain an index reference so they survive the release.
+     * @p rebuild_seconds[i] is the prefill cost of rebuilding block i
+     * (the cost-aware eviction score); must match @p hashes in length.
+     * @return number of newly indexed blocks.
+     */
+    std::size_t insertPrefix(SeqId seq,
+                             const std::vector<std::uint64_t> &hashes,
+                             const std::vector<double> &rebuild_seconds);
+
+    /**
+     * Conservation audit of the whole pool (paranoid mode, invariant 9):
+     * every block's refcount equals the number of sequences referencing
+     * it plus its index references, free-list blocks are dead,
+     * blocksInUse() matches the live census, and every index page is a
+     * full block.  panic()s on violation.
+     */
+    void auditConservation() const;
+
     /**
      * Serialize the full allocation state (blocks, free list, sequences,
      * next handle) in a canonical order, so two caches holding the same
-     * state emit identical bytes.  Geometry (capacity, block size) is
-     * written too and validated on restore().
+     * state emit identical bytes.  When the prefix index is enabled its
+     * node table follows, sorted by (depth, hash) — again canonical.
+     * Geometry (capacity, block size) is written too and validated on
+     * restore().
      */
     void serialize(ByteWriter &w) const;
     /**
      * Restore state written by serialize() into this cache.  fatal() if
      * the checkpoint's geometry does not match this instance — restoring
-     * onto a differently-sized cache would corrupt accounting.
+     * onto a differently-sized cache would corrupt accounting — or if
+     * the prefix-index section is missing/mismatched (mode or eviction
+     * policy differs from this instance's configuration).
      */
     void restore(ByteReader &r);
 
@@ -112,8 +230,31 @@ class KvCache
         Tokens tokens = 0;
     };
 
+    static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+    /**
+     * One radix-tree node.  The tree over block-aligned prefixes is
+     * stored as a hash map keyed by chain hash: because a chain hash
+     * already encodes the full token path from the root, child lookup is
+     * a single map probe and the explicit structure only needs parent
+     * links (for child counting) and depth (for canonical ordering).
+     */
+    struct PrefixNode
+    {
+        std::uint64_t hash = 0;       //!< chain hash of blocks [0, depth]
+        std::uint32_t block = 0;      //!< physical page (holds one ref)
+        std::uint32_t parent = kNoNode;
+        std::uint32_t depth = 0;      //!< block index within the prefix
+        std::uint32_t children = 0;   //!< live child count (leaf == 0)
+        std::uint64_t lastTouch = 0;  //!< logical clock of last hit
+        std::uint64_t insertSeq = 0;  //!< logical clock of insertion
+        double rebuildSeconds = 0.0;  //!< prefill cost to rebuild this block
+        bool live = false;
+    };
+
     std::uint32_t allocBlock();
     void unref(std::uint32_t block);
+    bool evictOnePrefixBlock();
 
     Tokens block_tokens_;
     Bytes block_bytes_;
@@ -123,6 +264,14 @@ class KvCache
     std::vector<std::uint32_t> free_list_;
     std::unordered_map<SeqId, Sequence> seqs_;
     SeqId next_seq_ = 1;
+
+    PrefixCacheConfig prefix_;
+    PrefixStats pstats_;
+    std::vector<PrefixNode> nodes_;
+    std::vector<std::uint32_t> node_free_;
+    std::unordered_map<std::uint64_t, std::uint32_t> by_hash_;
+    std::uint64_t touch_clock_ = 0;
+    std::uint64_t insert_clock_ = 0;
 };
 
 } // namespace engine

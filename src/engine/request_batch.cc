@@ -32,6 +32,10 @@ RequestBatch::adopt(const TrackedRequest &t)
         preemptions_.push_back(0);
         degraded_.push_back(0);
         seq_.push_back(0);
+        sessionId_.push_back(-1);
+        prefixHashes_.emplace_back();
+        cachedPrefix_.push_back(0);
+        prefillEnd_.push_back(0.0);
         live_.push_back(0);
     }
     arrival_[id] = t.req.arrival;
@@ -52,6 +56,10 @@ RequestBatch::adopt(const TrackedRequest &t)
     preemptions_[id] = t.preemptions;
     degraded_[id] = t.degraded ? 1 : 0;
     seq_[id] = t.seq;
+    sessionId_[id] = t.req.sessionId;
+    prefixHashes_[id] = t.req.prefixHashes;
+    cachedPrefix_[id] = t.cachedPrefix;
+    prefillEnd_[id] = t.prefillEnd;
     live_[id] = 1;
     return id;
 }
@@ -87,6 +95,10 @@ RequestBatch::materialize(ReqId id) const
     t.preemptions = preemptions_[id];
     t.degraded = degraded_[id] != 0;
     t.seq = seq_[id];
+    t.req.sessionId = sessionId_[id];
+    t.req.prefixHashes = prefixHashes_[id];
+    t.cachedPrefix = cachedPrefix_[id];
+    t.prefillEnd = prefillEnd_[id];
     return t;
 }
 
@@ -109,6 +121,10 @@ RequestBatch::clear()
     preemptions_.clear();
     degraded_.clear();
     seq_.clear();
+    sessionId_.clear();
+    prefixHashes_.clear();
+    cachedPrefix_.clear();
+    prefillEnd_.clear();
     live_.clear();
     free_.clear();
 }
@@ -125,15 +141,18 @@ RequestBatch::transition(ReqId i, RequestState next)
 
 void
 RequestBatch::resetForAdmission(ReqId i, Seconds now, Tokens eff_out,
-                                bool degraded_now, SeqId kv_seq)
+                                bool degraded_now, SeqId kv_seq,
+                                Tokens cached_prefix)
 {
     transition(i, RequestState::Prefilling);
     effOut_[i] = eff_out;
     prefillStart_[i] = now;
-    prefillDone_[i] = 0;
+    prefillDone_[i] = cached_prefix;
     generated_[i] = 0;
     degraded_[i] = degraded_now ? 1 : 0;
     seq_[i] = kv_seq;
+    cachedPrefix_[i] = cached_prefix;
+    prefillEnd_[i] = 0.0;
 }
 
 void

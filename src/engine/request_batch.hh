@@ -70,10 +70,18 @@ class RequestBatch
     int preemptions(ReqId i) const { return preemptions_[i]; }
     bool degraded(ReqId i) const { return degraded_[i] != 0; }
     SeqId seq(ReqId i) const { return seq_[i]; }
+    std::int64_t sessionId(ReqId i) const { return sessionId_[i]; }
+    const std::vector<std::uint64_t> &prefixHashes(ReqId i) const
+    {
+        return prefixHashes_[i];
+    }
+    Tokens cachedPrefix(ReqId i) const { return cachedPrefix_[i]; }
+    Seconds prefillEnd(ReqId i) const { return prefillEnd_[i]; }
 
     // --- Column writes (executor-internal bookkeeping) -------------
     void setNotBefore(ReqId i, Seconds t) { notBefore_[i] = t; }
     void setPrefillDone(ReqId i, Tokens t) { prefillDone_[i] = t; }
+    void setPrefillEnd(ReqId i, Seconds t) { prefillEnd_[i] = t; }
     void setGenerated(ReqId i, Tokens t) { generated_[i] = t; }
     void bumpPreemptions(ReqId i) { ++preemptions_[i]; }
     /** Test hook: force a lifecycle state without legality checks
@@ -104,7 +112,8 @@ class RequestBatch
 
     /** TrackedRequest::resetForAdmission over slot @p i. */
     void resetForAdmission(ReqId i, Seconds now, Tokens eff_out,
-                           bool degraded_now, SeqId kv_seq);
+                           bool degraded_now, SeqId kv_seq,
+                           Tokens cached_prefix = 0);
 
   private:
     std::vector<Seconds> arrival_;
@@ -123,6 +132,10 @@ class RequestBatch
     std::vector<int> preemptions_;
     std::vector<std::uint8_t> degraded_;
     std::vector<SeqId> seq_;
+    std::vector<std::int64_t> sessionId_;
+    std::vector<std::vector<std::uint64_t>> prefixHashes_;
+    std::vector<Tokens> cachedPrefix_;
+    std::vector<Seconds> prefillEnd_;
     std::vector<std::uint8_t> live_;
     std::vector<ReqId> free_;
 };

@@ -72,15 +72,18 @@ TrackedRequest::transitionTo(RequestState next)
 
 void
 TrackedRequest::resetForAdmission(Seconds now, Tokens eff_out,
-                                  bool degraded_now, SeqId kv_seq)
+                                  bool degraded_now, SeqId kv_seq,
+                                  Tokens cached_prefix)
 {
     transitionTo(RequestState::Prefilling);
     effOut = eff_out;
     prefillStart = now;
-    prefillDone = 0;
+    prefillDone = cached_prefix;
     generated = 0;
     degraded = degraded_now;
     seq = kv_seq;
+    cachedPrefix = cached_prefix;
+    prefillEnd = 0.0;
 }
 
 void
@@ -91,6 +94,10 @@ serialize(ByteWriter &w, const ServerRequest &r)
     w.i64(r.outputTokens);
     w.i64(r.priority);
     w.f64(r.deadline);
+    w.i64(r.sessionId);
+    w.u64(r.prefixHashes.size());
+    for (std::uint64_t h : r.prefixHashes)
+        w.u64(h);
 }
 
 void
@@ -101,6 +108,11 @@ restore(ByteReader &r, ServerRequest &out)
     out.outputTokens = r.i64();
     out.priority = static_cast<int>(r.i64());
     out.deadline = r.f64();
+    out.sessionId = r.i64();
+    const std::uint64_t nHashes = r.u64();
+    out.prefixHashes.resize(nHashes);
+    for (auto &h : out.prefixHashes)
+        h = r.u64();
 }
 
 void
@@ -115,6 +127,8 @@ serialize(ByteWriter &w, const ServedRequest &r)
     w.i64(r.preemptions);
     w.u8(r.degraded ? 1 : 0);
     w.i64(r.traceIndex);
+    w.i64(r.cachedPrefix);
+    w.f64(r.firstToken);
 }
 
 void
@@ -133,6 +147,8 @@ restore(ByteReader &r, ServedRequest &out)
     out.preemptions = static_cast<int>(r.i64());
     out.degraded = r.u8() != 0;
     out.traceIndex = r.i64();
+    out.cachedPrefix = r.i64();
+    out.firstToken = r.f64();
 }
 
 void
@@ -149,6 +165,8 @@ serialize(ByteWriter &w, const TrackedRequest &r)
     w.i64(r.preemptions);
     w.u8(r.degraded ? 1 : 0);
     w.u64(r.seq);
+    w.i64(r.cachedPrefix);
+    w.f64(r.prefillEnd);
 }
 
 void
@@ -168,6 +186,8 @@ restore(ByteReader &r, TrackedRequest &out)
     out.preemptions = static_cast<int>(r.i64());
     out.degraded = r.u8() != 0;
     out.seq = r.u64();
+    out.cachedPrefix = r.i64();
+    out.prefillEnd = r.f64();
 }
 
 } // namespace engine

@@ -65,6 +65,16 @@ struct ServerRequest
      * are shed from the queue or aborted mid-flight.
      */
     Seconds deadline = 0.0;
+    /** Conversation this request belongs to; -1 for one-shot traffic. */
+    std::int64_t sessionId = -1;
+    /**
+     * Chain hashes of the prompt's block-aligned prefixes, supplied by
+     * the workload layer: element i hashes all token ids in blocks
+     * [0, i] of the prompt, so equal hashes mean equal prefixes.  Empty
+     * for workloads without shareable prefixes; consumed by the
+     * cross-request prefix index (DESIGN.md §13).
+     */
+    std::vector<std::uint64_t> prefixHashes;
 };
 
 /** Final disposition of a request. */
@@ -101,6 +111,13 @@ struct ServedRequest
     int preemptions = 0;        //!< times evicted and recomputed
     bool degraded = false;      //!< served under a degraded policy
     std::int64_t traceIndex = -1; //!< position in the input trace
+    Tokens cachedPrefix = 0;    //!< prompt tokens served from the prefix index
+    /**
+     * Instant the (last) prefill finished — the time-to-first-token
+     * marker (firstToken - arrival == TTFT).  0 for requests that never
+     * reached decode.
+     */
+    Seconds firstToken = 0.0;
     /** @return time in system (== finish - arrival for all outcomes). */
     Seconds latency() const { return queueDelay + serviceTime; }
     /** @return true if the request completed within its deadline
@@ -162,6 +179,8 @@ struct TrackedRequest
     int preemptions = 0;
     bool degraded = false;
     SeqId seq = 0; //!< paged-mode KV sequence handle
+    Tokens cachedPrefix = 0; //!< prompt tokens attached from the prefix index
+    Seconds prefillEnd = 0.0; //!< instant prefill completed (TTFT marker)
 
     /** Move to @p next; panics on an edge not in the state machine. */
     void transitionTo(RequestState next);
@@ -193,10 +212,13 @@ struct TrackedRequest
     /**
      * (Re-)initialize the in-flight fields at admission time
      * (recompute-on-resume: prior prefill/decode progress is
-     * discarded work).  Transitions to Prefilling.
+     * discarded work).  Transitions to Prefilling.  @p cached_prefix
+     * prompt tokens were attached from the prefix index, so prefill
+     * starts there instead of at zero.
      */
     void resetForAdmission(Seconds now, Tokens eff_out,
-                           bool degraded_now, SeqId kv_seq);
+                           bool degraded_now, SeqId kv_seq,
+                           Tokens cached_prefix = 0);
 };
 
 // --- Checkpoint/journal serialization (common/binio format) ----------

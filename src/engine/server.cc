@@ -89,6 +89,12 @@ buildServingReport(const std::vector<ServedRequest> &served,
     rep.throttleResidency = acc.busy > 0.0
         ? acc.throttledBusy / acc.busy
         : 0.0;
+    rep.cachedPrefixTokens = acc.cachedPrefixTokens;
+    rep.prefixHitRate = acc.admittedPromptTokens > 0.0
+        ? acc.cachedPrefixTokens / acc.admittedPromptTokens
+        : 0.0;
+    rep.prefillSecondsSaved = acc.prefillSecondsSaved;
+    rep.prefixEvictions = acc.prefixEvictions;
 
     // Degenerate-run contract: percentile() panics on an empty sample
     // set, so guard it here once for every caller (live report and

@@ -80,6 +80,12 @@ struct ExecAccumulators
      * accumulator that legitimately differs between the two modes.
      */
     std::uint64_t macroSegments = 0;
+
+    // --- Prefix-cache accounting (zero unless the index is enabled) --
+    double admittedPromptTokens = 0.0; //!< prompt tokens of all admissions
+    double cachedPrefixTokens = 0.0;   //!< of which served from the index
+    Seconds prefillSecondsSaved = 0.0; //!< prefill work avoided by hits
+    std::uint64_t prefixEvictions = 0; //!< index pages reclaimed
 };
 
 /** Aggregate serving metrics. */
@@ -124,6 +130,18 @@ struct ServingReport
     double deadlineHitRate = 1.0;
     /** Fraction of busy time spent below MAXN (thermal throttle). */
     double throttleResidency = 0.0;
+
+    // --- Prefix-cache observability (DESIGN.md §13) -----------------
+    /** Prompt tokens served from the prefix index over the whole run. */
+    double cachedPrefixTokens = 0.0;
+    /** cachedPrefixTokens / admitted prompt tokens (0 when the index
+     *  is off or nothing was admitted). */
+    double prefixHitRate = 0.0;
+    /** Prefill seconds avoided by starting prefills past the cached
+     *  prefix (priced by prefillSuffixLatency at admission). */
+    Seconds prefillSecondsSaved = 0.0;
+    /** Index pages evicted under memory pressure. */
+    std::uint64_t prefixEvictions = 0;
 };
 
 /** Degraded-mode selection. */
@@ -199,6 +217,14 @@ struct ServerConfig
      * horizon boundary.
      */
     std::uint64_t macroHorizonCap = 0;
+    /**
+     * Cross-request prefix index over KV blocks (DESIGN.md §13).
+     * Off by default: the legacy accounting path is then executed
+     * bit-identically.  Enabling it switches the executor to paged KV
+     * accounting even on zero-fault runs (the index needs physical
+     * blocks to share).
+     */
+    PrefixCacheConfig prefixCache;
 };
 
 /**

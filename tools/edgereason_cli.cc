@@ -28,6 +28,10 @@
  *                    [--resume DIR] [--paranoid]
  *                    [--crash-at-step N] [--crash-at-time T]
  *                    [--crash-rate 0.5] [--exact-steps]
+ *                    [--sessions 16] [--turns-per-session 4]
+ *                    [--session-qps 0.5] [--turn-gap 20]
+ *                    [--system-prompt 512]
+ *                    [--prefix-cache on|off] [--prefix-evict lru|cost]
  *   edgereason replay <journal.bin> [--dump]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
@@ -44,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "accuracy/trace_gen.hh"
 #include "cli/serve_options.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -394,6 +399,13 @@ printServingReport(const engine::ServingReport &rep, bool show_outcomes,
                 rep.avgBatch, 100.0 * rep.utilization);
     std::printf("  energy     : %.1f J/query, $%.4f per 1M tokens\n",
                 rep.energyPerQuery, cost.totalPerMTok());
+    if (rep.cachedPrefixTokens > 0.0)
+        std::printf("  prefix     : %.0f%% of prompt tokens served "
+                    "from cache, %.1f s prefill saved, %llu "
+                    "evictions\n",
+                    100.0 * rep.prefixHitRate, rep.prefillSecondsSaved,
+                    static_cast<unsigned long long>(
+                        rep.prefixEvictions));
     if (!show_outcomes)
         return;
     std::printf("  outcomes   : %zu completed, %zu timed out, "
@@ -538,6 +550,8 @@ cmdServe(const std::vector<std::string> &raw)
     cfg.degrade.mode = o.degrade;
     cfg.degrade.budget = strategy::TokenPolicy::hard(o.degradeBudget);
     cfg.exactSteps = o.exactSteps;
+    cfg.prefixCache.enabled = o.prefixCacheOn();
+    cfg.prefixCache.evict = o.prefixEvict;
     if (o.fleet >= 1)
         return cmdServeFleet(o, cfg);
     engine::ServingSimulator srv(eng, cfg);
@@ -594,9 +608,27 @@ cmdServe(const std::vector<std::string> &raw)
     }
 
     Rng rng(o.seed, "cli-serve");
-    auto trace = engine::ServingSimulator::poissonTrace(
-        rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
-        o.meanOut);
+    std::vector<engine::ServerRequest> trace;
+    if (o.sessions > 0) {
+        // Multi-turn session workload (DESIGN.md §13): shared system
+        // prompt, each turn re-submits the full prior context.  The
+        // mean output splits 3:1 between reasoning and answer tokens.
+        acc::SessionTraceConfig sc;
+        sc.sessions = static_cast<std::size_t>(o.sessions);
+        sc.turnsPerSession =
+            static_cast<std::size_t>(o.turnsPerSession);
+        sc.sessionQps = o.sessionQps;
+        sc.meanTurnGap = o.turnGap;
+        sc.systemPromptTokens = static_cast<Tokens>(o.systemPrompt);
+        sc.meanUserTokens = o.meanIn;
+        sc.meanThinkTokens = 0.75 * o.meanOut;
+        sc.meanAnswerTokens = 0.25 * o.meanOut;
+        trace = acc::generateSessionTrace(sc, rng);
+    } else {
+        trace = engine::ServingSimulator::poissonTrace(
+            rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+            o.meanOut);
+    }
     for (auto &r : trace)
         r.deadline = o.deadline;
 
@@ -644,11 +676,22 @@ cmdServe(const std::vector<std::string> &raw)
                      o.checkpointDir.c_str(), o.checkpointDir.c_str());
         return 3;
     }
-    std::printf("served %zu requests on %s (scheduler=%s, "
-                "prefill-chunk=%lld, offered %.3f QPS):\n",
-                trace.size(), eng.spec().name.c_str(),
-                engine::schedulerPolicyName(rep.schedulerPolicy),
-                static_cast<long long>(cfg.prefillChunk), o.qps);
+    if (o.sessions > 0)
+        std::printf("served %zu requests (%lld sessions x %lld "
+                    "turns) on %s (scheduler=%s, prefix-cache=%s, "
+                    "evict=%s):\n",
+                    trace.size(), o.sessions, o.turnsPerSession,
+                    eng.spec().name.c_str(),
+                    engine::schedulerPolicyName(rep.schedulerPolicy),
+                    cfg.prefixCache.enabled ? "on" : "off",
+                    engine::prefixEvictPolicyName(
+                        cfg.prefixCache.evict));
+    else
+        std::printf("served %zu requests on %s (scheduler=%s, "
+                    "prefill-chunk=%lld, offered %.3f QPS):\n",
+                    trace.size(), eng.spec().name.c_str(),
+                    engine::schedulerPolicyName(rep.schedulerPolicy),
+                    static_cast<long long>(cfg.prefillChunk), o.qps);
     printServingReport(rep, plan.active() || o.deadline > 0.0,
                        engine::degradeModeName(cfg.degrade.mode));
     return 0;
