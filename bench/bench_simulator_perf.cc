@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "accuracy/simulate.hh"
 #include "accuracy/trace_gen.hh"
 #include "common/thread_pool.hh"
@@ -377,6 +379,59 @@ BM_FleetScaling(benchmark::State &state)
     state.counters["sim_tokens"] = generated;
 }
 BENCHMARK(BM_FleetScaling)->Arg(2)->Arg(4);
+
+void
+BM_FleetCheckpointResume(benchmark::State &state)
+{
+    // The fleet durability tax end to end: a checkpointed run killed
+    // mid-trace plus the resume that finishes it.  Covers checkpoint
+    // serialization (every node's full stack + fleet-layer state),
+    // the container fsync/rename discipline, and restore.  Compare
+    // against BM_FleetScaling/4 for the plain-run baseline.
+    er::fleet::FleetConfig fc;
+    for (int i = 0; i < 4; ++i) {
+        er::fleet::NodeSpec s;
+        s.model = ModelId::DeepScaleR1_5B;
+        fc.nodes.push_back(s);
+    }
+    fc.server.maxBatch = 16;
+    fc.router = er::fleet::RouterPolicy::LeastLoaded;
+    fc.nodeFaults.seed = 0xF1EE7;
+    fc.nodeFaults.horizon = 3600.0;
+    fc.nodeFaults.crashesPerHour = 12.0;
+    fc.nodeFaults.meanRebootSeconds = 15.0;
+    static const auto trace = [] {
+        er::Rng rng(55, "bench-fleet");
+        return er::engine::ServingSimulator::poissonTrace(
+            rng, 512, 4.0, 96, 256);
+    }();
+    const auto dir = std::filesystem::temp_directory_path() /
+        "edgereason-bench-fleet-ckpt";
+    double generated = 0.0;
+    for (auto _ : state) {
+        std::filesystem::remove_all(dir);
+        er::fleet::FleetDurabilityOptions dur;
+        dur.checkpointDir = dir.string();
+        dur.checkpointEvery = 200;
+        dur.crashAtEvent = 700;
+        try {
+            er::fleet::FleetSimulator doomed(fc);
+            doomed.run(trace, dur);
+        } catch (const er::fleet::FleetSimulatedCrash &) {
+        }
+        dur.crashAtEvent = -1;
+        dur.resume = true;
+        er::fleet::FleetSimulator sim(fc);
+        auto rep = sim.run(trace, dur);
+        generated = rep.generatedTokens;
+        benchmark::DoNotOptimize(rep);
+    }
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(generated));
+    state.counters["sim_tokens"] = generated;
+}
+BENCHMARK(BM_FleetCheckpointResume);
 
 } // namespace
 

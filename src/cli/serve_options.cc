@@ -155,6 +155,8 @@ parseServeOptions(const std::vector<std::string> &args,
          }},
         {"crash-at-step",
          longOpt(&opt.crashAtStep, 0, "--crash-at-step")},
+        {"crash-at-event",
+         longOpt(&opt.crashAtEvent, 0, "--crash-at-event")},
         {"crash-at-time",
          doubleOpt(&opt.crashAtTime, 0.0, "--crash-at-time")},
         {"crash-rate", doubleOpt(&opt.crashRate, 0.0, "--crash-rate")},
@@ -179,12 +181,70 @@ parseServeOptions(const std::vector<std::string> &args,
          doubleOpt(&opt.nodeDegradeRate, 0.0, "--node-degrade-rate")},
         {"node-degrade-mean",
          doubleOpt(&opt.nodeDegradeMean, 0.0, "--node-degrade-mean")},
+        {"node-slowdown-rate", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.nodeSlowdownRate, 0.0,
+                              "--node-slowdown-rate")(v);
+         }},
+        {"node-slowdown-mean", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.nodeSlowdownMean, 0.0,
+                              "--node-slowdown-mean")(v);
+         }},
+        {"node-slowdown-mult", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.nodeSlowdownMult, 0.0,
+                              "--node-slowdown-mult")(v);
+         }},
+        {"node-flap-rate", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.nodeFlapRate, 0.0,
+                              "--node-flap-rate")(v);
+         }},
+        {"node-flap-mean", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.nodeFlapMean, 0.0,
+                              "--node-flap-mean")(v);
+         }},
+        {"health-quantile", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.healthQuantile, 0.0,
+                              "--health-quantile")(v);
+         }},
+        {"health-multiple", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.healthMultiple, 0.0,
+                              "--health-multiple")(v);
+         }},
+        {"adaptive-timeout", [&](const std::string &v) {
+             fleet_only_flag = true;
+             return doubleOpt(&opt.adaptiveTimeout, 0.0,
+                              "--adaptive-timeout")(v);
+         }},
         {"retry", longOpt(&opt.retry, 0, "--retry")},
-        {"retry-backoff",
-         doubleOpt(&opt.retryBackoff, 0.0, "--retry-backoff")},
+        {"retry-backoff", [&](const std::string &v) {
+             double x = 0.0;
+             if (!parseDouble(v, &x))
+                 return "--retry-backoff: not a number: " + v;
+             if (!(x >= 0.0)) // NaN-safe
+                 return "--retry-backoff must be non-negative "
+                        "(seconds of base backoff), got " + v;
+             opt.retryBackoff = x;
+             return std::string();
+         }},
         {"request-timeout",
          doubleOpt(&opt.requestTimeout, 0.0, "--request-timeout")},
-        {"hedge", doubleOpt(&opt.hedge, 0.0, "--hedge")},
+        {"hedge", [&](const std::string &v) {
+             double x = 0.0;
+             if (!parseDouble(v, &x))
+                 return "--hedge: not a number: " + v;
+             if (!(x >= 0.0 && x < 1.0)) // NaN-safe
+                 return "--hedge must be in [0, 1) — the fraction of "
+                        "the deadline budget to wait before hedging, "
+                        "got " + v;
+             opt.hedge = x;
+             return std::string();
+         }},
         {"cloud", [&](const std::string &v) {
              if (v != "o4-mini" && v != "o1-preview")
                  return "invalid --cloud tier: " + v +
@@ -192,7 +252,16 @@ parseServeOptions(const std::vector<std::string> &args,
              opt.cloud = v;
              return std::string();
          }},
-        {"cloud-rtt", doubleOpt(&opt.cloudRtt, 0.0, "--cloud-rtt")},
+        {"cloud-rtt", [&](const std::string &v) {
+             double x = 0.0;
+             if (!parseDouble(v, &x))
+                 return "--cloud-rtt: not a number: " + v;
+             if (!(x >= 0.0)) // NaN-safe
+                 return "--cloud-rtt must be non-negative (seconds "
+                        "of cloud round trip), got " + v;
+             opt.cloudRtt = x;
+             return std::string();
+         }},
         {"fleet-journals", [&](const std::string &v) {
              opt.fleetJournals = v;
              return std::string();
@@ -246,6 +315,7 @@ parseServeOptions(const std::vector<std::string> &args,
         {"exact-steps", &opt.exactSteps},
         {"hetero", &opt.hetero},
         {"node-faults", &opt.nodeFaults},
+        {"adaptive-health", &opt.adaptiveHealth},
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -273,7 +343,8 @@ parseServeOptions(const std::vector<std::string> &args,
     if (opt.qps <= 0.0)
         return fail("--qps must be positive");
     const bool crash_on = opt.crashAtStep >= 0 ||
-        opt.crashAtTime >= 0.0 || opt.crashRate > 0.0;
+        opt.crashAtEvent >= 0 || opt.crashAtTime >= 0.0 ||
+        opt.crashRate > 0.0;
     if (crash_on && opt.checkpointDir.empty())
         return fail("crash injection needs --checkpoint-dir (or "
                     "--resume) so the run can be recovered");
@@ -296,18 +367,16 @@ parseServeOptions(const std::vector<std::string> &args,
                     "shard over)");
     }
     if (opt.fleet >= 1) {
-        // The fleet path owns faults and routing itself; single-run
-        // machinery does not compose with it.
+        // The fleet path owns faults and routing itself; per-run
+        // single-node machinery does not compose with it, but fleet
+        // durability (checkpoint/resume + fleet crash injection) does.
         if (opt.replications > 1)
             return fail("--fleet excludes --replications > 1 (fleet "
                         "runs are already multi-node)");
-        if (!opt.checkpointDir.empty() || opt.resume)
-            return fail("--fleet excludes --checkpoint-dir/--resume "
-                        "(fleet journals are per-node: "
-                        "--fleet-journals)");
-        if (crash_on)
-            return fail("--fleet excludes single-node crash "
-                        "injection (use --node-crash-rate)");
+        if (opt.crashAtStep >= 0 || opt.crashRate > 0.0)
+            return fail("--fleet excludes --crash-at-step/"
+                        "--crash-rate (fleet crash injection is "
+                        "--crash-at-event/--crash-at-time)");
         if (opt.faults)
             return fail("--fleet excludes --faults (use "
                         "--node-faults for per-node behavioural "
@@ -318,22 +387,47 @@ parseServeOptions(const std::vector<std::string> &args,
         if (opt.degrade == engine::DegradeMode::Fallback)
             return fail("--fleet excludes --degrade fallback (no "
                         "per-node fallback engine)");
-        if (opt.hedge > 1.0)
-            return fail("--hedge must be in [0, 1]");
         if (opt.nodeCrashRate > 0.0 && opt.nodeReboot <= 0.0)
             return fail("--node-reboot must be positive when "
                         "--node-crash-rate is set");
         if (opt.nodeDegradeRate > 0.0 && opt.nodeDegradeMean <= 0.0)
             return fail("--node-degrade-mean must be positive when "
                         "--node-degrade-rate is set");
+        if (opt.nodeSlowdownRate > 0.0) {
+            if (opt.nodeSlowdownMean <= 0.0)
+                return fail("--node-slowdown-mean must be positive "
+                            "when --node-slowdown-rate is set");
+            if (opt.nodeSlowdownMult <= 1.0)
+                return fail("--node-slowdown-mult must be > 1 when "
+                            "--node-slowdown-rate is set (1 is no "
+                            "slowdown)");
+        }
+        if (opt.nodeFlapRate > 0.0 && opt.nodeFlapMean <= 0.0)
+            return fail("--node-flap-mean must be positive when "
+                        "--node-flap-rate is set");
+        if (opt.healthQuantile <= 0.0 || opt.healthQuantile >= 1.0)
+            return fail("--health-quantile must be in (0, 1)");
+        if (opt.healthMultiple <= 1.0)
+            return fail("--health-multiple must be > 1 (the fleet "
+                        "median itself would trip)");
+        if (opt.adaptiveTimeout > 0.0 && !opt.adaptiveHealth)
+            return fail("--adaptive-timeout needs --adaptive-health "
+                        "(it caps per-try budgets from the streamed "
+                        "quantiles)");
     } else {
         const bool fleet_flag_used = fleet_only_flag || opt.hetero ||
-            opt.nodeFaults || opt.nodeCrashRate > 0.0 ||
-            opt.nodeDegradeRate > 0.0 || opt.hedge > 0.0 ||
-            !opt.cloud.empty() || !opt.fleetJournals.empty();
+            opt.nodeFaults || opt.adaptiveHealth ||
+            opt.nodeCrashRate > 0.0 || opt.nodeDegradeRate > 0.0 ||
+            opt.hedge > 0.0 || !opt.cloud.empty() ||
+            !opt.fleetJournals.empty();
         if (fleet_flag_used)
             return fail("fleet flags (--router, --hedge, --cloud, "
-                        "--node-*) need --fleet N");
+                        "--adaptive-health, --node-*) need "
+                        "--fleet N");
+        if (opt.crashAtEvent >= 0)
+            return fail("--crash-at-event needs --fleet N (the "
+                        "single-node crash coordinate is "
+                        "--crash-at-step)");
     }
     if (opt.sessions > 0) {
         // Session traces are single-run workloads.

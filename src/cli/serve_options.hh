@@ -113,16 +113,23 @@ struct ServeOptions
     /** Work-chunk count for runSharded (0 = one shard per trace). */
     long long shards = 0;
 
-    // --- Fleet serving (DESIGN.md §12) -----------------------------
+    // --- Fleet serving (DESIGN.md §12, §14) ------------------------
     /**
      * Node count of the fleet simulator; 0 = flag omitted (single-node
      * serve).  `--fleet N` (N >= 1) switches serve to the resilient
      * multi-node path: router + retry/hedge/failover over
-     * fault-injected nodes.  Fleet mode excludes sharded replications,
-     * durability, single-node crash injection, the spjf scheduler, and
+     * fault-injected nodes.  Fleet mode composes with durability
+     * (--checkpoint-dir/--checkpoint-every/--resume/--paranoid) and
+     * fleet crash injection (--crash-at-event/--crash-at-time); it
+     * excludes sharded replications, the single-node crash flags
+     * (--crash-at-step/--crash-rate), the spjf scheduler, and
      * fallback degradation.
      */
     long long fleet = 0;
+    /** Simulated fleet-process kill just before fleet event N (-1
+     *  disables; fleet mode only — the single-node coordinate is
+     *  --crash-at-step). */
+    long long crashAtEvent = -1;
     fleet::RouterPolicy router = fleet::RouterPolicy::RoundRobin;
     /** Cycle node power modes MAXN/50W/30W/15W (heterogeneous fleet). */
     bool hetero = false;
@@ -133,6 +140,17 @@ struct ServeOptions
     double nodeReboot = 20.0;     //!< mean reboot seconds
     double nodeDegradeRate = 0.0; //!< degrade windows per hour
     double nodeDegradeMean = 60.0; //!< mean degrade-window seconds
+    // Gray failures (DESIGN.md §14): alive, responsive, slow.
+    double nodeSlowdownRate = 0.0; //!< slowdown windows per hour
+    double nodeSlowdownMean = 90.0; //!< mean slowdown-window seconds
+    double nodeSlowdownMult = 8.0; //!< peak step-cost multiplier
+    double nodeFlapRate = 0.0;    //!< health-flap windows per hour
+    double nodeFlapMean = 5.0;    //!< mean flap-window seconds
+    // Quantile-adaptive health (DESIGN.md §14).
+    bool adaptiveHealth = false;  //!< latency-quantile breaker on
+    double healthQuantile = 0.95; //!< streamed per-node quantile
+    double healthMultiple = 3.0;  //!< ejection multiple of fleet median
+    double adaptiveTimeout = 0.0; //!< per-try cap multiple (0 = off)
     long long retry = 3;          //!< max re-dispatches per request
     double retryBackoff = 0.25;   //!< base backoff, doubles per try
     double requestTimeout = 0.0;  //!< per-try budget cap (0 = deadline)

@@ -54,6 +54,128 @@ RunningStats::stddev() const
     return std::sqrt(variance());
 }
 
+P2Quantile::P2Quantile(double p) : p_(p)
+{
+    panic_if(p <= 0.0 || p >= 1.0, "P2Quantile: p out of (0,1): ", p);
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n_ < 5) {
+        // Seed phase: collect the first five samples sorted in q_.
+        std::size_t i = n_;
+        while (i > 0 && q_[i - 1] > x) {
+            q_[i] = q_[i - 1];
+            --i;
+        }
+        q_[i] = x;
+        ++n_;
+        if (n_ == 5) {
+            for (int k = 0; k < 5; ++k)
+                pos_[k] = static_cast<double>(k + 1);
+            want_[0] = 1.0;
+            want_[1] = 1.0 + 2.0 * p_;
+            want_[2] = 1.0 + 4.0 * p_;
+            want_[3] = 3.0 + 2.0 * p_;
+            want_[4] = 5.0;
+        }
+        return;
+    }
+
+    // Locate the cell k with q_[k] <= x < q_[k+1], clamping the
+    // extreme markers to the observed min/max.
+    int k;
+    if (x < q_[0]) {
+        q_[0] = x;
+        k = 0;
+    } else if (x >= q_[4]) {
+        q_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= q_[k + 1])
+            ++k;
+    }
+    for (int i = k + 1; i < 5; ++i)
+        pos_[i] += 1.0;
+    const double dwant[5] = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+    for (int i = 0; i < 5; ++i)
+        want_[i] += dwant[i];
+    ++n_;
+
+    // Adjust the three inner markers toward their desired positions
+    // with the piecewise-parabolic (P²) update, falling back to linear
+    // interpolation when the parabola would cross a neighbour.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = want_[i] - pos_[i];
+        if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+            (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+            const double s = d >= 1.0 ? 1.0 : -1.0;
+            const double np = pos_[i] + s;
+            // Parabolic prediction of the marker height at np.
+            const double qp =
+                q_[i] +
+                s / (pos_[i + 1] - pos_[i - 1]) *
+                    ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                         (pos_[i + 1] - pos_[i]) +
+                     (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                         (pos_[i] - pos_[i - 1]));
+            if (q_[i - 1] < qp && qp < q_[i + 1]) {
+                q_[i] = qp;
+            } else {
+                const int j = d >= 1.0 ? i + 1 : i - 1;
+                q_[i] += s * (q_[j] - q_[i]) /
+                         (pos_[j] - pos_[i]);
+            }
+            pos_[i] = np;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (n_ == 0)
+        return 0.0;
+    if (n_ < 5) {
+        // Exact order statistic over the sorted seed samples.
+        const double rank =
+            p_ * static_cast<double>(n_ - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const auto hi = std::min(lo + 1, n_ - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return q_[lo] * (1.0 - frac) + q_[hi] * frac;
+    }
+    return q_[2];
+}
+
+void
+P2Quantile::serialize(ByteWriter &w) const
+{
+    w.f64(p_);
+    w.u64(static_cast<std::uint64_t>(n_));
+    for (int i = 0; i < 5; ++i)
+        w.f64(q_[i]);
+    for (int i = 0; i < 5; ++i)
+        w.f64(pos_[i]);
+    for (int i = 0; i < 5; ++i)
+        w.f64(want_[i]);
+}
+
+void
+P2Quantile::restore(ByteReader &r)
+{
+    p_ = r.f64();
+    n_ = static_cast<std::size_t>(r.u64());
+    for (int i = 0; i < 5; ++i)
+        q_[i] = r.f64();
+    for (int i = 0; i < 5; ++i)
+        pos_[i] = r.f64();
+    for (int i = 0; i < 5; ++i)
+        want_[i] = r.f64();
+}
+
 double
 mape(const std::vector<double> &predicted, const std::vector<double> &actual,
      double eps)

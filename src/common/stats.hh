@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/binio.hh"
+
 namespace edgereason {
 
 /**
@@ -46,6 +48,52 @@ class RunningStats
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/**
+ * P² (piecewise-parabolic) streaming quantile estimator (Jain &
+ * Chambers 1985): tracks one quantile of an unbounded sample stream in
+ * O(1) space with five markers, no sample buffer.  The fleet's
+ * adaptive health breaker keeps one per node for the completion-
+ * latency p95, so the estimator state checkpoints with the fleet —
+ * serialize()/restore() round-trip every marker bit-exactly, which is
+ * what keeps crash-resumed adaptive runs bit-identical.
+ *
+ * The first five samples are held verbatim (value() then computes the
+ * exact order statistic); from the sixth sample on, the five markers
+ * move by the parabolic update.  Fully deterministic: the estimate is
+ * a pure function of the sample sequence.
+ */
+class P2Quantile
+{
+  public:
+    /** @param p  quantile in (0, 1), e.g. 0.95 for the p95. */
+    explicit P2Quantile(double p = 0.95);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return the current quantile estimate (0 when empty; the exact
+     *  order statistic while fewer than five samples are in). */
+    double value() const;
+
+    /** @return number of samples added. */
+    std::size_t count() const { return n_; }
+
+    /** @return the tracked quantile in (0, 1). */
+    double quantile() const { return p_; }
+
+    /** Checkpoint serialization: every marker height/position plus the
+     *  sample count, bit-exact through binio's f64. */
+    void serialize(ByteWriter &w) const;
+    void restore(ByteReader &r);
+
+  private:
+    double p_;
+    std::size_t n_ = 0;
+    double q_[5] = {0, 0, 0, 0, 0};    //!< marker heights
+    double pos_[5] = {0, 0, 0, 0, 0};  //!< marker positions (1-based)
+    double want_[5] = {0, 0, 0, 0, 0}; //!< desired positions
 };
 
 /**

@@ -129,6 +129,11 @@ BatchExecutor::speedNow() const
 Seconds
 BatchExecutor::advanceWork(Seconds base_dt, Watts maxn_power)
 {
+    // Gray-failure stretch (fleet SlowdownWindow): the work quantum
+    // simply takes longer.  Guarded so the 1.0 path stays the exact
+    // legacy arithmetic, bit for bit.
+    if (speedScale_ != 1.0)
+        base_dt *= speedScale_;
     if (!thermalOn_) {
         acc_.clock += base_dt;
         acc_.busy += base_dt;
@@ -838,8 +843,11 @@ BatchExecutor::decodeSteps(ServingState &st, Seconds next_arrival,
     // and only the deferred energy sum (log-gamma partial sums per
     // bucket-run) differs from sequential accumulation, within
     // ~1e-12 relative round-off (DESIGN.md §10).
+    // A gray-failure speed scale forces the exact slow path: every
+    // step must route through advanceWork so the stretch applies.
     const bool fast = !thermalOn_ && !pm.quantized() &&
-        hw::powerModeScale(pm.powerMode()) >= 1.0;
+        hw::powerModeScale(pm.powerMode()) >= 1.0 &&
+        speedScale_ == 1.0;
     if (fast) {
         Tokens avg_ctx =
             static_cast<Tokens>(std::llround(ctx_sum / batch));

@@ -293,6 +293,23 @@ class BatchExecutor
         return thermalOn_ && thermal_.throttled();
     }
 
+    /**
+     * Externally imposed gray-failure speed scale: every busy work
+     * quantum costs @p scale× its nominal wall time (energy follows —
+     * the device is alive and burning for the whole stretch).  The
+     * fleet layer drives this from a node's SlowdownWindow schedule as
+     * a pure function of the executor clock, so it is derived state:
+     * never serialized, recomputed after restore.  Deliberately
+     * invisible to the deadline-admission service estimates — a gray
+     * node keeps optimistically accepting work it will run slowly,
+     * which is exactly what makes gray failures hard to catch.
+     * 1.0 (the default) is the bit-identical legacy path.
+     */
+    void setSpeedScale(double scale) { speedScale_ = scale; }
+
+    /** @return the gray-failure speed scale in force. */
+    double speedScale() const { return speedScale_; }
+
     /** Snapshot the run's aggregate metrics. */
     ServingReport report(Seconds first_arrival,
                          SchedulerPolicy policy,
@@ -338,6 +355,7 @@ class BatchExecutor
 
     bool faulty_ = false;
     bool thermalOn_ = false;
+    double speedScale_ = 1.0;
     double kvBudget_ = 0.0;
     double kvPerToken_ = 0.0;
     Watts idleW_ = 0.0;

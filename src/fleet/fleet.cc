@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "cost/cost_model.hh"
+#include "engine/checkpoint.hh"
 
 namespace edgereason {
 namespace fleet {
@@ -65,6 +67,18 @@ FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
              "hedge fraction must be in [0, 1]");
     fatal_if(cfg_.healthFailureThreshold < 1,
              "health failure threshold must be at least 1");
+    fatal_if(cfg_.adaptiveHealth &&
+                 (cfg_.healthQuantile <= 0.0 ||
+                  cfg_.healthQuantile >= 1.0),
+             "health quantile must be in (0, 1)");
+    fatal_if(cfg_.adaptiveHealth && cfg_.healthLatencyMultiple <= 1.0,
+             "health latency multiple must exceed 1");
+    fatal_if(cfg_.adaptiveHealth && cfg_.healthMinSamples < 1,
+             "health min samples must be at least 1");
+    fatal_if(cfg_.adaptiveTimeoutMultiple < 0.0,
+             "adaptive timeout multiple must be non-negative");
+    fatal_if(cfg_.adaptiveTimeoutMultiple > 0.0 && !cfg_.adaptiveHealth,
+             "adaptive per-try timeouts need adaptiveHealth");
     fatal_if(!cfg_.explicitSchedules.empty() &&
                  cfg_.explicitSchedules.size() != cfg_.nodes.size(),
              "explicit fault schedules must match the node count");
@@ -74,10 +88,12 @@ FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
         : cfg_.explicitSchedules;
 
     nodes_.reserve(cfg_.nodes.size());
-    for (std::size_t i = 0; i < cfg_.nodes.size(); ++i)
+    for (std::size_t i = 0; i < cfg_.nodes.size(); ++i) {
         nodes_.push_back(std::make_unique<FleetNode>(
             static_cast<int>(i), cfg_.nodes[i], cfg_.server,
             schedules_[i].behavioural, cfg_.journalDir));
+        nodes_.back()->setSlowdowns(schedules_[i].slowdowns);
+    }
     router_ = makeRouter(cfg_.router);
 
     liveOnNode_.resize(nodes_.size());
@@ -85,6 +101,9 @@ FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
     consecFailures_.assign(nodes_.size(), 0);
     cooldownUntil_.assign(nodes_.size(), 0.0);
     degradeDepth_.assign(nodes_.size(), 0);
+    latQ_.assign(nodes_.size(),
+                 P2Quantile(cfg_.adaptiveHealth ? cfg_.healthQuantile
+                                                : 0.95));
 }
 
 void
@@ -166,6 +185,40 @@ FleetSimulator::noteSuccess(int node)
     consecFailures_[static_cast<std::size_t>(node)] = 0;
 }
 
+double
+FleetSimulator::fleetMedianQuantile() const
+{
+    std::vector<double> vals;
+    for (const P2Quantile &q : latQ_)
+        if (q.count() >=
+            static_cast<std::size_t>(cfg_.healthMinSamples))
+            vals.push_back(q.value());
+    return vals.empty() ? 0.0 : percentile(std::move(vals), 50.0);
+}
+
+void
+FleetSimulator::noteLatency(int node, Seconds latency, Seconds now)
+{
+    if (!cfg_.adaptiveHealth)
+        return;
+    P2Quantile &q = latQ_[static_cast<std::size_t>(node)];
+    q.add(latency);
+    if (q.count() < static_cast<std::size_t>(cfg_.healthMinSamples))
+        return;
+    // Eject when this node's latency quantile stands out against the
+    // fleet median — the gray-failure detector: a slowed node keeps
+    // completing legs (the consecutive-failure breaker never fires)
+    // but its quantile drifts up.  An already-cooling node is left
+    // alone so ejections count distinct trips, not outcomes.
+    const double med = fleetMedianQuantile();
+    if (med > 0.0 && q.value() > cfg_.healthLatencyMultiple * med &&
+        cooldownUntil_[static_cast<std::size_t>(node)] <= now) {
+        cooldownUntil_[static_cast<std::size_t>(node)] =
+            now + cfg_.healthCooldown;
+        ++adaptiveEjections_;
+    }
+}
+
 bool
 FleetSimulator::draining(int node, Seconds now) const
 {
@@ -243,6 +296,17 @@ FleetSimulator::dispatch(Track &t, Seconds now, int exclude,
     if (cfg_.requestTimeout > 0.0)
         budget = budget > 0.0 ? std::min(budget, cfg_.requestTimeout)
                               : cfg_.requestTimeout;
+    if (cfg_.adaptiveTimeoutMultiple > 0.0) {
+        // Adaptive per-try timeout: the budget tracks observed fleet
+        // latency instead of a static guess.  Tightens only — it can
+        // shrink a static timeout or deadline budget, never extend
+        // one — and stays off until enough completions accumulate.
+        const double med = fleetMedianQuantile();
+        if (med > 0.0) {
+            const Seconds cap = cfg_.adaptiveTimeoutMultiple * med;
+            budget = budget > 0.0 ? std::min(budget, cap) : cap;
+        }
+    }
     leg.deadline = budget;
 
     const int slot = t.legs[0].live ? 1 : 0;
@@ -326,6 +390,9 @@ FleetSimulator::onOutcome(const Event &e)
 
     if (rec.outcome == engine::RequestOutcome::Completed) {
         noteSuccess(e.node);
+        // Leg latency = dispatch -> finish (the leg's arrival is its
+        // dispatch instant), the signal the quantile tracker streams.
+        noteLatency(e.node, rec.latency(), e.time);
         if (slot == t.hedgeSlot)
             ++hedgeWins_;
         finishTrack(t, FleetOutcome::Served, rec.finish, rec.generated,
@@ -482,26 +549,70 @@ FleetSimulator::audit(Seconds now) const
 FleetReport
 FleetSimulator::run(const std::vector<engine::ServerRequest> &trace)
 {
+    return run(trace, FleetDurabilityOptions{});
+}
+
+FleetReport
+FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
+                    const FleetDurabilityOptions &dur)
+{
     fatal_if(trace_ != nullptr, "FleetSimulator::run is single-shot");
     for (std::size_t i = 1; i < trace.size(); ++i)
         fatal_if(trace[i].arrival < trace[i - 1].arrival,
                  "fleet trace arrivals must be sorted");
+    const bool durable = !dur.checkpointDir.empty();
+    fatal_if(dur.resume && !durable,
+             "fleet resume needs a checkpoint directory");
+    fatal_if((dur.crashAtEvent >= 0 || dur.crashAtTime >= 0.0) &&
+                 !durable,
+             "fleet crash injection without a checkpoint directory "
+             "would lose the run");
     trace_ = &trace;
-    tracks_.assign(trace.size(), Track{});
 
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        for (const auto &c : schedules_[i].crashes)
-            push(c.time, KCrash, -1, static_cast<int>(i), 0,
-                 c.rebootAfter);
-        for (const auto &d : schedules_[i].degrades) {
-            push(d.start, KDegradeStart, -1, static_cast<int>(i));
-            push(d.start + d.duration, KDegradeEnd, -1,
-                 static_cast<int>(i));
+    const std::uint64_t fp = durable ? fleetFingerprint(trace) : 0;
+    std::uint64_t restoredEvent = 0;
+    bool resumed = false;
+
+    if (dur.resume) {
+        const auto ckpts = engine::listCheckpoints(dur.checkpointDir);
+        fatal_if(ckpts.empty(), "fleet resume: no checkpoints in ",
+                 dur.checkpointDir);
+        const std::string payload =
+            engine::loadCheckpointFile(ckpts.back().second, fp);
+        ByteReader r(payload);
+        restoreState(r, dur);
+        r.expectEnd("fleet checkpoint");
+        fatal_if(eventCount_ != ckpts.back().first,
+                 "fleet checkpoint ", ckpts.back().second,
+                 " is named for event ", ckpts.back().first,
+                 " but its state is at event ", eventCount_);
+        restoredEvent = eventCount_;
+        resumed = true;
+    } else {
+        tracks_.assign(trace.size(), Track{});
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            nodes_[i]->beginJournal();
+            for (const auto &c : schedules_[i].crashes)
+                push(c.time, KCrash, -1, static_cast<int>(i), 0,
+                     c.rebootAfter);
+            for (const auto &d : schedules_[i].degrades) {
+                push(d.start, KDegradeStart, -1, static_cast<int>(i));
+                push(d.start + d.duration, KDegradeEnd, -1,
+                     static_cast<int>(i));
+            }
+            // Health flaps reuse the degrade-window event machinery:
+            // a flapping node drains briefly and repeatedly, which is
+            // exactly a train of short degrade windows.
+            for (const auto &f : schedules_[i].flaps) {
+                push(f.start, KDegradeStart, -1, static_cast<int>(i));
+                push(f.start + f.duration, KDegradeEnd, -1,
+                     static_cast<int>(i));
+            }
         }
-    }
-    if (!trace.empty()) {
-        push(trace[0].arrival, KArrival, 0, -1);
-        nextArrival_ = 1;
+        if (!trace.empty()) {
+            push(trace[0].arrival, KArrival, 0, -1);
+            nextArrival_ = 1;
+        }
     }
 
     while (true) {
@@ -512,6 +623,26 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace)
             syncNodesTo(lo + kDrainQuantum);
             continue;
         }
+
+        if (durable) {
+            // Checkpoint/crash gate, keyed on the processed-event
+            // count: a deterministic coordinate both the crashed and
+            // the uninterrupted run pass through in the same state.
+            // The restored checkpoint itself is never rewritten (its
+            // journal marks already exist).
+            const bool due = eventCount_ == 0 ||
+                (dur.checkpointEvery > 0 &&
+                 eventCount_ % dur.checkpointEvery == 0);
+            if (due && eventCount_ != lastCkptEvent_ &&
+                !(resumed && eventCount_ == restoredEvent))
+                writeCheckpoint(dur, fp);
+            if ((dur.crashAtEvent >= 0 &&
+                 eventCount_ ==
+                     static_cast<std::uint64_t>(dur.crashAtEvent)) ||
+                (dur.crashAtTime >= 0.0 && now_ >= dur.crashAtTime))
+                throw FleetSimulatedCrash(eventCount_, now_);
+        }
+
         // Conservatively advance every busy node to the event horizon
         // first; outcomes they produce before it enter the heap and
         // are popped in global time order.
@@ -554,6 +685,7 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace)
         }
         if (cfg_.paranoid)
             audit(now_);
+        ++eventCount_;
     }
 
     audit(now_);
@@ -561,6 +693,249 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace)
         fatal_if(!tracks_[gid].terminal, "fleet conservation violated: "
                  "request ", gid, " never reached a terminal state");
     return buildReport();
+}
+
+std::uint64_t
+FleetSimulator::fleetFingerprint(
+    const std::vector<engine::ServerRequest> &trace) const
+{
+    // Hash everything that determines the fleet's arithmetic: router
+    // policy, node specs, per-node server knobs, fleet resilience
+    // knobs, the materialized fault schedules (whatever their source),
+    // and the full trace.  Deliberately excluded, following the
+    // single-node checkpoint discipline: paranoid, journalDir, and
+    // every crash-injection knob — resuming under a different (or no)
+    // crash plan is the normal recovery flow.
+    ByteWriter w;
+    w.str("edgereason-fleet-ckpt-v1");
+    w.u8(static_cast<std::uint8_t>(cfg_.router));
+    w.u64(cfg_.nodes.size());
+    for (const NodeSpec &s : cfg_.nodes) {
+        w.u32(static_cast<std::uint32_t>(s.model));
+        w.u8(s.quantized ? 1 : 0);
+        w.u32(static_cast<std::uint32_t>(s.powerMode));
+    }
+    w.i64(cfg_.server.maxBatch);
+    w.f64(cfg_.server.kvWatermark);
+    w.i64(cfg_.server.prefillChunk);
+    w.u8(static_cast<std::uint8_t>(cfg_.server.scheduler));
+    w.u8(static_cast<std::uint8_t>(cfg_.server.degrade.mode));
+    w.u8(cfg_.server.exactSteps ? 1 : 0);
+    w.u64(cfg_.server.macroHorizonCap);
+    w.u8(cfg_.server.prefixCache.enabled ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(cfg_.server.prefixCache.evict));
+    w.i64(cfg_.maxRetries);
+    w.f64(cfg_.retryBackoff);
+    w.f64(cfg_.retryBackoffCap);
+    w.f64(cfg_.requestTimeout);
+    w.f64(cfg_.hedgeFraction);
+    w.i64(cfg_.healthFailureThreshold);
+    w.f64(cfg_.healthCooldown);
+    w.u8(cfg_.adaptiveHealth ? 1 : 0);
+    w.f64(cfg_.healthQuantile);
+    w.f64(cfg_.healthLatencyMultiple);
+    w.i64(cfg_.healthMinSamples);
+    w.f64(cfg_.adaptiveTimeoutMultiple);
+    w.u8(cfg_.cloud.enabled ? 1 : 0);
+    w.f64(cfg_.cloud.rtt);
+    w.u64(cfg_.cloud.saturationBacklog);
+    w.f64(cfg_.cloud.price.inputPerMTok);
+    w.f64(cfg_.cloud.price.outputPerMTok);
+    w.f64(cfg_.cloud.price.userTps);
+    for (const NodeFaultSchedule &s : schedules_) {
+        w.u64(s.crashes.size());
+        for (const auto &c : s.crashes) {
+            w.f64(c.time);
+            w.f64(c.rebootAfter);
+        }
+        w.u64(s.degrades.size());
+        for (const auto &d : s.degrades) {
+            w.f64(d.start);
+            w.f64(d.duration);
+        }
+        w.u64(s.slowdowns.size());
+        for (const auto &sd : s.slowdowns) {
+            w.f64(sd.start);
+            w.f64(sd.duration);
+            w.f64(sd.multiplier);
+        }
+        w.u64(s.flaps.size());
+        for (const auto &f : s.flaps) {
+            w.f64(f.start);
+            w.f64(f.duration);
+        }
+        w.u8(s.behavioural.config().thermal ? 1 : 0);
+        w.u64(s.behavioural.events().size());
+        for (const auto &e : s.behavioural.events()) {
+            w.u8(static_cast<std::uint8_t>(e.kind));
+            w.f64(e.time);
+            w.f64(e.duration);
+            w.f64(e.magnitude);
+        }
+    }
+    w.u64(trace.size());
+    for (const auto &req : trace)
+        engine::serialize(w, req);
+    return fnv1a(w.bytes());
+}
+
+void
+FleetSimulator::writeCheckpoint(const FleetDurabilityOptions &dur,
+                                std::uint64_t fingerprint)
+{
+    // Mark first: the journal record promises "a checkpoint covers
+    // every record before me", so it must be durable before any
+    // post-checkpoint emission; resume truncates each node's journal
+    // just after its matching mark.
+    for (auto &n : nodes_)
+        n->journalCheckpointMark(eventCount_);
+    std::error_code ec;
+    std::filesystem::create_directories(dur.checkpointDir, ec);
+    fatal_if(ec, "cannot create fleet checkpoint directory ",
+             dur.checkpointDir, ": ", ec.message());
+    ByteWriter w;
+    serializeState(w);
+    engine::writeCheckpointFile(
+        engine::checkpointPath(dur.checkpointDir, eventCount_),
+        fingerprint, w);
+    lastCkptEvent_ = eventCount_;
+}
+
+void
+FleetSimulator::serializeState(ByteWriter &w) const
+{
+    w.f64(now_);
+    w.u64(seq_);
+    w.u64(eventCount_);
+    w.u64(nextArrival_);
+    // The heap vector verbatim, in container order: the array layout
+    // (not just the multiset of events) is part of the run's
+    // determinism, and round-tripping it preserves the heap property
+    // for free.
+    w.u64(heap_.size());
+    for (const Event &e : heap_) {
+        w.f64(e.time);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u64(e.seq);
+        w.i64(e.gid);
+        w.i64(e.node);
+        w.u64(e.servedIdx);
+        w.f64(e.aux);
+    }
+    w.u64(tracks_.size());
+    for (const Track &t : tracks_) {
+        engine::serialize(w, t.req);
+        w.i64(t.gid);
+        w.f64(t.absDeadline);
+        for (int s = 0; s < 2; ++s) {
+            w.i64(t.legs[s].node);
+            w.i64(t.legs[s].local);
+            w.u8(t.legs[s].live ? 1 : 0);
+        }
+        w.i64(t.hedgeSlot);
+        w.i64(t.attempts);
+        w.i64(t.pendingTimers);
+        w.u8(t.hedgeScheduled ? 1 : 0);
+        w.u8(t.terminal ? 1 : 0);
+        w.u8(static_cast<std::uint8_t>(t.outcome));
+        w.f64(t.finish);
+        w.i64(t.generated);
+        w.i64(t.servedBy);
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        w.u64(liveOnNode_[i].size());
+        for (const std::int64_t gid : liveOnNode_[i])
+            w.i64(gid);
+        w.u64(drained_[i]);
+        w.i64(consecFailures_[i]);
+        w.f64(cooldownUntil_[i]);
+        w.i64(degradeDepth_[i]);
+    }
+    w.u64(retries_);
+    w.u64(failovers_);
+    w.u64(hedgesLaunched_);
+    w.u64(hedgeWins_);
+    w.u64(hedgeWaste_);
+    w.u64(cancelledLegs_);
+    w.u64(adaptiveEjections_);
+    w.f64(cloudDollars_);
+    router_->serialize(w);
+    for (const P2Quantile &q : latQ_)
+        q.serialize(w);
+    for (const auto &n : nodes_)
+        n->serialize(w);
+}
+
+void
+FleetSimulator::restoreState(ByteReader &r,
+                             const FleetDurabilityOptions &dur)
+{
+    now_ = r.f64();
+    seq_ = r.u64();
+    eventCount_ = r.u64();
+    nextArrival_ = r.u64();
+    heap_.clear();
+    const std::uint64_t nheap = r.u64();
+    heap_.reserve(nheap);
+    for (std::uint64_t i = 0; i < nheap; ++i) {
+        Event e;
+        e.time = r.f64();
+        e.kind = r.u8();
+        e.seq = r.u64();
+        e.gid = r.i64();
+        e.node = static_cast<int>(r.i64());
+        e.servedIdx = static_cast<std::size_t>(r.u64());
+        e.aux = r.f64();
+        heap_.push_back(e);
+    }
+    const std::uint64_t ntracks = r.u64();
+    fatal_if(ntracks != trace_->size(),
+             "fleet checkpoint tracks ", ntracks,
+             " disagree with the trace size ", trace_->size());
+    tracks_.assign(static_cast<std::size_t>(ntracks), Track{});
+    for (Track &t : tracks_) {
+        engine::restore(r, t.req);
+        t.gid = r.i64();
+        t.absDeadline = r.f64();
+        for (int s = 0; s < 2; ++s) {
+            t.legs[s].node = static_cast<int>(r.i64());
+            t.legs[s].local = r.i64();
+            t.legs[s].live = r.u8() != 0;
+        }
+        t.hedgeSlot = static_cast<int>(r.i64());
+        t.attempts = static_cast<int>(r.i64());
+        t.pendingTimers = static_cast<int>(r.i64());
+        t.hedgeScheduled = r.u8() != 0;
+        t.terminal = r.u8() != 0;
+        t.outcome = static_cast<FleetOutcome>(r.u8());
+        t.finish = r.f64();
+        t.generated = r.i64();
+        t.servedBy = static_cast<int>(r.i64());
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        liveOnNode_[i].clear();
+        const std::uint64_t nlive = r.u64();
+        for (std::uint64_t k = 0; k < nlive; ++k)
+            liveOnNode_[i].insert(r.i64());
+        drained_[i] = static_cast<std::size_t>(r.u64());
+        consecFailures_[i] = static_cast<int>(r.i64());
+        cooldownUntil_[i] = r.f64();
+        degradeDepth_[i] = static_cast<int>(r.i64());
+    }
+    retries_ = static_cast<std::size_t>(r.u64());
+    failovers_ = static_cast<std::size_t>(r.u64());
+    hedgesLaunched_ = static_cast<std::size_t>(r.u64());
+    hedgeWins_ = static_cast<std::size_t>(r.u64());
+    hedgeWaste_ = static_cast<std::size_t>(r.u64());
+    cancelledLegs_ = static_cast<std::size_t>(r.u64());
+    adaptiveEjections_ = static_cast<std::size_t>(r.u64());
+    cloudDollars_ = r.f64();
+    router_->restore(r);
+    for (P2Quantile &q : latQ_)
+        q.restore(r);
+    for (auto &n : nodes_)
+        n->restore(r, eventCount_, dur.verifyTail);
+    lastCkptEvent_ = eventCount_;
 }
 
 FleetReport
@@ -603,6 +978,8 @@ FleetSimulator::buildReport() const
     r.hedgeWins = hedgeWins_;
     r.hedgeWaste = hedgeWaste_;
     r.cancelledLegs = cancelledLegs_;
+    r.adaptiveHealth = cfg_.adaptiveHealth;
+    r.adaptiveEjections = adaptiveEjections_;
     r.makespan = makespan;
 
     const std::size_t finished = r.served + r.offloaded;
@@ -685,6 +1062,11 @@ formatFleetReport(const FleetReport &r)
         std::to_string(r.hedgeWins) + ", waste " +
         std::to_string(r.hedgeWaste) + ") cancelled-legs " +
         std::to_string(r.cancelledLegs) + "\n";
+    // Printed only when the adaptive breaker ran, so the legacy
+    // goldens (adaptiveHealth off) stay bit-identical.
+    if (r.adaptiveHealth)
+        out += "adaptive-health ejections " +
+            std::to_string(r.adaptiveEjections) + "\n";
     out += "makespan " + g17(r.makespan) + " throughput " +
         g17(r.throughput) + " goodput " + g17(r.goodput) +
         " deadline-hit " + g17(r.deadlineHitRate) + "\n";

@@ -36,9 +36,11 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "engine/server.hh"
 #include "fleet/node.hh"
 #include "fleet/node_faults.hh"
@@ -93,6 +95,31 @@ struct FleetConfig
     int healthFailureThreshold = 3;
     Seconds healthCooldown = 30.0;
 
+    /**
+     * Quantile-adaptive health: each node streams its completion
+     * latencies through a P² estimator of healthQuantile; a node whose
+     * estimate exceeds healthLatencyMultiple × the fleet median (over
+     * nodes with ≥ healthMinSamples completions) is ejected into the
+     * standard breaker cooldown.  This is the only machinery that
+     * catches *gray* failures — nodes that are up, responsive, and
+     * merely slow never trip the consecutive-failure breaker because
+     * their legs keep completing.  Off by default: the zero-window
+     * fleet goldens are bit-identical with it off.
+     */
+    bool adaptiveHealth = false;
+    double healthQuantile = 0.95;
+    double healthLatencyMultiple = 3.0;
+    int healthMinSamples = 8;
+    /**
+     * Adaptive per-try timeout: cap each leg's time budget at
+     * adaptiveTimeoutMultiple × the fleet-median latency quantile, so
+     * per-try deadlines track observed behaviour instead of the
+     * static requestTimeout.  Tightens only (never loosens a static
+     * timeout or deadline budget); 0 disables.  Requires
+     * adaptiveHealth.
+     */
+    double adaptiveTimeoutMultiple = 0.0;
+
     CloudTier cloud;
 
     /** Audit the fleet invariants after every event (tests/chaos). */
@@ -131,6 +158,11 @@ struct FleetReport
     std::size_t hedgeWaste = 0;     //!< hedge cancelled without a win
     std::size_t cancelledLegs = 0;  //!< total withdrawn edge legs
 
+    /** Quantile-adaptive health (report line printed only when on,
+     *  so legacy goldens are unchanged). */
+    bool adaptiveHealth = false;
+    std::size_t adaptiveEjections = 0; //!< latency-quantile breaker trips
+
     Seconds makespan = 0.0;
     double throughput = 0.0;      //!< finished (served+offloaded)/s
     double goodput = 0.0;         //!< deadline-met served/s
@@ -155,6 +187,54 @@ struct FleetReport
  *  string; all doubles printed with %.17g so it is bit-exact). */
 std::string formatFleetReport(const FleetReport &r);
 
+/**
+ * Crash-safety controls for one fleet run (all off by default).  A
+ * fleet checkpoint is one versioned, checksummed container
+ * (engine/checkpoint.hh format, fleet payload) snapshotting the
+ * driver — event heap, tracks and live legs, router cursor, breaker
+ * and latency-quantile state, tallies — plus every node's complete
+ * serving stack, so a killed fleet process resumes and finishes
+ * bit-identically to an uninterrupted run at any thread count.
+ */
+struct FleetDurabilityOptions
+{
+    /** Directory for ckpt-<event>.bin files; empty disables
+     *  checkpointing (and crash injection, which needs it). */
+    std::string checkpointDir;
+    /** Write a checkpoint every N processed fleet events (0 = only
+     *  the initial event-0 checkpoint). */
+    std::uint64_t checkpointEvery = 0;
+    /** Resume from the latest valid checkpoint in checkpointDir. */
+    bool resume = false;
+    /** On resume, byte-compare each node's re-emitted journal records
+     *  against its pre-crash journal tail. */
+    bool verifyTail = true;
+    /** Throw FleetSimulatedCrash just before processing this fleet
+     *  event (-1 disables). */
+    std::int64_t crashAtEvent = -1;
+    /** Throw FleetSimulatedCrash once fleet time reaches this instant
+     *  (< 0 disables). */
+    Seconds crashAtTime = -1.0;
+};
+
+/**
+ * Thrown by FleetSimulator::run when crash injection fires.  Distinct
+ * from engine::SimulatedCrash: a fleet crash kills the whole driver
+ * process (every node at once), not one node — per-node crashes are
+ * NodeFaultConfig business.
+ */
+struct FleetSimulatedCrash : public std::runtime_error
+{
+    FleetSimulatedCrash(std::uint64_t event_, Seconds time_)
+        : std::runtime_error("simulated fleet crash at event " +
+                             std::to_string(event_)),
+          event(event_), time(time_)
+    {
+    }
+    std::uint64_t event; //!< fleet events processed before the crash
+    Seconds time;        //!< fleet clock at the crash
+};
+
 class FleetSimulator
 {
   public:
@@ -162,6 +242,16 @@ class FleetSimulator
 
     /** Run @p trace to completion and return the fleet report. */
     FleetReport run(const std::vector<engine::ServerRequest> &trace);
+
+    /**
+     * Run @p trace under crash-safety controls: checkpoint every
+     * @p dur.checkpointEvery events, resume from the latest
+     * checkpoint, and/or crash-inject.  A resumed run must present
+     * the same configuration and trace (enforced by the fleet
+     * fingerprint in the checkpoint header).
+     */
+    FleetReport run(const std::vector<engine::ServerRequest> &trace,
+                    const FleetDurabilityOptions &dur);
 
   private:
     struct Leg
@@ -234,7 +324,17 @@ class FleetSimulator
     void cancelLeg(Track &t, int slot, Seconds now);
     void noteFailure(int node, Seconds now);
     void noteSuccess(int node);
+    void noteLatency(int node, Seconds latency, Seconds now);
+    double fleetMedianQuantile() const;
     bool draining(int node, Seconds now) const;
+
+    std::uint64_t
+    fleetFingerprint(const std::vector<engine::ServerRequest> &trace)
+        const;
+    void writeCheckpoint(const FleetDurabilityOptions &dur,
+                         std::uint64_t fingerprint);
+    void serializeState(ByteWriter &w) const;
+    void restoreState(ByteReader &r, const FleetDurabilityOptions &dur);
 
     void onOutcome(const Event &e);
     void onCloudDone(const Event &e);
@@ -255,6 +355,11 @@ class FleetSimulator
     std::vector<Event> heap_; //!< min-heap via std::*_heap
     std::uint64_t seq_ = 0;
     Seconds now_ = 0.0;
+    /** Fleet events processed so far: the checkpoint cadence unit and
+     *  the crash-injection coordinate. */
+    std::uint64_t eventCount_ = 0;
+    /** Event count of the last checkpoint written (sentinel: none). */
+    std::uint64_t lastCkptEvent_ = ~0ull;
 
     const std::vector<engine::ServerRequest> *trace_ = nullptr;
     std::size_t nextArrival_ = 0;
@@ -272,6 +377,9 @@ class FleetSimulator
     // Degrade windows currently in force (count handles overlap from
     // explicit test schedules).
     std::vector<int> degradeDepth_;
+    /** Streaming completion-latency quantile per node (adaptive
+     *  health; serialized with the checkpoint). */
+    std::vector<P2Quantile> latQ_;
 
     // Tallies.
     std::size_t retries_ = 0;
@@ -280,6 +388,7 @@ class FleetSimulator
     std::size_t hedgeWins_ = 0;
     std::size_t hedgeWaste_ = 0;
     std::size_t cancelledLegs_ = 0;
+    std::size_t adaptiveEjections_ = 0;
     Dollars cloudDollars_ = 0.0;
 };
 

@@ -37,7 +37,30 @@ FleetNode::FleetNode(int id, const NodeSpec &spec,
     scheduler_ = engine::makeScheduler(cfg_.scheduler);
     exec_ = std::make_unique<engine::BatchExecutor>(
         *engine_, nullptr, cfg_, faults_, served_);
+}
+
+void
+FleetNode::beginJournal()
+{
     openJournal();
+}
+
+std::string
+FleetNode::journalPath() const
+{
+    return (std::filesystem::path(journalDir_) /
+            ("node-" + std::to_string(id_) + "-inc" +
+             std::to_string(incarnation_) + ".bin"))
+        .string();
+}
+
+std::uint64_t
+FleetNode::journalFingerprint() const
+{
+    // Keys the journal to (node, incarnation): a resume that would
+    // mix up files is refused by the header check.
+    return 0xF1EE70000000000ull ^
+        (static_cast<std::uint64_t>(id_) << 32) ^ incarnation_;
 }
 
 void
@@ -49,19 +72,21 @@ FleetNode::openJournal()
     std::filesystem::create_directories(journalDir_, ec);
     fatal_if(ec, "cannot create fleet journal directory ", journalDir_,
              ": ", ec.message());
-    const std::string path =
-        (std::filesystem::path(journalDir_) /
-         ("node-" + std::to_string(id_) + "-inc" +
-          std::to_string(incarnation_) + ".bin"))
-            .string();
-    // Fingerprint keys the journal to (node, incarnation); fleet
-    // journals are observer-only crash artifacts, never replayed.
-    journal_ = engine::Journal::createFresh(
-        path, 0xF1EE70000000000ull ^
-                  (static_cast<std::uint64_t>(id_) << 32) ^
-                  incarnation_);
+    // Fleet journals are full WALs: per-node crash artifacts that
+    // `edgereason replay` re-derives reports from, and — under fleet
+    // checkpointing — resumed with byte-for-byte tail verification
+    // (restore() reopens them via Journal::resumeAt).
+    journal_ =
+        engine::Journal::createFresh(journalPath(), journalFingerprint());
     journal_.emitRunBegin(0, cfg_.scheduler, 0.0);
     exec_->setJournal(&journal_);
+}
+
+void
+FleetNode::journalCheckpointMark(std::uint64_t event)
+{
+    if (journal_.active())
+        journal_.emitCheckpointMark(event);
 }
 
 std::int64_t
@@ -103,6 +128,19 @@ FleetNode::nextPendingArrival() const
         : pending_.front().req.arrival;
 }
 
+double
+FleetNode::slowdownScaleAt(Seconds t) const
+{
+    // Windows are sorted and non-overlapping.
+    for (const SlowdownWindow &w : slowdowns_) {
+        if (t < w.start)
+            break;
+        if (t < w.start + w.duration)
+            return w.multiplier;
+    }
+    return 1.0;
+}
+
 void
 FleetNode::advanceUntil(Seconds target, bool stop_on_outcome)
 {
@@ -122,6 +160,13 @@ FleetNode::advanceUntil(Seconds target, bool stop_on_outcome)
             pullArrivals();
             exec_->pumpEvents(st_);
         }
+
+        // Gray-failure latch: pick the slowdown scale for this cycle
+        // from the post-idle-jump clock.  A zero-window node never
+        // touches the executor (setSpeedScale(1.0) included), keeping
+        // the legacy fast path and bit-identity untouched.
+        if (!slowdowns_.empty())
+            exec_->setSpeedScale(slowdownScaleAt(exec_->clock()));
 
         if (st_.haveDeadlines)
             exec_->shedExpiredQueued(st_);
@@ -228,6 +273,83 @@ FleetNode::totals() const
         t.generatedTokens += acc.generatedTokens;
     }
     return t;
+}
+
+void
+FleetNode::serialize(ByteWriter &w) const
+{
+    w.u8(up_ ? 1 : 0);
+    w.u64(incarnation_);
+    w.i64(submitted_);
+    w.u64(gidByLocal_.size());
+    for (const std::int64_t gid : gidByLocal_)
+        w.i64(gid);
+    w.u64(pending_.size());
+    for (const Pending &p : pending_) {
+        engine::serialize(w, p.req);
+        w.i64(p.local);
+    }
+    w.f64(life_.energy);
+    w.f64(life_.busy);
+    w.f64(life_.generatedTokens);
+    w.u64(life_.crashes);
+    w.u64(served_.size());
+    for (const auto &rec : served_)
+        engine::serialize(w, rec);
+    if (up_) {
+        scheduler_->serialize(w);
+        st_.serialize(w);
+        exec_->serialize(w);
+    }
+}
+
+void
+FleetNode::restore(ByteReader &r, std::uint64_t event_mark,
+                   bool verify_tail)
+{
+    up_ = r.u8() != 0;
+    incarnation_ = r.u64();
+    submitted_ = r.i64();
+    gidByLocal_.resize(r.u64());
+    for (std::int64_t &gid : gidByLocal_)
+        gid = r.i64();
+    pending_.clear();
+    const std::uint64_t npending = r.u64();
+    for (std::uint64_t i = 0; i < npending; ++i) {
+        Pending p;
+        engine::restore(r, p.req);
+        p.local = r.i64();
+        pending_.push_back(std::move(p));
+    }
+    life_.energy = r.f64();
+    life_.busy = r.f64();
+    life_.generatedTokens = r.f64();
+    life_.crashes = r.u64();
+    served_.clear();
+    served_.resize(r.u64());
+    for (auto &rec : served_)
+        engine::restore(r, rec);
+    if (up_) {
+        scheduler_->verifyMatches(r);
+        st_ = engine::ServingState();
+        st_.restore(r);
+        exec_ = std::make_unique<engine::BatchExecutor>(
+            *engine_, nullptr, cfg_, faults_, served_);
+        exec_->restore(r);
+        if (!journalDir_.empty()) {
+            journal_ = engine::Journal::resumeAt(
+                journalPath(), journalFingerprint(), event_mark,
+                verify_tail);
+            exec_->setJournal(&journal_);
+        }
+    } else {
+        // Down at checkpoint time: no executor, no journal.  A later
+        // reboot starts the next incarnation fresh; its journal file
+        // is recreated and deterministically re-emitted.
+        journal_ = engine::Journal();
+        exec_.reset();
+        st_ = engine::ServingState();
+    }
 }
 
 Seconds

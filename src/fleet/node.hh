@@ -34,6 +34,7 @@
 #include "engine/executor.hh"
 #include "engine/journal.hh"
 #include "engine/server.hh"
+#include "fleet/node_faults.hh"
 #include "hw/gpu_spec.hh"
 #include "model/model_id.hh"
 
@@ -69,13 +70,34 @@ class FleetNode
      * @param config  scheduler limits (spjf is not supported: nodes
      *   carry no fitted latency model)
      * @param behavioural  node-scoped behavioural fault plan
-     * @param journal_dir  when non-empty, each incarnation writes an
-     *   observer-only WAL to <dir>/node-<id>-inc<k>.bin
+     * @param journal_dir  when non-empty, each incarnation writes a
+     *   WAL to <dir>/node-<id>-inc<k>.bin — replayable with
+     *   `edgereason replay`, and tail-verified on fleet resume
      */
     FleetNode(int id, const NodeSpec &spec,
               const engine::ServerConfig &config,
               engine::FaultPlan behavioural,
               std::string journal_dir = {});
+
+    /**
+     * Open the first incarnation's journal (no-op without a journal
+     * directory).  Called by the fleet driver on a *fresh* run only —
+     * a resuming driver instead reopens the pre-crash journal via
+     * restore(), and opening it here first would truncate it.
+     */
+    void beginJournal();
+
+    /**
+     * Install the node's gray-failure schedule: inside a window every
+     * unit of device work costs multiplier× its nominal time.  The
+     * scale is latched once per scheduling cycle from the executor
+     * clock (derived state: recomputed, never serialized).  Must be
+     * called before the first advanceUntil.
+     */
+    void setSlowdowns(std::vector<SlowdownWindow> windows)
+    {
+        slowdowns_ = std::move(windows);
+    }
 
     int id() const { return id_; }
     const NodeSpec &spec() const { return spec_; }
@@ -155,6 +177,31 @@ class FleetNode
      */
     Seconds estimateServiceTime(const engine::ServerRequest &r) const;
 
+    /**
+     * Serialize the node's complete mutable state into a fleet
+     * checkpoint: liveness, incarnation, submission bookkeeping,
+     * pending arrivals, lifetime totals, served records, and — for a
+     * live node — the full serving stack (scheduler identity,
+     * scheduling state, executor incl. thermal and KV state).
+     */
+    void serialize(ByteWriter &w) const;
+
+    /**
+     * Restore serialize() output into a freshly constructed node.
+     * When a journal directory is configured and the node is up, the
+     * current incarnation's journal is reopened with
+     * Journal::resumeAt at the fleet checkpoint mark @p event_mark —
+     * the pre-crash tail is truncated and (with @p verify_tail)
+     * byte-compared against the resumed run's re-emitted records.
+     */
+    void restore(ByteReader &r, std::uint64_t event_mark,
+                 bool verify_tail);
+
+    /** Emit a CheckpointMark record covering fleet event
+     *  @p event into this incarnation's journal (no-op when
+     *  journaling is off or the node is down). */
+    void journalCheckpointMark(std::uint64_t event);
+
   private:
     struct Pending
     {
@@ -165,6 +212,9 @@ class FleetNode
     void pullArrivals();
     Seconds nextPendingArrival() const;
     void openJournal();
+    std::string journalPath() const;
+    std::uint64_t journalFingerprint() const;
+    double slowdownScaleAt(Seconds t) const;
 
     int id_;
     NodeSpec spec_;
@@ -180,6 +230,7 @@ class FleetNode
 
     std::deque<Pending> pending_;
     std::vector<std::int64_t> gidByLocal_;
+    std::vector<SlowdownWindow> slowdowns_;
     std::int64_t submitted_ = 0;
     bool up_ = true;
     std::uint64_t incarnation_ = 0;

@@ -29,6 +29,15 @@ deriveNodeFaultPlans(const NodeFaultConfig &cfg, std::size_t n)
              "mean reboot length must be positive");
     fatal_if(cfg.degradesPerHour > 0.0 && cfg.meanDegradeSeconds <= 0.0,
              "mean degrade length must be positive");
+    fatal_if(cfg.slowdownsPerHour < 0.0 || cfg.flapsPerHour < 0.0,
+             "node-fault rates must be non-negative");
+    fatal_if(cfg.slowdownsPerHour > 0.0 &&
+                 (cfg.meanSlowdownSeconds <= 0.0 ||
+                  cfg.slowdownMultiplier <= 1.0),
+             "slowdown windows need a positive mean length and a "
+             "multiplier > 1");
+    fatal_if(cfg.flapsPerHour > 0.0 && cfg.meanFlapSeconds <= 0.0,
+             "mean flap length must be positive");
     fatal_if(cfg.behavioural.crash.enabled(),
              "fleet nodes cannot carry a single-node crash schedule "
              "(node crashes are fleet-level: NodeFaultConfig::"
@@ -68,6 +77,39 @@ deriveNodeFaultPlans(const NodeFaultConfig &cfg, std::size_t n)
                 if (t >= cfg.horizon)
                     break;
                 s.degrades.push_back({t, dur});
+                t += dur; // windows never overlap
+            }
+        }
+
+        if (cfg.slowdownsPerHour > 0.0) {
+            Rng rng(cfg.seed, prefix + "/slowdown");
+            const double gap = 3600.0 / cfg.slowdownsPerHour;
+            const double lo = 1.0 + (cfg.slowdownMultiplier - 1.0) / 2.0;
+            Seconds t = 0.0;
+            while (true) {
+                t += exponential(rng, gap);
+                const Seconds dur =
+                    exponential(rng, cfg.meanSlowdownSeconds);
+                const double mult =
+                    lo + rng.uniform() * (cfg.slowdownMultiplier - lo);
+                if (t >= cfg.horizon)
+                    break;
+                s.slowdowns.push_back({t, dur, mult});
+                t += dur; // windows never overlap
+            }
+        }
+
+        if (cfg.flapsPerHour > 0.0) {
+            Rng rng(cfg.seed, prefix + "/flap");
+            const double gap = 3600.0 / cfg.flapsPerHour;
+            Seconds t = 0.0;
+            while (true) {
+                t += exponential(rng, gap);
+                const Seconds dur =
+                    exponential(rng, cfg.meanFlapSeconds);
+                if (t >= cfg.horizon)
+                    break;
+                s.flaps.push_back({t, dur});
                 t += dur; // windows never overlap
             }
         }

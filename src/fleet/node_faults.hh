@@ -53,6 +53,22 @@ struct DegradeWindow
     Seconds duration = 0.0;
 };
 
+/**
+ * One gray-failure window: on [start, start + duration) every unit of
+ * device work on the node costs @p multiplier× its nominal time —
+ * the node stays up, answers health probes, accepts dispatches, and
+ * is simply slow (the thermally-wedged-but-alive Jetson).  Neither
+ * the fail-stop crash machinery nor the consecutive-failure breaker
+ * sees these windows; only latency-based (quantile-adaptive) health
+ * can.
+ */
+struct SlowdownWindow
+{
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+    double multiplier = 1.0; //!< step-cost factor, > 1 slows the node
+};
+
 /** Fleet fault-injection parameters (shared by every node; each node
  *  draws its own schedule from node-scoped streams). */
 struct NodeFaultConfig
@@ -73,6 +89,24 @@ struct NodeFaultConfig
     /** Mean degrade-window length (exponential). */
     Seconds meanDegradeSeconds = 60.0;
 
+    /** Mean gray-failure slowdown windows per hour (Poisson gaps; 0
+     *  disables).  Windows never overlap on one node. */
+    double slowdownsPerHour = 0.0;
+    /** Mean slowdown-window length (exponential). */
+    Seconds meanSlowdownSeconds = 90.0;
+    /** Step-cost multiplier inside a slowdown window; each window
+     *  draws uniformly from [1 + (m-1)/2, m] so stragglers vary. */
+    double slowdownMultiplier = 8.0;
+
+    /** Mean health-flap windows per hour (Poisson gaps; 0 disables).
+     *  A flap is a short self-reported unhealthy blip — same router
+     *  drain semantics as a degrade window, but drawn from its own
+     *  stream with much shorter windows, so flapping nodes re-trip
+     *  the breaker while draining. */
+    double flapsPerHour = 0.0;
+    /** Mean flap-window length (exponential). */
+    Seconds meanFlapSeconds = 5.0;
+
     /**
      * Behavioural fault template applied inside every node (thermal
      * coupling, brownouts, KV shrink).  seed, streamPrefix, and the
@@ -86,16 +120,19 @@ struct NodeFaultConfig
 /** The materialized fleet-fault schedule of one node. */
 struct NodeFaultSchedule
 {
-    std::vector<NodeCrashEvent> crashes; //!< sorted by time
-    std::vector<DegradeWindow> degrades; //!< sorted, non-overlapping
-    engine::FaultPlan behavioural;       //!< node-scoped streams
+    std::vector<NodeCrashEvent> crashes;   //!< sorted by time
+    std::vector<DegradeWindow> degrades;   //!< sorted, non-overlapping
+    std::vector<SlowdownWindow> slowdowns; //!< sorted, non-overlapping
+    std::vector<DegradeWindow> flaps;      //!< sorted, non-overlapping
+    engine::FaultPlan behavioural;         //!< node-scoped streams
 };
 
 /**
  * Derive @p n per-node schedules from @p cfg.  Node i draws from the
- * streams "fleet/node<i>/node-crash" and "fleet/node<i>/degrade", and
- * its behavioural plan from "fleet/node<i>/brownout" etc., so the
- * result for node i is independent of @p n.
+ * streams "fleet/node<i>/node-crash", "fleet/node<i>/degrade",
+ * "fleet/node<i>/slowdown" and "fleet/node<i>/flap", and its
+ * behavioural plan from "fleet/node<i>/brownout" etc., so the result
+ * for node i is independent of @p n.
  */
 std::vector<NodeFaultSchedule>
 deriveNodeFaultPlans(const NodeFaultConfig &cfg, std::size_t n);

@@ -110,6 +110,12 @@ class RoundRobinRouter final : public Router
         return RouteDecision::toNode(pick);
     }
 
+    void serialize(ByteWriter &w) const override { w.i64(cursor_); }
+    void restore(ByteReader &r) override
+    {
+        cursor_ = static_cast<int>(r.i64());
+    }
+
   private:
     int cursor_ = 0;
 };

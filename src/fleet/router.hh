@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.hh"
 #include "cost/cost_model.hh"
 #include "engine/request_state.hh"
 
@@ -136,6 +137,18 @@ class Router
                                 const std::vector<NodeView> &views,
                                 const CloudTier &cloud,
                                 int exclude) = 0;
+
+    /**
+     * Checkpoint the router's mutable decision state.  Only the
+     * round-robin policy carries any (its rotating cursor); the other
+     * built-in policies are pure functions of the visible fleet state,
+     * so the defaults are no-ops.  Fleet checkpoint/restore calls
+     * these so a resumed run routes bit-identically.
+     */
+    virtual void serialize(ByteWriter &w) const { (void)w; }
+    /** Restore serialize() output (same policy guaranteed by the
+     *  fleet fingerprint). */
+    virtual void restore(ByteReader &r) { (void)r; }
 
   protected:
     /**

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/binio.hh"
 #include "common/csv.hh"
 #include "common/fit.hh"
 #include "common/linalg.hh"
@@ -58,6 +59,78 @@ TEST(Stats, PercentileInterpolation)
     EXPECT_DOUBLE_EQ(er::percentile(xs, 0.0), 1.0);
     EXPECT_DOUBLE_EQ(er::percentile(xs, 100.0), 4.0);
     EXPECT_DOUBLE_EQ(er::percentile(xs, 50.0), 2.5);
+}
+
+TEST(P2Quantile, SeedPhaseIsTheExactOrderStatistic)
+{
+    // Under five samples there are no markers yet: value() must be
+    // the same linear-interpolated order statistic percentile()
+    // computes over the sorted prefix, whatever the arrival order.
+    const std::vector<double> stream = {7.0, 2.0, 9.5, 2.0};
+    for (const double p : {0.5, 0.9}) {
+        er::P2Quantile q(p);
+        EXPECT_DOUBLE_EQ(q.value(), 0.0); // empty
+        std::vector<double> seen;
+        for (const double x : stream) {
+            q.add(x);
+            seen.push_back(x);
+            EXPECT_DOUBLE_EQ(q.value(),
+                             er::percentile(seen, 100.0 * p));
+        }
+        EXPECT_EQ(q.count(), stream.size());
+        EXPECT_DOUBLE_EQ(q.quantile(), p);
+    }
+}
+
+TEST(P2Quantile, TracksLogNormalTailWithinTolerance)
+{
+    // 20k log-normal samples (the shape of serving latencies): the
+    // five-marker estimate must land near the exact p95 of the full
+    // sample set, which the estimator never stores.
+    er::Rng rng(31, "p2-quantile");
+    er::P2Quantile q(0.95);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.logNormalMeanStd(10.0, 6.0);
+        q.add(x);
+        all.push_back(x);
+    }
+    const double exact = er::percentile(all, 95.0);
+    EXPECT_NEAR(q.value(), exact, 0.05 * exact);
+}
+
+TEST(P2Quantile, SerializeRestoreResumesBitExactly)
+{
+    // The fleet checkpoint carries one estimator per node; a restored
+    // copy must continue the stream bit-for-bit, not approximately —
+    // that is what keeps crash-resumed adaptive runs bit-identical.
+    er::Rng rng(32, "p2-roundtrip");
+    er::P2Quantile a(0.9);
+    for (int i = 0; i < 1000; ++i)
+        a.add(rng.logNormalMeanStd(5.0, 3.0));
+
+    er::ByteWriter w;
+    a.serialize(w);
+    er::ByteReader r(w.bytes());
+    er::P2Quantile b(0.5); // overwritten wholesale by restore()
+    b.restore(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(b.count(), a.count());
+    EXPECT_DOUBLE_EQ(b.quantile(), a.quantile());
+    EXPECT_DOUBLE_EQ(b.value(), a.value());
+
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.logNormalMeanStd(5.0, 3.0);
+        a.add(x);
+        b.add(x);
+        EXPECT_DOUBLE_EQ(b.value(), a.value()); // bit-exact lockstep
+    }
+}
+
+TEST(P2Quantile, RejectsQuantileOutsideUnitInterval)
+{
+    EXPECT_THROW(er::P2Quantile(0.0), std::logic_error);
+    EXPECT_THROW(er::P2Quantile(1.0), std::logic_error);
 }
 
 TEST(Rng, DeterministicStreams)

@@ -5,10 +5,12 @@
  * crash/degrade schedules, random routing policy, hedging and
  * timeouts — and runs it with the paranoid fleet auditor checking the
  * conservation invariant after every event.  The run itself fatals if
- * any request is lost; on a gtest failure the per-node write-ahead
- * journals are left under ./fleet-chaos-artifacts/seed-<N>/ (the CI
- * fleet-chaos job uploads that directory) so the failing fleet can be
- * inspected offline:
+ * any request is lost; each seed is then *killed* mid-run at a
+ * seed-dependent event (checkpointing enabled) and resumed, and the
+ * resumed report must match the uninterrupted one byte for byte.  On
+ * a gtest failure the per-node write-ahead journals are left under
+ * ./fleet-chaos-artifacts/seed-<N>/ (the CI fleet-chaos job uploads
+ * that directory) so the failing fleet can be inspected offline:
  *
  *   edgereason replay fleet-chaos-artifacts/seed-<N>/node-0-inc0.bin --dump
  */
@@ -99,6 +101,33 @@ TEST(FleetChaos, RandomFleetsConserveEveryRequest)
                 crashes += node.crashes;
             EXPECT_GT(crashes, 0u);
         }
+
+        // Kill/resume equality: the same randomized fleet, killed at
+        // a seed-dependent event with checkpointing on, then resumed
+        // from the latest checkpoint, must land on the exact report
+        // of the uninterrupted run above — node crashes, hedges,
+        // retries, energy, everything.
+        const auto seed_dir =
+            artifacts / ("seed-" + std::to_string(seed));
+        FleetConfig kfc = fc;
+        kfc.journalDir = (seed_dir / "killed").string();
+        FleetDurabilityOptions dur;
+        dur.checkpointDir = (seed_dir / "ckpt").string();
+        dur.checkpointEvery = 5 + seed % 20;
+        dur.crashAtEvent = 25 + static_cast<std::int64_t>(seed * 13 % 50);
+        bool killed = false;
+        try {
+            FleetSimulator doomed(kfc);
+            doomed.run(trace, dur);
+        } catch (const FleetSimulatedCrash &) {
+            killed = true;
+        }
+        EXPECT_TRUE(killed) << "kill point was never reached";
+        dur.crashAtEvent = -1;
+        dur.resume = true;
+        FleetSimulator revived(kfc);
+        EXPECT_EQ(formatFleetReport(revived.run(trace, dur)),
+                  formatFleetReport(rep));
     }
 
     // A green sweep cleans up its journals; failures keep them for

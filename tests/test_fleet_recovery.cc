@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Fleet durability and gray-failure suite (DESIGN.md §14).  The
+ * tentpole claim: killing the fleet *process* at any event and
+ * resuming from the latest checkpoint reproduces the uninterrupted
+ * fleet report bit for bit — across router policies, crash points,
+ * and thread counts, with per-node journal tails byte-verified on
+ * resume.  Plus the gray-failure model (slowdown windows that only
+ * latency-quantile health can see), the adaptive breaker, and the
+ * static breaker's boundary behavior (exact-threshold trip,
+ * half-open recovery, flapping re-trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "engine/server.hh"
+#include "fleet/fleet.hh"
+#include "fleet/node_faults.hh"
+#include "hw/gpu_spec.hh"
+#include "model/model_id.hh"
+
+namespace er = edgereason;
+using namespace er::fleet;
+using er::engine::ServerRequest;
+using er::engine::ServingSimulator;
+
+namespace {
+
+const std::filesystem::path kArtifacts = "fleet-recovery-artifacts";
+
+/** A fleet that exercises everything the checkpoint must carry:
+ *  crashes + reboots (incarnations), degrade drains, hedged legs,
+ *  per-try timeouts with retry backoff, and a twitchy breaker. */
+FleetConfig
+recoveryConfig(RouterPolicy p)
+{
+    FleetConfig fc;
+    for (int i = 0; i < 3; ++i) {
+        NodeSpec s;
+        s.model = er::model::ModelId::DeepScaleR1_5B;
+        s.powerMode = i % 2 ? er::hw::PowerMode::W30
+                            : er::hw::PowerMode::MaxN;
+        fc.nodes.push_back(s);
+    }
+    fc.server.maxBatch = 6;
+    fc.router = p;
+    fc.maxRetries = 3;
+    fc.retryBackoff = 0.5;
+    fc.hedgeFraction = 0.35;
+    fc.requestTimeout = 45.0;
+    fc.healthFailureThreshold = 2;
+    fc.healthCooldown = 12.0;
+    fc.paranoid = true;
+    fc.nodeFaults.seed = 0xD00B;
+    fc.nodeFaults.horizon = 300.0;
+    fc.nodeFaults.crashesPerHour = 120.0;
+    fc.nodeFaults.meanRebootSeconds = 10.0;
+    fc.nodeFaults.degradesPerHour = 45.0;
+    fc.nodeFaults.meanDegradeSeconds = 15.0;
+    return fc;
+}
+
+std::vector<ServerRequest>
+recoveryTrace()
+{
+    er::Rng rng(7, "fleet-recovery");
+    auto t = ServingSimulator::poissonTrace(rng, 28, 1.5, 96, 224);
+    for (auto &r : t)
+        r.deadline = 75.0;
+    return t;
+}
+
+/**
+ * Run @p fc to the injected crash point, then resume from the latest
+ * checkpoint and return the finished report.  The config's journalDir
+ * (when set) makes the resume also byte-verify each node's re-emitted
+ * journal tail against the pre-crash file.
+ */
+std::string
+runCrashResume(const FleetConfig &fc,
+               const std::vector<ServerRequest> &trace,
+               const std::filesystem::path &dir,
+               FleetDurabilityOptions crash_dur)
+{
+    crash_dur.checkpointDir = (dir / "ckpt").string();
+    if (crash_dur.checkpointEvery == 0)
+        crash_dur.checkpointEvery = 20;
+    bool crashed = false;
+    try {
+        FleetSimulator sim(fc);
+        sim.run(trace, crash_dur);
+    } catch (const FleetSimulatedCrash &) {
+        crashed = true;
+    }
+    EXPECT_TRUE(crashed) << "crash point was never reached";
+
+    FleetDurabilityOptions res;
+    res.checkpointDir = crash_dur.checkpointDir;
+    res.checkpointEvery = crash_dur.checkpointEvery;
+    res.resume = true;
+    FleetSimulator sim(fc);
+    return formatFleetReport(sim.run(trace, res));
+}
+
+// --- Tentpole: crash-resume bit-identity -----------------------------
+
+TEST(FleetRecovery, CrashResumeMatrixIsBitIdentical)
+{
+    std::filesystem::remove_all(kArtifacts);
+    const auto trace = recoveryTrace();
+    const RouterPolicy policies[] = {
+        RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+        RouterPolicy::DeadlineAware, RouterPolicy::CostAware};
+
+    for (const RouterPolicy p : policies) {
+        // The baseline runs with no durability machinery at all:
+        // checkpointing must never perturb the simulation.
+        FleetSimulator base(recoveryConfig(p));
+        const std::string uninterrupted =
+            formatFleetReport(base.run(trace));
+
+        for (const std::int64_t crash_event : {30ll, 90ll}) {
+            for (const unsigned threads : {1u, 2u, 4u}) {
+                SCOPED_TRACE(std::string(routerPolicyName(p)) +
+                             " crash@" + std::to_string(crash_event) +
+                             " threads=" + std::to_string(threads));
+                er::ThreadPool::setGlobalThreads(threads);
+                const auto dir = kArtifacts /
+                    (std::string(routerPolicyName(p)) + "-e" +
+                     std::to_string(crash_event) + "-t" +
+                     std::to_string(threads));
+                FleetConfig fc = recoveryConfig(p);
+                fc.journalDir = (dir / "journals").string();
+                FleetDurabilityOptions dur;
+                dur.crashAtEvent = crash_event;
+                EXPECT_EQ(runCrashResume(fc, trace, dir, dur),
+                          uninterrupted);
+            }
+        }
+    }
+    er::ThreadPool::setGlobalThreads(0);
+    if (!::testing::Test::HasFailure())
+        std::filesystem::remove_all(kArtifacts);
+}
+
+TEST(FleetRecovery, ResumesWithHedgedLegsAndTrippedBreaker)
+{
+    // A gray node 0 (12x slowdown, never crashed) with a 10 s per-try
+    // timeout: its legs keep timing out, so the 2-failure breaker is
+    // tripped and re-tripped throughout, hedges fire against the slow
+    // primary, and the crash instants land while hedged legs are in
+    // flight and node 0 is cooling down.  Resume must reproduce all
+    // of it — in-flight legs, breaker state, retry budgets — exactly.
+    std::filesystem::remove_all(kArtifacts);
+    FleetConfig fc = recoveryConfig(RouterPolicy::RoundRobin);
+    fc.nodeFaults.crashesPerHour = 0.0; // fail-stop off: gray only
+    fc.nodeFaults.degradesPerHour = 0.0;
+    fc.requestTimeout = 10.0;
+    // Hedge early (at 10% of the deadline budget): the slow node-0
+    // primaries are still in flight then, so hedges actually launch.
+    fc.hedgeFraction = 0.9;
+    fc.explicitSchedules.resize(fc.nodes.size());
+    fc.explicitSchedules[0].slowdowns.push_back({0.0, 1e6, 12.0});
+
+    const auto trace = recoveryTrace();
+    FleetSimulator base(fc);
+    const auto base_rep = base.run(trace);
+    const std::string uninterrupted = formatFleetReport(base_rep);
+    // The scenario must actually contain the hard state: hedged legs,
+    // breaker trips (retries after node-0 timeouts), no crashes.
+    EXPECT_GT(base_rep.hedgesLaunched, 0u);
+    EXPECT_GT(base_rep.retries, 0u);
+    EXPECT_GE(base_rep.nodes[0].timedOut,
+              static_cast<std::size_t>(fc.healthFailureThreshold));
+    EXPECT_EQ(base_rep.nodes[0].crashes, 0u);
+
+    int idx = 0;
+    for (const double crash_time : {15.0, 30.0}) {
+        SCOPED_TRACE("crash at t=" + std::to_string(crash_time));
+        FleetConfig jfc = fc;
+        const auto dir =
+            kArtifacts / ("hedged-t" + std::to_string(idx++));
+        jfc.journalDir = (dir / "journals").string();
+        FleetDurabilityOptions dur;
+        dur.crashAtTime = crash_time;
+        dur.checkpointEvery = 10;
+        EXPECT_EQ(runCrashResume(jfc, trace, dir, dur),
+                  uninterrupted);
+    }
+    if (!::testing::Test::HasFailure())
+        std::filesystem::remove_all(kArtifacts);
+}
+
+// --- Gray failure + quantile-adaptive health -------------------------
+
+TEST(FleetRecovery, GrayNodeIsEjectedByQuantileBreaker)
+{
+    // Node 0 is alive, responsive, and 10x slow: it completes every
+    // leg, so the consecutive-failure breaker never fires.  Only the
+    // latency-quantile breaker can see it.
+    FleetConfig fc;
+    fc.nodes.assign(3, NodeSpec{er::model::ModelId::DeepScaleR1_5B});
+    fc.router = RouterPolicy::RoundRobin;
+    fc.paranoid = true;
+    fc.adaptiveHealth = true;
+    fc.healthQuantile = 0.9;
+    fc.healthLatencyMultiple = 2.0;
+    fc.healthMinSamples = 4;
+    fc.healthCooldown = 60.0;
+    fc.explicitSchedules.resize(3);
+    fc.explicitSchedules[0].slowdowns.push_back({0.0, 1e6, 10.0});
+
+    er::Rng rng(11, "fleet-gray");
+    auto trace = ServingSimulator::poissonTrace(rng, 36, 1.0, 96, 192);
+    for (auto &r : trace)
+        r.deadline = 120.0;
+
+    FleetSimulator sim(fc);
+    const auto rep = sim.run(trace);
+    EXPECT_GE(rep.adaptiveEjections, 1u);
+    EXPECT_EQ(rep.nodes[0].crashes, 0u); // gray, not fail-stop
+    EXPECT_EQ(rep.served + rep.timedOut + rep.shed + rep.offloaded,
+              rep.arrivals);
+    // The report carries the ejection tally (printed only when the
+    // adaptive breaker is on, so legacy goldens never change).
+    EXPECT_NE(formatFleetReport(rep).find("adaptive-health ejections"),
+              std::string::npos);
+}
+
+TEST(FleetRecovery, AdaptiveBreakerBeatsStaticUnderStraggler)
+{
+    // Same straggler fleet, breaker on vs. off: ejecting the gray
+    // node reroutes work to healthy nodes and must win on goodput.
+    FleetConfig fc;
+    fc.nodes.assign(3, NodeSpec{er::model::ModelId::DeepScaleR1_5B});
+    fc.router = RouterPolicy::RoundRobin;
+    fc.paranoid = true;
+    fc.healthCooldown = 1e6;
+    fc.explicitSchedules.resize(3);
+    // A moderate (5x) straggler: slow legs still *complete* early
+    // enough to feed the latency quantile while arrivals are ongoing
+    // (a harsher slowdown would only finish its first leg after the
+    // arrival window closes, and ejecting then changes nothing), yet
+    // 5x pushes the node past saturation so its queue — and its
+    // deadline misses — grow for as long as the router keeps feeding
+    // it.
+    fc.explicitSchedules[0].slowdowns.push_back({0.0, 1e6, 5.0});
+
+    er::Rng rng(13, "fleet-straggler");
+    auto trace = ServingSimulator::poissonTrace(rng, 100, 1.2, 96, 192);
+    for (auto &r : trace)
+        r.deadline = 45.0;
+
+    FleetSimulator stat(fc);
+    const auto static_rep = stat.run(trace);
+
+    fc.adaptiveHealth = true;
+    fc.healthQuantile = 0.9;
+    fc.healthLatencyMultiple = 2.0;
+    fc.healthMinSamples = 4;
+    FleetSimulator adap(fc);
+    const auto adaptive_rep = adap.run(trace);
+
+    EXPECT_GE(adaptive_rep.adaptiveEjections, 1u);
+    EXPECT_GT(adaptive_rep.goodput, static_rep.goodput);
+}
+
+TEST(FleetRecovery, AdaptiveStateOffLeavesReportsUntouched)
+{
+    // With no slowdown windows and adaptive health off, the durable
+    // run path must not perturb the legacy fleet arithmetic: the
+    // plain run() and the run(trace, {}) overload agree exactly.
+    const auto trace = recoveryTrace();
+    FleetSimulator a(recoveryConfig(RouterPolicy::CostAware));
+    FleetSimulator b(recoveryConfig(RouterPolicy::CostAware));
+    EXPECT_EQ(formatFleetReport(a.run(trace)),
+              formatFleetReport(
+                  b.run(trace, FleetDurabilityOptions{})));
+}
+
+// --- Static breaker boundary behavior --------------------------------
+
+/** Two nodes; node 0 is slowed so only its legs blow the per-try
+ *  timeout; node 1 completes every leg comfortably. */
+FleetConfig
+breakerConfig(int threshold, er::Seconds cooldown, er::Seconds slow_until)
+{
+    FleetConfig fc;
+    fc.nodes.assign(2, NodeSpec{er::model::ModelId::DeepScaleR1_5B});
+    fc.router = RouterPolicy::RoundRobin;
+    fc.paranoid = true;
+    fc.maxRetries = 3;
+    fc.retryBackoff = 0.25;
+    fc.requestTimeout = 8.0; // ~3 s healthy service, ~50 s slowed
+    fc.healthFailureThreshold = threshold;
+    fc.healthCooldown = cooldown;
+    fc.explicitSchedules.resize(2);
+    fc.explicitSchedules[0].slowdowns.push_back(
+        {0.0, slow_until, 20.0});
+    return fc;
+}
+
+std::vector<ServerRequest>
+spacedTrace(std::size_t n, er::Seconds gap)
+{
+    std::vector<ServerRequest> t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i].arrival = gap * static_cast<double>(i);
+        t[i].inputTokens = 64;
+        t[i].outputTokens = 128;
+    }
+    return t;
+}
+
+TEST(FleetBreaker, TripsAtExactlyTheFailureThreshold)
+{
+    // With an effectively infinite cooldown, node 0 receives exactly
+    // `threshold` legs — the trip happens on the Nth consecutive
+    // failure, not before and not after.
+    for (const int threshold : {3, 4}) {
+        SCOPED_TRACE("threshold " + std::to_string(threshold));
+        FleetConfig fc = breakerConfig(threshold, 1e9, 1e9);
+        const auto trace = spacedTrace(14, 10.0);
+        FleetSimulator sim(fc);
+        const auto rep = sim.run(trace);
+        EXPECT_EQ(rep.nodes[0].timedOut,
+                  static_cast<std::size_t>(threshold));
+        EXPECT_EQ(rep.nodes[0].served, 0u);
+        // Every timed-out leg retries onto node 1; nothing is lost.
+        EXPECT_EQ(rep.served, rep.arrivals);
+        EXPECT_EQ(rep.nodes[1].served, rep.arrivals);
+    }
+}
+
+TEST(FleetBreaker, HalfOpenProbeRecoversAHealedNode)
+{
+    // Node 0 is slow until t=100 and healthy after.  The breaker
+    // trips during the slow window; once the cooldown lapses, the
+    // half-open probe leg lands on a healed node, succeeds, and node
+    // 0 rejoins the rotation for the rest of the run.
+    FleetConfig fc = breakerConfig(3, 30.0, 100.0);
+    const auto trace = spacedTrace(30, 10.0); // runs past t=290
+    FleetSimulator sim(fc);
+    const auto rep = sim.run(trace);
+    EXPECT_GT(rep.nodes[0].served, 0u) << "node 0 never recovered";
+    EXPECT_GE(rep.nodes[0].timedOut, 3u);
+    EXPECT_EQ(rep.served, rep.arrivals);
+}
+
+TEST(FleetBreaker, FlappingNodeRetripsDuringDrain)
+{
+    // Node 0 never heals: every half-open probe window accumulates
+    // `threshold` fresh failures and re-trips the breaker.  Evidence
+    // of at least one full re-trip cycle is > threshold node-0
+    // timeouts — and still zero node-0 completions.
+    FleetConfig fc = breakerConfig(2, 25.0, 1e9);
+    // Self-reported health flaps while the node is also cooling down:
+    // drain windows from two sources must compose, not cancel.
+    fc.explicitSchedules[0].flaps.push_back({40.0, 5.0});
+    fc.explicitSchedules[0].flaps.push_back({80.0, 5.0});
+    const auto trace = spacedTrace(30, 10.0);
+    FleetSimulator sim(fc);
+    const auto rep = sim.run(trace);
+    EXPECT_GT(rep.nodes[0].timedOut, 2u) << "never re-tripped";
+    EXPECT_EQ(rep.nodes[0].served, 0u);
+    EXPECT_EQ(rep.served, rep.arrivals);
+}
+
+} // namespace

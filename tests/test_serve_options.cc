@@ -329,8 +329,9 @@ TEST(ServeOptions, RejectsMalformedFleetValues)
 
 TEST(ServeOptions, FleetExcludesSingleRunMachinery)
 {
-    // The fleet path owns faults, durability, and routing; the
-    // single-run flags must not silently combine with it.
+    // The fleet path owns faults and routing; the single-run flags
+    // must not silently combine with it.  (Durability now composes:
+    // see FleetComposesWithDurability.)
     std::string err;
     EXPECT_FALSE(
         parse({"--fleet", "2", "--replications", "4"}, &err)
@@ -338,10 +339,12 @@ TEST(ServeOptions, FleetExcludesSingleRunMachinery)
     EXPECT_FALSE(
         parse({"--fleet", "2", "--faults"}, &err).has_value());
     EXPECT_FALSE(
-        parse({"--fleet", "2", "--checkpoint-dir", "/tmp/x"}, &err)
-            .has_value());
-    EXPECT_FALSE(
         parse({"--fleet", "2", "--crash-rate", "1",
+               "--checkpoint-dir", "/tmp/x"}, &err)
+            .has_value());
+    EXPECT_NE(err.find("--crash-at-event"), std::string::npos) << err;
+    EXPECT_FALSE(
+        parse({"--fleet", "2", "--crash-at-step", "5",
                "--checkpoint-dir", "/tmp/x"}, &err)
             .has_value());
     EXPECT_FALSE(
@@ -350,6 +353,150 @@ TEST(ServeOptions, FleetExcludesSingleRunMachinery)
     EXPECT_FALSE(
         parse({"--fleet", "2", "--degrade", "fallback"}, &err)
             .has_value());
+}
+
+TEST(ServeOptions, FleetComposesWithDurability)
+{
+    // DESIGN.md §14: fleet runs checkpoint, resume, and inject
+    // fleet-event crashes with the same flags as single-node runs.
+    std::string err;
+    const auto o = parse({"--fleet", "3", "--checkpoint-dir",
+                          "/tmp/fck", "--checkpoint-every", "32",
+                          "--crash-at-event", "100", "--paranoid"},
+                         &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_EQ(o->checkpointDir, "/tmp/fck");
+    EXPECT_EQ(o->checkpointEvery, 32ull);
+    EXPECT_EQ(o->crashAtEvent, 100);
+    EXPECT_TRUE(o->paranoid);
+
+    const auto r = parse({"--fleet", "3", "--resume", "/tmp/fck"},
+                         &err);
+    ASSERT_TRUE(r.has_value()) << err;
+    EXPECT_TRUE(r->resume);
+    EXPECT_EQ(r->checkpointDir, "/tmp/fck");
+
+    const auto t = parse({"--fleet", "3", "--crash-at-time", "250",
+                          "--checkpoint-dir", "/tmp/fck"},
+                         &err);
+    ASSERT_TRUE(t.has_value()) << err;
+    EXPECT_DOUBLE_EQ(t->crashAtTime, 250.0);
+
+    // Fleet crash injection still needs somewhere to checkpoint...
+    EXPECT_FALSE(parse({"--fleet", "3", "--crash-at-event", "100"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--checkpoint-dir"), std::string::npos) << err;
+    // ...and the fleet-event coordinate means nothing single-node.
+    EXPECT_FALSE(parse({"--crash-at-event", "100", "--checkpoint-dir",
+                        "/tmp/ck"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--fleet"), std::string::npos) << err;
+}
+
+TEST(ServeOptions, ParsesGrayFailureAndAdaptiveHealthFlags)
+{
+    std::string err;
+    const auto o = parse(
+        {"--fleet", "4", "--node-slowdown-rate", "2",
+         "--node-slowdown-mean", "120", "--node-slowdown-mult", "10",
+         "--node-flap-rate", "6", "--node-flap-mean", "4",
+         "--adaptive-health", "--health-quantile", "0.9",
+         "--health-multiple", "2.5", "--adaptive-timeout", "4"},
+        &err);
+    ASSERT_TRUE(o.has_value()) << err;
+    EXPECT_DOUBLE_EQ(o->nodeSlowdownRate, 2.0);
+    EXPECT_DOUBLE_EQ(o->nodeSlowdownMean, 120.0);
+    EXPECT_DOUBLE_EQ(o->nodeSlowdownMult, 10.0);
+    EXPECT_DOUBLE_EQ(o->nodeFlapRate, 6.0);
+    EXPECT_DOUBLE_EQ(o->nodeFlapMean, 4.0);
+    EXPECT_TRUE(o->adaptiveHealth);
+    EXPECT_DOUBLE_EQ(o->healthQuantile, 0.9);
+    EXPECT_DOUBLE_EQ(o->healthMultiple, 2.5);
+    EXPECT_DOUBLE_EQ(o->adaptiveTimeout, 4.0);
+}
+
+TEST(ServeOptions, RejectsMalformedGrayFailureValues)
+{
+    std::string err;
+    // A multiplier of 1 is "no slowdown"; <= 1 is a config mistake.
+    EXPECT_FALSE(parse({"--fleet", "2", "--node-slowdown-rate", "2",
+                        "--node-slowdown-mult", "1"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--node-slowdown-mult"), std::string::npos)
+        << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--node-slowdown-rate", "2",
+                        "--node-slowdown-mean", "0"},
+                       &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--fleet", "2", "--node-flap-rate", "2",
+                        "--node-flap-mean", "0"},
+                       &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--fleet", "2", "--adaptive-health",
+                        "--health-quantile", "0"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--health-quantile"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--adaptive-health",
+                        "--health-multiple", "1"},
+                       &err)
+                     .has_value());
+    // --adaptive-timeout derives its cap from the streamed quantiles.
+    EXPECT_FALSE(parse({"--fleet", "2", "--adaptive-timeout", "4"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--adaptive-health"), std::string::npos) << err;
+    // Gray-failure and adaptive flags are fleet-scoped.
+    EXPECT_FALSE(parse({"--node-slowdown-rate", "2"}, &err)
+                     .has_value());
+    EXPECT_NE(err.find("--fleet"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--adaptive-health"}, &err).has_value());
+    EXPECT_NE(err.find("--fleet"), std::string::npos) << err;
+}
+
+TEST(ServeOptions, RejectsHedgeOutsideUnitInterval)
+{
+    // A hedge fraction of 1 waits the whole deadline budget: the
+    // hedge can never fire, so [0, 1) is enforced with both ends
+    // named in the message.
+    std::string err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--hedge", "1.0"}, &err)
+                     .has_value());
+    EXPECT_NE(err.find("--hedge"), std::string::npos) << err;
+    EXPECT_NE(err.find("[0, 1)"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--hedge", "-0.1"}, &err)
+                     .has_value());
+    EXPECT_FALSE(parse({"--fleet", "2", "--hedge", "nan"}, &err)
+                     .has_value());
+    EXPECT_TRUE(parse({"--fleet", "2", "--hedge", "0.99"}, &err)
+                    .has_value())
+        << err;
+    EXPECT_TRUE(parse({"--fleet", "2", "--hedge", "0"}, &err)
+                    .has_value())
+        << err;
+}
+
+TEST(ServeOptions, RejectsNegativeCloudRttAndRetryBackoff)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--cloud", "o4-mini",
+                        "--cloud-rtt", "-0.5"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--cloud-rtt"), std::string::npos) << err;
+    EXPECT_NE(err.find("non-negative"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--retry-backoff", "-1"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("--retry-backoff"), std::string::npos) << err;
+    EXPECT_NE(err.find("non-negative"), std::string::npos) << err;
+    EXPECT_FALSE(parse({"--fleet", "2", "--retry-backoff", "junk"},
+                       &err)
+                     .has_value());
+    EXPECT_NE(err.find("not a number"), std::string::npos) << err;
 }
 
 TEST(ServeOptions, FleetFlagsNeedFleet)

@@ -32,7 +32,15 @@
  *                    [--session-qps 0.5] [--turn-gap 20]
  *                    [--system-prompt 512]
  *                    [--prefix-cache on|off] [--prefix-evict lru|cost]
- *   edgereason replay <journal.bin> [--dump]
+ *                    [--fleet N] [--router rr|least|deadline|cost]
+ *                    [--hetero] [--node-faults]
+ *                    [--node-crash-rate R] [--node-degrade-rate R]
+ *                    [--node-slowdown-rate R] [--node-flap-rate R]
+ *                    [--adaptive-health] [--health-quantile 0.95]
+ *                    [--health-multiple 3] [--adaptive-timeout 4]
+ *                    [--retry N] [--hedge F] [--cloud o4-mini]
+ *                    [--fleet-journals DIR] [--crash-at-event N]
+ *   edgereason replay <journal.bin|journal-dir> [--dump]
  *
  * Policies: Base, NR, <n>T (hard), <n>NC (soft), L1-<n>.
  *
@@ -41,8 +49,10 @@
  * hardware concurrency).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -436,6 +446,10 @@ printFleetReport(const fleet::FleetReport &rep)
                 "hedges (%zu wins, %zu waste), %zu cancelled legs\n",
                 rep.retries, rep.failovers, rep.hedgesLaunched,
                 rep.hedgeWins, rep.hedgeWaste, rep.cancelledLegs);
+    if (rep.adaptiveHealth)
+        std::printf("  health     : %zu adaptive-health ejections "
+                    "(latency-quantile breaker)\n",
+                    rep.adaptiveEjections);
     std::printf("  goodput    : %.3f QPS good / %.3f QPS total, "
                 "deadline hit rate %.0f%%\n",
                 rep.goodput, rep.throughput,
@@ -480,6 +494,10 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
     fc.retryBackoff = o.retryBackoff;
     fc.requestTimeout = o.requestTimeout;
     fc.hedgeFraction = o.hedge;
+    fc.adaptiveHealth = o.adaptiveHealth;
+    fc.healthQuantile = o.healthQuantile;
+    fc.healthLatencyMultiple = o.healthMultiple;
+    fc.adaptiveTimeoutMultiple = o.adaptiveTimeout;
     fc.paranoid = o.paranoid;
     fc.journalDir = o.fleetJournals;
     if (!o.cloud.empty()) {
@@ -502,6 +520,11 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
     fc.nodeFaults.meanRebootSeconds = o.nodeReboot;
     fc.nodeFaults.degradesPerHour = o.nodeDegradeRate;
     fc.nodeFaults.meanDegradeSeconds = o.nodeDegradeMean;
+    fc.nodeFaults.slowdownsPerHour = o.nodeSlowdownRate;
+    fc.nodeFaults.meanSlowdownSeconds = o.nodeSlowdownMean;
+    fc.nodeFaults.slowdownMultiplier = o.nodeSlowdownMult;
+    fc.nodeFaults.flapsPerHour = o.nodeFlapRate;
+    fc.nodeFaults.meanFlapSeconds = o.nodeFlapMean;
     if (o.nodeFaults) {
         auto &b = fc.nodeFaults.behavioural;
         b.horizon = fc.nodeFaults.horizon;
@@ -514,8 +537,29 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
         b.kvShrinksPerHour = o.kvShrinkRate;
     }
 
+    fleet::FleetDurabilityOptions dur;
+    dur.checkpointDir = o.checkpointDir;
+    dur.checkpointEvery = o.checkpointEvery;
+    dur.resume = o.resume;
+    dur.crashAtEvent = o.crashAtEvent;
+    dur.crashAtTime = o.crashAtTime;
+
     fleet::FleetSimulator sim(fc);
-    const auto rep = sim.run(trace);
+    fleet::FleetReport rep;
+    try {
+        rep = sim.run(trace, dur);
+    } catch (const fleet::FleetSimulatedCrash &c) {
+        std::fprintf(stderr, "%s\n", c.what());
+        std::fprintf(stderr,
+                     "fleet checkpoints%s are intact under %s; "
+                     "finish the run with:\n"
+                     "  edgereason serve ... --fleet %lld --resume "
+                     "%s\n",
+                     o.fleetJournals.empty() ? "" : " and journals",
+                     o.checkpointDir.c_str(), o.fleet,
+                     o.checkpointDir.c_str());
+        return 3;
+    }
     std::printf("served %zu requests on a %lld-node fleet of %s "
                 "(router=%s, scheduler=%s, offered %.3f QPS):\n",
                 trace.size(), o.fleet, o.model.c_str(),
@@ -697,6 +741,86 @@ cmdServe(const std::vector<std::string> &raw)
     return 0;
 }
 
+/**
+ * Replay every per-node incarnation journal under @p dir (a fleet
+ * `--fleet-journals` directory of node-<id>-inc<k>.bin WALs) and
+ * print one summary line per incarnation plus fleet totals.  With
+ * @p dump, print each journal's text dump instead.
+ */
+int
+replayFleetJournals(const std::string &dir, bool dump)
+{
+    struct Entry
+    {
+        int node;
+        unsigned long long inc;
+        std::string path;
+    };
+    std::vector<Entry> entries;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string name = de.path().filename().string();
+        int node = -1, consumed = 0;
+        unsigned long long inc = 0;
+        if (std::sscanf(name.c_str(), "node-%d-inc%llu.bin%n", &node,
+                        &inc, &consumed) != 2 ||
+            consumed != static_cast<int>(name.size()))
+            continue;
+        entries.push_back({node, inc, de.path().string()});
+    }
+    if (entries.empty())
+        usage(("no node-<id>-inc<k>.bin journals under " + dir +
+               " (expected a --fleet-journals directory)")
+                  .c_str());
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.node != b.node ? a.node < b.node
+                                          : a.inc < b.inc;
+              });
+    if (dump) {
+        for (const auto &e : entries) {
+            std::printf("=== node %d incarnation %llu: %s ===\n",
+                        e.node, e.inc, e.path.c_str());
+            engine::dumpJournalText(e.path, std::cout);
+        }
+        return 0;
+    }
+    std::printf("replaying %zu node journals under %s:\n",
+                entries.size(), dir.c_str());
+    std::size_t completed = 0, timed_out = 0, shed = 0;
+    double energy = 0.0;
+    for (const auto &e : entries) {
+        engine::ServingReport rep;
+        try {
+            rep = engine::replayServingReport(e.path);
+        } catch (const std::exception &ex) {
+            // An incarnation killed before its first batch step
+            // journals only a run-begin record; report it instead of
+            // aborting the whole directory.
+            std::printf("  node %2d inc %llu: not replayable "
+                        "(%s)\n",
+                        e.node, e.inc, ex.what());
+            continue;
+        }
+        std::printf("  node %2d inc %llu: %zu completed, %zu timed "
+                    "out, %zu shed, %.0f J, makespan %.1f s "
+                    "(scheduler=%s)\n",
+                    e.node, e.inc, rep.completed, rep.timedOut,
+                    rep.shed, rep.totalEnergy, rep.makespan,
+                    engine::schedulerPolicyName(rep.schedulerPolicy));
+        completed += rep.completed;
+        timed_out += rep.timedOut;
+        shed += rep.shed;
+        energy += rep.totalEnergy;
+    }
+    std::printf("  fleet      : %zu completed, %zu timed out, "
+                "%zu shed, %.0f J across %zu incarnation "
+                "journals\n",
+                completed, timed_out, shed, energy, entries.size());
+    return 0;
+}
+
 int
 cmdReplay(const std::vector<std::string> &raw)
 {
@@ -713,8 +837,11 @@ cmdReplay(const std::vector<std::string> &raw)
             usage(("unexpected argument: " + tok).c_str());
     }
     if (path.empty())
-        usage("replay needs a journal file: edgereason replay "
-              "<journal.bin> [--dump]");
+        usage("replay needs a journal file or fleet journal "
+              "directory: edgereason replay <journal.bin|dir> "
+              "[--dump]");
+    if (std::filesystem::is_directory(path))
+        return replayFleetJournals(path, dump);
     if (dump) {
         engine::dumpJournalText(path, std::cout);
         return 0;
