@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <filesystem>
 
 #include "accuracy/simulate.hh"
@@ -379,6 +380,50 @@ BM_FleetScaling(benchmark::State &state)
     state.counters["sim_tokens"] = generated;
 }
 BENCHMARK(BM_FleetScaling)->Arg(2)->Arg(4);
+
+void
+BM_FleetScaling100k(benchmark::State &state)
+{
+    // Fleet-scale event engine (DESIGN.md §15): a 10^5-request trace
+    // of short requests over a large healthy round-robin fleet, the
+    // regime where per-event fleet-layer cost — not per-node decode
+    // work — decides throughput.  Arg 0 = node count; Arg 1 = 1 runs
+    // the next-stop index + batched routing (the default engine),
+    // 0 the legacy all-node scans, so adjacent entries are the
+    // before/after pair for the same workload.  items/s = fleet
+    // events per second (FleetReport::events).
+    const int n = static_cast<int>(state.range(0));
+    er::fleet::FleetConfig fc;
+    for (int i = 0; i < n; ++i) {
+        er::fleet::NodeSpec s;
+        s.model = ModelId::DeepScaleR1_5B;
+        fc.nodes.push_back(s);
+    }
+    fc.server.maxBatch = 16;
+    fc.router = er::fleet::RouterPolicy::RoundRobin;
+    fc.nodeIndex = state.range(1) != 0;
+    static const auto trace = [] {
+        er::Rng rng(55, "bench-fleet-scale");
+        return er::engine::ServingSimulator::poissonTrace(
+            rng, 100000, 800.0, 8, 8);
+    }();
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        er::fleet::FleetSimulator sim(fc);
+        auto rep = sim.run(trace);
+        events = rep.events;
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+    state.counters["fleet_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_FleetScaling100k)
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FleetCheckpointResume(benchmark::State &state)

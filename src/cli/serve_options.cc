@@ -266,6 +266,17 @@ parseServeOptions(const std::vector<std::string> &args,
              opt.fleetJournals = v;
              return std::string();
          }},
+        {"fleet-index", [&](const std::string &v) {
+             if (v == "on")
+                 opt.fleetIndex = true;
+             else if (v == "off")
+                 opt.fleetIndex = false;
+             else
+                 return "invalid --fleet-index value: " + v +
+                     " (expected on|off)";
+             fleet_only_flag = true;
+             return std::string();
+         }},
         {"sessions", longOpt(&opt.sessions, 1, "--sessions")},
         {"turns-per-session", [&](const std::string &v) {
              session_only_flag = true;
@@ -316,6 +327,8 @@ parseServeOptions(const std::vector<std::string> &args,
         {"hetero", &opt.hetero},
         {"node-faults", &opt.nodeFaults},
         {"adaptive-health", &opt.adaptiveHealth},
+        {"stream", &opt.stream},
+        {"approx-stats", &opt.approxStats},
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -414,9 +427,31 @@ parseServeOptions(const std::vector<std::string> &args,
             return fail("--adaptive-timeout needs --adaptive-health "
                         "(it caps per-try budgets from the streamed "
                         "quantiles)");
+        if (opt.stream) {
+            // A resumable run needs the materialized trace for its
+            // checkpoint fingerprint; streaming holds only the next
+            // request.
+            if (!opt.checkpointDir.empty() || opt.resume)
+                return fail("--stream excludes --checkpoint-dir/"
+                            "--resume (streaming runs are not "
+                            "checkpointable)");
+            if (opt.crashAtEvent >= 0 || opt.crashAtTime >= 0.0)
+                return fail("--stream excludes fleet crash injection "
+                            "(it needs a checkpoint to recover from)");
+            if (!opt.fleetJournals.empty())
+                return fail("--stream excludes --fleet-journals "
+                            "(per-node WALs are a crash-recovery "
+                            "artifact; streaming runs are not "
+                            "recoverable)");
+        } else if (opt.approxStats) {
+            return fail("--approx-stats needs --stream (it replaces "
+                        "the exact latency vector the materialized "
+                        "path keeps anyway)");
+        }
     } else {
         const bool fleet_flag_used = fleet_only_flag || opt.hetero ||
-            opt.nodeFaults || opt.adaptiveHealth ||
+            opt.nodeFaults || opt.adaptiveHealth || opt.stream ||
+            opt.approxStats ||
             opt.nodeCrashRate > 0.0 || opt.nodeDegradeRate > 0.0 ||
             opt.hedge > 0.0 || !opt.cloud.empty() ||
             !opt.fleetJournals.empty();

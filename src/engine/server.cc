@@ -11,6 +11,7 @@
 #include "engine/checkpoint.hh"
 #include "engine/executor.hh"
 #include "engine/journal.hh"
+#include "engine/trace_stream.hh"
 
 namespace edgereason {
 namespace engine {
@@ -160,22 +161,14 @@ ServingSimulator::poissonTrace(Rng &rng, std::size_t n, double qps,
                                double mean_in, double mean_out,
                                double cv)
 {
-    fatal_if(qps <= 0.0, "qps must be positive");
+    // One generator: the materialized trace is the streamed trace,
+    // collected — which is what makes `serve --stream` bit-identical
+    // to the vector path for equal parameters (DESIGN.md §15).
+    PoissonTraceStream stream(rng, n, qps, mean_in, mean_out, cv);
     std::vector<ServerRequest> trace;
     trace.reserve(n);
-    Seconds t = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        t += -std::log(1.0 - rng.uniform()) / qps;
-        ServerRequest r;
-        r.arrival = t;
-        r.inputTokens = std::max<Tokens>(8, static_cast<Tokens>(
-            std::llround(rng.logNormalMeanStd(mean_in,
-                                              cv * mean_in))));
-        r.outputTokens = std::max<Tokens>(8, static_cast<Tokens>(
-            std::llround(rng.logNormalMeanStd(mean_out,
-                                              cv * mean_out))));
-        trace.push_back(r);
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        trace.push_back(stream.next());
     return trace;
 }
 

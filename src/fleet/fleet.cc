@@ -104,6 +104,9 @@ FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
     latQ_.assign(nodes_.size(),
                  P2Quantile(cfg_.adaptiveHealth ? cfg_.healthQuantile
                                                 : 0.95));
+    stopIndex_.reset(nodes_.size());
+    lagBuf_.reserve(nodes_.size());
+    viewsBuf_.resize(nodes_.size());
 }
 
 void
@@ -115,21 +118,46 @@ FleetSimulator::push(Seconds t, int kind, std::int64_t gid, int node,
 }
 
 void
+FleetSimulator::drainNode(std::size_t i)
+{
+    FleetNode &node = *nodes_[i];
+    const std::size_t end = node.servedEnd();
+    for (; drained_[i] < end; ++drained_[i]) {
+        const auto &rec = node.servedAt(drained_[i]);
+        // Cancelled records are the echo of a driver-side
+        // withdrawal, already fully accounted for.
+        if (rec.outcome == engine::RequestOutcome::Cancelled) {
+            if (streaming_)
+                node.dropLocal(rec.traceIndex);
+            continue;
+        }
+        Event e;
+        e.time = rec.finish;
+        e.kind = KOutcome;
+        e.seq = seq_++;
+        e.gid = streaming_ ? node.consumeLocal(rec.traceIndex)
+                           : node.gidForLocal(rec.traceIndex);
+        e.node = static_cast<int>(i);
+        e.servedIdx = drained_[i];
+        // The record's driver-visible fields travel in the event, so
+        // no handler reads the record again (and streaming runs may
+        // release it below).
+        e.local = rec.traceIndex;
+        e.latency = rec.latency();
+        e.generated = rec.generated;
+        e.legOutcome = static_cast<std::uint8_t>(rec.outcome);
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+    if (streaming_)
+        node.compactServed(drained_[i]);
+}
+
+void
 FleetSimulator::drainOutcomes()
 {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        const auto &served = nodes_[i]->served();
-        for (; drained_[i] < served.size(); ++drained_[i]) {
-            const auto &rec = served[drained_[i]];
-            // Cancelled records are the echo of a driver-side
-            // withdrawal, already fully accounted for.
-            if (rec.outcome == engine::RequestOutcome::Cancelled)
-                continue;
-            push(rec.finish, KOutcome,
-                 nodes_[i]->gidForLocal(rec.traceIndex),
-                 static_cast<int>(i), drained_[i]);
-        }
-    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        drainNode(i);
 }
 
 void
@@ -137,35 +165,118 @@ FleetSimulator::syncNodesTo(Seconds target)
 {
     auto &pool = ThreadPool::global();
     while (true) {
-        std::vector<int> lag;
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            if (nodes_[i]->up() && nodes_[i]->busy() &&
-                nodes_[i]->clock() + kTimeSlack < target)
-                lag.push_back(static_cast<int>(i));
+        lagBuf_.clear();
+        if (cfg_.nodeIndex) {
+            // Index invariant: key == clock for every up-and-busy
+            // node, +inf otherwise — so collectLagging evaluates the
+            // legacy per-node lag test, in the legacy scan order,
+            // touching only qualifying heap subtrees.
+            stopIndex_.collectLagging(target, kTimeSlack, lagBuf_);
+        } else {
+            for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                if (nodes_[i]->up() && nodes_[i]->busy() &&
+                    nodes_[i]->clock() + kTimeSlack < target)
+                    lagBuf_.push_back(static_cast<int>(i));
+            }
         }
-        if (lag.empty())
+        if (lagBuf_.empty())
             break;
-        // One chunk per node: the partition (and every node's
-        // arithmetic) is independent of the worker count.
-        pool.parallelChunks(
-            lag.size(), lag.size(),
-            [&](std::size_t, std::size_t b, std::size_t e) {
-                for (std::size_t k = b; k < e; ++k)
-                    nodes_[static_cast<std::size_t>(lag[k])]
-                        ->advanceUntil(target, true);
-            });
-        drainOutcomes();
+        if (lagBuf_.size() == 1) {
+            // One laggard: same arithmetic, minus the fork/join.
+            nodes_[static_cast<std::size_t>(lagBuf_[0])]->advanceUntil(
+                target, true);
+        } else {
+            // One chunk per node: the partition (and every node's
+            // arithmetic) is independent of the worker count.
+            pool.parallelChunks(
+                lagBuf_.size(), lagBuf_.size(),
+                [&](std::size_t, std::size_t b, std::size_t e) {
+                    for (std::size_t k = b; k < e; ++k)
+                        nodes_[static_cast<std::size_t>(lagBuf_[k])]
+                            ->advanceUntil(target, true);
+                });
+        }
+        if (cfg_.nodeIndex) {
+            for (const int i : lagBuf_)
+                refreshNode(static_cast<std::size_t>(i));
+            // Only advanced nodes can hold new records: every earlier
+            // round drained its own laggards, and the only records
+            // produced outside advanceUntil are cancel echoes, which
+            // drainNode skips whenever it does reach them.  Draining
+            // just the laggards (in the same ascending-id order) thus
+            // pushes the same events with the same seq numbers.
+            for (const int i : lagBuf_)
+                drainNode(static_cast<std::size_t>(i));
+        } else {
+            drainOutcomes();
+        }
     }
 }
 
 Seconds
 FleetSimulator::nextNodeStop() const
 {
+    return cfg_.nodeIndex ? stopIndex_.minKey() : nextNodeStopBrute();
+}
+
+Seconds
+FleetSimulator::nextNodeStopBrute() const
+{
     Seconds lo = kInf;
     for (const auto &n : nodes_)
         if (n->up() && n->busy())
             lo = std::min(lo, n->clock());
     return lo;
+}
+
+void
+FleetSimulator::refreshNode(std::size_t i)
+{
+    if (!cfg_.nodeIndex)
+        return;
+    const FleetNode &n = *nodes_[i];
+    stopIndex_.update(i, n.up() && n.busy() ? n.clock()
+                                            : NodeStopIndex::kNoStop);
+}
+
+void
+FleetSimulator::refreshAllNodes()
+{
+    if (!cfg_.nodeIndex)
+        return;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const FleetNode &n = *nodes_[i];
+        stopIndex_.update(i, n.up() && n.busy()
+                                 ? n.clock()
+                                 : NodeStopIndex::kNoStop);
+    }
+}
+
+void
+FleetSimulator::refreshViews(Seconds now)
+{
+    // The up/draining flags are a pure function of (crash, degrade,
+    // breaker state, now); between state changes they can only flip
+    // when `now` crosses the earliest pending cooldown expiry.  The
+    // buffer is therefore reused across every dispatch inside that
+    // window — the health/breaker half of a routing decision is
+    // computed once per admission window, not once per request.  The
+    // backlog-dependent policy inputs are read live through the node
+    // pointers, so decisions stay value-identical to the legacy
+    // rebuild-per-dispatch path.
+    if (!viewsDirty_ && now >= viewsBuiltAt_ && now < viewsValidUntil_)
+        return;
+    Seconds until = kInf;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        viewsBuf_[i] = {nodes_[i].get(), nodes_[i]->up(),
+                        draining(static_cast<int>(i), now)};
+        if (cooldownUntil_[i] > now)
+            until = std::min(until, cooldownUntil_[i]);
+    }
+    viewsDirty_ = false;
+    viewsBuiltAt_ = now;
+    viewsValidUntil_ = until;
+    ++viewsGen_;
 }
 
 void
@@ -176,6 +287,7 @@ FleetSimulator::noteFailure(int node, Seconds now)
         cooldownUntil_[static_cast<std::size_t>(node)] =
             now + cfg_.healthCooldown;
         consecFailures_[static_cast<std::size_t>(node)] = 0;
+        viewsDirty_ = true;
     }
 }
 
@@ -216,6 +328,7 @@ FleetSimulator::noteLatency(int node, Seconds latency, Seconds now)
         cooldownUntil_[static_cast<std::size_t>(node)] =
             now + cfg_.healthCooldown;
         ++adaptiveEjections_;
+        viewsDirty_ = true;
     }
 }
 
@@ -239,6 +352,7 @@ FleetSimulator::cancelLeg(Track &t, int slot, Seconds now)
     // record is in flight; marking it dead above stale-drops it.
     if (nodes_[static_cast<std::size_t>(leg.node)]->cancel(leg.local))
         ++cancelledLegs_;
+    refreshNode(static_cast<std::size_t>(leg.node));
     if (slot == t.hedgeSlot)
         ++hedgeWaste_;
 }
@@ -256,6 +370,86 @@ FleetSimulator::finishTrack(Track &t, FleetOutcome o, Seconds finish,
     t.finish = finish;
     t.generated = generated;
     t.servedBy = served_by;
+    if (streaming_) {
+        // Terminal tracks fold into the running report aggregates and
+        // their slots recycle: live state is O(in-flight).  Callers'
+        // reference stays valid (the slot is only reused by a later
+        // arrival).
+        foldTrack(t);
+        const auto it = slotOf_.find(t.gid);
+        panic_if(it == slotOf_.end(), "fold of unmapped track ", t.gid);
+        freeSlots_.push_back(it->second);
+        slotOf_.erase(it);
+    }
+}
+
+FleetSimulator::Track *
+FleetSimulator::findTrack(std::int64_t gid)
+{
+    if (!streaming_)
+        return &tracks_[static_cast<std::size_t>(gid)];
+    const auto it = slotOf_.find(gid);
+    return it == slotOf_.end() ? nullptr : &tracks_[it->second];
+}
+
+FleetSimulator::Track &
+FleetSimulator::trackAt(std::int64_t gid)
+{
+    Track *t = findTrack(gid);
+    panic_if(t == nullptr, "no live track for fleet request ", gid);
+    return *t;
+}
+
+FleetSimulator::Track &
+FleetSimulator::allocTrack(std::int64_t gid)
+{
+    std::size_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = tracks_.size();
+        tracks_.emplace_back();
+    }
+    tracks_[slot] = Track{};
+    slotOf_.emplace(gid, slot);
+    return tracks_[slot];
+}
+
+void
+FleetSimulator::foldTrack(const Track &t)
+{
+    foldMakespan_ = std::max(foldMakespan_, t.finish);
+    switch (t.outcome) {
+      case FleetOutcome::Served:
+        ++foldServed_;
+        break;
+      case FleetOutcome::TimedOut:
+        ++foldTimedOut_;
+        break;
+      case FleetOutcome::Shed:
+        ++foldShed_;
+        break;
+      case FleetOutcome::Offloaded:
+        ++foldOffloaded_;
+        break;
+    }
+    if (t.outcome == FleetOutcome::Served ||
+        t.outcome == FleetOutcome::Offloaded) {
+        const double lat = t.finish - t.req.arrival;
+        if (t.absDeadline == kInf ||
+            t.finish <= t.absDeadline + kDeadlineSlack)
+            ++foldDeadlineMet_;
+        if (approxStats_) {
+            latSum_ += lat;
+            ++latCount_;
+            latP50_.add(lat);
+            latP99_.add(lat);
+            latP999_.add(lat);
+        } else {
+            foldLat_.emplace_back(t.gid, lat);
+        }
+    }
 }
 
 void
@@ -263,13 +457,10 @@ FleetSimulator::dispatch(Track &t, Seconds now, int exclude,
                          bool is_hedge, bool is_failover)
 {
     (void)is_failover;
-    std::vector<NodeView> views(nodes_.size());
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
-        views[i] = {nodes_[i].get(), nodes_[i]->up(),
-                    draining(static_cast<int>(i), now)};
-
+    refreshViews(now);
     const RouteDecision d = router_->route(t.req, now, t.absDeadline,
-                                           views, cfg_.cloud, exclude);
+                                           viewsBuf_, viewsGen_,
+                                           cfg_.cloud, exclude);
     if (is_hedge) {
         // Hedge legs only duplicate onto a *different* edge node;
         // anything else (cloud, reject, same node) skips the hedge.
@@ -315,6 +506,7 @@ FleetSimulator::dispatch(Track &t, Seconds now, int exclude,
         nodes_[static_cast<std::size_t>(d.node)]->submit(leg, t.gid);
     t.legs[slot] = {d.node, local, true};
     liveOnNode_[static_cast<std::size_t>(d.node)].insert(t.gid);
+    refreshNode(static_cast<std::size_t>(d.node));
     if (is_hedge) {
         t.hedgeSlot = slot;
         ++hedgesLaunched_;
@@ -356,6 +548,25 @@ FleetSimulator::scheduleRetry(Track &t, Seconds now, int failed_node)
 void
 FleetSimulator::onArrival(const Event &e)
 {
+    if (streaming_) {
+        Track &t = allocTrack(e.gid);
+        t.req = streamPending_;
+        t.gid = e.gid;
+        t.absDeadline = t.req.deadline > 0.0
+            ? t.req.arrival + t.req.deadline
+            : kInf;
+        dispatch(t, e.time, -1, false, false);
+        if (streamIssued_ < streamTotal_) {
+            const Seconds prev = streamPending_.arrival;
+            streamPending_ = src_->next();
+            fatal_if(streamPending_.arrival < prev,
+                     "fleet trace arrivals must be sorted");
+            push(streamPending_.arrival, KArrival,
+                 static_cast<std::int64_t>(streamIssued_), -1);
+            ++streamIssued_;
+        }
+        return;
+    }
     const std::size_t idx = static_cast<std::size_t>(e.gid);
     Track &t = tracks_[idx];
     t.req = (*trace_)[idx];
@@ -374,13 +585,14 @@ FleetSimulator::onArrival(const Event &e)
 void
 FleetSimulator::onOutcome(const Event &e)
 {
-    const auto &rec =
-        nodes_[static_cast<std::size_t>(e.node)]->served()[e.servedIdx];
-    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    Track *tp = findTrack(e.gid);
+    if (tp == nullptr)
+        return; // stale: the track already folded (streaming)
+    Track &t = *tp;
     int slot = -1;
     for (int s = 0; s < 2; ++s)
         if (t.legs[s].live && t.legs[s].node == e.node &&
-            t.legs[s].local == rec.traceIndex)
+            t.legs[s].local == e.local)
             slot = s;
     if (slot < 0)
         return; // stale: the leg was cancelled or failed over
@@ -388,14 +600,16 @@ FleetSimulator::onOutcome(const Event &e)
     t.legs[slot].live = false;
     liveOnNode_[static_cast<std::size_t>(e.node)].erase(t.gid);
 
-    if (rec.outcome == engine::RequestOutcome::Completed) {
+    if (static_cast<engine::RequestOutcome>(e.legOutcome) ==
+        engine::RequestOutcome::Completed) {
         noteSuccess(e.node);
         // Leg latency = dispatch -> finish (the leg's arrival is its
         // dispatch instant), the signal the quantile tracker streams.
-        noteLatency(e.node, rec.latency(), e.time);
+        noteLatency(e.node, e.latency, e.time);
         if (slot == t.hedgeSlot)
             ++hedgeWins_;
-        finishTrack(t, FleetOutcome::Served, rec.finish, rec.generated,
+        // e.time is the record's finish instant verbatim.
+        finishTrack(t, FleetOutcome::Served, e.time, e.generated,
                     e.node);
         return;
     }
@@ -410,7 +624,9 @@ FleetSimulator::onOutcome(const Event &e)
 void
 FleetSimulator::onCloudDone(const Event &e)
 {
-    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    // Cloud legs are always a track's sole leg, so the track cannot
+    // have reached a terminal state (and folded) before this event.
+    Track &t = trackAt(e.gid);
     int slot = -1;
     for (int s = 0; s < 2; ++s)
         if (t.legs[s].live && t.legs[s].node == -2)
@@ -436,10 +652,14 @@ FleetSimulator::onCrash(const Event &e)
         liveOnNode_[static_cast<std::size_t>(e.node)];
     liveOnNode_[static_cast<std::size_t>(e.node)].clear();
     n.crash();
+    refreshNode(static_cast<std::size_t>(e.node));
+    viewsDirty_ = true;
     push(e.time + e.aux, KReboot, -1, e.node);
 
     for (const std::int64_t gid : lost) {
-        Track &t = tracks_[static_cast<std::size_t>(gid)];
+        // A live leg keeps its track non-terminal, so lost gids are
+        // never folded-away streaming tracks.
+        Track &t = trackAt(gid);
         for (int s = 0; s < 2; ++s)
             if (t.legs[s].live && t.legs[s].node == e.node)
                 t.legs[s].live = false;
@@ -462,12 +682,17 @@ FleetSimulator::onReboot(const Event &e)
     nodes_[static_cast<std::size_t>(e.node)]->reboot();
     consecFailures_[static_cast<std::size_t>(e.node)] = 0;
     cooldownUntil_[static_cast<std::size_t>(e.node)] = 0.0;
+    refreshNode(static_cast<std::size_t>(e.node));
+    viewsDirty_ = true;
 }
 
 void
 FleetSimulator::onHedgeTimer(const Event &e)
 {
-    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    Track *tp = findTrack(e.gid);
+    if (tp == nullptr)
+        return; // folded away: terminal, nothing to hedge
+    Track &t = *tp;
     if (t.terminal)
         return;
     const bool live0 = t.legs[0].live, live1 = t.legs[1].live;
@@ -484,7 +709,11 @@ FleetSimulator::onHedgeTimer(const Event &e)
 void
 FleetSimulator::onRetryTimer(const Event &e)
 {
-    Track &t = tracks_[static_cast<std::size_t>(e.gid)];
+    // A pending retry timer keeps its track non-terminal (legs are
+    // all dead when one is scheduled, and every finishTrack path
+    // requires a live leg or runs from this handler), so the track is
+    // never folded away before its timer fires.
+    Track &t = trackAt(e.gid);
     --t.pendingTimers;
     if (t.terminal || t.legs[0].live || t.legs[1].live)
         return;
@@ -497,34 +726,71 @@ FleetSimulator::onRetryTimer(const Event &e)
 }
 
 void
+FleetSimulator::auditTrack(std::size_t gid, const Track &t,
+                           std::size_t &live_legs,
+                           std::size_t &edge_legs) const
+{
+    const int live =
+        (t.legs[0].live ? 1 : 0) + (t.legs[1].live ? 1 : 0);
+    live_legs += static_cast<std::size_t>(live);
+    if (t.terminal) {
+        fatal_if(live != 0, "fleet audit: terminal track ", gid,
+                 " still has ", live, " live leg(s)");
+        fatal_if(t.pendingTimers != 0, "fleet audit: terminal "
+                 "track ", gid, " has pending retry timers");
+    } else {
+        fatal_if(live == 0 && t.pendingTimers == 0,
+                 "fleet audit: track ", gid,
+                 " is lost (no live leg, no pending timer)");
+    }
+    for (int s = 0; s < 2; ++s) {
+        const Leg &leg = t.legs[s];
+        if (!leg.live || leg.node < 0)
+            continue;
+        ++edge_legs;
+        const auto &set =
+            liveOnNode_[static_cast<std::size_t>(leg.node)];
+        fatal_if(set.find(t.gid) == set.end(), "fleet audit: leg "
+                 "of track ", gid, " missing from node ",
+                 leg.node, "'s live set");
+    }
+}
+
+void
+FleetSimulator::auditStopIndex() const
+{
+    // The index is derived state; cross-check every key, and the
+    // minimum, against the brute-force scans it replaced.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Seconds want = nodes_[i]->up() && nodes_[i]->busy()
+            ? nodes_[i]->clock()
+            : NodeStopIndex::kNoStop;
+        fatal_if(stopIndex_.key(i) != want, "fleet audit: stop-index "
+                 "key of node ", i, " is ", stopIndex_.key(i),
+                 " but the node is at ", want);
+    }
+    fatal_if(stopIndex_.minKey() != nextNodeStopBrute(),
+             "fleet audit: stop-index minimum ", stopIndex_.minKey(),
+             " disagrees with the brute-force scan ",
+             nextNodeStopBrute());
+}
+
+void
 FleetSimulator::audit(Seconds now) const
 {
     std::size_t live_legs = 0;
-    for (std::size_t gid = 0; gid < tracks_.size(); ++gid) {
-        const Track &t = tracks_[gid];
-        if (t.gid < 0)
-            continue; // not yet arrived
-        int live = (t.legs[0].live ? 1 : 0) + (t.legs[1].live ? 1 : 0);
-        live_legs += static_cast<std::size_t>(live);
-        if (t.terminal) {
-            fatal_if(live != 0, "fleet audit: terminal track ", gid,
-                     " still has ", live, " live leg(s)");
-            fatal_if(t.pendingTimers != 0, "fleet audit: terminal "
-                     "track ", gid, " has pending retry timers");
-        } else {
-            fatal_if(live == 0 && t.pendingTimers == 0,
-                     "fleet audit: track ", gid,
-                     " is lost (no live leg, no pending timer)");
-        }
-        for (int s = 0; s < 2; ++s) {
-            const Leg &leg = t.legs[s];
-            if (!leg.live || leg.node < 0)
-                continue;
-            const auto &set =
-                liveOnNode_[static_cast<std::size_t>(leg.node)];
-            fatal_if(set.find(t.gid) == set.end(), "fleet audit: leg "
-                     "of track ", gid, " missing from node ",
-                     leg.node, "'s live set");
+    // Every live edge leg is in exactly one node set (hedges never
+    // share a node, so gid sets count legs exactly).
+    std::size_t edge_legs = 0;
+    if (streaming_) {
+        for (const auto &kv : slotOf_)
+            auditTrack(static_cast<std::size_t>(kv.first),
+                       tracks_[kv.second], live_legs, edge_legs);
+    } else {
+        for (std::size_t gid = 0; gid < tracks_.size(); ++gid) {
+            if (tracks_[gid].gid < 0)
+                continue; // not yet arrived
+            auditTrack(gid, tracks_[gid], live_legs, edge_legs);
         }
     }
     std::size_t on_nodes = 0;
@@ -533,17 +799,13 @@ FleetSimulator::audit(Seconds now) const
                  "fleet audit: down node ", i, " has live legs");
         on_nodes += liveOnNode_[i].size();
     }
-    // Every live edge leg is in exactly one node set (hedges never
-    // share a node, so gid sets count legs exactly).
-    std::size_t edge_legs = 0;
-    for (const Track &t : tracks_)
-        for (int s = 0; s < 2; ++s)
-            edge_legs += (t.legs[s].live && t.legs[s].node >= 0) ? 1 : 0;
     fatal_if(on_nodes != edge_legs, "fleet audit: node live sets (",
              on_nodes, ") disagree with live edge legs (", edge_legs,
              ")");
     fatal_if(now + kTimeSlack < now_,
              "fleet audit: time ran backwards");
+    if (cfg_.nodeIndex)
+        auditStopIndex();
 }
 
 FleetReport
@@ -556,7 +818,8 @@ FleetReport
 FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
                     const FleetDurabilityOptions &dur)
 {
-    fatal_if(trace_ != nullptr, "FleetSimulator::run is single-shot");
+    fatal_if(trace_ != nullptr || streaming_,
+             "FleetSimulator::run is single-shot");
     for (std::size_t i = 1; i < trace.size(); ++i)
         fatal_if(trace[i].arrival < trace[i - 1].arrival,
                  "fleet trace arrivals must be sorted");
@@ -590,31 +853,86 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
         resumed = true;
     } else {
         tracks_.assign(trace.size(), Track{});
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            nodes_[i]->beginJournal();
-            for (const auto &c : schedules_[i].crashes)
-                push(c.time, KCrash, -1, static_cast<int>(i), 0,
-                     c.rebootAfter);
-            for (const auto &d : schedules_[i].degrades) {
-                push(d.start, KDegradeStart, -1, static_cast<int>(i));
-                push(d.start + d.duration, KDegradeEnd, -1,
-                     static_cast<int>(i));
-            }
-            // Health flaps reuse the degrade-window event machinery:
-            // a flapping node drains briefly and repeatedly, which is
-            // exactly a train of short degrade windows.
-            for (const auto &f : schedules_[i].flaps) {
-                push(f.start, KDegradeStart, -1, static_cast<int>(i));
-                push(f.start + f.duration, KDegradeEnd, -1,
-                     static_cast<int>(i));
-            }
-        }
+        scheduleNodeEvents();
         if (!trace.empty()) {
             push(trace[0].arrival, KArrival, 0, -1);
             nextArrival_ = 1;
         }
     }
 
+    eventLoop(dur, durable, fp, resumed, restoredEvent);
+
+    audit(now_);
+    for (std::size_t gid = 0; gid < tracks_.size(); ++gid)
+        fatal_if(!tracks_[gid].terminal, "fleet conservation violated: "
+                 "request ", gid, " never reached a terminal state");
+    return buildReport();
+}
+
+FleetReport
+FleetSimulator::runStream(engine::TraceSource &src, bool approx_stats)
+{
+    fatal_if(trace_ != nullptr || streaming_,
+             "FleetSimulator::run is single-shot");
+    streaming_ = true;
+    approxStats_ = approx_stats;
+    src_ = &src;
+    streamTotal_ = src.totalRequests();
+    for (auto &n : nodes_)
+        n->setStreamLocals(true);
+    scheduleNodeEvents();
+    if (streamTotal_ > 0) {
+        streamPending_ = src_->next();
+        streamIssued_ = 1;
+        push(streamPending_.arrival, KArrival, 0, -1);
+    }
+
+    eventLoop(FleetDurabilityOptions{}, false, 0, false, 0);
+
+    audit(now_);
+    fatal_if(!slotOf_.empty(), "fleet conservation violated: ",
+             slotOf_.size(),
+             " request(s) never reached a terminal state");
+    const std::size_t folded =
+        foldServed_ + foldTimedOut_ + foldShed_ + foldOffloaded_;
+    fatal_if(folded != streamTotal_, "fleet conservation violated: ",
+             folded, " folded outcomes for ", streamTotal_,
+             " arrivals");
+    return buildStreamReport();
+}
+
+void
+FleetSimulator::scheduleNodeEvents()
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i]->beginJournal();
+        for (const auto &c : schedules_[i].crashes)
+            push(c.time, KCrash, -1, static_cast<int>(i), 0,
+                 c.rebootAfter);
+        for (const auto &d : schedules_[i].degrades) {
+            push(d.start, KDegradeStart, -1, static_cast<int>(i));
+            push(d.start + d.duration, KDegradeEnd, -1,
+                 static_cast<int>(i));
+        }
+        // Health flaps reuse the degrade-window event machinery:
+        // a flapping node drains briefly and repeatedly, which is
+        // exactly a train of short degrade windows.
+        for (const auto &f : schedules_[i].flaps) {
+            push(f.start, KDegradeStart, -1, static_cast<int>(i));
+            push(f.start + f.duration, KDegradeEnd, -1,
+                 static_cast<int>(i));
+        }
+    }
+}
+
+void
+FleetSimulator::eventLoop(const FleetDurabilityOptions &dur,
+                          bool durable, std::uint64_t fp, bool resumed,
+                          std::uint64_t restored_event)
+{
+    // The arrival-burst fast path needs the index (its no-laggard test
+    // must be O(1)) and would race the per-event durability gates.
+    const bool burst = cfg_.nodeIndex && !durable;
     while (true) {
         if (heap_.empty()) {
             const Seconds lo = nextNodeStop();
@@ -634,7 +952,7 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
                 (dur.checkpointEvery > 0 &&
                  eventCount_ % dur.checkpointEvery == 0);
             if (due && eventCount_ != lastCkptEvent_ &&
-                !(resumed && eventCount_ == restoredEvent))
+                !(resumed && eventCount_ == restored_event))
                 writeCheckpoint(dur, fp);
             if ((dur.crashAtEvent >= 0 &&
                  eventCount_ ==
@@ -647,7 +965,7 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
         // first; outcomes they produce before it enter the heap and
         // are popped in global time order.
         syncNodesTo(heap_.front().time);
-        const Event e = heap_.front();
+        Event e = heap_.front();
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
         heap_.pop_back();
         now_ = std::max(now_, e.time);
@@ -667,9 +985,11 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
             break;
           case KDegradeStart:
             ++degradeDepth_[static_cast<std::size_t>(e.node)];
+            viewsDirty_ = true;
             break;
           case KDegradeEnd:
             --degradeDepth_[static_cast<std::size_t>(e.node)];
+            viewsDirty_ = true;
             break;
           case KHedgeTimer:
             onHedgeTimer(e);
@@ -686,13 +1006,31 @@ FleetSimulator::run(const std::vector<engine::ServerRequest> &trace,
         if (cfg_.paranoid)
             audit(now_);
         ++eventCount_;
-    }
 
-    audit(now_);
-    for (std::size_t gid = 0; gid < tracks_.size(); ++gid)
-        fatal_if(!tracks_[gid].terminal, "fleet conservation violated: "
-                 "request ", gid, " never reached a terminal state");
-    return buildReport();
+        if (!burst || e.kind != KArrival)
+            continue;
+        // Batched admission: while the next event is also an arrival
+        // and no node lags it, the syncNodesTo above would collect
+        // nothing — a pure no-op — so every arrival landing in this
+        // inter-event window is routed in one pass, consulting the
+        // heap and the sync machinery once per window instead of once
+        // per request.  The per-arrival accounting (audit, event
+        // count) is replicated exactly, so the path is value-identical
+        // to popping them one loop iteration at a time.
+        while (!heap_.empty() && heap_.front().kind == KArrival &&
+               !(stopIndex_.minKey() + kTimeSlack <
+                 heap_.front().time)) {
+            e = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end(),
+                          std::greater<>());
+            heap_.pop_back();
+            now_ = std::max(now_, e.time);
+            onArrival(e);
+            if (cfg_.paranoid)
+                audit(now_);
+            ++eventCount_;
+        }
+    }
 }
 
 std::uint64_t
@@ -706,8 +1044,12 @@ FleetSimulator::fleetFingerprint(
     // single-node checkpoint discipline: paranoid, journalDir, and
     // every crash-injection knob — resuming under a different (or no)
     // crash plan is the normal recovery flow.
+    // v2: Event records carry the KOutcome payload (local, latency,
+    // generated, legOutcome).  cfg_.nodeIndex is deliberately NOT
+    // hashed: the index is value-identical derived state, so either
+    // path may resume the other's checkpoints.
     ByteWriter w;
-    w.str("edgereason-fleet-ckpt-v1");
+    w.str("edgereason-fleet-ckpt-v2");
     w.u8(static_cast<std::uint8_t>(cfg_.router));
     w.u64(cfg_.nodes.size());
     for (const NodeSpec &s : cfg_.nodes) {
@@ -821,6 +1163,10 @@ FleetSimulator::serializeState(ByteWriter &w) const
         w.i64(e.node);
         w.u64(e.servedIdx);
         w.f64(e.aux);
+        w.i64(e.local);
+        w.f64(e.latency);
+        w.i64(e.generated);
+        w.u8(e.legOutcome);
     }
     w.u64(tracks_.size());
     for (const Track &t : tracks_) {
@@ -886,6 +1232,10 @@ FleetSimulator::restoreState(ByteReader &r,
         e.node = static_cast<int>(r.i64());
         e.servedIdx = static_cast<std::size_t>(r.u64());
         e.aux = r.f64();
+        e.local = r.i64();
+        e.latency = r.f64();
+        e.generated = r.i64();
+        e.legOutcome = r.u8();
         heap_.push_back(e);
     }
     const std::uint64_t ntracks = r.u64();
@@ -936,6 +1286,10 @@ FleetSimulator::restoreState(ByteReader &r,
     for (auto &n : nodes_)
         n->restore(r, eventCount_, dur.verifyTail);
     lastCkptEvent_ = eventCount_;
+    // The stop index and router views are derived state: rebuild the
+    // former from the restored nodes, invalidate the latter.
+    refreshAllNodes();
+    viewsDirty_ = true;
 }
 
 FleetReport
@@ -1000,24 +1354,87 @@ FleetSimulator::buildReport() const
         r.p999Latency = percentile(latencies, 99.9);
     }
 
+    r.events = eventCount_;
+    fillNodeAndCost(r, finished);
+    return r;
+}
+
+FleetReport
+FleetSimulator::buildStreamReport() const
+{
+    FleetReport r;
+    r.router = cfg_.router;
+    r.arrivals = streamTotal_;
+    r.served = foldServed_;
+    r.timedOut = foldTimedOut_;
+    r.shed = foldShed_;
+    r.offloaded = foldOffloaded_;
+    r.retries = retries_;
+    r.failovers = failovers_;
+    r.hedgesLaunched = hedgesLaunched_;
+    r.hedgeWins = hedgeWins_;
+    r.hedgeWaste = hedgeWaste_;
+    r.cancelledLegs = cancelledLegs_;
+    r.adaptiveHealth = cfg_.adaptiveHealth;
+    r.adaptiveEjections = adaptiveEjections_;
+    r.makespan = foldMakespan_;
+
+    const std::size_t finished = r.served + r.offloaded;
+    if (r.makespan > 0.0) {
+        r.throughput = static_cast<double>(finished) / r.makespan;
+        r.goodput =
+            static_cast<double>(foldDeadlineMet_) / r.makespan;
+    }
+    if (r.arrivals > 0)
+        r.deadlineHitRate = static_cast<double>(foldDeadlineMet_) /
+            static_cast<double>(r.arrivals);
+
+    if (!approxStats_) {
+        // Exact mode: tracks fold in completion order, but the
+        // materialized path sums latencies in gid order — re-sort so
+        // the FP sum (and the percentile inputs) are bit-identical.
+        auto by_gid = foldLat_;
+        std::sort(by_gid.begin(), by_gid.end());
+        std::vector<double> latencies;
+        latencies.reserve(by_gid.size());
+        for (const auto &kv : by_gid)
+            latencies.push_back(kv.second);
+        if (!latencies.empty()) {
+            double sum = 0.0;
+            for (const double v : latencies)
+                sum += v;
+            r.meanLatency =
+                sum / static_cast<double>(latencies.size());
+            r.p50Latency = percentile(latencies, 50.0);
+            r.p99Latency = percentile(latencies, 99.0);
+            r.p999Latency = percentile(latencies, 99.9);
+        }
+    } else if (latCount_ > 0) {
+        r.approxLatency = true;
+        r.meanLatency = latSum_ / static_cast<double>(latCount_);
+        r.p50Latency = latP50_.value();
+        r.p99Latency = latP99_.value();
+        r.p999Latency = latP999_.value();
+    }
+
+    r.events = eventCount_;
+    fillNodeAndCost(r, finished);
+    return r;
+}
+
+void
+FleetSimulator::fillNodeAndCost(FleetReport &r,
+                                std::size_t finished) const
+{
     Seconds total_busy = 0.0;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const NodeTotals tot = nodes_[i]->totals();
+        const FleetNode::OutcomeCounts oc = nodes_[i]->outcomeCounts();
         NodeSummary s;
         s.id = static_cast<int>(i);
-        for (const auto &rec : nodes_[i]->served()) {
-            switch (rec.outcome) {
-              case engine::RequestOutcome::Completed:
-                ++s.served;
-                break;
-              case engine::RequestOutcome::Cancelled:
-                ++s.cancelled;
-                break;
-              default:
-                ++s.timedOut;
-                break;
-            }
-        }
+        s.served = oc.served;
+        s.timedOut = oc.timedOut;
+        s.cancelled = oc.cancelled;
         s.crashes = tot.crashes;
         s.energy = tot.energy;
         s.busy = tot.busy;
@@ -1041,7 +1458,6 @@ FleetSimulator::buildReport() const
     if (finished > 0)
         r.dollarsPerQuery = (r.edgeDollars + r.cloudDollars) /
             static_cast<double>(finished);
-    return r;
 }
 
 std::string

@@ -38,13 +38,16 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
 #include "engine/server.hh"
+#include "engine/trace_stream.hh"
 #include "fleet/node.hh"
 #include "fleet/node_faults.hh"
 #include "fleet/router.hh"
+#include "fleet/stop_index.hh"
 
 namespace edgereason {
 namespace fleet {
@@ -122,6 +125,16 @@ struct FleetConfig
 
     CloudTier cloud;
 
+    /**
+     * Drive syncNodesTo/nextNodeStop from the next-stop-time index
+     * (DESIGN.md §15) instead of the legacy all-node scans.  Value-
+     * identical by construction — the escape hatch exists for the
+     * bit-identity matrix tests and for bisecting regressions
+     * (`--fleet-index off`).  Excluded from the checkpoint
+     * fingerprint: either path resumes the other's checkpoints.
+     */
+    bool nodeIndex = true;
+
     /** Audit the fleet invariants after every event (tests/chaos). */
     bool paranoid = false;
     /** When non-empty, per-node incarnation journals land here. */
@@ -179,6 +192,13 @@ struct FleetReport
     Dollars edgeDollars = 0.0;  //!< energy + amortized hardware
     Dollars cloudDollars = 0.0; //!< offload API charges
     Dollars dollarsPerQuery = 0.0;
+
+    /** Fleet events processed over the run (not printed — the bench
+     *  throughput denominator, so goldens are untouched). */
+    std::uint64_t events = 0;
+    /** True when latency mean/percentiles came from streaming P²
+     *  estimators instead of the exact per-request latencies. */
+    bool approxLatency = false;
 
     std::vector<NodeSummary> nodes;
 };
@@ -253,6 +273,23 @@ class FleetSimulator
     FleetReport run(const std::vector<engine::ServerRequest> &trace,
                     const FleetDurabilityOptions &dur);
 
+    /**
+     * Run a streaming trace (DESIGN.md §15): requests are drawn from
+     * @p src one at a time, terminal tracks are folded into running
+     * aggregates and released, and drained node records are compacted
+     * away — so memory is O(in-flight requests), independent of the
+     * trace length.  With @p approx_stats false (the default) the
+     * per-request latencies of finished requests are retained and the
+     * report is bit-identical to run() on the materialized trace;
+     * with it true, latency mean/percentiles come from streaming P²
+     * estimators and the run is constant-memory outright.
+     *
+     * Streaming excludes checkpoint/resume (a resumable run needs the
+     * full trace for its fingerprint anyway — materialize instead).
+     */
+    FleetReport runStream(engine::TraceSource &src,
+                          bool approx_stats = false);
+
   private:
     struct Leg
     {
@@ -288,6 +325,17 @@ class FleetSimulator
         std::size_t servedIdx = 0; //!< outcome record index
         Seconds aux = 0.0;       //!< reboot delay / window end
 
+        // KOutcome payload, copied from the served record at drain
+        // time (ckpt wire format v2).  Carrying the record's driver-
+        // visible fields in the event removes the served()[servedIdx]
+        // indirection from the hot path and — since no handler reads
+        // a record after its drain — lets streaming runs release
+        // drained records (constant-memory 10⁶-request traces).
+        std::int64_t local = -1;   //!< node-local trace index
+        Seconds latency = 0.0;     //!< queueDelay + serviceTime
+        Tokens generated = 0;
+        std::uint8_t legOutcome = 0; //!< engine::RequestOutcome
+
         bool operator>(const Event &o) const
         {
             if (time != o.time)
@@ -314,7 +362,16 @@ class FleetSimulator
               std::size_t served_idx = 0, Seconds aux = 0.0);
     void syncNodesTo(Seconds target);
     void drainOutcomes();
+    void drainNode(std::size_t i);
     Seconds nextNodeStop() const;
+    Seconds nextNodeStopBrute() const;
+    /** Re-key node @p i in the stop index after any state change. */
+    void refreshNode(std::size_t i);
+    void refreshAllNodes();
+    /** Refresh the reusable router view buffer for dispatch at
+     *  @p now (allocation-free; cached across a health-state-stable
+     *  window). */
+    void refreshViews(Seconds now);
 
     void dispatch(Track &t, Seconds now, int exclude, bool is_hedge,
                   bool is_failover);
@@ -344,8 +401,30 @@ class FleetSimulator
     void onRetryTimer(const Event &e);
     void onArrival(const Event &e);
 
+    /** The shared event loop behind run() and runStream(). */
+    void eventLoop(const FleetDurabilityOptions &dur, bool durable,
+                   std::uint64_t fp, bool resumed,
+                   std::uint64_t restored_event);
+    /** Open journals and push every node's fault schedule (fresh runs
+     *  of both flavours). */
+    void scheduleNodeEvents();
+
+    // Track addressing.  Materialized runs index tracks_ by gid;
+    // streaming runs pool-allocate tracks and fold terminal ones
+    // away, so a gid may legitimately resolve to nothing.
+    Track *findTrack(std::int64_t gid);
+    Track &trackAt(std::int64_t gid);
+    Track &allocTrack(std::int64_t gid);
+    void foldTrack(const Track &t);
+
     void audit(Seconds now) const;
+    void auditTrack(std::size_t gid, const Track &t,
+                    std::size_t &live_legs,
+                    std::size_t &edge_legs) const;
+    void auditStopIndex() const;
     FleetReport buildReport() const;
+    FleetReport buildStreamReport() const;
+    void fillNodeAndCost(FleetReport &r, std::size_t finished) const;
 
     FleetConfig cfg_;
     std::vector<std::unique_ptr<FleetNode>> nodes_;
@@ -363,6 +442,48 @@ class FleetSimulator
 
     const std::vector<engine::ServerRequest> *trace_ = nullptr;
     std::size_t nextArrival_ = 0;
+
+    /** Next-stop-time index (cfg_.nodeIndex): one key per node —
+     *  clock while up and busy, +inf otherwise.  Derived state;
+     *  rebuilt on restore, cross-checked against the brute scan by
+     *  the paranoid auditor. */
+    NodeStopIndex stopIndex_;
+    /** Reused lag buffer for syncNodesTo (was a per-round heap
+     *  allocation). */
+    std::vector<int> lagBuf_;
+    /** Reused router view buffer (was a per-dispatch allocation),
+     *  valid for `now` in [viewsBuiltAt_, viewsValidUntil_) while no
+     *  up/degrade/cooldown state changed (viewsDirty_). */
+    std::vector<NodeView> viewsBuf_;
+    bool viewsDirty_ = true;
+    Seconds viewsBuiltAt_ = 0.0;
+    Seconds viewsValidUntil_ = 0.0;
+    /** Bumped on every views rebuild; lets the router cache its
+     *  candidate filter for the lifetime of one views window. */
+    std::uint64_t viewsGen_ = 0;
+
+    // Streaming-run state (runStream).
+    bool streaming_ = false;
+    bool approxStats_ = false;
+    engine::TraceSource *src_ = nullptr;
+    std::size_t streamTotal_ = 0;
+    std::size_t streamIssued_ = 0; //!< arrivals drawn from src_
+    /** The one outstanding KArrival event's request (at most one
+     *  arrival is ever in the heap). */
+    engine::ServerRequest streamPending_;
+    std::unordered_map<std::int64_t, std::size_t> slotOf_;
+    std::vector<std::size_t> freeSlots_;
+    // Folded terminal-track aggregates (buildStreamReport inputs).
+    std::size_t foldServed_ = 0, foldTimedOut_ = 0, foldShed_ = 0,
+                foldOffloaded_ = 0, foldDeadlineMet_ = 0;
+    Seconds foldMakespan_ = 0.0;
+    /** Exact mode: (gid, latency) of finished requests, re-sorted by
+     *  gid at report time so FP sums match the materialized path. */
+    std::vector<std::pair<std::int64_t, double>> foldLat_;
+    /** Approx mode: constant-space latency statistics. */
+    P2Quantile latP50_{0.50}, latP99_{0.99}, latP999_{0.999};
+    double latSum_ = 0.0;
+    std::size_t latCount_ = 0;
 
     std::vector<Track> tracks_;
     /** Per-node sets of live gids: the authority for leg liveness

@@ -97,7 +97,10 @@ FleetNode::submit(const engine::ServerRequest &req, std::int64_t gid)
                  req.arrival < pending_.back().req.arrival,
              "fleet node ", id_, ": dispatch times must be monotone");
     const std::int64_t local = submitted_++;
-    gidByLocal_.push_back(gid);
+    if (streamLocals_)
+        gidOfLocal_.emplace(local, gid);
+    else
+        gidByLocal_.push_back(gid);
     pending_.push_back({req, local});
     return local;
 }
@@ -217,6 +220,10 @@ FleetNode::cancel(std::int64_t local)
         return false;
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
         if (it->local == local) {
+            // A pending leg vanishes without a record, so no drain
+            // will ever consume its streaming mapping.
+            if (streamLocals_)
+                gidOfLocal_.erase(local);
             pending_.erase(it);
             return true;
         }
@@ -235,6 +242,20 @@ FleetNode::crash()
     ++life_.crashes;
     up_ = false;
     pending_.clear();
+    if (streamLocals_) {
+        // Resident records (cancel echoes retired since the last
+        // drain) still need their local->gid mappings when the driver
+        // eventually drains them; every other mapping on this
+        // incarnation — pending or in flight — dies with the node
+        // (the driver fails those legs over).
+        std::unordered_map<std::int64_t, std::int64_t> keep;
+        for (const auto &rec : served_) {
+            const auto it = gidOfLocal_.find(rec.traceIndex);
+            if (it != gidOfLocal_.end())
+                keep.insert(*it);
+        }
+        gidOfLocal_.swap(keep);
+    }
     exec_->setJournal(nullptr);
     journal_ = engine::Journal();
     exec_.reset();
@@ -262,6 +283,88 @@ FleetNode::gidForLocal(std::int64_t local) const
     return gidByLocal_[static_cast<std::size_t>(local)];
 }
 
+const engine::ServedRequest &
+FleetNode::servedAt(std::size_t abs) const
+{
+    panic_if(abs < servedBase_ || abs - servedBase_ >= served_.size(),
+             "fleet node ", id_, ": served index ", abs,
+             " outside resident window [", servedBase_, ", ",
+             servedBase_ + served_.size(), ")");
+    return served_[abs - servedBase_];
+}
+
+FleetNode::OutcomeCounts
+FleetNode::outcomeCounts() const
+{
+    OutcomeCounts c = releasedCounts_;
+    for (const auto &rec : served_) {
+        switch (rec.outcome) {
+        case engine::RequestOutcome::Completed:
+            ++c.served;
+            break;
+        case engine::RequestOutcome::Cancelled:
+            ++c.cancelled;
+            break;
+        default:
+            ++c.timedOut;
+            break;
+        }
+    }
+    return c;
+}
+
+void
+FleetNode::compactServed(std::size_t upto_abs)
+{
+    if (upto_abs <= servedBase_)
+        return;
+    panic_if(upto_abs > servedEnd(), "fleet node ", id_,
+             ": compaction past the last record (", upto_abs, " > ",
+             servedEnd(), ")");
+    const std::size_t n = upto_abs - servedBase_;
+    for (std::size_t k = 0; k < n; ++k) {
+        switch (served_[k].outcome) {
+        case engine::RequestOutcome::Completed:
+            ++releasedCounts_.served;
+            break;
+        case engine::RequestOutcome::Cancelled:
+            ++releasedCounts_.cancelled;
+            break;
+        default:
+            ++releasedCounts_.timedOut;
+            break;
+        }
+    }
+    served_.erase(served_.begin(),
+                  served_.begin() + static_cast<std::ptrdiff_t>(n));
+    servedBase_ = upto_abs;
+}
+
+void
+FleetNode::setStreamLocals(bool on)
+{
+    panic_if(submitted_ != 0,
+             "setStreamLocals must precede the first submit");
+    streamLocals_ = on;
+}
+
+std::int64_t
+FleetNode::consumeLocal(std::int64_t local)
+{
+    const auto it = gidOfLocal_.find(local);
+    panic_if(it == gidOfLocal_.end(), "fleet node ", id_,
+             ": unknown streaming local index ", local);
+    const std::int64_t gid = it->second;
+    gidOfLocal_.erase(it);
+    return gid;
+}
+
+void
+FleetNode::dropLocal(std::int64_t local)
+{
+    gidOfLocal_.erase(local);
+}
+
 NodeTotals
 FleetNode::totals() const
 {
@@ -278,6 +381,8 @@ FleetNode::totals() const
 void
 FleetNode::serialize(ByteWriter &w) const
 {
+    panic_if(streamLocals_ || servedBase_ != 0,
+             "streaming fleet nodes are not checkpointable");
     w.u8(up_ ? 1 : 0);
     w.u64(incarnation_);
     w.i64(submitted_);

@@ -29,6 +29,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/executor.hh"
@@ -167,6 +168,53 @@ class FleetNode
         return served_;
     }
 
+    /** Absolute count of records produced over the node's lifetime.
+     *  Streaming compaction may have released a prefix of served(),
+     *  so the driver's drain cursor addresses records by absolute
+     *  index: valid records are [compacted prefix, servedEnd()). */
+    std::size_t servedEnd() const
+    {
+        return servedBase_ + served_.size();
+    }
+
+    /** @return the record at absolute index @p abs (>= the compacted
+     *  prefix). */
+    const engine::ServedRequest &servedAt(std::size_t abs) const;
+
+    /** Per-outcome record tallies across the node's lifetime,
+     *  including records already released by compactServed (report
+     *  building must not depend on the resident window). */
+    struct OutcomeCounts
+    {
+        std::size_t served = 0;
+        std::size_t timedOut = 0;
+        std::size_t cancelled = 0;
+    };
+    OutcomeCounts outcomeCounts() const;
+
+    /** Release every record below absolute index @p upto_abs,
+     *  folding its outcome into the lifetime tallies first.  The
+     *  streaming driver calls this after draining, keeping resident
+     *  records O(in-flight) for arbitrarily long traces. */
+    void compactServed(std::size_t upto_abs);
+
+    /**
+     * Switch the local->gid map to streaming mode (erasable hash map
+     * instead of an append-only vector): the driver consumes each
+     * mapping when it drains the leg's record, so map size tracks
+     * live legs, not lifetime submissions.  Must be called before
+     * the first submit; streaming nodes are not checkpointable.
+     */
+    void setStreamLocals(bool on);
+
+    /** Streaming lookup of @p local's gid; erases the mapping (each
+     *  record is drained exactly once).  Panics on unknown locals. */
+    std::int64_t consumeLocal(std::int64_t local);
+
+    /** Streaming erase of @p local's mapping without a lookup (used
+     *  for cancelled legs, whose gid the driver already resolved). */
+    void dropLocal(std::int64_t local);
+
     /** @return lifetime totals (dead incarnations + the live one). */
     NodeTotals totals() const;
 
@@ -234,6 +282,14 @@ class FleetNode
     std::int64_t submitted_ = 0;
     bool up_ = true;
     std::uint64_t incarnation_ = 0;
+
+    // Streaming compaction state: absolute index of served_[0] plus
+    // the outcome tallies of released records; the erasable local ->
+    // gid map replaces gidByLocal_ when streamLocals_ is set.
+    std::size_t servedBase_ = 0;
+    OutcomeCounts releasedCounts_;
+    bool streamLocals_ = false;
+    std::unordered_map<std::int64_t, std::int64_t> gidOfLocal_;
 
     // Accumulator totals of dead incarnations (crash() snapshots).
     NodeTotals life_;

@@ -1,5 +1,6 @@
 #include "fleet/router.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.hh"
@@ -39,11 +40,12 @@ routerPolicyFromName(const std::string &name)
     return std::nullopt;
 }
 
-std::vector<int>
-Router::candidates(const std::vector<NodeView> &views, int exclude)
+void
+Router::buildCandidates(const std::vector<NodeView> &views, int exclude,
+                        std::vector<int> *out)
 {
     const auto collect = [&](bool allow_draining, bool allow_excluded) {
-        std::vector<int> ids;
+        out->clear();
         for (std::size_t i = 0; i < views.size(); ++i) {
             if (!views[i].up)
                 continue;
@@ -51,18 +53,34 @@ Router::candidates(const std::vector<NodeView> &views, int exclude)
                 continue;
             if (!allow_excluded && static_cast<int>(i) == exclude)
                 continue;
-            ids.push_back(static_cast<int>(i));
+            out->push_back(static_cast<int>(i));
         }
-        return ids;
     };
     // Progressive relaxation: drain and failure-avoidance are
     // preferences, not availability losses.
-    auto ids = collect(false, false);
-    if (ids.empty())
-        ids = collect(true, false);
-    if (ids.empty())
-        ids = collect(true, true);
-    return ids;
+    collect(false, false);
+    if (out->empty())
+        collect(true, false);
+    if (out->empty())
+        collect(true, true);
+}
+
+const std::vector<int> &
+Router::candidates(const std::vector<NodeView> &views,
+                   std::uint64_t views_gen, int exclude)
+{
+    if (exclude >= 0) {
+        // Retry/failover path: the excluded node perturbs the filter,
+        // so build fresh — these are a tiny fraction of dispatches.
+        buildCandidates(views, exclude, &excludeBuf_);
+        return excludeBuf_;
+    }
+    if (!candPrimed_ || candGen_ != views_gen) {
+        buildCandidates(views, -1, &candBuf_);
+        candGen_ = views_gen;
+        candPrimed_ = true;
+    }
+    return candBuf_;
 }
 
 namespace {
@@ -89,23 +107,22 @@ class RoundRobinRouter final : public Router
     RouteDecision route(const engine::ServerRequest &req, Seconds now,
                         Seconds abs_deadline,
                         const std::vector<NodeView> &views,
+                        std::uint64_t views_gen,
                         const CloudTier &cloud, int exclude) override
     {
         (void)req;
         (void)now;
         (void)abs_deadline;
-        const auto ids = candidates(views, exclude);
+        const auto &ids = candidates(views, views_gen, exclude);
         if (ids.empty())
             return cloud.enabled ? RouteDecision::toCloud()
                                  : RouteDecision::reject();
-        // First candidate at/after the cursor in cyclic id order.
-        int pick = ids.front();
-        for (const int i : ids) {
-            if (i >= cursor_) {
-                pick = i;
-                break;
-            }
-        }
+        // First candidate at/after the cursor in cyclic id order; the
+        // ids are ascending, so that is a binary search (same pick as
+        // the linear scan it replaces).
+        const auto it =
+            std::lower_bound(ids.begin(), ids.end(), cursor_);
+        const int pick = it == ids.end() ? ids.front() : *it;
         cursor_ = (pick + 1) % static_cast<int>(views.size());
         return RouteDecision::toNode(pick);
     }
@@ -131,12 +148,13 @@ class LeastLoadedRouter final : public Router
     RouteDecision route(const engine::ServerRequest &req, Seconds now,
                         Seconds abs_deadline,
                         const std::vector<NodeView> &views,
+                        std::uint64_t views_gen,
                         const CloudTier &cloud, int exclude) override
     {
         (void)req;
         (void)now;
         (void)abs_deadline;
-        const auto ids = candidates(views, exclude);
+        const auto &ids = candidates(views, views_gen, exclude);
         if (ids.empty())
             return cloud.enabled ? RouteDecision::toCloud()
                                  : RouteDecision::reject();
@@ -169,9 +187,10 @@ class DeadlineAwareRouter final : public Router
     RouteDecision route(const engine::ServerRequest &req, Seconds now,
                         Seconds abs_deadline,
                         const std::vector<NodeView> &views,
+                        std::uint64_t views_gen,
                         const CloudTier &cloud, int exclude) override
     {
-        const auto ids = candidates(views, exclude);
+        const auto &ids = candidates(views, views_gen, exclude);
         if (ids.empty())
             return cloud.enabled ? RouteDecision::toCloud()
                                  : RouteDecision::reject();
@@ -209,9 +228,10 @@ class CostAwareRouter final : public Router
     RouteDecision route(const engine::ServerRequest &req, Seconds now,
                         Seconds abs_deadline,
                         const std::vector<NodeView> &views,
+                        std::uint64_t views_gen,
                         const CloudTier &cloud, int exclude) override
     {
-        const auto ids = candidates(views, exclude);
+        const auto &ids = candidates(views, views_gen, exclude);
         if (ids.empty())
             return cloud.enabled ? RouteDecision::toCloud()
                                  : RouteDecision::reject();

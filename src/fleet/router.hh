@@ -33,6 +33,7 @@
 #ifndef EDGEREASON_FLEET_ROUTER_HH
 #define EDGEREASON_FLEET_ROUTER_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -129,12 +130,17 @@ class Router
      * @param req  the original request (arrival = trace arrival)
      * @param abs_deadline  absolute deadline instant (+inf when none)
      * @param views  per-node health snapshots, indexed by node id
+     * @param views_gen  generation stamp of @p views — the driver
+     *        bumps it whenever the up/draining flags are rebuilt, so
+     *        equal stamps guarantee identical flags and the shared
+     *        candidate filter can be reused across dispatches
      * @param cloud  offload tier (ignored when not enabled)
      * @param exclude  node of the leg that just failed (-1 none)
      */
     virtual RouteDecision route(const engine::ServerRequest &req,
                                 Seconds now, Seconds abs_deadline,
                                 const std::vector<NodeView> &views,
+                                std::uint64_t views_gen,
                                 const CloudTier &cloud,
                                 int exclude) = 0;
 
@@ -155,11 +161,29 @@ class Router
      * Shared candidate filter: up nodes first without draining or the
      * excluded node, then progressively relaxed (draining allowed,
      * then the excluded node) so a lone surviving node still serves.
+     *
+     * The result is a pure function of (up/draining flags, exclude),
+     * so the common exclude-free list is cached per @p views_gen: the
+     * O(nodes) filter runs once per admission window, not once per
+     * dispatch.  Retry/failover dispatches (exclude >= 0) are rare
+     * and rebuild into a scratch buffer every time.
+     *
      * @return candidate node ids in ascending order; empty when every
-     * node is down.
+     * node is down.  The reference is valid until the next call.
      */
-    static std::vector<int>
-    candidates(const std::vector<NodeView> &views, int exclude);
+    const std::vector<int> &
+    candidates(const std::vector<NodeView> &views,
+               std::uint64_t views_gen, int exclude);
+
+  private:
+    /** Unconditional filter pass behind the candidates() cache. */
+    static void buildCandidates(const std::vector<NodeView> &views,
+                                int exclude, std::vector<int> *out);
+
+    std::vector<int> candBuf_;    //!< cached exclude == -1 list
+    std::vector<int> excludeBuf_; //!< scratch for exclude >= 0
+    std::uint64_t candGen_ = 0;   //!< views_gen candBuf_ was built at
+    bool candPrimed_ = false;     //!< candBuf_ holds a real build
 };
 
 /** Policy factory. */

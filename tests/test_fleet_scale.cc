@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Fleet-scale event engine suite (DESIGN.md §15).  The tentpole
+ * claim: the next-stop index, batched routing window, and streaming
+ * trace source are pure performance work — every report they produce
+ * is bit-identical to the legacy all-node-scan driver.  Covered here:
+ *  - NodeStopIndex against a brute-force scan on adversarial update
+ *    sequences (same FP lag predicate, same ascending-id order);
+ *  - PoissonTraceStream against the materialized poissonTrace it
+ *    reimplements, draw for draw;
+ *  - the router-policy x fault-mix x thread-count bit-identity
+ *    matrix, indexed vs `nodeIndex = false`;
+ *  - crash-resume with the index live (plus cross-mode resumes: a
+ *    checkpoint written by either driver restores under the other);
+ *  - a streamed run against the same trace materialized.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "engine/server.hh"
+#include "engine/trace_stream.hh"
+#include "fleet/fleet.hh"
+#include "fleet/node_faults.hh"
+#include "fleet/stop_index.hh"
+#include "hw/gpu_spec.hh"
+#include "model/model_id.hh"
+
+namespace er = edgereason;
+using namespace er::fleet;
+using er::engine::PoissonTraceStream;
+using er::engine::ServerRequest;
+using er::engine::ServingSimulator;
+
+namespace {
+
+// --- NodeStopIndex vs brute force ------------------------------------
+
+TEST(NodeStopIndex, MatchesBruteForceScan)
+{
+    // Random update/query interleaving: the index must report the
+    // exact node set a linear scan with the fleet's literal lag
+    // predicate (`key + slack < target`) reports, in ascending id
+    // order, and the same min key.
+    constexpr int kNodes = 37;
+    constexpr double kSlack = 1e-9;
+    NodeStopIndex idx;
+    idx.reset(kNodes);
+    std::vector<double> keys(kNodes, NodeStopIndex::kNoStop);
+
+    er::Rng rng(99, "stop-index-fuzz");
+    for (int step = 0; step < 2000; ++step) {
+        const int i =
+            static_cast<int>(rng.uniform() * kNodes) % kNodes;
+        // Mix of finite stop times (including duplicates, to stress
+        // the id tie-break) and "parked" (+inf) nodes.
+        const double key = rng.uniform() < 0.25
+            ? NodeStopIndex::kNoStop
+            : 1.0 + static_cast<double>(
+                        static_cast<int>(rng.uniform() * 64.0));
+        idx.update(static_cast<std::size_t>(i), key);
+        keys[static_cast<std::size_t>(i)] = key;
+
+        double brute_min = NodeStopIndex::kNoStop;
+        for (const double k : keys)
+            brute_min = std::min(brute_min, k);
+        ASSERT_EQ(idx.minKey(), brute_min);
+
+        const double target = 1.0 + rng.uniform() * 66.0;
+        std::vector<int> got, want;
+        idx.collectLagging(target, kSlack, got);
+        for (int j = 0; j < kNodes; ++j)
+            if (keys[static_cast<std::size_t>(j)] + kSlack < target)
+                want.push_back(j);
+        ASSERT_EQ(got, want) << "step " << step;
+    }
+}
+
+// --- Streaming trace source vs materialized trace --------------------
+
+TEST(TraceStream, MatchesMaterializedPoissonTrace)
+{
+    er::Rng a(55, "trace-stream");
+    const auto trace =
+        ServingSimulator::poissonTrace(a, 500, 3.0, 96, 256);
+
+    PoissonTraceStream src(55, "trace-stream", 500, 3.0, 96, 256);
+    ASSERT_EQ(src.totalRequests(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const ServerRequest r = src.next();
+        ASSERT_EQ(r.arrival, trace[i].arrival) << i;
+        ASSERT_EQ(r.inputTokens, trace[i].inputTokens) << i;
+        ASSERT_EQ(r.outputTokens, trace[i].outputTokens) << i;
+    }
+}
+
+// --- Bit-identity matrix: indexed vs legacy driver -------------------
+
+/** Fault mixes the matrix sweeps; each stresses a different index
+ *  maintenance path (refresh-on-advance only; crash/reboot edges;
+ *  gray slowdowns + adaptive ejections + flaps). */
+enum class FaultMix { Healthy, Crashy, Gray };
+
+const char *
+mixName(FaultMix m)
+{
+    switch (m) {
+      case FaultMix::Healthy:
+        return "healthy";
+      case FaultMix::Crashy:
+        return "crashy";
+      case FaultMix::Gray:
+        return "gray";
+    }
+    return "?";
+}
+
+FleetConfig
+matrixConfig(RouterPolicy p, FaultMix mix, bool indexed)
+{
+    FleetConfig fc;
+    fc.nodes.assign(6, NodeSpec{er::model::ModelId::DeepScaleR1_5B});
+    fc.server.maxBatch = 6;
+    fc.router = p;
+    fc.nodeIndex = indexed;
+    fc.paranoid = true; // includes the index/brute cross-check
+    fc.maxRetries = 3;
+    fc.retryBackoff = 0.5;
+    fc.hedgeFraction = 0.3;
+    fc.requestTimeout = 45.0;
+    fc.healthFailureThreshold = 2;
+    fc.healthCooldown = 12.0;
+    switch (mix) {
+      case FaultMix::Healthy:
+        break;
+      case FaultMix::Crashy:
+        fc.nodeFaults.seed = 0xD00B;
+        fc.nodeFaults.horizon = 300.0;
+        fc.nodeFaults.crashesPerHour = 120.0;
+        fc.nodeFaults.meanRebootSeconds = 10.0;
+        fc.nodeFaults.degradesPerHour = 45.0;
+        fc.nodeFaults.meanDegradeSeconds = 15.0;
+        break;
+      case FaultMix::Gray:
+        fc.adaptiveHealth = true;
+        fc.healthQuantile = 0.9;
+        fc.healthLatencyMultiple = 2.0;
+        fc.healthMinSamples = 4;
+        fc.healthCooldown = 60.0;
+        fc.nodeFaults.seed = 0x6EA7;
+        fc.nodeFaults.horizon = 300.0;
+        fc.nodeFaults.slowdownsPerHour = 90.0;
+        fc.nodeFaults.meanSlowdownSeconds = 30.0;
+        fc.nodeFaults.slowdownMultiplier = 8.0;
+        fc.nodeFaults.flapsPerHour = 60.0;
+        fc.nodeFaults.meanFlapSeconds = 5.0;
+        break;
+    }
+    return fc;
+}
+
+std::vector<ServerRequest>
+matrixTrace()
+{
+    er::Rng rng(7, "fleet-scale-matrix");
+    auto t = ServingSimulator::poissonTrace(rng, 40, 1.5, 96, 224);
+    for (auto &r : t)
+        r.deadline = 75.0;
+    return t;
+}
+
+TEST(FleetScale, IndexMatrixIsBitIdentical)
+{
+    const auto trace = matrixTrace();
+    const RouterPolicy policies[] = {
+        RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+        RouterPolicy::DeadlineAware, RouterPolicy::CostAware};
+
+    for (const RouterPolicy p : policies) {
+        for (const FaultMix mix :
+             {FaultMix::Healthy, FaultMix::Crashy, FaultMix::Gray}) {
+            // The legacy scan driver is the reference; one report,
+            // any thread count (its own identity is test_fleet's
+            // claim).
+            FleetSimulator legacy(matrixConfig(p, mix, false));
+            const std::string want =
+                formatFleetReport(legacy.run(trace));
+            for (const unsigned threads : {1u, 2u, 4u}) {
+                SCOPED_TRACE(std::string(routerPolicyName(p)) + "/" +
+                             mixName(mix) + " threads=" +
+                             std::to_string(threads));
+                er::ThreadPool::setGlobalThreads(threads);
+                FleetSimulator indexed(matrixConfig(p, mix, true));
+                EXPECT_EQ(formatFleetReport(indexed.run(trace)),
+                          want);
+            }
+            er::ThreadPool::setGlobalThreads(0);
+        }
+    }
+}
+
+// --- Crash-resume with the index live --------------------------------
+
+const std::filesystem::path kArtifacts = "fleet-scale-artifacts";
+
+std::string
+runCrashResume(const FleetConfig &crash_fc, const FleetConfig &res_fc,
+               const std::vector<ServerRequest> &trace,
+               const std::filesystem::path &dir,
+               std::int64_t crash_event)
+{
+    FleetDurabilityOptions dur;
+    dur.checkpointDir = (dir / "ckpt").string();
+    dur.checkpointEvery = 20;
+    dur.crashAtEvent = crash_event;
+    bool crashed = false;
+    try {
+        FleetSimulator sim(crash_fc);
+        sim.run(trace, dur);
+    } catch (const FleetSimulatedCrash &) {
+        crashed = true;
+    }
+    EXPECT_TRUE(crashed) << "crash point was never reached";
+
+    FleetDurabilityOptions res;
+    res.checkpointDir = dur.checkpointDir;
+    res.checkpointEvery = dur.checkpointEvery;
+    res.resume = true;
+    FleetSimulator sim(res_fc);
+    return formatFleetReport(sim.run(trace, res));
+}
+
+TEST(FleetScale, CrashResumeWithIndexIsBitIdentical)
+{
+    // Two crash points with the index live on both sides, plus the
+    // cross-mode legs: the index is derived state, deliberately
+    // outside the checkpoint fingerprint, so a checkpoint written by
+    // either driver must restore under the other.
+    std::filesystem::remove_all(kArtifacts);
+    const auto trace = matrixTrace();
+    const auto cfg = [](bool indexed) {
+        return matrixConfig(RouterPolicy::LeastLoaded,
+                            FaultMix::Crashy, indexed);
+    };
+    FleetSimulator base(cfg(true));
+    const std::string uninterrupted =
+        formatFleetReport(base.run(trace));
+
+    int leg = 0;
+    for (const std::int64_t crash_event : {30ll, 90ll}) {
+        for (const bool crash_indexed : {true, false}) {
+            for (const bool resume_indexed : {true, false}) {
+                SCOPED_TRACE("crash@" + std::to_string(crash_event) +
+                             (crash_indexed ? " idx" : " scan") +
+                             "->" +
+                             (resume_indexed ? "idx" : "scan"));
+                const auto dir =
+                    kArtifacts / ("leg-" + std::to_string(leg++));
+                EXPECT_EQ(runCrashResume(cfg(crash_indexed),
+                                         cfg(resume_indexed), trace,
+                                         dir, crash_event),
+                          uninterrupted);
+            }
+        }
+    }
+    if (!::testing::Test::HasFailure())
+        std::filesystem::remove_all(kArtifacts);
+}
+
+// --- Streaming run vs materialized run -------------------------------
+
+TEST(FleetScale, StreamedRunMatchesMaterialized)
+{
+    // Same trace parameters, one driver fed the vector and one fed
+    // the stream: identical reports, including the exact latency
+    // percentiles (the streamed fold re-sorts by request id before
+    // the same summation).
+    const auto mk = [] {
+        FleetConfig fc;
+        fc.nodes.assign(4,
+                        NodeSpec{er::model::ModelId::DeepScaleR1_5B});
+        fc.server.maxBatch = 6;
+        fc.router = RouterPolicy::LeastLoaded;
+        fc.paranoid = true;
+        fc.hedgeFraction = 0.3;
+        fc.requestTimeout = 45.0;
+        return fc;
+    };
+    er::Rng rng(21, "fleet-scale-stream");
+    auto trace = ServingSimulator::poissonTrace(rng, 60, 2.0, 96, 224);
+    for (auto &r : trace)
+        r.deadline = 75.0;
+    FleetSimulator vec(mk());
+    const std::string want = formatFleetReport(vec.run(trace));
+
+    PoissonTraceStream src(21, "fleet-scale-stream", 60, 2.0, 96, 224);
+    src.setDeadline(75.0);
+    FleetSimulator streamed(mk());
+    EXPECT_EQ(formatFleetReport(streamed.runStream(src)), want);
+}
+
+} // namespace

@@ -68,6 +68,7 @@
 #include "cost/cost_model.hh"
 #include "engine/journal.hh"
 #include "engine/server.hh"
+#include "engine/trace_stream.hh"
 #include "fleet/fleet.hh"
 #include "hw/gpu_spec.hh"
 #include "model/zoo.hh"
@@ -498,6 +499,7 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
     fc.healthQuantile = o.healthQuantile;
     fc.healthLatencyMultiple = o.healthMultiple;
     fc.adaptiveTimeoutMultiple = o.adaptiveTimeout;
+    fc.nodeIndex = o.fleetIndex;
     fc.paranoid = o.paranoid;
     fc.journalDir = o.fleetJournals;
     if (!o.cloud.empty()) {
@@ -508,14 +510,23 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
     }
 
     Rng rng(o.seed, "cli-serve");
-    auto trace = engine::ServingSimulator::poissonTrace(
-        rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
-        o.meanOut);
-    for (auto &r : trace)
-        r.deadline = o.deadline;
+    std::vector<engine::ServerRequest> trace;
+    if (!o.stream) {
+        trace = engine::ServingSimulator::poissonTrace(
+            rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+            o.meanOut);
+        for (auto &r : trace)
+            r.deadline = o.deadline;
+    }
 
     fc.nodeFaults.seed = static_cast<std::uint64_t>(o.faultSeed);
-    fc.nodeFaults.horizon = trace.back().arrival + 3600.0;
+    // A streaming run never materializes the trace, so its fault
+    // horizon uses the expected trace end instead of the drawn one;
+    // fault schedules (and hence reports) match the materialized path
+    // exactly whenever the fault rates are zero.
+    fc.nodeFaults.horizon = o.stream
+        ? static_cast<double>(o.requests) / o.qps + 3600.0
+        : trace.back().arrival + 3600.0;
     fc.nodeFaults.crashesPerHour = o.nodeCrashRate;
     fc.nodeFaults.meanRebootSeconds = o.nodeReboot;
     fc.nodeFaults.degradesPerHour = o.nodeDegradeRate;
@@ -546,6 +557,25 @@ cmdServeFleet(const cli::ServeOptions &o, engine::ServerConfig cfg)
 
     fleet::FleetSimulator sim(fc);
     fleet::FleetReport rep;
+    if (o.stream) {
+        // Same Rng, same draw order as the materialized branch: the
+        // streamed requests are bit-identical to the trace run()
+        // would have seen.
+        engine::PoissonTraceStream src(
+            rng, static_cast<std::size_t>(o.requests), o.qps, o.meanIn,
+            o.meanOut);
+        src.setDeadline(o.deadline);
+        rep = sim.runStream(src, o.approxStats);
+        std::printf("served %lld requests (streamed%s) on a %lld-node "
+                    "fleet of %s (router=%s, scheduler=%s, offered "
+                    "%.3f QPS):\n",
+                    o.requests, o.approxStats ? ", approx stats" : "",
+                    o.fleet, o.model.c_str(),
+                    fleet::routerPolicyName(rep.router),
+                    engine::schedulerPolicyName(cfg.scheduler), o.qps);
+        printFleetReport(rep);
+        return 0;
+    }
     try {
         rep = sim.run(trace, dur);
     } catch (const fleet::FleetSimulatedCrash &c) {
